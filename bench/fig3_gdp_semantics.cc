@@ -1,0 +1,144 @@
+// Reproduces Figure 3: "Some GDP gestures and parameters" — for each GDP
+// gesture, what is determined at recognition time and what is determined by
+// manipulation. Each row is verified by actually driving the live GDP
+// application through the full GRANDMA pipeline and inspecting the document.
+#include <cstdio>
+
+#include "gdp/app.h"
+#include "gdp/session.h"
+
+namespace {
+
+using namespace grandma;
+
+int checks_passed = 0;
+int checks_total = 0;
+
+void Check(bool ok, const char* what) {
+  ++checks_total;
+  checks_passed += ok ? 1 : 0;
+  std::printf("    [%s] %s\n", ok ? "ok" : "FAIL", what);
+}
+
+void ClearDocument(gdp::GdpApp& app) {
+  app.ClearControlPoints();
+  for (gdp::Shape* s : app.document().AllShapes()) {
+    app.document().Remove(s);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: GDP gestures, recognition-time and manipulation-time "
+              "parameters ===\n");
+  std::printf("(each row verified against the live application)\n\n");
+  gdp::GdpApp app;
+
+  {
+    std::printf("rectangle: corner 1 at recognition; corner 2 by manipulation\n");
+    ClearDocument(app);
+    gdp::PlayGestureWithDrag(app, "rectangle", 60, 200, 180, 120);
+    auto* rect = dynamic_cast<gdp::RectShape*>(app.document().AllShapes().at(0));
+    const auto b = rect->Bounds();
+    Check(std::abs(b.min_x - 60) < 2 && std::abs(b.max_y - 200) < 2,
+          "corner 1 pinned to the gesture start");
+    Check(std::abs(b.max_x - 180) < 2 && std::abs(b.min_y - 120) < 2,
+          "corner 2 rubberbanded to the final mouse position");
+  }
+  {
+    std::printf("ellipse: center at recognition; size+eccentricity by manipulation\n");
+    ClearDocument(app);
+    gdp::PlayGestureWithDrag(app, "ellipse", 160, 120, 210, 135);
+    auto* e = dynamic_cast<gdp::EllipseShape*>(app.document().AllShapes().at(0));
+    Check(std::abs(e->cx() - 160) < 2 && std::abs(e->cy() - 120) < 2,
+          "center at the gesture start");
+    Check(std::abs(e->rx() - 50) < 2 && std::abs(e->ry() - 15) < 2,
+          "radii (eccentricity) set by the drag point");
+  }
+  {
+    std::printf("line: endpoint 1 at recognition; endpoint 2 by manipulation\n");
+    ClearDocument(app);
+    gdp::PlayGestureWithDrag(app, "line", 30, 100, 220, 60);
+    auto* line = dynamic_cast<gdp::LineShape*>(app.document().AllShapes().at(0));
+    Check(std::abs(line->x0() - 30) < 2 && std::abs(line->y0() - 100) < 2,
+          "endpoint 1 at the gesture start");
+    Check(std::abs(line->x1() - 220) < 1 && std::abs(line->y1() - 60) < 1,
+          "endpoint 2 rubberbanded");
+  }
+  {
+    std::printf("group: enclosed objects at recognition; touched objects added by "
+                "manipulation\n");
+    ClearDocument(app);
+    app.document().Add(std::make_unique<gdp::DotShape>(160, 100));
+    app.document().Add(std::make_unique<gdp::DotShape>(170, 110));
+    gdp::Shape* outside = app.document().Add(std::make_unique<gdp::DotShape>(280, 60));
+    gdp::PlayGestureWithDrag(app, "group", 165, 150, 280, 60);
+    auto* group = dynamic_cast<gdp::GroupShape*>(app.document().TopmostAt(165, 100, 15.0));
+    Check(group != nullptr && group->size() >= 2, "enclosed objects grouped at recognition");
+    Check(group != nullptr && group->size() == 3 && !app.document().Contains(outside),
+          "object touched during manipulation added to the group");
+  }
+  {
+    std::printf("copy: object to copy at recognition; location of copy by manipulation\n");
+    ClearDocument(app);
+    app.document().Add(std::make_unique<gdp::DotShape>(80, 80));
+    gdp::PlayGestureWithDrag(app, "copy", 80, 80, 250, 50);
+    Check(app.document().size() == 2, "object replicated at recognition");
+    Check(app.document().TopmostAt(250, 50, 3.0) != nullptr,
+          "copy positioned by manipulation");
+  }
+  {
+    std::printf("move: object at recognition; location by manipulation\n");
+    ClearDocument(app);
+    gdp::Shape* dot = app.document().Add(std::make_unique<gdp::DotShape>(80, 80));
+    gdp::PlayGestureWithDrag(app, "move", 80, 80, 250, 50);
+    Check(dot->HitTest(250, 50, 3.0), "object follows the manipulation drag");
+  }
+  {
+    std::printf("rotate-scale: center of rotation at recognition; size+orientation by "
+                "manipulation\n");
+    ClearDocument(app);
+    gdp::Shape* line = app.document().Add(std::make_unique<gdp::LineShape>(100, 100, 130, 100));
+    const double width_before = line->Bounds().width();
+    gdp::PlayGestureWithDrag(app, "rotate-scale", 110, 100, 170, 180);
+    const auto b = line->Bounds();
+    Check(b.width() != width_before || b.height() > 1.0,
+          "object rotated/scaled by the drag point");
+  }
+  {
+    std::printf("delete: object to delete at recognition; additional objects by touch\n");
+    ClearDocument(app);
+    app.document().Add(std::make_unique<gdp::DotShape>(100, 140));
+    app.document().Add(std::make_unique<gdp::DotShape>(240, 60));
+    gdp::PlayGestureWithDrag(app, "delete", 100, 140, 240, 60);
+    Check(app.document().size() == 0, "start object and touched object both deleted");
+  }
+  {
+    std::printf("edit: control points appear; they respond to dragging, not gestures\n");
+    ClearDocument(app);
+    app.document().Add(std::make_unique<gdp::LineShape>(100, 100, 140, 100));
+    gdp::PlayGestureWithDrag(app, "edit", 120, 100, 120, 100);
+    Check(app.control_point_count() == 2, "control points shown on the edited object");
+  }
+  {
+    std::printf("text: cursor snaps to the grid during manipulation\n");
+    ClearDocument(app);
+    gdp::PlayGestureWithDrag(app, "text", 40, 60, 123, 87);
+    auto* text = dynamic_cast<gdp::TextShape*>(app.document().AllShapes().at(0));
+    Check(text != nullptr && text->x() == 120.0 && text->y() == 90.0,
+          "text position snapped to the 10-unit grid");
+  }
+  {
+    std::printf("dot: placed at the gesture start\n");
+    ClearDocument(app);
+    const double t0 = app.dispatcher().clock().now_ms();
+    app.driver().Feed(toolkit::InputEvent::MouseDown(100, 100, t0));
+    app.driver().Feed(toolkit::InputEvent::MouseUp(100, 100, t0 + 400.0));
+    Check(app.document().size() == 1 && app.document().AllShapes()[0]->Kind() == "dot",
+          "dwell press recognized as dot");
+  }
+
+  std::printf("\n%d/%d Figure 3 semantics checks passed\n", checks_passed, checks_total);
+  return checks_passed == checks_total ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 8: a gesture set NOT amenable to eager recognition.
+// Buxton's note gestures (quarter .. sixty-fourth) each extend the previous
+// one, so every note is approximately a subgesture of the next; the eager
+// recognizer should (almost) always consider them ambiguous and essentially
+// never fire early — while the full classifier still separates them fine at
+// mouse-up.
+#include <cstdio>
+
+#include "eager/eager_recognizer.h"
+#include "eager/evaluation.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+int main() {
+  using namespace grandma;
+
+  const auto specs = synth::MakeNoteSpecs();
+  synth::NoiseModel noise;
+
+  const auto train_batches = synth::GenerateSet(specs, noise, /*per_class=*/10, /*seed=*/1991);
+  const auto test_batches = synth::GenerateSet(specs, noise, /*per_class=*/30, /*seed=*/42);
+
+  classify::GestureTrainingSet training = synth::ToTrainingSet(train_batches);
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+
+  const eager::EagerEvaluation eval = eager::EvaluateEager(recognizer, test_batches);
+
+  std::printf("=== Figure 8: note gestures are not amenable to eager recognition ===\n");
+  std::printf("classes: ");
+  for (const auto& spec : specs) {
+    std::printf("%s ", spec.class_name.c_str());
+  }
+  std::printf("\n\n");
+  std::printf("%-44s %10s %10s\n", "metric", "paper", "measured");
+  std::printf("%-44s %10s %9.1f%%\n", "gestures eagerly recognized before mouse-up",
+              "~0% (never)",
+              100.0 * (1.0 - static_cast<double>(eval.never_fired) /
+                                 static_cast<double>(eval.total)));
+  std::printf("%-44s %10s %9.1f%%\n", "full recognition rate at mouse-up", "(high)",
+              100.0 * eval.FullAccuracy());
+  std::printf("%-44s %10s %9.1f%%\n", "avg fraction of points examined", "~100%",
+              100.0 * eval.MeanFractionSeen());
+
+  // Per-class eagerness: only the longest note could legitimately fire (at
+  // its final flag); shorter notes must essentially never fire.
+  std::printf("\nper-class: fired-early count (of 30), avg fraction seen\n");
+  std::size_t idx = 0;
+  for (const auto& batch : test_batches) {
+    std::size_t fired = 0;
+    double frac = 0.0;
+    for (std::size_t e = 0; e < batch.samples.size(); ++e) {
+      const auto& o = eval.outcomes[idx++];
+      fired += o.fired ? 1 : 0;
+      frac += static_cast<double>(o.points_seen) / static_cast<double>(o.points_total);
+    }
+    std::printf("  %-14s %3zu   %5.1f%%\n", batch.class_name.c_str(), fired,
+                100.0 * frac / static_cast<double>(batch.samples.size()));
+  }
+  return 0;
+}

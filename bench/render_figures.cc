@@ -1,0 +1,80 @@
+// Renders figure artifacts: PGM images in the style of the paper's Figures 9
+// and 10 — each test gesture drawn with light ink while ambiguous and dark
+// ink after eager recognition fired. Written under ./figures_out/ so the
+// reproduction produces inspectable images, not just tables.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "eager/eager_recognizer.h"
+#include "gdp/canvas.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+
+// Draws one sample into a grid of cells within the sheet canvas.
+void DrawSample(gdp::Canvas& sheet, const synth::GestureSample& sample,
+                const eager::EagerRecognizer& recognizer, double cell_x, double cell_y,
+                double cell_w, double cell_h) {
+  const geom::BoundingBox b = sample.gesture.Bounds();
+  const double scale =
+      0.8 * std::min(cell_w / std::max(b.width(), 1.0), cell_h / std::max(b.height(), 1.0));
+  const double ox = cell_x + 0.5 * cell_w - scale * 0.5 * (b.min_x + b.max_x);
+  const double oy = cell_y + 0.5 * cell_h - scale * 0.5 * (b.min_y + b.max_y);
+
+  eager::EagerStream stream(recognizer);
+  std::size_t fire_index = sample.gesture.size();
+  for (std::size_t i = 0; i < sample.gesture.size(); ++i) {
+    if (stream.AddPoint(sample.gesture[i])) {
+      fire_index = i;
+    }
+    const geom::TimedPoint& p = sample.gesture[i];
+    // '.' thin (ambiguous), '#' thick (recognized), 'X' the fire point.
+    const char ink = i < fire_index ? '.' : (i == fire_index ? 'X' : '#');
+    sheet.Plot(p.x * scale + ox, p.y * scale + oy, ink);
+  }
+}
+
+void RenderSheet(const std::vector<synth::PathSpec>& specs, const synth::NoiseModel& noise,
+                 const char* name, std::uint64_t train_seed, std::uint64_t test_seed) {
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, train_seed));
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+
+  constexpr std::size_t kColumns = 5;
+  const std::size_t rows = specs.size();
+  const double cell = 100.0;
+  gdp::Canvas sheet(cell * kColumns, cell * static_cast<double>(rows),
+                    /*cols=*/60 * kColumns, /*rows=*/22 * rows);
+
+  const auto tests = synth::GenerateSet(specs, noise, kColumns, test_seed);
+  for (std::size_t r = 0; r < tests.size(); ++r) {
+    for (std::size_t c = 0; c < tests[r].samples.size(); ++c) {
+      DrawSample(sheet, tests[r].samples[c], recognizer, cell * static_cast<double>(c),
+                 cell * static_cast<double>(rows - 1 - r), cell, cell);
+    }
+  }
+
+  std::filesystem::create_directories("figures_out");
+  const std::string path = std::string("figures_out/") + name + ".pgm";
+  if (sheet.WritePgm(path)) {
+    std::printf("wrote %s (%zu classes x %zu examples)\n", path.c_str(), specs.size(),
+                kColumns);
+  } else {
+    std::printf("FAILED to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== figure artifacts: light ink = ambiguous, dark = after eager fire ===\n");
+  synth::NoiseModel noise;
+  RenderSheet(synth::MakeEightDirectionSpecs(), noise, "figure9_directions", 1991, 4242);
+  RenderSheet(synth::MakeGdpSpecs(), noise, "figure10_gdp", 1991, 4242);
+  RenderSheet(synth::MakeNoteSpecs(), noise, "figure8_notes", 1991, 4242);
+  return 0;
+}

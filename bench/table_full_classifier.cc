@@ -1,0 +1,66 @@
+// Reproduces the Section 4.2 setting: the statistical single-stroke
+// recognizer on GDP's C = 11 classes, trained with E = 15 examples per class
+// ("typically we train with 15 examples of each class"), plus a sweep over
+// training-set size and a cross-validation estimate — the standard way to
+// report a trainable recognizer.
+#include <cstdio>
+
+#include "classify/evaluation.h"
+#include "classify/gesture_classifier.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+int main() {
+  using namespace grandma;
+
+  const auto specs = synth::MakeGdpSpecs();
+  synth::NoiseModel noise;
+
+  std::printf("=== Section 4.2: full classifier on the GDP set (C = 11) ===\n\n");
+
+  // Recognition rate vs training examples per class.
+  std::printf("%-24s %-14s %s\n", "train examples/class", "test accuracy",
+              "(300 test gestures)");
+  const auto test = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 30, 42));
+  for (std::size_t per_class : {5u, 10u, 15u, 20u, 30u}) {
+    const auto train = synth::ToTrainingSet(synth::GenerateSet(specs, noise, per_class, 1991));
+    classify::GestureClassifier classifier;
+    classifier.Train(train);
+    const double accuracy = classify::EvaluateClassifier(classifier, test).Accuracy();
+    std::printf("%-24zu %6.1f%%%s\n", per_class, 100.0 * accuracy,
+                per_class == 15 ? "   <- the paper's typical E = 15" : "");
+  }
+
+  // Cross-validated accuracy at E = 15.
+  const auto data = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 15, 7));
+  const auto cv = classify::CrossValidate(data, 5, features::FeatureMask::All());
+  std::printf("\n5-fold cross-validation at E = 15: mean %.1f%% (min %.1f%%, max %.1f%%)\n",
+              100.0 * cv.mean_accuracy, 100.0 * cv.min_accuracy, 100.0 * cv.max_accuracy);
+
+  // Feature ablation: geometry-only (drop f12 max speed, f13 duration) — the
+  // variant Rubine suggests for devices without reliable timing.
+  {
+    const auto train = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 15, 1991));
+    classify::GestureClassifier all_features;
+    all_features.Train(train);
+    classify::GestureClassifier geometry_only;
+    geometry_only.Train(train, features::FeatureMask::GeometryOnly());
+
+    // Note: EvaluateClassifier uses each classifier's own mask internally.
+    const double acc_all = classify::EvaluateClassifier(all_features, test).Accuracy();
+    const double acc_geo = classify::EvaluateClassifier(geometry_only, test).Accuracy();
+    std::printf("\nfeature ablation at E = 15: all 13 features %.1f%%, geometry-only (11) "
+                "%.1f%%\n",
+                100.0 * acc_all, 100.0 * acc_geo);
+  }
+
+  // Per-class recall at E = 15 with the confusion matrix.
+  {
+    const auto train = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 15, 1991));
+    classify::GestureClassifier classifier;
+    classifier.Train(train);
+    const auto cm = classify::EvaluateClassifier(classifier, test);
+    std::printf("\nconfusion matrix (E = 15):\n%s\n", cm.ToString(classifier.registry()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Rejection evaluation (Section 4.2's cost-of-misclassification machinery,
+// as used by Rubine's recognizer in practice): sweep the probability
+// threshold and the Mahalanobis outlier bound, reporting how much garbage is
+// rejected vs. how many good gestures are lost. "Garbage" = gestures from
+// classes the recognizer was never trained on (here: note gestures thrown at
+// a GDP-trained recognizer), the situation rejection exists for.
+#include <cstdio>
+
+#include "classify/gesture_classifier.h"
+#include "classify/rejection.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+int main() {
+  using namespace grandma;
+
+  synth::NoiseModel noise;
+  const auto gdp_specs = synth::MakeGdpSpecs();
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(gdp_specs, noise, 15, 1991));
+  classify::GestureClassifier classifier;
+  classifier.Train(training);
+  const std::size_t dim = classifier.linear().dimension();
+
+  // In-vocabulary test gestures and out-of-vocabulary "garbage".
+  const auto good = synth::GenerateSet(gdp_specs, noise, 20, 7);
+  const auto garbage = synth::GenerateSet(synth::MakeNoteSpecs(), noise, 20, 8);
+
+  std::printf("=== Rejection: probability threshold x Mahalanobis bound ===\n");
+  std::printf("good = 220 GDP gestures (should be accepted), garbage = 100 note gestures\n");
+  std::printf("(foreign vocabulary; should be rejected)\n\n");
+  std::printf("%-26s %16s %18s\n", "policy", "good accepted", "garbage rejected");
+
+  struct PolicyRow {
+    const char* name;
+    classify::RejectionPolicy policy;
+  };
+  std::vector<PolicyRow> rows;
+  {
+    classify::RejectionPolicy p;
+    p.use_probability = false;
+    p.use_distance = false;
+    rows.push_back({"no rejection", p});
+  }
+  for (double min_p : {0.90, 0.95, 0.99}) {
+    classify::RejectionPolicy p;
+    p.min_probability = min_p;
+    p.use_distance = false;
+    static char names[3][26];
+    static int idx = 0;
+    std::snprintf(names[idx], sizeof(names[idx]), "P >= %.2f", min_p);
+    rows.push_back({names[idx++], p});
+  }
+  {
+    classify::RejectionPolicy p;
+    p.use_probability = false;  // distance-only (default bound: dim^2/2)
+    rows.push_back({"distance only (default)", p});
+  }
+  {
+    classify::RejectionPolicy p;  // the paper's practical default
+    rows.push_back({"P >= 0.95 + distance", p});
+  }
+
+  for (const PolicyRow& row : rows) {
+    std::size_t good_accepted = 0;
+    std::size_t good_total = 0;
+    for (const auto& batch : good) {
+      for (const auto& sample : batch.samples) {
+        ++good_total;
+        const auto result = classifier.Classify(sample.gesture);
+        good_accepted += classify::ShouldReject(row.policy, result, dim) ? 0 : 1;
+      }
+    }
+    std::size_t garbage_rejected = 0;
+    std::size_t garbage_total = 0;
+    for (const auto& batch : garbage) {
+      for (const auto& sample : batch.samples) {
+        ++garbage_total;
+        const auto result = classifier.Classify(sample.gesture);
+        garbage_rejected += classify::ShouldReject(row.policy, result, dim) ? 1 : 0;
+      }
+    }
+    std::printf("%-26s %7.1f%% (%3zu/%zu) %8.1f%% (%3zu/%zu)\n", row.name,
+                100.0 * good_accepted / good_total, good_accepted, good_total,
+                100.0 * garbage_rejected / garbage_total, garbage_rejected, garbage_total);
+  }
+  std::printf("\nExpected shape: tightening the policy rejects more garbage at the cost\n");
+  std::printf("of some good gestures; the Mahalanobis bound catches outliers the\n");
+  std::printf("probability test misses (a foreign gesture can still win confidently).\n");
+  return 0;
+}

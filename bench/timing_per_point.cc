@@ -1,0 +1,150 @@
+// Reproduces the Section 5 timing paragraph with google-benchmark:
+//   "A fixed amount of computation needs to occur on each mouse point: first
+//    the feature vector must be updated (taking 0.5 msec on a DEC MicroVAX
+//    II), and then the vector must be classified by the AUC (taking 0.27
+//    msec per class, or 6 msec in the case of GDP)."
+// Absolute numbers on a modern laptop are ~1000x faster; the *structure*
+// that must hold: per-point work is O(1) in gesture length, and AUC
+// evaluation scales linearly with the number of AUC classes (2C).
+#include <benchmark/benchmark.h>
+
+#include "eager/eager_recognizer.h"
+#include "features/extractor.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+
+const eager::EagerRecognizer& GdpRecognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(synth::ToTrainingSet(synth::GenerateSet(synth::MakeGdpSpecs(), noise, 10, 1991)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+const eager::EagerRecognizer& DirRecognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(synth::ToTrainingSet(
+        synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, 10, 1991)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+// Paper: 0.5 ms/point on a MicroVAX II. The update must be O(1) per point —
+// benchmarked at two very different gesture lengths to demonstrate it.
+void BM_FeatureUpdatePerPoint(benchmark::State& state) {
+  const std::size_t gesture_len = static_cast<std::size_t>(state.range(0));
+  features::FeatureExtractor fx;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == gesture_len) {
+      state.PauseTiming();
+      fx.Reset();
+      i = 0;
+      state.ResumeTiming();
+    }
+    fx.AddPoint({static_cast<double>(i), static_cast<double>(i % 7), static_cast<double>(i)});
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureUpdatePerPoint)->Arg(16)->Arg(256)->Arg(4096);
+
+// Feature snapshot (13 reads): part of the per-point cost under eagerness.
+void BM_FeatureSnapshot(benchmark::State& state) {
+  features::FeatureExtractor fx;
+  for (int i = 0; i < 64; ++i) {
+    fx.AddPoint({static_cast<double>(i), 0.0, static_cast<double>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Features());
+  }
+}
+BENCHMARK(BM_FeatureSnapshot);
+
+// Paper: 0.27 ms per class for AUC evaluation. Benchmark D(s) for the
+// 8-direction set (2C = 16 sets) and GDP (2C = up to 22 sets); per-class
+// scaling should be roughly linear.
+void BM_AucEvaluateDirs8(benchmark::State& state) {
+  const auto& r = DirRecognizer();
+  linalg::Vector f(features::kNumFeatures);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.UnambiguousFeatures(f));
+  }
+}
+BENCHMARK(BM_AucEvaluateDirs8);
+
+void BM_AucEvaluateGdp(benchmark::State& state) {
+  const auto& r = GdpRecognizer();
+  linalg::Vector f(features::kNumFeatures);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.UnambiguousFeatures(f));
+  }
+}
+BENCHMARK(BM_AucEvaluateGdp);
+
+// Full classification (11 classes): the work done once per gesture at the
+// phase transition.
+void BM_FullClassifyGdp(benchmark::State& state) {
+  const auto& r = GdpRecognizer();
+  linalg::Vector f(features::kNumFeatures);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f[i] = static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.ClassifyFeatures(f));
+  }
+}
+BENCHMARK(BM_FullClassifyGdp);
+
+// The combined per-point cost with eager recognition on: update + D(s).
+void BM_EagerStreamPerPoint(benchmark::State& state) {
+  const auto& r = GdpRecognizer();
+  synth::NoiseModel noise;
+  synth::Rng rng(5);
+  const auto sample = synth::Generate(synth::MakeGdpSpecs()[3], noise, rng);
+  eager::EagerStream stream(r);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == sample.gesture.size()) {
+      state.PauseTiming();
+      stream.Reset();
+      i = 0;
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(stream.AddPoint(sample.gesture[i]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EagerStreamPerPoint);
+
+// Training cost: full pipeline (closed-form classifier + subgesture labeling
+// + move + AUC + tweak) for GDP at 10 examples/class.
+void BM_EagerTrainGdp(benchmark::State& state) {
+  synth::NoiseModel noise;
+  const auto training =
+      synth::ToTrainingSet(synth::GenerateSet(synth::MakeGdpSpecs(), noise, 10, 1991));
+  for (auto _ : state) {
+    eager::EagerRecognizer r;
+    r.Train(training);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EagerTrainGdp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

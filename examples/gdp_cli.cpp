@@ -1,0 +1,138 @@
+// A command-driven GDP: drive the full gesture pipeline from a script.
+//
+//   usage: gdp_cli [script-file]        (reads stdin when no file; runs a
+//                                        built-in demo when there is no input)
+// commands:
+//   gesture <class> <x> <y> [dragto <x> <y>]   draw a gesture at (x, y); the
+//                                              optional drag runs the
+//                                              manipulation phase
+//   render [cols rows]                         print the document
+//   log                                        print the interaction log
+//   stats                                      handler statistics
+//   save <path>                                save the trained recognizer
+//   learn <class>                              enter training mode: following
+//                                              gestures are recorded as
+//                                              examples of <class>
+//   endlearn                                   retrain with the new examples
+//   # ...                                      comment
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "gdp/app.h"
+#include "gdp/session.h"
+#include "io/serialize.h"
+
+using namespace grandma;
+
+namespace {
+
+const char* kDemoScript = R"(# built-in demo: the Figure 3 sequence
+gesture rectangle 40 200 dragto 130 140
+gesture ellipse 220 180 dragto 280 150
+gesture line 30 100 dragto 120 40
+gesture copy 60 80 dragto 240 60
+gesture delete 60 80
+render 72 22
+log
+stats
+)";
+
+int RunScript(gdp::GdpApp& app, std::istream& in) {
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream words(line);
+    std::string command;
+    if (!(words >> command) || command[0] == '#') {
+      continue;
+    }
+    if (command == "gesture") {
+      std::string cls;
+      double x = 0.0;
+      double y = 0.0;
+      if (!(words >> cls >> x >> y)) {
+        std::fprintf(stderr, "line %d: gesture <class> <x> <y>\n", line_number);
+        return 1;
+      }
+      std::string dragto;
+      double to_x = 0.0;
+      double to_y = 0.0;
+      std::string recognized;
+      if (words >> dragto && dragto == "dragto" && words >> to_x >> to_y) {
+        recognized = gdp::PlayGestureWithDrag(app, cls, x, y, to_x, to_y);
+      } else {
+        recognized = gdp::PlayGesture(app, cls, x, y, /*hold_ms=*/300.0);
+      }
+      std::printf("> gesture %s at (%g, %g): recognized %s\n", cls.c_str(), x, y,
+                  recognized.c_str());
+    } else if (command == "render") {
+      std::size_t cols = 72;
+      std::size_t rows = 22;
+      words >> cols >> rows;
+      std::printf("%s", app.RenderAscii(cols, rows).c_str());
+    } else if (command == "log") {
+      for (const std::string& entry : app.log()) {
+        std::printf("  %s\n", entry.c_str());
+      }
+    } else if (command == "stats") {
+      const auto& stats = app.gesture_handler().stats();
+      std::printf("recognized %zu (mouse-up %zu, dwell %zu, eager %zu), rejected %zu\n",
+                  stats.recognized, stats.mouseup_transitions, stats.timeout_transitions,
+                  stats.eager_transitions, stats.rejected);
+    } else if (command == "save") {
+      std::string path;
+      if (!(words >> path)) {
+        std::fprintf(stderr, "line %d: save <path>\n", line_number);
+        return 1;
+      }
+      const bool ok = io::SaveEagerRecognizerFile(app.recognizer(), path);
+      std::printf("> save %s: %s\n", path.c_str(), ok ? "ok" : "FAILED");
+    } else if (command == "learn") {
+      std::string cls;
+      if (!(words >> cls)) {
+        std::fprintf(stderr, "line %d: learn <class>\n", line_number);
+        return 1;
+      }
+      app.BeginTraining(cls);
+      std::printf("> learning '%s' (gestures are now recorded as examples)\n", cls.c_str());
+    } else if (command == "endlearn") {
+      if (app.EndTraining()) {
+        std::printf("> retrained: %zu classes\n", app.recognizer().num_classes());
+      } else {
+        std::printf("> retrain refused (need >= 3 examples)\n");
+      }
+    } else if (command == "quit") {
+      break;
+    } else {
+      std::fprintf(stderr, "line %d: unknown command '%s'\n", line_number, command.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("GDP (command-driven). Training the recognizer...\n");
+  gdp::GdpApp app;
+
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return RunScript(app, file);
+  }
+  if (std::cin.peek() == std::istream::traits_type::eof()) {
+    std::printf("(no input; running the built-in demo)\n");
+    std::istringstream demo(kDemoScript);
+    return RunScript(app, demo);
+  }
+  return RunScript(app, std::cin);
+}

@@ -1,0 +1,46 @@
+// A scripted GDP session: draws the paper's Figure 3 sequence — rectangle,
+// ellipse, line, group, copy, rotate-scale, delete — through the full
+// GRANDMA event pipeline (collection, 200 ms dwell transition, manipulation
+// with live feedback), rendering the document after each interaction.
+#include <cstdio>
+
+#include "gdp/app.h"
+#include "gdp/session.h"
+
+int main() {
+  using namespace grandma;
+
+  std::printf("Training the GDP recognizer (11 gesture classes)...\n");
+  gdp::GdpApp app;  // dwell-timeout transitions (eager off)
+
+  struct Step {
+    const char* title;
+    const char* gesture;
+    double x, y;        // gesture start
+    double to_x, to_y;  // manipulation drag target
+  };
+  const Step steps[] = {
+      {"Draw a rectangle, rubberbanding its corner", "rectangle", 40, 200, 130, 140},
+      {"Draw an ellipse, manipulating size and eccentricity", "ellipse", 220, 180, 280, 150},
+      {"Draw a line", "line", 30, 100, 120, 40},
+      {"Group the rectangle and ellipse... (enclosing stroke)", "group", 160, 230, 160, 230},
+      {"Copy the line, dragging the copy", "copy", 60, 80, 240, 60},
+      {"Rotate-scale the copy", "rotate-scale", 240, 60, 280, 100},
+      {"Delete the original line", "delete", 60, 80, 60, 80},
+  };
+
+  for (const Step& step : steps) {
+    std::printf("\n=== %s ===\n", step.title);
+    const std::string recognized =
+        gdp::PlayGestureWithDrag(app, step.gesture, step.x, step.y, step.to_x, step.to_y);
+    std::printf("recognized: %s (expected %s)\n", recognized.c_str(), step.gesture);
+    std::printf("%s", app.RenderAscii(72, 24).c_str());
+  }
+
+  std::printf("\nInteraction log:\n");
+  for (const std::string& line : app.log()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\nDocument has %zu top-level shapes.\n", app.document().size());
+  return 0;
+}

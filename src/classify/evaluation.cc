@@ -1,0 +1,126 @@
+#include "classify/evaluation.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace grandma::classify {
+
+void ConfusionMatrix::Record(ClassId actual, ClassId predicted) {
+  if (actual >= num_classes_ || predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::Record: class id out of range");
+  }
+  ++counts_[actual * num_classes_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(ClassId actual, ClassId predicted) const {
+  if (actual >= num_classes_ || predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::count: class id out of range");
+  }
+  return counts_[actual * num_classes_ + predicted];
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t sum = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    sum += counts_[c * num_classes_ + c];
+  }
+  return sum;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(correct()) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(ClassId c) const {
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    row_total += counts_[c * num_classes_ + p];
+  }
+  if (row_total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[c * num_classes_ + c]) / static_cast<double>(row_total);
+}
+
+std::string ConfusionMatrix::ToString(const ClassRegistry& registry) const {
+  std::ostringstream os;
+  std::size_t label_width = 8;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    label_width = std::max(label_width, registry.Name(c).size() + 1);
+  }
+  os << std::setw(static_cast<int>(label_width)) << "actual\\pred";
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    os << std::setw(8) << registry.Name(p).substr(0, 7);
+  }
+  os << "\n";
+  for (std::size_t a = 0; a < num_classes_; ++a) {
+    os << std::setw(static_cast<int>(label_width)) << registry.Name(a);
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      os << std::setw(8) << count(a, p);
+    }
+    os << "\n";
+  }
+  os << "accuracy: " << std::fixed << std::setprecision(4) << Accuracy() << " (" << correct()
+     << "/" << total_ << ")\n";
+  return os.str();
+}
+
+ConfusionMatrix EvaluateClassifier(const GestureClassifier& classifier,
+                                   const GestureTrainingSet& test) {
+  ConfusionMatrix cm(classifier.num_classes());
+  for (ClassId c = 0; c < test.num_classes(); ++c) {
+    for (const geom::Gesture& g : test.ExamplesOf(c)) {
+      cm.Record(c, classifier.Classify(g).class_id);
+    }
+  }
+  return cm;
+}
+
+CrossValidationResult CrossValidate(const GestureTrainingSet& data, std::size_t k,
+                                    const features::FeatureMask& mask) {
+  if (k < 2) {
+    throw std::invalid_argument("CrossValidate requires k >= 2");
+  }
+  for (ClassId c = 0; c < data.num_classes(); ++c) {
+    if (data.ExamplesOf(c).size() < k) {
+      throw std::invalid_argument("CrossValidate: class " + data.ClassName(c) +
+                                  " has fewer examples than folds");
+    }
+  }
+  CrossValidationResult result;
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    GestureTrainingSet train;
+    GestureTrainingSet test;
+    for (ClassId c = 0; c < data.num_classes(); ++c) {
+      const auto& examples = data.ExamplesOf(c);
+      const std::string& name = data.ClassName(c);
+      for (std::size_t e = 0; e < examples.size(); ++e) {
+        if (e % k == fold) {
+          test.Add(name, examples[e]);
+        } else {
+          train.Add(name, examples[e]);
+        }
+      }
+    }
+    GestureClassifier classifier;
+    classifier.Train(train, mask);
+    const double acc = EvaluateClassifier(classifier, test).Accuracy();
+    result.fold_accuracies.push_back(acc);
+    result.min_accuracy = std::min(result.min_accuracy, acc);
+    result.max_accuracy = std::max(result.max_accuracy, acc);
+  }
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) {
+    sum += a;
+  }
+  result.mean_accuracy = sum / static_cast<double>(result.fold_accuracies.size());
+  return result;
+}
+
+}  // namespace grandma::classify

@@ -1,0 +1,65 @@
+// Accuracy accounting used by the experiment harnesses: confusion matrices
+// and k-fold cross-validation over gesture training sets.
+#ifndef GRANDMA_SRC_CLASSIFY_EVALUATION_H_
+#define GRANDMA_SRC_CLASSIFY_EVALUATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "classify/training_set.h"
+
+namespace grandma::classify {
+
+// Counts of (actual, predicted) pairs.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  void Record(ClassId actual, ClassId predicted);
+
+  std::size_t count(ClassId actual, ClassId predicted) const;
+  std::size_t total() const { return total_; }
+  std::size_t correct() const;
+  // Fraction correct in [0, 1]; 0 when empty.
+  double Accuracy() const;
+  // Per-class recall: correct_c / total_c; 0 for empty classes.
+  double Recall(ClassId c) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+  // Fixed-width table with the given class names as labels.
+  std::string ToString(const ClassRegistry& registry) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Classifies every gesture in `test` with `classifier` (class ids must align,
+// e.g. test built with the same insertion order or the classifier's own
+// registry) and tallies the confusion matrix.
+ConfusionMatrix EvaluateClassifier(const GestureClassifier& classifier,
+                                   const GestureTrainingSet& test);
+
+// Result of one cross-validation run.
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;
+  double min_accuracy = 1.0;
+  double max_accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+// Deterministic k-fold cross-validation: splits each class's examples into k
+// contiguous folds (examples should already be in randomized order; the
+// synthetic generator's outputs are i.i.d.). Trains on k-1 folds, tests on
+// the held-out fold. Requires every class to have at least k examples.
+CrossValidationResult CrossValidate(const GestureTrainingSet& data, std::size_t k,
+                                    const features::FeatureMask& mask);
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_EVALUATION_H_

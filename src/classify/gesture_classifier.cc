@@ -1,0 +1,32 @@
+#include "classify/gesture_classifier.h"
+
+#include "features/extractor.h"
+
+namespace grandma::classify {
+
+double GestureClassifier::Train(const GestureTrainingSet& examples,
+                                const features::FeatureMask& mask) {
+  registry_ = examples.registry();
+  mask_ = mask;
+  return linear_.Train(ExtractFeatureSet(examples, mask));
+}
+
+Classification GestureClassifier::Classify(const geom::Gesture& g) const {
+  return ClassifyFeatures(features::ExtractFeatures(g));
+}
+
+Classification GestureClassifier::ClassifyFeatures(const linalg::Vector& full_features) const {
+  return linear_.Classify(mask_.Project(full_features));
+}
+
+GestureClassifier GestureClassifier::FromParameters(ClassRegistry registry,
+                                                    features::FeatureMask mask,
+                                                    LinearClassifier linear) {
+  GestureClassifier out;
+  out.registry_ = std::move(registry);
+  out.mask_ = mask;
+  out.linear_ = std::move(linear);
+  return out;
+}
+
+}  // namespace grandma::classify

@@ -1,0 +1,51 @@
+// The gesture-level recognizer applications use: feature extraction + mask +
+// linear classifier + class names, as one value.
+#ifndef GRANDMA_SRC_CLASSIFY_GESTURE_CLASSIFIER_H_
+#define GRANDMA_SRC_CLASSIFY_GESTURE_CLASSIFIER_H_
+
+#include <string>
+
+#include "classify/linear_classifier.h"
+#include "classify/training_set.h"
+#include "features/feature_vector.h"
+#include "geom/gesture.h"
+
+namespace grandma::classify {
+
+// Full-gesture classifier C(g) (Section 4.2). Immutable after Train.
+class GestureClassifier {
+ public:
+  GestureClassifier() = default;
+
+  // Trains on `examples` using the features selected by `mask`.
+  // Returns the covariance-repair ridge used (0.0 normally).
+  double Train(const GestureTrainingSet& examples,
+               const features::FeatureMask& mask = features::FeatureMask::All());
+
+  bool trained() const { return linear_.trained(); }
+  std::size_t num_classes() const { return linear_.num_classes(); }
+
+  // Classifies a complete gesture.
+  Classification Classify(const geom::Gesture& g) const;
+  // Classifies an already-extracted (unmasked, 13-entry) feature vector.
+  Classification ClassifyFeatures(const linalg::Vector& full_features) const;
+
+  const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
+  const ClassRegistry& registry() const { return registry_; }
+  const features::FeatureMask& mask() const { return mask_; }
+  const LinearClassifier& linear() const { return linear_; }
+  LinearClassifier& mutable_linear() { return linear_; }
+
+  // Reassembles a classifier from persisted parameters (io::serialize).
+  static GestureClassifier FromParameters(ClassRegistry registry, features::FeatureMask mask,
+                                          LinearClassifier linear);
+
+ private:
+  ClassRegistry registry_;
+  features::FeatureMask mask_;
+  LinearClassifier linear_;
+};
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_GESTURE_CLASSIFIER_H_

@@ -1,0 +1,137 @@
+#include "classify/linear_classifier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace grandma::classify {
+
+double LinearClassifier::Train(const FeatureTrainingSet& data) {
+  const std::size_t num_classes = data.num_classes();
+  if (num_classes < 2) {
+    throw std::invalid_argument("LinearClassifier::Train needs at least two classes");
+  }
+  const std::size_t dim = data.dimension();
+  if (dim == 0) {
+    throw std::invalid_argument("LinearClassifier::Train: empty training data");
+  }
+  if (data.total_examples() <= num_classes) {
+    throw std::invalid_argument(
+        "LinearClassifier::Train: need more examples than classes for the pooled covariance");
+  }
+
+  std::vector<linalg::Vector> means;
+  means.reserve(num_classes);
+  linalg::PooledCovariance pooled(dim);
+  for (ClassId c = 0; c < num_classes; ++c) {
+    const auto& examples = data.ExamplesOf(c);
+    if (examples.empty()) {
+      throw std::invalid_argument("LinearClassifier::Train: class " + std::to_string(c) +
+                                  " has no examples");
+    }
+    linalg::ScatterAccumulator scatter(dim);
+    for (const linalg::Vector& f : examples) {
+      if (f.size() != dim) {
+        throw std::invalid_argument("LinearClassifier::Train: inconsistent dimensions");
+      }
+      scatter.Add(f);
+    }
+    means.push_back(scatter.Mean());
+    pooled.AddClass(scatter);
+  }
+
+  const linalg::Matrix sigma = pooled.Estimate();
+  double ridge_used = 0.0;
+  auto inverse = linalg::InvertCovarianceWithRepair(sigma, /*initial_ridge=*/1e-8,
+                                                    /*max_ridge=*/1e6, &ridge_used);
+  if (!inverse.has_value()) {
+    throw std::runtime_error("LinearClassifier::Train: covariance repair failed");
+  }
+
+  weights_.clear();
+  biases_.clear();
+  means_ = std::move(means);
+  inverse_covariance_ = std::move(*inverse);
+  weights_.reserve(num_classes);
+  biases_.reserve(num_classes);
+  for (ClassId c = 0; c < num_classes; ++c) {
+    linalg::Vector w = linalg::Multiply(inverse_covariance_, means_[c]);
+    const double bias = -0.5 * linalg::Dot(w, means_[c]);
+    weights_.push_back(std::move(w));
+    biases_.push_back(bias);
+  }
+  return ridge_used;
+}
+
+std::vector<double> LinearClassifier::Evaluate(const linalg::Vector& f) const {
+  if (!trained()) {
+    throw std::logic_error("LinearClassifier::Evaluate before Train");
+  }
+  if (f.size() != dimension()) {
+    throw std::invalid_argument("LinearClassifier::Evaluate: dimension mismatch");
+  }
+  std::vector<double> scores(num_classes());
+  for (ClassId c = 0; c < num_classes(); ++c) {
+    scores[c] = biases_[c] + linalg::Dot(weights_[c], f);
+  }
+  return scores;
+}
+
+Classification LinearClassifier::Classify(const linalg::Vector& f) const {
+  const std::vector<double> scores = Evaluate(f);
+  ClassId best = 0;
+  for (ClassId c = 1; c < scores.size(); ++c) {
+    if (scores[c] > scores[best]) {
+      best = c;
+    }
+  }
+  Classification result;
+  result.class_id = best;
+  result.score = scores[best];
+  result.probability = RecognitionProbability(scores, best);
+  result.mahalanobis_squared = MahalanobisSquared(f, best);
+  return result;
+}
+
+double LinearClassifier::MahalanobisSquared(const linalg::Vector& f, ClassId c) const {
+  return MahalanobisSquaredBetween(f, means_.at(c));
+}
+
+double LinearClassifier::MahalanobisSquaredBetween(const linalg::Vector& a,
+                                                   const linalg::Vector& b) const {
+  if (!trained()) {
+    throw std::logic_error("LinearClassifier::MahalanobisSquaredBetween before Train");
+  }
+  const linalg::Vector d = a - b;
+  return linalg::QuadraticForm(d, inverse_covariance_, d);
+}
+
+void LinearClassifier::AdjustBias(ClassId c, double delta) { biases_.at(c) += delta; }
+
+LinearClassifier LinearClassifier::FromParameters(std::vector<linalg::Vector> weights,
+                                                  std::vector<double> biases,
+                                                  std::vector<linalg::Vector> means,
+                                                  linalg::Matrix inverse_covariance) {
+  if (weights.size() != biases.size() || weights.size() != means.size()) {
+    throw std::invalid_argument("LinearClassifier::FromParameters: inconsistent sizes");
+  }
+  LinearClassifier out;
+  out.weights_ = std::move(weights);
+  out.biases_ = std::move(biases);
+  out.means_ = std::move(means);
+  out.inverse_covariance_ = std::move(inverse_covariance);
+  return out;
+}
+
+double RecognitionProbability(const std::vector<double>& scores, ClassId winner) {
+  const double v_i = scores.at(winner);
+  double denom = 0.0;
+  for (double v_j : scores) {
+    denom += std::exp(v_j - v_i);
+  }
+  return 1.0 / denom;
+}
+
+}  // namespace grandma::classify

@@ -1,0 +1,94 @@
+// Rubine's statistical single-stroke classifier (Section 4.2): one linear
+// evaluation function per class over the feature vector, trained in closed
+// form under a shared-covariance Gaussian model. This is the "full
+// classifier" C of the paper, and — trained on subgesture sets — also the
+// ambiguous/unambiguous classifier of Section 4.6.
+#ifndef GRANDMA_SRC_CLASSIFY_LINEAR_CLASSIFIER_H_
+#define GRANDMA_SRC_CLASSIFY_LINEAR_CLASSIFIER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/training_set.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace grandma::classify {
+
+// The outcome of classifying one feature vector.
+struct Classification {
+  ClassId class_id = 0;
+  // Winning evaluation v_c = w_c0 + w_c . f.
+  double score = 0.0;
+  // Rubine's estimate of P(correct): 1 / sum_j exp(v_j - v_i). Near 1 when
+  // the winner dominates, near 1/C when all classes tie.
+  double probability = 0.0;
+  // Squared Mahalanobis distance from f to the winning class mean; large
+  // values flag outliers that belong to no trained class.
+  double mahalanobis_squared = 0.0;
+};
+
+// Linear discriminator with per-class weights and biases.
+//
+// Training (closed form, optimal under per-class Gaussians with a common
+// covariance): per-class mean feature vectors mu_c, pooled covariance Sigma,
+// weights w_c = Sigma^-1 mu_c and constant w_c0 = -1/2 mu_c^T Sigma^-1 mu_c.
+// A singular Sigma (linearly dependent features in the training data) is
+// repaired with escalating ridge terms; see linalg::InvertCovarianceWithRepair.
+class LinearClassifier {
+ public:
+  LinearClassifier() = default;
+
+  // Trains on `data`. Every class needs at least one example and the total
+  // example count must exceed the class count (for the pooled covariance to
+  // have positive degrees of freedom); throws std::invalid_argument
+  // otherwise. Returns the ridge magnitude used to repair the covariance
+  // (0.0 when none was needed).
+  double Train(const FeatureTrainingSet& data);
+
+  bool trained() const { return !weights_.empty(); }
+  std::size_t num_classes() const { return weights_.size(); }
+  std::size_t dimension() const { return trained() ? weights_.front().size() : 0; }
+
+  // Per-class evaluations v_c(f). Requires trained().
+  std::vector<double> Evaluate(const linalg::Vector& f) const;
+
+  // argmax over Evaluate(f), with probability and Mahalanobis diagnostics.
+  Classification Classify(const linalg::Vector& f) const;
+
+  // Squared Mahalanobis distance (f - mu_c)^T Sigma^-1 (f - mu_c).
+  double MahalanobisSquared(const linalg::Vector& f, ClassId c) const;
+  // Squared Mahalanobis distance between two arbitrary points under the
+  // trained common covariance. The eager trainer measures set-mean to
+  // set-mean distances with this.
+  double MahalanobisSquaredBetween(const linalg::Vector& a, const linalg::Vector& b) const;
+
+  // Misclassification-cost biasing (Section 4.2): adds `delta` to class c's
+  // constant term, making c more (delta > 0) or less (delta < 0) likely.
+  void AdjustBias(ClassId c, double delta);
+
+  double bias(ClassId c) const { return biases_.at(c); }
+  const linalg::Vector& weights(ClassId c) const { return weights_.at(c); }
+  const linalg::Vector& mean(ClassId c) const { return means_.at(c); }
+  const linalg::Matrix& inverse_covariance() const { return inverse_covariance_; }
+
+  // Direct constructor from already-computed parameters (used by io::).
+  static LinearClassifier FromParameters(std::vector<linalg::Vector> weights,
+                                         std::vector<double> biases,
+                                         std::vector<linalg::Vector> means,
+                                         linalg::Matrix inverse_covariance);
+
+ private:
+  std::vector<linalg::Vector> weights_;  // w_c, one per class
+  std::vector<double> biases_;           // w_c0
+  std::vector<linalg::Vector> means_;    // mu_c
+  linalg::Matrix inverse_covariance_;    // Sigma^-1
+};
+
+// Computes Rubine's P(correct) estimate given all per-class scores and the
+// index of the winner.
+double RecognitionProbability(const std::vector<double>& scores, ClassId winner);
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_LINEAR_CLASSIFIER_H_

@@ -1,0 +1,150 @@
+#include "classify/multistroke.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "features/extractor.h"
+#include "features/feature_vector.h"
+
+namespace grandma::classify {
+
+linalg::Vector ExtractMultiStrokeFeatures(const StrokeSequence& strokes) {
+  linalg::Vector out(kMultiStrokeFeatureCount);
+  if (strokes.empty()) {
+    return out;
+  }
+
+  // Per-stroke Rubine features; stroke-local sums merge, globals recompute.
+  bool have_any = false;
+  geom::BoundingBox box{};
+  double path_length = 0.0;
+  double total_angle = 0.0;
+  double total_abs_angle = 0.0;
+  double sharpness = 0.0;
+  double max_speed_sq = 0.0;
+  const geom::Gesture* first_stroke = nullptr;
+  const geom::Gesture* last_stroke = nullptr;
+  double t_first = 0.0;
+  double t_last = 0.0;
+
+  for (const geom::Gesture& stroke : strokes) {
+    if (stroke.empty()) {
+      continue;
+    }
+    const linalg::Vector f = features::ExtractFeatures(stroke);
+    path_length += f[features::kPathLength];
+    total_angle += f[features::kTotalAngle];
+    total_abs_angle += f[features::kTotalAbsAngle];
+    sharpness += f[features::kSharpness];
+    max_speed_sq = std::max(max_speed_sq, f[features::kMaxSpeedSquared]);
+
+    const geom::BoundingBox sb = stroke.Bounds();
+    if (!have_any) {
+      box = sb;
+      first_stroke = &stroke;
+      t_first = stroke.front().t;
+      have_any = true;
+    } else {
+      box.min_x = std::min(box.min_x, sb.min_x);
+      box.min_y = std::min(box.min_y, sb.min_y);
+      box.max_x = std::max(box.max_x, sb.max_x);
+      box.max_y = std::max(box.max_y, sb.max_y);
+    }
+    last_stroke = &stroke;
+    t_last = stroke.back().t;
+  }
+  if (!have_any) {
+    return out;
+  }
+
+  // Initial angle: from the first stroke (its own third-point anchor).
+  const linalg::Vector first_features = features::ExtractFeatures(*first_stroke);
+  out[features::kInitialCos] = first_features[features::kInitialCos];
+  out[features::kInitialSin] = first_features[features::kInitialSin];
+
+  out[features::kBboxDiagonal] = box.DiagonalLength();
+  const double bw = box.max_x - box.min_x;
+  const double bh = box.max_y - box.min_y;
+  out[features::kBboxAngle] = (bw != 0.0 || bh != 0.0) ? std::atan2(bh, bw) : 0.0;
+
+  const double ex = last_stroke->back().x - first_stroke->front().x;
+  const double ey = last_stroke->back().y - first_stroke->front().y;
+  const double e = std::sqrt(ex * ex + ey * ey);
+  out[features::kStartEndDistance] = e;
+  if (e > 0.0) {
+    out[features::kStartEndCos] = ex / e;
+    out[features::kStartEndSin] = ey / e;
+  }
+
+  out[features::kPathLength] = path_length;
+  out[features::kTotalAngle] = total_angle;
+  out[features::kTotalAbsAngle] = total_abs_angle;
+  out[features::kSharpness] = sharpness;
+  out[features::kMaxSpeedSquared] = max_speed_sq;
+  out[features::kDuration] = t_last - t_first;
+
+  std::size_t stroke_count = 0;
+  for (const geom::Gesture& stroke : strokes) {
+    stroke_count += stroke.empty() ? 0 : 1;
+  }
+  out[13] = static_cast<double>(stroke_count);
+  return out;
+}
+
+ClassId MultiStrokeTrainingSet::Add(std::string_view class_name, StrokeSequence strokes) {
+  const ClassId id = registry_.Intern(class_name);
+  if (examples_.size() <= id) {
+    examples_.resize(id + 1);
+  }
+  examples_[id].push_back(std::move(strokes));
+  return id;
+}
+
+std::size_t MultiStrokeTrainingSet::total_examples() const {
+  std::size_t total = 0;
+  for (const auto& per_class : examples_) {
+    total += per_class.size();
+  }
+  return total;
+}
+
+double MultiStrokeClassifier::Train(const MultiStrokeTrainingSet& examples) {
+  registry_ = examples.registry();
+  FeatureTrainingSet data(examples.num_classes());
+  for (ClassId c = 0; c < examples.num_classes(); ++c) {
+    for (const StrokeSequence& strokes : examples.ExamplesOf(c)) {
+      data.Add(c, ExtractMultiStrokeFeatures(strokes));
+    }
+  }
+  return linear_.Train(data);
+}
+
+Classification MultiStrokeClassifier::Classify(const StrokeSequence& strokes) const {
+  return linear_.Classify(ExtractMultiStrokeFeatures(strokes));
+}
+
+StrokeSequence MultiStrokeCollector::AddStroke(geom::Gesture stroke) {
+  if (stroke.empty()) {
+    return {};
+  }
+  StrokeSequence completed;
+  if (!pending_.empty() && stroke.front().t - last_end_time_ > timeout_ms_) {
+    completed = std::move(pending_);
+    pending_.clear();
+  }
+  last_end_time_ = stroke.back().t;
+  pending_.push_back(std::move(stroke));
+  return completed;
+}
+
+StrokeSequence MultiStrokeCollector::Poll(double now_ms) {
+  if (pending_.empty() || now_ms - last_end_time_ <= timeout_ms_) {
+    return {};
+  }
+  StrokeSequence completed = std::move(pending_);
+  pending_.clear();
+  return completed;
+}
+
+}  // namespace grandma::classify

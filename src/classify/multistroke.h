@@ -1,0 +1,106 @@
+// Multi-stroke gestures — the paper's acknowledged limitation ("the major
+// drawback is that many common marks (e.g. 'X' and '=>') cannot be used as
+// gestures") and listed future work. This adapter extends the single-stroke
+// statistical recognizer to stroke sequences, in the spirit of the
+// techniques the paper cites [8, 15]:
+//   - strokes that begin within an inter-stroke timeout of the previous
+//     stroke's end belong to the same gesture (the collector),
+//   - the feature vector combines the Rubine features of the individual
+//     strokes (pen-up travel excluded from path/turning sums) plus the
+//     stroke count,
+//   - training/classification reuse the closed-form linear machinery.
+#ifndef GRANDMA_SRC_CLASSIFY_MULTISTROKE_H_
+#define GRANDMA_SRC_CLASSIFY_MULTISTROKE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/linear_classifier.h"
+#include "classify/training_set.h"
+#include "geom/gesture.h"
+#include "linalg/vector.h"
+
+namespace grandma::classify {
+
+// An ordered sequence of strokes forming one gesture.
+using StrokeSequence = std::vector<geom::Gesture>;
+
+// Combined features of a stroke sequence:
+//   [0..12]  Rubine features merged across strokes: initial angle from the
+//            first stroke; bbox and start-to-end displacement global; path
+//            length / turning sums added per stroke (pen-up travel ignored);
+//            max speed over strokes; duration from first point to last.
+//   [13]     number of strokes.
+inline constexpr std::size_t kMultiStrokeFeatureCount = 14;
+
+linalg::Vector ExtractMultiStrokeFeatures(const StrokeSequence& strokes);
+
+// Labeled multi-stroke examples grouped by class.
+class MultiStrokeTrainingSet {
+ public:
+  ClassId Add(std::string_view class_name, StrokeSequence strokes);
+
+  std::size_t num_classes() const { return registry_.size(); }
+  std::size_t total_examples() const;
+  const std::vector<StrokeSequence>& ExamplesOf(ClassId c) const { return examples_.at(c); }
+  const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
+  const ClassRegistry& registry() const { return registry_; }
+
+ private:
+  ClassRegistry registry_;
+  std::vector<std::vector<StrokeSequence>> examples_;
+};
+
+class MultiStrokeClassifier {
+ public:
+  MultiStrokeClassifier() = default;
+
+  double Train(const MultiStrokeTrainingSet& examples);
+
+  bool trained() const { return linear_.trained(); }
+  std::size_t num_classes() const { return linear_.num_classes(); }
+
+  Classification Classify(const StrokeSequence& strokes) const;
+
+  const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
+  const LinearClassifier& linear() const { return linear_; }
+
+ private:
+  ClassRegistry registry_;
+  LinearClassifier linear_;
+};
+
+// Groups incoming strokes into gestures by time: a stroke starting more than
+// `inter_stroke_timeout_ms` after the previous stroke ended starts a new
+// gesture. Feed strokes in order; Poll with the current clock to learn when
+// the pending gesture is complete.
+class MultiStrokeCollector {
+ public:
+  explicit MultiStrokeCollector(double inter_stroke_timeout_ms = 400.0)
+      : timeout_ms_(inter_stroke_timeout_ms) {}
+
+  // Adds a finished stroke. Returns the *previous* gesture when this stroke
+  // started too late to join it (the caller classifies the returned
+  // sequence); returns an empty sequence otherwise.
+  StrokeSequence AddStroke(geom::Gesture stroke);
+
+  // If the pending gesture has been idle past the timeout at `now_ms`,
+  // returns and clears it; empty sequence otherwise.
+  StrokeSequence Poll(double now_ms);
+
+  // The gesture being collected (e.g. for inking).
+  const StrokeSequence& pending() const { return pending_; }
+  bool HasPending() const { return !pending_.empty(); }
+  double timeout_ms() const { return timeout_ms_; }
+
+ private:
+  double timeout_ms_;
+  StrokeSequence pending_;
+  double last_end_time_ = 0.0;
+};
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_MULTISTROKE_H_

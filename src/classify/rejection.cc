@@ -1,0 +1,31 @@
+#include "classify/rejection.h"
+
+namespace grandma::classify {
+
+RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classification& result,
+                               std::size_t dimension) {
+  if (policy.use_probability && result.probability < policy.min_probability) {
+    return RejectReason::kLowProbability;
+  }
+  if (policy.use_distance) {
+    double limit = policy.max_mahalanobis_squared;
+    if (limit <= 0.0) {
+      // Default bound grows with dimension: half the squared dimension is
+      // comfortably beyond the bulk of a chi-squared(dimension) distribution
+      // for the feature counts used here.
+      const double d = static_cast<double>(dimension);
+      limit = 0.5 * d * d;
+    }
+    if (result.mahalanobis_squared > limit) {
+      return RejectReason::kOutlierDistance;
+    }
+  }
+  return RejectReason::kAccepted;
+}
+
+bool ShouldReject(const RejectionPolicy& policy, const Classification& result,
+                  std::size_t dimension) {
+  return EvaluateRejection(policy, result, dimension) != RejectReason::kAccepted;
+}
+
+}  // namespace grandma::classify

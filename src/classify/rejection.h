@@ -1,0 +1,41 @@
+// Rejection policy: when should the recognizer decline to name a class at
+// all? Rubine's recognizer rejects on (a) low estimated probability of
+// correct classification and (b) feature vectors far (in Mahalanobis terms)
+// from every class mean. GDP treats a rejected gesture as a no-op.
+#ifndef GRANDMA_SRC_CLASSIFY_REJECTION_H_
+#define GRANDMA_SRC_CLASSIFY_REJECTION_H_
+
+#include "classify/linear_classifier.h"
+
+namespace grandma::classify {
+
+struct RejectionPolicy {
+  // Reject when P(correct) estimate falls below this. Rubine suggests 0.95.
+  double min_probability = 0.95;
+  // Reject when the squared Mahalanobis distance to the winning class mean
+  // exceeds this. The dissertation's rule of thumb is ~ (dimension/2)^2 * 4 —
+  // we default to a generous half-F-squared bound computed from dimension at
+  // check time when this is <= 0.
+  double max_mahalanobis_squared = 0.0;
+  // Disable either test.
+  bool use_probability = true;
+  bool use_distance = true;
+};
+
+enum class RejectReason {
+  kAccepted,
+  kLowProbability,
+  kOutlierDistance,
+};
+
+// Applies `policy` to an already-computed classification of `f`.
+RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classification& result,
+                               std::size_t dimension);
+
+// True when the result should be rejected.
+bool ShouldReject(const RejectionPolicy& policy, const Classification& result,
+                  std::size_t dimension);
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_REJECTION_H_

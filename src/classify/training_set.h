@@ -1,0 +1,89 @@
+// Labeled example containers for classifier training: a name<->id registry,
+// a gesture-level training set (what applications collect), and a
+// feature-level training set (what the trainers consume; the eager trainer
+// also builds these directly from subgesture feature vectors).
+#ifndef GRANDMA_SRC_CLASSIFY_TRAINING_SET_H_
+#define GRANDMA_SRC_CLASSIFY_TRAINING_SET_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "geom/gesture.h"
+#include "linalg/vector.h"
+
+namespace grandma::classify {
+
+// Class id: dense index 0..C-1 as the paper's c subscript.
+using ClassId = std::size_t;
+
+// Bidirectional mapping between class names and dense ids.
+class ClassRegistry {
+ public:
+  // Returns the id of `name`, interning it if new.
+  ClassId Intern(std::string_view name);
+
+  // Id lookup without interning; throws std::out_of_range when absent.
+  ClassId Require(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  const std::string& Name(ClassId id) const;
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ClassId> ids_;
+};
+
+// Gestures grouped by class — the g_ce of Section 4.2.
+class GestureTrainingSet {
+ public:
+  ClassId Add(std::string_view class_name, geom::Gesture gesture);
+
+  std::size_t num_classes() const { return registry_.size(); }
+  // Total number of examples across classes.
+  std::size_t total_examples() const;
+
+  const std::vector<geom::Gesture>& ExamplesOf(ClassId c) const { return examples_.at(c); }
+  const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
+  const ClassRegistry& registry() const { return registry_; }
+
+ private:
+  ClassRegistry registry_;
+  std::vector<std::vector<geom::Gesture>> examples_;
+};
+
+// Feature vectors grouped by class; all vectors must share one dimension.
+class FeatureTrainingSet {
+ public:
+  FeatureTrainingSet() = default;
+  explicit FeatureTrainingSet(std::size_t num_classes) : examples_(num_classes) {}
+
+  // Grows the class list to at least c+1 classes and appends the example.
+  void Add(ClassId c, linalg::Vector features);
+
+  std::size_t num_classes() const { return examples_.size(); }
+  std::size_t total_examples() const;
+  // Dimension of the feature vectors; 0 when empty.
+  std::size_t dimension() const;
+
+  const std::vector<linalg::Vector>& ExamplesOf(ClassId c) const { return examples_.at(c); }
+
+  // True when every class has at least `n` examples.
+  bool EveryClassHasAtLeast(std::size_t n) const;
+
+ private:
+  std::vector<std::vector<linalg::Vector>> examples_;
+};
+
+// Extracts (masked) features of every gesture in `gestures`, preserving the
+// class grouping.
+FeatureTrainingSet ExtractFeatureSet(const GestureTrainingSet& gestures,
+                                     const features::FeatureMask& mask);
+
+}  // namespace grandma::classify
+
+#endif  // GRANDMA_SRC_CLASSIFY_TRAINING_SET_H_

@@ -1,0 +1,119 @@
+#include "eager/accidental_mover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/stats.h"
+
+namespace grandma::eager {
+
+namespace {
+
+// Index and distance of the nearest non-empty incomplete set to `features`.
+struct Nearest {
+  int set = -1;
+  double distance = std::numeric_limits<double>::infinity();
+};
+
+Nearest NearestIncompleteSet(const classify::GestureClassifier& full,
+                             const std::vector<std::optional<linalg::Vector>>& means,
+                             const linalg::Vector& features) {
+  Nearest best;
+  for (std::size_t k = 0; k < means.size(); ++k) {
+    if (!means[k].has_value()) {
+      continue;
+    }
+    const double d = full.linear().MahalanobisSquaredBetween(features, *means[k]);
+    if (d < best.distance) {
+      best.distance = d;
+      best.set = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::optional<linalg::Vector>> IncompleteSetMeans(
+    const SubgesturePartition& partition) {
+  std::vector<std::optional<linalg::Vector>> means(partition.incomplete_sets.size());
+  for (std::size_t k = 0; k < partition.incomplete_sets.size(); ++k) {
+    const auto& set = partition.incomplete_sets[k];
+    if (set.empty()) {
+      continue;
+    }
+    linalg::MeanAccumulator acc(set.front().features.size());
+    for (const LabeledSubgesture& sub : set) {
+      acc.Add(sub.features);
+    }
+    means[k] = acc.Mean();
+  }
+  return means;
+}
+
+MoverReport MoveAccidentallyComplete(const classify::GestureClassifier& full,
+                                     SubgesturePartition& partition,
+                                     const MoverOptions& options) {
+  MoverReport report;
+  const auto means = IncompleteSetMeans(partition);
+
+  // Compute the threshold: 50% of the minimum distance from any full-class
+  // mean to any incomplete-set mean, excluding distances under the floor.
+  std::vector<double> distances;
+  for (classify::ClassId c = 0; c < full.num_classes(); ++c) {
+    for (const auto& mean : means) {
+      if (!mean.has_value()) {
+        continue;
+      }
+      distances.push_back(full.linear().MahalanobisSquaredBetween(full.linear().mean(c), *mean));
+    }
+  }
+  if (distances.empty()) {
+    return report;  // No incomplete sets at all; nothing can move.
+  }
+  const double max_distance = *std::max_element(distances.begin(), distances.end());
+  const double floor = options.floor_fraction * max_distance;
+  double min_distance = std::numeric_limits<double>::infinity();
+  for (double d : distances) {
+    if (d < floor) {
+      ++report.floored_out;
+      continue;
+    }
+    min_distance = std::min(min_distance, d);
+  }
+  if (!std::isfinite(min_distance)) {
+    // Everything was floored out — degenerate; fall back to the raw minimum
+    // so the rule still produces some threshold.
+    min_distance = *std::min_element(distances.begin(), distances.end());
+  }
+  report.min_distance = min_distance;
+  report.threshold = options.threshold_fraction * min_distance;
+
+  // Walk each gesture's complete subgestures from largest (the full gesture)
+  // to smallest; once one is accidentally complete, it and every smaller
+  // complete subgesture move to their nearest incomplete sets.
+  for (GestureSubgestures& gesture : partition.per_gesture) {
+    bool moving = false;
+    for (std::size_t k = gesture.subgestures.size(); k-- > 0;) {
+      LabeledSubgesture& sub = gesture.subgestures[k];
+      if (!sub.EffectivelyComplete()) {
+        continue;
+      }
+      const Nearest nearest = NearestIncompleteSet(full, means, sub.features);
+      if (nearest.set < 0) {
+        break;  // No incomplete set to move into.
+      }
+      if (!moving && nearest.distance < report.threshold) {
+        moving = true;
+      }
+      if (moving) {
+        sub.moved_to_incomplete = nearest.set;
+        ++report.moved;
+      }
+    }
+  }
+  RebuildSets(partition);
+  return report;
+}
+
+}  // namespace grandma::eager

@@ -1,0 +1,58 @@
+// Section 4.5: accidentally complete subgestures — prefixes that happen to
+// classify correctly even though they are still ambiguous (e.g. the
+// horizontal strokes of a D gesture that the full classifier already calls
+// D) — are detected by their Mahalanobis similarity to incomplete sets and
+// moved into the nearest incomplete set.
+#ifndef GRANDMA_SRC_EAGER_ACCIDENTAL_MOVER_H_
+#define GRANDMA_SRC_EAGER_ACCIDENTAL_MOVER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "eager/subgesture_labeler.h"
+#include "linalg/vector.h"
+
+namespace grandma::eager {
+
+struct MoverOptions {
+  // The paper's rule: the move threshold is 50% of the minimum distance from
+  // any full-gesture-class mean to any incomplete-set mean.
+  double threshold_fraction = 0.5;
+  // Full-class-to-incomplete-set distances below this fraction of the
+  // *largest* such distance are excluded from the minimum, "to avoid trouble
+  // when an incomplete subgesture looks like a full gesture of a different
+  // class" (the U/D/right-stroke situation). The paper leaves the floor
+  // unspecified; a relative floor keeps the rule unit-free.
+  double floor_fraction = 0.05;
+};
+
+struct MoverReport {
+  // The squared-Mahalanobis move threshold actually used (0 = no moves
+  // possible, e.g. no incomplete subgestures existed).
+  double threshold = 0.0;
+  // The minimum full-to-incomplete distance before halving.
+  double min_distance = 0.0;
+  // How many distances the floor excluded from the minimum.
+  std::size_t floored_out = 0;
+  // Number of subgestures moved into incomplete sets.
+  std::size_t moved = 0;
+};
+
+// Means of the current incomplete sets; entries are nullopt for empty sets.
+std::vector<std::optional<linalg::Vector>> IncompleteSetMeans(
+    const SubgesturePartition& partition);
+
+// Applies the move rule to `partition` in place (sets are rebuilt before
+// returning). `full` supplies the Mahalanobis metric and the full-class
+// means. Walks each training gesture's complete subgestures from largest to
+// smallest; once one is found accidentally complete, it and all smaller
+// complete subgestures move to their nearest incomplete sets.
+MoverReport MoveAccidentallyComplete(const classify::GestureClassifier& full,
+                                     SubgesturePartition& partition,
+                                     const MoverOptions& options = {});
+
+}  // namespace grandma::eager
+
+#endif  // GRANDMA_SRC_EAGER_ACCIDENTAL_MOVER_H_

@@ -1,0 +1,142 @@
+#include "eager/auc.h"
+
+#include <stdexcept>
+
+namespace grandma::eager {
+
+AucTrainReport Auc::Train(const SubgesturePartition& partition, const AucOptions& options) {
+  AucTrainReport report;
+  sets_.clear();
+  linear_ = classify::LinearClassifier();
+
+  // Gather the non-empty sets into a dense AUC class list; complete sets
+  // first, then incomplete, each remembering its full-classifier class.
+  classify::FeatureTrainingSet data;
+  std::size_t next_id = 0;
+  bool any_complete = false;
+  bool any_incomplete = false;
+  for (classify::ClassId c = 0; c < partition.num_classes(); ++c) {
+    if (partition.complete_sets[c].empty()) {
+      continue;
+    }
+    any_complete = true;
+    sets_.push_back(SetInfo{/*complete=*/true, c});
+    for (const LabeledSubgesture& sub : partition.complete_sets[c]) {
+      data.Add(next_id, sub.features);
+    }
+    ++next_id;
+  }
+  for (classify::ClassId c = 0; c < partition.num_classes(); ++c) {
+    if (partition.incomplete_sets[c].empty()) {
+      continue;
+    }
+    any_incomplete = true;
+    sets_.push_back(SetInfo{/*complete=*/false, c});
+    for (const LabeledSubgesture& sub : partition.incomplete_sets[c]) {
+      data.Add(next_id, sub.features);
+    }
+    ++next_id;
+  }
+
+  if (!any_complete && !any_incomplete) {
+    throw std::invalid_argument("Auc::Train: empty partition");
+  }
+  if (!any_incomplete) {
+    mode_ = Mode::kAlwaysUnambiguous;
+    report.degenerate = true;
+    return report;
+  }
+  if (!any_complete) {
+    mode_ = Mode::kAlwaysAmbiguous;
+    report.degenerate = true;
+    return report;
+  }
+
+  report.ridge_used = linear_.Train(data);
+  mode_ = Mode::kNormal;
+
+  // Conservative bias: ambiguous five times more likely a priori.
+  for (classify::ClassId k = 0; k < sets_.size(); ++k) {
+    if (!sets_[k].complete) {
+      linear_.AdjustBias(k, options.ambiguous_bias);
+    }
+  }
+
+  // Tweak pass: no incomplete training subgesture may be classified into a
+  // complete set (that is the "serious mistake" — it would fire eager
+  // recognition on an ambiguous prefix). Lower offending complete-class
+  // constants until clean or the pass budget runs out.
+  for (std::size_t pass = 0; pass < options.max_tweak_passes; ++pass) {
+    ++report.tweak_passes;
+    std::size_t adjustments = 0;
+    for (classify::ClassId c = 0; c < partition.num_classes(); ++c) {
+      for (const LabeledSubgesture& sub : partition.incomplete_sets[c]) {
+        const std::vector<double> scores = linear_.Evaluate(sub.features);
+        classify::ClassId winner = 0;
+        for (classify::ClassId k = 1; k < scores.size(); ++k) {
+          if (scores[k] > scores[winner]) {
+            winner = k;
+          }
+        }
+        if (!sets_[winner].complete) {
+          continue;
+        }
+        // Best incomplete score: the target the winner must drop below.
+        double best_incomplete = 0.0;
+        bool first = true;
+        for (classify::ClassId k = 0; k < scores.size(); ++k) {
+          if (sets_[k].complete) {
+            continue;
+          }
+          if (first || scores[k] > best_incomplete) {
+            best_incomplete = scores[k];
+            first = false;
+          }
+        }
+        const double gap = scores[winner] - best_incomplete;
+        const double delta = gap * (1.0 + options.tweak_margin) + 1e-9;
+        linear_.AdjustBias(winner, -delta);
+        ++adjustments;
+      }
+    }
+    report.tweak_adjustments += adjustments;
+    if (adjustments == 0) {
+      return report;
+    }
+  }
+  report.converged = false;
+  return report;
+}
+
+bool Auc::Unambiguous(const linalg::Vector& masked_features) const {
+  switch (mode_) {
+    case Mode::kUntrained:
+      throw std::logic_error("Auc::Unambiguous before Train");
+    case Mode::kAlwaysAmbiguous:
+      return false;
+    case Mode::kAlwaysUnambiguous:
+      return true;
+    case Mode::kNormal:
+      break;
+  }
+  const classify::Classification result = linear_.Classify(masked_features);
+  return sets_[result.class_id].complete;
+}
+
+Auc Auc::FromParameters(Mode mode, classify::LinearClassifier linear,
+                        std::vector<SetInfo> sets) {
+  Auc out;
+  out.mode_ = mode;
+  out.linear_ = std::move(linear);
+  out.sets_ = std::move(sets);
+  return out;
+}
+
+classify::Classification Auc::Classify(const linalg::Vector& masked_features) const {
+  if (mode_ != Mode::kNormal) {
+    throw std::logic_error("Auc::Classify is only meaningful in normal mode");
+  }
+  return linear_.Classify(masked_features);
+}
+
+}  // namespace grandma::eager

@@ -1,0 +1,53 @@
+#include "eager/eager_recognizer.h"
+
+namespace grandma::eager {
+
+EagerTrainReport EagerRecognizer::Train(const classify::GestureTrainingSet& training,
+                                        const EagerTrainOptions& options) {
+  EagerTrainReport report;
+  min_prefix_points_ = std::max<std::size_t>(options.labeler.min_prefix_points, 1);
+
+  report.full_classifier_ridge = full_.Train(training, options.mask);
+
+  SubgesturePartition partition = LabelSubgestures(full_, training, options.labeler);
+  report.complete_before_move = partition.total_complete();
+  report.incomplete_before_move = partition.total_incomplete();
+
+  report.mover = MoveAccidentallyComplete(full_, partition, options.mover);
+  report.auc = auc_.Train(partition, options.auc);
+  return report;
+}
+
+EagerRecognizer EagerRecognizer::FromParameters(classify::GestureClassifier full, Auc auc,
+                                                std::size_t min_prefix_points) {
+  EagerRecognizer out;
+  out.full_ = std::move(full);
+  out.auc_ = std::move(auc);
+  out.min_prefix_points_ = min_prefix_points;
+  return out;
+}
+
+bool EagerRecognizer::UnambiguousFeatures(const linalg::Vector& full_features) const {
+  return auc_.Unambiguous(full_.mask().Project(full_features));
+}
+
+bool EagerStream::AddPoint(const geom::TimedPoint& p) {
+  extractor_.AddPoint(p);
+  if (fired_ || extractor_.point_count() < recognizer_->min_prefix_points()) {
+    return false;
+  }
+  if (recognizer_->UnambiguousFeatures(extractor_.Features())) {
+    fired_ = true;
+    fired_at_ = extractor_.point_count();
+    return true;
+  }
+  return false;
+}
+
+void EagerStream::Reset() {
+  extractor_.Reset();
+  fired_ = false;
+  fired_at_ = 0;
+}
+
+}  // namespace grandma::eager

@@ -1,0 +1,110 @@
+// The user-facing eager recognizer (Sections 4.3-4.7): trains the full
+// classifier and the AUC from example gestures, then answers, point by
+// point, "has enough of this gesture been seen to classify it
+// unambiguously?". EagerStream runs the per-point loop for one gesture.
+#ifndef GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_
+#define GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "classify/gesture_classifier.h"
+#include "classify/training_set.h"
+#include "eager/accidental_mover.h"
+#include "eager/auc.h"
+#include "eager/subgesture_labeler.h"
+#include "features/extractor.h"
+#include "features/feature_vector.h"
+#include "geom/point.h"
+
+namespace grandma::eager {
+
+struct EagerTrainOptions {
+  features::FeatureMask mask = features::FeatureMask::All();
+  LabelerOptions labeler;
+  MoverOptions mover;
+  AucOptions auc;
+};
+
+struct EagerTrainReport {
+  double full_classifier_ridge = 0.0;
+  // Partition sizes after labeling (before the move step).
+  std::size_t complete_before_move = 0;
+  std::size_t incomplete_before_move = 0;
+  MoverReport mover;
+  AucTrainReport auc;
+};
+
+// Trained eager recognizer: the full classifier C plus the doneness
+// predicate D built from the same training examples.
+class EagerRecognizer {
+ public:
+  EagerRecognizer() = default;
+
+  // Runs the whole Section 4.7 pipeline: train C, enumerate and label
+  // subgestures, move accidental completes, train/bias/tweak the AUC.
+  EagerTrainReport Train(const classify::GestureTrainingSet& training,
+                         const EagerTrainOptions& options = {});
+
+  bool trained() const { return full_.trained() && auc_.trained(); }
+
+  // D over a full 13-entry feature vector (the mask is applied internally).
+  bool UnambiguousFeatures(const linalg::Vector& full_features) const;
+
+  // C over a full 13-entry feature vector.
+  classify::Classification ClassifyFeatures(const linalg::Vector& full_features) const {
+    return full_.ClassifyFeatures(full_features);
+  }
+
+  const classify::GestureClassifier& full() const { return full_; }
+  const Auc& auc() const { return auc_; }
+
+  // Reassembles a recognizer from persisted parts (io::serialize).
+  static EagerRecognizer FromParameters(classify::GestureClassifier full, Auc auc,
+                                        std::size_t min_prefix_points);
+  const std::string& ClassName(classify::ClassId c) const { return full_.ClassName(c); }
+  std::size_t num_classes() const { return full_.num_classes(); }
+  std::size_t min_prefix_points() const { return min_prefix_points_; }
+
+ private:
+  classify::GestureClassifier full_;
+  Auc auc_;
+  std::size_t min_prefix_points_ = features::FeatureExtractor::kMinPoints;
+};
+
+// Per-gesture streaming session: feed mouse points as they arrive; the
+// stream reports the moment the gesture becomes unambiguous (D fires), after
+// which the caller typically classifies and enters the manipulation phase.
+class EagerStream {
+ public:
+  explicit EagerStream(const EagerRecognizer& recognizer) : recognizer_(&recognizer) {}
+
+  // Appends one point; returns true exactly once — on the point at which the
+  // gesture first becomes unambiguous.
+  bool AddPoint(const geom::TimedPoint& p);
+
+  std::size_t points_seen() const { return extractor_.point_count(); }
+  bool fired() const { return fired_; }
+  // Number of points seen when D fired; 0 when it has not.
+  std::size_t fired_at() const { return fired_at_; }
+
+  // The full classifier's verdict on everything seen so far.
+  classify::Classification ClassifyNow() const {
+    return recognizer_->ClassifyFeatures(extractor_.Features());
+  }
+
+  // Current feature snapshot (full 13-entry vector).
+  linalg::Vector Features() const { return extractor_.Features(); }
+
+  void Reset();
+
+ private:
+  const EagerRecognizer* recognizer_;
+  features::FeatureExtractor extractor_;
+  bool fired_ = false;
+  std::size_t fired_at_ = 0;
+};
+
+}  // namespace grandma::eager
+
+#endif  // GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_

@@ -1,0 +1,109 @@
+#include "eager/evaluation.h"
+
+namespace grandma::eager {
+
+double EagerEvaluation::EagerAccuracy() const {
+  return total == 0 ? 0.0 : static_cast<double>(eager_correct) / static_cast<double>(total);
+}
+
+double EagerEvaluation::FullAccuracy() const {
+  return total == 0 ? 0.0 : static_cast<double>(full_correct) / static_cast<double>(total);
+}
+
+double EagerEvaluation::MeanFractionSeen() const {
+  if (outcomes.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const ExampleOutcome& o : outcomes) {
+    if (o.points_total > 0) {
+      sum += static_cast<double>(o.points_seen) / static_cast<double>(o.points_total);
+    }
+  }
+  return sum / static_cast<double>(outcomes.size());
+}
+
+double EagerEvaluation::MeanMinFraction() const {
+  if (outcomes.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const ExampleOutcome& o : outcomes) {
+    if (o.points_total > 0) {
+      sum += static_cast<double>(o.min_points) / static_cast<double>(o.points_total);
+    }
+  }
+  return sum / static_cast<double>(outcomes.size());
+}
+
+EagerEvaluation EvaluateEager(const EagerRecognizer& recognizer,
+                              const std::vector<synth::LabeledSamples>& batches) {
+  EagerEvaluation eval;
+  for (const synth::LabeledSamples& batch : batches) {
+    const classify::ClassId true_class = recognizer.full().registry().Require(batch.class_name);
+    for (std::size_t e = 0; e < batch.samples.size(); ++e) {
+      const synth::GestureSample& sample = batch.samples[e];
+      ExampleOutcome outcome;
+      outcome.true_class = true_class;
+      outcome.example_name = batch.class_name + std::to_string(e + 1);
+      outcome.points_total = sample.gesture.size();
+      outcome.min_points = sample.MinUnambiguousPointCount();
+
+      EagerStream stream(recognizer);
+      classify::Classification eager_result{};
+      bool have_eager = false;
+      for (const geom::TimedPoint& p : sample.gesture) {
+        if (stream.AddPoint(p)) {
+          eager_result = stream.ClassifyNow();
+          have_eager = true;
+        }
+      }
+      outcome.fired = stream.fired();
+      outcome.points_seen = stream.fired() ? stream.fired_at() : sample.gesture.size();
+      const classify::Classification full_result = stream.ClassifyNow();
+      if (!have_eager) {
+        // Never fired: the gesture is classified in full at mouse-up.
+        eager_result = full_result;
+      }
+      outcome.eager_class = eager_result.class_id;
+      outcome.full_class = full_result.class_id;
+      outcome.eager_correct = outcome.eager_class == true_class;
+      outcome.full_correct = outcome.full_class == true_class;
+
+      eval.total += 1;
+      eval.eager_correct += outcome.eager_correct ? 1 : 0;
+      eval.full_correct += outcome.full_correct ? 1 : 0;
+      eval.never_fired += outcome.fired ? 0 : 1;
+      eval.outcomes.push_back(std::move(outcome));
+    }
+  }
+  return eval;
+}
+
+double TrainingPrematureFireRate(const EagerRecognizer& recognizer,
+                                 const classify::GestureTrainingSet& training) {
+  std::size_t fired_wrong = 0;
+  std::size_t fired_total = 0;
+  for (classify::ClassId c = 0; c < training.num_classes(); ++c) {
+    for (const geom::Gesture& g : training.ExamplesOf(c)) {
+      features::FeatureExtractor fx;
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        fx.AddPoint(g[i]);
+        if (fx.point_count() < recognizer.min_prefix_points()) {
+          continue;
+        }
+        const linalg::Vector f = fx.Features();
+        if (recognizer.UnambiguousFeatures(f)) {
+          ++fired_total;
+          if (recognizer.ClassifyFeatures(f).class_id != c) {
+            ++fired_wrong;
+          }
+        }
+      }
+    }
+  }
+  return fired_total == 0 ? 0.0
+                          : static_cast<double>(fired_wrong) / static_cast<double>(fired_total);
+}
+
+}  // namespace grandma::eager

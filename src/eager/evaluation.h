@@ -1,0 +1,67 @@
+// The measurement harness behind Section 5: run a trained eager recognizer
+// over labeled test gestures and report the two comparisons the paper makes —
+// eager vs full recognition rate, and eagerness (fraction of mouse points
+// seen before classification) vs the minimum possible.
+#ifndef GRANDMA_SRC_EAGER_EVALUATION_H_
+#define GRANDMA_SRC_EAGER_EVALUATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "synth/generator.h"
+
+namespace grandma::eager {
+
+// What happened on one test gesture.
+struct ExampleOutcome {
+  classify::ClassId true_class = 0;
+  std::string example_name;  // e.g. "ru4": class name + example number
+  std::size_t points_total = 0;
+  // Point count at which D fired; equals points_total when it never did (the
+  // gesture is then classified at mouse-up, exactly like a non-eager system).
+  std::size_t points_seen = 0;
+  bool fired = false;
+  // Ground-truth minimum points needed (from the generator; the paper
+  // determined this by hand). Equals points_total when unknown.
+  std::size_t min_points = 0;
+  classify::ClassId eager_class = 0;  // classification at the firing point
+  classify::ClassId full_class = 0;   // classification of the whole gesture
+  bool eager_correct = false;
+  bool full_correct = false;
+};
+
+// Aggregates over a test set.
+struct EagerEvaluation {
+  std::vector<ExampleOutcome> outcomes;
+  std::size_t total = 0;
+  std::size_t eager_correct = 0;
+  std::size_t full_correct = 0;
+  std::size_t never_fired = 0;
+
+  double EagerAccuracy() const;
+  double FullAccuracy() const;
+  // Mean over examples of points_seen / points_total — the paper's "67.9% of
+  // the mouse points of each gesture" statistic.
+  double MeanFractionSeen() const;
+  // Mean over examples of min_points / points_total — the paper's "59.4%
+  // ... needed to be seen" statistic (ground truth instead of hand labels).
+  double MeanMinFraction() const;
+};
+
+// Runs every sample through an EagerStream point by point. Class names in
+// `batches` must exist in the recognizer's registry.
+EagerEvaluation EvaluateEager(const EagerRecognizer& recognizer,
+                              const std::vector<synth::LabeledSamples>& batches);
+
+// Conservativeness check used by tests and the U/D walkthrough: the fraction
+// of *training* prefixes judged unambiguous by D whose full classifier label
+// differs from the true class of their gesture. The training algorithm is
+// designed to drive this to zero on its own training data.
+double TrainingPrematureFireRate(const EagerRecognizer& recognizer,
+                                 const classify::GestureTrainingSet& training);
+
+}  // namespace grandma::eager
+
+#endif  // GRANDMA_SRC_EAGER_EVALUATION_H_

@@ -1,0 +1,141 @@
+#include "features/extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace grandma::features {
+
+void FeatureExtractor::AddPoint(const geom::TimedPoint& p) {
+  if (count_ == 0) {
+    x0_ = p.x;
+    y0_ = p.y;
+    t0_ = p.t;
+    min_x_ = max_x_ = p.x;
+    min_y_ = max_y_ = p.y;
+    last_x_ = p.x;
+    last_y_ = p.y;
+    last_t_ = p.t;
+    count_ = 1;
+    return;
+  }
+
+  if (count_ == 2) {
+    // This point is the third: it anchors the initial-angle features. Rubine
+    // measures the initial direction at the third point because the second
+    // point of a stroke is dominated by sensor noise.
+    x2_ = p.x;
+    y2_ = p.y;
+  }
+
+  const double dx = p.x - last_x_;
+  const double dy = p.y - last_y_;
+  const double dt = p.t - last_t_;
+
+  path_length_ += std::sqrt(dx * dx + dy * dy);
+
+  if (have_prev_delta_) {
+    // Turning angle between the previous and current segment. The printed
+    // formula in the paper uses arctan of (cross/dot); like Rubine's own
+    // implementation we use atan2 of (cross, dot), the true turning angle in
+    // (-pi, pi], which behaves correctly at direction reversals.
+    const double cross = prev_dx_ * dy - prev_dy_ * dx;
+    const double dot = dx * prev_dx_ + dy * prev_dy_;
+    if (cross != 0.0 || dot != 0.0) {
+      const double theta = std::atan2(cross, dot);
+      total_angle_ += theta;
+      total_abs_angle_ += std::abs(theta);
+      sharpness_ += theta * theta;
+    }
+  }
+  if (dx != 0.0 || dy != 0.0) {
+    prev_dx_ = dx;
+    prev_dy_ = dy;
+    have_prev_delta_ = true;
+  }
+
+  if (dt > 0.0) {
+    max_speed_sq_ = std::max(max_speed_sq_, (dx * dx + dy * dy) / (dt * dt));
+  }
+
+  min_x_ = std::min(min_x_, p.x);
+  max_x_ = std::max(max_x_, p.x);
+  min_y_ = std::min(min_y_, p.y);
+  max_y_ = std::max(max_y_, p.y);
+
+  last_x_ = p.x;
+  last_y_ = p.y;
+  last_t_ = p.t;
+  ++count_;
+}
+
+linalg::Vector FeatureExtractor::Features() const {
+  linalg::Vector f(kNumFeatures);
+  if (count_ == 0) {
+    return f;
+  }
+
+  // f1, f2: initial angle at the third point.
+  if (count_ >= kMinPoints) {
+    const double dx = x2_ - x0_;
+    const double dy = y2_ - y0_;
+    const double d = std::sqrt(dx * dx + dy * dy);
+    if (d > 0.0) {
+      f[kInitialCos] = dx / d;
+      f[kInitialSin] = dy / d;
+    }
+  }
+
+  // f3, f4: bounding-box diagonal.
+  const double bw = max_x_ - min_x_;
+  const double bh = max_y_ - min_y_;
+  f[kBboxDiagonal] = std::sqrt(bw * bw + bh * bh);
+  if (bw != 0.0 || bh != 0.0) {
+    f[kBboxAngle] = std::atan2(bh, bw);
+  }
+
+  // f5, f6, f7: first-to-last displacement.
+  const double ex = last_x_ - x0_;
+  const double ey = last_y_ - y0_;
+  const double e = std::sqrt(ex * ex + ey * ey);
+  f[kStartEndDistance] = e;
+  if (e > 0.0) {
+    f[kStartEndCos] = ex / e;
+    f[kStartEndSin] = ey / e;
+  }
+
+  f[kPathLength] = path_length_;
+  f[kTotalAngle] = total_angle_;
+  f[kTotalAbsAngle] = total_abs_angle_;
+  f[kSharpness] = sharpness_;
+  f[kMaxSpeedSquared] = max_speed_sq_;
+  f[kDuration] = last_t_ - t0_;
+  return f;
+}
+
+void FeatureExtractor::Reset() { *this = FeatureExtractor(); }
+
+linalg::Vector ExtractFeatures(const geom::Gesture& g) {
+  FeatureExtractor fx;
+  for (const geom::TimedPoint& p : g) {
+    fx.AddPoint(p);
+  }
+  return fx.Features();
+}
+
+std::vector<linalg::Vector> ExtractPrefixFeatures(const geom::Gesture& g) {
+  std::vector<linalg::Vector> out;
+  if (g.size() < FeatureExtractor::kMinPoints) {
+    return out;
+  }
+  out.reserve(g.size() - FeatureExtractor::kMinPoints + 1);
+  FeatureExtractor fx;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    fx.AddPoint(g[i]);
+    if (fx.point_count() >= FeatureExtractor::kMinPoints) {
+      out.push_back(fx.Features());
+    }
+  }
+  return out;
+}
+
+}  // namespace grandma::features

@@ -1,0 +1,454 @@
+#include "gdp/app.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/transform.h"
+#include "synth/generator.h"
+#include "toolkit/drag_handler.h"
+
+namespace grandma::gdp {
+
+namespace {
+
+using toolkit::GestureSemantics;
+using toolkit::SemanticContext;
+
+// Manipulation state passed from recog to manip through the context's recog
+// slot (the paper's `recog` variable).
+struct TrackState {
+  Shape* shape = nullptr;
+  double last_x = 0.0;
+  double last_y = 0.0;
+};
+
+struct RotateScaleState {
+  Shape* shape = nullptr;
+  double cx = 0.0;
+  double cy = 0.0;
+  double last_angle = 0.0;
+  double last_dist = 0.0;
+};
+
+struct GroupState {
+  GroupShape* group = nullptr;
+};
+
+}  // namespace
+
+// Collects raw strokes as training examples while the app is in training
+// mode. Added at the *instance* level of the window view, so it is queried
+// before the class-level gesture handler and can take the stroke first.
+class GdpApp::TrainingStrokeHandler final : public toolkit::EventHandler {
+ public:
+  explicit TrainingStrokeHandler(GdpApp* app)
+      : toolkit::EventHandler("gdp-training"), app_(app) {}
+
+  bool Wants(const toolkit::InputEvent& event, toolkit::View&) const override {
+    return app_->training() && event.type == toolkit::EventType::kMouseDown;
+  }
+
+  toolkit::HandlerResponse OnEvent(const toolkit::InputEvent& event,
+                                   toolkit::View&) override {
+    switch (event.type) {
+      case toolkit::EventType::kMouseDown:
+        stroke_.Clear();
+        filter_.Reset();
+        filter_.Accept({event.x, event.y, event.time_ms});
+        stroke_.AppendPoint({event.x, event.y, event.time_ms});
+        return toolkit::HandlerResponse::kConsumedAndGrab;
+      case toolkit::EventType::kMouseMove:
+        if (filter_.Accept({event.x, event.y, event.time_ms})) {
+          stroke_.AppendPoint({event.x, event.y, event.time_ms});
+        }
+        return toolkit::HandlerResponse::kConsumedAndGrab;
+      case toolkit::EventType::kTimer:
+        return toolkit::HandlerResponse::kConsumedAndGrab;
+      case toolkit::EventType::kMouseUp:
+        app_->RecordTrainingStroke(stroke_);
+        stroke_.Clear();
+        return toolkit::HandlerResponse::kConsumed;
+    }
+    return toolkit::HandlerResponse::kIgnored;
+  }
+
+ private:
+  GdpApp* app_;
+  geom::Gesture stroke_;
+  geom::MinDistanceFilter filter_{3.0};
+};
+
+GdpApp::GdpApp() : GdpApp(Options{}) {}
+
+GdpApp::GdpApp(Options options) : options_(options) {
+  // Train the recognizer from the synthetic GDP gesture set — the stand-in
+  // for the author's example-collection sessions.
+  const auto specs = synth::MakeGdpSpecs(options_.group_orientation);
+  synth::NoiseModel noise;
+  const auto batches =
+      synth::GenerateSet(specs, noise, options_.train_per_class, options_.training_seed);
+  training_set_ = synth::ToTrainingSet(batches);
+  classify::GestureTrainingSet& training = training_set_;
+  if (options_.map_gestural_attributes) {
+    // "For this to work, the rectangle gesture was trained in multiple
+    // orientations" (Section 2): add rotated copies of every rectangle
+    // training example so orientation stops being a class cue.
+    for (const auto& batch : batches) {
+      if (batch.class_name != "rectangle") {
+        continue;
+      }
+      for (const synth::GestureSample& sample : batch.samples) {
+        for (double degrees : {-60.0, -30.0, 30.0, 60.0, 90.0}) {
+          const auto& g = sample.gesture;
+          const geom::AffineTransform rotate = geom::AffineTransform::Rotation(
+              degrees * std::numbers::pi / 180.0, g.front().x, g.front().y);
+          training.Add("rectangle", rotate.Apply(g));
+        }
+      }
+    }
+  }
+  recognizer_.Train(training);
+
+  // One window view spanning the world; the gesture handler hangs off its
+  // *class*, shared by every GdpWindow instance.
+  root_ = std::make_unique<toolkit::View>(&window_class_, "gdp-root");
+  root_->SetBounds(geom::BoundingBox{0.0, 0.0, options_.world_width, options_.world_height});
+  window_ = root_.get();
+
+  dispatcher_ = std::make_unique<toolkit::Dispatcher>(root_.get(), &clock_);
+  driver_ = std::make_unique<toolkit::PlaybackDriver>(dispatcher_.get());
+
+  toolkit::GestureHandler::Config config;
+  config.dwell_timeout_ms = options_.dwell_timeout_ms;
+  config.enable_eager = options_.eager;
+  config.use_rejection = options_.use_rejection;
+  gesture_handler_ =
+      std::make_shared<toolkit::GestureHandler>("gdp-gestures", &recognizer_, config);
+  window_class_.AddHandler(gesture_handler_);
+
+  gesture_handler_->on_recognized = [this](const std::string& class_name,
+                                           const classify::Classification& result,
+                                           toolkit::GestureHandler::Transition how) {
+    const char* how_name = how == toolkit::GestureHandler::Transition::kEager ? "eager"
+                           : how == toolkit::GestureHandler::Transition::kTimeout
+                               ? "timeout"
+                               : "mouse-up";
+    log_.push_back("recognized " + class_name + " (" + how_name +
+                   ", p=" + std::to_string(result.probability) + ")");
+  };
+  gesture_handler_->on_rejected = [this](const classify::Classification&) {
+    log_.push_back("rejected gesture");
+  };
+
+  // Instance-level handler: takes strokes while in training mode.
+  window_->AddHandler(std::make_shared<TrainingStrokeHandler>(this));
+
+  InstallSemantics();
+}
+
+void GdpApp::BeginTraining(const std::string& class_name) {
+  training_ = true;
+  training_class_ = class_name;
+  recorded_ = 0;
+  log_.push_back("training '" + class_name + "'");
+}
+
+void GdpApp::RecordTrainingStroke(geom::Gesture stroke) {
+  if (!training_ || stroke.size() < 3) {
+    return;
+  }
+  training_set_.Add(training_class_, std::move(stroke));
+  ++recorded_;
+  log_.push_back("recorded example " + std::to_string(recorded_) + " of '" +
+                 training_class_ + "'");
+}
+
+bool GdpApp::EndTraining() {
+  if (!training_) {
+    return false;
+  }
+  if (!training_set_.registry().Contains(training_class_) ||
+      training_set_.ExamplesOf(training_set_.registry().Require(training_class_)).size() < 3) {
+    log_.push_back("not enough examples of '" + training_class_ + "' to retrain");
+    return false;
+  }
+  recognizer_.Train(training_set_);
+  training_ = false;
+  log_.push_back("retrained: " + std::to_string(recognizer_.num_classes()) + " classes");
+  return true;
+}
+
+void GdpApp::CancelTraining() {
+  training_ = false;
+  log_.push_back("training cancelled");
+}
+
+void GdpApp::InstallSemantics() {
+  toolkit::SemanticsTable& table = gesture_handler_->semantics();
+
+  // rectangle: recog = [[view createRect] setEndpoint:0 ...]; manip drags the
+  // opposite corner (interactive rubberbanding). In the modified GDP, the
+  // gesture's initial angle sets the rectangle's orientation (the canonical
+  // rectangle gesture starts straight down, so orientation = initial angle
+  // relative to that).
+  table.Set("rectangle", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        const double angle = options_.map_gestural_attributes
+                                 ? ctx.initialAngle() + std::numbers::pi / 2.0
+                                 : 0.0;
+        auto rect = std::make_unique<RectShape>(ctx.startX(), ctx.startY(), ctx.currentX(),
+                                                ctx.currentY(), angle);
+        return std::any(static_cast<Shape*>(document_.Add(std::move(rect))));
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto* rect = static_cast<RectShape*>(ctx.RecogAs<Shape*>());
+        rect->SetCorners(ctx.startX(), ctx.startY(), ctx.currentX(), ctx.currentY());
+      },
+      .done = nullptr});
+
+  // line: endpoint 1 at the start, endpoint 2 rubberbands. In the modified
+  // GDP, the length of the gesture determines the line's thickness.
+  table.Set("line", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        const double thickness =
+            options_.map_gestural_attributes ? std::max(1.0, ctx.length() / 25.0) : 1.0;
+        auto line = std::make_unique<LineShape>(ctx.startX(), ctx.startY(), ctx.currentX(),
+                                                ctx.currentY(), thickness);
+        return std::any(static_cast<Shape*>(document_.Add(std::move(line))));
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto* line = static_cast<LineShape*>(ctx.RecogAs<Shape*>());
+        line->SetEndpoint(1, ctx.currentX(), ctx.currentY());
+      },
+      .done = nullptr});
+
+  // ellipse: center at the start; manipulation sets size and eccentricity.
+  table.Set("ellipse", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        const double rx = std::max(std::abs(ctx.currentX() - ctx.startX()), 1.0);
+        const double ry = std::max(std::abs(ctx.currentY() - ctx.startY()), 1.0);
+        auto ellipse = std::make_unique<EllipseShape>(ctx.startX(), ctx.startY(), rx, ry);
+        return std::any(static_cast<Shape*>(document_.Add(std::move(ellipse))));
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto* ellipse = static_cast<EllipseShape*>(ctx.RecogAs<Shape*>());
+        ellipse->SetRadii(std::max(std::abs(ctx.currentX() - ellipse->cx()), 1.0),
+                          std::max(std::abs(ctx.currentY() - ellipse->cy()), 1.0));
+      },
+      .done = nullptr});
+
+  // group: encloses objects at recognition; touching objects during
+  // manipulation adds them to the group.
+  table.Set("group", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        auto group = std::make_unique<GroupShape>();
+        GroupShape* group_raw = group.get();
+        const std::vector<Shape*> enclosed = document_.EnclosedBy(ctx.gesture());
+        for (Shape* s : enclosed) {
+          if (auto owned = document_.Remove(s)) {
+            group_raw->AddMember(std::move(owned));
+          }
+        }
+        document_.Add(std::move(group));
+        return std::any(GroupState{group_raw});
+      },
+      .manip = [this](SemanticContext& ctx) {
+        auto& state = std::any_cast<GroupState&>(ctx.recog_slot());
+        Shape* touched = document_.TopmostAt(ctx.currentX(), ctx.currentY());
+        if (touched != nullptr && touched != state.group) {
+          if (auto owned = document_.Remove(touched)) {
+            state.group->AddMember(std::move(owned));
+          }
+        }
+      },
+      .done = nullptr});
+
+  // copy: replicates the object at the gesture start; the copy's location is
+  // determined by manipulation (Figure 3) — it is positioned at the mouse.
+  table.Set("copy", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        Shape* original = document_.TopmostAt(ctx.startX(), ctx.startY());
+        if (original == nullptr) {
+          return std::any(TrackState{});
+        }
+        Shape* copy = document_.Add(original->Clone());
+        return std::any(TrackState{copy});
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto& state = std::any_cast<TrackState&>(ctx.recog_slot());
+        if (state.shape == nullptr) {
+          return;
+        }
+        const geom::BoundingBox b = state.shape->Bounds();
+        state.shape->Translate(ctx.currentX() - 0.5 * (b.min_x + b.max_x),
+                               ctx.currentY() - 0.5 * (b.min_y + b.max_y));
+      },
+      .done = nullptr});
+
+  // move: like copy but repositions the original.
+  table.Set("move", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        return std::any(TrackState{document_.TopmostAt(ctx.startX(), ctx.startY())});
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto& state = std::any_cast<TrackState&>(ctx.recog_slot());
+        if (state.shape == nullptr) {
+          return;
+        }
+        const geom::BoundingBox b = state.shape->Bounds();
+        state.shape->Translate(ctx.currentX() - 0.5 * (b.min_x + b.max_x),
+                               ctx.currentY() - 0.5 * (b.min_y + b.max_y));
+      },
+      .done = nullptr});
+
+  // rotate-scale: the initial point is the center of rotation; the point at
+  // recognition time becomes the drag point that interactively rotates and
+  // scales the object.
+  table.Set("rotate-scale", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        RotateScaleState state;
+        state.shape = document_.TopmostAt(ctx.startX(), ctx.startY());
+        state.cx = ctx.startX();
+        state.cy = ctx.startY();
+        state.last_angle = std::atan2(ctx.currentY() - state.cy, ctx.currentX() - state.cx);
+        state.last_dist = std::hypot(ctx.currentX() - state.cx, ctx.currentY() - state.cy);
+        return std::any(state);
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto& state = std::any_cast<RotateScaleState&>(ctx.recog_slot());
+        if (state.shape == nullptr) {
+          return;
+        }
+        const double angle = std::atan2(ctx.currentY() - state.cy, ctx.currentX() - state.cx);
+        const double dist = std::hypot(ctx.currentX() - state.cx, ctx.currentY() - state.cy);
+        if (state.last_dist > 1e-6 && dist > 1e-6) {
+          state.shape->RotateScaleAbout(state.cx, state.cy, angle - state.last_angle,
+                                        dist / state.last_dist);
+        }
+        state.last_angle = angle;
+        state.last_dist = dist;
+      },
+      .done = nullptr});
+
+  // delete: deletes the object at the gesture start; any additional object
+  // touched during manipulation is deleted too.
+  table.Set("delete", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        if (Shape* s = document_.TopmostAt(ctx.startX(), ctx.startY())) {
+          if (edited_shape_ == s) {
+            ClearControlPoints();
+          }
+          document_.Remove(s);
+        }
+        return std::any();
+      },
+      .manip = [this](SemanticContext& ctx) {
+        if (Shape* s = document_.TopmostAt(ctx.currentX(), ctx.currentY())) {
+          if (edited_shape_ == s) {
+            ClearControlPoints();
+          }
+          document_.Remove(s);
+        }
+      },
+      .done = nullptr});
+
+  // edit ("27"-shaped): brings up control points on the object; the points
+  // themselves respond to dragging, not gestures.
+  table.Set("edit", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        ShowControlPoints(document_.TopmostAt(ctx.startX(), ctx.startY()));
+        return std::any();
+      },
+      .manip = nullptr,
+      .done = nullptr});
+
+  // text: places a text cursor that snaps to a 10-unit grid while dragged —
+  // the snapping feedback the paper argues for.
+  table.Set("text", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        auto text =
+            std::make_unique<TextShape>(Snap(ctx.currentX()), Snap(ctx.currentY()), "text");
+        return std::any(static_cast<Shape*>(document_.Add(std::move(text))));
+      },
+      .manip = [](SemanticContext& ctx) {
+        auto* text = static_cast<TextShape*>(ctx.RecogAs<Shape*>());
+        text->MoveTo(Snap(ctx.currentX()), Snap(ctx.currentY()));
+      },
+      .done = nullptr});
+
+  // dot: a point marker at the gesture start.
+  table.Set("dot", GestureSemantics{
+      .recog = [this](SemanticContext& ctx) -> std::any {
+        document_.Add(std::make_unique<DotShape>(ctx.startX(), ctx.startY()));
+        return std::any();
+      },
+      .manip = nullptr,
+      .done = nullptr});
+}
+
+void GdpApp::ShowControlPoints(Shape* shape) {
+  ClearControlPoints();
+  edited_shape_ = shape;
+  if (shape == nullptr) {
+    return;
+  }
+  const auto points = shape->ControlPoints();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto view = std::make_unique<toolkit::View>(&control_point_class_,
+                                                "cp" + std::to_string(i));
+    constexpr double kHalf = 4.0;
+    view->SetBounds(geom::BoundingBox{points[i].x - kHalf, points[i].y - kHalf,
+                                      points[i].x + kHalf, points[i].y + kHalf});
+
+    // Dragging a control point scales the shape about its bbox center.
+    toolkit::DragHandler::Callbacks callbacks;
+    callbacks.on_drag = [this](toolkit::View& v, const toolkit::InputEvent& e) {
+      if (edited_shape_ == nullptr) {
+        return;
+      }
+      const geom::BoundingBox b = edited_shape_->Bounds();
+      const double cx = 0.5 * (b.min_x + b.max_x);
+      const double cy = 0.5 * (b.min_y + b.max_y);
+      const geom::BoundingBox vb = v.bounds();
+      const double old_x = 0.5 * (vb.min_x + vb.max_x);
+      const double old_y = 0.5 * (vb.min_y + vb.max_y);
+      const double old_dist = std::hypot(old_x - cx, old_y - cy);
+      const double new_dist = std::hypot(e.x - cx, e.y - cy);
+      if (old_dist > 1e-6 && new_dist > 1e-6) {
+        edited_shape_->RotateScaleAbout(cx, cy, 0.0, new_dist / old_dist);
+      }
+      constexpr double kHalfBox = 4.0;
+      v.SetBounds(geom::BoundingBox{e.x - kHalfBox, e.y - kHalfBox, e.x + kHalfBox,
+                                    e.y + kHalfBox});
+    };
+    view->AddHandler(std::make_shared<toolkit::DragHandler>("cp-drag", std::move(callbacks)));
+    control_point_views_.push_back(window_->AddChild(std::move(view)));
+  }
+}
+
+void GdpApp::ClearControlPoints() {
+  for (toolkit::View* v : control_point_views_) {
+    window_->RemoveChild(v);
+  }
+  control_point_views_.clear();
+  edited_shape_ = nullptr;
+}
+
+Canvas GdpApp::Render(std::size_t cols, std::size_t rows) const {
+  Canvas canvas(options_.world_width, options_.world_height, cols, rows);
+  document_.Render(canvas);
+  if (gesture_handler_->phase() == toolkit::GestureHandler::Phase::kCollecting) {
+    canvas.DrawGestureInk(gesture_handler_->collected());
+  }
+  for (const toolkit::View* v : control_point_views_) {
+    const geom::BoundingBox b = v->bounds();
+    canvas.Plot(0.5 * (b.min_x + b.max_x), 0.5 * (b.min_y + b.max_y), '+');
+  }
+  return canvas;
+}
+
+std::string GdpApp::RenderAscii(std::size_t cols, std::size_t rows) const {
+  return Render(cols, rows).ToString();
+}
+
+}  // namespace grandma::gdp

@@ -1,0 +1,129 @@
+// GDP (Section 2): a gesture-based drawing program built on GRANDMA. One
+// window view carries a gesture handler (attached at the *class* level, as
+// the paper advocates) recognizing the eleven GDP gestures; its semantics
+// create and manipulate shapes in a Document. The `edit` gesture exposes
+// control-point views that respond to *drag* handlers — gesture and direct
+// manipulation coexisting in one interface (Section 3.1).
+#ifndef GRANDMA_SRC_GDP_APP_H_
+#define GRANDMA_SRC_GDP_APP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "gdp/canvas.h"
+#include "gdp/document.h"
+#include "synth/sets.h"
+#include "toolkit/dispatcher.h"
+#include "toolkit/gesture_handler.h"
+#include "toolkit/playback.h"
+#include "toolkit/view.h"
+
+namespace grandma::gdp {
+
+class GdpApp {
+ public:
+  struct Options {
+    // Eager phase transitions (otherwise: 200 ms dwell or mouse-up only).
+    bool eager = false;
+    double dwell_timeout_ms = 200.0;
+    // Recognizer training workload (the stand-in for the author's training
+    // sessions; see DESIGN.md).
+    std::size_t train_per_class = 10;
+    std::uint64_t training_seed = 7;
+    synth::GroupOrientation group_orientation = synth::GroupOrientation::kClockwise;
+    // World (document) size.
+    double world_width = 320.0;
+    double world_height = 240.0;
+    // Reject dubious gestures instead of acting on them.
+    bool use_rejection = false;
+    // The paper's "modified version of GDP": the initial angle of the
+    // rectangle gesture determines the rectangle's orientation, and the
+    // length of the line gesture determines the line's thickness —
+    // gestural attributes mapped to application parameters (Section 2).
+    bool map_gestural_attributes = false;
+  };
+
+  GdpApp();  // default Options
+  explicit GdpApp(Options options);
+
+  Document& document() { return document_; }
+  const Document& document() const { return document_; }
+  toolkit::Dispatcher& dispatcher() { return *dispatcher_; }
+  toolkit::PlaybackDriver& driver() { return *driver_; }
+  toolkit::GestureHandler& gesture_handler() { return *gesture_handler_; }
+  const eager::EagerRecognizer& recognizer() const { return recognizer_; }
+  toolkit::View& window() { return *window_; }
+  const Options& options() const { return options_; }
+
+  // Control points (the `edit` gesture). Each control point is a child view
+  // with an instance-level drag handler; dragging scales the shape about its
+  // bounding-box center.
+  void ShowControlPoints(Shape* shape);
+  void ClearControlPoints();
+  Shape* edited_shape() const { return edited_shape_; }
+  std::size_t control_point_count() const { return control_point_views_.size(); }
+
+  // Renders document + live gesture ink + control points.
+  Canvas Render(std::size_t cols = 80, std::size_t rows = 30) const;
+  std::string RenderAscii(std::size_t cols = 80, std::size_t rows = 30) const;
+
+  // Interaction log, for examples/tests: one line per recognized/rejected
+  // gesture.
+  const std::vector<std::string>& log() const { return log_; }
+
+  // --- Runtime training (GRANDMA's defining capability: applications learn
+  // new gestures from examples without restarting) ---
+  //
+  // In training mode, incoming strokes are *recorded* as examples of
+  // `class_name` instead of being recognized. EndTraining retrains the
+  // recognizer in place — the gesture handler picks the new classifier up
+  // immediately. The class may be new or existing (more examples).
+  void BeginTraining(const std::string& class_name);
+  bool training() const { return training_; }
+  const std::string& training_class() const { return training_class_; }
+  std::size_t recorded_examples() const { return recorded_; }
+  // Retrains and leaves training mode. Returns false (and stays in training
+  // mode) when the recorded class has fewer than 3 examples — too few for
+  // the covariance estimate to mean anything.
+  bool EndTraining();
+  // Leaves training mode discarding nothing already recorded (the examples
+  // stay in the training set for the next retrain).
+  void CancelTraining();
+
+ private:
+  class TrainingStrokeHandler;
+
+  void InstallSemantics();
+  // Grid snapping for the text cursor (the paper's suggested feedback).
+  static double Snap(double v) { return 10.0 * std::round(v / 10.0); }
+  void RecordTrainingStroke(geom::Gesture stroke);
+
+  Options options_;
+  classify::GestureTrainingSet training_set_;
+  eager::EagerRecognizer recognizer_;
+  Document document_;
+
+  bool training_ = false;
+  std::string training_class_;
+  std::size_t recorded_ = 0;
+
+  toolkit::VirtualClock clock_;
+  toolkit::ViewClass window_class_{"GdpWindow"};
+  toolkit::ViewClass control_point_class_{"ControlPoint"};
+  std::unique_ptr<toolkit::View> root_;
+  toolkit::View* window_ = nullptr;
+  std::unique_ptr<toolkit::Dispatcher> dispatcher_;
+  std::unique_ptr<toolkit::PlaybackDriver> driver_;
+  std::shared_ptr<toolkit::GestureHandler> gesture_handler_;
+
+  Shape* edited_shape_ = nullptr;
+  std::vector<toolkit::View*> control_point_views_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_APP_H_

@@ -1,0 +1,125 @@
+#include "gdp/canvas.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace grandma::gdp {
+
+Canvas::Canvas(double width_world, double height_world, std::size_t cols, std::size_t rows)
+    : width_world_(width_world),
+      height_world_(height_world),
+      cols_(cols),
+      rows_(rows),
+      cells_(cols * rows, ' ') {}
+
+void Canvas::Clear(char fill) { cells_.assign(cols_ * rows_, fill); }
+
+bool Canvas::ToCell(double x, double y, std::size_t& col, std::size_t& row) const {
+  if (x < 0.0 || y < 0.0 || x >= width_world_ || y >= height_world_) {
+    return false;
+  }
+  col = static_cast<std::size_t>(x / width_world_ * static_cast<double>(cols_));
+  // y-up world, row 0 at top.
+  row = rows_ - 1 - static_cast<std::size_t>(y / height_world_ * static_cast<double>(rows_));
+  return col < cols_ && row < rows_;
+}
+
+void Canvas::Plot(double x, double y, char ch) {
+  std::size_t col = 0;
+  std::size_t row = 0;
+  if (ToCell(x, y, col, row)) {
+    cells_[row * cols_ + col] = ch;
+  }
+}
+
+char Canvas::At(double x, double y) const {
+  std::size_t col = 0;
+  std::size_t row = 0;
+  if (!ToCell(x, y, col, row)) {
+    return '\0';
+  }
+  return cells_[row * cols_ + col];
+}
+
+void Canvas::DrawSegment(double x0, double y0, double x1, double y1, char ch) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  // Step at half a cell in world units for solid coverage.
+  const double step = 0.5 * std::min(width_world_ / static_cast<double>(cols_),
+                                     height_world_ / static_cast<double>(rows_));
+  const int steps = std::max(1, static_cast<int>(len / step));
+  for (int i = 0; i <= steps; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(steps);
+    Plot(x0 + dx * u, y0 + dy * u, ch);
+  }
+}
+
+void Canvas::DrawEllipse(double cx, double cy, double rx, double ry, double angle, char ch) {
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+  const double circumference =
+      std::numbers::pi * (3.0 * (rx + ry) - std::sqrt((3.0 * rx + ry) * (rx + 3.0 * ry)));
+  const double step = 0.5 * std::min(width_world_ / static_cast<double>(cols_),
+                                     height_world_ / static_cast<double>(rows_));
+  const int steps = std::max(8, static_cast<int>(circumference / step));
+  for (int i = 0; i <= steps; ++i) {
+    const double u = 2.0 * std::numbers::pi * static_cast<double>(i) / steps;
+    const double ex = rx * std::cos(u);
+    const double ey = ry * std::sin(u);
+    Plot(cx + ex * cos_a - ey * sin_a, cy + ex * sin_a + ey * cos_a, ch);
+  }
+}
+
+void Canvas::DrawString(double x, double y, const std::string& text) {
+  const double cell_w = width_world_ / static_cast<double>(cols_);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    Plot(x + static_cast<double>(i) * cell_w, y, text[i]);
+  }
+}
+
+void Canvas::DrawGestureInk(const geom::Gesture& g, char ch) {
+  for (const geom::TimedPoint& p : g) {
+    Plot(p.x, p.y, ch);
+  }
+}
+
+std::size_t Canvas::InkedCellCount() const {
+  std::size_t n = 0;
+  for (char c : cells_) {
+    if (c != ' ') {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string Canvas::ToString() const {
+  std::string out;
+  out.reserve((cols_ + 3) * (rows_ + 2));
+  out.append("+").append(std::string(cols_, '-')).append("+\n");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out.push_back('|');
+    out.append(&cells_[r * cols_], cols_);
+    out.append("|\n");
+  }
+  out.append("+").append(std::string(cols_, '-')).append("+\n");
+  return out;
+}
+
+bool Canvas::WritePgm(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "P5\n%zu %zu\n255\n", cols_, rows_);
+  for (char c : cells_) {
+    const unsigned char pixel = c == ' ' ? 255 : 0;
+    std::fwrite(&pixel, 1, 1, f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace grandma::gdp

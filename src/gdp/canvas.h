@@ -1,0 +1,60 @@
+// The off-screen raster standing in for GDP's X10 display: shapes and
+// gesture ink render into a character grid (and optionally a PGM image),
+// so application feedback — rubberbanding, dragging, snapping — is
+// observable in tests and terminal examples.
+#ifndef GRANDMA_SRC_GDP_CANVAS_H_
+#define GRANDMA_SRC_GDP_CANVAS_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/gesture.h"
+
+namespace grandma::gdp {
+
+// A world-coordinate (y-up) character raster. World rectangle
+// [0, width_world) x [0, height_world) maps onto cols x rows cells, row 0 at
+// the top of the output (largest y).
+class Canvas {
+ public:
+  Canvas(double width_world, double height_world, std::size_t cols, std::size_t rows);
+
+  void Clear(char fill = ' ');
+
+  double width_world() const { return width_world_; }
+  double height_world() const { return height_world_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+
+  // Plots a world point; out-of-range points are clipped silently.
+  void Plot(double x, double y, char ch);
+  // Reads the cell under a world point; '\0' when out of range.
+  char At(double x, double y) const;
+
+  void DrawSegment(double x0, double y0, double x1, double y1, char ch);
+  void DrawEllipse(double cx, double cy, double rx, double ry, double angle, char ch);
+  void DrawString(double x, double y, const std::string& text);
+  // Gesture ink: dotted, as in the paper's figures.
+  void DrawGestureInk(const geom::Gesture& g, char ch = '.');
+
+  // Number of non-blank cells — a cheap "did anything render" probe.
+  std::size_t InkedCellCount() const;
+
+  // Renders the grid with a border.
+  std::string ToString() const;
+  // Writes a binary PGM (P5) image, one pixel per cell, ink black.
+  bool WritePgm(const std::string& path) const;
+
+ private:
+  bool ToCell(double x, double y, std::size_t& col, std::size_t& row) const;
+
+  double width_world_;
+  double height_world_;
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<char> cells_;
+};
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_CANVAS_H_

@@ -1,0 +1,78 @@
+#include "gdp/document.h"
+
+#include <algorithm>
+
+namespace grandma::gdp {
+
+Shape* Document::Add(std::unique_ptr<Shape> shape) {
+  shape->set_id(next_id_++);
+  shapes_.push_back(std::move(shape));
+  Shape* added = shapes_.back().get();
+  NotifyChanged({toolkit::ModelChange::Kind::kAdded, added->Describe()});
+  return added;
+}
+
+std::unique_ptr<Shape> Document::Remove(Shape* shape) {
+  auto it = std::find_if(shapes_.begin(), shapes_.end(),
+                         [shape](const auto& s) { return s.get() == shape; });
+  if (it == shapes_.end()) {
+    return nullptr;
+  }
+  std::unique_ptr<Shape> out = std::move(*it);
+  shapes_.erase(it);
+  NotifyChanged({toolkit::ModelChange::Kind::kRemoved, out->Describe()});
+  return out;
+}
+
+Shape* Document::TopmostAt(double x, double y, double tolerance) const {
+  for (auto it = shapes_.rbegin(); it != shapes_.rend(); ++it) {
+    if ((*it)->HitTest(x, y, tolerance)) {
+      return it->get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Shape*> Document::EnclosedBy(const geom::Gesture& stroke) const {
+  std::vector<Shape*> out;
+  for (const auto& s : shapes_) {
+    const geom::BoundingBox b = s->Bounds();
+    const double cx = 0.5 * (b.min_x + b.max_x);
+    const double cy = 0.5 * (b.min_y + b.max_y);
+    if (geom::EnclosesPoint(stroke, cx, cy)) {
+      out.push_back(s.get());
+    }
+  }
+  return out;
+}
+
+std::vector<Shape*> Document::AllShapes() const {
+  std::vector<Shape*> out;
+  out.reserve(shapes_.size());
+  for (const auto& s : shapes_) {
+    out.push_back(s.get());
+  }
+  return out;
+}
+
+bool Document::Contains(const Shape* shape) const {
+  return std::any_of(shapes_.begin(), shapes_.end(),
+                     [shape](const auto& s) { return s.get() == shape; });
+}
+
+Shape* Document::FindById(ShapeId id) const {
+  for (const auto& s : shapes_) {
+    if (s->id() == id) {
+      return s.get();
+    }
+  }
+  return nullptr;
+}
+
+void Document::Render(Canvas& canvas) const {
+  for (const auto& s : shapes_) {
+    s->Render(canvas);
+  }
+}
+
+}  // namespace grandma::gdp

@@ -1,0 +1,51 @@
+// GDP's drawing document: an ordered (z-order) list of owned shapes with the
+// queries the gesture semantics need — topmost shape under a point, shapes
+// enclosed by a stroke.
+#ifndef GRANDMA_SRC_GDP_DOCUMENT_H_
+#define GRANDMA_SRC_GDP_DOCUMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "gdp/canvas.h"
+#include "gdp/shapes.h"
+#include "geom/gesture.h"
+#include "toolkit/model.h"
+
+namespace grandma::gdp {
+
+// The document is a GRANDMA Model: observers (views, tests) are notified of
+// shape additions and removals made by gesture semantics.
+class Document : public toolkit::Model {
+ public:
+  Document() = default;
+
+  // Takes ownership; assigns an id; the new shape is topmost.
+  Shape* Add(std::unique_ptr<Shape> shape);
+
+  // Extracts `shape` from the document (for deletion or grouping).
+  // Returns nullptr when the shape is not a top-level member.
+  std::unique_ptr<Shape> Remove(Shape* shape);
+
+  // Topmost shape whose ink is within `tolerance` of (x, y); nullptr if none.
+  Shape* TopmostAt(double x, double y, double tolerance = 4.0) const;
+
+  // Top-level shapes whose bounding-box center the stroke encloses — the
+  // `group` gesture's operand query.
+  std::vector<Shape*> EnclosedBy(const geom::Gesture& stroke) const;
+
+  std::vector<Shape*> AllShapes() const;
+  std::size_t size() const { return shapes_.size(); }
+  bool Contains(const Shape* shape) const;
+  Shape* FindById(ShapeId id) const;
+
+  void Render(Canvas& canvas) const;
+
+ private:
+  std::vector<std::unique_ptr<Shape>> shapes_;
+  ShapeId next_id_ = 1;
+};
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_DOCUMENT_H_

@@ -1,0 +1,140 @@
+#include "gdp/scripting.h"
+
+#include <cmath>
+
+namespace grandma::gdp {
+
+namespace {
+
+using toolkit::script::ScriptError;
+using toolkit::script::Value;
+
+double RequireNumber(std::span<const Value> args, std::size_t index, const char* selector) {
+  if (index >= args.size()) {
+    throw ScriptError(std::string(selector) + ": missing argument " + std::to_string(index));
+  }
+  const double* number = std::get_if<double>(&args[index]);
+  if (number == nullptr) {
+    throw ScriptError(std::string(selector) + ": argument " + std::to_string(index) +
+                      " is not a number");
+  }
+  return *number;
+}
+
+}  // namespace
+
+// Wraps one document shape. setEndpoint:0 anchors the shape; setEndpoint:1
+// rubberbands it — matching GDP's two-point creation semantics for lines,
+// rectangles and ellipses.
+class DocumentScriptHost::ShapeObject final : public toolkit::script::Object {
+ public:
+  explicit ShapeObject(Shape* shape) : shape_(shape) {}
+
+  Value Send(const std::string& selector, std::span<const Value> args) override {
+    if (selector == "setEndpoint:x:y:") {
+      const int which = static_cast<int>(RequireNumber(args, 0, "setEndpoint:x:y:"));
+      const double x = RequireNumber(args, 1, "setEndpoint:x:y:");
+      const double y = RequireNumber(args, 2, "setEndpoint:x:y:");
+      SetEndpoint(which, x, y);
+      return this;
+    }
+    if (selector == "moveTo:y:") {
+      const double x = RequireNumber(args, 0, "moveTo:y:");
+      const double y = RequireNumber(args, 1, "moveTo:y:");
+      const geom::BoundingBox b = shape_->Bounds();
+      shape_->Translate(x - 0.5 * (b.min_x + b.max_x), y - 0.5 * (b.min_y + b.max_y));
+      return this;
+    }
+    throw ScriptError("shape does not understand '" + selector + "'");
+  }
+
+  std::string Description() const override { return std::string(shape_->Kind()) + "-object"; }
+
+  Shape* shape() const { return shape_; }
+
+ private:
+  void SetEndpoint(int which, double x, double y) {
+    if (auto* line = dynamic_cast<LineShape*>(shape_)) {
+      line->SetEndpoint(which == 0 ? 0 : 1, x, y);
+      return;
+    }
+    if (auto* rect = dynamic_cast<RectShape*>(shape_)) {
+      if (which == 0) {
+        anchor_x_ = x;
+        anchor_y_ = y;
+        rect->SetCorners(x, y, x, y);
+      } else {
+        rect->SetCorners(anchor_x_, anchor_y_, x, y);
+      }
+      return;
+    }
+    if (auto* ellipse = dynamic_cast<EllipseShape*>(shape_)) {
+      if (which == 0) {
+        anchor_x_ = x;
+        anchor_y_ = y;
+        ellipse->Translate(x - ellipse->cx(), y - ellipse->cy());
+      } else {
+        ellipse->SetRadii(std::max(std::abs(x - anchor_x_), 1.0),
+                          std::max(std::abs(y - anchor_y_), 1.0));
+      }
+      return;
+    }
+    throw ScriptError("setEndpoint:x:y: not supported for this shape");
+  }
+
+  Shape* shape_;
+  double anchor_x_ = 0.0;
+  double anchor_y_ = 0.0;
+};
+
+// The "view": GDP's window, which creates shapes in the document.
+class DocumentScriptHost::ViewObject final : public toolkit::script::Object {
+ public:
+  explicit ViewObject(DocumentScriptHost* host) : host_(host) {}
+
+  Value Send(const std::string& selector, std::span<const Value> args) override {
+    if (selector == "createRect") {
+      return host_->Wrap(host_->document_->Add(std::make_unique<RectShape>(0, 0, 0, 0)));
+    }
+    if (selector == "createLine") {
+      return host_->Wrap(host_->document_->Add(std::make_unique<LineShape>(0, 0, 0, 0)));
+    }
+    if (selector == "createEllipse") {
+      return host_->Wrap(host_->document_->Add(std::make_unique<EllipseShape>(0, 0, 1, 1)));
+    }
+    if (selector == "createDot:y:") {
+      const double x = RequireNumber(args, 0, "createDot:y:");
+      const double y = RequireNumber(args, 1, "createDot:y:");
+      return host_->Wrap(host_->document_->Add(std::make_unique<DotShape>(x, y)));
+    }
+    throw ScriptError("view does not understand '" + selector + "'");
+  }
+
+  std::string Description() const override { return "gdp-view"; }
+
+ private:
+  DocumentScriptHost* host_;
+};
+
+DocumentScriptHost::DocumentScriptHost(Document* document)
+    : document_(document), view_(std::make_unique<ViewObject>(this)) {}
+
+DocumentScriptHost::~DocumentScriptHost() = default;
+
+Value DocumentScriptHost::Wrap(Shape* shape) {
+  wrappers_.push_back(std::make_unique<ShapeObject>(shape));
+  return Value(static_cast<toolkit::script::Object*>(wrappers_.back().get()));
+}
+
+toolkit::script::Object* DocumentScriptHost::view() { return view_.get(); }
+
+toolkit::ScriptVariableResolver DocumentScriptHost::Resolver() {
+  return [this](const std::string& name) -> std::optional<Value> {
+    if (name == "view") {
+      return Value(view_.get());
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace grandma::gdp

@@ -1,0 +1,56 @@
+// A scriptable facade over a GDP document, so gesture semantics can be
+// written exactly as in the paper's listing:
+//
+//   recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+//   manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+//   done  = nil;
+//
+// `view` answers createRect / createLine / createEllipse / createDot (each
+// adds a shape to the document and returns a shape object); shape objects
+// answer setEndpoint:x:y: (endpoint 0/1 — corners for rectangles, center and
+// radius point for ellipses), moveTo:y:, and return themselves so sends
+// chain.
+#ifndef GRANDMA_SRC_GDP_SCRIPTING_H_
+#define GRANDMA_SRC_GDP_SCRIPTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "gdp/document.h"
+#include "toolkit/script.h"
+#include "toolkit/script_semantics.h"
+
+namespace grandma::gdp {
+
+// Owns the script-object wrappers for one document. Keep it alive as long as
+// compiled semantics referencing its objects may run.
+class DocumentScriptHost {
+ public:
+  explicit DocumentScriptHost(Document* document);
+  ~DocumentScriptHost();
+
+  DocumentScriptHost(const DocumentScriptHost&) = delete;
+  DocumentScriptHost& operator=(const DocumentScriptHost&) = delete;
+
+  // The variable resolver binding "view" to this document's facade; pass to
+  // toolkit::CompileScriptSemantics.
+  toolkit::ScriptVariableResolver Resolver();
+
+  // The "view" object itself (for direct script evaluation in tests).
+  toolkit::script::Object* view();
+
+ private:
+  class ViewObject;
+  class ShapeObject;
+
+  // Wraps a shape in a script object owned by this host.
+  toolkit::script::Value Wrap(Shape* shape);
+
+  Document* document_;
+  std::unique_ptr<ViewObject> view_;
+  std::vector<std::unique_ptr<ShapeObject>> wrappers_;
+};
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_SCRIPTING_H_

@@ -1,0 +1,86 @@
+#include "gdp/session.h"
+
+#include <stdexcept>
+
+#include "geom/transform.h"
+#include "synth/generator.h"
+#include "synth/rng.h"
+#include "toolkit/event.h"
+
+namespace grandma::gdp {
+
+namespace {
+
+const synth::PathSpec& RequireSpec(const std::vector<synth::PathSpec>& specs,
+                                   const std::string& class_name) {
+  for (const synth::PathSpec& spec : specs) {
+    if (spec.class_name == class_name) {
+      return spec;
+    }
+  }
+  throw std::invalid_argument("Unknown GDP gesture class: " + class_name);
+}
+
+}  // namespace
+
+geom::Gesture MakeStrokeAt(const synth::PathSpec& spec, double x, double y,
+                           std::uint64_t seed) {
+  synth::NoiseModel noise;
+  noise.translation_sigma = 0.0;  // exact placement
+  noise.rotation_sigma = 0.03;
+  noise.scale_sigma = 0.05;
+  synth::Rng rng(seed);
+  synth::GestureSample sample = synth::Generate(spec, noise, rng);
+  geom::Gesture g = sample.gesture;
+  if (g.empty()) {
+    return g;
+  }
+  const geom::AffineTransform shift =
+      geom::AffineTransform::Translation(x - g.front().x, y - g.front().y);
+  return geom::RebaseTime(shift.Apply(g), 0.0);
+}
+
+std::string PlayGesture(GdpApp& app, const std::string& class_name, double x, double y,
+                        double hold_ms, std::uint64_t seed) {
+  const auto specs = synth::MakeGdpSpecs(app.options().group_orientation);
+  const geom::Gesture stroke = MakeStrokeAt(RequireSpec(specs, class_name), x, y, seed);
+  app.driver().PlayStroke(stroke, hold_ms);
+  return app.gesture_handler().recognized_class();
+}
+
+std::string PlayGestureWithDrag(GdpApp& app, const std::string& class_name, double x, double y,
+                                double to_x, double to_y, double hold_ms, std::uint64_t seed) {
+  const auto specs = synth::MakeGdpSpecs(app.options().group_orientation);
+  const geom::Gesture stroke = MakeStrokeAt(RequireSpec(specs, class_name), x, y, seed);
+  if (stroke.empty()) {
+    return {};
+  }
+
+  toolkit::PlaybackDriver& driver = app.driver();
+  const double t0 = app.dispatcher().clock().now_ms();
+  driver.Feed(toolkit::InputEvent::MouseDown(stroke.front().x, stroke.front().y, t0));
+  for (std::size_t i = 1; i < stroke.size(); ++i) {
+    driver.Feed(toolkit::InputEvent::MouseMove(stroke[i].x, stroke[i].y,
+                                               t0 + stroke[i].t - stroke.front().t));
+  }
+  // Dwell to force the phase transition when eager recognition is off (or
+  // has not fired yet).
+  double t = app.dispatcher().clock().now_ms() + hold_ms;
+  for (double tick = app.dispatcher().clock().now_ms() + 25.0; tick <= t; tick += 25.0) {
+    app.dispatcher().clock().Set(tick);
+    app.dispatcher().Tick();
+  }
+  // Manipulation: drag in a straight line to (to_x, to_y) in 8 steps.
+  const double from_x = stroke.back().x;
+  const double from_y = stroke.back().y;
+  for (int i = 1; i <= 8; ++i) {
+    const double u = static_cast<double>(i) / 8.0;
+    t += 15.0;
+    driver.Feed(toolkit::InputEvent::MouseMove(from_x + (to_x - from_x) * u,
+                                               from_y + (to_y - from_y) * u, t));
+  }
+  driver.Feed(toolkit::InputEvent::MouseUp(to_x, to_y, t + 10.0));
+  return app.gesture_handler().recognized_class();
+}
+
+}  // namespace grandma::gdp

@@ -1,0 +1,40 @@
+// Scripted GDP sessions: helpers that place canonical gesture strokes at
+// chosen document positions and play them through the app's event pipeline.
+// These drive the examples, the Figure 3 harness, and the integration tests.
+#ifndef GRANDMA_SRC_GDP_SESSION_H_
+#define GRANDMA_SRC_GDP_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gdp/app.h"
+#include "geom/gesture.h"
+#include "synth/path_spec.h"
+
+namespace grandma::gdp {
+
+// Generates one low-noise sample of `spec` whose first point lands exactly
+// at (x, y). Deterministic in `seed`.
+geom::Gesture MakeStrokeAt(const synth::PathSpec& spec, double x, double y,
+                           std::uint64_t seed = 1);
+
+// Looks up the spec named `class_name` in the app's gesture set (same
+// orientation option) and plays it at (x, y):
+//   - hold_ms >= the handler's dwell timeout exercises the timeout
+//     transition, leaving the interaction in the manipulation phase when the
+//     drag list is empty;
+//   - with eager enabled, the transition usually happens mid-stroke.
+// The stroke ends with a mouse-up. Returns the class the app recognized.
+std::string PlayGesture(GdpApp& app, const std::string& class_name, double x, double y,
+                        double hold_ms = 0.0, std::uint64_t seed = 1);
+
+// Plays the stroke, then continues with a manipulation drag to (to_x, to_y)
+// before releasing. `hold_ms` is the dwell inserted after the stroke to force
+// the phase transition when eager recognition is off.
+std::string PlayGestureWithDrag(GdpApp& app, const std::string& class_name, double x, double y,
+                                double to_x, double to_y, double hold_ms = 250.0,
+                                std::uint64_t seed = 1);
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_SESSION_H_

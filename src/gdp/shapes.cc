@@ -1,0 +1,325 @@
+#include "gdp/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "gdp/canvas.h"
+
+namespace grandma::gdp {
+
+namespace {
+
+double SegmentDistance(double px, double py, double x0, double y0, double x1, double y1) {
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len2 = dx * dx + dy * dy;
+  double u = 0.0;
+  if (len2 > 0.0) {
+    u = std::clamp(((px - x0) * dx + (py - y0) * dy) / len2, 0.0, 1.0);
+  }
+  const double qx = x0 + u * dx;
+  const double qy = y0 + u * dy;
+  return std::hypot(px - qx, py - qy);
+}
+
+void RotateScalePoint(double& x, double& y, double cx, double cy, double radians,
+                      double factor) {
+  const double cos_r = std::cos(radians) * factor;
+  const double sin_r = std::sin(radians) * factor;
+  const double dx = x - cx;
+  const double dy = y - cy;
+  x = cx + dx * cos_r - dy * sin_r;
+  y = cy + dx * sin_r + dy * cos_r;
+}
+
+}  // namespace
+
+std::vector<geom::TimedPoint> Shape::ControlPoints() const {
+  const geom::BoundingBox b = Bounds();
+  return {
+      {b.min_x, b.min_y, 0.0},
+      {b.max_x, b.min_y, 0.0},
+      {b.max_x, b.max_y, 0.0},
+      {b.min_x, b.max_y, 0.0},
+  };
+}
+
+std::string Shape::Describe() const {
+  const geom::BoundingBox b = Bounds();
+  std::ostringstream os;
+  os << Kind() << "#" << id() << " [" << b.min_x << "," << b.min_y << " .. " << b.max_x << ","
+     << b.max_y << "]";
+  return os.str();
+}
+
+// --- LineShape ---
+
+geom::BoundingBox LineShape::Bounds() const {
+  return geom::BoundingBox{std::min(x0_, x1_), std::min(y0_, y1_), std::max(x0_, x1_),
+                           std::max(y0_, y1_)};
+}
+
+bool LineShape::HitTest(double x, double y, double tolerance) const {
+  return SegmentDistance(x, y, x0_, y0_, x1_, y1_) <= tolerance + 0.5 * thickness_;
+}
+
+void LineShape::Render(Canvas& canvas) const { canvas.DrawSegment(x0_, y0_, x1_, y1_, '#'); }
+
+void LineShape::Translate(double dx, double dy) {
+  x0_ += dx;
+  y0_ += dy;
+  x1_ += dx;
+  y1_ += dy;
+}
+
+void LineShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  RotateScalePoint(x0_, y0_, cx, cy, radians, factor);
+  RotateScalePoint(x1_, y1_, cx, cy, radians, factor);
+  thickness_ *= factor;
+}
+
+std::vector<geom::TimedPoint> LineShape::ControlPoints() const {
+  return {{x0_, y0_, 0.0}, {x1_, y1_, 0.0}};
+}
+
+void LineShape::SetEndpoint(int which, double x, double y) {
+  if (which == 0) {
+    x0_ = x;
+    y0_ = y;
+  } else {
+    x1_ = x;
+    y1_ = y;
+  }
+}
+
+// --- RectShape ---
+
+RectShape::RectShape(double x0, double y0, double x1, double y1, double angle)
+    : cx_(0), cy_(0), w_(0), h_(0), angle_(angle) {
+  SetCorners(x0, y0, x1, y1);
+}
+
+void RectShape::SetCorners(double x0, double y0, double x1, double y1) {
+  cx_ = 0.5 * (x0 + x1);
+  cy_ = 0.5 * (y0 + y1);
+  // The defining corners are opposite corners in the rectangle's own frame.
+  const double cos_a = std::cos(angle_);
+  const double sin_a = std::sin(angle_);
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  w_ = std::abs(dx * cos_a + dy * sin_a);
+  h_ = std::abs(-dx * sin_a + dy * cos_a);
+}
+
+std::vector<geom::TimedPoint> RectShape::Corners() const {
+  const double cos_a = std::cos(angle_);
+  const double sin_a = std::sin(angle_);
+  const double hw = 0.5 * w_;
+  const double hh = 0.5 * h_;
+  const double local[4][2] = {{-hw, -hh}, {hw, -hh}, {hw, hh}, {-hw, hh}};
+  std::vector<geom::TimedPoint> out;
+  out.reserve(4);
+  for (const auto& p : local) {
+    out.push_back({cx_ + p[0] * cos_a - p[1] * sin_a, cy_ + p[0] * sin_a + p[1] * cos_a, 0.0});
+  }
+  return out;
+}
+
+geom::BoundingBox RectShape::Bounds() const {
+  const auto corners = Corners();
+  geom::BoundingBox b{corners[0].x, corners[0].y, corners[0].x, corners[0].y};
+  for (const auto& c : corners) {
+    b.min_x = std::min(b.min_x, c.x);
+    b.min_y = std::min(b.min_y, c.y);
+    b.max_x = std::max(b.max_x, c.x);
+    b.max_y = std::max(b.max_y, c.y);
+  }
+  return b;
+}
+
+bool RectShape::HitTest(double x, double y, double tolerance) const {
+  const auto c = Corners();
+  for (int i = 0; i < 4; ++i) {
+    const auto& a = c[i];
+    const auto& b = c[(i + 1) % 4];
+    if (SegmentDistance(x, y, a.x, a.y, b.x, b.y) <= tolerance) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RectShape::Render(Canvas& canvas) const {
+  const auto c = Corners();
+  for (int i = 0; i < 4; ++i) {
+    const auto& a = c[i];
+    const auto& b = c[(i + 1) % 4];
+    canvas.DrawSegment(a.x, a.y, b.x, b.y, '#');
+  }
+}
+
+void RectShape::Translate(double dx, double dy) {
+  cx_ += dx;
+  cy_ += dy;
+}
+
+void RectShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  RotateScalePoint(cx_, cy_, cx, cy, radians, factor);
+  w_ *= factor;
+  h_ *= factor;
+  angle_ += radians;
+}
+
+std::vector<geom::TimedPoint> RectShape::ControlPoints() const { return Corners(); }
+
+// --- EllipseShape ---
+
+geom::BoundingBox EllipseShape::Bounds() const {
+  // Conservative: the rotated ellipse's exact extents.
+  const double cos_a = std::cos(angle_);
+  const double sin_a = std::sin(angle_);
+  const double ex = std::sqrt(rx_ * rx_ * cos_a * cos_a + ry_ * ry_ * sin_a * sin_a);
+  const double ey = std::sqrt(rx_ * rx_ * sin_a * sin_a + ry_ * ry_ * cos_a * cos_a);
+  return geom::BoundingBox{cx_ - ex, cy_ - ey, cx_ + ex, cy_ + ey};
+}
+
+bool EllipseShape::HitTest(double x, double y, double tolerance) const {
+  if (rx_ <= 0.0 || ry_ <= 0.0) {
+    return std::hypot(x - cx_, y - cy_) <= tolerance;
+  }
+  // Transform into the ellipse's frame and compare the normalized radius to
+  // 1; tolerance is scaled by the smaller radius for an outline-ish test.
+  const double cos_a = std::cos(-angle_);
+  const double sin_a = std::sin(-angle_);
+  const double dx = x - cx_;
+  const double dy = y - cy_;
+  const double lx = dx * cos_a - dy * sin_a;
+  const double ly = dx * sin_a + dy * cos_a;
+  const double norm = std::sqrt((lx / rx_) * (lx / rx_) + (ly / ry_) * (ly / ry_));
+  const double tol_norm = tolerance / std::min(rx_, ry_);
+  return std::abs(norm - 1.0) <= tol_norm;
+}
+
+void EllipseShape::Render(Canvas& canvas) const {
+  canvas.DrawEllipse(cx_, cy_, rx_, ry_, angle_, '#');
+}
+
+void EllipseShape::Translate(double dx, double dy) {
+  cx_ += dx;
+  cy_ += dy;
+}
+
+void EllipseShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  RotateScalePoint(cx_, cy_, cx, cy, radians, factor);
+  rx_ *= factor;
+  ry_ *= factor;
+  angle_ += radians;
+}
+
+std::vector<geom::TimedPoint> EllipseShape::ControlPoints() const {
+  const double cos_a = std::cos(angle_);
+  const double sin_a = std::sin(angle_);
+  return {
+      {cx_ + rx_ * cos_a, cy_ + rx_ * sin_a, 0.0},
+      {cx_ - ry_ * sin_a, cy_ + ry_ * cos_a, 0.0},
+  };
+}
+
+// --- TextShape ---
+
+geom::BoundingBox TextShape::Bounds() const {
+  // Nominal glyph cell of 6x10 world units.
+  return geom::BoundingBox{x_, y_ - 10.0, x_ + 6.0 * static_cast<double>(text_.size()), y_};
+}
+
+bool TextShape::HitTest(double x, double y, double tolerance) const {
+  const geom::BoundingBox b = Bounds();
+  return x >= b.min_x - tolerance && x <= b.max_x + tolerance && y >= b.min_y - tolerance &&
+         y <= b.max_y + tolerance;
+}
+
+void TextShape::Render(Canvas& canvas) const { canvas.DrawString(x_, y_, text_); }
+
+void TextShape::Translate(double dx, double dy) {
+  x_ += dx;
+  y_ += dy;
+}
+
+void TextShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  RotateScalePoint(x_, y_, cx, cy, radians, factor);
+}
+
+// --- DotShape ---
+
+geom::BoundingBox DotShape::Bounds() const {
+  return geom::BoundingBox{x_ - 1.0, y_ - 1.0, x_ + 1.0, y_ + 1.0};
+}
+
+bool DotShape::HitTest(double x, double y, double tolerance) const {
+  return std::hypot(x - x_, y - y_) <= tolerance + 1.0;
+}
+
+void DotShape::Render(Canvas& canvas) const { canvas.Plot(x_, y_, '*'); }
+
+void DotShape::Translate(double dx, double dy) {
+  x_ += dx;
+  y_ += dy;
+}
+
+void DotShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  RotateScalePoint(x_, y_, cx, cy, radians, factor);
+}
+
+// --- GroupShape ---
+
+GroupShape::GroupShape(const GroupShape& other) : Shape(other) {
+  members_.reserve(other.members_.size());
+  for (const auto& m : other.members_) {
+    members_.push_back(m->Clone());
+  }
+}
+
+geom::BoundingBox GroupShape::Bounds() const {
+  if (members_.empty()) {
+    return geom::BoundingBox{};
+  }
+  geom::BoundingBox b = members_.front()->Bounds();
+  for (const auto& m : members_) {
+    const geom::BoundingBox mb = m->Bounds();
+    b.min_x = std::min(b.min_x, mb.min_x);
+    b.min_y = std::min(b.min_y, mb.min_y);
+    b.max_x = std::max(b.max_x, mb.max_x);
+    b.max_y = std::max(b.max_y, mb.max_y);
+  }
+  return b;
+}
+
+bool GroupShape::HitTest(double x, double y, double tolerance) const {
+  for (const auto& m : members_) {
+    if (m->HitTest(x, y, tolerance)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GroupShape::Render(Canvas& canvas) const {
+  for (const auto& m : members_) {
+    m->Render(canvas);
+  }
+}
+
+void GroupShape::Translate(double dx, double dy) {
+  for (const auto& m : members_) {
+    m->Translate(dx, dy);
+  }
+}
+
+void GroupShape::RotateScaleAbout(double cx, double cy, double radians, double factor) {
+  for (const auto& m : members_) {
+    m->RotateScaleAbout(cx, cy, radians, factor);
+  }
+}
+
+}  // namespace grandma::gdp

@@ -1,0 +1,209 @@
+// GDP's drawing models: lines, rectangles, ellipses, text, dots, and
+// composite groups (Section 2). Shapes are the Model side of GRANDMA's MVC;
+// GDP's gesture semantics create and manipulate them.
+#ifndef GRANDMA_SRC_GDP_SHAPES_H_
+#define GRANDMA_SRC_GDP_SHAPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/gesture.h"
+
+namespace grandma::gdp {
+
+class Canvas;
+
+using ShapeId = std::uint64_t;
+
+// Base drawing object. Shapes support the manipulations GDP's gestures need:
+// translation (move/copy), rotate-scale about a point, and corner dragging.
+class Shape {
+ public:
+  virtual ~Shape() = default;
+
+  ShapeId id() const { return id_; }
+  void set_id(ShapeId id) { id_ = id; }
+
+  virtual std::string_view Kind() const = 0;
+  virtual geom::BoundingBox Bounds() const = 0;
+  // True when (x, y) is within `tolerance` of the shape's ink.
+  virtual bool HitTest(double x, double y, double tolerance) const = 0;
+  virtual void Render(Canvas& canvas) const = 0;
+  virtual std::unique_ptr<Shape> Clone() const = 0;
+  virtual void Translate(double dx, double dy) = 0;
+  // Rotates by `radians` and scales by `factor` about (cx, cy).
+  virtual void RotateScaleAbout(double cx, double cy, double radians, double factor) = 0;
+
+  // Grab points for the `edit` gesture's control points.
+  virtual std::vector<geom::TimedPoint> ControlPoints() const;
+
+  std::string Describe() const;
+
+ protected:
+  Shape() = default;
+  Shape(const Shape&) = default;
+
+ private:
+  ShapeId id_ = 0;
+};
+
+class LineShape final : public Shape {
+ public:
+  LineShape(double x0, double y0, double x1, double y1, double thickness = 1.0)
+      : x0_(x0), y0_(y0), x1_(x1), y1_(y1), thickness_(thickness) {}
+
+  std::string_view Kind() const override { return "line"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<LineShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+  std::vector<geom::TimedPoint> ControlPoints() const override;
+
+  void SetEndpoint(int which, double x, double y);
+  double x0() const { return x0_; }
+  double y0() const { return y0_; }
+  double x1() const { return x1_; }
+  double y1() const { return y1_; }
+  double thickness() const { return thickness_; }
+  void set_thickness(double t) { thickness_ = t; }
+
+ private:
+  double x0_, y0_, x1_, y1_;
+  double thickness_;
+};
+
+// Rectangle stored as center/size/angle so rotate-scale is exact; created
+// and manipulated through its two defining corners, matching GDP's
+// rubberbanding semantics (corner 1 at gesture start, corner 2 dragged).
+class RectShape final : public Shape {
+ public:
+  RectShape(double x0, double y0, double x1, double y1, double angle = 0.0);
+
+  std::string_view Kind() const override { return "rectangle"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<RectShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+  std::vector<geom::TimedPoint> ControlPoints() const override;
+
+  // Re-anchors the rectangle by its two defining corners (axis-aligned in
+  // the rectangle's own rotated frame).
+  void SetCorners(double x0, double y0, double x1, double y1);
+  // The four corners in world space, in order.
+  std::vector<geom::TimedPoint> Corners() const;
+
+  double cx() const { return cx_; }
+  double cy() const { return cy_; }
+  double width() const { return w_; }
+  double height() const { return h_; }
+  double angle() const { return angle_; }
+
+ private:
+  double cx_, cy_, w_, h_, angle_;
+};
+
+class EllipseShape final : public Shape {
+ public:
+  EllipseShape(double cx, double cy, double rx, double ry, double angle = 0.0)
+      : cx_(cx), cy_(cy), rx_(rx), ry_(ry), angle_(angle) {}
+
+  std::string_view Kind() const override { return "ellipse"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<EllipseShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+  std::vector<geom::TimedPoint> ControlPoints() const override;
+
+  void SetRadii(double rx, double ry) {
+    rx_ = rx;
+    ry_ = ry;
+  }
+  double cx() const { return cx_; }
+  double cy() const { return cy_; }
+  double rx() const { return rx_; }
+  double ry() const { return ry_; }
+  double angle() const { return angle_; }
+
+ private:
+  double cx_, cy_, rx_, ry_, angle_;
+};
+
+class TextShape final : public Shape {
+ public:
+  TextShape(double x, double y, std::string text) : x_(x), y_(y), text_(std::move(text)) {}
+
+  std::string_view Kind() const override { return "text"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<TextShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+
+  void MoveTo(double x, double y) {
+    x_ = x;
+    y_ = y;
+  }
+  double x() const { return x_; }
+  double y() const { return y_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+ private:
+  double x_, y_;
+  std::string text_;
+};
+
+class DotShape final : public Shape {
+ public:
+  DotShape(double x, double y) : x_(x), y_(y) {}
+
+  std::string_view Kind() const override { return "dot"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<DotShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+
+  double x() const { return x_; }
+  double y() const { return y_; }
+
+ private:
+  double x_, y_;
+};
+
+// A composite of owned member shapes (GDP's `group` gesture).
+class GroupShape final : public Shape {
+ public:
+  GroupShape() = default;
+  GroupShape(const GroupShape& other);
+
+  std::string_view Kind() const override { return "group"; }
+  geom::BoundingBox Bounds() const override;
+  bool HitTest(double x, double y, double tolerance) const override;
+  void Render(Canvas& canvas) const override;
+  std::unique_ptr<Shape> Clone() const override { return std::make_unique<GroupShape>(*this); }
+  void Translate(double dx, double dy) override;
+  void RotateScaleAbout(double cx, double cy, double radians, double factor) override;
+
+  void AddMember(std::unique_ptr<Shape> shape) { members_.push_back(std::move(shape)); }
+  const std::vector<std::unique_ptr<Shape>>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Shape>> members_;
+};
+
+}  // namespace grandma::gdp
+
+#endif  // GRANDMA_SRC_GDP_SHAPES_H_

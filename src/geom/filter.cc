@@ -1,0 +1,44 @@
+#include "geom/filter.h"
+
+namespace grandma::geom {
+
+bool MinDistanceFilter::Accept(const TimedPoint& p) {
+  if (accepted_count_ > 0 && Distance(last_accepted_, p) < min_distance_) {
+    ++rejected_count_;
+    return false;
+  }
+  last_accepted_ = p;
+  ++accepted_count_;
+  return true;
+}
+
+void MinDistanceFilter::Reset() {
+  last_accepted_ = TimedPoint{};
+  accepted_count_ = 0;
+  rejected_count_ = 0;
+}
+
+Gesture FilterMinDistance(const Gesture& g, double min_distance) {
+  MinDistanceFilter filter(min_distance);
+  Gesture out;
+  out.Reserve(g.size());
+  for (const TimedPoint& p : g) {
+    if (filter.Accept(p)) {
+      out.AppendPoint(p);
+    }
+  }
+  return out;
+}
+
+Gesture FilterMonotonicTime(const Gesture& g) {
+  Gesture out;
+  out.Reserve(g.size());
+  for (const TimedPoint& p : g) {
+    if (out.empty() || p.t > out.back().t) {
+      out.AppendPoint(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace grandma::geom

@@ -1,0 +1,53 @@
+// Input preprocessing applied by the gesture collector before feature
+// extraction. Rubine's implementation discards a new mouse point when it is
+// within a small radius of the previous accepted point; this thins the bursts
+// of nearly identical samples a dwelling mouse produces and stabilizes the
+// initial-angle features.
+#ifndef GRANDMA_SRC_GEOM_FILTER_H_
+#define GRANDMA_SRC_GEOM_FILTER_H_
+
+#include <cstddef>
+
+#include "geom/gesture.h"
+#include "geom/point.h"
+
+namespace grandma::geom {
+
+// Streaming minimum-distance filter. Feed raw device points; Accept() tells
+// the caller whether the point should be appended to the gesture.
+class MinDistanceFilter {
+ public:
+  // `min_distance` in pixels; Rubine used 3.
+  explicit MinDistanceFilter(double min_distance = 3.0) : min_distance_(min_distance) {}
+
+  // Returns true when `p` is far enough from the last accepted point (the
+  // first point is always accepted) and records it as the new last point.
+  bool Accept(const TimedPoint& p);
+
+  // Forget the stream state (start of a new gesture).
+  void Reset();
+
+  double min_distance() const { return min_distance_; }
+  std::size_t accepted_count() const { return accepted_count_; }
+  std::size_t rejected_count() const { return rejected_count_; }
+
+ private:
+  double min_distance_;
+  // Last accepted point; valid only when accepted_count_ > 0. (A plain
+  // member instead of std::optional: GCC 12's -Wmaybe-uninitialized false
+  // positive on optional payloads in inlined loops.)
+  TimedPoint last_accepted_{};
+  std::size_t accepted_count_ = 0;
+  std::size_t rejected_count_ = 0;
+};
+
+// Batch form: returns `g` with too-close points removed.
+Gesture FilterMinDistance(const Gesture& g, double min_distance = 3.0);
+
+// Removes points with non-increasing time stamps (device glitches); keeps the
+// first of any tie.
+Gesture FilterMonotonicTime(const Gesture& g);
+
+}  // namespace grandma::geom
+
+#endif  // GRANDMA_SRC_GEOM_FILTER_H_

@@ -1,0 +1,133 @@
+#include "geom/gesture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace grandma::geom {
+
+double BoundingBox::DiagonalLength() const {
+  const double w = width();
+  const double h = height();
+  return std::sqrt(w * w + h * h);
+}
+
+Gesture Gesture::Subgesture(std::size_t i) const {
+  if (i > points_.size()) {
+    throw std::out_of_range("Gesture::Subgesture: prefix longer than gesture");
+  }
+  return Gesture(std::vector<TimedPoint>(points_.begin(), points_.begin() + i));
+}
+
+double Gesture::PathLength() const {
+  double length = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    length += Distance(points_[i - 1], points_[i]);
+  }
+  return length;
+}
+
+double Gesture::Duration() const {
+  if (points_.size() < 2) {
+    return 0.0;
+  }
+  return points_.back().t - points_.front().t;
+}
+
+BoundingBox Gesture::Bounds() const {
+  if (points_.empty()) {
+    return BoundingBox{};
+  }
+  BoundingBox box{points_[0].x, points_[0].y, points_[0].x, points_[0].y};
+  for (const TimedPoint& p : points_) {
+    box.min_x = std::min(box.min_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_x = std::max(box.max_x, p.x);
+    box.max_y = std::max(box.max_y, p.y);
+  }
+  return box;
+}
+
+bool Gesture::PassesNear(double x, double y, double radius) const {
+  const double r2 = radius * radius;
+  const TimedPoint target{x, y, 0.0};
+  for (const TimedPoint& p : points_) {
+    if (SquaredDistance(p, target) <= r2) {
+      return true;
+    }
+  }
+  // Also test segment interiors so fast mouse motion cannot jump over the
+  // target between samples.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const TimedPoint& a = points_[i - 1];
+    const TimedPoint& b = points_[i];
+    const double abx = b.x - a.x;
+    const double aby = b.y - a.y;
+    const double len2 = abx * abx + aby * aby;
+    if (len2 == 0.0) {
+      continue;
+    }
+    double u = ((x - a.x) * abx + (y - a.y) * aby) / len2;
+    u = std::clamp(u, 0.0, 1.0);
+    const double px = a.x + u * abx;
+    const double py = a.y + u * aby;
+    const double dx = x - px;
+    const double dy = y - py;
+    if (dx * dx + dy * dy <= r2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Gesture::ToString() const {
+  std::ostringstream os;
+  os << "Gesture{" << points_.size() << " pts";
+  if (!points_.empty()) {
+    os << ", (" << points_.front().x << "," << points_.front().y << ")..(" << points_.back().x
+       << "," << points_.back().y << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+bool EnclosesPoint(const Gesture& g, double x, double y) {
+  const auto& pts = g.points();
+  if (pts.size() < 3) {
+    return false;
+  }
+  bool inside = false;
+  // Standard even-odd ray cast against the closed polygon (last -> first edge
+  // included), robust to the open-ended strokes users actually draw.
+  for (std::size_t i = 0, j = pts.size() - 1; i < pts.size(); j = i++) {
+    const bool crosses = (pts[i].y > y) != (pts[j].y > y);
+    if (!crosses) {
+      continue;
+    }
+    const double x_at_y =
+        pts[j].x + (pts[i].x - pts[j].x) * (y - pts[j].y) / (pts[i].y - pts[j].y);
+    if (x < x_at_y) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+TimedPoint Centroid(const Gesture& g) {
+  if (g.empty()) {
+    return TimedPoint{};
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double st = 0.0;
+  for (const TimedPoint& p : g) {
+    sx += p.x;
+    sy += p.y;
+    st += p.t;
+  }
+  const double n = static_cast<double>(g.size());
+  return TimedPoint{sx / n, sy / n, st / n};
+}
+
+}  // namespace grandma::geom

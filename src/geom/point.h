@@ -1,0 +1,35 @@
+// The (x, y, t) input sample that every layer of the system consumes.
+#ifndef GRANDMA_SRC_GEOM_POINT_H_
+#define GRANDMA_SRC_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace grandma::geom {
+
+// A two-dimensional mouse/stylus point (x, y) that arrived at time t.
+// Coordinates are in device-independent pixels; t is in milliseconds. The
+// paper defines a gesture as a sequence of exactly these triples.
+struct TimedPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;  // milliseconds
+
+  friend bool operator==(const TimedPoint&, const TimedPoint&) = default;
+};
+
+// Euclidean distance between the spatial parts of two points.
+inline double Distance(const TimedPoint& a, const TimedPoint& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double SquaredDistance(const TimedPoint& a, const TimedPoint& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace grandma::geom
+
+#endif  // GRANDMA_SRC_GEOM_POINT_H_

@@ -1,0 +1,98 @@
+#include "geom/resample.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace grandma::geom {
+
+namespace {
+
+TimedPoint Lerp(const TimedPoint& a, const TimedPoint& b, double u) {
+  return TimedPoint{a.x + (b.x - a.x) * u, a.y + (b.y - a.y) * u, a.t + (b.t - a.t) * u};
+}
+
+}  // namespace
+
+Gesture ResampleByCount(const Gesture& g, std::size_t n) {
+  if (n < 2 || g.size() < 2) {
+    throw std::invalid_argument("ResampleByCount requires n >= 2 and |g| >= 2");
+  }
+  const double total = g.PathLength();
+  if (total == 0.0) {
+    // Degenerate: all points coincide; replicate endpoints with interpolated
+    // time so the output still has n samples.
+    std::vector<TimedPoint> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = static_cast<double>(i) / static_cast<double>(n - 1);
+      out.push_back(Lerp(g.front(), g.back(), u));
+    }
+    return Gesture(std::move(out));
+  }
+  const double step = total / static_cast<double>(n - 1);
+  std::vector<TimedPoint> out;
+  out.reserve(n);
+  out.push_back(g.front());
+  double carried = 0.0;  // distance from out.back() along current segment start
+  std::size_t seg = 1;
+  TimedPoint prev = g.front();
+  while (out.size() < n - 1 && seg < g.size()) {
+    const TimedPoint& next = g[seg];
+    const double seg_len = Distance(prev, next);
+    if (carried + seg_len >= step && seg_len > 0.0) {
+      const double u = (step - carried) / seg_len;
+      const TimedPoint sample = Lerp(prev, next, u);
+      out.push_back(sample);
+      prev = sample;
+      carried = 0.0;
+    } else {
+      carried += seg_len;
+      prev = next;
+      ++seg;
+    }
+  }
+  while (out.size() < n) {
+    out.push_back(g.back());
+  }
+  return Gesture(std::move(out));
+}
+
+Gesture ResampleBySpacing(const Gesture& g, double spacing) {
+  if (spacing <= 0.0 || g.size() < 2) {
+    throw std::invalid_argument("ResampleBySpacing requires spacing > 0 and |g| >= 2");
+  }
+  const double total = g.PathLength();
+  const std::size_t n = std::max<std::size_t>(2, static_cast<std::size_t>(total / spacing) + 1);
+  return ResampleByCount(g, n);
+}
+
+Gesture ResampleByTime(const Gesture& g, double dt) {
+  if (dt <= 0.0 || g.size() < 2) {
+    throw std::invalid_argument("ResampleByTime requires dt > 0 and |g| >= 2");
+  }
+  std::vector<TimedPoint> out;
+  out.push_back(g.front());
+  std::size_t seg = 1;
+  double t = g.front().t + dt;
+  while (t < g.back().t) {
+    while (seg < g.size() && g[seg].t < t) {
+      ++seg;
+    }
+    if (seg >= g.size()) {
+      break;
+    }
+    const TimedPoint& a = g[seg - 1];
+    const TimedPoint& b = g[seg];
+    if (b.t <= a.t) {
+      throw std::invalid_argument("ResampleByTime requires strictly increasing time");
+    }
+    const double u = (t - a.t) / (b.t - a.t);
+    out.push_back(Lerp(a, b, u));
+    t += dt;
+  }
+  out.push_back(g.back());
+  return Gesture(std::move(out));
+}
+
+}  // namespace grandma::geom

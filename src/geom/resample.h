@@ -1,0 +1,29 @@
+// Resampling utilities. The recognizer itself never requires resampling (the
+// features are sampling-robust by design), but the synthetic generator uses
+// arc-length resampling to emit realistic, evenly spaced device points, and
+// tests use it to verify the features' sampling robustness.
+#ifndef GRANDMA_SRC_GEOM_RESAMPLE_H_
+#define GRANDMA_SRC_GEOM_RESAMPLE_H_
+
+#include <cstddef>
+
+#include "geom/gesture.h"
+
+namespace grandma::geom {
+
+// Resamples `g` to exactly `n` points spaced evenly along the path, linearly
+// interpolating positions and time stamps. Requires n >= 2 and g.size() >= 2.
+Gesture ResampleByCount(const Gesture& g, std::size_t n);
+
+// Resamples `g` to points spaced `spacing` apart along the path (the final
+// point is always kept). Requires spacing > 0 and g.size() >= 2.
+Gesture ResampleBySpacing(const Gesture& g, double spacing);
+
+// Resamples `g` to one point every `dt` milliseconds (plus the final point),
+// interpolating along the original trajectory. Requires dt > 0, g.size() >= 2
+// and strictly increasing time stamps.
+Gesture ResampleByTime(const Gesture& g, double dt);
+
+}  // namespace grandma::geom
+
+#endif  // GRANDMA_SRC_GEOM_RESAMPLE_H_

@@ -1,0 +1,81 @@
+#include "geom/transform.h"
+
+#include <cmath>
+
+namespace grandma::geom {
+
+AffineTransform AffineTransform::Translation(double dx, double dy) {
+  return AffineTransform(1.0, 0.0, 0.0, 1.0, dx, dy);
+}
+
+AffineTransform AffineTransform::Rotation(double radians, double cx, double cy) {
+  const double cos_r = std::cos(radians);
+  const double sin_r = std::sin(radians);
+  // Translate center to origin, rotate, translate back.
+  const double tx = cx - cos_r * cx + sin_r * cy;
+  const double ty = cy - sin_r * cx - cos_r * cy;
+  return AffineTransform(cos_r, -sin_r, sin_r, cos_r, tx, ty);
+}
+
+AffineTransform AffineTransform::Scale(double s, double cx, double cy) {
+  return Scale(s, s, cx, cy);
+}
+
+AffineTransform AffineTransform::Scale(double sx, double sy, double cx, double cy) {
+  return AffineTransform(sx, 0.0, 0.0, sy, cx - sx * cx, cy - sy * cy);
+}
+
+AffineTransform AffineTransform::Compose(const AffineTransform& first) const {
+  return AffineTransform(a_ * first.a_ + b_ * first.c_, a_ * first.b_ + b_ * first.d_,
+                         c_ * first.a_ + d_ * first.c_, c_ * first.b_ + d_ * first.d_,
+                         a_ * first.tx_ + b_ * first.ty_ + tx_,
+                         c_ * first.tx_ + d_ * first.ty_ + ty_);
+}
+
+TimedPoint AffineTransform::Apply(const TimedPoint& p) const {
+  return TimedPoint{a_ * p.x + b_ * p.y + tx_, c_ * p.x + d_ * p.y + ty_, p.t};
+}
+
+void AffineTransform::ApplyInPlace(double& x, double& y) const {
+  const double nx = a_ * x + b_ * y + tx_;
+  const double ny = c_ * x + d_ * y + ty_;
+  x = nx;
+  y = ny;
+}
+
+Gesture AffineTransform::Apply(const Gesture& g) const {
+  std::vector<TimedPoint> out;
+  out.reserve(g.size());
+  for (const TimedPoint& p : g) {
+    out.push_back(Apply(p));
+  }
+  return Gesture(std::move(out));
+}
+
+Gesture RebaseTime(const Gesture& g, double t0) {
+  if (g.empty()) {
+    return g;
+  }
+  const double shift = t0 - g.front().t;
+  std::vector<TimedPoint> out;
+  out.reserve(g.size());
+  for (const TimedPoint& p : g) {
+    out.push_back(TimedPoint{p.x, p.y, p.t + shift});
+  }
+  return Gesture(std::move(out));
+}
+
+Gesture ScaleTempo(const Gesture& g, double factor) {
+  if (g.empty()) {
+    return g;
+  }
+  const double t0 = g.front().t;
+  std::vector<TimedPoint> out;
+  out.reserve(g.size());
+  for (const TimedPoint& p : g) {
+    out.push_back(TimedPoint{p.x, p.y, t0 + (p.t - t0) * factor});
+  }
+  return Gesture(std::move(out));
+}
+
+}  // namespace grandma::geom

@@ -1,0 +1,57 @@
+// Affine transforms over gestures. The synthetic generator uses these to add
+// per-example rotation/scale/translation variation, and GDP's rotate-scale
+// manipulation uses them to reposition shapes.
+#ifndef GRANDMA_SRC_GEOM_TRANSFORM_H_
+#define GRANDMA_SRC_GEOM_TRANSFORM_H_
+
+#include "geom/gesture.h"
+#include "geom/point.h"
+
+namespace grandma::geom {
+
+// 2D affine transform: p' = [a b; c d] p + (tx, ty). Time is untouched.
+class AffineTransform {
+ public:
+  // Identity.
+  AffineTransform() = default;
+  AffineTransform(double a, double b, double c, double d, double tx, double ty)
+      : a_(a), b_(b), c_(c), d_(d), tx_(tx), ty_(ty) {}
+
+  static AffineTransform Translation(double dx, double dy);
+  // Counterclockwise rotation by `radians` about (cx, cy).
+  static AffineTransform Rotation(double radians, double cx = 0.0, double cy = 0.0);
+  // Uniform scale about (cx, cy).
+  static AffineTransform Scale(double s, double cx = 0.0, double cy = 0.0);
+  // Non-uniform scale about (cx, cy).
+  static AffineTransform Scale(double sx, double sy, double cx, double cy);
+
+  // Composition: (*this) applied after `first` — Apply(Compose(f), p) ==
+  // Apply(*this, Apply(f, p)).
+  AffineTransform Compose(const AffineTransform& first) const;
+
+  TimedPoint Apply(const TimedPoint& p) const;
+  void ApplyInPlace(double& x, double& y) const;
+  Gesture Apply(const Gesture& g) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  double c() const { return c_; }
+  double d() const { return d_; }
+  double tx() const { return tx_; }
+  double ty() const { return ty_; }
+
+ private:
+  double a_ = 1.0, b_ = 0.0, c_ = 0.0, d_ = 1.0;
+  double tx_ = 0.0, ty_ = 0.0;
+};
+
+// Uniformly shifts the time stamps of `g` so the first point is at `t0`,
+// preserving inter-point deltas. Returns an empty gesture unchanged.
+Gesture RebaseTime(const Gesture& g, double t0);
+
+// Scales the time axis by `factor` about the first point (tempo change).
+Gesture ScaleTempo(const Gesture& g, double factor);
+
+}  // namespace grandma::geom
+
+#endif  // GRANDMA_SRC_GEOM_TRANSFORM_H_

@@ -1,0 +1,119 @@
+#include "io/event_trace.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace grandma::io {
+
+namespace {
+
+constexpr const char* kHeader = "grandma-eventtrace v1";
+
+const char* KindName(toolkit::EventType type) {
+  switch (type) {
+    case toolkit::EventType::kMouseDown:
+      return "down";
+    case toolkit::EventType::kMouseMove:
+      return "move";
+    case toolkit::EventType::kMouseUp:
+      return "up";
+    case toolkit::EventType::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+std::optional<toolkit::EventType> KindFromName(const std::string& name) {
+  if (name == "down") {
+    return toolkit::EventType::kMouseDown;
+  }
+  if (name == "move") {
+    return toolkit::EventType::kMouseMove;
+  }
+  if (name == "up") {
+    return toolkit::EventType::kMouseUp;
+  }
+  if (name == "timer") {
+    return toolkit::EventType::kTimer;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool SaveEventTrace(const EventTrace& trace, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kHeader << '\n' << "events " << trace.size() << '\n';
+  for (const toolkit::InputEvent& e : trace) {
+    out << KindName(e.type) << ' ' << e.x << ' ' << e.y << ' ' << e.time_ms << ' ' << e.button
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<EventTrace> LoadEventTrace(std::istream& in) {
+  std::string word1;
+  std::string word2;
+  if (!(in >> word1 >> word2) || word1 + " " + word2 != kHeader) {
+    return std::nullopt;
+  }
+  std::string tag;
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "events") {
+    return std::nullopt;
+  }
+  EventTrace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string kind_name;
+    toolkit::InputEvent e;
+    if (!(in >> kind_name >> e.x >> e.y >> e.time_ms >> e.button)) {
+      return std::nullopt;
+    }
+    const auto kind = KindFromName(kind_name);
+    if (!kind.has_value()) {
+      return std::nullopt;
+    }
+    e.type = *kind;
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+bool SaveEventTraceFile(const EventTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  return out && SaveEventTrace(trace, out);
+}
+
+std::optional<EventTrace> LoadEventTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  return LoadEventTrace(in);
+}
+
+bool EventRecorder::Dispatch(const toolkit::InputEvent& event) {
+  trace_.push_back(event);
+  return dispatcher_->Dispatch(event);
+}
+
+void ReplayTrace(const EventTrace& trace, toolkit::PlaybackDriver& driver) {
+  if (trace.empty()) {
+    return;
+  }
+  const double offset = driver.dispatcher().clock().now_ms() - trace.front().time_ms;
+  for (toolkit::InputEvent e : trace) {
+    if (e.type == toolkit::EventType::kTimer) {
+      continue;  // the driver regenerates ticks from the gaps
+    }
+    e.time_ms += offset;
+    driver.Feed(e);
+  }
+}
+
+}  // namespace grandma::io

@@ -1,0 +1,418 @@
+#include "io/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace grandma::io {
+
+namespace {
+
+constexpr const char* kGestureSetHeader = "grandma-gestureset v1";
+constexpr const char* kClassifierHeader = "grandma-classifier v1";
+constexpr const char* kEagerHeader = "grandma-eager v1";
+
+void WriteVector(std::ostream& out, const linalg::Vector& v) {
+  out << v.size();
+  for (double x : v) {
+    out << ' ' << x;
+  }
+  out << '\n';
+}
+
+std::optional<linalg::Vector> ReadVector(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) {
+    return std::nullopt;
+  }
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(in >> v[i])) {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+void WriteMatrix(std::ostream& out, const linalg::Matrix& m) {
+  out << m.rows() << ' ' << m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out << ' ' << m(r, c);
+    }
+  }
+  out << '\n';
+}
+
+std::optional<linalg::Matrix> ReadMatrix(std::istream& in) {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(in >> rows >> cols)) {
+    return std::nullopt;
+  }
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!(in >> m(r, c))) {
+        return std::nullopt;
+      }
+    }
+  }
+  return m;
+}
+
+// Class names may contain spaces in principle; we forbid them on save and
+// read single tokens.
+bool WriteName(std::ostream& out, const std::string& name) {
+  if (name.find_first_of(" \t\n") != std::string::npos || name.empty()) {
+    return false;
+  }
+  out << name;
+  return true;
+}
+
+bool CheckHeader(std::istream& in, const char* expected) {
+  std::string word1;
+  std::string word2;
+  if (!(in >> word1 >> word2)) {
+    return false;
+  }
+  return word1 + " " + word2 == expected;
+}
+
+void WriteLinear(std::ostream& out, const classify::LinearClassifier& linear) {
+  out << "classes " << linear.num_classes() << " dimension " << linear.dimension() << '\n';
+  for (classify::ClassId c = 0; c < linear.num_classes(); ++c) {
+    out << "bias " << linear.bias(c) << '\n';
+    out << "weights ";
+    WriteVector(out, linear.weights(c));
+    out << "mean ";
+    WriteVector(out, linear.mean(c));
+  }
+  out << "invcov ";
+  WriteMatrix(out, linear.inverse_covariance());
+}
+
+std::optional<classify::LinearClassifier> ReadLinear(std::istream& in) {
+  std::string tag;
+  std::size_t num_classes = 0;
+  std::size_t dimension = 0;
+  if (!(in >> tag >> num_classes) || tag != "classes") {
+    return std::nullopt;
+  }
+  if (!(in >> tag >> dimension) || tag != "dimension") {
+    return std::nullopt;
+  }
+  std::vector<linalg::Vector> weights;
+  std::vector<double> biases;
+  std::vector<linalg::Vector> means;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double bias = 0.0;
+    if (!(in >> tag >> bias) || tag != "bias") {
+      return std::nullopt;
+    }
+    if (!(in >> tag) || tag != "weights") {
+      return std::nullopt;
+    }
+    auto w = ReadVector(in);
+    if (!w || w->size() != dimension) {
+      return std::nullopt;
+    }
+    if (!(in >> tag) || tag != "mean") {
+      return std::nullopt;
+    }
+    auto m = ReadVector(in);
+    if (!m || m->size() != dimension) {
+      return std::nullopt;
+    }
+    biases.push_back(bias);
+    weights.push_back(std::move(*w));
+    means.push_back(std::move(*m));
+  }
+  if (!(in >> tag) || tag != "invcov") {
+    return std::nullopt;
+  }
+  auto invcov = ReadMatrix(in);
+  if (!invcov || invcov->rows() != dimension || invcov->cols() != dimension) {
+    return std::nullopt;
+  }
+  return classify::LinearClassifier::FromParameters(std::move(weights), std::move(biases),
+                                                    std::move(means), std::move(*invcov));
+}
+
+void WriteMask(std::ostream& out, const features::FeatureMask& mask) {
+  out << "mask";
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    out << ' ' << (mask.test(static_cast<features::Feature>(i)) ? 1 : 0);
+  }
+  out << '\n';
+}
+
+std::optional<features::FeatureMask> ReadMask(std::istream& in) {
+  std::string tag;
+  if (!(in >> tag) || tag != "mask") {
+    return std::nullopt;
+  }
+  features::FeatureMask mask;
+  for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+    int bit = 0;
+    if (!(in >> bit)) {
+      return std::nullopt;
+    }
+    mask.set(static_cast<features::Feature>(i), bit != 0);
+  }
+  return mask;
+}
+
+bool WriteGestureClassifierBody(std::ostream& out,
+                                const classify::GestureClassifier& classifier) {
+  out << "names";
+  for (classify::ClassId c = 0; c < classifier.num_classes(); ++c) {
+    out << ' ';
+    if (!WriteName(out, classifier.ClassName(c))) {
+      return false;
+    }
+  }
+  out << '\n';
+  WriteMask(out, classifier.mask());
+  WriteLinear(out, classifier.linear());
+  return true;
+}
+
+std::optional<classify::GestureClassifier> ReadGestureClassifierBody(std::istream& in) {
+  std::string tag;
+  if (!(in >> tag) || tag != "names") {
+    return std::nullopt;
+  }
+  // Names run to end of line.
+  std::string rest;
+  std::getline(in, rest);
+  classify::ClassRegistry registry;
+  {
+    std::istringstream names(rest);
+    std::string name;
+    while (names >> name) {
+      registry.Intern(name);
+    }
+  }
+  auto mask = ReadMask(in);
+  if (!mask) {
+    return std::nullopt;
+  }
+  auto linear = ReadLinear(in);
+  if (!linear) {
+    return std::nullopt;
+  }
+  if (linear->num_classes() != registry.size() || linear->dimension() != mask->count()) {
+    return std::nullopt;
+  }
+  return classify::GestureClassifier::FromParameters(std::move(registry), *mask,
+                                                     std::move(*linear));
+}
+
+}  // namespace
+
+// --- Gesture sets ---
+
+bool SaveGestureSet(const classify::GestureTrainingSet& set, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kGestureSetHeader << '\n';
+  out << "classes " << set.num_classes() << '\n';
+  for (classify::ClassId c = 0; c < set.num_classes(); ++c) {
+    out << "class ";
+    if (!WriteName(out, set.ClassName(c))) {
+      return false;
+    }
+    out << ' ' << set.ExamplesOf(c).size() << '\n';
+    for (const geom::Gesture& g : set.ExamplesOf(c)) {
+      out << "example " << g.size() << '\n';
+      for (const geom::TimedPoint& p : g) {
+        out << p.x << ' ' << p.y << ' ' << p.t << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in) {
+  if (!CheckHeader(in, kGestureSetHeader)) {
+    return std::nullopt;
+  }
+  std::string tag;
+  std::size_t num_classes = 0;
+  if (!(in >> tag >> num_classes) || tag != "classes") {
+    return std::nullopt;
+  }
+  classify::GestureTrainingSet set;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::string name;
+    std::size_t num_examples = 0;
+    if (!(in >> tag >> name >> num_examples) || tag != "class") {
+      return std::nullopt;
+    }
+    for (std::size_t e = 0; e < num_examples; ++e) {
+      std::size_t num_points = 0;
+      if (!(in >> tag >> num_points) || tag != "example") {
+        return std::nullopt;
+      }
+      geom::Gesture g;
+      g.Reserve(num_points);
+      for (std::size_t p = 0; p < num_points; ++p) {
+        geom::TimedPoint pt;
+        if (!(in >> pt.x >> pt.y >> pt.t)) {
+          return std::nullopt;
+        }
+        g.AppendPoint(pt);
+      }
+      set.Add(name, std::move(g));
+    }
+  }
+  return set;
+}
+
+// --- Classifiers ---
+
+bool SaveClassifier(const classify::GestureClassifier& classifier, std::ostream& out) {
+  if (!classifier.trained()) {
+    return false;
+  }
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kClassifierHeader << '\n';
+  return WriteGestureClassifierBody(out, classifier) && static_cast<bool>(out);
+}
+
+std::optional<classify::GestureClassifier> LoadClassifier(std::istream& in) {
+  if (!CheckHeader(in, kClassifierHeader)) {
+    return std::nullopt;
+  }
+  return ReadGestureClassifierBody(in);
+}
+
+// --- Eager recognizers ---
+
+bool SaveEagerRecognizer(const eager::EagerRecognizer& recognizer, std::ostream& out) {
+  if (!recognizer.trained()) {
+    return false;
+  }
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kEagerHeader << '\n';
+  out << "min_prefix " << recognizer.min_prefix_points() << '\n';
+  if (!WriteGestureClassifierBody(out, recognizer.full())) {
+    return false;
+  }
+  const eager::Auc& auc = recognizer.auc();
+  out << "auc_mode ";
+  switch (auc.mode()) {
+    case eager::Auc::Mode::kNormal:
+      out << "normal\n";
+      break;
+    case eager::Auc::Mode::kAlwaysAmbiguous:
+      out << "always_ambiguous\n";
+      break;
+    case eager::Auc::Mode::kAlwaysUnambiguous:
+      out << "always_unambiguous\n";
+      break;
+    case eager::Auc::Mode::kUntrained:
+      return false;
+  }
+  if (auc.mode() == eager::Auc::Mode::kNormal) {
+    out << "sets " << auc.num_sets() << '\n';
+    for (classify::ClassId k = 0; k < auc.num_sets(); ++k) {
+      const eager::Auc::SetInfo& info = auc.ClassInfo(k);
+      out << (info.complete ? "C" : "I") << ' ' << info.full_class << '\n';
+    }
+    WriteLinear(out, auc.linear());
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
+  if (!CheckHeader(in, kEagerHeader)) {
+    return std::nullopt;
+  }
+  std::string tag;
+  std::size_t min_prefix = 0;
+  if (!(in >> tag >> min_prefix) || tag != "min_prefix") {
+    return std::nullopt;
+  }
+  auto full = ReadGestureClassifierBody(in);
+  if (!full) {
+    return std::nullopt;
+  }
+  std::string mode_name;
+  if (!(in >> tag >> mode_name) || tag != "auc_mode") {
+    return std::nullopt;
+  }
+  eager::Auc auc;
+  if (mode_name == "always_ambiguous") {
+    auc = eager::Auc::FromParameters(eager::Auc::Mode::kAlwaysAmbiguous, {}, {});
+  } else if (mode_name == "always_unambiguous") {
+    auc = eager::Auc::FromParameters(eager::Auc::Mode::kAlwaysUnambiguous, {}, {});
+  } else if (mode_name == "normal") {
+    std::size_t num_sets = 0;
+    if (!(in >> tag >> num_sets) || tag != "sets") {
+      return std::nullopt;
+    }
+    std::vector<eager::Auc::SetInfo> sets;
+    for (std::size_t k = 0; k < num_sets; ++k) {
+      std::string kind;
+      classify::ClassId full_class = 0;
+      if (!(in >> kind >> full_class) || (kind != "C" && kind != "I")) {
+        return std::nullopt;
+      }
+      sets.push_back(eager::Auc::SetInfo{kind == "C", full_class});
+    }
+    auto linear = ReadLinear(in);
+    if (!linear || linear->num_classes() != sets.size()) {
+      return std::nullopt;
+    }
+    auc = eager::Auc::FromParameters(eager::Auc::Mode::kNormal, std::move(*linear),
+                                     std::move(sets));
+  } else {
+    return std::nullopt;
+  }
+  return eager::EagerRecognizer::FromParameters(std::move(*full), std::move(auc), min_prefix);
+}
+
+// --- File wrappers ---
+
+namespace {
+template <typename SaveFn, typename T>
+bool SaveFile(SaveFn fn, const T& value, const std::string& path) {
+  std::ofstream out(path);
+  return out && fn(value, out);
+}
+template <typename LoadFn>
+auto LoadFile(LoadFn fn, const std::string& path) -> decltype(fn(std::declval<std::istream&>())) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  return fn(in);
+}
+}  // namespace
+
+bool SaveGestureSetFile(const classify::GestureTrainingSet& set, const std::string& path) {
+  return SaveFile(SaveGestureSet, set, path);
+}
+std::optional<classify::GestureTrainingSet> LoadGestureSetFile(const std::string& path) {
+  return LoadFile(LoadGestureSet, path);
+}
+bool SaveClassifierFile(const classify::GestureClassifier& classifier, const std::string& path) {
+  return SaveFile(SaveClassifier, classifier, path);
+}
+std::optional<classify::GestureClassifier> LoadClassifierFile(const std::string& path) {
+  return LoadFile(LoadClassifier, path);
+}
+bool SaveEagerRecognizerFile(const eager::EagerRecognizer& recognizer, const std::string& path) {
+  return SaveFile(SaveEagerRecognizer, recognizer, path);
+}
+std::optional<eager::EagerRecognizer> LoadEagerRecognizerFile(const std::string& path) {
+  return LoadFile(LoadEagerRecognizer, path);
+}
+
+}  // namespace grandma::io

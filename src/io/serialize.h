@@ -1,0 +1,48 @@
+// Plain-text persistence for gesture sets and trained recognizers, so
+// training sessions (example collection) and deployment (classification) can
+// be separate programs — as they were for GRANDMA's applications.
+//
+// Formats are line-oriented, versioned, and locale-independent (numbers are
+// written with max round-trip precision).
+#ifndef GRANDMA_SRC_IO_SERIALIZE_H_
+#define GRANDMA_SRC_IO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "classify/gesture_classifier.h"
+#include "classify/training_set.h"
+#include "eager/eager_recognizer.h"
+
+namespace grandma::io {
+
+// --- Gesture training sets ---
+
+// Writes `set` as text. Returns false on stream failure.
+bool SaveGestureSet(const classify::GestureTrainingSet& set, std::ostream& out);
+bool SaveGestureSetFile(const classify::GestureTrainingSet& set, const std::string& path);
+
+// Parses a gesture set; std::nullopt on malformed input.
+std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in);
+std::optional<classify::GestureTrainingSet> LoadGestureSetFile(const std::string& path);
+
+// --- Trained full classifiers ---
+
+bool SaveClassifier(const classify::GestureClassifier& classifier, std::ostream& out);
+bool SaveClassifierFile(const classify::GestureClassifier& classifier, const std::string& path);
+
+std::optional<classify::GestureClassifier> LoadClassifier(std::istream& in);
+std::optional<classify::GestureClassifier> LoadClassifierFile(const std::string& path);
+
+// --- Trained eager recognizers (full classifier + AUC) ---
+
+bool SaveEagerRecognizer(const eager::EagerRecognizer& recognizer, std::ostream& out);
+bool SaveEagerRecognizerFile(const eager::EagerRecognizer& recognizer, const std::string& path);
+
+std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in);
+std::optional<eager::EagerRecognizer> LoadEagerRecognizerFile(const std::string& path);
+
+}  // namespace grandma::io
+
+#endif  // GRANDMA_SRC_IO_SERIALIZE_H_

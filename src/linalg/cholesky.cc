@@ -1,0 +1,108 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grandma::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("CholeskyDecomposition requires a square matrix");
+  }
+  if (!a.IsSymmetric(1e-9 * std::max(a.MaxAbs(), 1.0))) {
+    ok_ = false;
+    return;
+  }
+  const std::size_t n = a.rows();
+  ok_ = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= l_(j, k) * l_(j, k);
+    }
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      ok_ = false;
+      return;
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l_(i, k) * l_(j, k);
+      }
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+Vector CholeskyDecomposition::Solve(const Vector& b) const {
+  if (!ok_) {
+    throw std::logic_error("CholeskyDecomposition::Solve on a failed factorization");
+  }
+  const std::size_t n = dimension();
+  if (b.size() != n) {
+    throw std::invalid_argument("CholeskyDecomposition::Solve: size mismatch");
+  }
+  // Forward solve L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= l_(i, j) * y[j];
+    }
+    y[i] = sum / l_(i, i);
+  }
+  // Back solve L^T x = y.
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum -= l_(j, i) * x[j];
+    }
+    x[i] = sum / l_(i, i);
+  }
+  return x;
+}
+
+Matrix CholeskyDecomposition::Inverse() const {
+  const std::size_t n = dimension();
+  Matrix inv(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    Vector e(n);
+    e[c] = 1.0;
+    const Vector col = Solve(e);
+    for (std::size_t r = 0; r < n; ++r) {
+      inv(r, c) = col[r];
+    }
+  }
+  return inv;
+}
+
+double CholeskyDecomposition::Determinant() const {
+  double det = 1.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    det *= l_(i, i);
+  }
+  return det * det;
+}
+
+double CholeskyDecomposition::LogDeterminant() const {
+  double log_det = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    log_det += std::log(l_(i, i));
+  }
+  return 2.0 * log_det;
+}
+
+bool IsPositiveDefinite(const Matrix& a) { return CholeskyDecomposition(a).ok(); }
+
+std::optional<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  CholeskyDecomposition chol(a);
+  if (!chol.ok()) {
+    return std::nullopt;
+  }
+  return chol.Solve(b);
+}
+
+}  // namespace grandma::linalg

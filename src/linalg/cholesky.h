@@ -1,0 +1,50 @@
+// Cholesky factorization for symmetric positive-definite matrices. Used both
+// as a fast SPD solver and as a definiteness test for covariance estimates.
+#ifndef GRANDMA_SRC_LINALG_CHOLESKY_H_
+#define GRANDMA_SRC_LINALG_CHOLESKY_H_
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace grandma::linalg {
+
+// Lower-triangular Cholesky factor: A = L * L^T.
+class CholeskyDecomposition {
+ public:
+  // Factorizes `a`, which must be square and symmetric. ok() is false when
+  // the matrix is not (numerically) positive definite.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  bool ok() const { return ok_; }
+  std::size_t dimension() const { return l_.rows(); }
+
+  // The lower-triangular factor L. Requires ok().
+  const Matrix& factor() const { return l_; }
+
+  // Solves A x = b via two triangular solves. Requires ok().
+  Vector Solve(const Vector& b) const;
+
+  // A^{-1}. Requires ok().
+  Matrix Inverse() const;
+
+  // det(A) = prod(L_ii)^2. Requires ok().
+  double Determinant() const;
+  // log det(A); numerically safer for near-singular covariances.
+  double LogDeterminant() const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+// True when `a` is symmetric positive definite (numerically).
+bool IsPositiveDefinite(const Matrix& a);
+
+// Solves an SPD system; std::nullopt when not positive definite.
+std::optional<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+}  // namespace grandma::linalg
+
+#endif  // GRANDMA_SRC_LINALG_CHOLESKY_H_

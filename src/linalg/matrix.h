@@ -1,0 +1,86 @@
+// Dense row-major double matrix sized for classifier training: covariance
+// matrices of ~13 features and their inverses.
+#ifndef GRANDMA_SRC_LINALG_MATRIX_H_
+#define GRANDMA_SRC_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace grandma::linalg {
+
+// A dense rows x cols matrix of doubles, row-major. Value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Builds from nested initializer lists; all rows must be the same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix Identity(std::size_t n);
+  // Diagonal matrix from the entries of `d`.
+  static Matrix Diagonal(const Vector& d);
+  // Rank-1 matrix a * b^T.
+  static Matrix Outer(const Vector& a, const Vector& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  // Checked access; throws std::out_of_range in all builds.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  bool operator==(const Matrix& rhs) const = default;
+
+  Matrix Transposed() const;
+
+  // Returns row r as a vector.
+  Vector Row(std::size_t r) const;
+  Vector Col(std::size_t c) const;
+
+  // Largest absolute entry; 0 for an empty matrix.
+  double MaxAbs() const;
+
+  // True when the matrix equals its transpose to within `tol`.
+  bool IsSymmetric(double tol = 1e-12) const;
+
+  std::string ToString() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Matrix-vector product; x.size() must equal m.cols().
+Vector Multiply(const Matrix& m, const Vector& x);
+
+// Matrix-matrix product; a.cols() must equal b.rows().
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+// Quadratic form x^T m y (m must be square with side x.size() == y.size()).
+double QuadraticForm(const Vector& x, const Matrix& m, const Vector& y);
+
+// True when every entry differs by at most tol.
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace grandma::linalg
+
+#endif  // GRANDMA_SRC_LINALG_MATRIX_H_

@@ -1,0 +1,167 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grandma::linalg {
+
+namespace {
+// Relative threshold under which a pivot is treated as zero.
+constexpr double kSingularRelTol = 1e-13;
+}  // namespace
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a), pivots_(a.rows()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuDecomposition requires a square matrix");
+  }
+  const std::size_t n = lu_.rows();
+  const double scale = std::max(lu_.MaxAbs(), 1.0);
+  ok_ = true;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the largest-magnitude entry on or below the diagonal.
+    std::size_t pivot_row = col;
+    double pivot_mag = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, col));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    pivots_[col] = pivot_row;
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(col, c), lu_(pivot_row, c));
+      }
+      pivot_sign_ = -pivot_sign_;
+    }
+    if (pivot_mag <= kSingularRelTol * scale) {
+      ok_ = false;
+      continue;  // Leave the column; Determinant() still sees the ~0 pivot.
+    }
+    const double inv_pivot = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) * inv_pivot;
+      lu_(r, col) = factor;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  if (!ok_) {
+    throw std::logic_error("LuDecomposition::Solve on a singular factorization");
+  }
+  const std::size_t n = dimension();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuDecomposition::Solve: size mismatch");
+  }
+  Vector x = b;
+  // Apply the row permutation.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pivots_[i] != i) {
+      std::swap(x[i], x[pivots_[i]]);
+    }
+  }
+  // Forward substitution with the implicit unit lower triangle.
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) {
+      sum -= lu_(i, j) * x[j];
+    }
+    x[i] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum -= lu_(i, j) * x[j];
+    }
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  const std::size_t n = dimension();
+  if (b.rows() != n) {
+    throw std::invalid_argument("LuDecomposition::Solve(Matrix): size mismatch");
+  }
+  Matrix x(n, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector col = Solve(b.Col(c));
+    for (std::size_t r = 0; r < n; ++r) {
+      x(r, c) = col[r];
+    }
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const { return Solve(Matrix::Identity(dimension())); }
+
+double LuDecomposition::Determinant() const {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    det *= lu_(i, i);
+  }
+  return det;
+}
+
+std::optional<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  LuDecomposition lu(a);
+  if (!lu.ok()) {
+    return std::nullopt;
+  }
+  return lu.Solve(b);
+}
+
+std::optional<Matrix> Invert(const Matrix& a) {
+  LuDecomposition lu(a);
+  if (!lu.ok()) {
+    return std::nullopt;
+  }
+  return lu.Inverse();
+}
+
+double Determinant(const Matrix& a) { return LuDecomposition(a).Determinant(); }
+
+std::optional<Matrix> InvertCovarianceWithRepair(const Matrix& a, double initial_ridge,
+                                                 double max_ridge, double* ridge_used) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("InvertCovarianceWithRepair requires a square matrix");
+  }
+  {
+    LuDecomposition lu(a);
+    if (lu.ok()) {
+      if (ridge_used != nullptr) {
+        *ridge_used = 0.0;
+      }
+      return lu.Inverse();
+    }
+  }
+  // Scale the ridge to the magnitude of the matrix so that repair behaves the
+  // same regardless of feature units.
+  const double scale = std::max(a.MaxAbs(), 1.0);
+  for (double ridge = initial_ridge; ridge <= max_ridge; ridge *= 10.0) {
+    Matrix repaired = a;
+    const double lambda = ridge * scale;
+    for (std::size_t i = 0; i < repaired.rows(); ++i) {
+      repaired(i, i) += lambda;
+    }
+    LuDecomposition lu(repaired);
+    if (lu.ok()) {
+      if (ridge_used != nullptr) {
+        *ridge_used = lambda;
+      }
+      return lu.Inverse();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace grandma::linalg

@@ -1,0 +1,64 @@
+// LU factorization with partial pivoting, and the solve/inverse/determinant
+// operations classifier training needs.
+#ifndef GRANDMA_SRC_LINALG_SOLVE_H_
+#define GRANDMA_SRC_LINALG_SOLVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace grandma::linalg {
+
+// The result of LU factorization with partial pivoting: P*A = L*U packed into
+// one matrix (unit lower triangle implicit).
+class LuDecomposition {
+ public:
+  // Factorizes `a` (must be square). Check ok() before using the results;
+  // a singular matrix yields ok() == false.
+  explicit LuDecomposition(const Matrix& a);
+
+  bool ok() const { return ok_; }
+  std::size_t dimension() const { return lu_.rows(); }
+
+  // Solves A x = b. Requires ok().
+  Vector Solve(const Vector& b) const;
+
+  // Solves A X = B column-by-column. Requires ok().
+  Matrix Solve(const Matrix& b) const;
+
+  // Returns A^{-1}. Requires ok().
+  Matrix Inverse() const;
+
+  // det(A); defined (as 0 or the product so far) even when !ok().
+  double Determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int pivot_sign_ = 1;
+  bool ok_ = false;
+};
+
+// Convenience wrappers. Return std::nullopt when `a` is singular.
+std::optional<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+std::optional<Matrix> Invert(const Matrix& a);
+double Determinant(const Matrix& a);
+
+// Inverts a symmetric matrix that is expected to be positive semi-definite
+// (a covariance estimate). If plain inversion fails or is badly conditioned,
+// escalating ridge terms lambda*I are added (lambda = `initial_ridge`,
+// growing by 10x up to `max_ridge`) until inversion succeeds. This mirrors
+// the "fix the matrix and go on" repair Rubine's trainer performs when
+// features are linearly dependent in the training data. Returns the inverse
+// and reports the ridge actually used through `ridge_used` (0.0 when the
+// matrix was invertible as-is). Returns std::nullopt only if even max_ridge
+// fails, which cannot happen for a finite symmetric matrix in practice.
+std::optional<Matrix> InvertCovarianceWithRepair(const Matrix& a, double initial_ridge = 1e-8,
+                                                 double max_ridge = 1e6,
+                                                 double* ridge_used = nullptr);
+
+}  // namespace grandma::linalg
+
+#endif  // GRANDMA_SRC_LINALG_SOLVE_H_

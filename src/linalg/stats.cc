@@ -1,0 +1,65 @@
+#include "linalg/stats.h"
+
+#include <stdexcept>
+
+namespace grandma::linalg {
+
+void MeanAccumulator::Add(const Vector& sample) {
+  if (sample.size() != sum_.size()) {
+    throw std::invalid_argument("MeanAccumulator::Add: dimension mismatch");
+  }
+  sum_ += sample;
+  ++count_;
+}
+
+Vector MeanAccumulator::Mean() const {
+  if (count_ == 0) {
+    return Vector(sum_.size());
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+void ScatterAccumulator::Add(const Vector& sample) {
+  if (sample.size() != mean_.size()) {
+    throw std::invalid_argument("ScatterAccumulator::Add: dimension mismatch");
+  }
+  ++count_;
+  const Vector delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  const Vector delta2 = sample - mean_;
+  // scatter += delta * delta2^T  (symmetric by construction in exact math;
+  // we symmetrize to keep floating-point noise out of Cholesky).
+  for (std::size_t i = 0; i < mean_.size(); ++i) {
+    for (std::size_t j = 0; j < mean_.size(); ++j) {
+      scatter_(i, j) += 0.5 * (delta[i] * delta2[j] + delta[j] * delta2[i]);
+    }
+  }
+}
+
+Matrix ScatterAccumulator::SampleCovariance() const {
+  if (count_ < 2) {
+    throw std::logic_error("ScatterAccumulator::SampleCovariance needs >= 2 samples");
+  }
+  return scatter_ * (1.0 / static_cast<double>(count_ - 1));
+}
+
+void PooledCovariance::AddClass(const ScatterAccumulator& class_scatter) {
+  if (class_scatter.dimension() != dimension_) {
+    throw std::invalid_argument("PooledCovariance::AddClass: dimension mismatch");
+  }
+  scatter_sum_ += class_scatter.Scatter();
+  ++num_classes_;
+  total_examples_ += class_scatter.count();
+}
+
+Matrix PooledCovariance::Estimate() const {
+  if (total_examples_ <= num_classes_) {
+    throw std::logic_error(
+        "PooledCovariance::Estimate needs more examples than classes "
+        "(each class must contribute at least one degree of freedom)");
+  }
+  const double dof = static_cast<double>(total_examples_ - num_classes_);
+  return scatter_sum_ * (1.0 / dof);
+}
+
+}  // namespace grandma::linalg

@@ -1,0 +1,39 @@
+#include "multipath/classifier.h"
+
+namespace grandma::multipath {
+
+classify::ClassId MultiPathTrainingSet::Add(std::string_view class_name,
+                                            MultiPathGesture gesture) {
+  const classify::ClassId id = registry_.Intern(class_name);
+  if (examples_.size() <= id) {
+    examples_.resize(id + 1);
+  }
+  examples_[id].push_back(std::move(gesture));
+  return id;
+}
+
+std::size_t MultiPathTrainingSet::total_examples() const {
+  std::size_t total = 0;
+  for (const auto& per_class : examples_) {
+    total += per_class.size();
+  }
+  return total;
+}
+
+double MultiPathClassifier::Train(const MultiPathTrainingSet& examples, std::size_t max_paths) {
+  registry_ = examples.registry();
+  max_paths_ = max_paths;
+  classify::FeatureTrainingSet data(examples.num_classes());
+  for (classify::ClassId c = 0; c < examples.num_classes(); ++c) {
+    for (const MultiPathGesture& g : examples.ExamplesOf(c)) {
+      data.Add(c, ExtractMultiPathFeatures(g, max_paths));
+    }
+  }
+  return linear_.Train(data);
+}
+
+classify::Classification MultiPathClassifier::Classify(const MultiPathGesture& gesture) const {
+  return linear_.Classify(ExtractMultiPathFeatures(gesture, max_paths_));
+}
+
+}  // namespace grandma::multipath

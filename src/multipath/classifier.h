@@ -1,0 +1,65 @@
+// Multi-path gesture classification: the same closed-form linear machinery
+// as the single-stroke recognizer, over the concatenated multi-path feature
+// vector. With this, the two-phase technique carries over to multi-finger
+// input exactly as Section 6 describes.
+#ifndef GRANDMA_SRC_MULTIPATH_CLASSIFIER_H_
+#define GRANDMA_SRC_MULTIPATH_CLASSIFIER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "classify/linear_classifier.h"
+#include "classify/training_set.h"
+#include "multipath/features.h"
+#include "multipath/multipath_gesture.h"
+
+namespace grandma::multipath {
+
+// Labeled multi-path examples grouped by class.
+class MultiPathTrainingSet {
+ public:
+  classify::ClassId Add(std::string_view class_name, MultiPathGesture gesture);
+
+  std::size_t num_classes() const { return registry_.size(); }
+  std::size_t total_examples() const;
+  const std::vector<MultiPathGesture>& ExamplesOf(classify::ClassId c) const {
+    return examples_.at(c);
+  }
+  const std::string& ClassName(classify::ClassId c) const { return registry_.Name(c); }
+  const classify::ClassRegistry& registry() const { return registry_; }
+
+ private:
+  classify::ClassRegistry registry_;
+  std::vector<std::vector<MultiPathGesture>> examples_;
+};
+
+class MultiPathClassifier {
+ public:
+  MultiPathClassifier() = default;
+
+  // Trains on `examples`; `max_paths` fixes the feature layout (gestures
+  // with more paths use only the first max_paths in normalized order).
+  // Returns the covariance-repair ridge (concatenated per-path blocks are
+  // often rank-deficient with small training sets, so a ridge is expected).
+  double Train(const MultiPathTrainingSet& examples, std::size_t max_paths = 2);
+
+  bool trained() const { return linear_.trained(); }
+  std::size_t num_classes() const { return linear_.num_classes(); }
+  std::size_t max_paths() const { return max_paths_; }
+
+  classify::Classification Classify(const MultiPathGesture& gesture) const;
+
+  const std::string& ClassName(classify::ClassId c) const { return registry_.Name(c); }
+  const classify::LinearClassifier& linear() const { return linear_; }
+
+ private:
+  classify::ClassRegistry registry_;
+  classify::LinearClassifier linear_;
+  std::size_t max_paths_ = 2;
+};
+
+}  // namespace grandma::multipath
+
+#endif  // GRANDMA_SRC_MULTIPATH_CLASSIFIER_H_

@@ -1,0 +1,94 @@
+#include "multipath/features.h"
+
+#include <cmath>
+
+#include "features/extractor.h"
+#include "features/feature_vector.h"
+
+namespace grandma::multipath {
+
+std::size_t MultiPathFeatureDimension(std::size_t max_paths) {
+  return kNumGlobalFeatures + max_paths * features::kNumFeatures;
+}
+
+linalg::Vector ExtractMultiPathFeatures(const MultiPathGesture& gesture,
+                                        std::size_t max_paths) {
+  const MultiPathGesture sorted = gesture.Sorted();
+  linalg::Vector out(MultiPathFeatureDimension(max_paths));
+
+  // --- global features ---
+  out[0] = static_cast<double>(sorted.num_paths());
+  out[1] = sorted.Bounds().DiagonalLength();
+  out[2] = sorted.Duration();
+
+  const std::size_t used = std::min(sorted.num_paths(), max_paths);
+  double start_dist_sum = 0.0;
+  double end_dist_sum = 0.0;
+  double rotation_sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < used; ++i) {
+    for (std::size_t j = i + 1; j < used; ++j) {
+      const geom::Gesture& a = sorted.path(i);
+      const geom::Gesture& b = sorted.path(j);
+      if (a.empty() || b.empty()) {
+        continue;
+      }
+      ++pairs;
+      start_dist_sum += geom::Distance(a.front(), b.front());
+      end_dist_sum += geom::Distance(a.back(), b.back());
+      // Rotation of the inter-path vector from start to end.
+      const double a0 = std::atan2(b.front().y - a.front().y, b.front().x - a.front().x);
+      const double a1 = std::atan2(b.back().y - a.back().y, b.back().x - a.back().x);
+      double turn = a1 - a0;
+      while (turn > M_PI) {
+        turn -= 2.0 * M_PI;
+      }
+      while (turn < -M_PI) {
+        turn += 2.0 * M_PI;
+      }
+      rotation_sum += turn;
+    }
+  }
+  if (pairs > 0) {
+    const double n = static_cast<double>(pairs);
+    out[3] = start_dist_sum / n;
+    out[4] = end_dist_sum / n;
+    if (out[3] > 1e-9 && out[4] > 1e-9) {
+      out[5] = std::log(out[4] / out[3]);
+    }
+    out[6] = rotation_sum / n;
+  }
+  // Centroid translation.
+  if (used > 0) {
+    double sx0 = 0.0, sy0 = 0.0, sx1 = 0.0, sy1 = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < used; ++i) {
+      const geom::Gesture& p = sorted.path(i);
+      if (p.empty()) {
+        continue;
+      }
+      ++counted;
+      sx0 += p.front().x;
+      sy0 += p.front().y;
+      sx1 += p.back().x;
+      sy1 += p.back().y;
+    }
+    if (counted > 0) {
+      const double n = static_cast<double>(counted);
+      const double dx = sx1 / n - sx0 / n;
+      const double dy = sy1 / n - sy0 / n;
+      out[7] = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+
+  // --- per-path Rubine features ---
+  for (std::size_t i = 0; i < used; ++i) {
+    const linalg::Vector f = features::ExtractFeatures(sorted.path(i));
+    for (std::size_t k = 0; k < features::kNumFeatures; ++k) {
+      out[kNumGlobalFeatures + i * features::kNumFeatures + k] = f[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace grandma::multipath

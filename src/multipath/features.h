@@ -1,0 +1,39 @@
+// Feature extraction for multi-path gestures: per-path Rubine features for
+// the first `max_paths` paths (zero-padded when fewer), plus global features
+// capturing inter-path structure (the relationships single-path features
+// cannot see: pinching, spreading, relative orbiting).
+#ifndef GRANDMA_SRC_MULTIPATH_FEATURES_H_
+#define GRANDMA_SRC_MULTIPATH_FEATURES_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+#include "multipath/multipath_gesture.h"
+
+namespace grandma::multipath {
+
+// Global (inter-path) features, in order:
+//   g0  number of paths
+//   g1  bounding-box diagonal over all paths
+//   g2  total duration
+//   g3  mean pairwise distance between path start points
+//   g4  mean pairwise distance between path end points
+//   g5  log ratio g4/g3 (pinch < 0 < spread); 0 when degenerate
+//   g6  mean signed rotation of the inter-path vectors start->end (radians);
+//       captures two-finger rotation
+//   g7  distance the centroid of start points moved to the centroid of end
+//       points (two-finger translation)
+inline constexpr std::size_t kNumGlobalFeatures = 8;
+
+// Full dimension: kNumGlobalFeatures + max_paths * features::kNumFeatures.
+std::size_t MultiPathFeatureDimension(std::size_t max_paths);
+
+// Extracts the feature vector of `gesture` (internally sorted to the
+// normalized path order). Paths beyond `max_paths` are ignored; missing
+// paths contribute zero blocks.
+linalg::Vector ExtractMultiPathFeatures(const MultiPathGesture& gesture,
+                                        std::size_t max_paths);
+
+}  // namespace grandma::multipath
+
+#endif  // GRANDMA_SRC_MULTIPATH_FEATURES_H_

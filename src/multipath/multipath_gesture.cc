@@ -1,0 +1,86 @@
+#include "multipath/multipath_gesture.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace grandma::multipath {
+
+double MultiPathGesture::StartTime() const {
+  double t = 0.0;
+  bool first = true;
+  for (const geom::Gesture& p : paths_) {
+    if (p.empty()) {
+      continue;
+    }
+    if (first || p.front().t < t) {
+      t = p.front().t;
+      first = false;
+    }
+  }
+  return t;
+}
+
+double MultiPathGesture::EndTime() const {
+  double t = 0.0;
+  bool first = true;
+  for (const geom::Gesture& p : paths_) {
+    if (p.empty()) {
+      continue;
+    }
+    if (first || p.back().t > t) {
+      t = p.back().t;
+      first = false;
+    }
+  }
+  return t;
+}
+
+geom::BoundingBox MultiPathGesture::Bounds() const {
+  geom::BoundingBox box;
+  bool first = true;
+  for (const geom::Gesture& p : paths_) {
+    if (p.empty()) {
+      continue;
+    }
+    const geom::BoundingBox pb = p.Bounds();
+    if (first) {
+      box = pb;
+      first = false;
+    } else {
+      box.min_x = std::min(box.min_x, pb.min_x);
+      box.min_y = std::min(box.min_y, pb.min_y);
+      box.max_x = std::max(box.max_x, pb.max_x);
+      box.max_y = std::max(box.max_y, pb.max_y);
+    }
+  }
+  return box;
+}
+
+MultiPathGesture MultiPathGesture::Sorted() const {
+  std::vector<geom::Gesture> sorted = paths_;
+  std::sort(sorted.begin(), sorted.end(), [](const geom::Gesture& a, const geom::Gesture& b) {
+    if (a.empty() || b.empty()) {
+      return b.empty() && !a.empty();
+    }
+    if (a.front().t != b.front().t) {
+      return a.front().t < b.front().t;
+    }
+    if (a.front().x != b.front().x) {
+      return a.front().x < b.front().x;
+    }
+    return a.front().y < b.front().y;
+  });
+  return MultiPathGesture(std::move(sorted));
+}
+
+std::string MultiPathGesture::ToString() const {
+  std::ostringstream os;
+  os << "MultiPathGesture{" << paths_.size() << " paths";
+  for (const geom::Gesture& p : paths_) {
+    os << ", " << p.size() << "pts";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace grandma::multipath

@@ -1,0 +1,51 @@
+// Multi-path gestures (Section 6): gestures made of several concurrent
+// strokes — multiple fingers on a Sensor Frame in the paper's follow-on
+// drawing program. A MultiPathGesture is an ordered set of single-stroke
+// paths; ordering is normalized (earliest start first, ties broken by start
+// x) so that per-path features line up consistently across examples.
+#ifndef GRANDMA_SRC_MULTIPATH_MULTIPATH_GESTURE_H_
+#define GRANDMA_SRC_MULTIPATH_MULTIPATH_GESTURE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/gesture.h"
+
+namespace grandma::multipath {
+
+class MultiPathGesture {
+ public:
+  MultiPathGesture() = default;
+  explicit MultiPathGesture(std::vector<geom::Gesture> paths) : paths_(std::move(paths)) {}
+
+  std::size_t num_paths() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  const geom::Gesture& path(std::size_t i) const { return paths_.at(i); }
+  const std::vector<geom::Gesture>& paths() const { return paths_; }
+
+  void AddPath(geom::Gesture path) { paths_.push_back(std::move(path)); }
+
+  // Earliest first-point time across paths; 0 when empty.
+  double StartTime() const;
+  // Latest last-point time across paths; 0 when empty.
+  double EndTime() const;
+  double Duration() const { return EndTime() - StartTime(); }
+
+  // Bounding box over all paths.
+  geom::BoundingBox Bounds() const;
+
+  // A copy with paths ordered by (start time, start x, start y). Feature
+  // extraction and classification require this normalized order.
+  MultiPathGesture Sorted() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<geom::Gesture> paths_;
+};
+
+}  // namespace grandma::multipath
+
+#endif  // GRANDMA_SRC_MULTIPATH_MULTIPATH_GESTURE_H_

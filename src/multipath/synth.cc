@@ -1,0 +1,125 @@
+#include "multipath/synth.h"
+
+#include <numbers>
+
+#include "geom/transform.h"
+
+namespace grandma::multipath {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}  // namespace
+
+std::vector<MultiPathSpec> MakeTwoFingerSpecs() {
+  std::vector<MultiPathSpec> specs;
+
+  {
+    // Pinch: fingers at (-50, 0) and (50, 0) converge toward the middle.
+    MultiPathSpec pinch;
+    pinch.class_name = "pinch";
+    synth::PathSpec left;
+    left.start_x = -50.0;
+    left.LineTo(-12.0, 0.0);
+    synth::PathSpec right;
+    right.start_x = 50.0;
+    right.LineTo(12.0, 0.0);
+    pinch.fingers = {left, right};
+    specs.push_back(std::move(pinch));
+  }
+  {
+    // Spread: the reverse.
+    MultiPathSpec spread;
+    spread.class_name = "spread";
+    synth::PathSpec left;
+    left.start_x = -12.0;
+    left.LineTo(-50.0, 0.0);
+    synth::PathSpec right;
+    right.start_x = 12.0;
+    right.LineTo(50.0, 0.0);
+    spread.fingers = {left, right};
+    specs.push_back(std::move(spread));
+  }
+  {
+    // Two-finger rotation: both fingers orbit the midpoint by ~90 degrees.
+    MultiPathSpec rotate;
+    rotate.class_name = "rotate-two";
+    synth::PathSpec a;
+    a.start_x = 40.0;
+    a.start_y = 0.0;
+    a.segments.push_back(synth::PathSegment::Arc(0.0, 0.0, 40.0, 0.0, kPi / 2.0));
+    synth::PathSpec b;
+    b.start_x = -40.0;
+    b.start_y = 0.0;
+    b.segments.push_back(synth::PathSegment::Arc(0.0, 0.0, 40.0, kPi, kPi / 2.0));
+    rotate.fingers = {a, b};
+    specs.push_back(std::move(rotate));
+  }
+  {
+    // Parallel two-finger drag.
+    MultiPathSpec drag;
+    drag.class_name = "drag-two";
+    synth::PathSpec a;
+    a.start_y = 15.0;
+    a.LineTo(70.0, 15.0);
+    synth::PathSpec b;
+    b.start_y = -15.0;
+    b.LineTo(70.0, -15.0);
+    drag.fingers = {a, b};
+    specs.push_back(std::move(drag));
+  }
+  {
+    // Two-finger tap: both fingers dwell (empty specs emit dwell points).
+    MultiPathSpec tap;
+    tap.class_name = "tap-two";
+    synth::PathSpec a;
+    a.start_x = -20.0;
+    synth::PathSpec b;
+    b.start_x = 20.0;
+    tap.fingers = {a, b};
+    specs.push_back(std::move(tap));
+  }
+  return specs;
+}
+
+MultiPathGesture GenerateMultiPath(const MultiPathSpec& spec, const synth::NoiseModel& noise,
+                                   synth::Rng& rng) {
+  MultiPathGesture out;
+  // One shared whole-gesture pose so the fingers stay geometrically related:
+  // the per-finger generator only adds per-point jitter and tempo noise.
+  synth::NoiseModel per_finger = noise;
+  per_finger.rotation_sigma = 0.0;
+  per_finger.scale_sigma = 0.0;
+  per_finger.translation_sigma = 0.0;
+
+  const double rotation = rng.Gaussian(noise.rotation_sigma);
+  const double scale = rng.LogNormalFactor(noise.scale_sigma);
+  const double dx = rng.Gaussian(noise.translation_sigma);
+  const double dy = rng.Gaussian(noise.translation_sigma);
+  const geom::AffineTransform pose =
+      geom::AffineTransform::Translation(dx, dy)
+          .Compose(geom::AffineTransform::Rotation(rotation).Compose(
+              geom::AffineTransform::Scale(scale)));
+
+  for (const synth::PathSpec& finger : spec.fingers) {
+    synth::GestureSample sample = synth::Generate(finger, per_finger, rng);
+    geom::Gesture path = pose.Apply(sample.gesture);
+    const double stagger = rng.Uniform(0.0, spec.max_start_stagger_ms);
+    out.AddPath(geom::RebaseTime(path, stagger));
+  }
+  return out;
+}
+
+MultiPathTrainingSet GenerateMultiPathSet(const std::vector<MultiPathSpec>& specs,
+                                          const synth::NoiseModel& noise,
+                                          std::size_t per_class, std::uint64_t seed) {
+  MultiPathTrainingSet set;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    synth::Rng rng(seed * 2654435761u + s);
+    for (std::size_t e = 0; e < per_class; ++e) {
+      set.Add(specs[s].class_name, GenerateMultiPath(specs[s], noise, rng));
+    }
+  }
+  return set;
+}
+
+}  // namespace grandma::multipath

@@ -1,0 +1,47 @@
+// Synthetic multi-finger input: two-finger gesture specs (pinch, spread,
+// rotate, drag, tap) and a generator that plays each finger through the
+// single-path generator with realistic start staggering.
+#ifndef GRANDMA_SRC_MULTIPATH_SYNTH_H_
+#define GRANDMA_SRC_MULTIPATH_SYNTH_H_
+
+#include <string>
+#include <vector>
+
+#include "multipath/classifier.h"
+#include "multipath/multipath_gesture.h"
+#include "synth/generator.h"
+#include "synth/path_spec.h"
+#include "synth/rng.h"
+
+namespace grandma::multipath {
+
+// A multi-finger gesture class: one PathSpec per finger.
+struct MultiPathSpec {
+  std::string class_name;
+  std::vector<synth::PathSpec> fingers;
+  // Fingers rarely land simultaneously; each finger after the first starts
+  // up to this many milliseconds later (uniformly random).
+  double max_start_stagger_ms = 60.0;
+};
+
+// Two-finger gesture set for the Sensor Frame-style drawing program:
+//   pinch          fingers converge
+//   spread         fingers diverge
+//   rotate-two     fingers orbit their midpoint (the paper's
+//                  translate-rotate-scale workhorse)
+//   drag-two       both fingers translate in parallel
+//   tap-two        both fingers dwell
+std::vector<MultiPathSpec> MakeTwoFingerSpecs();
+
+// Generates one multi-path sample of `spec` under `noise`.
+MultiPathGesture GenerateMultiPath(const MultiPathSpec& spec, const synth::NoiseModel& noise,
+                                   synth::Rng& rng);
+
+// Generates `per_class` examples of every spec into a training set.
+MultiPathTrainingSet GenerateMultiPathSet(const std::vector<MultiPathSpec>& specs,
+                                          const synth::NoiseModel& noise,
+                                          std::size_t per_class, std::uint64_t seed);
+
+}  // namespace grandma::multipath
+
+#endif  // GRANDMA_SRC_MULTIPATH_SYNTH_H_

@@ -1,0 +1,46 @@
+#include "multipath/two_finger_transform.h"
+
+#include <cmath>
+
+namespace grandma::multipath {
+
+std::optional<TwoFingerDelta> DeltaFromFingerPairs(const geom::TimedPoint& a0,
+                                                   const geom::TimedPoint& b0,
+                                                   const geom::TimedPoint& a1,
+                                                   const geom::TimedPoint& b1) {
+  const double v0x = b0.x - a0.x;
+  const double v0y = b0.y - a0.y;
+  const double v1x = b1.x - a1.x;
+  const double v1y = b1.y - a1.y;
+  const double len0 = std::hypot(v0x, v0y);
+  const double len1 = std::hypot(v1x, v1y);
+  if (len0 < 1e-9) {
+    return std::nullopt;
+  }
+  TwoFingerDelta delta;
+  delta.scale = len1 / len0;
+  delta.rotate_radians = std::atan2(v0x * v1y - v0y * v1x, v0x * v1x + v0y * v1y);
+  delta.translate_x = 0.5 * (a1.x + b1.x) - 0.5 * (a0.x + b0.x);
+  delta.translate_y = 0.5 * (a1.y + b1.y) - 0.5 * (a0.y + b0.y);
+  return delta;
+}
+
+std::optional<geom::AffineTransform> SimilarityFromFingerPairs(const geom::TimedPoint& a0,
+                                                               const geom::TimedPoint& b0,
+                                                               const geom::TimedPoint& a1,
+                                                               const geom::TimedPoint& b1) {
+  const auto delta = DeltaFromFingerPairs(a0, b0, a1, b1);
+  if (!delta.has_value()) {
+    return std::nullopt;
+  }
+  // Rotate and scale about the old midpoint, then translate the midpoint.
+  const double mx = 0.5 * (a0.x + b0.x);
+  const double my = 0.5 * (a0.y + b0.y);
+  const geom::AffineTransform rotate_scale =
+      geom::AffineTransform::Rotation(delta->rotate_radians, mx, my)
+          .Compose(geom::AffineTransform::Scale(delta->scale, mx, my));
+  return geom::AffineTransform::Translation(delta->translate_x, delta->translate_y)
+      .Compose(rotate_scale);
+}
+
+}  // namespace grandma::multipath

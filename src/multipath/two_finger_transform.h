@@ -1,0 +1,39 @@
+// The manipulation-phase math for two-finger interactions: the unique
+// similarity transform (translate + rotate + uniform scale) taking one pair
+// of finger positions to another. This is what lets the paper's Sensor
+// Frame program do "simultaneous rotation, translation, and scaling of
+// graphic objects" during the manipulation phase.
+#ifndef GRANDMA_SRC_MULTIPATH_TWO_FINGER_TRANSFORM_H_
+#define GRANDMA_SRC_MULTIPATH_TWO_FINGER_TRANSFORM_H_
+
+#include <optional>
+
+#include "geom/point.h"
+#include "geom/transform.h"
+
+namespace grandma::multipath {
+
+// Returns the similarity transform mapping (a0 -> a1, b0 -> b1) exactly.
+// std::nullopt when a0 == b0 (no defined scale/rotation).
+std::optional<geom::AffineTransform> SimilarityFromFingerPairs(const geom::TimedPoint& a0,
+                                                               const geom::TimedPoint& b0,
+                                                               const geom::TimedPoint& a1,
+                                                               const geom::TimedPoint& b1);
+
+// Decomposed view of the same transform, for clients that want the raw
+// parameters (GDP-style semantics often do).
+struct TwoFingerDelta {
+  double translate_x = 0.0;  // motion of the finger midpoint
+  double translate_y = 0.0;
+  double rotate_radians = 0.0;  // rotation of the inter-finger vector
+  double scale = 1.0;           // ratio of inter-finger distances
+};
+
+std::optional<TwoFingerDelta> DeltaFromFingerPairs(const geom::TimedPoint& a0,
+                                                   const geom::TimedPoint& b0,
+                                                   const geom::TimedPoint& a1,
+                                                   const geom::TimedPoint& b1);
+
+}  // namespace grandma::multipath
+
+#endif  // GRANDMA_SRC_MULTIPATH_TWO_FINGER_TRANSFORM_H_

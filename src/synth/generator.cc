@@ -1,0 +1,258 @@
+#include "synth/generator.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "geom/transform.h"
+
+namespace grandma::synth {
+
+namespace {
+
+struct RawPoint {
+  double x;
+  double y;
+  bool at_corner;  // true for points near a segment boundary (slow down here)
+};
+
+// Samples the canonical path of `spec` at `spacing`, tracking where each
+// segment's points begin and optionally replacing line-line corners with
+// ~270-degree loops.
+struct CanonicalPath {
+  std::vector<RawPoint> points;
+  std::vector<std::size_t> segment_first_point;
+};
+
+void AppendLinePoints(std::vector<RawPoint>& out, double from_x, double from_y, double to_x,
+                      double to_y, double spacing) {
+  const double dx = to_x - from_x;
+  const double dy = to_y - from_y;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  const std::size_t steps = std::max<std::size_t>(1, static_cast<std::size_t>(len / spacing));
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(steps);
+    out.push_back(RawPoint{from_x + dx * u, from_y + dy * u, false});
+  }
+}
+
+void AppendArcPoints(std::vector<RawPoint>& out, const PathSegment& arc, double spacing) {
+  const double mean_radius = arc.radius * 0.5 * (1.0 + arc.radius_growth);
+  const double len = std::abs(arc.sweep) * std::max(mean_radius, 1e-9);
+  const std::size_t steps = std::max<std::size_t>(2, static_cast<std::size_t>(len / spacing));
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(steps);
+    const double angle = arc.start_angle + arc.sweep * u;
+    const double r = arc.radius * (1.0 + (arc.radius_growth - 1.0) * u);
+    out.push_back(RawPoint{arc.cx + r * std::cos(angle), arc.cy + r * std::sin(angle), false});
+  }
+}
+
+// Inserts a loop at the current end of `out`: instead of turning sharply from
+// direction `in_angle` to `out_angle`, the pen overshoots and circles ~270
+// degrees the "wrong" way before continuing. Mirrors the corner-looping
+// behaviour Rubine observed in human test gestures.
+void AppendCornerLoop(std::vector<RawPoint>& out, double corner_x, double corner_y,
+                      double in_angle, double out_angle, double radius, double spacing) {
+  // Natural (shorter) turn direction from in_angle to out_angle.
+  double turn = out_angle - in_angle;
+  while (turn > std::numbers::pi) {
+    turn -= 2.0 * std::numbers::pi;
+  }
+  while (turn < -std::numbers::pi) {
+    turn += 2.0 * std::numbers::pi;
+  }
+  // Loop the opposite way: sweep = -(2*pi - |turn|) * sign(turn).
+  const double sweep = -(2.0 * std::numbers::pi - std::abs(turn)) * (turn >= 0.0 ? 1.0 : -1.0);
+  // Center perpendicular to the incoming direction, on the loop side.
+  const double side = sweep >= 0.0 ? 1.0 : -1.0;
+  const double center_angle = in_angle + side * std::numbers::pi / 2.0;
+  const double cx = corner_x + radius * std::cos(center_angle);
+  const double cy = corner_y + radius * std::sin(center_angle);
+  const double start_angle = center_angle + std::numbers::pi;
+  const PathSegment loop =
+      PathSegment::Arc(cx, cy, radius, start_angle, sweep, /*radius_growth=*/1.0);
+  AppendArcPoints(out, loop, spacing);
+  // Return to the corner point so the next segment starts where it should.
+  out.push_back(RawPoint{corner_x, corner_y, true});
+}
+
+double SegmentEntryAngle(const PathSegment& s, double from_x, double from_y) {
+  if (s.kind == PathSegment::Kind::kLine) {
+    return std::atan2(s.y - from_y, s.x - from_x);
+  }
+  // Tangent at the arc start.
+  const double sign = s.sweep >= 0.0 ? 1.0 : -1.0;
+  return s.start_angle + sign * std::numbers::pi / 2.0;
+}
+
+double SegmentExitAngle(const PathSegment& s, double from_x, double from_y) {
+  if (s.kind == PathSegment::Kind::kLine) {
+    return std::atan2(s.y - from_y, s.x - from_x);
+  }
+  const double sign = s.sweep >= 0.0 ? 1.0 : -1.0;
+  return s.start_angle + s.sweep + sign * std::numbers::pi / 2.0;
+}
+
+CanonicalPath BuildCanonical(const PathSpec& spec, const NoiseModel& noise, Rng& rng) {
+  CanonicalPath path;
+  path.points.push_back(RawPoint{spec.start_x, spec.start_y, false});
+  path.segment_first_point.push_back(0);
+
+  double px = spec.start_x;
+  double py = spec.start_y;
+  for (std::size_t k = 0; k < spec.segments.size(); ++k) {
+    const PathSegment& seg = spec.segments[k];
+    if (k > 0) {
+      const PathSegment& prev = spec.segments[k - 1];
+      const double prev_from_x = k >= 2 ? spec.segments[k - 2].EndX() : spec.start_x;
+      const double prev_from_y = k >= 2 ? spec.segments[k - 2].EndY() : spec.start_y;
+      const double in_angle = SegmentExitAngle(prev, prev_from_x, prev_from_y);
+      const double out_angle = SegmentEntryAngle(seg, px, py);
+      double turn = out_angle - in_angle;
+      while (turn > std::numbers::pi) {
+        turn -= 2.0 * std::numbers::pi;
+      }
+      while (turn < -std::numbers::pi) {
+        turn += 2.0 * std::numbers::pi;
+      }
+      // A joint only counts as a corner (slow-down, candidate for looping)
+      // when the direction actually changes sharply; tangent-continuous
+      // joints inside polyline curves pass through at speed.
+      const bool sharp = std::abs(turn) > 0.5;
+      if (sharp && rng.Bernoulli(noise.corner_loop_prob)) {
+        AppendCornerLoop(path.points, px, py, in_angle, out_angle, noise.corner_loop_radius,
+                         noise.spacing);
+      }
+      if (sharp) {
+        path.points.back().at_corner = true;
+      }
+    }
+    // The new segment's points begin with the next emitted point.
+    if (k > 0) {
+      path.segment_first_point.push_back(path.points.size());
+    }
+    const std::size_t before = path.points.size();
+    if (seg.kind == PathSegment::Kind::kLine) {
+      AppendLinePoints(path.points, px, py, seg.x, seg.y, noise.spacing);
+    } else {
+      AppendArcPoints(path.points, seg, noise.spacing);
+    }
+    if (path.points.size() == before) {
+      // Zero-length segment; keep indices consistent by pointing at the
+      // current last point.
+      path.segment_first_point.back() = path.points.size() - 1;
+    }
+    px = seg.EndX();
+    py = seg.EndY();
+  }
+  return path;
+}
+
+}  // namespace
+
+std::size_t GestureSample::MinUnambiguousPointCount() const {
+  if (unambiguous_at_segment < 0 ||
+      static_cast<std::size_t>(unambiguous_at_segment) >= segment_first_point.size()) {
+    return gesture.size();
+  }
+  const std::size_t first = segment_first_point[static_cast<std::size_t>(unambiguous_at_segment)];
+  // One point into the disambiguating segment (and never more than the
+  // gesture itself).
+  return std::min(first + 1, gesture.size());
+}
+
+GestureSample Generate(const PathSpec& spec, const NoiseModel& noise, Rng& rng) {
+  GestureSample sample;
+  sample.unambiguous_at_segment = spec.unambiguous_at_segment;
+
+  // Whole-gesture variation.
+  const double rotation = rng.Gaussian(noise.rotation_sigma);
+  const double scale = rng.LogNormalFactor(noise.scale_sigma);
+  const double offset_x = rng.Gaussian(noise.translation_sigma);
+  const double offset_y = rng.Gaussian(noise.translation_sigma);
+  const double tempo = rng.LogNormalFactor(noise.tempo_sigma);
+
+  if (spec.segments.empty()) {
+    // A dot: dwell points with jitter only.
+    double t = 0.0;
+    for (std::size_t i = 0; i < std::max<std::size_t>(noise.dwell_points, 1); ++i) {
+      sample.gesture.AppendPoint(geom::TimedPoint{
+          spec.start_x + offset_x + rng.Gaussian(noise.point_jitter),
+          spec.start_y + offset_y + rng.Gaussian(noise.point_jitter), t});
+      t += noise.dwell_dt_ms;
+    }
+    sample.segment_first_point.push_back(0);
+    return sample;
+  }
+
+  // Device event-rate variation: a faster/slower sampling clock shows up as
+  // wider/narrower point spacing for the whole gesture.
+  NoiseModel effective = noise;
+  effective.spacing = noise.spacing * rng.LogNormalFactor(noise.spacing_sigma);
+
+  CanonicalPath canonical = BuildCanonical(spec, effective, rng);
+  sample.segment_first_point = canonical.segment_first_point;
+
+  const geom::AffineTransform transform =
+      geom::AffineTransform::Translation(offset_x, offset_y)
+          .Compose(geom::AffineTransform::Rotation(rotation, spec.start_x, spec.start_y)
+                       .Compose(geom::AffineTransform::Scale(scale, spec.start_x, spec.start_y)));
+
+  double t = 0.0;
+  double prev_x = 0.0;
+  double prev_y = 0.0;
+  sample.gesture.Reserve(canonical.points.size());
+  for (std::size_t i = 0; i < canonical.points.size(); ++i) {
+    double x = canonical.points[i].x;
+    double y = canonical.points[i].y;
+    transform.ApplyInPlace(x, y);
+    x += rng.Gaussian(noise.point_jitter);
+    y += rng.Gaussian(noise.point_jitter);
+    if (i > 0) {
+      const double dx = x - prev_x;
+      const double dy = y - prev_y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      double speed = noise.speed * tempo * rng.LogNormalFactor(noise.point_tempo_sigma);
+      if (canonical.points[i].at_corner || canonical.points[i - 1].at_corner) {
+        speed *= noise.corner_slowdown;
+      }
+      t += dist / std::max(speed, 1e-6);
+    }
+    sample.gesture.AppendPoint(geom::TimedPoint{x, y, t});
+    prev_x = x;
+    prev_y = y;
+  }
+  return sample;
+}
+
+std::vector<LabeledSamples> GenerateSet(const std::vector<PathSpec>& specs,
+                                        const NoiseModel& noise, std::size_t per_class,
+                                        std::uint64_t seed) {
+  std::vector<LabeledSamples> out;
+  out.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    // Independent stream per class so adding classes never perturbs others.
+    Rng rng(seed * 1315423911u + s);
+    LabeledSamples batch;
+    batch.class_name = specs[s].class_name;
+    batch.samples.reserve(per_class);
+    for (std::size_t e = 0; e < per_class; ++e) {
+      batch.samples.push_back(Generate(specs[s], noise, rng));
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+classify::GestureTrainingSet ToTrainingSet(const std::vector<LabeledSamples>& batches) {
+  classify::GestureTrainingSet set;
+  for (const LabeledSamples& batch : batches) {
+    for (const GestureSample& sample : batch.samples) {
+      set.Add(batch.class_name, sample.gesture);
+    }
+  }
+  return set;
+}
+
+}  // namespace grandma::synth

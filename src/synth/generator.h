@@ -1,0 +1,80 @@
+// Turns canonical PathSpecs into noisy timed point sequences — the stand-in
+// for human mouse/stylus input (see DESIGN.md "Substitutions"). Every sample
+// carries ground-truth segment boundaries, which the Figure 9 harness uses in
+// place of the paper's hand-labeled "minimum points needed" counts.
+#ifndef GRANDMA_SRC_SYNTH_GENERATOR_H_
+#define GRANDMA_SRC_SYNTH_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/training_set.h"
+#include "geom/gesture.h"
+#include "synth/path_spec.h"
+#include "synth/rng.h"
+
+namespace grandma::synth {
+
+// Per-example variation applied to a canonical path. Defaults model a
+// competent mouse user: ~1 px sensor jitter, mild rotation/scale variation,
+// 5 px sample spacing at ~0.4 px/ms with slow-in/slow-out at corners.
+struct NoiseModel {
+  double spacing = 5.0;            // px between emitted samples
+  double spacing_sigma = 0.0;      // lognormal sigma of per-gesture spacing
+                                   // (device event-rate variation)
+  double point_jitter = 0.8;       // px sigma of per-point Gaussian noise
+  double rotation_sigma = 0.10;    // radians, whole-gesture rotation
+  double scale_sigma = 0.25;       // lognormal sigma, whole-gesture scale
+  double translation_sigma = 10.0; // px sigma of the start-position offset
+  double tempo_sigma = 0.35;       // lognormal sigma of the per-gesture speed
+  double point_tempo_sigma = 0.10; // lognormal sigma of per-point speed
+  double speed = 0.4;              // px/ms nominal drawing speed
+  double corner_slowdown = 0.5;    // speed multiplier at segment boundaries
+
+  // With this probability, a corner between two line segments is drawn as a
+  // small ~270-degree loop instead of a sharp turn — the failure mode Rubine
+  // reports as the dominant source of eager-recognizer errors in Figure 9.
+  double corner_loop_prob = 0.0;
+  double corner_loop_radius = 5.0;  // px
+
+  // Points emitted for a zero-length (dot) spec, spaced dwell_dt_ms apart.
+  std::size_t dwell_points = 3;
+  double dwell_dt_ms = 25.0;
+};
+
+// One generated gesture plus its ground truth.
+struct GestureSample {
+  geom::Gesture gesture;
+  // Index of the first emitted point of each spec segment. Entry 0 is always
+  // 0 (the start point belongs to the first segment).
+  std::vector<std::size_t> segment_first_point;
+  // Copied from the spec.
+  int unambiguous_at_segment = -1;
+
+  // Ground-truth minimum number of points that must be seen before the
+  // gesture is unambiguous: one point into the disambiguating segment. When
+  // the spec does not mark a segment, the whole gesture is required.
+  std::size_t MinUnambiguousPointCount() const;
+};
+
+// Generates one sample of `spec` under `noise`.
+GestureSample Generate(const PathSpec& spec, const NoiseModel& noise, Rng& rng);
+
+// A labeled batch for one class.
+struct LabeledSamples {
+  std::string class_name;
+  std::vector<GestureSample> samples;
+};
+
+// Generates `per_class` samples of every spec. Deterministic in `seed`.
+std::vector<LabeledSamples> GenerateSet(const std::vector<PathSpec>& specs,
+                                        const NoiseModel& noise, std::size_t per_class,
+                                        std::uint64_t seed);
+
+// Flattens a generated set into a classifier training set (class insertion
+// order matches spec order).
+classify::GestureTrainingSet ToTrainingSet(const std::vector<LabeledSamples>& batches);
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_GENERATOR_H_

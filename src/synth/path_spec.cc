@@ -1,0 +1,88 @@
+#include "synth/path_spec.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace grandma::synth {
+
+PathSegment PathSegment::Line(double x, double y) {
+  PathSegment s;
+  s.kind = Kind::kLine;
+  s.x = x;
+  s.y = y;
+  return s;
+}
+
+PathSegment PathSegment::Arc(double cx, double cy, double radius, double start_angle,
+                             double sweep, double radius_growth) {
+  PathSegment s;
+  s.kind = Kind::kArc;
+  s.cx = cx;
+  s.cy = cy;
+  s.radius = radius;
+  s.start_angle = start_angle;
+  s.sweep = sweep;
+  s.radius_growth = radius_growth;
+  return s;
+}
+
+double PathSegment::EndX() const {
+  if (kind == Kind::kLine) {
+    return x;
+  }
+  return cx + radius * radius_growth * std::cos(start_angle + sweep);
+}
+
+double PathSegment::EndY() const {
+  if (kind == Kind::kLine) {
+    return y;
+  }
+  return cy + radius * radius_growth * std::sin(start_angle + sweep);
+}
+
+double PathSegment::Length(double from_x, double from_y) const {
+  if (kind == Kind::kLine) {
+    const double dx = x - from_x;
+    const double dy = y - from_y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+  // Mean radius is a good approximation for the gentle spirals used here.
+  const double mean_radius = radius * 0.5 * (1.0 + radius_growth);
+  return std::abs(sweep) * mean_radius;
+}
+
+PathSpec& PathSpec::LineTo(double x, double y) {
+  segments.push_back(PathSegment::Line(x, y));
+  return *this;
+}
+
+PathSpec& PathSpec::ArcFromCurrent(double center_angle, double radius, double sweep,
+                                   double radius_growth) {
+  const double ex = EndX();
+  const double ey = EndY();
+  const double cx = ex + radius * std::cos(center_angle);
+  const double cy = ey + radius * std::sin(center_angle);
+  // The arc starts at the current point, i.e. at angle (center_angle + pi)
+  // as seen from the center.
+  const double start_angle = center_angle + std::numbers::pi;
+  segments.push_back(PathSegment::Arc(cx, cy, radius, start_angle, sweep, radius_growth));
+  return *this;
+}
+
+double PathSpec::EndX() const { return segments.empty() ? start_x : segments.back().EndX(); }
+
+double PathSpec::EndY() const { return segments.empty() ? start_y : segments.back().EndY(); }
+
+double PathSpec::TotalLength() const {
+  double len = 0.0;
+  double px = start_x;
+  double py = start_y;
+  for (const PathSegment& s : segments) {
+    len += s.Length(px, py);
+    px = s.EndX();
+    py = s.EndY();
+  }
+  return len;
+}
+
+}  // namespace grandma::synth

@@ -1,0 +1,79 @@
+// Parametric descriptions of gesture shapes. A PathSpec is the *canonical*
+// (noise-free) trajectory of a gesture class: a start point followed by line
+// and arc segments. The generator samples it into timed points and perturbs
+// it per a NoiseModel.
+#ifndef GRANDMA_SRC_SYNTH_PATH_SPEC_H_
+#define GRANDMA_SRC_SYNTH_PATH_SPEC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace grandma::synth {
+
+// One piece of a canonical path.
+struct PathSegment {
+  enum class Kind { kLine, kArc };
+
+  Kind kind = Kind::kLine;
+
+  // kLine: absolute end point.
+  double x = 0.0;
+  double y = 0.0;
+
+  // kArc: circle center, radius and angle range. The segment's points run
+  // from angle `start_angle` to `start_angle + sweep` (radians; positive
+  // sweep is counterclockwise in a y-up frame). The arc is expected to begin
+  // where the previous segment ended; specs are constructed that way.
+  double cx = 0.0;
+  double cy = 0.0;
+  double radius = 0.0;
+  double start_angle = 0.0;
+  double sweep = 0.0;
+  // kArc only: radius multiplier applied linearly across the sweep, for
+  // spiral-like strokes (1.0 = circular arc).
+  double radius_growth = 1.0;
+
+  static PathSegment Line(double x, double y);
+  static PathSegment Arc(double cx, double cy, double radius, double start_angle, double sweep,
+                         double radius_growth = 1.0);
+
+  // End point of the segment.
+  double EndX() const;
+  double EndY() const;
+  // Approximate arc length of the segment starting at (from_x, from_y).
+  double Length(double from_x, double from_y) const;
+};
+
+// A gesture class's canonical shape.
+struct PathSpec {
+  std::string class_name;
+  double start_x = 0.0;
+  double start_y = 0.0;
+  std::vector<PathSegment> segments;
+
+  // Index (0-based) of the segment whose onset first disambiguates this class
+  // within its gesture set, when known. Used as ground truth for the paper's
+  // "minimum number of points needed" (Figure 9, determined there by hand).
+  // Negative when unknown/not applicable.
+  int unambiguous_at_segment = -1;
+
+  // Builder-style helpers.
+  PathSpec& LineTo(double x, double y);
+  // Appends an arc that starts at the current end point: the center is placed
+  // at distance `radius` from the current end in direction `center_angle`
+  // (radians), and the arc sweeps `sweep` radians from there.
+  PathSpec& ArcFromCurrent(double center_angle, double radius, double sweep,
+                           double radius_growth = 1.0);
+
+  // Current end point of the spec (start point when no segments).
+  double EndX() const;
+  double EndY() const;
+
+  // Total canonical arc length.
+  double TotalLength() const;
+};
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_PATH_SPEC_H_

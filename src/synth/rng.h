@@ -1,0 +1,62 @@
+// Deterministic random number generation for the synthetic gesture workload.
+// Every experiment harness seeds explicitly so results are reproducible
+// run-to-run and machine-to-machine.
+#ifndef GRANDMA_SRC_SYNTH_RNG_H_
+#define GRANDMA_SRC_SYNTH_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace grandma::synth {
+
+// Thin wrapper over mt19937_64 with the distributions the generator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled by sigma.
+  double Gaussian(double sigma) {
+    if (sigma <= 0.0) {
+      return 0.0;
+    }
+    return std::normal_distribution<double>(0.0, sigma)(engine_);
+  }
+
+  // exp(N(0, sigma)): multiplicative jitter that can never go negative.
+  double LogNormalFactor(double sigma) {
+    if (sigma <= 0.0) {
+      return 1.0;
+    }
+    return std::exp(std::normal_distribution<double>(0.0, sigma)(engine_));
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t Index(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_RNG_H_

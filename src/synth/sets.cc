@@ -1,0 +1,205 @@
+#include "synth/sets.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace grandma::synth {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+PathSpec TwoSegment(const char* name, double dx1, double dy1, double dx2, double dy2) {
+  PathSpec spec;
+  spec.class_name = name;
+  spec.LineTo(dx1, dy1);
+  spec.LineTo(dx1 + dx2, dy1 + dy2);
+  spec.unambiguous_at_segment = 1;
+  return spec;
+}
+
+// Appends a polyline approximation of an axis-aligned ellipse centered at
+// (cx, cy) with semi-axes (a, b), starting at parametric angle `phase` and
+// sweeping `sweep` radians in `steps` chords.
+void AppendEllipsePolyline(PathSpec& spec, double cx, double cy, double a, double b,
+                           double phase, double sweep, int steps) {
+  for (int i = 1; i <= steps; ++i) {
+    const double u = phase + sweep * static_cast<double>(i) / static_cast<double>(steps);
+    spec.LineTo(cx + a * std::cos(u), cy + b * std::sin(u));
+  }
+}
+
+}  // namespace
+
+std::vector<PathSpec> MakeUpDownSpecs() {
+  return {
+      TwoSegment("U", 60.0, 0.0, 0.0, 60.0),
+      TwoSegment("D", 60.0, 0.0, 0.0, -60.0),
+  };
+}
+
+std::vector<PathSpec> MakeUpDownRightSpecs() {
+  std::vector<PathSpec> specs = MakeUpDownSpecs();
+  PathSpec right;
+  right.class_name = "R";
+  right.LineTo(60.0, 0.0);
+  right.unambiguous_at_segment = -1;  // a bare prefix: never early-decidable
+  specs.push_back(std::move(right));
+  return specs;
+}
+
+std::vector<PathSpec> MakeEightDirectionSpecs() {
+  struct Dir {
+    char c;
+    double dx;
+    double dy;
+  };
+  const Dir dirs[] = {
+      {'u', 0.0, 1.0}, {'d', 0.0, -1.0}, {'l', -1.0, 0.0}, {'r', 1.0, 0.0}};
+  // The eight orderings used in Figure 9: ur, ul, dr, dl, ru, rd, lu, ld.
+  const char* names[] = {"ur", "ul", "dr", "dl", "ru", "rd", "lu", "ld"};
+  std::vector<PathSpec> specs;
+  specs.reserve(8);
+  for (const char* name : names) {
+    const Dir* first = nullptr;
+    const Dir* second = nullptr;
+    for (const Dir& d : dirs) {
+      if (d.c == name[0]) {
+        first = &d;
+      }
+      if (d.c == name[1]) {
+        second = &d;
+      }
+    }
+    constexpr double kLen = 60.0;
+    specs.push_back(TwoSegment(name, first->dx * kLen, first->dy * kLen, second->dx * kLen,
+                               second->dy * kLen));
+  }
+  return specs;
+}
+
+std::vector<PathSpec> MakeNoteSpecs() {
+  const char* names[] = {"quarter", "eighth", "sixteenth", "thirtysecond", "sixtyfourth"};
+  std::vector<PathSpec> specs;
+  for (int flags = 0; flags < 5; ++flags) {
+    PathSpec spec;
+    spec.class_name = names[flags];
+    // Stem: straight down.
+    spec.LineTo(0.0, -80.0);
+    // Flags: short alternating zigzag strokes appended to the stem bottom, so
+    // each class extends the previous one (prefix structure of Figure 8).
+    double x = 0.0;
+    double y = -80.0;
+    for (int i = 0; i < flags; ++i) {
+      x += 22.0;
+      y += (i % 2 == 0) ? 16.0 : -16.0;
+      spec.LineTo(x, y);
+    }
+    // Only the longest note ever becomes unambiguous before it ends — and
+    // only at its final flag; every other class is a prefix of another class.
+    spec.unambiguous_at_segment = (flags == 4) ? 4 : -1;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<PathSpec> MakeGdpSpecs(GroupOrientation orientation) {
+  std::vector<PathSpec> specs;
+
+  {
+    PathSpec line;
+    line.class_name = "line";
+    line.LineTo(70.0, -50.0);
+    specs.push_back(std::move(line));
+  }
+  {
+    // The paper's rectangle gesture is a short "L" hook — corner 1 at the
+    // start, a brief downstroke, then rightward (Figure 10's rect examples
+    // consistently become unambiguous 4 points in, right after the corner).
+    PathSpec rect;
+    rect.class_name = "rectangle";
+    rect.LineTo(0.0, -25.0).LineTo(75.0, -25.0);
+    rect.unambiguous_at_segment = 1;
+    specs.push_back(std::move(rect));
+  }
+  {
+    // An elongated oval starting at the rightmost point, drawn
+    // counterclockwise (initial direction: up).
+    PathSpec ellipse;
+    ellipse.class_name = "ellipse";
+    ellipse.start_x = 45.0;
+    ellipse.start_y = 0.0;
+    AppendEllipsePolyline(ellipse, 0.0, 0.0, 45.0, 28.0, 0.0, 2.0 * kPi, 24);
+    specs.push_back(std::move(ellipse));
+  }
+  {
+    // Group: a large lasso circle. Clockwise in the altered set of Figure 10;
+    // counterclockwise originally (which made it share its whole prefix with
+    // `copy` and blocked copy's eagerness). Starts at the top of the circle.
+    PathSpec group;
+    group.class_name = "group";
+    const double sweep = orientation == GroupOrientation::kClockwise ? -2.0 * kPi : 2.0 * kPi;
+    group.ArcFromCurrent(/*center_angle=*/-kPi / 2.0, /*radius=*/45.0, sweep);
+    specs.push_back(std::move(group));
+  }
+  {
+    // Text: a small "v" — down-right then up-right.
+    PathSpec text;
+    text.class_name = "text";
+    text.LineTo(28.0, -30.0).LineTo(56.0, 0.0);
+    text.unambiguous_at_segment = 1;
+    specs.push_back(std::move(text));
+  }
+  {
+    // Delete: a three-segment zigzag slash.
+    PathSpec del;
+    del.class_name = "delete";
+    del.LineTo(45.0, -45.0).LineTo(45.0, 0.0).LineTo(90.0, -45.0);
+    specs.push_back(std::move(del));
+  }
+  {
+    // Edit: looks like a "2": a clockwise cap, a diagonal down-left, then a
+    // horizontal rightward base.
+    PathSpec edit;
+    edit.class_name = "edit";
+    edit.ArcFromCurrent(/*center_angle=*/-kPi / 2.0, /*radius=*/18.0, /*sweep=*/-kPi);
+    edit.LineTo(-28.0, -64.0).LineTo(22.0, -64.0);
+    specs.push_back(std::move(edit));
+  }
+  {
+    // Move: a caret "^" — up-right then down-right.
+    PathSpec move;
+    move.class_name = "move";
+    move.LineTo(35.0, 45.0).LineTo(70.0, 0.0);
+    move.unambiguous_at_segment = 1;
+    specs.push_back(std::move(move));
+  }
+  {
+    // Rotate-scale: a long inward counterclockwise spiral (the paper's
+    // examples run 37-46 points, the longest in the set). Starts at the
+    // bottom moving right — the combination (rightward start, ccw turning)
+    // is unique in the set, so it differs from the clockwise group early.
+    PathSpec rot;
+    rot.class_name = "rotate-scale";
+    rot.ArcFromCurrent(/*center_angle=*/kPi / 2.0, /*radius=*/38.0, /*sweep=*/2.5 * kPi,
+                       /*radius_growth=*/0.4);
+    specs.push_back(std::move(rot));
+  }
+  {
+    // Copy: a "C" — an open counterclockwise arc starting at the top, initial
+    // direction left. Shares its prefix with a counterclockwise group.
+    PathSpec copy;
+    copy.class_name = "copy";
+    copy.ArcFromCurrent(/*center_angle=*/-kPi / 2.0, /*radius=*/30.0, /*sweep=*/1.5 * kPi);
+    specs.push_back(std::move(copy));
+  }
+  {
+    // Dot: a press with no movement (the generator emits dwell points).
+    PathSpec dot;
+    dot.class_name = "dot";
+    specs.push_back(std::move(dot));
+  }
+  return specs;
+}
+
+}  // namespace grandma::synth

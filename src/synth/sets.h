@@ -1,0 +1,54 @@
+// Canonical gesture sets for every experiment in the paper:
+//   - U/D (Figures 5-7 walkthrough), plus a variant with a bare right-stroke
+//     class (the threshold pitfall discussed in Section 4.5),
+//   - the eight two-segment direction classes of Figure 9,
+//   - Buxton's musical-note gestures of Figure 8 (each a prefix of the next),
+//   - the eleven GDP gestures of Figure 10, in both group orientations
+//     (the paper trained `group` clockwise because the counterclockwise
+//     variant prevented `copy` from ever being eagerly recognized).
+//
+// Coordinates are in a y-up mathematical frame; "u" means +y. Sizes are in
+// pixels, roughly matching on-screen gesture sizes (40-120 px strokes).
+#ifndef GRANDMA_SRC_SYNTH_SETS_H_
+#define GRANDMA_SRC_SYNTH_SETS_H_
+
+#include <vector>
+
+#include "synth/path_spec.h"
+
+namespace grandma::synth {
+
+// U: right then up. D: right then down. Both 60 px segments.
+std::vector<PathSpec> MakeUpDownSpecs();
+
+// U, D, plus a bare right stroke — the configuration in which an incomplete
+// subgesture (the shared horizontal prefix) looks like a *full* gesture of a
+// different class, exercising the lower-threshold guard of Section 4.5.
+std::vector<PathSpec> MakeUpDownRightSpecs();
+
+// The eight classes of Figure 9, named for their two segment directions:
+// "ur" is up-then-right. Each class is ambiguous along its first segment and
+// unambiguous once the corner is turned.
+std::vector<PathSpec> MakeEightDirectionSpecs();
+
+// Buxton's note gestures (Figure 8): quarter, eighth, sixteenth,
+// thirtysecond, sixtyfourth. A down-stroke followed by 0..4 zigzag flags;
+// every gesture is approximately a subgesture of the next, so eager
+// recognition should essentially never trigger.
+std::vector<PathSpec> MakeNoteSpecs();
+
+enum class GroupOrientation {
+  kClockwise,         // the "slightly altered" set actually used in Figure 10
+  kCounterClockwise,  // the original set, which blocked `copy`'s eagerness
+};
+
+// The eleven GDP gesture classes: line, rectangle, ellipse, group, text,
+// delete, edit, move, rotate-scale, copy, dot. Shapes approximate Figure 3's
+// strokes; what the experiments depend on is the prefix-ambiguity structure
+// (notably group-vs-copy sharing their initial arc when group is drawn
+// counterclockwise).
+std::vector<PathSpec> MakeGdpSpecs(GroupOrientation orientation = GroupOrientation::kClockwise);
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_SETS_H_

@@ -1,0 +1,80 @@
+#include "toolkit/dispatcher.h"
+
+namespace grandma::toolkit {
+
+bool Dispatcher::Dispatch(const InputEvent& event) {
+  ++dispatched_count_;
+  if (event.time_ms > clock_->now_ms()) {
+    clock_->Set(event.time_ms);
+  }
+
+  if (swallowing_until_up_) {
+    if (event.type == EventType::kMouseUp) {
+      swallowing_until_up_ = false;
+    }
+    return true;
+  }
+
+  if (grabbed_handler_ != nullptr) {
+    EventHandler* handler = grabbed_handler_;
+    View* view = grabbed_view_;
+    const HandlerResponse response = handler->OnEvent(event, *view);
+    HandleResponse(response, handler, view, event);
+    return true;
+  }
+
+  // No grab: find the view under the pointer and offer the event to each
+  // handler in its chain, then walk up the ancestor chain.
+  View* hit = root_ != nullptr ? root_->FindViewAt(event.x, event.y) : nullptr;
+  for (View* view = hit; view != nullptr; view = view->parent()) {
+    for (EventHandler* handler : view->HandlerChain()) {
+      if (!handler->Wants(event, *view)) {
+        continue;
+      }
+      const HandlerResponse response = handler->OnEvent(event, *view);
+      if (response == HandlerResponse::kIgnored) {
+        continue;  // Propagate to the next handler.
+      }
+      HandleResponse(response, handler, view, event);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Dispatcher::Tick() {
+  if (grabbed_handler_ == nullptr) {
+    return;
+  }
+  const InputEvent tick = InputEvent::Timer(clock_->now_ms());
+  EventHandler* handler = grabbed_handler_;
+  View* view = grabbed_view_;
+  HandleResponse(handler->OnEvent(tick, *view), handler, view, tick);
+}
+
+void Dispatcher::HandleResponse(HandlerResponse response, EventHandler* handler, View* view,
+                                const InputEvent& event) {
+  switch (response) {
+    case HandlerResponse::kIgnored:
+    case HandlerResponse::kConsumed:
+      if (grabbed_handler_ == handler &&
+          (event.type == EventType::kMouseUp || response == HandlerResponse::kIgnored)) {
+        grabbed_handler_ = nullptr;
+        grabbed_view_ = nullptr;
+      }
+      break;
+    case HandlerResponse::kConsumedAndGrab:
+      grabbed_handler_ = handler;
+      grabbed_view_ = view;
+      break;
+    case HandlerResponse::kAbort:
+      grabbed_handler_ = nullptr;
+      grabbed_view_ = nullptr;
+      if (event.type != EventType::kMouseUp) {
+        swallowing_until_up_ = true;
+      }
+      break;
+  }
+}
+
+}  // namespace grandma::toolkit

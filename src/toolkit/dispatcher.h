@@ -1,0 +1,55 @@
+// Routes input events to views and their handler chains, maintaining the
+// grab: after a handler accepts a mouse-down, it receives the rest of the
+// interaction (moves, timer ticks, the mouse-up) directly.
+#ifndef GRANDMA_SRC_TOOLKIT_DISPATCHER_H_
+#define GRANDMA_SRC_TOOLKIT_DISPATCHER_H_
+
+#include <cstddef>
+
+#include "toolkit/event.h"
+#include "toolkit/event_handler.h"
+#include "toolkit/view.h"
+
+namespace grandma::toolkit {
+
+class Dispatcher {
+ public:
+  Dispatcher(View* root, VirtualClock* clock) : root_(root), clock_(clock) {}
+
+  // Feeds one event. Advances the clock to the event time, routes to the
+  // grabbed handler if any, otherwise hit-tests the view tree and offers the
+  // event along the handler chain of the hit view and its ancestors.
+  // Returns true when some handler consumed the event.
+  bool Dispatch(const InputEvent& event);
+
+  // Delivers a timer tick (at the clock's current time) to the grabbed
+  // handler, letting dwell timeouts fire. No-op when nothing is grabbed.
+  void Tick();
+
+  bool HasGrab() const { return grabbed_handler_ != nullptr; }
+  EventHandler* grabbed_handler() const { return grabbed_handler_; }
+  View* grabbed_view() const { return grabbed_view_; }
+
+  VirtualClock& clock() { return *clock_; }
+  View* root() { return root_; }
+
+  // Diagnostics.
+  std::size_t dispatched_count() const { return dispatched_count_; }
+
+ private:
+  void HandleResponse(HandlerResponse response, EventHandler* handler, View* view,
+                      const InputEvent& event);
+
+  View* root_;
+  VirtualClock* clock_;
+  EventHandler* grabbed_handler_ = nullptr;
+  View* grabbed_view_ = nullptr;
+  // After an abort, remaining events up to and including the next mouse-up
+  // are swallowed.
+  bool swallowing_until_up_ = false;
+  std::size_t dispatched_count_ = 0;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_DISPATCHER_H_

@@ -1,0 +1,50 @@
+#include "toolkit/drag_handler.h"
+
+namespace grandma::toolkit {
+
+bool DragHandler::Wants(const InputEvent& event, View& view) const {
+  if (event.type != EventType::kMouseDown || event.button != button_) {
+    return false;
+  }
+  if (callbacks_.can_start && !callbacks_.can_start(view, event)) {
+    return false;
+  }
+  return true;
+}
+
+HandlerResponse DragHandler::OnEvent(const InputEvent& event, View& view) {
+  switch (event.type) {
+    case EventType::kMouseDown:
+      if (dragging_) {
+        return HandlerResponse::kIgnored;
+      }
+      dragging_ = true;
+      if (callbacks_.on_start) {
+        callbacks_.on_start(view, event);
+      }
+      return HandlerResponse::kConsumedAndGrab;
+    case EventType::kMouseMove:
+      if (!dragging_) {
+        return HandlerResponse::kIgnored;
+      }
+      if (callbacks_.on_drag) {
+        callbacks_.on_drag(view, event);
+      }
+      return HandlerResponse::kConsumedAndGrab;
+    case EventType::kMouseUp:
+      if (!dragging_) {
+        return HandlerResponse::kIgnored;
+      }
+      dragging_ = false;
+      if (callbacks_.on_drop) {
+        callbacks_.on_drop(view, event);
+      }
+      return HandlerResponse::kConsumed;
+    case EventType::kTimer:
+      // Drags have no timeout behaviour.
+      return HandlerResponse::kConsumedAndGrab;
+  }
+  return HandlerResponse::kIgnored;
+}
+
+}  // namespace grandma::toolkit

@@ -1,0 +1,45 @@
+// The drag handler: the classic direct-manipulation interaction. Attached to
+// a view (or view class), it lets the mouse drag the view's model around —
+// GDP uses it for the control points the `edit` gesture exposes, and tests
+// use it to show gesture views and widget-like views coexisting (Section
+// 3.1).
+#ifndef GRANDMA_SRC_TOOLKIT_DRAG_HANDLER_H_
+#define GRANDMA_SRC_TOOLKIT_DRAG_HANDLER_H_
+
+#include <functional>
+
+#include "toolkit/event_handler.h"
+
+namespace grandma::toolkit {
+
+class DragHandler : public EventHandler {
+ public:
+  struct Callbacks {
+    // May veto starting a drag on this view; default accepts.
+    std::function<bool(View&, const InputEvent&)> can_start;
+    std::function<void(View&, const InputEvent&)> on_start;
+    // Called for every move with the current pointer position.
+    std::function<void(View&, const InputEvent&)> on_drag;
+    std::function<void(View&, const InputEvent&)> on_drop;
+  };
+
+  // `button`: only mouse-downs with this button begin a drag, letting a view
+  // respond to gestures on one button and drags on another (Section 3.1).
+  DragHandler(std::string name, Callbacks callbacks, int button = 0)
+      : EventHandler(std::move(name)), callbacks_(std::move(callbacks)), button_(button) {}
+
+  bool Wants(const InputEvent& event, View& view) const override;
+  HandlerResponse OnEvent(const InputEvent& event, View& view) override;
+
+  bool dragging() const { return dragging_; }
+  int button() const { return button_; }
+
+ private:
+  Callbacks callbacks_;
+  int button_;
+  bool dragging_ = false;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_DRAG_HANDLER_H_

@@ -1,0 +1,27 @@
+#include "toolkit/event.h"
+
+#include <sstream>
+
+namespace grandma::toolkit {
+
+std::string InputEvent::ToString() const {
+  std::ostringstream os;
+  switch (type) {
+    case EventType::kMouseDown:
+      os << "down";
+      break;
+    case EventType::kMouseMove:
+      os << "move";
+      break;
+    case EventType::kMouseUp:
+      os << "up";
+      break;
+    case EventType::kTimer:
+      os << "timer";
+      break;
+  }
+  os << "(" << x << "," << y << " t=" << time_ms << " b=" << button << ")";
+  return os.str();
+}
+
+}  // namespace grandma::toolkit

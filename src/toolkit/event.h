@@ -1,0 +1,55 @@
+// Input events. On Rubine's MicroVAX these came from X10; here they are fed
+// by a synthetic playback driver, which makes every interaction test
+// reproducible (see DESIGN.md "Substitutions").
+#ifndef GRANDMA_SRC_TOOLKIT_EVENT_H_
+#define GRANDMA_SRC_TOOLKIT_EVENT_H_
+
+#include <string>
+
+namespace grandma::toolkit {
+
+enum class EventType {
+  kMouseDown,
+  kMouseMove,
+  kMouseUp,
+  // Synthetic clock tick delivered to the active handler so dwell timeouts
+  // (the 200 ms phase-transition rule) can fire while the mouse is still.
+  kTimer,
+};
+
+struct InputEvent {
+  EventType type = EventType::kMouseMove;
+  double x = 0.0;
+  double y = 0.0;
+  double time_ms = 0.0;
+  int button = 0;
+
+  static InputEvent MouseDown(double x, double y, double t, int button = 0) {
+    return InputEvent{EventType::kMouseDown, x, y, t, button};
+  }
+  static InputEvent MouseMove(double x, double y, double t, int button = 0) {
+    return InputEvent{EventType::kMouseMove, x, y, t, button};
+  }
+  static InputEvent MouseUp(double x, double y, double t, int button = 0) {
+    return InputEvent{EventType::kMouseUp, x, y, t, button};
+  }
+  static InputEvent Timer(double t) { return InputEvent{EventType::kTimer, 0.0, 0.0, t, 0}; }
+
+  std::string ToString() const;
+};
+
+// The session clock. Virtual: tests and the playback driver advance it
+// explicitly, so timeout behaviour is deterministic.
+class VirtualClock {
+ public:
+  double now_ms() const { return now_ms_; }
+  void Advance(double dt_ms) { now_ms_ += dt_ms; }
+  void Set(double t_ms) { now_ms_ = t_ms; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_EVENT_H_

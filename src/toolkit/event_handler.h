@@ -1,0 +1,54 @@
+// Event handlers (Section 3.1): each implements one interaction technique.
+// A handler has a predicate deciding which events it will handle; the
+// handlers associated with a view are queried in order when input is
+// initiated there, and input ignored by one handler propagates to the next
+// (and then up the view tree).
+#ifndef GRANDMA_SRC_TOOLKIT_EVENT_HANDLER_H_
+#define GRANDMA_SRC_TOOLKIT_EVENT_HANDLER_H_
+
+#include <string>
+
+#include "toolkit/event.h"
+#include "toolkit/view.h"
+
+namespace grandma::toolkit {
+
+// What a handler did with an event it was offered.
+enum class HandlerResponse {
+  // Not interested; the dispatcher offers the event to the next handler.
+  kIgnored,
+  // Consumed, interaction over (or no interaction started).
+  kConsumed,
+  // Consumed, and this handler grabs the input stream: all further events go
+  // to it until it returns kConsumed/kIgnored for a mouse-up (or kAbort).
+  kConsumedAndGrab,
+  // The interaction was cancelled (e.g. rejected gesture); the grab ends and
+  // remaining events of the interaction are swallowed by the dispatcher.
+  kAbort,
+};
+
+class EventHandler {
+ public:
+  explicit EventHandler(std::string name) : name_(std::move(name)) {}
+  virtual ~EventHandler() = default;
+
+  EventHandler(const EventHandler&) = delete;
+  EventHandler& operator=(const EventHandler&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // The predicate: would this handler begin an interaction for `event`
+  // directed at `view`? Only called to *start* interactions (typically on
+  // mouse-down); once grabbed, events flow to OnEvent unconditionally.
+  virtual bool Wants(const InputEvent& event, View& view) const = 0;
+
+  // Delivers an event. `view` is the view the interaction started at.
+  virtual HandlerResponse OnEvent(const InputEvent& event, View& view) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_EVENT_HANDLER_H_

@@ -1,0 +1,191 @@
+#include "toolkit/gesture_handler.h"
+
+namespace grandma::toolkit {
+
+GestureHandler::GestureHandler(std::string name, const eager::EagerRecognizer* recognizer,
+                               Config config)
+    : EventHandler(std::move(name)),
+      recognizer_(recognizer),
+      config_(config),
+      filter_(config.min_filter_distance),
+      stream_(*recognizer) {}
+
+bool GestureHandler::Wants(const InputEvent& event, View& view) const {
+  (void)view;
+  return phase_ == Phase::kIdle && event.type == EventType::kMouseDown &&
+         event.button == config_.button;
+}
+
+HandlerResponse GestureHandler::OnEvent(const InputEvent& event, View& view) {
+  switch (phase_) {
+    case Phase::kIdle:
+      if (event.type == EventType::kMouseDown && event.button == config_.button) {
+        return BeginCollection(event, view);
+      }
+      return HandlerResponse::kIgnored;
+    case Phase::kCollecting:
+      return HandleCollecting(event, view);
+    case Phase::kManipulating:
+      return HandleManipulating(event, view);
+  }
+  return HandlerResponse::kIgnored;
+}
+
+HandlerResponse GestureHandler::BeginCollection(const InputEvent& event, View& view) {
+  ResetInteraction();
+  phase_ = Phase::kCollecting;
+  interaction_view_ = &view;
+  const geom::TimedPoint p{event.x, event.y, event.time_ms};
+  filter_.Accept(p);  // first point always accepted
+  collected_.AppendPoint(p);
+  stream_.AddPoint(p);
+  last_input_time_ = event.time_ms;
+  if (on_ink) {
+    on_ink(collected_);
+  }
+  return HandlerResponse::kConsumedAndGrab;
+}
+
+HandlerResponse GestureHandler::HandleCollecting(const InputEvent& event, View& view) {
+  switch (event.type) {
+    case EventType::kMouseDown:
+      // A nested press mid-interaction (device glitch / chorded button) is
+      // swallowed; dropping the grab here would strand the handler in a
+      // non-idle phase.
+      return HandlerResponse::kConsumedAndGrab;
+    case EventType::kMouseMove: {
+      const geom::TimedPoint p{event.x, event.y, event.time_ms};
+      last_input_time_ = event.time_ms;
+      if (filter_.Accept(p)) {
+        collected_.AppendPoint(p);
+        const bool fired = stream_.AddPoint(p);
+        if (on_ink) {
+          on_ink(collected_);
+        }
+        if (config_.enable_eager && fired) {
+          if (!DoTransition(Transition::kEager, view)) {
+            ResetInteraction();
+            return HandlerResponse::kAbort;
+          }
+        }
+      }
+      return HandlerResponse::kConsumedAndGrab;
+    }
+    case EventType::kTimer: {
+      if (config_.dwell_timeout_ms > 0.0 &&
+          event.time_ms - last_input_time_ >= config_.dwell_timeout_ms) {
+        if (!DoTransition(Transition::kTimeout, view)) {
+          ResetInteraction();
+          return HandlerResponse::kAbort;
+        }
+      }
+      return HandlerResponse::kConsumedAndGrab;
+    }
+    case EventType::kMouseUp: {
+      // Recognize at mouse-up; the manipulation phase is omitted.
+      if (!DoTransition(Transition::kMouseUp, view)) {
+        ResetInteraction();
+        return HandlerResponse::kConsumed;
+      }
+      FinishInteraction(geom::TimedPoint{event.x, event.y, event.time_ms});
+      return HandlerResponse::kConsumed;
+    }
+  }
+  return HandlerResponse::kIgnored;
+}
+
+HandlerResponse GestureHandler::HandleManipulating(const InputEvent& event, View& view) {
+  (void)view;
+  switch (event.type) {
+    case EventType::kMouseDown:
+      return HandlerResponse::kConsumedAndGrab;  // swallow; see HandleCollecting
+    case EventType::kMouseMove:
+      RunManip(geom::TimedPoint{event.x, event.y, event.time_ms});
+      return HandlerResponse::kConsumedAndGrab;
+    case EventType::kTimer:
+      // Timeouts are a collection-phase concept only.
+      return HandlerResponse::kConsumedAndGrab;
+    case EventType::kMouseUp:
+      FinishInteraction(geom::TimedPoint{event.x, event.y, event.time_ms});
+      return HandlerResponse::kConsumed;
+  }
+  return HandlerResponse::kIgnored;
+}
+
+bool GestureHandler::DoTransition(Transition how, View& view) {
+  const classify::Classification result = stream_.ClassifyNow();
+  if (config_.use_rejection &&
+      classify::ShouldReject(config_.rejection, result,
+                             recognizer_->full().linear().dimension())) {
+    ++stats_.rejected;
+    if (on_rejected) {
+      on_rejected(result);
+    }
+    return false;
+  }
+
+  recognized_class_ = recognizer_->ClassName(result.class_id);
+  last_transition_ = how;
+  ++stats_.recognized;
+  switch (how) {
+    case Transition::kMouseUp:
+      ++stats_.mouseup_transitions;
+      break;
+    case Transition::kTimeout:
+      ++stats_.timeout_transitions;
+      break;
+    case Transition::kEager:
+      ++stats_.eager_transitions;
+      break;
+  }
+
+  context_ = std::make_unique<SemanticContext>(&collected_, &view);
+  context_->SetCurrent(collected_.back());
+  active_semantics_ = semantics_.Find(recognized_class_);
+  if (active_semantics_ != nullptr && active_semantics_->recog) {
+    context_->recog_slot() = active_semantics_->recog(*context_);
+  }
+  if (on_recognized) {
+    on_recognized(recognized_class_, result, how);
+  }
+  phase_ = Phase::kManipulating;
+  return true;
+}
+
+void GestureHandler::RunManip(const geom::TimedPoint& current) {
+  context_->SetCurrent(current);
+  if (active_semantics_ != nullptr && active_semantics_->manip) {
+    active_semantics_->manip(*context_);
+  }
+}
+
+void GestureHandler::FinishInteraction(const geom::TimedPoint& current) {
+  if (context_ != nullptr) {
+    context_->SetCurrent(current);
+    if (phase_ == Phase::kManipulating && active_semantics_ != nullptr &&
+        active_semantics_->manip) {
+      active_semantics_->manip(*context_);
+    }
+    if (active_semantics_ != nullptr && active_semantics_->done) {
+      active_semantics_->done(*context_);
+    }
+  }
+  phase_ = Phase::kIdle;
+  interaction_view_ = nullptr;
+  active_semantics_ = nullptr;
+  context_.reset();
+}
+
+void GestureHandler::ResetInteraction() {
+  phase_ = Phase::kIdle;
+  collected_.Clear();
+  filter_.Reset();
+  stream_.Reset();
+  interaction_view_ = nullptr;
+  active_semantics_ = nullptr;
+  context_.reset();
+  recognized_class_.clear();
+  last_transition_.reset();
+}
+
+}  // namespace grandma::toolkit

@@ -1,0 +1,115 @@
+// The gesture handler (Section 3.2): implements the two-phase interaction.
+// Phase one *collects* (and inks) the gesture; the phase transition happens
+// on whichever comes first of
+//   1. mouse-up (the manipulation phase is then omitted),
+//   2. a 200 ms dwell — the mouse held still with the button down,
+//   3. eager recognition — D(g[i]) fires (when an eager recognizer is
+//      enabled);
+// the gesture is then classified and its recog semantics run, and phase two
+// feeds every further mouse point to the manip semantics until mouse-up runs
+// done. A rejected classification aborts the interaction.
+#ifndef GRANDMA_SRC_TOOLKIT_GESTURE_HANDLER_H_
+#define GRANDMA_SRC_TOOLKIT_GESTURE_HANDLER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "classify/rejection.h"
+#include "eager/eager_recognizer.h"
+#include "geom/filter.h"
+#include "geom/gesture.h"
+#include "toolkit/event_handler.h"
+#include "toolkit/semantics.h"
+
+namespace grandma::toolkit {
+
+class GestureHandler : public EventHandler {
+ public:
+  enum class Phase { kIdle, kCollecting, kManipulating };
+
+  // Why the collection -> manipulation transition happened.
+  enum class Transition { kMouseUp, kTimeout, kEager };
+
+  struct Config {
+    // Dwell timeout; <= 0 disables the timeout transition.
+    double dwell_timeout_ms = 200.0;
+    // Consult the eager recognizer's D on every collected point.
+    bool enable_eager = false;
+    // Input thinning, as in Rubine's collector.
+    double min_filter_distance = 3.0;
+    // Mouse button this handler responds to.
+    int button = 0;
+    // Reject dubious classifications (see classify::RejectionPolicy);
+    // a rejected gesture aborts the interaction.
+    bool use_rejection = false;
+    classify::RejectionPolicy rejection;
+  };
+
+  struct Stats {
+    std::size_t recognized = 0;
+    std::size_t rejected = 0;
+    std::size_t eager_transitions = 0;
+    std::size_t timeout_transitions = 0;
+    std::size_t mouseup_transitions = 0;
+  };
+
+  // `recognizer` must outlive the handler and be trained; it provides both
+  // the full classifier and (when config.enable_eager) the doneness
+  // predicate. Each handler instance recognizes its own gesture set and
+  // carries its own semantics, as in the paper.
+  GestureHandler(std::string name, const eager::EagerRecognizer* recognizer, Config config);
+
+  SemanticsTable& semantics() { return semantics_; }
+
+  bool Wants(const InputEvent& event, View& view) const override;
+  HandlerResponse OnEvent(const InputEvent& event, View& view) override;
+
+  Phase phase() const { return phase_; }
+  const geom::Gesture& collected() const { return collected_; }
+  const Stats& stats() const { return stats_; }
+  // Class name of the gesture recognized in the current/most recent
+  // interaction; empty when none.
+  const std::string& recognized_class() const { return recognized_class_; }
+  // How the most recent transition happened.
+  std::optional<Transition> last_transition() const { return last_transition_; }
+  const Config& config() const { return config_; }
+
+  // Feedback hooks (inking etc.).
+  std::function<void(const geom::Gesture&)> on_ink;
+  std::function<void(const std::string& class_name, const classify::Classification&, Transition)>
+      on_recognized;
+  std::function<void(const classify::Classification&)> on_rejected;
+
+ private:
+  HandlerResponse BeginCollection(const InputEvent& event, View& view);
+  HandlerResponse HandleCollecting(const InputEvent& event, View& view);
+  HandlerResponse HandleManipulating(const InputEvent& event, View& view);
+  // Classifies the collected gesture and runs recog. Returns false when the
+  // classification was rejected (interaction aborts).
+  bool DoTransition(Transition how, View& view);
+  void RunManip(const geom::TimedPoint& current);
+  void FinishInteraction(const geom::TimedPoint& current);
+  void ResetInteraction();
+
+  const eager::EagerRecognizer* recognizer_;
+  Config config_;
+  SemanticsTable semantics_;
+
+  Phase phase_ = Phase::kIdle;
+  geom::Gesture collected_;
+  geom::MinDistanceFilter filter_;
+  eager::EagerStream stream_;
+  double last_input_time_ = 0.0;
+  View* interaction_view_ = nullptr;
+  std::unique_ptr<SemanticContext> context_;
+  const GestureSemantics* active_semantics_ = nullptr;
+  std::string recognized_class_;
+  std::optional<Transition> last_transition_;
+  Stats stats_;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_GESTURE_HANDLER_H_

@@ -1,0 +1,33 @@
+#include "toolkit/model.h"
+
+#include <algorithm>
+
+namespace grandma::toolkit {
+
+Model::ObserverToken Model::AddObserver(Observer observer) {
+  const ObserverToken token = next_token_++;
+  observers_.push_back(Entry{token, std::move(observer)});
+  return token;
+}
+
+bool Model::RemoveObserver(ObserverToken token) {
+  const auto it = std::find_if(observers_.begin(), observers_.end(),
+                               [token](const Entry& e) { return e.token == token; });
+  if (it == observers_.end()) {
+    return false;
+  }
+  observers_.erase(it);
+  return true;
+}
+
+std::size_t Model::observer_count() const { return observers_.size(); }
+
+void Model::NotifyChanged(const ModelChange& change) const {
+  // Copy the list: an observer may add/remove observers while running.
+  const std::vector<Entry> snapshot = observers_;
+  for (const Entry& entry : snapshot) {
+    entry.observer(*this, change);
+  }
+}
+
+}  // namespace grandma::toolkit

@@ -1,0 +1,57 @@
+// The Model side of GRANDMA's Model/View/Controller-like architecture
+// (Section 3): models are application objects; views display them and stay
+// current by observing changes. GDP's Document derives from Model so views
+// (and tests) can react to shape edits made by gesture semantics.
+#ifndef GRANDMA_SRC_TOOLKIT_MODEL_H_
+#define GRANDMA_SRC_TOOLKIT_MODEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace grandma::toolkit {
+
+// A change notification: what happened, and an application-defined detail
+// (GDP uses shape kinds/ids).
+struct ModelChange {
+  enum class Kind { kAdded, kRemoved, kModified };
+  Kind kind = Kind::kModified;
+  std::string detail;
+};
+
+// Observable application object. Observers are callbacks with registration
+// tokens; removal by token keeps lifetime management with the caller (no
+// owning pointers to observers).
+class Model {
+ public:
+  using Observer = std::function<void(const Model&, const ModelChange&)>;
+  using ObserverToken = std::size_t;
+
+  Model() = default;
+  virtual ~Model() = default;
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  ObserverToken AddObserver(Observer observer);
+  // Removing an unknown token is a no-op; returns whether one was removed.
+  bool RemoveObserver(ObserverToken token);
+  std::size_t observer_count() const;
+
+ protected:
+  // Derived classes call this after mutating their state.
+  void NotifyChanged(const ModelChange& change) const;
+
+ private:
+  struct Entry {
+    ObserverToken token;
+    Observer observer;
+  };
+  std::vector<Entry> observers_;
+  ObserverToken next_token_ = 1;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_MODEL_H_

@@ -1,0 +1,60 @@
+#include "toolkit/playback.h"
+
+#include <algorithm>
+
+namespace grandma::toolkit {
+
+void PlaybackDriver::AdvanceTo(double t_ms) {
+  VirtualClock& clock = dispatcher_->clock();
+  while (clock.now_ms() + tick_interval_ms_ <= t_ms) {
+    clock.Advance(tick_interval_ms_);
+    dispatcher_->Tick();
+  }
+  if (t_ms > clock.now_ms()) {
+    clock.Set(t_ms);
+  }
+}
+
+void PlaybackDriver::Feed(const InputEvent& event) {
+  AdvanceTo(event.time_ms);
+  dispatcher_->Dispatch(event);
+}
+
+void PlaybackDriver::PlayStroke(const geom::Gesture& stroke, double hold_ms_before_release,
+                                int button) {
+  if (stroke.empty()) {
+    return;
+  }
+  const double t0 = dispatcher_->clock().now_ms();
+  const double stroke_t0 = stroke.front().t;
+  Feed(InputEvent::MouseDown(stroke.front().x, stroke.front().y, t0, button));
+  for (std::size_t i = 1; i < stroke.size(); ++i) {
+    const double t = t0 + (stroke[i].t - stroke_t0);
+    Feed(InputEvent::MouseMove(stroke[i].x, stroke[i].y, t, button));
+  }
+  const double t_last = t0 + (stroke.back().t - stroke_t0);
+  const double t_up = t_last + std::max(hold_ms_before_release, 0.0);
+  AdvanceTo(t_up);
+  Feed(InputEvent::MouseUp(stroke.back().x, stroke.back().y, t_up, button));
+}
+
+void PlaybackDriver::PressDragRelease(double x, double y, double hold_ms,
+                                      const std::vector<geom::TimedPoint>& drag_points,
+                                      int button) {
+  const double t0 = dispatcher_->clock().now_ms();
+  Feed(InputEvent::MouseDown(x, y, t0, button));
+  AdvanceTo(t0 + std::max(hold_ms, 0.0));
+  double t_last = dispatcher_->clock().now_ms();
+  double x_last = x;
+  double y_last = y;
+  for (const geom::TimedPoint& p : drag_points) {
+    const double t = t0 + hold_ms + p.t;
+    Feed(InputEvent::MouseMove(p.x, p.y, t, button));
+    t_last = t;
+    x_last = p.x;
+    y_last = p.y;
+  }
+  Feed(InputEvent::MouseUp(x_last, y_last, t_last + 1.0, button));
+}
+
+}  // namespace grandma::toolkit

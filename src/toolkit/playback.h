@@ -1,0 +1,52 @@
+// The synthetic input source replacing X10/MACH mouse input: plays scripted
+// event sequences into a Dispatcher, advancing the virtual clock and pumping
+// timer ticks between events so dwell timeouts behave exactly as they would
+// against a real event loop.
+#ifndef GRANDMA_SRC_TOOLKIT_PLAYBACK_H_
+#define GRANDMA_SRC_TOOLKIT_PLAYBACK_H_
+
+#include <vector>
+
+#include "geom/gesture.h"
+#include "toolkit/dispatcher.h"
+#include "toolkit/event.h"
+
+namespace grandma::toolkit {
+
+class PlaybackDriver {
+ public:
+  // `tick_interval_ms`: granularity of synthetic timer ticks (X-style timer
+  // resolution). 25 ms resolves a 200 ms dwell comfortably.
+  explicit PlaybackDriver(Dispatcher* dispatcher, double tick_interval_ms = 25.0)
+      : dispatcher_(dispatcher), tick_interval_ms_(tick_interval_ms) {}
+
+  // Dispatches `event`, first advancing the clock from its current time to
+  // the event time in tick_interval steps, calling Dispatcher::Tick at each
+  // so a grabbed gesture handler can observe dwell.
+  void Feed(const InputEvent& event);
+
+  // Plays a full press-draw-release interaction along `stroke` (absolute
+  // times from the stroke's points, offset to start at the clock's now).
+  // `hold_ms_before_release`: dwell inserted between the last move and the
+  // mouse-up — > 200 ms triggers the timeout transition before release.
+  void PlayStroke(const geom::Gesture& stroke, double hold_ms_before_release = 0.0,
+                  int button = 0);
+
+  // Plays a press at (x, y), a dwell of `hold_ms`, then a drag through
+  // `drag_points` (relative times), then release. Used to drive
+  // timeout-transition manipulations and plain drags.
+  void PressDragRelease(double x, double y, double hold_ms,
+                        const std::vector<geom::TimedPoint>& drag_points, int button = 0);
+
+  Dispatcher& dispatcher() { return *dispatcher_; }
+
+ private:
+  void AdvanceTo(double t_ms);
+
+  Dispatcher* dispatcher_;
+  double tick_interval_ms_;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_PLAYBACK_H_

@@ -1,0 +1,278 @@
+#include "toolkit/script.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace grandma::toolkit::script {
+
+namespace {
+
+// --- Lexer ---
+
+enum class TokenKind { kLBracket, kRBracket, kColon, kLAngle, kRAngle, kName, kNumber, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : source_(source) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    SkipWhitespace();
+    current_.position = pos_;
+    if (pos_ >= source_.size()) {
+      current_.kind = TokenKind::kEnd;
+      current_.text.clear();
+      return;
+    }
+    const char c = source_[pos_];
+    switch (c) {
+      case '[':
+        current_ = Token{TokenKind::kLBracket, "[", 0.0, pos_++};
+        return;
+      case ']':
+        current_ = Token{TokenKind::kRBracket, "]", 0.0, pos_++};
+        return;
+      case ':':
+        current_ = Token{TokenKind::kColon, ":", 0.0, pos_++};
+        return;
+      case '<':
+        current_ = Token{TokenKind::kLAngle, "<", 0.0, pos_++};
+        return;
+      case '>':
+        current_ = Token{TokenKind::kRAngle, ">", 0.0, pos_++};
+        return;
+      default:
+        break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' || c == '.') {
+      std::size_t end = 0;
+      const double value = std::stod(source_.substr(pos_), &end);
+      current_ = Token{TokenKind::kNumber, source_.substr(pos_, end), value, pos_};
+      pos_ += end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[end])) || source_[end] == '_')) {
+        ++end;
+      }
+      current_ = Token{TokenKind::kName, source_.substr(pos_, end - pos_), 0.0, pos_};
+      pos_ = end;
+      return;
+    }
+    throw ScriptError("unexpected character '" + std::string(1, c) + "' at position " +
+                      std::to_string(pos_));
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < source_.size() &&
+           (std::isspace(static_cast<unsigned char>(source_[pos_])) || source_[pos_] == ';')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& source_;
+  Token current_;
+  std::size_t pos_ = 0;
+};
+
+// --- AST ---
+
+class NumberExpr final : public Expression {
+ public:
+  explicit NumberExpr(double value) : value_(value) {}
+  Value Evaluate(const Environment&) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+class NilExpr final : public Expression {
+ public:
+  Value Evaluate(const Environment&) const override { return std::monostate{}; }
+};
+
+class VariableExpr final : public Expression {
+ public:
+  explicit VariableExpr(std::string name) : name_(std::move(name)) {}
+  Value Evaluate(const Environment& env) const override {
+    if (env.variables) {
+      if (auto value = env.variables(name_)) {
+        return *value;
+      }
+    }
+    throw ScriptError("unbound identifier '" + name_ + "'");
+  }
+
+ private:
+  std::string name_;
+};
+
+class AttributeExpr final : public Expression {
+ public:
+  explicit AttributeExpr(std::string name) : name_(std::move(name)) {}
+  Value Evaluate(const Environment& env) const override {
+    if (env.attributes) {
+      if (auto value = env.attributes(name_)) {
+        return *value;
+      }
+    }
+    throw ScriptError("unknown gestural attribute <" + name_ + ">");
+  }
+
+ private:
+  std::string name_;
+};
+
+class MessageExpr final : public Expression {
+ public:
+  MessageExpr(ExpressionPtr receiver, std::string selector, std::vector<ExpressionPtr> args)
+      : receiver_(std::move(receiver)), selector_(std::move(selector)), args_(std::move(args)) {}
+
+  Value Evaluate(const Environment& env) const override {
+    const Value receiver = receiver_->Evaluate(env);
+    if (IsNil(receiver)) {
+      // Objective-C semantics: messages to nil answer nil.
+      return std::monostate{};
+    }
+    Object* const* object = std::get_if<Object*>(&receiver);
+    if (object == nullptr || *object == nullptr) {
+      throw ScriptError("receiver of '" + selector_ + "' is not an object: " +
+                        ToString(receiver));
+    }
+    std::vector<Value> args;
+    args.reserve(args_.size());
+    for (const ExpressionPtr& arg : args_) {
+      args.push_back(arg->Evaluate(env));
+    }
+    return (*object)->Send(selector_, args);
+  }
+
+ private:
+  ExpressionPtr receiver_;
+  std::string selector_;
+  std::vector<ExpressionPtr> args_;
+};
+
+// --- Parser ---
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : lexer_(source) {}
+
+  ExpressionPtr ParseExpression() {
+    const Token& token = lexer_.current();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        const double value = token.number;
+        lexer_.Advance();
+        return std::make_shared<NumberExpr>(value);
+      }
+      case TokenKind::kLAngle: {
+        lexer_.Advance();
+        Expect(TokenKind::kName, "attribute name");
+        std::string name = lexer_.current().text;
+        lexer_.Advance();
+        Expect(TokenKind::kRAngle, "'>'");
+        lexer_.Advance();
+        return std::make_shared<AttributeExpr>(std::move(name));
+      }
+      case TokenKind::kName: {
+        std::string name = token.text;
+        lexer_.Advance();
+        if (name == "nil") {
+          return std::make_shared<NilExpr>();
+        }
+        return std::make_shared<VariableExpr>(std::move(name));
+      }
+      case TokenKind::kLBracket:
+        return ParseMessage();
+      default:
+        throw ScriptError("expected an expression at position " +
+                          std::to_string(token.position));
+    }
+  }
+
+  void ExpectEnd() {
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      throw ScriptError("unexpected trailing input at position " +
+                        std::to_string(lexer_.current().position));
+    }
+  }
+
+ private:
+  ExpressionPtr ParseMessage() {
+    Expect(TokenKind::kLBracket, "'['");
+    lexer_.Advance();
+    ExpressionPtr receiver = ParseExpression();
+
+    Expect(TokenKind::kName, "a selector");
+    std::string selector;
+    std::vector<ExpressionPtr> args;
+    // Unary or keyword message: name (':' expr (name ':')* ...)?
+    while (lexer_.current().kind == TokenKind::kName) {
+      selector += lexer_.current().text;
+      lexer_.Advance();
+      if (lexer_.current().kind == TokenKind::kColon) {
+        selector += ':';
+        lexer_.Advance();
+        args.push_back(ParseExpression());
+      } else {
+        // Unary part: must be the whole selector.
+        break;
+      }
+    }
+    Expect(TokenKind::kRBracket, "']'");
+    lexer_.Advance();
+    return std::make_shared<MessageExpr>(std::move(receiver), std::move(selector),
+                                         std::move(args));
+  }
+
+  void Expect(TokenKind kind, const char* what) {
+    if (lexer_.current().kind != kind) {
+      throw ScriptError(std::string("expected ") + what + " at position " +
+                        std::to_string(lexer_.current().position));
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+ExpressionPtr Parse(const std::string& source) {
+  Parser parser(source);
+  ExpressionPtr expr = parser.ParseExpression();
+  parser.ExpectEnd();
+  return expr;
+}
+
+Value Evaluate(const std::string& source, const Environment& env) {
+  return Parse(source)->Evaluate(env);
+}
+
+std::string ToString(const Value& value) {
+  std::ostringstream os;
+  if (IsNil(value)) {
+    os << "nil";
+  } else if (const double* d = std::get_if<double>(&value)) {
+    os << *d;
+  } else if (const std::string* s = std::get_if<std::string>(&value)) {
+    os << '"' << *s << '"';
+  } else if (Object* const* o = std::get_if<Object*>(&value)) {
+    os << (*o != nullptr ? (*o)->Description() : "null-object");
+  }
+  return os.str();
+}
+
+}  // namespace grandma::toolkit::script

@@ -1,0 +1,89 @@
+// A small message-expression interpreter in the style of the Objective-C
+// interpreter built into GRANDMA. The paper's GDP rectangle semantics are
+// written exactly like this:
+//
+//   recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+//   manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+//   done  = nil;
+//
+// Grammar:
+//   expr      := message | attribute | number | 'nil' | identifier
+//   message   := '[' expr selector ']'
+//   selector  := name                      (unary message)
+//              | (name ':' expr)+          (keyword message)
+//   attribute := '<' name '>'              (lazily-bound gestural attribute)
+//
+// Values are nil, doubles, strings, or object handles; objects implement
+// Send(selector, args). Evaluation happens against an Environment that
+// resolves identifiers (e.g. `view`, `recog`) and attributes (e.g.
+// `<startX>`) at call time — the paper's lazy binding.
+#ifndef GRANDMA_SRC_TOOLKIT_SCRIPT_H_
+#define GRANDMA_SRC_TOOLKIT_SCRIPT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace grandma::toolkit::script {
+
+class Object;
+
+// nil | number | string | object.
+using Value = std::variant<std::monostate, double, std::string, Object*>;
+
+inline bool IsNil(const Value& v) { return std::holds_alternative<std::monostate>(v); }
+
+// Thrown on parse errors and on message-send failures.
+class ScriptError : public std::runtime_error {
+ public:
+  explicit ScriptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A scriptable object: receives messages by selector. Selectors use the
+// Objective-C convention: "createRect" (unary), "setEndpoint:x:y:" (keyword,
+// one argument per ':').
+class Object {
+ public:
+  virtual ~Object() = default;
+  // Handles a message; throws ScriptError for unknown selectors.
+  virtual Value Send(const std::string& selector, std::span<const Value> args) = 0;
+  // Shown in error messages.
+  virtual std::string Description() const { return "object"; }
+};
+
+// Name resolution at evaluation time.
+struct Environment {
+  // Identifier lookup ("view", "recog", ...). Return nullopt when unknown.
+  std::function<std::optional<Value>(const std::string&)> variables;
+  // Attribute lookup ("<startX>", ...). Return nullopt when unknown.
+  std::function<std::optional<double>(const std::string&)> attributes;
+};
+
+// A parsed expression, reusable across evaluations (semantics are parsed
+// once and evaluated per interaction).
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual Value Evaluate(const Environment& env) const = 0;
+};
+
+using ExpressionPtr = std::shared_ptr<const Expression>;
+
+// Parses one expression. Throws ScriptError with a position on bad syntax.
+// Whitespace is insignificant; a trailing ';' is permitted.
+ExpressionPtr Parse(const std::string& source);
+
+// Parse + evaluate in one step.
+Value Evaluate(const std::string& source, const Environment& env);
+
+// Debug rendering of a value.
+std::string ToString(const Value& value);
+
+}  // namespace grandma::toolkit::script
+
+#endif  // GRANDMA_SRC_TOOLKIT_SCRIPT_H_

@@ -1,0 +1,102 @@
+#include "toolkit/script_semantics.h"
+
+namespace grandma::toolkit {
+
+namespace {
+
+bool IsNoOpSource(const std::string& source) {
+  const std::size_t first = source.find_first_not_of(" \t\r\n;");
+  if (first == std::string::npos) {
+    return true;  // blank program
+  }
+  const std::size_t last = source.find_last_not_of(" \t\r\n;");
+  return source.substr(first, last - first + 1) == "nil";
+}
+
+script::Environment MakeEnvironment(SemanticContext& ctx,
+                                    const ScriptVariableResolver& variables) {
+  script::Environment env;
+  env.attributes = [&ctx](const std::string& name) {
+    return ResolveGesturalAttribute(ctx, name);
+  };
+  env.variables = [&ctx, &variables](const std::string& name) -> std::optional<script::Value> {
+    if (name == "recog") {
+      if (const script::Value* stored = std::any_cast<script::Value>(&ctx.recog_slot())) {
+        return *stored;
+      }
+      return script::Value{};  // recog not yet bound: nil
+    }
+    if (variables) {
+      return variables(name);
+    }
+    return std::nullopt;
+  };
+  return env;
+}
+
+}  // namespace
+
+std::optional<double> ResolveGesturalAttribute(const SemanticContext& ctx,
+                                               const std::string& name) {
+  if (name == "startX") {
+    return ctx.startX();
+  }
+  if (name == "startY") {
+    return ctx.startY();
+  }
+  if (name == "endX") {
+    return ctx.endX();
+  }
+  if (name == "endY") {
+    return ctx.endY();
+  }
+  if (name == "currentX") {
+    return ctx.currentX();
+  }
+  if (name == "currentY") {
+    return ctx.currentY();
+  }
+  if (name == "currentT") {
+    return ctx.currentT();
+  }
+  if (name == "length") {
+    return ctx.length();
+  }
+  if (name == "initialAngle") {
+    return ctx.initialAngle();
+  }
+  if (name == "diagonalLength") {
+    return ctx.diagonalLength();
+  }
+  return std::nullopt;
+}
+
+GestureSemantics CompileScriptSemantics(const std::string& recog_source,
+                                        const std::string& manip_source,
+                                        const std::string& done_source,
+                                        ScriptVariableResolver variables) {
+  GestureSemantics semantics;
+
+  if (!IsNoOpSource(recog_source)) {
+    const script::ExpressionPtr recog = script::Parse(recog_source);
+    semantics.recog = [recog, variables](SemanticContext& ctx) -> std::any {
+      const script::Value result = recog->Evaluate(MakeEnvironment(ctx, variables));
+      return std::any(result);
+    };
+  }
+  if (!IsNoOpSource(manip_source)) {
+    const script::ExpressionPtr manip = script::Parse(manip_source);
+    semantics.manip = [manip, variables](SemanticContext& ctx) {
+      manip->Evaluate(MakeEnvironment(ctx, variables));
+    };
+  }
+  if (!IsNoOpSource(done_source)) {
+    const script::ExpressionPtr done = script::Parse(done_source);
+    semantics.done = [done, variables](SemanticContext& ctx) {
+      done->Evaluate(MakeEnvironment(ctx, variables));
+    };
+  }
+  return semantics;
+}
+
+}  // namespace grandma::toolkit

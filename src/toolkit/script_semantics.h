@@ -1,0 +1,40 @@
+// Bridges the script interpreter to gesture semantics: compile the paper's
+// three expressions (recog / manip / done) from source text into a
+// GestureSemantics whose attribute references (<startX>, <currentX>, ...)
+// bind lazily to the live SemanticContext, and where `recog` names the value
+// the recog expression returned — exactly the contract of Section 3.2.
+#ifndef GRANDMA_SRC_TOOLKIT_SCRIPT_SEMANTICS_H_
+#define GRANDMA_SRC_TOOLKIT_SCRIPT_SEMANTICS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "toolkit/script.h"
+#include "toolkit/semantics.h"
+
+namespace grandma::toolkit {
+
+// Resolves the application-provided identifiers scripts may mention (e.g.
+// "view" bound to a scriptable window/document object).
+using ScriptVariableResolver =
+    std::function<std::optional<script::Value>(const std::string& name)>;
+
+// Compiles the three expressions. Empty strings and "nil" compile to no-ops.
+// Parse errors throw script::ScriptError immediately (at handler-definition
+// time, not mid-interaction). The gestural attributes available are:
+//   startX startY endX endY currentX currentY currentT
+//   length initialAngle diagonalLength
+GestureSemantics CompileScriptSemantics(const std::string& recog_source,
+                                        const std::string& manip_source,
+                                        const std::string& done_source,
+                                        ScriptVariableResolver variables);
+
+// The attribute resolver used by compiled semantics; exposed for tests and
+// for applications that evaluate ad-hoc scripts against a context.
+std::optional<double> ResolveGesturalAttribute(const SemanticContext& ctx,
+                                               const std::string& name);
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_SCRIPT_SEMANTICS_H_

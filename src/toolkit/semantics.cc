@@ -1,0 +1,17 @@
+#include "toolkit/semantics.h"
+
+#include <cmath>
+
+namespace grandma::toolkit {
+
+double SemanticContext::initialAngle() const {
+  const geom::Gesture& g = *collected_;
+  if (g.size() < 2) {
+    return 0.0;
+  }
+  // Like feature f1/f2: measured at the third point when available.
+  const std::size_t anchor = g.size() >= 3 ? 2 : g.size() - 1;
+  return std::atan2(g[anchor].y - g[0].y, g[anchor].x - g[0].x);
+}
+
+}  // namespace grandma::toolkit

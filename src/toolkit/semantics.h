@@ -1,0 +1,108 @@
+// Gesture semantics (Section 3.2): each gesture class has three expressions —
+// recog (evaluated at the phase transition), manip (evaluated for each mouse
+// point during manipulation) and done (evaluated when the interaction ends).
+// Rubine evaluated Objective-C message expressions against lazily-bound
+// gestural attributes (<startX>, <currentX>, ...); here the expressions are
+// C++ callables over a SemanticContext exposing the same attributes, and the
+// paper's `recog` variable is the context's std::any slot.
+#ifndef GRANDMA_SRC_TOOLKIT_SEMANTICS_H_
+#define GRANDMA_SRC_TOOLKIT_SEMANTICS_H_
+
+#include <any>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "features/extractor.h"
+#include "geom/gesture.h"
+#include "toolkit/view.h"
+
+namespace grandma::toolkit {
+
+// The gestural attributes available to semantics expressions. Geometric
+// attributes are bound to the *collected* gesture (the prefix seen up to the
+// phase transition); current/currentX track the live mouse position during
+// manipulation.
+class SemanticContext {
+ public:
+  SemanticContext(const geom::Gesture* collected, View* view)
+      : collected_(collected), view_(view) {}
+
+  // The view the gesture was directed at.
+  View* view() const { return view_; }
+
+  // The collected gesture (up to recognition).
+  const geom::Gesture& gesture() const { return *collected_; }
+
+  // <startX>, <startY>: first point of the gesture.
+  double startX() const { return collected_->front().x; }
+  double startY() const { return collected_->front().y; }
+
+  // <endX>, <endY>: last collected point — the mouse position when the
+  // gesture was recognized.
+  double endX() const { return collected_->back().x; }
+  double endY() const { return collected_->back().y; }
+
+  // <currentX>, <currentY>: live mouse position; equals end until the
+  // manipulation phase starts feeding points.
+  double currentX() const { return current_.x; }
+  double currentY() const { return current_.y; }
+  double currentT() const { return current_.t; }
+
+  // Derived gestural attributes (lazily computed from the collected prefix).
+  // <length>: arc length of the collected gesture.
+  double length() const { return collected_->PathLength(); }
+  // <initialAngle>: direction of the stroke start, radians.
+  double initialAngle() const;
+  // <diagonalLength>: bounding-box diagonal of the collected gesture.
+  double diagonalLength() const { return collected_->Bounds().DiagonalLength(); }
+  // <enclosed>: true when the collected stroke encloses (x, y).
+  bool Encloses(double x, double y) const { return geom::EnclosesPoint(*collected_, x, y); }
+
+  // The paper's `recog` variable: whatever the recog expression returned,
+  // available to manip/done.
+  std::any& recog_slot() { return recog_value_; }
+  const std::any& recog_slot() const { return recog_value_; }
+  template <typename T>
+  T RecogAs() const {
+    return std::any_cast<T>(recog_value_);
+  }
+
+  void SetCurrent(const geom::TimedPoint& p) { current_ = p; }
+
+ private:
+  const geom::Gesture* collected_;
+  View* view_;
+  geom::TimedPoint current_{};
+  std::any recog_value_;
+};
+
+// The three expressions. recog returns the value bound to the context's
+// recog slot (return an empty std::any when there is nothing to remember).
+struct GestureSemantics {
+  std::function<std::any(SemanticContext&)> recog;
+  std::function<void(SemanticContext&)> manip;
+  std::function<void(SemanticContext&)> done;
+};
+
+// Per-gesture-class semantics table for one gesture handler.
+class SemanticsTable {
+ public:
+  void Set(const std::string& class_name, GestureSemantics semantics) {
+    table_[class_name] = std::move(semantics);
+  }
+  // nullptr when the class has no semantics (a recognized gesture with no
+  // semantics is a no-op).
+  const GestureSemantics* Find(const std::string& class_name) const {
+    auto it = table_.find(class_name);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, GestureSemantics> table_;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_SEMANTICS_H_

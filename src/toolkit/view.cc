@@ -1,0 +1,87 @@
+#include "toolkit/view.h"
+
+#include <algorithm>
+
+#include "toolkit/event_handler.h"
+
+namespace grandma::toolkit {
+
+void ViewClass::AddHandler(std::shared_ptr<EventHandler> handler) {
+  handlers_.insert(handlers_.begin(), std::move(handler));
+}
+
+void ViewClass::RemoveHandler(const EventHandler* handler) {
+  handlers_.erase(std::remove_if(handlers_.begin(), handlers_.end(),
+                                 [handler](const auto& h) { return h.get() == handler; }),
+                  handlers_.end());
+}
+
+bool ViewClass::IsKindOf(const ViewClass& ancestor) const {
+  for (const ViewClass* c = this; c != nullptr; c = c->parent()) {
+    if (c == &ancestor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+View::View(const ViewClass* view_class, std::string name)
+    : view_class_(view_class), name_(std::move(name)) {}
+
+View::~View() = default;
+
+bool View::HitTest(double x, double y) const { return bounds_.Contains(x, y); }
+
+View* View::AddChild(std::unique_ptr<View> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+bool View::RemoveChild(View* child) {
+  auto it = std::find_if(children_.begin(), children_.end(),
+                         [child](const auto& c) { return c.get() == child; });
+  if (it == children_.end()) {
+    return false;
+  }
+  children_.erase(it);
+  return true;
+}
+
+View* View::FindViewAt(double x, double y) {
+  if (!HitTest(x, y)) {
+    return nullptr;
+  }
+  // Later children are on top: search them first.
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    if (View* hit = (*it)->FindViewAt(x, y)) {
+      return hit;
+    }
+  }
+  return this;
+}
+
+void View::AddHandler(std::shared_ptr<EventHandler> handler) {
+  handlers_.insert(handlers_.begin(), std::move(handler));
+}
+
+void View::RemoveHandler(const EventHandler* handler) {
+  handlers_.erase(std::remove_if(handlers_.begin(), handlers_.end(),
+                                 [handler](const auto& h) { return h.get() == handler; }),
+                  handlers_.end());
+}
+
+std::vector<EventHandler*> View::HandlerChain() const {
+  std::vector<EventHandler*> chain;
+  for (const auto& h : handlers_) {
+    chain.push_back(h.get());
+  }
+  for (const ViewClass* c = view_class_; c != nullptr; c = c->parent()) {
+    for (const auto& h : c->handlers()) {
+      chain.push_back(h.get());
+    }
+  }
+  return chain;
+}
+
+}  // namespace grandma::toolkit

@@ -1,0 +1,99 @@
+// GRANDMA's view layer (Section 3): views display models; a *list* of event
+// handlers — not a single controller — may be attached to each view, and
+// handlers may also be attached to view *classes*, where they are shared by
+// every instance and inherited by subclasses. That class-level sharing is
+// the paper's efficiency point: one gesture handler serves all views of a
+// class.
+#ifndef GRANDMA_SRC_TOOLKIT_VIEW_H_
+#define GRANDMA_SRC_TOOLKIT_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/gesture.h"
+
+namespace grandma::toolkit {
+
+class EventHandler;
+class View;
+
+// Runtime descriptor of a view class. Mirrors Objective-C's class objects:
+// each carries a handler list and a pointer to its superclass descriptor.
+class ViewClass {
+ public:
+  ViewClass(std::string name, const ViewClass* parent = nullptr)
+      : name_(std::move(name)), parent_(parent) {}
+
+  ViewClass(const ViewClass&) = delete;
+  ViewClass& operator=(const ViewClass&) = delete;
+
+  const std::string& name() const { return name_; }
+  const ViewClass* parent() const { return parent_; }
+
+  // Handlers are queried most-recently-added first (like the paper's
+  // "queried in order"); a class's own handlers take precedence over
+  // inherited ones.
+  void AddHandler(std::shared_ptr<EventHandler> handler);
+  void RemoveHandler(const EventHandler* handler);
+  const std::vector<std::shared_ptr<EventHandler>>& handlers() const { return handlers_; }
+
+  // True when `ancestor` is this class or a superclass of it.
+  bool IsKindOf(const ViewClass& ancestor) const;
+
+ private:
+  std::string name_;
+  const ViewClass* parent_;
+  std::vector<std::shared_ptr<EventHandler>> handlers_;
+};
+
+// A view: a screen region that displays a model and receives input. Views
+// form a tree; hit-testing walks children topmost-first.
+class View {
+ public:
+  View(const ViewClass* view_class, std::string name);
+  virtual ~View();
+
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  const ViewClass& view_class() const { return *view_class_; }
+  const std::string& name() const { return name_; }
+
+  // Geometry. Default hit test: point in bounds.
+  void SetBounds(const geom::BoundingBox& bounds) { bounds_ = bounds; }
+  const geom::BoundingBox& bounds() const { return bounds_; }
+  virtual bool HitTest(double x, double y) const;
+
+  // Tree structure. Children are owned; later children render/hit on top.
+  View* AddChild(std::unique_ptr<View> child);
+  // Removes and destroys `child`; returns false when not a child.
+  bool RemoveChild(View* child);
+  void ClearChildren() { children_.clear(); }
+  View* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<View>>& children() const { return children_; }
+
+  // Deepest, topmost view under (x, y); nullptr when even this view misses.
+  View* FindViewAt(double x, double y);
+
+  // Instance-level handlers (queried before class-level ones).
+  void AddHandler(std::shared_ptr<EventHandler> handler);
+  void RemoveHandler(const EventHandler* handler);
+  const std::vector<std::shared_ptr<EventHandler>>& handlers() const { return handlers_; }
+
+  // The full handler query order for this view: instance handlers, then the
+  // view class's handlers, then each superclass's, most-derived first.
+  std::vector<EventHandler*> HandlerChain() const;
+
+ private:
+  const ViewClass* view_class_;
+  std::string name_;
+  geom::BoundingBox bounds_;
+  View* parent_ = nullptr;
+  std::vector<std::unique_ptr<View>> children_;
+  std::vector<std::shared_ptr<EventHandler>> handlers_;
+};
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_VIEW_H_

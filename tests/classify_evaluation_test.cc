@@ -1,0 +1,76 @@
+#include "classify/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::classify {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.Record(0, 0);
+  cm.Record(0, 1);
+  cm.Record(1, 1);
+  cm.Record(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.correct(), 3u);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.Recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 1.0);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_THROW(cm.Record(2, 0), std::out_of_range);
+}
+
+TEST(ConfusionMatrixTest, EmptyAccuracyIsZero) {
+  ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Recall(1), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsLabels) {
+  ClassRegistry registry;
+  registry.Intern("up");
+  registry.Intern("down");
+  ConfusionMatrix cm(2);
+  cm.Record(0, 0);
+  const std::string s = cm.ToString(registry);
+  EXPECT_NE(s.find("up"), std::string::npos);
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+}
+
+TEST(EvaluateClassifierTest, PerfectOnSeparableSyntheticSet) {
+  const auto specs = synth::MakeUpDownSpecs();
+  synth::NoiseModel noise;
+  const auto train = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1));
+  const auto test = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 2));
+  GestureClassifier classifier;
+  classifier.Train(train);
+  const ConfusionMatrix cm = EvaluateClassifier(classifier, test);
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_GE(cm.Accuracy(), 0.95);
+}
+
+TEST(CrossValidateTest, HighAccuracyAndSaneStats) {
+  const auto specs = synth::MakeUpDownSpecs();
+  synth::NoiseModel noise;
+  const auto data = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 12, 3));
+  const CrossValidationResult result =
+      CrossValidate(data, 4, features::FeatureMask::All());
+  EXPECT_EQ(result.fold_accuracies.size(), 4u);
+  EXPECT_GE(result.mean_accuracy, 0.9);
+  EXPECT_LE(result.min_accuracy, result.mean_accuracy + 1e-12);
+  EXPECT_GE(result.max_accuracy, result.mean_accuracy - 1e-12);
+}
+
+TEST(CrossValidateTest, Validation) {
+  const auto specs = synth::MakeUpDownSpecs();
+  synth::NoiseModel noise;
+  const auto data = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 3, 3));
+  EXPECT_THROW(CrossValidate(data, 1, features::FeatureMask::All()), std::invalid_argument);
+  EXPECT_THROW(CrossValidate(data, 5, features::FeatureMask::All()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grandma::classify

@@ -1,0 +1,159 @@
+#include "classify/multistroke.h"
+
+#include <gtest/gtest.h>
+
+#include "features/feature_vector.h"
+#include "synth/generator.h"
+#include "synth/rng.h"
+#include "synth/sets.h"
+
+namespace grandma::classify {
+namespace {
+
+geom::Gesture Stroke(double x0, double y0, double x1, double y1, double t0, int n = 6) {
+  geom::Gesture g;
+  for (int i = 0; i <= n; ++i) {
+    const double u = static_cast<double>(i) / n;
+    g.AppendPoint({x0 + (x1 - x0) * u, y0 + (y1 - y0) * u, t0 + 15.0 * i});
+  }
+  return g;
+}
+
+// "X": two crossing diagonal strokes.
+StrokeSequence MakeX(double size, double jitter, synth::Rng& rng, double t0 = 0.0) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  StrokeSequence strokes;
+  strokes.push_back(Stroke(j(), size + j(), size + j(), j(), t0));
+  strokes.push_back(Stroke(j(), j(), size + j(), size + j(), t0 + 250.0));
+  return strokes;
+}
+
+// "=>": two horizontal bars then an arrow-head stroke.
+StrokeSequence MakeArrow(double size, double jitter, synth::Rng& rng, double t0 = 0.0) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  StrokeSequence strokes;
+  strokes.push_back(Stroke(j(), size * 0.35 + j(), size + j(), size * 0.35 + j(), t0));
+  strokes.push_back(Stroke(j(), j(), size + j(), j(), t0 + 220.0));
+  geom::Gesture head = Stroke(size * 0.8 + j(), size * 0.55 + j(), size * 1.25 + j(),
+                              size * 0.18 + j(), t0 + 440.0, 4);
+  for (int i = 1; i <= 4; ++i) {
+    const double u = i / 4.0;
+    head.AppendPoint({size * 1.25 - size * 0.45 * u, size * 0.18 - size * 0.35 * u,
+                      head.back().t + 15.0});
+    (void)u;
+  }
+  strokes.push_back(head);
+  return strokes;
+}
+
+// "!": a vertical bar and a dot.
+StrokeSequence MakeBang(double size, double jitter, synth::Rng& rng, double t0 = 0.0) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  StrokeSequence strokes;
+  strokes.push_back(Stroke(j(), size + j(), j(), size * 0.3 + j(), t0));
+  strokes.push_back(Stroke(j(), j(), 1.5 + j(), 1.0 + j(), t0 + 200.0, 3));
+  return strokes;
+}
+
+MultiStrokeTrainingSet MakeTrainingSet(std::size_t per_class, std::uint64_t seed) {
+  synth::Rng rng(seed);
+  MultiStrokeTrainingSet set;
+  for (std::size_t e = 0; e < per_class; ++e) {
+    const double size = 40.0 * rng.LogNormalFactor(0.25);
+    set.Add("X", MakeX(size, 1.0, rng));
+    set.Add("arrow", MakeArrow(size, 1.0, rng));
+    set.Add("bang", MakeBang(size, 1.0, rng));
+  }
+  return set;
+}
+
+TEST(MultiStrokeFeaturesTest, StrokeCountAndSums) {
+  synth::Rng rng(1);
+  const StrokeSequence x = MakeX(40.0, 0.0, rng);
+  const linalg::Vector f = ExtractMultiStrokeFeatures(x);
+  ASSERT_EQ(f.size(), kMultiStrokeFeatureCount);
+  EXPECT_DOUBLE_EQ(f[13], 2.0);  // two strokes
+  // Path length is the two diagonals only; pen-up travel excluded.
+  EXPECT_NEAR(f[features::kPathLength], 2.0 * std::sqrt(2.0) * 40.0, 1.0);
+  // Straight strokes: no turning.
+  EXPECT_NEAR(f[features::kTotalAbsAngle], 0.0, 1e-9);
+  // Global bbox covers both strokes.
+  EXPECT_NEAR(f[features::kBboxDiagonal], std::sqrt(2.0) * 40.0, 1.0);
+}
+
+TEST(MultiStrokeFeaturesTest, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(ExtractMultiStrokeFeatures({})[13], 0.0);
+  StrokeSequence with_empty;
+  with_empty.push_back(geom::Gesture());
+  synth::Rng rng(2);
+  with_empty.push_back(MakeX(40.0, 0.0, rng)[0]);
+  const linalg::Vector f = ExtractMultiStrokeFeatures(with_empty);
+  EXPECT_DOUBLE_EQ(f[13], 1.0);  // empty strokes don't count
+}
+
+TEST(MultiStrokeClassifierTest, SeparatesXArrowBang) {
+  MultiStrokeClassifier classifier;
+  classifier.Train(MakeTrainingSet(12, 1991));
+  EXPECT_EQ(classifier.num_classes(), 3u);
+
+  synth::Rng rng(7);
+  std::size_t correct = 0;
+  constexpr int kTrials = 20;
+  for (int i = 0; i < kTrials; ++i) {
+    const double size = 40.0 * rng.LogNormalFactor(0.25);
+    correct += classifier.ClassName(classifier.Classify(MakeX(size, 1.0, rng)).class_id) == "X";
+    correct +=
+        classifier.ClassName(classifier.Classify(MakeArrow(size, 1.0, rng)).class_id) ==
+        "arrow";
+    correct +=
+        classifier.ClassName(classifier.Classify(MakeBang(size, 1.0, rng)).class_id) == "bang";
+  }
+  EXPECT_GE(correct, static_cast<std::size_t>(3 * kTrials * 0.93));
+}
+
+TEST(MultiStrokeCollectorTest, GroupsByInterStrokeTimeout) {
+  MultiStrokeCollector collector(400.0);
+  synth::Rng rng(3);
+  // Two strokes 250 ms apart: same gesture.
+  EXPECT_TRUE(collector.AddStroke(Stroke(0, 40, 40, 0, 0.0)).empty());
+  EXPECT_TRUE(collector.AddStroke(Stroke(0, 0, 40, 40, 340.0)).empty());
+  EXPECT_EQ(collector.pending().size(), 2u);
+  // A stroke 1 s later: the pending X completes.
+  const StrokeSequence completed = collector.AddStroke(Stroke(100, 0, 140, 0, 2000.0));
+  EXPECT_EQ(completed.size(), 2u);
+  EXPECT_EQ(collector.pending().size(), 1u);
+}
+
+TEST(MultiStrokeCollectorTest, PollCompletesAfterIdle) {
+  MultiStrokeCollector collector(400.0);
+  collector.AddStroke(Stroke(0, 40, 40, 0, 0.0));
+  EXPECT_TRUE(collector.Poll(200.0).empty());          // still inside timeout
+  const StrokeSequence done = collector.Poll(600.0);   // stroke ended at t=90
+  EXPECT_EQ(done.size(), 1u);
+  EXPECT_FALSE(collector.HasPending());
+  EXPECT_TRUE(collector.Poll(10000.0).empty());
+}
+
+TEST(MultiStrokeCollectorTest, IgnoresEmptyStrokes) {
+  MultiStrokeCollector collector(400.0);
+  EXPECT_TRUE(collector.AddStroke(geom::Gesture()).empty());
+  EXPECT_FALSE(collector.HasPending());
+}
+
+TEST(MultiStrokeEndToEndTest, CollectorFeedsClassifier) {
+  MultiStrokeClassifier classifier;
+  classifier.Train(MakeTrainingSet(12, 1991));
+
+  MultiStrokeCollector collector(400.0);
+  synth::Rng rng(9);
+  const StrokeSequence x = MakeX(40.0, 1.0, rng, /*t0=*/0.0);
+  for (const geom::Gesture& stroke : x) {
+    EXPECT_TRUE(collector.AddStroke(stroke).empty());
+  }
+  const StrokeSequence completed = collector.Poll(x.back().back().t + 500.0);
+  ASSERT_EQ(completed.size(), 2u);
+  EXPECT_EQ(classifier.ClassName(classifier.Classify(completed).class_id), "X");
+}
+
+}  // namespace
+}  // namespace grandma::classify

@@ -1,0 +1,58 @@
+#include "classify/rejection.h"
+
+#include <gtest/gtest.h>
+
+namespace grandma::classify {
+namespace {
+
+Classification MakeResult(double probability, double mahalanobis) {
+  Classification r;
+  r.class_id = 0;
+  r.score = 1.0;
+  r.probability = probability;
+  r.mahalanobis_squared = mahalanobis;
+  return r;
+}
+
+TEST(RejectionTest, AcceptsConfidentNearbyResult) {
+  RejectionPolicy policy;
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.99, 5.0), 13), RejectReason::kAccepted);
+  EXPECT_FALSE(ShouldReject(policy, MakeResult(0.99, 5.0), 13));
+}
+
+TEST(RejectionTest, RejectsLowProbability) {
+  RejectionPolicy policy;  // min_probability = 0.95
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.80, 5.0), 13),
+            RejectReason::kLowProbability);
+}
+
+TEST(RejectionTest, RejectsOutlierDistance) {
+  RejectionPolicy policy;
+  // Default limit for dimension 13 is 0.5 * 13^2 = 84.5.
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.99, 85.0), 13),
+            RejectReason::kOutlierDistance);
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.99, 84.0), 13), RejectReason::kAccepted);
+}
+
+TEST(RejectionTest, ExplicitDistanceLimitOverridesDefault) {
+  RejectionPolicy policy;
+  policy.max_mahalanobis_squared = 10.0;
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.99, 11.0), 13),
+            RejectReason::kOutlierDistance);
+}
+
+TEST(RejectionTest, TestsCanBeDisabled) {
+  RejectionPolicy policy;
+  policy.use_probability = false;
+  policy.use_distance = false;
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.01, 1e9), 13), RejectReason::kAccepted);
+}
+
+TEST(RejectionTest, ProbabilityCheckedBeforeDistance) {
+  RejectionPolicy policy;
+  EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.5, 1e9), 13),
+            RejectReason::kLowProbability);
+}
+
+}  // namespace
+}  // namespace grandma::classify

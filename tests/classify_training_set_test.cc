@@ -1,0 +1,71 @@
+#include "classify/training_set.h"
+
+#include <gtest/gtest.h>
+
+#include "features/extractor.h"
+
+namespace grandma::classify {
+namespace {
+
+TEST(ClassRegistryTest, InternIsIdempotent) {
+  ClassRegistry r;
+  const ClassId a = r.Intern("alpha");
+  const ClassId b = r.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(r.Intern("alpha"), a);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Name(a), "alpha");
+}
+
+TEST(ClassRegistryTest, RequireThrowsOnUnknown) {
+  ClassRegistry r;
+  r.Intern("x");
+  EXPECT_EQ(r.Require("x"), 0u);
+  EXPECT_TRUE(r.Contains("x"));
+  EXPECT_FALSE(r.Contains("y"));
+  EXPECT_THROW(r.Require("y"), std::out_of_range);
+}
+
+TEST(GestureTrainingSetTest, GroupsByClass) {
+  GestureTrainingSet set;
+  const geom::Gesture g({{0, 0, 0}, {1, 0, 1}});
+  EXPECT_EQ(set.Add("a", g), 0u);
+  EXPECT_EQ(set.Add("b", g), 1u);
+  EXPECT_EQ(set.Add("a", g), 0u);
+  EXPECT_EQ(set.num_classes(), 2u);
+  EXPECT_EQ(set.total_examples(), 3u);
+  EXPECT_EQ(set.ExamplesOf(0).size(), 2u);
+  EXPECT_EQ(set.ClassName(1), "b");
+}
+
+TEST(FeatureTrainingSetTest, GrowsAndValidatesDimension) {
+  FeatureTrainingSet set;
+  set.Add(2, linalg::Vector{1.0, 2.0});
+  EXPECT_EQ(set.num_classes(), 3u);
+  EXPECT_EQ(set.total_examples(), 1u);
+  EXPECT_EQ(set.dimension(), 2u);
+  EXPECT_THROW(set.Add(2, linalg::Vector{1.0}), std::invalid_argument);
+  EXPECT_FALSE(set.EveryClassHasAtLeast(1));  // classes 0 and 1 are empty
+  set.Add(0, linalg::Vector{0.0, 0.0});
+  set.Add(1, linalg::Vector{0.0, 1.0});
+  EXPECT_TRUE(set.EveryClassHasAtLeast(1));
+}
+
+TEST(ExtractFeatureSetTest, ExtractsMaskedFeaturesPerClass) {
+  GestureTrainingSet gestures;
+  geom::Gesture g;
+  for (int i = 0; i < 5; ++i) {
+    g.AppendPoint({10.0 * i, 0.0, 10.0 * i});
+  }
+  gestures.Add("stroke", g);
+  gestures.Add("stroke", g);
+
+  const features::FeatureMask geo = features::FeatureMask::GeometryOnly();
+  const FeatureTrainingSet out = ExtractFeatureSet(gestures, geo);
+  EXPECT_EQ(out.num_classes(), 1u);
+  EXPECT_EQ(out.ExamplesOf(0).size(), 2u);
+  EXPECT_EQ(out.dimension(), geo.count());
+}
+
+}  // namespace
+}  // namespace grandma::classify

@@ -1,0 +1,143 @@
+#include "eager/auc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/gesture_classifier.h"
+#include "eager/accidental_mover.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::eager {
+namespace {
+
+struct Fixture {
+  classify::GestureTrainingSet training;
+  classify::GestureClassifier full;
+  SubgesturePartition partition;
+};
+
+Fixture MakeMoved(const std::vector<synth::PathSpec>& specs) {
+  Fixture f;
+  synth::NoiseModel noise;
+  f.training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 15, 1991));
+  f.full.Train(f.training);
+  f.partition = LabelSubgestures(f.full, f.training);
+  MoveAccidentallyComplete(f.full, f.partition);
+  return f;
+}
+
+TEST(AucTest, TrainsInNormalMode) {
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  Auc auc;
+  const AucTrainReport report = auc.Train(f.partition);
+  EXPECT_EQ(auc.mode(), Auc::Mode::kNormal);
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.degenerate);
+  EXPECT_GE(auc.num_sets(), 2u);
+}
+
+TEST(AucTest, NoIncompleteTrainingSubgestureJudgedUnambiguous) {
+  // The tweak pass's guarantee (Section 4.6): on its own training data, no
+  // ambiguous (incomplete) subgesture may be classified into a complete set.
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  Auc auc;
+  const AucTrainReport report = auc.Train(f.partition);
+  ASSERT_TRUE(report.converged);
+  for (classify::ClassId c = 0; c < f.partition.num_classes(); ++c) {
+    for (const auto& sub : f.partition.incomplete_sets[c]) {
+      EXPECT_FALSE(auc.Unambiguous(sub.features));
+    }
+  }
+}
+
+TEST(AucTest, SomeCompleteSubgesturesJudgedUnambiguous) {
+  // Conservative, but not degenerate: a healthy share of genuinely
+  // unambiguous training subgestures must pass.
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  Auc auc;
+  auc.Train(f.partition);
+  std::size_t total = 0;
+  std::size_t passed = 0;
+  for (classify::ClassId c = 0; c < f.partition.num_classes(); ++c) {
+    for (const auto& sub : f.partition.complete_sets[c]) {
+      ++total;
+      passed += auc.Unambiguous(sub.features) ? 1 : 0;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(passed) / static_cast<double>(total), 0.3);
+}
+
+TEST(AucTest, BiasMakesItMoreConservativeThanUnbiased) {
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  Auc biased;
+  AucOptions options;
+  biased.Train(f.partition, options);
+
+  Auc unbiased;
+  AucOptions no_bias;
+  no_bias.ambiguous_bias = 0.0;
+  no_bias.max_tweak_passes = 0;
+  unbiased.Train(f.partition, no_bias);
+
+  std::size_t biased_fires = 0;
+  std::size_t unbiased_fires = 0;
+  for (const auto& pg : f.partition.per_gesture) {
+    for (const auto& sub : pg.subgestures) {
+      biased_fires += biased.Unambiguous(sub.features) ? 1 : 0;
+      unbiased_fires += unbiased.Unambiguous(sub.features) ? 1 : 0;
+    }
+  }
+  EXPECT_LE(biased_fires, unbiased_fires);
+}
+
+TEST(AucTest, DegenerateAllCompleteMeansAlwaysUnambiguous) {
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  for (auto& pg : f.partition.per_gesture) {
+    for (auto& sub : pg.subgestures) {
+      sub.complete = true;
+      sub.moved_to_incomplete = -1;
+    }
+  }
+  RebuildSets(f.partition);
+  Auc auc;
+  const AucTrainReport report = auc.Train(f.partition);
+  EXPECT_TRUE(report.degenerate);
+  EXPECT_EQ(auc.mode(), Auc::Mode::kAlwaysUnambiguous);
+  EXPECT_TRUE(auc.Unambiguous(f.partition.per_gesture[0].subgestures[0].features));
+}
+
+TEST(AucTest, DegenerateAllIncompleteMeansAlwaysAmbiguous) {
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  for (auto& pg : f.partition.per_gesture) {
+    for (auto& sub : pg.subgestures) {
+      sub.complete = false;
+      sub.moved_to_incomplete = -1;
+    }
+  }
+  RebuildSets(f.partition);
+  Auc auc;
+  const AucTrainReport report = auc.Train(f.partition);
+  EXPECT_TRUE(report.degenerate);
+  EXPECT_EQ(auc.mode(), Auc::Mode::kAlwaysAmbiguous);
+  EXPECT_FALSE(auc.Unambiguous(f.partition.per_gesture[0].subgestures[0].features));
+}
+
+TEST(AucTest, SetInfoNamesFullClasses) {
+  Fixture f = MakeMoved(synth::MakeUpDownSpecs());
+  Auc auc;
+  auc.Train(f.partition);
+  for (classify::ClassId k = 0; k < auc.num_sets(); ++k) {
+    EXPECT_LT(auc.ClassInfo(k).full_class, f.full.num_classes());
+  }
+}
+
+TEST(AucTest, UntrainedThrows) {
+  Auc auc;
+  EXPECT_THROW(auc.Unambiguous(linalg::Vector(13)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace grandma::eager

@@ -1,0 +1,125 @@
+#include "eager/accidental_mover.h"
+
+#include <gtest/gtest.h>
+
+#include "classify/gesture_classifier.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::eager {
+namespace {
+
+struct Fixture {
+  classify::GestureTrainingSet training;
+  classify::GestureClassifier full;
+  SubgesturePartition partition;
+};
+
+Fixture Make(const std::vector<synth::PathSpec>& specs, std::size_t per_class,
+             std::uint64_t seed) {
+  Fixture f;
+  synth::NoiseModel noise;
+  f.training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, per_class, seed));
+  f.full.Train(f.training);
+  f.partition = LabelSubgestures(f.full, f.training);
+  return f;
+}
+
+TEST(AccidentalMoverTest, IncompleteMeansComputed) {
+  Fixture f = Make(synth::MakeUpDownSpecs(), 15, 1991);
+  const auto means = IncompleteSetMeans(f.partition);
+  ASSERT_EQ(means.size(), 2u);
+  std::size_t non_empty = 0;
+  for (const auto& m : means) {
+    if (m.has_value()) {
+      ++non_empty;
+      EXPECT_EQ(m->size(), f.full.mask().count());
+    }
+  }
+  EXPECT_GE(non_empty, 1u);
+}
+
+TEST(AccidentalMoverTest, MovesAccidentallyCompleteHorizontalPrefixes) {
+  // Figure 6's point: along the shared horizontal segment some prefixes are
+  // accidentally complete (classified "their" class by luck); after the move
+  // step they are all incomplete.
+  Fixture f = Make(synth::MakeUpDownSpecs(), 15, 1991);
+  const std::size_t complete_before = f.partition.total_complete();
+  const MoverReport report = MoveAccidentallyComplete(f.full, f.partition);
+  EXPECT_GT(report.threshold, 0.0);
+  EXPECT_GT(report.moved, 0u);
+  EXPECT_EQ(f.partition.total_complete(), complete_before - report.moved);
+  // Counts remain consistent after the rebuild.
+  std::size_t total = 0;
+  for (const auto& pg : f.partition.per_gesture) {
+    total += pg.subgestures.size();
+  }
+  EXPECT_EQ(total, f.partition.total_complete() + f.partition.total_incomplete());
+}
+
+TEST(AccidentalMoverTest, MovedSubgesturesLandInNearestIncompleteSet) {
+  Fixture f = Make(synth::MakeUpDownSpecs(), 15, 1991);
+  MoveAccidentallyComplete(f.full, f.partition);
+  for (const auto& pg : f.partition.per_gesture) {
+    for (const auto& sub : pg.subgestures) {
+      if (sub.moved_to_incomplete >= 0) {
+        EXPECT_TRUE(sub.complete);  // originally complete
+        EXPECT_FALSE(sub.EffectivelyComplete());
+        EXPECT_LT(static_cast<std::size_t>(sub.moved_to_incomplete),
+                  f.partition.incomplete_sets.size());
+      }
+    }
+  }
+}
+
+TEST(AccidentalMoverTest, MovesAreLargestToSmallestContiguous) {
+  // Once one complete subgesture moves, all smaller complete ones of the
+  // same gesture move too: within each gesture, the still-complete ones form
+  // a suffix.
+  Fixture f = Make(synth::MakeUpDownSpecs(), 15, 1991);
+  MoveAccidentallyComplete(f.full, f.partition);
+  for (const auto& pg : f.partition.per_gesture) {
+    bool seen_still_complete = false;
+    for (const auto& sub : pg.subgestures) {
+      if (seen_still_complete && sub.complete) {
+        EXPECT_TRUE(sub.EffectivelyComplete())
+            << "a smaller complete subgesture moved while a larger one stayed";
+      }
+      seen_still_complete = seen_still_complete || sub.EffectivelyComplete();
+    }
+  }
+}
+
+TEST(AccidentalMoverTest, FlooredDistancesReported) {
+  // With the bare right-stroke class (Section 4.5's pitfall), the incomplete
+  // horizontal prefixes look like full R gestures: that tiny distance must
+  // be excluded by the floor rather than collapsing the threshold to ~0.
+  Fixture udr = Make(synth::MakeUpDownRightSpecs(), 15, 1991);
+  const MoverReport report = MoveAccidentallyComplete(udr.full, udr.partition);
+  EXPECT_GT(report.floored_out, 0u);
+  EXPECT_GT(report.threshold, 0.0);
+}
+
+TEST(AccidentalMoverTest, NoIncompleteSetsMeansNoMoves) {
+  // Two classes distinct from the very first points: nearly everything is
+  // complete. Build a degenerate partition with no incomplete subgestures by
+  // filtering them out manually.
+  Fixture f = Make(synth::MakeUpDownSpecs(), 10, 7);
+  for (auto& pg : f.partition.per_gesture) {
+    std::vector<LabeledSubgesture> kept;
+    for (auto& sub : pg.subgestures) {
+      if (sub.complete) {
+        kept.push_back(sub);
+      }
+    }
+    pg.subgestures = std::move(kept);
+  }
+  RebuildSets(f.partition);
+  ASSERT_EQ(f.partition.total_incomplete(), 0u);
+  const MoverReport report = MoveAccidentallyComplete(f.full, f.partition);
+  EXPECT_EQ(report.moved, 0u);
+  EXPECT_EQ(report.threshold, 0.0);
+}
+
+}  // namespace
+}  // namespace grandma::eager

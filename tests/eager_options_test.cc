@@ -1,0 +1,88 @@
+// Eager training under non-default options: feature masks, prefix floors,
+// and option plumbing — the configuration surface applications actually use.
+#include <gtest/gtest.h>
+
+#include "eager/eager_recognizer.h"
+#include "eager/evaluation.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::eager {
+namespace {
+
+classify::GestureTrainingSet Training() {
+  synth::NoiseModel noise;
+  return synth::ToTrainingSet(
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, 10, 1991));
+}
+
+TEST(EagerOptionsTest, GeometryOnlyMaskTrainsAndPerforms) {
+  EagerTrainOptions options;
+  options.mask = features::FeatureMask::GeometryOnly();
+  EagerRecognizer recognizer;
+  recognizer.Train(Training(), options);
+  EXPECT_TRUE(recognizer.trained());
+  EXPECT_EQ(recognizer.full().linear().dimension(), features::kNumFeatures - 2);
+
+  synth::NoiseModel noise;
+  const auto test = synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, 10, 5);
+  const EagerEvaluation eval = EvaluateEager(recognizer, test);
+  EXPECT_GE(eval.FullAccuracy(), 0.95);
+  EXPECT_GE(eval.EagerAccuracy(), 0.9);
+}
+
+TEST(EagerOptionsTest, LargerMinPrefixDelaysFiring) {
+  EagerRecognizer early;
+  early.Train(Training());
+
+  EagerTrainOptions late_options;
+  late_options.labeler.min_prefix_points = 8;
+  EagerRecognizer late;
+  late.Train(Training(), late_options);
+  EXPECT_EQ(late.min_prefix_points(), 8u);
+
+  synth::NoiseModel noise;
+  const auto test = synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, 10, 6);
+  const EagerEvaluation eval_early = EvaluateEager(early, test);
+  const EagerEvaluation eval_late = EvaluateEager(late, test);
+  // A larger prefix floor can only delay (or equal) the firing point.
+  for (const auto& o : eval_late.outcomes) {
+    EXPECT_GE(o.points_seen, 8u);
+  }
+  EXPECT_GE(eval_late.MeanFractionSeen(), eval_early.MeanFractionSeen() - 1e-9);
+}
+
+TEST(EagerOptionsTest, MoverThresholdFractionZeroDisablesMoves) {
+  EagerTrainOptions options;
+  options.mover.threshold_fraction = 0.0;
+  EagerRecognizer recognizer;
+  const EagerTrainReport report = recognizer.Train(Training(), options);
+  EXPECT_EQ(report.mover.moved, 0u);
+}
+
+TEST(EagerOptionsTest, ReportCountsAreConsistent) {
+  EagerRecognizer recognizer;
+  const EagerTrainReport report = recognizer.Train(Training());
+  EXPECT_GT(report.complete_before_move, 0u);
+  EXPECT_GT(report.incomplete_before_move, 0u);
+  EXPECT_LE(report.mover.moved, report.complete_before_move);
+  EXPECT_TRUE(report.auc.converged);
+  EXPECT_FALSE(report.auc.degenerate);
+  EXPECT_DOUBLE_EQ(report.full_classifier_ridge, 0.0);
+}
+
+TEST(EagerOptionsTest, TrainingTwiceReplacesTheModel) {
+  EagerRecognizer recognizer;
+  recognizer.Train(Training());
+  const std::size_t classes_before = recognizer.num_classes();
+  // Retrain on a different set: the recognizer serves the new classes.
+  synth::NoiseModel noise;
+  recognizer.Train(
+      synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 10, 3)));
+  EXPECT_EQ(recognizer.num_classes(), 2u);
+  EXPECT_NE(recognizer.num_classes(), classes_before);
+  EXPECT_EQ(recognizer.ClassName(0), "U");
+}
+
+}  // namespace
+}  // namespace grandma::eager

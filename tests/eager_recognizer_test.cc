@@ -1,0 +1,148 @@
+#include "eager/eager_recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "eager/evaluation.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::eager {
+namespace {
+
+EagerRecognizer TrainOn(const std::vector<synth::PathSpec>& specs, std::size_t per_class,
+                        std::uint64_t seed) {
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, per_class, seed));
+  EagerRecognizer r;
+  r.Train(training);
+  return r;
+}
+
+TEST(EagerRecognizerTest, TrainsEndToEnd) {
+  const EagerRecognizer r = TrainOn(synth::MakeUpDownSpecs(), 15, 1991);
+  EXPECT_TRUE(r.trained());
+  EXPECT_EQ(r.num_classes(), 2u);
+  EXPECT_EQ(r.ClassName(0), "U");
+}
+
+TEST(EagerRecognizerTest, StreamFiresOnceAfterCorner) {
+  const EagerRecognizer r = TrainOn(synth::MakeUpDownSpecs(), 15, 1991);
+  synth::NoiseModel noise;
+  synth::Rng rng(55);
+  const auto specs = synth::MakeUpDownSpecs();
+  const synth::GestureSample sample = synth::Generate(specs[0], noise, rng);
+
+  EagerStream stream(r);
+  std::size_t fires = 0;
+  for (const auto& p : sample.gesture.points()) {
+    fires += stream.AddPoint(p) ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 1u);
+  EXPECT_TRUE(stream.fired());
+  // Must not fire before the corner: the horizontal prefix is ambiguous.
+  EXPECT_GE(stream.fired_at(), sample.MinUnambiguousPointCount() - 1);
+  // And should fire before the gesture ends (U/D are cleanly separable).
+  EXPECT_LT(stream.fired_at(), sample.gesture.size());
+  // The classification at the fire point is correct.
+  EXPECT_EQ(r.ClassName(stream.ClassifyNow().class_id), "U");
+}
+
+TEST(EagerRecognizerTest, StreamResetAllowsReuse) {
+  const EagerRecognizer r = TrainOn(synth::MakeUpDownSpecs(), 15, 1991);
+  EagerStream stream(r);
+  stream.AddPoint({0, 0, 0});
+  stream.AddPoint({10, 0, 20});
+  stream.Reset();
+  EXPECT_EQ(stream.points_seen(), 0u);
+  EXPECT_FALSE(stream.fired());
+  EXPECT_EQ(stream.fired_at(), 0u);
+}
+
+TEST(EagerRecognizerTest, ConservativeOnTrainingData) {
+  // The paper's key safety property: on training data, D never fires on a
+  // prefix the full classifier would misclassify.
+  const auto specs = synth::MakeEightDirectionSpecs();
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  EagerRecognizer r;
+  r.Train(training);
+  EXPECT_LE(TrainingPrematureFireRate(r, training), 0.01);
+}
+
+TEST(EagerRecognizerTest, EightDirectionAccuracy) {
+  const auto specs = synth::MakeEightDirectionSpecs();
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  EagerRecognizer r;
+  r.Train(training);
+  const auto test = synth::GenerateSet(specs, noise, 10, 77);
+  const EagerEvaluation eval = EvaluateEager(r, test);
+  EXPECT_GE(eval.EagerAccuracy(), 0.9);
+  EXPECT_GE(eval.FullAccuracy(), 0.95);
+  // Eagerness: fires before the end on average, but never before the
+  // ground-truth minimum on average.
+  EXPECT_LT(eval.MeanFractionSeen(), 0.98);
+  EXPECT_GE(eval.MeanFractionSeen(), eval.MeanMinFraction());
+}
+
+TEST(EagerRecognizerTest, NotesAlmostNeverEager) {
+  // Figure 8: every note is a prefix of the next, so only the longest class
+  // can legitimately fire early.
+  const auto specs = synth::MakeNoteSpecs();
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  EagerRecognizer r;
+  r.Train(training);
+  const auto test = synth::GenerateSet(specs, noise, 20, 33);
+  const EagerEvaluation eval = EvaluateEager(r, test);
+  // Every note but the longest is a prefix of another class, so early fires
+  // must be rare (the AUC's training guarantee covers training data; on test
+  // data a small residue is possible).
+  std::size_t idx = 0;
+  std::size_t short_note_fires = 0;
+  std::size_t short_note_total = 0;
+  for (const auto& batch : test) {
+    for (std::size_t e = 0; e < batch.samples.size(); ++e) {
+      const ExampleOutcome& o = eval.outcomes[idx++];
+      if (batch.class_name != "sixtyfourth") {
+        ++short_note_total;
+        short_note_fires += o.fired ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_LE(static_cast<double>(short_note_fires) / static_cast<double>(short_note_total),
+            0.05);
+  EXPECT_GT(eval.MeanFractionSeen(), 0.95);
+}
+
+TEST(EagerRecognizerTest, EagerErrorsNoWorseThanChanceBaseline) {
+  const auto specs = synth::MakeEightDirectionSpecs();
+  synth::NoiseModel noise;
+  noise.corner_loop_prob = 0.1;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  EagerRecognizer r;
+  r.Train(training);
+  const auto test = synth::GenerateSet(specs, noise, 10, 21);
+  const EagerEvaluation eval = EvaluateEager(r, test);
+  EXPECT_GE(eval.EagerAccuracy(), 0.8);
+  EXPECT_LE(eval.EagerAccuracy(), eval.FullAccuracy() + 0.05);
+}
+
+TEST(EagerRecognizerTest, FromParametersPreservesBehavior) {
+  const EagerRecognizer r = TrainOn(synth::MakeUpDownSpecs(), 10, 3);
+  EagerRecognizer copy = EagerRecognizer::FromParameters(r.full(), r.auc(),
+                                                         r.min_prefix_points());
+  synth::NoiseModel noise;
+  synth::Rng rng(9);
+  const auto specs = synth::MakeUpDownSpecs();
+  const auto sample = synth::Generate(specs[1], noise, rng);
+  EagerStream a(r);
+  EagerStream b(copy);
+  for (const auto& p : sample.gesture.points()) {
+    EXPECT_EQ(a.AddPoint(p), b.AddPoint(p));
+  }
+  EXPECT_EQ(a.fired_at(), b.fired_at());
+}
+
+}  // namespace
+}  // namespace grandma::eager

@@ -1,0 +1,306 @@
+// Integration tests: GDP driven end-to-end through GRANDMA's event pipeline.
+#include "gdp/app.h"
+
+#include <gtest/gtest.h>
+
+#include "gdp/session.h"
+#include "geom/transform.h"
+#include <numbers>
+#include "toolkit/event.h"
+
+namespace grandma::gdp {
+namespace {
+
+// Training the recognizer takes a moment; share one app per config across
+// tests and reset the document by deleting shapes through the API.
+GdpApp& SharedApp() {
+  static GdpApp* app = [] {
+    GdpApp::Options options;
+    return new GdpApp(options);
+  }();
+  return *app;
+}
+
+void ClearDocument(GdpApp& app) {
+  app.ClearControlPoints();
+  for (Shape* s : app.document().AllShapes()) {
+    app.document().Remove(s);
+  }
+}
+
+TEST(GdpAppTest, RecognizerTrainedForElevenClasses) {
+  GdpApp& app = SharedApp();
+  EXPECT_TRUE(app.recognizer().trained());
+  EXPECT_EQ(app.recognizer().num_classes(), 11u);
+}
+
+TEST(GdpAppTest, RectangleGestureCreatesAndRubberbands) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  const std::string recognized =
+      PlayGestureWithDrag(app, "rectangle", 60, 200, 180, 120);
+  EXPECT_EQ(recognized, "rectangle");
+  ASSERT_EQ(app.document().size(), 1u);
+  auto* rect = dynamic_cast<RectShape*>(app.document().AllShapes()[0]);
+  ASSERT_NE(rect, nullptr);
+  // Corner 1 at the gesture start, corner 2 dragged to (180, 120).
+  const geom::BoundingBox b = rect->Bounds();
+  EXPECT_NEAR(b.min_x, 60.0, 2.0);
+  EXPECT_NEAR(b.max_y, 200.0, 2.0);
+  EXPECT_NEAR(b.max_x, 180.0, 2.0);
+  EXPECT_NEAR(b.min_y, 120.0, 2.0);
+}
+
+TEST(GdpAppTest, LineGestureEndpointsFollowManipulation) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  ASSERT_EQ(PlayGestureWithDrag(app, "line", 30, 100, 200, 40), "line");
+  ASSERT_EQ(app.document().size(), 1u);
+  auto* line = dynamic_cast<LineShape*>(app.document().AllShapes()[0]);
+  ASSERT_NE(line, nullptr);
+  EXPECT_NEAR(line->x0(), 30.0, 2.0);
+  EXPECT_NEAR(line->y0(), 100.0, 2.0);
+  EXPECT_NEAR(line->x1(), 200.0, 1e-6);
+  EXPECT_NEAR(line->y1(), 40.0, 1e-6);
+}
+
+TEST(GdpAppTest, EllipseGestureSetsCenterAndRadii) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  ASSERT_EQ(PlayGestureWithDrag(app, "ellipse", 160, 120, 200, 140), "ellipse");
+  ASSERT_EQ(app.document().size(), 1u);
+  auto* ellipse = dynamic_cast<EllipseShape*>(app.document().AllShapes()[0]);
+  ASSERT_NE(ellipse, nullptr);
+  EXPECT_NEAR(ellipse->cx(), 160.0, 2.0);
+  EXPECT_NEAR(ellipse->cy(), 120.0, 2.0);
+  EXPECT_NEAR(ellipse->rx(), 40.0, 2.0);
+  EXPECT_NEAR(ellipse->ry(), 20.0, 2.0);
+}
+
+TEST(GdpAppTest, DotGestureViaDwell) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  // A dot: press, dwell past the 200 ms timeout, release.
+  toolkit::PlaybackDriver& driver = app.driver();
+  const double t0 = app.dispatcher().clock().now_ms();
+  driver.Feed(toolkit::InputEvent::MouseDown(100, 100, t0));
+  driver.Feed(toolkit::InputEvent::MouseUp(100, 100, t0 + 400.0));
+  ASSERT_EQ(app.gesture_handler().recognized_class(), "dot");
+  ASSERT_EQ(app.document().size(), 1u);
+  EXPECT_EQ(app.document().AllShapes()[0]->Kind(), "dot");
+}
+
+TEST(GdpAppTest, MoveGestureDragsShape) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  Shape* dot = app.document().Add(std::make_unique<DotShape>(80, 80));
+  ASSERT_EQ(PlayGestureWithDrag(app, "move", 80, 80, 250, 50), "move");
+  EXPECT_TRUE(dot->HitTest(250, 50, 3.0));
+}
+
+TEST(GdpAppTest, CopyGestureClonesAndDrags) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  app.document().Add(std::make_unique<DotShape>(80, 80));
+  ASSERT_EQ(PlayGestureWithDrag(app, "copy", 80, 80, 250, 50), "copy");
+  EXPECT_EQ(app.document().size(), 2u);
+  // Original stays, copy lands near the drag target.
+  EXPECT_NE(app.document().TopmostAt(80, 80, 3.0), nullptr);
+  EXPECT_NE(app.document().TopmostAt(250, 50, 3.0), nullptr);
+}
+
+TEST(GdpAppTest, DeleteGestureRemovesTouchedShapes) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  app.document().Add(std::make_unique<DotShape>(100, 140));
+  Shape* other = app.document().Add(std::make_unique<DotShape>(240, 60));
+  // Delete starting on the first dot, then touch the second during
+  // manipulation.
+  ASSERT_EQ(PlayGestureWithDrag(app, "delete", 100, 140, 240, 60), "delete");
+  EXPECT_EQ(app.document().size(), 0u);
+  (void)other;
+}
+
+TEST(GdpAppTest, GroupGestureCollectsEnclosedShapes) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  app.document().Add(std::make_unique<DotShape>(160, 100));
+  app.document().Add(std::make_unique<DotShape>(170, 110));
+  app.document().Add(std::make_unique<DotShape>(300, 220));  // far away
+  // The group lasso circles (160, 105)-ish: the spec starts at the top of a
+  // radius-45 circle whose center is below the start point.
+  ASSERT_EQ(PlayGestureWithDrag(app, "group", 165, 150, 165, 150), "group");
+  auto* group = dynamic_cast<GroupShape*>(app.document().TopmostAt(165, 100, 15.0));
+  ASSERT_NE(group, nullptr);
+  EXPECT_EQ(group->size(), 2u);
+  EXPECT_EQ(app.document().size(), 2u);  // the group + the far dot
+}
+
+TEST(GdpAppTest, TextGestureSnapsToGrid) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  ASSERT_EQ(PlayGestureWithDrag(app, "text", 40, 60, 123, 87), "text");
+  ASSERT_EQ(app.document().size(), 1u);
+  auto* text = dynamic_cast<TextShape*>(app.document().AllShapes()[0]);
+  ASSERT_NE(text, nullptr);
+  // Snapped to the 10-unit grid.
+  EXPECT_DOUBLE_EQ(text->x(), 120.0);
+  EXPECT_DOUBLE_EQ(text->y(), 90.0);
+}
+
+TEST(GdpAppTest, EditShowsControlPointsAndDragScales) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  Shape* line = app.document().Add(std::make_unique<LineShape>(100, 100, 140, 100));
+  ASSERT_EQ(PlayGestureWithDrag(app, "edit", 120, 100, 120, 100), "edit");
+  EXPECT_EQ(app.edited_shape(), line);
+  EXPECT_EQ(app.control_point_count(), 2u);
+
+  // Drag the (140, 100) endpoint control point outward: the line scales
+  // about its bbox center. This exercises drag handlers and gesture
+  // handlers coexisting (Section 3.1).
+  toolkit::PlaybackDriver& driver = app.driver();
+  const double t0 = app.dispatcher().clock().now_ms();
+  driver.Feed(toolkit::InputEvent::MouseDown(140, 100, t0));
+  driver.Feed(toolkit::InputEvent::MouseMove(160, 100, t0 + 20));
+  driver.Feed(toolkit::InputEvent::MouseUp(160, 100, t0 + 40));
+  const geom::BoundingBox b = line->Bounds();
+  EXPECT_GT(b.width(), 55.0);  // scaled up from 40
+  app.ClearControlPoints();
+  EXPECT_EQ(app.control_point_count(), 0u);
+}
+
+TEST(GdpAppTest, RotateScaleManipulatesShape) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  Shape* line = app.document().Add(std::make_unique<LineShape>(100, 100, 120, 100));
+  // Start the gesture on the shape; manipulation drags a point around the
+  // start, rotating/scaling the line.
+  ASSERT_EQ(PlayGestureWithDrag(app, "rotate-scale", 110, 100, 160, 180), "rotate-scale");
+  // The line changed (rotated/scaled about the gesture start).
+  const geom::BoundingBox b = line->Bounds();
+  EXPECT_GT(b.height() + b.width(), 20.0);
+}
+
+TEST(GdpAppTest, EagerModeRecognizesMidStroke) {
+  static GdpApp* eager_app = [] {
+    GdpApp::Options options;
+    options.eager = true;
+    return new GdpApp(options);
+  }();
+  ClearDocument(*eager_app);
+  const std::string recognized =
+      PlayGestureWithDrag(*eager_app, "rectangle", 60, 200, 180, 120, /*hold_ms=*/0.0);
+  EXPECT_EQ(recognized, "rectangle");
+  EXPECT_EQ(eager_app->document().size(), 1u);
+  // The transition should have been eager (before any dwell).
+  EXPECT_EQ(eager_app->gesture_handler().last_transition(),
+            toolkit::GestureHandler::Transition::kEager);
+}
+
+TEST(GdpAppTest, ModifiedGdpMapsGesturalAttributes) {
+  // The paper's "modified version of GDP" (Section 2): the initial angle of
+  // the rectangle gesture sets the rectangle's orientation, and the line
+  // gesture's length sets the line's thickness.
+  static GdpApp* modified_app = [] {
+    GdpApp::Options options;
+    options.map_gestural_attributes = true;
+    return new GdpApp(options);
+  }();
+  GdpApp& app = *modified_app;
+
+  // Draw the same rectangle stroke twice — once as-is, once rotated by 40
+  // degrees. The created rectangles' orientations must differ by those 40
+  // degrees (comparing the pair cancels the stroke's own angular jitter).
+  const auto specs = synth::MakeGdpSpecs(app.options().group_orientation);
+  geom::Gesture stroke;
+  for (const auto& spec : specs) {
+    if (spec.class_name == "rectangle") {
+      stroke = MakeStrokeAt(spec, 100, 180, /*seed=*/3);
+    }
+  }
+  ClearDocument(app);
+  app.driver().PlayStroke(stroke, /*hold_ms_before_release=*/300.0);
+  ASSERT_EQ(app.gesture_handler().recognized_class(), "rectangle");
+  auto* upright = dynamic_cast<RectShape*>(app.document().AllShapes().at(0));
+  ASSERT_NE(upright, nullptr);
+  const double upright_angle = upright->angle();
+
+  ClearDocument(app);
+  const double radians = 40.0 * std::numbers::pi / 180.0;
+  const geom::Gesture rotated_stroke =
+      geom::AffineTransform::Rotation(radians, stroke.front().x, stroke.front().y)
+          .Apply(stroke);
+  app.driver().PlayStroke(rotated_stroke, /*hold_ms_before_release=*/300.0);
+  ASSERT_EQ(app.gesture_handler().recognized_class(), "rectangle");
+  auto* rotated = dynamic_cast<RectShape*>(app.document().AllShapes().at(0));
+  ASSERT_NE(rotated, nullptr);
+  EXPECT_NEAR(rotated->angle() - upright_angle, radians, 1e-6);
+
+  // Line thickness scales with gesture length.
+  ClearDocument(app);
+  ASSERT_EQ(PlayGestureWithDrag(app, "line", 30, 100, 200, 40), "line");
+  auto* line = dynamic_cast<LineShape*>(app.document().AllShapes().at(0));
+  ASSERT_NE(line, nullptr);
+  EXPECT_GT(line->thickness(), 2.0);  // the canonical line gesture is ~86 px
+}
+
+TEST(GdpAppTest, RuntimeTrainingAddsNewGestureClass) {
+  // GRANDMA's defining capability: teach the running application a new
+  // gesture from examples, retrain in place, and use it immediately.
+  static GdpApp* app = new GdpApp();
+
+  synth::PathSpec zig;
+  zig.class_name = "zigzag";
+  zig.LineTo(20, -30).LineTo(40, 0).LineTo(60, -30).LineTo(80, 0);
+
+  // Too few examples: retraining refuses and stays in training mode.
+  app->BeginTraining("zigzag");
+  ASSERT_TRUE(app->training());
+  app->driver().PlayStroke(MakeStrokeAt(zig, 100, 150, /*seed=*/1));
+  EXPECT_EQ(app->recorded_examples(), 1u);
+  EXPECT_FALSE(app->EndTraining());
+  EXPECT_TRUE(app->training());
+
+  // Strokes in training mode are recorded, not executed: no shapes appear.
+  const std::size_t shapes_before = app->document().size();
+  for (std::uint64_t seed = 2; seed <= 8; ++seed) {
+    app->driver().PlayStroke(MakeStrokeAt(zig, 100, 150, seed));
+  }
+  EXPECT_EQ(app->document().size(), shapes_before);
+  EXPECT_EQ(app->recorded_examples(), 8u);
+
+  // Retrain: the new class joins the original eleven.
+  ASSERT_TRUE(app->EndTraining());
+  EXPECT_FALSE(app->training());
+  EXPECT_EQ(app->recognizer().num_classes(), 12u);
+
+  // The running app now recognizes the new gesture...
+  app->driver().PlayStroke(MakeStrokeAt(zig, 100, 150, /*seed=*/99),
+                           /*hold_ms_before_release=*/300.0);
+  EXPECT_EQ(app->gesture_handler().recognized_class(), "zigzag");
+
+  // ...and the old classes still work.
+  ASSERT_EQ(PlayGestureWithDrag(*app, "line", 30, 100, 200, 40), "line");
+}
+
+TEST(GdpAppTest, CancelTrainingLeavesMode) {
+  static GdpApp* app = new GdpApp();
+  app->BeginTraining("doodle");
+  app->CancelTraining();
+  EXPECT_FALSE(app->training());
+  // Normal recognition resumed.
+  ASSERT_EQ(PlayGestureWithDrag(*app, "line", 30, 100, 200, 40), "line");
+}
+
+TEST(GdpAppTest, RenderShowsDocumentAndLog) {
+  GdpApp& app = SharedApp();
+  ClearDocument(app);
+  PlayGestureWithDrag(app, "line", 30, 100, 200, 40);
+  const std::string ascii = app.RenderAscii(60, 20);
+  EXPECT_NE(ascii.find('#'), std::string::npos);
+  EXPECT_FALSE(app.log().empty());
+}
+
+}  // namespace
+}  // namespace grandma::gdp

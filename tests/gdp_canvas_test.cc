@@ -1,0 +1,88 @@
+#include "gdp/canvas.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace grandma::gdp {
+namespace {
+
+TEST(CanvasTest, PlotAndAt) {
+  Canvas canvas(100, 100, 10, 10);
+  canvas.Plot(5, 5, '#');
+  EXPECT_EQ(canvas.At(5, 5), '#');
+  EXPECT_EQ(canvas.At(95, 95), ' ');
+  // Out of range: clipped on write, NUL on read.
+  canvas.Plot(-5, 5, 'x');
+  canvas.Plot(100, 5, 'x');
+  EXPECT_EQ(canvas.At(-5, 5), '\0');
+  EXPECT_EQ(canvas.InkedCellCount(), 1u);
+}
+
+TEST(CanvasTest, YUpOrientation) {
+  Canvas canvas(100, 100, 10, 10);
+  canvas.Plot(5, 95, 'T');  // near the top of the world
+  canvas.Plot(5, 5, 'B');   // near the bottom
+  const std::string s = canvas.ToString();
+  // The 'T' row must appear before the 'B' row in the rendered text.
+  EXPECT_LT(s.find('T'), s.find('B'));
+}
+
+TEST(CanvasTest, DrawSegmentCoversLine) {
+  Canvas canvas(100, 100, 20, 20);
+  canvas.DrawSegment(0, 50, 99, 50, '#');
+  // Every column along the row should be inked.
+  std::size_t count = 0;
+  for (double x = 2.5; x < 100; x += 5.0) {
+    count += canvas.At(x, 50) == '#' ? 1 : 0;
+  }
+  EXPECT_EQ(count, 20u);
+}
+
+TEST(CanvasTest, DrawEllipseApproximatesOutline) {
+  Canvas canvas(100, 100, 50, 50);
+  canvas.DrawEllipse(50, 50, 20, 10, 0.0, 'o');
+  EXPECT_EQ(canvas.At(70, 50), 'o');
+  EXPECT_EQ(canvas.At(50, 60), 'o');
+  EXPECT_EQ(canvas.At(50, 50), ' ');
+}
+
+TEST(CanvasTest, DrawStringHorizontal) {
+  Canvas canvas(100, 100, 50, 10);
+  canvas.DrawString(10, 50, "abc");
+  EXPECT_EQ(canvas.At(10, 50), 'a');
+}
+
+TEST(CanvasTest, GestureInkDotted) {
+  Canvas canvas(100, 100, 50, 50);
+  geom::Gesture g({{10, 10, 0}, {20, 20, 1}, {30, 30, 2}});
+  canvas.DrawGestureInk(g);
+  EXPECT_EQ(canvas.At(20, 20), '.');
+}
+
+TEST(CanvasTest, ToStringHasBorder) {
+  Canvas canvas(10, 10, 4, 2);
+  const std::string s = canvas.ToString();
+  EXPECT_EQ(s, "+----+\n|    |\n|    |\n+----+\n");
+}
+
+TEST(CanvasTest, WritePgmProducesP5File) {
+  Canvas canvas(10, 10, 4, 4);
+  canvas.Plot(5, 5, '#');
+  const std::string path = "/tmp/grandma_canvas_test.pgm";
+  ASSERT_TRUE(canvas.WritePgm(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  in >> header;
+  EXPECT_EQ(header, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(CanvasTest, WritePgmFailsOnBadPath) {
+  Canvas canvas(10, 10, 4, 4);
+  EXPECT_FALSE(canvas.WritePgm("/nonexistent-dir/x.pgm"));
+}
+
+}  // namespace
+}  // namespace grandma::gdp

@@ -1,0 +1,71 @@
+#include "gdp/document.h"
+
+#include <gtest/gtest.h>
+
+namespace grandma::gdp {
+namespace {
+
+TEST(DocumentTest, AddAssignsIdsAndOwns) {
+  Document doc;
+  Shape* a = doc.Add(std::make_unique<DotShape>(1, 1));
+  Shape* b = doc.Add(std::make_unique<DotShape>(2, 2));
+  EXPECT_EQ(doc.size(), 2u);
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_TRUE(doc.Contains(a));
+  EXPECT_EQ(doc.FindById(a->id()), a);
+  EXPECT_EQ(doc.FindById(999), nullptr);
+}
+
+TEST(DocumentTest, RemoveExtractsOwnership) {
+  Document doc;
+  Shape* a = doc.Add(std::make_unique<DotShape>(1, 1));
+  std::unique_ptr<Shape> out = doc.Remove(a);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out.get(), a);
+  EXPECT_EQ(doc.size(), 0u);
+  EXPECT_FALSE(doc.Contains(a));
+  // Removing again: nullptr.
+  EXPECT_EQ(doc.Remove(a), nullptr);
+}
+
+TEST(DocumentTest, TopmostAtRespectsZOrder) {
+  Document doc;
+  doc.Add(std::make_unique<DotShape>(10, 10));
+  Shape* top = doc.Add(std::make_unique<DotShape>(10, 10));
+  EXPECT_EQ(doc.TopmostAt(10, 10, 2.0), top);
+  EXPECT_EQ(doc.TopmostAt(50, 50, 2.0), nullptr);
+}
+
+TEST(DocumentTest, EnclosedByUsesStrokePolygon) {
+  Document doc;
+  Shape* inside = doc.Add(std::make_unique<DotShape>(50, 50));
+  Shape* outside = doc.Add(std::make_unique<DotShape>(200, 200));
+  // A lasso around (50, 50).
+  geom::Gesture lasso({{0, 0, 0}, {100, 0, 1}, {100, 100, 2}, {0, 100, 3}});
+  const auto enclosed = doc.EnclosedBy(lasso);
+  ASSERT_EQ(enclosed.size(), 1u);
+  EXPECT_EQ(enclosed[0], inside);
+  (void)outside;
+}
+
+TEST(DocumentTest, AllShapesInZOrder) {
+  Document doc;
+  Shape* a = doc.Add(std::make_unique<DotShape>(1, 1));
+  Shape* b = doc.Add(std::make_unique<DotShape>(2, 2));
+  const auto all = doc.AllShapes();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], a);
+  EXPECT_EQ(all[1], b);
+}
+
+TEST(DocumentTest, RenderDrawsAllShapes) {
+  Document doc;
+  doc.Add(std::make_unique<LineShape>(10, 10, 90, 10));
+  doc.Add(std::make_unique<DotShape>(50, 50));
+  Canvas canvas(100, 100, 50, 25);
+  doc.Render(canvas);
+  EXPECT_GT(canvas.InkedCellCount(), 5u);
+}
+
+}  // namespace
+}  // namespace grandma::gdp

@@ -1,0 +1,118 @@
+// The paper's own semantics listing, run verbatim through the interpreter
+// against a live GDP document and the full event pipeline.
+#include "gdp/scripting.h"
+
+#include <gtest/gtest.h>
+
+#include "gdp/app.h"
+#include "gdp/session.h"
+#include "toolkit/script_semantics.h"
+
+namespace grandma::gdp {
+namespace {
+
+TEST(GdpScriptingTest, ViewCreatesShapes) {
+  Document doc;
+  DocumentScriptHost host(&doc);
+  toolkit::script::Environment env;
+  env.variables = [&host](const std::string& name) -> std::optional<toolkit::script::Value> {
+    if (name == "view") {
+      return toolkit::script::Value(host.view());
+    }
+    return std::nullopt;
+  };
+  toolkit::script::Evaluate("[view createRect]", env);
+  toolkit::script::Evaluate("[view createLine]", env);
+  toolkit::script::Evaluate("[view createEllipse]", env);
+  toolkit::script::Evaluate("[view createDot:5 y:6]", env);
+  ASSERT_EQ(doc.size(), 4u);
+  EXPECT_EQ(doc.AllShapes()[0]->Kind(), "rectangle");
+  EXPECT_EQ(doc.AllShapes()[3]->Kind(), "dot");
+  EXPECT_THROW(toolkit::script::Evaluate("[view createWormhole]", env),
+               toolkit::script::ScriptError);
+}
+
+TEST(GdpScriptingTest, ShapeSetEndpointSemantics) {
+  Document doc;
+  DocumentScriptHost host(&doc);
+  toolkit::script::Environment env;
+  env.variables = [&host](const std::string& name) -> std::optional<toolkit::script::Value> {
+    if (name == "view") {
+      return toolkit::script::Value(host.view());
+    }
+    return std::nullopt;
+  };
+  toolkit::script::Evaluate("[[[view createLine] setEndpoint:0 x:10 y:20] "
+                            "setEndpoint:1 x:50 y:60]",
+                            env);
+  auto* line = dynamic_cast<LineShape*>(doc.AllShapes()[0]);
+  ASSERT_NE(line, nullptr);
+  EXPECT_DOUBLE_EQ(line->x0(), 10.0);
+  EXPECT_DOUBLE_EQ(line->y1(), 60.0);
+}
+
+TEST(GdpScriptingTest, PaperRectangleListingThroughThePipeline) {
+  // The exact semantics from Section 3.2, interpreted, driving the live app:
+  //   recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+  //   manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+  //   done  = nil;
+  static GdpApp* app = new GdpApp();
+  static DocumentScriptHost* host = new DocumentScriptHost(&app->document());
+
+  toolkit::GestureSemantics scripted = toolkit::CompileScriptSemantics(
+      "[[view createRect] setEndpoint:0 x:<startX> y:<startY>]",
+      "[recog setEndpoint:1 x:<currentX> y:<currentY>]", "nil", host->Resolver());
+  app->gesture_handler().semantics().Set("rectangle", std::move(scripted));
+
+  ASSERT_EQ(PlayGestureWithDrag(*app, "rectangle", 60, 200, 180, 120), "rectangle");
+  ASSERT_EQ(app->document().size(), 1u);
+  auto* rect = dynamic_cast<RectShape*>(app->document().AllShapes()[0]);
+  ASSERT_NE(rect, nullptr);
+  const geom::BoundingBox b = rect->Bounds();
+  // Corner 1 pinned at the gesture start, corner 2 rubberbanded by manip.
+  EXPECT_NEAR(b.min_x, 60.0, 2.0);
+  EXPECT_NEAR(b.max_y, 200.0, 2.0);
+  EXPECT_NEAR(b.max_x, 180.0, 2.0);
+  EXPECT_NEAR(b.min_y, 120.0, 2.0);
+}
+
+TEST(GdpScriptingTest, EllipseEndpointsMapToCenterAndRadiusPoint) {
+  Document doc;
+  DocumentScriptHost host(&doc);
+  toolkit::script::Environment env;
+  env.variables = [&host](const std::string& name) -> std::optional<toolkit::script::Value> {
+    if (name == "view") {
+      return toolkit::script::Value(host.view());
+    }
+    return std::nullopt;
+  };
+  toolkit::script::Evaluate("[[[view createEllipse] setEndpoint:0 x:100 y:100] "
+                            "setEndpoint:1 x:130 y:115]",
+                            env);
+  auto* ellipse = dynamic_cast<EllipseShape*>(doc.AllShapes()[0]);
+  ASSERT_NE(ellipse, nullptr);
+  EXPECT_DOUBLE_EQ(ellipse->cx(), 100.0);
+  EXPECT_DOUBLE_EQ(ellipse->cy(), 100.0);
+  EXPECT_DOUBLE_EQ(ellipse->rx(), 30.0);
+  EXPECT_DOUBLE_EQ(ellipse->ry(), 15.0);
+}
+
+TEST(GdpScriptingTest, MoveToCentersShape) {
+  Document doc;
+  DocumentScriptHost host(&doc);
+  toolkit::script::Environment env;
+  env.variables = [&host](const std::string& name) -> std::optional<toolkit::script::Value> {
+    if (name == "view") {
+      return toolkit::script::Value(host.view());
+    }
+    return std::nullopt;
+  };
+  toolkit::script::Evaluate("[[view createDot:0 y:0] moveTo:40 y:50]", env);
+  auto* dot = dynamic_cast<DotShape*>(doc.AllShapes()[0]);
+  ASSERT_NE(dot, nullptr);
+  EXPECT_DOUBLE_EQ(dot->x(), 40.0);
+  EXPECT_DOUBLE_EQ(dot->y(), 50.0);
+}
+
+}  // namespace
+}  // namespace grandma::gdp

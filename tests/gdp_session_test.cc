@@ -1,0 +1,44 @@
+#include "gdp/session.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/sets.h"
+
+namespace grandma::gdp {
+namespace {
+
+TEST(SessionTest, MakeStrokeAtPlacesStartExactly) {
+  const auto specs = synth::MakeGdpSpecs();
+  for (const auto& spec : specs) {
+    const geom::Gesture stroke = MakeStrokeAt(spec, 123.0, 45.0, /*seed=*/9);
+    if (stroke.empty()) {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(stroke.front().x, 123.0) << spec.class_name;
+    EXPECT_DOUBLE_EQ(stroke.front().y, 45.0) << spec.class_name;
+    EXPECT_DOUBLE_EQ(stroke.front().t, 0.0) << spec.class_name;
+  }
+}
+
+TEST(SessionTest, MakeStrokeAtDeterministicInSeed) {
+  const auto specs = synth::MakeGdpSpecs();
+  const geom::Gesture a = MakeStrokeAt(specs[0], 10, 10, 7);
+  const geom::Gesture b = MakeStrokeAt(specs[0], 10, 10, 7);
+  const geom::Gesture c = MakeStrokeAt(specs[0], 10, 10, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SessionTest, PlayGestureUnknownClassThrows) {
+  static GdpApp* app = new GdpApp();
+  EXPECT_THROW(PlayGesture(*app, "no-such-gesture", 50, 50), std::invalid_argument);
+}
+
+TEST(SessionTest, PlayGestureReturnsRecognizedClass) {
+  static GdpApp* app = new GdpApp();
+  const std::string recognized = PlayGesture(*app, "line", 40, 120, /*hold_ms=*/300.0);
+  EXPECT_EQ(recognized, "line");
+}
+
+}  // namespace
+}  // namespace grandma::gdp

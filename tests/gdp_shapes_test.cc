@@ -1,0 +1,182 @@
+#include "gdp/shapes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gdp/canvas.h"
+
+namespace grandma::gdp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(LineShapeTest, BoundsAndHit) {
+  LineShape line(0, 0, 30, 40);
+  const geom::BoundingBox b = line.Bounds();
+  EXPECT_DOUBLE_EQ(b.max_x, 30.0);
+  EXPECT_DOUBLE_EQ(b.max_y, 40.0);
+  EXPECT_TRUE(line.HitTest(15, 20, 1.0));   // midpoint
+  EXPECT_TRUE(line.HitTest(16, 20, 2.0));   // near
+  EXPECT_FALSE(line.HitTest(30, 0, 2.0));   // off the segment
+}
+
+TEST(LineShapeTest, EndpointsAndTranslate) {
+  LineShape line(0, 0, 10, 0);
+  line.SetEndpoint(1, 20, 5);
+  EXPECT_DOUBLE_EQ(line.x1(), 20.0);
+  line.Translate(1, 2);
+  EXPECT_DOUBLE_EQ(line.x0(), 1.0);
+  EXPECT_DOUBLE_EQ(line.y1(), 7.0);
+  ASSERT_EQ(line.ControlPoints().size(), 2u);
+}
+
+TEST(LineShapeTest, RotateScale) {
+  LineShape line(0, 0, 10, 0);
+  line.RotateScaleAbout(0, 0, kPi / 2.0, 2.0);
+  EXPECT_NEAR(line.x1(), 0.0, 1e-9);
+  EXPECT_NEAR(line.y1(), 20.0, 1e-9);
+  EXPECT_NEAR(line.x0(), 0.0, 1e-9);
+}
+
+TEST(LineShapeTest, CloneIsIndependent) {
+  LineShape line(0, 0, 10, 0);
+  auto copy = line.Clone();
+  line.Translate(100, 0);
+  EXPECT_DOUBLE_EQ(static_cast<LineShape*>(copy.get())->x0(), 0.0);
+  EXPECT_EQ(copy->Kind(), "line");
+}
+
+TEST(RectShapeTest, CornersDefineGeometry) {
+  RectShape rect(10, 20, 50, 60);
+  EXPECT_DOUBLE_EQ(rect.cx(), 30.0);
+  EXPECT_DOUBLE_EQ(rect.cy(), 40.0);
+  EXPECT_DOUBLE_EQ(rect.width(), 40.0);
+  EXPECT_DOUBLE_EQ(rect.height(), 40.0);
+  const auto corners = rect.Corners();
+  ASSERT_EQ(corners.size(), 4u);
+}
+
+TEST(RectShapeTest, HitTestOnOutlineOnly) {
+  RectShape rect(0, 0, 40, 40);
+  EXPECT_TRUE(rect.HitTest(0, 20, 1.0));    // left edge
+  EXPECT_TRUE(rect.HitTest(20, 40, 1.0));   // top edge
+  EXPECT_FALSE(rect.HitTest(20, 20, 1.0));  // interior: GDP hits outlines
+}
+
+TEST(RectShapeTest, SetCornersRubberbands) {
+  RectShape rect(0, 0, 10, 10);
+  rect.SetCorners(0, 0, 80, 30);
+  EXPECT_DOUBLE_EQ(rect.width(), 80.0);
+  EXPECT_DOUBLE_EQ(rect.height(), 30.0);
+  EXPECT_DOUBLE_EQ(rect.cx(), 40.0);
+}
+
+TEST(RectShapeTest, RotateScaleChangesAngleAndSize) {
+  RectShape rect(0, 0, 40, 20);
+  rect.RotateScaleAbout(rect.cx(), rect.cy(), kPi / 4.0, 2.0);
+  EXPECT_NEAR(rect.angle(), kPi / 4.0, 1e-9);
+  EXPECT_NEAR(rect.width(), 80.0, 1e-9);
+  // Center fixed when rotating about itself.
+  EXPECT_NEAR(rect.cx(), 20.0, 1e-9);
+  EXPECT_NEAR(rect.cy(), 10.0, 1e-9);
+}
+
+TEST(EllipseShapeTest, HitTestsOutline) {
+  EllipseShape e(0, 0, 20, 10);
+  EXPECT_TRUE(e.HitTest(20, 0, 1.0));
+  EXPECT_TRUE(e.HitTest(0, 10, 1.0));
+  EXPECT_FALSE(e.HitTest(0, 0, 1.0));  // center: not on the outline
+  EXPECT_FALSE(e.HitTest(40, 0, 1.0));
+}
+
+TEST(EllipseShapeTest, BoundsOfRotatedEllipse) {
+  EllipseShape e(0, 0, 20, 10, kPi / 2.0);
+  const geom::BoundingBox b = e.Bounds();
+  EXPECT_NEAR(b.max_x, 10.0, 1e-9);
+  EXPECT_NEAR(b.max_y, 20.0, 1e-9);
+}
+
+TEST(EllipseShapeTest, SetRadiiAndRotateScale) {
+  EllipseShape e(5, 5, 10, 10);
+  e.SetRadii(15, 8);
+  EXPECT_DOUBLE_EQ(e.rx(), 15.0);
+  e.RotateScaleAbout(5, 5, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(e.rx(), 30.0);
+  EXPECT_DOUBLE_EQ(e.cx(), 5.0);
+}
+
+TEST(TextShapeTest, BoundsTrackTextLength) {
+  TextShape t(10, 50, "hello");
+  const geom::BoundingBox b = t.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 10.0);
+  EXPECT_DOUBLE_EQ(b.max_x, 10.0 + 30.0);
+  EXPECT_TRUE(t.HitTest(20, 45, 1.0));
+  t.MoveTo(100, 100);
+  EXPECT_DOUBLE_EQ(t.x(), 100.0);
+  t.set_text("hi");
+  EXPECT_EQ(t.text(), "hi");
+}
+
+TEST(DotShapeTest, HitNearPosition) {
+  DotShape d(5, 5);
+  EXPECT_TRUE(d.HitTest(6, 5, 1.0));
+  EXPECT_FALSE(d.HitTest(10, 10, 1.0));
+  d.Translate(10, 0);
+  EXPECT_DOUBLE_EQ(d.x(), 15.0);
+}
+
+TEST(GroupShapeTest, AggregatesMembers) {
+  GroupShape group;
+  group.AddMember(std::make_unique<LineShape>(0, 0, 10, 0));
+  group.AddMember(std::make_unique<DotShape>(50, 50));
+  EXPECT_EQ(group.size(), 2u);
+  const geom::BoundingBox b = group.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 0.0);
+  EXPECT_GE(b.max_x, 50.0);
+  EXPECT_TRUE(group.HitTest(5, 0, 1.0));
+  EXPECT_TRUE(group.HitTest(50, 50, 1.0));
+  EXPECT_FALSE(group.HitTest(30, 30, 1.0));
+}
+
+TEST(GroupShapeTest, DeepCloneAndTransform) {
+  GroupShape group;
+  group.AddMember(std::make_unique<LineShape>(0, 0, 10, 0));
+  auto copy = group.Clone();
+  group.Translate(100, 100);
+  // The clone kept the original geometry.
+  EXPECT_TRUE(copy->HitTest(5, 0, 1.0));
+  EXPECT_FALSE(copy->HitTest(105, 100, 1.0));
+  group.RotateScaleAbout(100, 100, 0.0, 2.0);
+  EXPECT_TRUE(group.HitTest(110, 100, 1.0));
+}
+
+TEST(ShapeTest, DefaultControlPointsAreBboxCorners) {
+  EllipseShape e(0, 0, 10, 5);
+  // EllipseShape overrides; use TextShape for the default.
+  TextShape t(0, 10, "ab");
+  const auto points = t.ControlPoints();
+  EXPECT_EQ(points.size(), 4u);
+}
+
+TEST(ShapeTest, DescribeMentionsKindAndId) {
+  DotShape d(1, 2);
+  d.set_id(7);
+  const std::string s = d.Describe();
+  EXPECT_NE(s.find("dot"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+}
+
+TEST(CanvasRenderTest, ShapesInkTheCanvas) {
+  Canvas canvas(100, 100, 50, 25);
+  LineShape(10, 10, 90, 90).Render(canvas);
+  EXPECT_GT(canvas.InkedCellCount(), 10u);
+  canvas.Clear();
+  EXPECT_EQ(canvas.InkedCellCount(), 0u);
+  EllipseShape(50, 50, 30, 20).Render(canvas);
+  EXPECT_GT(canvas.InkedCellCount(), 10u);
+}
+
+}  // namespace
+}  // namespace grandma::gdp

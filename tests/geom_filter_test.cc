@@ -1,0 +1,57 @@
+#include "geom/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace grandma::geom {
+namespace {
+
+TEST(MinDistanceFilterTest, FirstPointAlwaysAccepted) {
+  MinDistanceFilter f(3.0);
+  EXPECT_TRUE(f.Accept({0, 0, 0}));
+  EXPECT_EQ(f.accepted_count(), 1u);
+}
+
+TEST(MinDistanceFilterTest, RejectsClosePoints) {
+  MinDistanceFilter f(3.0);
+  f.Accept({0, 0, 0});
+  EXPECT_FALSE(f.Accept({1, 1, 10}));  // distance ~1.41 < 3
+  EXPECT_TRUE(f.Accept({3, 0, 20}));   // exactly 3: accepted (>= min)
+  EXPECT_EQ(f.rejected_count(), 1u);
+  EXPECT_EQ(f.accepted_count(), 2u);
+}
+
+TEST(MinDistanceFilterTest, DistanceMeasuredFromLastAccepted) {
+  MinDistanceFilter f(3.0);
+  f.Accept({0, 0, 0});
+  // Creep in sub-threshold steps: all rejected because the anchor never moves.
+  EXPECT_FALSE(f.Accept({2, 0, 1}));
+  EXPECT_FALSE(f.Accept({2.5, 0, 2}));
+  EXPECT_TRUE(f.Accept({3.5, 0, 3}));
+}
+
+TEST(MinDistanceFilterTest, ResetForgets) {
+  MinDistanceFilter f(3.0);
+  f.Accept({0, 0, 0});
+  f.Reset();
+  EXPECT_TRUE(f.Accept({0.1, 0, 1}));  // first point again
+  EXPECT_EQ(f.accepted_count(), 1u);
+}
+
+TEST(FilterMinDistanceTest, BatchThinning) {
+  const Gesture g({{0, 0, 0}, {1, 0, 1}, {4, 0, 2}, {4.5, 0, 3}, {10, 0, 4}});
+  const Gesture out = FilterMinDistance(g, 3.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].x, 4.0);
+  EXPECT_DOUBLE_EQ(out[2].x, 10.0);
+}
+
+TEST(FilterMonotonicTimeTest, DropsNonIncreasingStamps) {
+  const Gesture g({{0, 0, 0}, {1, 0, 5}, {2, 0, 5}, {3, 0, 4}, {4, 0, 6}});
+  const Gesture out = FilterMonotonicTime(g);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[2].t, 6.0);
+}
+
+}  // namespace
+}  // namespace grandma::geom

@@ -1,0 +1,99 @@
+#include "geom/gesture.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grandma::geom {
+namespace {
+
+Gesture MakeL() {
+  // Right 30, then up 40 (3-4-5 triangle overall).
+  return Gesture({{0, 0, 0}, {30, 0, 100}, {30, 40, 200}});
+}
+
+TEST(GestureTest, SizeAndAccess) {
+  const Gesture g = MakeL();
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.front().x, 0.0);
+  EXPECT_EQ(g.back().y, 40.0);
+  EXPECT_EQ(g[1].x, 30.0);
+}
+
+TEST(GestureTest, SubgesturePrefix) {
+  const Gesture g = MakeL();
+  const Gesture sub = g.Subgesture(2);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.back().x, 30.0);
+  EXPECT_EQ(g.Subgesture(0).size(), 0u);
+  EXPECT_EQ(g.Subgesture(3), g);
+  EXPECT_THROW(g.Subgesture(4), std::out_of_range);
+}
+
+TEST(GestureTest, PathLengthAndDuration) {
+  const Gesture g = MakeL();
+  EXPECT_DOUBLE_EQ(g.PathLength(), 70.0);
+  EXPECT_DOUBLE_EQ(g.Duration(), 200.0);
+  EXPECT_DOUBLE_EQ(Gesture().PathLength(), 0.0);
+  EXPECT_DOUBLE_EQ(Gesture({{1, 1, 5}}).Duration(), 0.0);
+}
+
+TEST(GestureTest, Bounds) {
+  const Gesture g = MakeL();
+  const BoundingBox b = g.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(b.max_x, 30.0);
+  EXPECT_DOUBLE_EQ(b.max_y, 40.0);
+  EXPECT_DOUBLE_EQ(b.DiagonalLength(), 50.0);
+  EXPECT_TRUE(b.Contains(15, 20));
+  EXPECT_FALSE(b.Contains(31, 20));
+}
+
+TEST(GestureTest, PassesNearPointsAndSegments) {
+  const Gesture g = MakeL();
+  EXPECT_TRUE(g.PassesNear(30, 0, 1.0));    // at a sample
+  EXPECT_TRUE(g.PassesNear(15, 0.5, 1.0));  // mid-segment, between samples
+  EXPECT_TRUE(g.PassesNear(30, 20, 2.0));   // on the vertical segment
+  EXPECT_FALSE(g.PassesNear(0, 40, 5.0));   // opposite corner
+}
+
+TEST(GestureTest, EnclosesPointWithClosedStroke) {
+  // A square lasso.
+  const Gesture square({{0, 0, 0}, {100, 0, 1}, {100, 100, 2}, {0, 100, 3}});
+  EXPECT_TRUE(EnclosesPoint(square, 50, 50));
+  EXPECT_FALSE(EnclosesPoint(square, 150, 50));
+  EXPECT_FALSE(EnclosesPoint(square, -1, 50));
+}
+
+TEST(GestureTest, EnclosesNeedsThreePoints) {
+  const Gesture line({{0, 0, 0}, {10, 0, 1}});
+  EXPECT_FALSE(EnclosesPoint(line, 5, 0));
+}
+
+TEST(GestureTest, Centroid) {
+  const Gesture g({{0, 0, 0}, {10, 20, 2}});
+  const TimedPoint c = Centroid(g);
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 10.0);
+  EXPECT_DOUBLE_EQ(c.t, 1.0);
+  EXPECT_DOUBLE_EQ(Centroid(Gesture()).x, 0.0);
+}
+
+TEST(GestureTest, AppendAndClear) {
+  Gesture g;
+  g.AppendPoint({1, 2, 3});
+  EXPECT_EQ(g.size(), 1u);
+  g.Clear();
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(PointTest, Distances) {
+  const TimedPoint a{0, 0, 0};
+  const TimedPoint b{3, 4, 9};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+}  // namespace
+}  // namespace grandma::geom

@@ -1,0 +1,83 @@
+#include "geom/resample.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace grandma::geom {
+namespace {
+
+TEST(ResampleByCountTest, ProducesExactlyNPoints) {
+  const Gesture g({{0, 0, 0}, {100, 0, 1000}});
+  for (std::size_t n : {2u, 3u, 7u, 50u}) {
+    const Gesture out = ResampleByCount(g, n);
+    EXPECT_EQ(out.size(), n);
+    EXPECT_DOUBLE_EQ(out.front().x, 0.0);
+    EXPECT_DOUBLE_EQ(out.back().x, 100.0);
+  }
+}
+
+TEST(ResampleByCountTest, EvenSpacingOnStraightLine) {
+  const Gesture g({{0, 0, 0}, {90, 0, 900}});
+  const Gesture out = ResampleByCount(g, 4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[1].x, 30.0, 1e-9);
+  EXPECT_NEAR(out[2].x, 60.0, 1e-9);
+  // Time interpolates linearly with arc length here.
+  EXPECT_NEAR(out[1].t, 300.0, 1e-9);
+}
+
+TEST(ResampleByCountTest, HandlesMultiSegmentPath) {
+  const Gesture g({{0, 0, 0}, {30, 0, 300}, {30, 30, 600}});
+  const Gesture out = ResampleByCount(g, 7);
+  ASSERT_EQ(out.size(), 7u);
+  // Total length 60; samples every 10 units along the L.
+  EXPECT_NEAR(out[3].x, 30.0, 1e-9);
+  EXPECT_NEAR(out[3].y, 0.0, 1e-9);
+  EXPECT_NEAR(out[5].y, 20.0, 1e-9);
+}
+
+TEST(ResampleByCountTest, DegenerateAllCoincident) {
+  const Gesture g({{5, 5, 0}, {5, 5, 100}});
+  const Gesture out = ResampleByCount(g, 5);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_DOUBLE_EQ(out[2].x, 5.0);
+}
+
+TEST(ResampleByCountTest, RejectsBadArguments) {
+  const Gesture g({{0, 0, 0}, {1, 0, 1}});
+  EXPECT_THROW(ResampleByCount(g, 1), std::invalid_argument);
+  EXPECT_THROW(ResampleByCount(Gesture({{0, 0, 0}}), 3), std::invalid_argument);
+}
+
+TEST(ResampleBySpacingTest, SpacingControlsCount) {
+  const Gesture g({{0, 0, 0}, {100, 0, 1000}});
+  const Gesture out = ResampleBySpacing(g, 10.0);
+  EXPECT_EQ(out.size(), 11u);
+  EXPECT_THROW(ResampleBySpacing(g, 0.0), std::invalid_argument);
+}
+
+TEST(ResampleByTimeTest, UniformTimeGrid) {
+  const Gesture g({{0, 0, 0}, {100, 0, 100}});
+  const Gesture out = ResampleByTime(g, 25.0);
+  // Samples at t = 0, 25, 50, 75, plus the final point.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(out[1].x, 25.0, 1e-9);
+  EXPECT_NEAR(out[2].t, 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.back().t, 100.0);
+}
+
+TEST(ResampleByTimeTest, ToleratesFlatTimeSegments) {
+  // A zero-duration segment (duplicate timestamp) must not produce NaN; the
+  // interpolation targets always land in segments of positive duration.
+  const Gesture g({{0, 0, 0}, {10, 0, 50}, {20, 0, 50}, {30, 0, 100}});
+  const Gesture out = ResampleByTime(g, 25.0);
+  for (const TimedPoint& p : out) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.t));
+  }
+  EXPECT_DOUBLE_EQ(out.back().t, 100.0);
+}
+
+}  // namespace
+}  // namespace grandma::geom

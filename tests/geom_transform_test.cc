@@ -1,0 +1,89 @@
+#include "geom/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace grandma::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(TransformTest, IdentityByDefault) {
+  const AffineTransform t;
+  const TimedPoint p = t.Apply({3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, 4.0);
+  EXPECT_DOUBLE_EQ(p.t, 5.0);
+}
+
+TEST(TransformTest, Translation) {
+  const auto t = AffineTransform::Translation(10.0, -5.0);
+  const TimedPoint p = t.Apply({1.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.x, 11.0);
+  EXPECT_DOUBLE_EQ(p.y, -3.0);
+}
+
+TEST(TransformTest, RotationAboutOrigin) {
+  const auto t = AffineTransform::Rotation(kPi / 2.0);
+  const TimedPoint p = t.Apply({1.0, 0.0, 0.0});
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(TransformTest, RotationAboutCenterFixesCenter) {
+  const auto t = AffineTransform::Rotation(1.234, 5.0, 7.0);
+  const TimedPoint c = t.Apply({5.0, 7.0, 0.0});
+  EXPECT_NEAR(c.x, 5.0, 1e-12);
+  EXPECT_NEAR(c.y, 7.0, 1e-12);
+}
+
+TEST(TransformTest, ScaleAboutCenter) {
+  const auto t = AffineTransform::Scale(2.0, 10.0, 10.0);
+  const TimedPoint p = t.Apply({11.0, 12.0, 0.0});
+  EXPECT_NEAR(p.x, 12.0, 1e-12);
+  EXPECT_NEAR(p.y, 14.0, 1e-12);
+}
+
+TEST(TransformTest, NonUniformScale) {
+  const auto t = AffineTransform::Scale(2.0, 3.0, 0.0, 0.0);
+  const TimedPoint p = t.Apply({1.0, 1.0, 0.0});
+  EXPECT_NEAR(p.x, 2.0, 1e-12);
+  EXPECT_NEAR(p.y, 3.0, 1e-12);
+}
+
+TEST(TransformTest, ComposeAppliesFirstThenSecond) {
+  const auto rotate = AffineTransform::Rotation(kPi / 2.0);
+  const auto translate = AffineTransform::Translation(10.0, 0.0);
+  // translate after rotate.
+  const auto combined = translate.Compose(rotate);
+  const TimedPoint p = combined.Apply({1.0, 0.0, 0.0});
+  EXPECT_NEAR(p.x, 10.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+}
+
+TEST(TransformTest, GestureTransformPreservesTime) {
+  const Gesture g({{0, 0, 0}, {1, 0, 50}});
+  const Gesture out = AffineTransform::Translation(5, 5).Apply(g);
+  EXPECT_DOUBLE_EQ(out[1].t, 50.0);
+  EXPECT_DOUBLE_EQ(out[1].x, 6.0);
+}
+
+TEST(TransformTest, RebaseTime) {
+  const Gesture g({{0, 0, 100}, {1, 0, 150}});
+  const Gesture out = RebaseTime(g, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].t, 50.0);
+  EXPECT_TRUE(RebaseTime(Gesture(), 0.0).empty());
+}
+
+TEST(TransformTest, ScaleTempo) {
+  const Gesture g({{0, 0, 0}, {1, 0, 100}});
+  const Gesture slower = ScaleTempo(g, 2.0);
+  EXPECT_DOUBLE_EQ(slower[1].t, 200.0);
+  EXPECT_DOUBLE_EQ(slower[1].x, 1.0);  // geometry untouched
+}
+
+}  // namespace
+}  // namespace grandma::geom

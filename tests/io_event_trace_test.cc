@@ -1,0 +1,119 @@
+#include "io/event_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gdp/app.h"
+#include "gdp/session.h"
+
+namespace grandma::io {
+namespace {
+
+EventTrace MakeTrace() {
+  return EventTrace{
+      toolkit::InputEvent::MouseDown(10, 20, 0),
+      toolkit::InputEvent::MouseMove(15, 25, 16),
+      toolkit::InputEvent::MouseMove(20.5, 30.25, 33),
+      toolkit::InputEvent::MouseUp(20.5, 30.25, 50),
+  };
+}
+
+TEST(EventTraceIoTest, RoundTrip) {
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const auto loaded = LoadEventTrace(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].type, original[i].type);
+    EXPECT_DOUBLE_EQ((*loaded)[i].x, original[i].x);
+    EXPECT_DOUBLE_EQ((*loaded)[i].y, original[i].y);
+    EXPECT_DOUBLE_EQ((*loaded)[i].time_ms, original[i].time_ms);
+    EXPECT_EQ((*loaded)[i].button, original[i].button);
+  }
+}
+
+TEST(EventTraceIoTest, RejectsBadInput) {
+  std::stringstream bad1("not-a-trace v1\nevents 0\n");
+  EXPECT_FALSE(LoadEventTrace(bad1).has_value());
+  std::stringstream bad2("grandma-eventtrace v1\nevents 2\ndown 1 2 3 0\n");
+  EXPECT_FALSE(LoadEventTrace(bad2).has_value());  // truncated
+  std::stringstream bad3("grandma-eventtrace v1\nevents 1\nwiggle 1 2 3 0\n");
+  EXPECT_FALSE(LoadEventTrace(bad3).has_value());  // unknown kind
+}
+
+TEST(EventTraceIoTest, FileRoundTrip) {
+  const std::string path = "/tmp/grandma_trace_test.trace";
+  ASSERT_TRUE(SaveEventTraceFile(MakeTrace(), path));
+  const auto loaded = LoadEventTraceFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 4u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadEventTraceFile(path).has_value());
+}
+
+TEST(EventTraceIoTest, RecorderCapturesDispatchedEvents) {
+  toolkit::ViewClass cls("V");
+  toolkit::View root(&cls, "root");
+  root.SetBounds({0, 0, 100, 100});
+  toolkit::VirtualClock clock;
+  toolkit::Dispatcher dispatcher(&root, &clock);
+  EventRecorder recorder(&dispatcher);
+  for (const toolkit::InputEvent& e : MakeTrace()) {
+    recorder.Dispatch(e);
+  }
+  EXPECT_EQ(recorder.trace().size(), 4u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.trace().empty());
+}
+
+TEST(EventTraceIoTest, RecordedGdpSessionReplaysToSameDocument) {
+  // Record a rectangle interaction in one app; replay the trace in a second
+  // app; both documents end up with the same rectangle.
+  static gdp::GdpApp* app_a = new gdp::GdpApp();
+  static gdp::GdpApp* app_b = new gdp::GdpApp();
+  for (gdp::Shape* s : app_a->document().AllShapes()) {
+    app_a->document().Remove(s);
+  }
+  for (gdp::Shape* s : app_b->document().AllShapes()) {
+    app_b->document().Remove(s);
+  }
+
+  // Record by feeding the stroke through a recorder into app A.
+  const auto specs = synth::MakeGdpSpecs();
+  geom::Gesture stroke;
+  for (const auto& spec : specs) {
+    if (spec.class_name == "rectangle") {
+      stroke = gdp::MakeStrokeAt(spec, 60, 200, /*seed=*/4);
+    }
+  }
+  EventRecorder recorder(&app_a->dispatcher());
+  const double t0 = app_a->dispatcher().clock().now_ms();
+  recorder.Dispatch(toolkit::InputEvent::MouseDown(stroke.front().x, stroke.front().y, t0));
+  for (std::size_t i = 1; i < stroke.size(); ++i) {
+    recorder.Dispatch(
+        toolkit::InputEvent::MouseMove(stroke[i].x, stroke[i].y, t0 + stroke[i].t));
+  }
+  recorder.Dispatch(
+      toolkit::InputEvent::MouseUp(stroke.back().x, stroke.back().y, t0 + stroke.back().t + 5));
+  ASSERT_EQ(app_a->document().size(), 1u);
+
+  // Round-trip the trace through text, then replay into app B.
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(recorder.trace(), buffer));
+  const auto trace = LoadEventTrace(buffer);
+  ASSERT_TRUE(trace.has_value());
+  ReplayTrace(*trace, app_b->driver());
+
+  ASSERT_EQ(app_b->document().size(), 1u);
+  const geom::BoundingBox a = app_a->document().AllShapes()[0]->Bounds();
+  const geom::BoundingBox b = app_b->document().AllShapes()[0]->Bounds();
+  EXPECT_NEAR(a.min_x, b.min_x, 1e-9);
+  EXPECT_NEAR(a.max_y, b.max_y, 1e-9);
+  EXPECT_NEAR(a.max_x, b.max_x, 1e-9);
+}
+
+}  // namespace
+}  // namespace grandma::io

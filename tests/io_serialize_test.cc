@@ -1,0 +1,138 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eager/evaluation.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::io {
+namespace {
+
+classify::GestureTrainingSet MakeTrainingSet() {
+  synth::NoiseModel noise;
+  return synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 8, 42));
+}
+
+TEST(GestureSetIoTest, RoundTripPreservesEverything) {
+  const classify::GestureTrainingSet original = MakeTrainingSet();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGestureSet(original, buffer));
+  const auto loaded = LoadGestureSet(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->num_classes(), original.num_classes());
+  EXPECT_EQ(loaded->total_examples(), original.total_examples());
+  for (classify::ClassId c = 0; c < original.num_classes(); ++c) {
+    EXPECT_EQ(loaded->ClassName(c), original.ClassName(c));
+    ASSERT_EQ(loaded->ExamplesOf(c).size(), original.ExamplesOf(c).size());
+    for (std::size_t e = 0; e < original.ExamplesOf(c).size(); ++e) {
+      EXPECT_EQ(loaded->ExamplesOf(c)[e], original.ExamplesOf(c)[e]);
+    }
+  }
+}
+
+TEST(GestureSetIoTest, RejectsWrongHeader) {
+  std::stringstream buffer("some-other-format v9\n");
+  EXPECT_FALSE(LoadGestureSet(buffer).has_value());
+}
+
+TEST(GestureSetIoTest, RejectsTruncated) {
+  const classify::GestureTrainingSet original = MakeTrainingSet();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGestureSet(original, buffer));
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_FALSE(LoadGestureSet(truncated).has_value());
+}
+
+TEST(GestureSetIoTest, RejectsClassNameWithSpaces) {
+  classify::GestureTrainingSet set;
+  set.Add("bad name", geom::Gesture({{0, 0, 0}, {1, 1, 1}}));
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveGestureSet(set, buffer));
+}
+
+TEST(ClassifierIoTest, RoundTripClassifiesIdentically) {
+  const classify::GestureTrainingSet training = MakeTrainingSet();
+  classify::GestureClassifier classifier;
+  classifier.Train(training);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClassifier(classifier, buffer));
+  const auto loaded = LoadClassifier(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_classes(), classifier.num_classes());
+  EXPECT_EQ(loaded->ClassName(0), classifier.ClassName(0));
+
+  synth::NoiseModel noise;
+  const auto test = synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 5, 7);
+  for (const auto& batch : test) {
+    for (const auto& sample : batch.samples) {
+      const auto a = classifier.Classify(sample.gesture);
+      const auto b = loaded->Classify(sample.gesture);
+      EXPECT_EQ(a.class_id, b.class_id);
+      EXPECT_NEAR(a.score, b.score, 1e-9);
+      EXPECT_NEAR(a.probability, b.probability, 1e-9);
+    }
+  }
+}
+
+TEST(ClassifierIoTest, UntrainedSaveFails) {
+  classify::GestureClassifier untrained;
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveClassifier(untrained, buffer));
+}
+
+TEST(EagerIoTest, RoundTripFiresIdentically) {
+  const classify::GestureTrainingSet training = MakeTrainingSet();
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEagerRecognizer(recognizer, buffer));
+  const auto loaded = LoadEagerRecognizer(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->min_prefix_points(), recognizer.min_prefix_points());
+
+  synth::NoiseModel noise;
+  const auto test = synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 10, 9);
+  const auto eval_a = eager::EvaluateEager(recognizer, test);
+  const auto eval_b = eager::EvaluateEager(*loaded, test);
+  ASSERT_EQ(eval_a.outcomes.size(), eval_b.outcomes.size());
+  for (std::size_t i = 0; i < eval_a.outcomes.size(); ++i) {
+    EXPECT_EQ(eval_a.outcomes[i].points_seen, eval_b.outcomes[i].points_seen);
+    EXPECT_EQ(eval_a.outcomes[i].eager_class, eval_b.outcomes[i].eager_class);
+  }
+}
+
+TEST(EagerIoTest, RejectsGarbageAucMode) {
+  const classify::GestureTrainingSet training = MakeTrainingSet();
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEagerRecognizer(recognizer, buffer));
+  std::string text = buffer.str();
+  const auto pos = text.find("auc_mode normal");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 15, "auc_mode bogus!");
+  std::stringstream bad(text);
+  EXPECT_FALSE(LoadEagerRecognizer(bad).has_value());
+}
+
+TEST(FileIoTest, FileRoundTripAndMissingFile) {
+  const classify::GestureTrainingSet original = MakeTrainingSet();
+  const std::string path = "/tmp/grandma_io_test.gestureset";
+  ASSERT_TRUE(SaveGestureSetFile(original, path));
+  const auto loaded = LoadGestureSetFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->total_examples(), original.total_examples());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGestureSetFile(path).has_value());
+  EXPECT_FALSE(SaveGestureSetFile(original, "/nonexistent-dir/x"));
+}
+
+}  // namespace
+}  // namespace grandma::io

@@ -1,0 +1,59 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace grandma::linalg {
+namespace {
+
+TEST(CholeskyTest, FactorsSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.ok());
+  // Reconstruct A = L L^T.
+  const Matrix l = chol.factor();
+  EXPECT_TRUE(AlmostEqual(Multiply(l, l.Transposed()), a, 1e-12));
+}
+
+TEST(CholeskyTest, SolveMatchesDirect) {
+  const Matrix a{{4.0, 2.0, 0.5}, {2.0, 3.0, 1.0}, {0.5, 1.0, 2.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.ok());
+  const Vector b{1.0, 2.0, 3.0};
+  const Vector x = chol.Solve(b);
+  const Vector back = Multiply(a, x);
+  EXPECT_TRUE(AlmostEqual(back, b, 1e-10));
+}
+
+TEST(CholeskyTest, InverseAndDeterminant) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_TRUE(AlmostEqual(Multiply(a, chol.Inverse()), Matrix::Identity(2), 1e-12));
+  EXPECT_NEAR(chol.Determinant(), 8.0, 1e-12);  // 4*3 - 2*2
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(8.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(IsPositiveDefinite(a));
+  EXPECT_FALSE(SolveSpd(a, Vector{1.0, 1.0}).has_value());
+}
+
+TEST(CholeskyTest, RejectsAsymmetric) {
+  const Matrix a{{1.0, 0.5}, {0.2, 1.0}};
+  EXPECT_FALSE(IsPositiveDefinite(a));
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(IsPositiveDefinite(a));
+}
+
+TEST(CholeskyTest, RequiresSquare) {
+  EXPECT_THROW(CholeskyDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grandma::linalg

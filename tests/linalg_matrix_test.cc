@@ -1,0 +1,84 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace grandma::linalg {
+namespace {
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  const Matrix m = Matrix::Outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 10.0);
+}
+
+TEST(MatrixTest, ArithmeticAndTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_EQ(a + b, (Matrix{{6.0, 8.0}, {10.0, 12.0}}));
+  EXPECT_EQ(b - a, (Matrix{{4.0, 4.0}, {4.0, 4.0}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+  EXPECT_EQ(a.Transposed(), (Matrix{{1.0, 3.0}, {2.0, 4.0}}));
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = Multiply(a, Vector{1.0, 1.0});
+  EXPECT_EQ(y, Vector({3.0, 7.0}));
+  EXPECT_THROW(Multiply(a, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(MatrixTest, MatrixMatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_EQ(Multiply(a, b), (Matrix{{2.0, 1.0}, {4.0, 3.0}}));
+  const Matrix i = Matrix::Identity(2);
+  EXPECT_EQ(Multiply(a, i), a);
+  EXPECT_EQ(Multiply(i, a), a);
+}
+
+TEST(MatrixTest, QuadraticForm) {
+  const Matrix m{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(QuadraticForm(Vector{1.0, 1.0}, m, Vector{1.0, 1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(QuadraticForm(Vector{1.0, 0.0}, m, Vector{0.0, 1.0}), 0.0);
+}
+
+TEST(MatrixTest, SymmetryCheck) {
+  EXPECT_TRUE((Matrix{{1.0, 2.0}, {2.0, 1.0}}).IsSymmetric());
+  EXPECT_FALSE((Matrix{{1.0, 2.0}, {2.1, 1.0}}).IsSymmetric());
+  EXPECT_FALSE(Matrix(2, 3).IsSymmetric());
+}
+
+TEST(MatrixTest, RowColMaxAbs) {
+  const Matrix a{{1.0, -9.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.Row(0), Vector({1.0, -9.0}));
+  EXPECT_EQ(a.Col(1), Vector({-9.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 9.0);
+}
+
+}  // namespace
+}  // namespace grandma::linalg

@@ -1,0 +1,90 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace grandma::linalg {
+namespace {
+
+TEST(LuTest, SolvesKnownSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b{5.0, 10.0};
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  const Vector x = lu.Solve(b);
+  // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{4.0, 7.0, 2.0}, {3.0, 5.0, 1.0}, {8.0, 1.0, 6.0}};
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  const Matrix prod = Multiply(a, lu.Inverse());
+  EXPECT_TRUE(AlmostEqual(prod, Matrix::Identity(3), 1e-10));
+}
+
+TEST(LuTest, Determinant) {
+  const Matrix a{{3.0, 0.0}, {0.0, 5.0}};
+  EXPECT_NEAR(Determinant(a), 15.0, 1e-12);
+  // Swapping rows flips the sign.
+  const Matrix b{{0.0, 5.0}, {3.0, 0.0}};
+  EXPECT_NEAR(Determinant(b), -15.0, 1e-12);
+}
+
+TEST(LuTest, DetectsSingular) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_FALSE(Invert(a).has_value());
+  EXPECT_FALSE(SolveLinearSystem(a, Vector{1.0, 2.0}).has_value());
+  EXPECT_THROW(lu.Solve(Vector{1.0, 2.0}), std::logic_error);
+}
+
+TEST(LuTest, RequiresSquare) { EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument); }
+
+TEST(LuTest, PivotingHandlesZeroDiagonal) {
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.ok());
+  const Vector x = lu.Solve(Vector{3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(CovarianceRepairTest, NoRidgeForInvertible) {
+  const Matrix a{{2.0, 0.1}, {0.1, 1.0}};
+  double ridge = -1.0;
+  auto inv = InvertCovarianceWithRepair(a, 1e-8, 1e6, &ridge);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_DOUBLE_EQ(ridge, 0.0);
+  EXPECT_TRUE(AlmostEqual(Multiply(a, *inv), Matrix::Identity(2), 1e-10));
+}
+
+TEST(CovarianceRepairTest, RepairsSingularCovariance) {
+  // Rank-1 covariance: features perfectly correlated (a constant feature is
+  // the classic trigger in Rubine's trainer).
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  double ridge = 0.0;
+  auto inv = InvertCovarianceWithRepair(a, 1e-8, 1e6, &ridge);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_GT(ridge, 0.0);
+  // The repaired inverse must be finite and symmetric (relative tolerance:
+  // entries are huge when the ridge is tiny).
+  EXPECT_TRUE(std::isfinite((*inv)(0, 0)));
+  EXPECT_NEAR((*inv)(0, 1), (*inv)(1, 0), 1e-6 * std::abs((*inv)(0, 1)));
+}
+
+TEST(CovarianceRepairTest, RepairsZeroMatrix) {
+  const Matrix zero(3, 3);
+  auto inv = InvertCovarianceWithRepair(zero);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE(std::isfinite((*inv)(2, 2)));
+}
+
+}  // namespace
+}  // namespace grandma::linalg

@@ -1,0 +1,83 @@
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace grandma::linalg {
+namespace {
+
+TEST(MeanAccumulatorTest, EmptyMeanIsZero) {
+  MeanAccumulator acc(2);
+  EXPECT_EQ(acc.Mean(), Vector({0.0, 0.0}));
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(MeanAccumulatorTest, ComputesMean) {
+  MeanAccumulator acc(2);
+  acc.Add(Vector{1.0, 10.0});
+  acc.Add(Vector{3.0, 20.0});
+  EXPECT_EQ(acc.Mean(), Vector({2.0, 15.0}));
+}
+
+TEST(MeanAccumulatorTest, DimensionMismatchThrows) {
+  MeanAccumulator acc(2);
+  EXPECT_THROW(acc.Add(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(ScatterAccumulatorTest, MatchesClosedFormCovariance) {
+  // Samples with known covariance structure.
+  ScatterAccumulator acc(2);
+  const double samples[4][2] = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}, {4.0, 8.0}};
+  for (const auto& s : samples) {
+    acc.Add(Vector{s[0], s[1]});
+  }
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_TRUE(AlmostEqual(acc.Mean(), Vector{2.5, 5.0}, 1e-12));
+  const Matrix cov = acc.SampleCovariance();
+  // x variance: sum of (x - 2.5)^2 / 3 = (2.25 + 0.25 + 0.25 + 2.25)/3.
+  EXPECT_NEAR(cov(0, 0), 5.0 / 3.0, 1e-12);
+  // y = 2x exactly: cov(x, y) = 2 var(x), var(y) = 4 var(x).
+  EXPECT_NEAR(cov(0, 1), 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 20.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-12);
+}
+
+TEST(ScatterAccumulatorTest, CovarianceNeedsTwoSamples) {
+  ScatterAccumulator acc(1);
+  acc.Add(Vector{1.0});
+  EXPECT_THROW(acc.SampleCovariance(), std::logic_error);
+}
+
+TEST(PooledCovarianceTest, PoolsAcrossClasses) {
+  // Two classes, each with two samples; pooled dof = 4 - 2 = 2.
+  ScatterAccumulator class_a(1);
+  class_a.Add(Vector{0.0});
+  class_a.Add(Vector{2.0});  // scatter = 2
+  ScatterAccumulator class_b(1);
+  class_b.Add(Vector{10.0});
+  class_b.Add(Vector{14.0});  // scatter = 8
+
+  PooledCovariance pooled(1);
+  pooled.AddClass(class_a);
+  pooled.AddClass(class_b);
+  EXPECT_EQ(pooled.num_classes(), 2u);
+  EXPECT_EQ(pooled.total_examples(), 4u);
+  const Matrix sigma = pooled.Estimate();
+  EXPECT_NEAR(sigma(0, 0), (2.0 + 8.0) / 2.0, 1e-12);
+}
+
+TEST(PooledCovarianceTest, RequiresPositiveDof) {
+  ScatterAccumulator one(1);
+  one.Add(Vector{1.0});
+  PooledCovariance pooled(1);
+  pooled.AddClass(one);
+  EXPECT_THROW(pooled.Estimate(), std::logic_error);
+}
+
+TEST(PooledCovarianceTest, DimensionMismatchThrows) {
+  PooledCovariance pooled(2);
+  ScatterAccumulator acc(3);
+  EXPECT_THROW(pooled.AddClass(acc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grandma::linalg

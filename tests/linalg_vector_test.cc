@@ -1,0 +1,85 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace grandma::linalg {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, SizedConstructionFills) {
+  Vector v(4, 2.5);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(v[i], 2.5);
+  }
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, AdditionAndSubtraction) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{10.0, 20.0, 30.0};
+  const Vector sum = a + b;
+  const Vector diff = b - a;
+  EXPECT_EQ(sum, Vector({11.0, 22.0, 33.0}));
+  EXPECT_EQ(diff, Vector({9.0, 18.0, 27.0}));
+}
+
+TEST(VectorTest, ScalarOps) {
+  const Vector a{1.0, -2.0};
+  EXPECT_EQ(a * 2.0, Vector({2.0, -4.0}));
+  EXPECT_EQ(2.0 * a, Vector({2.0, -4.0}));
+  EXPECT_EQ(a / 2.0, Vector({0.5, -1.0}));
+}
+
+TEST(VectorTest, SizeMismatchThrows) {
+  Vector a{1.0, 2.0};
+  const Vector b{1.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(Dot(a, b), std::invalid_argument);
+  EXPECT_THROW(MaxAbsDifference(a, b), std::invalid_argument);
+}
+
+TEST(VectorTest, DotAndNorm) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, Vector({1.0, 1.0})), 7.0);
+}
+
+TEST(VectorTest, AlmostEqual) {
+  const Vector a{1.0, 2.0};
+  const Vector b{1.0 + 1e-12, 2.0 - 1e-12};
+  EXPECT_TRUE(AlmostEqual(a, b, 1e-9));
+  EXPECT_FALSE(AlmostEqual(a, Vector({1.0, 2.1}), 1e-9));
+  EXPECT_FALSE(AlmostEqual(a, Vector({1.0}), 1e9));  // size mismatch: never equal
+}
+
+TEST(VectorTest, FillAndToString) {
+  Vector v(3);
+  v.fill(7.0);
+  EXPECT_EQ(v, Vector({7.0, 7.0, 7.0}));
+  EXPECT_EQ(v.ToString(), "[7, 7, 7]");
+}
+
+TEST(VectorTest, CheckedAccessThrows) {
+  Vector v{1.0};
+  EXPECT_THROW(v.at(1), std::out_of_range);
+  EXPECT_DOUBLE_EQ(v.at(0), 1.0);
+}
+
+}  // namespace
+}  // namespace grandma::linalg

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "multipath/classifier.h"
+#include "multipath/features.h"
+#include "multipath/multipath_gesture.h"
+#include "multipath/synth.h"
+#include "multipath/two_finger_transform.h"
+
+namespace grandma::multipath {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+geom::Gesture Stroke(double x0, double y0, double x1, double y1, double t0 = 0.0) {
+  geom::Gesture g;
+  for (int i = 0; i <= 5; ++i) {
+    const double u = i / 5.0;
+    g.AppendPoint({x0 + (x1 - x0) * u, y0 + (y1 - y0) * u, t0 + 20.0 * i});
+  }
+  return g;
+}
+
+TEST(MultiPathGestureTest, TimingAndBounds) {
+  MultiPathGesture g;
+  g.AddPath(Stroke(0, 0, 10, 0, 0.0));
+  g.AddPath(Stroke(50, 50, 60, 60, 30.0));
+  EXPECT_EQ(g.num_paths(), 2u);
+  EXPECT_DOUBLE_EQ(g.StartTime(), 0.0);
+  EXPECT_DOUBLE_EQ(g.EndTime(), 130.0);
+  EXPECT_DOUBLE_EQ(g.Duration(), 130.0);
+  const geom::BoundingBox b = g.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(b.max_y, 60.0);
+}
+
+TEST(MultiPathGestureTest, SortedNormalizesOrder) {
+  MultiPathGesture g;
+  g.AddPath(Stroke(50, 0, 60, 0, 30.0));  // starts later
+  g.AddPath(Stroke(0, 0, 10, 0, 0.0));    // starts first
+  const MultiPathGesture sorted = g.Sorted();
+  EXPECT_DOUBLE_EQ(sorted.path(0).front().x, 0.0);
+  EXPECT_DOUBLE_EQ(sorted.path(1).front().x, 50.0);
+  // Ties in time break by x.
+  MultiPathGesture tie;
+  tie.AddPath(Stroke(30, 0, 40, 0, 0.0));
+  tie.AddPath(Stroke(-30, 0, -40, 0, 0.0));
+  EXPECT_DOUBLE_EQ(tie.Sorted().path(0).front().x, -30.0);
+}
+
+TEST(MultiPathFeaturesTest, DimensionAndPadding) {
+  EXPECT_EQ(MultiPathFeatureDimension(2), kNumGlobalFeatures + 26);
+  MultiPathGesture one_finger;
+  one_finger.AddPath(Stroke(0, 0, 50, 0));
+  const linalg::Vector f = ExtractMultiPathFeatures(one_finger, 2);
+  ASSERT_EQ(f.size(), MultiPathFeatureDimension(2));
+  EXPECT_DOUBLE_EQ(f[0], 1.0);  // one path
+  // The second path block is all zeros.
+  for (std::size_t k = kNumGlobalFeatures + 13; k < f.size(); ++k) {
+    EXPECT_DOUBLE_EQ(f[k], 0.0);
+  }
+}
+
+TEST(MultiPathFeaturesTest, PinchVsSpreadSign) {
+  MultiPathGesture pinch;
+  pinch.AddPath(Stroke(-50, 0, -10, 0));
+  pinch.AddPath(Stroke(50, 0, 10, 0));
+  MultiPathGesture spread;
+  spread.AddPath(Stroke(-10, 0, -50, 0));
+  spread.AddPath(Stroke(10, 0, 50, 0));
+  const linalg::Vector fp = ExtractMultiPathFeatures(pinch, 2);
+  const linalg::Vector fs = ExtractMultiPathFeatures(spread, 2);
+  EXPECT_LT(fp[5], 0.0);  // log end/start distance ratio: pinch shrinks
+  EXPECT_GT(fs[5], 0.0);
+}
+
+TEST(MultiPathFeaturesTest, RotationFeatureSeesOrbit) {
+  // Two fingers orbiting the origin by +90 degrees.
+  MultiPathGesture rotate;
+  geom::Gesture a;
+  geom::Gesture b;
+  for (int i = 0; i <= 8; ++i) {
+    const double u = kPi / 2.0 * i / 8.0;
+    a.AppendPoint({40.0 * std::cos(u), 40.0 * std::sin(u), 20.0 * i});
+    b.AppendPoint({-40.0 * std::cos(u), -40.0 * std::sin(u), 20.0 * i});
+  }
+  rotate.AddPath(a);
+  rotate.AddPath(b);
+  const linalg::Vector f = ExtractMultiPathFeatures(rotate, 2);
+  EXPECT_NEAR(f[6], kPi / 2.0, 0.05);
+}
+
+TEST(MultiPathSynthTest, SpecsAndDeterminism) {
+  const auto specs = MakeTwoFingerSpecs();
+  EXPECT_EQ(specs.size(), 5u);
+  synth::NoiseModel noise;
+  const MultiPathTrainingSet a = GenerateMultiPathSet(specs, noise, 3, 11);
+  const MultiPathTrainingSet b = GenerateMultiPathSet(specs, noise, 3, 11);
+  EXPECT_EQ(a.total_examples(), 15u);
+  ASSERT_EQ(a.num_classes(), 5u);
+  for (classify::ClassId c = 0; c < a.num_classes(); ++c) {
+    for (std::size_t e = 0; e < a.ExamplesOf(c).size(); ++e) {
+      EXPECT_EQ(a.ExamplesOf(c)[e].paths(), b.ExamplesOf(c)[e].paths());
+    }
+  }
+}
+
+TEST(MultiPathSynthTest, EveryExampleHasTwoPaths) {
+  synth::NoiseModel noise;
+  const auto set = GenerateMultiPathSet(MakeTwoFingerSpecs(), noise, 5, 3);
+  for (classify::ClassId c = 0; c < set.num_classes(); ++c) {
+    for (const MultiPathGesture& g : set.ExamplesOf(c)) {
+      EXPECT_EQ(g.num_paths(), 2u);
+      for (const geom::Gesture& p : g.paths()) {
+        EXPECT_GE(p.size(), 3u);
+      }
+    }
+  }
+}
+
+TEST(MultiPathClassifierTest, SeparatesTwoFingerClasses) {
+  synth::NoiseModel noise;
+  const auto specs = MakeTwoFingerSpecs();
+  const MultiPathTrainingSet training = GenerateMultiPathSet(specs, noise, 12, 1991);
+  MultiPathClassifier classifier;
+  classifier.Train(training);
+  EXPECT_TRUE(classifier.trained());
+  EXPECT_EQ(classifier.num_classes(), 5u);
+
+  const MultiPathTrainingSet test = GenerateMultiPathSet(specs, noise, 10, 4);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (classify::ClassId c = 0; c < test.num_classes(); ++c) {
+    for (const MultiPathGesture& g : test.ExamplesOf(c)) {
+      ++total;
+      correct += classifier.Classify(g).class_id == c ? 1 : 0;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.95)
+      << correct << "/" << total;
+}
+
+TEST(TwoFingerTransformTest, DeltaDecomposition) {
+  // Fingers at (-10, 0) and (10, 0) move to (-20, 10) and (20, 10):
+  // midpoint up 10, distance doubled, no rotation.
+  const auto delta = DeltaFromFingerPairs({-10, 0, 0}, {10, 0, 0}, {-20, 10, 0}, {20, 10, 0});
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_NEAR(delta->translate_x, 0.0, 1e-12);
+  EXPECT_NEAR(delta->translate_y, 10.0, 1e-12);
+  EXPECT_NEAR(delta->scale, 2.0, 1e-12);
+  EXPECT_NEAR(delta->rotate_radians, 0.0, 1e-12);
+}
+
+TEST(TwoFingerTransformTest, PureRotation) {
+  const auto delta = DeltaFromFingerPairs({-10, 0, 0}, {10, 0, 0}, {0, -10, 0}, {0, 10, 0});
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_NEAR(delta->rotate_radians, kPi / 2.0, 1e-12);
+  EXPECT_NEAR(delta->scale, 1.0, 1e-12);
+}
+
+TEST(TwoFingerTransformTest, SimilarityMapsFingersExactly) {
+  const geom::TimedPoint a0{-10, 5, 0}, b0{12, -3, 0};
+  const geom::TimedPoint a1{3, 20, 0}, b1{40, 9, 0};
+  const auto transform = SimilarityFromFingerPairs(a0, b0, a1, b1);
+  ASSERT_TRUE(transform.has_value());
+  const geom::TimedPoint ma = transform->Apply(a0);
+  const geom::TimedPoint mb = transform->Apply(b0);
+  EXPECT_NEAR(ma.x, a1.x, 1e-9);
+  EXPECT_NEAR(ma.y, a1.y, 1e-9);
+  EXPECT_NEAR(mb.x, b1.x, 1e-9);
+  EXPECT_NEAR(mb.y, b1.y, 1e-9);
+}
+
+TEST(TwoFingerTransformTest, DegenerateFingersRejected) {
+  EXPECT_FALSE(DeltaFromFingerPairs({5, 5, 0}, {5, 5, 0}, {6, 6, 0}, {7, 7, 0}).has_value());
+  EXPECT_FALSE(
+      SimilarityFromFingerPairs({5, 5, 0}, {5, 5, 0}, {6, 6, 0}, {7, 7, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace grandma::multipath

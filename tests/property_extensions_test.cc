@@ -1,0 +1,128 @@
+// Property sweeps over the extension modules: the multi-path and
+// multi-stroke classifiers must stay accurate across noise levels and
+// training sizes, like the core recognizer.
+#include <gtest/gtest.h>
+
+#include "classify/multistroke.h"
+#include "multipath/classifier.h"
+#include "multipath/synth.h"
+#include "synth/generator.h"
+#include "synth/rng.h"
+
+namespace grandma {
+namespace {
+
+struct MultiPathSweepParam {
+  double point_jitter;
+  double rotation_sigma;
+  std::size_t per_class;
+  double min_accuracy;
+};
+
+class MultiPathSweep : public ::testing::TestWithParam<MultiPathSweepParam> {};
+
+TEST_P(MultiPathSweep, TwoFingerAccuracyMeetsFloor) {
+  const MultiPathSweepParam param = GetParam();
+  synth::NoiseModel noise;
+  noise.point_jitter = param.point_jitter;
+  noise.rotation_sigma = param.rotation_sigma;
+  const auto specs = multipath::MakeTwoFingerSpecs();
+  const auto training = multipath::GenerateMultiPathSet(specs, noise, param.per_class, 1991);
+  multipath::MultiPathClassifier classifier;
+  classifier.Train(training);
+
+  const auto test = multipath::GenerateMultiPathSet(specs, noise, 10, 7);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (classify::ClassId c = 0; c < test.num_classes(); ++c) {
+    for (const multipath::MultiPathGesture& g : test.ExamplesOf(c)) {
+      ++total;
+      correct += classifier.Classify(g).class_id == c ? 1 : 0;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), param.min_accuracy)
+      << "jitter " << param.point_jitter << " per_class " << param.per_class;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseAndSize, MultiPathSweep,
+                         ::testing::Values(MultiPathSweepParam{0.4, 0.05, 12, 0.94},
+                                           MultiPathSweepParam{1.2, 0.12, 12, 0.92},
+                                           MultiPathSweepParam{0.8, 0.10, 8, 0.92},
+                                           MultiPathSweepParam{0.8, 0.10, 20, 0.95}));
+
+// Multi-stroke: the combined features stay discriminative as stroke shapes
+// scale and jitter.
+class MultiStrokeSweep : public ::testing::TestWithParam<double> {};
+
+namespace ms {
+
+geom::Gesture Stroke(double x0, double y0, double x1, double y1, double t0) {
+  geom::Gesture g;
+  for (int i = 0; i <= 6; ++i) {
+    const double u = i / 6.0;
+    g.AppendPoint({x0 + (x1 - x0) * u, y0 + (y1 - y0) * u, t0 + 15.0 * i});
+  }
+  return g;
+}
+
+classify::StrokeSequence MakePlus(double size, double jitter, synth::Rng& rng) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  classify::StrokeSequence s;
+  s.push_back(Stroke(j(), size / 2 + j(), size + j(), size / 2 + j(), 0.0));
+  s.push_back(Stroke(size / 2 + j(), j(), size / 2 + j(), size + j(), 220.0));
+  return s;
+}
+
+classify::StrokeSequence MakeEquals(double size, double jitter, synth::Rng& rng) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  classify::StrokeSequence s;
+  s.push_back(Stroke(j(), size * 0.3 + j(), size + j(), size * 0.3 + j(), 0.0));
+  s.push_back(Stroke(j(), size * 0.7 + j(), size + j(), size * 0.7 + j(), 220.0));
+  return s;
+}
+
+classify::StrokeSequence MakeT(double size, double jitter, synth::Rng& rng) {
+  auto j = [&] { return rng.Gaussian(jitter); };
+  classify::StrokeSequence s;
+  s.push_back(Stroke(j(), size + j(), size + j(), size + j(), 0.0));
+  s.push_back(Stroke(size / 2 + j(), size + j(), size / 2 + j(), j(), 220.0));
+  return s;
+}
+
+}  // namespace ms
+
+TEST_P(MultiStrokeSweep, PlusEqualsTeeSeparable) {
+  const double jitter = GetParam();
+  synth::Rng rng(1991);
+  classify::MultiStrokeTrainingSet training;
+  for (int e = 0; e < 12; ++e) {
+    const double size = 40.0 * rng.LogNormalFactor(0.25);
+    training.Add("plus", ms::MakePlus(size, jitter, rng));
+    training.Add("equals", ms::MakeEquals(size, jitter, rng));
+    training.Add("tee", ms::MakeT(size, jitter, rng));
+  }
+  classify::MultiStrokeClassifier classifier;
+  classifier.Train(training);
+
+  synth::Rng test_rng(7);
+  std::size_t correct = 0;
+  constexpr int kTrials = 15;
+  for (int i = 0; i < kTrials; ++i) {
+    const double size = 40.0 * test_rng.LogNormalFactor(0.25);
+    correct += classifier.ClassName(
+                   classifier.Classify(ms::MakePlus(size, jitter, test_rng)).class_id) ==
+               "plus";
+    correct += classifier.ClassName(
+                   classifier.Classify(ms::MakeEquals(size, jitter, test_rng)).class_id) ==
+               "equals";
+    correct +=
+        classifier.ClassName(classifier.Classify(ms::MakeT(size, jitter, test_rng)).class_id) ==
+        "tee";
+  }
+  EXPECT_GE(correct, static_cast<std::size_t>(3 * kTrials * 0.9)) << "jitter " << jitter;
+}
+
+INSTANTIATE_TEST_SUITE_P(Jitter, MultiStrokeSweep, ::testing::Values(0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace grandma

@@ -1,0 +1,186 @@
+// Parameterized property sweeps: invariants that must hold across gesture
+// sets, noise levels, and feature subsets — the "does the whole pipeline
+// stay sane as conditions vary" layer of the suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/evaluation.h"
+#include "classify/gesture_classifier.h"
+#include "eager/eager_recognizer.h"
+#include "eager/evaluation.h"
+#include "features/extractor.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+// ---------- Sweep 1: full-classifier accuracy across sets and noise ----------
+
+struct ClassifierSweepParam {
+  const char* set_name;
+  double point_jitter;
+  double rotation_sigma;
+  double min_accuracy;
+};
+
+std::vector<synth::PathSpec> SpecsByName(const std::string& name) {
+  if (name == "ud") {
+    return synth::MakeUpDownSpecs();
+  }
+  if (name == "udr") {
+    return synth::MakeUpDownRightSpecs();
+  }
+  if (name == "dirs8") {
+    return synth::MakeEightDirectionSpecs();
+  }
+  if (name == "notes") {
+    return synth::MakeNoteSpecs();
+  }
+  return synth::MakeGdpSpecs();
+}
+
+class ClassifierAccuracySweep : public ::testing::TestWithParam<ClassifierSweepParam> {};
+
+TEST_P(ClassifierAccuracySweep, FullClassifierMeetsFloor) {
+  const ClassifierSweepParam param = GetParam();
+  synth::NoiseModel noise;
+  noise.point_jitter = param.point_jitter;
+  noise.rotation_sigma = param.rotation_sigma;
+  const auto specs = SpecsByName(param.set_name);
+  const auto train = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  const auto test = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 15, 7));
+  classify::GestureClassifier classifier;
+  classifier.Train(train);
+  const double accuracy = classify::EvaluateClassifier(classifier, test).Accuracy();
+  EXPECT_GE(accuracy, param.min_accuracy)
+      << param.set_name << " jitter=" << param.point_jitter;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SetsAndNoise, ClassifierAccuracySweep,
+    ::testing::Values(ClassifierSweepParam{"ud", 0.4, 0.05, 0.99},
+                      ClassifierSweepParam{"ud", 1.5, 0.15, 0.95},
+                      ClassifierSweepParam{"udr", 0.8, 0.10, 0.95},
+                      ClassifierSweepParam{"dirs8", 0.4, 0.05, 0.97},
+                      ClassifierSweepParam{"dirs8", 1.5, 0.15, 0.93},
+                      ClassifierSweepParam{"notes", 0.8, 0.10, 0.95},
+                      ClassifierSweepParam{"gdp", 0.8, 0.10, 0.95}),
+    [](const ::testing::TestParamInfo<ClassifierSweepParam>& param_info) {
+      return std::string(param_info.param.set_name) + "_case" + std::to_string(param_info.index);
+    });
+
+// ---------- Sweep 2: eager conservativeness across sets ----------
+
+class EagerConservativenessSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EagerConservativenessSweep, NoPrematureFiresOnTrainingData) {
+  const auto specs = SpecsByName(GetParam());
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+  // The tweak pass guarantees this on the (post-move) training partition;
+  // measured over raw prefixes a tiny residue can remain, so allow 2%.
+  EXPECT_LE(eager::TrainingPrematureFireRate(recognizer, training), 0.02) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sets, EagerConservativenessSweep,
+                         ::testing::Values("ud", "udr", "dirs8", "notes", "gdp"));
+
+// ---------- Sweep 3: eager accuracy tracks full accuracy ----------
+
+struct EagerSweepParam {
+  const char* set_name;
+  double corner_loop_prob;
+  double min_eager_accuracy;
+};
+
+class EagerAccuracySweep : public ::testing::TestWithParam<EagerSweepParam> {};
+
+TEST_P(EagerAccuracySweep, EagerWithinToleranceOfFull) {
+  const EagerSweepParam param = GetParam();
+  const auto specs = SpecsByName(param.set_name);
+  synth::NoiseModel noise;
+  noise.corner_loop_prob = param.corner_loop_prob * 0.4;
+  const auto training = synth::ToTrainingSet(synth::GenerateSet(specs, noise, 10, 1991));
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(training);
+  synth::NoiseModel test_noise;
+  test_noise.corner_loop_prob = param.corner_loop_prob;
+  const auto test = synth::GenerateSet(specs, test_noise, 15, 5);
+  const auto eval = eager::EvaluateEager(recognizer, test);
+  EXPECT_GE(eval.EagerAccuracy(), param.min_eager_accuracy) << param.set_name;
+  // Eagerness never reports impossible values.
+  EXPECT_GE(eval.MeanFractionSeen(), 0.0);
+  EXPECT_LE(eval.MeanFractionSeen(), 1.0 + 1e-9);
+  for (const auto& outcome : eval.outcomes) {
+    EXPECT_GE(outcome.points_seen, recognizer.min_prefix_points());
+    EXPECT_LE(outcome.points_seen, outcome.points_total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetsAndLoops, EagerAccuracySweep,
+                         ::testing::Values(EagerSweepParam{"ud", 0.0, 0.95},
+                                           EagerSweepParam{"ud", 0.15, 0.85},
+                                           EagerSweepParam{"dirs8", 0.0, 0.93},
+                                           EagerSweepParam{"dirs8", 0.15, 0.85},
+                                           EagerSweepParam{"gdp", 0.0, 0.85}),
+                         [](const ::testing::TestParamInfo<EagerSweepParam>& param_info) {
+                           return std::string(param_info.param.set_name) + "_case" +
+                                  std::to_string(param_info.index);
+                         });
+
+// ---------- Sweep 4: feature extractor invariants under random strokes ----------
+
+class FeatureInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeatureInvariantSweep, FeaturesFiniteAndStructurallySane) {
+  synth::NoiseModel noise;
+  noise.corner_loop_prob = 0.3;
+  synth::Rng rng(GetParam());
+  for (const auto& spec : synth::MakeGdpSpecs()) {
+    const auto sample = synth::Generate(spec, noise, rng);
+    const linalg::Vector f = features::ExtractFeatures(sample.gesture);
+    ASSERT_EQ(f.size(), features::kNumFeatures);
+    for (double v : f) {
+      EXPECT_TRUE(std::isfinite(v)) << spec.class_name;
+    }
+    // Structural invariants.
+    EXPECT_GE(f[features::kPathLength], f[features::kStartEndDistance] - 1e-9);
+    EXPECT_GE(f[features::kTotalAbsAngle], std::abs(f[features::kTotalAngle]) - 1e-9);
+    EXPECT_GE(f[features::kBboxDiagonal], 0.0);
+    EXPECT_GE(f[features::kDuration], 0.0);
+    const double c1 = f[features::kInitialCos];
+    const double s1 = f[features::kInitialSin];
+    const double norm = c1 * c1 + s1 * s1;
+    EXPECT_TRUE(std::abs(norm - 1.0) < 1e-9 || norm == 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureInvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------- Sweep 5: training example count sensitivity ----------
+
+class TrainingSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrainingSizeSweep, MoreExamplesNeverBreakTraining) {
+  const std::size_t per_class = GetParam();
+  synth::NoiseModel noise;
+  const auto training = synth::ToTrainingSet(
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, per_class, 1991));
+  eager::EagerRecognizer recognizer;
+  const auto report = recognizer.Train(training);
+  EXPECT_TRUE(recognizer.trained());
+  EXPECT_TRUE(report.auc.converged);
+  const auto test = synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, 5, 3);
+  const auto eval = eager::EvaluateEager(recognizer, test);
+  EXPECT_GE(eval.FullAccuracy(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrainingSizeSweep, ::testing::Values(5u, 10u, 15u, 25u));
+
+}  // namespace
+}  // namespace grandma

@@ -1,0 +1,254 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "synth/path_spec.h"
+#include "synth/rng.h"
+#include "synth/sets.h"
+
+namespace grandma::synth {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(PathSpecTest, LineToBuildsSegments) {
+  PathSpec spec;
+  spec.LineTo(30.0, 0.0).LineTo(30.0, 40.0);
+  EXPECT_EQ(spec.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.EndX(), 30.0);
+  EXPECT_DOUBLE_EQ(spec.EndY(), 40.0);
+  EXPECT_NEAR(spec.TotalLength(), 70.0, 1e-9);
+}
+
+TEST(PathSpecTest, ArcFromCurrentStartsAtCurrentPoint) {
+  PathSpec spec;
+  // Circle of radius 10 centered below the origin, full ccw sweep.
+  spec.ArcFromCurrent(-kPi / 2.0, 10.0, 2.0 * kPi);
+  const PathSegment& arc = spec.segments[0];
+  // The arc's start point must be the spec's start (0, 0).
+  const double sx = arc.cx + arc.radius * std::cos(arc.start_angle);
+  const double sy = arc.cy + arc.radius * std::sin(arc.start_angle);
+  EXPECT_NEAR(sx, 0.0, 1e-9);
+  EXPECT_NEAR(sy, 0.0, 1e-9);
+  EXPECT_NEAR(spec.TotalLength(), 2.0 * kPi * 10.0, 1e-6);
+  // A full sweep returns to the start.
+  EXPECT_NEAR(spec.EndX(), 0.0, 1e-9);
+  EXPECT_NEAR(spec.EndY(), 0.0, 1e-9);
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const auto specs = MakeUpDownSpecs();
+  NoiseModel noise;
+  const auto a = GenerateSet(specs, noise, 5, 99);
+  const auto b = GenerateSet(specs, noise, 5, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].samples.size(), b[c].samples.size());
+    for (std::size_t e = 0; e < a[c].samples.size(); ++e) {
+      EXPECT_EQ(a[c].samples[e].gesture, b[c].samples[e].gesture);
+    }
+  }
+  const auto c = GenerateSet(specs, noise, 5, 100);
+  EXPECT_NE(a[0].samples[0].gesture, c[0].samples[0].gesture);
+}
+
+TEST(GeneratorTest, SegmentBoundariesTracked) {
+  PathSpec spec;
+  spec.class_name = "L";
+  spec.LineTo(50.0, 0.0).LineTo(50.0, 50.0);
+  spec.unambiguous_at_segment = 1;
+  NoiseModel noise;
+  noise.point_jitter = 0.0;
+  noise.rotation_sigma = 0.0;
+  noise.scale_sigma = 0.0;
+  noise.translation_sigma = 0.0;
+  Rng rng(1);
+  const GestureSample sample = Generate(spec, noise, rng);
+  ASSERT_EQ(sample.segment_first_point.size(), 2u);
+  EXPECT_EQ(sample.segment_first_point[0], 0u);
+  const std::size_t corner = sample.segment_first_point[1];
+  ASSERT_GT(corner, 0u);
+  ASSERT_LT(corner, sample.gesture.size());
+  // Before the corner the stroke moves +x, after it +y (no noise).
+  EXPECT_GT(sample.gesture[corner - 1].x, sample.gesture[0].x);
+  EXPECT_NEAR(sample.gesture[corner - 1].y, 0.0, 1e-9);
+  EXPECT_GT(sample.gesture.back().y, 10.0);
+  // Ground-truth minimum: one point into the second segment.
+  EXPECT_EQ(sample.MinUnambiguousPointCount(), corner + 1);
+}
+
+TEST(GeneratorTest, MinUnambiguousDefaultsToWholeGesture) {
+  PathSpec spec;
+  spec.class_name = "line";
+  spec.LineTo(50.0, 0.0);
+  NoiseModel noise;
+  Rng rng(1);
+  const GestureSample sample = Generate(spec, noise, rng);
+  EXPECT_EQ(sample.MinUnambiguousPointCount(), sample.gesture.size());
+}
+
+TEST(GeneratorTest, TimeStampsStrictlyIncrease) {
+  const auto specs = MakeGdpSpecs();
+  NoiseModel noise;
+  const auto batches = GenerateSet(specs, noise, 3, 7);
+  for (const auto& batch : batches) {
+    for (const auto& sample : batch.samples) {
+      for (std::size_t i = 1; i < sample.gesture.size(); ++i) {
+        EXPECT_GT(sample.gesture[i].t, sample.gesture[i - 1].t)
+            << batch.class_name << " point " << i;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DotSpecEmitsDwellPoints) {
+  PathSpec dot;
+  dot.class_name = "dot";
+  NoiseModel noise;
+  noise.dwell_points = 4;
+  Rng rng(2);
+  const GestureSample sample = Generate(dot, noise, rng);
+  EXPECT_EQ(sample.gesture.size(), 4u);
+  EXPECT_LT(sample.gesture.Bounds().DiagonalLength(), 10.0);
+}
+
+TEST(GeneratorTest, CornerLoopAddsPointsAndTurning) {
+  PathSpec spec;
+  spec.class_name = "L";
+  spec.LineTo(50.0, 0.0).LineTo(50.0, 50.0);
+  NoiseModel clean;
+  clean.point_jitter = 0.0;
+  clean.rotation_sigma = 0.0;
+  clean.scale_sigma = 0.0;
+  clean.translation_sigma = 0.0;
+  NoiseModel loopy = clean;
+  loopy.corner_loop_prob = 1.0;
+
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const GestureSample plain = Generate(spec, clean, rng_a);
+  const GestureSample looped = Generate(spec, loopy, rng_b);
+  EXPECT_GT(looped.gesture.size(), plain.gesture.size() + 3);
+  EXPECT_NEAR(looped.gesture.back().x, plain.gesture.back().x, 1.0);
+  EXPECT_NEAR(looped.gesture.back().y, plain.gesture.back().y, 1.0);
+}
+
+TEST(GeneratorTest, ScaleSigmaChangesSize) {
+  PathSpec spec;
+  spec.class_name = "line";
+  spec.LineTo(100.0, 0.0);
+  NoiseModel noise;
+  noise.scale_sigma = 0.5;
+  noise.translation_sigma = 0.0;
+  Rng rng(11);
+  double min_len = 1e9;
+  double max_len = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const GestureSample s = Generate(spec, noise, rng);
+    min_len = std::min(min_len, s.gesture.PathLength());
+    max_len = std::max(max_len, s.gesture.PathLength());
+  }
+  EXPECT_GT(max_len / min_len, 1.5);  // substantial within-class size variation
+}
+
+TEST(GeneratorTest, SpacingSigmaVariesPointCount) {
+  PathSpec spec;
+  spec.class_name = "line";
+  spec.LineTo(200.0, 0.0);
+  NoiseModel noise;
+  noise.spacing_sigma = 0.4;
+  noise.scale_sigma = 0.0;
+  noise.translation_sigma = 0.0;
+  noise.point_jitter = 0.0;  // jitter adds zigzag length with dense sampling
+  Rng rng(17);
+  std::size_t min_points = 1u << 20;
+  std::size_t max_points = 0;
+  for (int i = 0; i < 20; ++i) {
+    const GestureSample s = Generate(spec, noise, rng);
+    min_points = std::min(min_points, s.gesture.size());
+    max_points = std::max(max_points, s.gesture.size());
+    // Same geometry regardless of sampling rate.
+    EXPECT_NEAR(s.gesture.PathLength(), 200.0, 8.0);
+  }
+  EXPECT_GT(max_points, min_points + 5);  // event-rate variation is visible
+}
+
+TEST(SetsTest, ExpectedClassCounts) {
+  EXPECT_EQ(MakeUpDownSpecs().size(), 2u);
+  EXPECT_EQ(MakeUpDownRightSpecs().size(), 3u);
+  EXPECT_EQ(MakeEightDirectionSpecs().size(), 8u);
+  EXPECT_EQ(MakeNoteSpecs().size(), 5u);
+  EXPECT_EQ(MakeGdpSpecs().size(), 11u);
+}
+
+TEST(SetsTest, NoteGesturesArePrefixesOfEachOther) {
+  const auto notes = MakeNoteSpecs();
+  for (std::size_t i = 1; i < notes.size(); ++i) {
+    // Each note spec extends the previous by exactly one segment.
+    ASSERT_EQ(notes[i].segments.size(), notes[i - 1].segments.size() + 1);
+    for (std::size_t s = 0; s < notes[i - 1].segments.size(); ++s) {
+      EXPECT_DOUBLE_EQ(notes[i].segments[s].x, notes[i - 1].segments[s].x);
+      EXPECT_DOUBLE_EQ(notes[i].segments[s].y, notes[i - 1].segments[s].y);
+    }
+  }
+}
+
+TEST(SetsTest, GdpGroupOrientationFlipsSweep) {
+  const auto cw = MakeGdpSpecs(GroupOrientation::kClockwise);
+  const auto ccw = MakeGdpSpecs(GroupOrientation::kCounterClockwise);
+  const auto find = [](const std::vector<PathSpec>& specs, const char* name) {
+    for (const auto& s : specs) {
+      if (s.class_name == name) {
+        return &s;
+      }
+    }
+    return static_cast<const PathSpec*>(nullptr);
+  };
+  const PathSpec* g_cw = find(cw, "group");
+  const PathSpec* g_ccw = find(ccw, "group");
+  ASSERT_NE(g_cw, nullptr);
+  ASSERT_NE(g_ccw, nullptr);
+  EXPECT_LT(g_cw->segments[0].sweep, 0.0);
+  EXPECT_GT(g_ccw->segments[0].sweep, 0.0);
+}
+
+TEST(SetsTest, EightDirectionNamesMatchGeometry) {
+  const auto specs = MakeEightDirectionSpecs();
+  for (const auto& spec : specs) {
+    ASSERT_EQ(spec.segments.size(), 2u);
+    const double dx1 = spec.segments[0].x;
+    const double dy1 = spec.segments[0].y;
+    const char c = spec.class_name[0];
+    if (c == 'u') {
+      EXPECT_GT(dy1, 0.0);
+    } else if (c == 'd') {
+      EXPECT_LT(dy1, 0.0);
+    } else if (c == 'l') {
+      EXPECT_LT(dx1, 0.0);
+    } else {
+      EXPECT_GT(dx1, 0.0);
+    }
+    EXPECT_EQ(spec.unambiguous_at_segment, 1);
+  }
+}
+
+TEST(RngTest, DistributionsBehave) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    EXPECT_GT(rng.LogNormalFactor(0.1), 0.0);
+    EXPECT_LT(rng.Index(10), 10u);
+  }
+  EXPECT_DOUBLE_EQ(rng.Gaussian(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.LogNormalFactor(0.0), 1.0);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+}  // namespace
+}  // namespace grandma::synth

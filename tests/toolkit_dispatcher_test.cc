@@ -1,0 +1,151 @@
+#include "toolkit/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "toolkit/drag_handler.h"
+
+namespace grandma::toolkit {
+namespace {
+
+// Scriptable handler for dispatch-order tests.
+class ScriptedHandler : public EventHandler {
+ public:
+  ScriptedHandler(std::string name, bool wants, HandlerResponse response)
+      : EventHandler(std::move(name)), wants_(wants), response_(response) {}
+
+  bool Wants(const InputEvent&, View&) const override { return wants_; }
+  HandlerResponse OnEvent(const InputEvent& e, View&) override {
+    log_.push_back(e.type);
+    return response_;
+  }
+
+  const std::vector<EventType>& log() const { return log_; }
+
+ private:
+  bool wants_;
+  HandlerResponse response_;
+  std::vector<EventType> log_;
+};
+
+struct Fixture {
+  ViewClass cls{"V"};
+  View root{&cls, "root"};
+  VirtualClock clock;
+  Dispatcher dispatcher{&root, &clock};
+
+  Fixture() { root.SetBounds({0, 0, 100, 100}); }
+};
+
+TEST(DispatcherTest, RoutesToHitViewHandler) {
+  Fixture f;
+  auto handler = std::make_shared<ScriptedHandler>("h", true, HandlerResponse::kConsumed);
+  f.root.AddHandler(handler);
+  EXPECT_TRUE(f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0)));
+  EXPECT_EQ(handler->log().size(), 1u);
+  EXPECT_FALSE(f.dispatcher.HasGrab());
+}
+
+TEST(DispatcherTest, MissesOutsideRoot) {
+  Fixture f;
+  auto handler = std::make_shared<ScriptedHandler>("h", true, HandlerResponse::kConsumed);
+  f.root.AddHandler(handler);
+  EXPECT_FALSE(f.dispatcher.Dispatch(InputEvent::MouseDown(500, 5, 0)));
+  EXPECT_TRUE(handler->log().empty());
+}
+
+TEST(DispatcherTest, PropagatesPastUnwillingHandler) {
+  Fixture f;
+  auto unwilling = std::make_shared<ScriptedHandler>("no", false, HandlerResponse::kConsumed);
+  auto willing = std::make_shared<ScriptedHandler>("yes", true, HandlerResponse::kConsumed);
+  // `unwilling` is queried first (added last) but declines via its predicate.
+  f.root.AddHandler(willing);
+  f.root.AddHandler(unwilling);
+  EXPECT_TRUE(f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0)));
+  EXPECT_TRUE(unwilling->log().empty());
+  EXPECT_EQ(willing->log().size(), 1u);
+}
+
+TEST(DispatcherTest, PropagatesToParentView) {
+  Fixture f;
+  auto child = std::make_unique<View>(&f.cls, "child");
+  child->SetBounds({10, 10, 30, 30});
+  f.root.AddChild(std::move(child));
+  auto root_handler = std::make_shared<ScriptedHandler>("root", true, HandlerResponse::kConsumed);
+  f.root.AddHandler(root_handler);
+  // Hit the child (which has no handlers); the event must bubble to root.
+  EXPECT_TRUE(f.dispatcher.Dispatch(InputEvent::MouseDown(15, 15, 0)));
+  EXPECT_EQ(root_handler->log().size(), 1u);
+}
+
+TEST(DispatcherTest, GrabRoutesFollowingEvents) {
+  Fixture f;
+  auto grabber =
+      std::make_shared<ScriptedHandler>("grab", true, HandlerResponse::kConsumedAndGrab);
+  f.root.AddHandler(grabber);
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  EXPECT_TRUE(f.dispatcher.HasGrab());
+  // Moves outside the view still reach the grabbed handler.
+  f.dispatcher.Dispatch(InputEvent::MouseMove(500, 500, 10));
+  EXPECT_EQ(grabber->log().size(), 2u);
+}
+
+TEST(DispatcherTest, MouseUpWithConsumedReleasesGrab) {
+  Fixture f;
+  // DragHandler: grabs on down, consumes on up.
+  int drops = 0;
+  DragHandler::Callbacks callbacks;
+  callbacks.on_drop = [&](View&, const InputEvent&) { ++drops; };
+  auto drag = std::make_shared<DragHandler>("drag", std::move(callbacks));
+  f.root.AddHandler(drag);
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  EXPECT_TRUE(f.dispatcher.HasGrab());
+  f.dispatcher.Dispatch(InputEvent::MouseUp(6, 6, 10));
+  EXPECT_FALSE(f.dispatcher.HasGrab());
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(DispatcherTest, AbortSwallowsUntilMouseUp) {
+  Fixture f;
+  auto aborter = std::make_shared<ScriptedHandler>("abort", true, HandlerResponse::kAbort);
+  auto other = std::make_shared<ScriptedHandler>("other", true, HandlerResponse::kConsumed);
+  f.root.AddHandler(other);
+  f.root.AddHandler(aborter);
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  // Swallowed: neither handler sees these.
+  f.dispatcher.Dispatch(InputEvent::MouseMove(6, 6, 10));
+  f.dispatcher.Dispatch(InputEvent::MouseUp(7, 7, 20));
+  EXPECT_EQ(aborter->log().size(), 1u);
+  EXPECT_TRUE(other->log().empty());
+  // After the up, dispatch flows normally again.
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 30));
+  EXPECT_EQ(aborter->log().size(), 2u);
+}
+
+TEST(DispatcherTest, TickReachesOnlyGrabbedHandler) {
+  Fixture f;
+  auto grabber =
+      std::make_shared<ScriptedHandler>("grab", true, HandlerResponse::kConsumedAndGrab);
+  f.root.AddHandler(grabber);
+  f.dispatcher.Tick();  // no grab: no-op
+  EXPECT_TRUE(grabber->log().empty());
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  f.clock.Advance(25);
+  f.dispatcher.Tick();
+  ASSERT_EQ(grabber->log().size(), 2u);
+  EXPECT_EQ(grabber->log()[1], EventType::kTimer);
+}
+
+TEST(DispatcherTest, ClockAdvancesToEventTime) {
+  Fixture f;
+  f.dispatcher.Dispatch(InputEvent::MouseMove(5, 5, 123.0));
+  EXPECT_DOUBLE_EQ(f.clock.now_ms(), 123.0);
+  // Events never move the clock backwards.
+  f.dispatcher.Dispatch(InputEvent::MouseMove(5, 5, 50.0));
+  EXPECT_DOUBLE_EQ(f.clock.now_ms(), 123.0);
+}
+
+}  // namespace
+}  // namespace grandma::toolkit

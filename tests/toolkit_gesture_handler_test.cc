@@ -1,0 +1,246 @@
+#include "toolkit/gesture_handler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gdp/session.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+#include "toolkit/dispatcher.h"
+#include "toolkit/drag_handler.h"
+#include "toolkit/playback.h"
+
+namespace grandma::toolkit {
+namespace {
+
+// Shared trained recognizer (U/D) for all tests in this file.
+const eager::EagerRecognizer& Recognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 15, 1991)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+geom::Gesture SampleStroke(const char* class_name, std::uint64_t seed = 5) {
+  for (const auto& spec : synth::MakeUpDownSpecs()) {
+    if (spec.class_name == class_name) {
+      return gdp::MakeStrokeAt(spec, 50.0, 50.0, seed);
+    }
+  }
+  return {};
+}
+
+struct Fixture {
+  ViewClass cls{"W"};
+  View root{&cls, "root"};
+  VirtualClock clock;
+  Dispatcher dispatcher{&root, &clock};
+  PlaybackDriver driver{&dispatcher};
+  std::shared_ptr<GestureHandler> handler;
+
+  // Semantics trace.
+  std::vector<std::string> trace;
+
+  explicit Fixture(GestureHandler::Config config = {}) {
+    root.SetBounds({-500, -500, 1000, 1000});
+    handler = std::make_shared<GestureHandler>("g", &Recognizer(), config);
+    root.AddHandler(handler);
+    for (const char* name : {"U", "D"}) {
+      GestureSemantics semantics;
+      std::string cls_name = name;
+      semantics.recog = [this, cls_name](SemanticContext&) -> std::any {
+        trace.push_back("recog:" + cls_name);
+        return std::any(42);
+      };
+      semantics.manip = [this, cls_name](SemanticContext&) {
+        trace.push_back("manip:" + cls_name);
+      };
+      semantics.done = [this, cls_name](SemanticContext& ctx) {
+        trace.push_back("done:" + cls_name + ":" + std::to_string(ctx.RecogAs<int>()));
+      };
+      handler->semantics().Set(name, std::move(semantics));
+    }
+  }
+};
+
+TEST(GestureHandlerTest, MouseUpTransitionClassifiesAndRunsSemantics) {
+  Fixture f;
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_EQ(f.handler->recognized_class(), "U");
+  ASSERT_EQ(f.handler->last_transition(), GestureHandler::Transition::kMouseUp);
+  // recog ran, then done (manipulation phase omitted; one manip call with
+  // the release point is allowed).
+  ASSERT_GE(f.trace.size(), 2u);
+  EXPECT_EQ(f.trace.front(), "recog:U");
+  EXPECT_EQ(f.trace.back(), "done:U:42");
+  EXPECT_EQ(f.handler->phase(), GestureHandler::Phase::kIdle);
+  EXPECT_EQ(f.handler->stats().mouseup_transitions, 1u);
+}
+
+TEST(GestureHandlerTest, DwellTimeoutEntersManipulationPhase) {
+  Fixture f;
+  // Hold for 300 ms (> 200 ms dwell) before releasing.
+  f.driver.PlayStroke(SampleStroke("D"), /*hold_ms_before_release=*/300.0);
+  EXPECT_EQ(f.handler->recognized_class(), "D");
+  EXPECT_EQ(f.handler->last_transition(), GestureHandler::Transition::kTimeout);
+  EXPECT_EQ(f.handler->stats().timeout_transitions, 1u);
+  EXPECT_EQ(f.trace.front(), "recog:D");
+}
+
+TEST(GestureHandlerTest, EagerTransitionFiresMidStroke) {
+  GestureHandler::Config config;
+  config.enable_eager = true;
+  Fixture f(config);
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_EQ(f.handler->recognized_class(), "U");
+  EXPECT_EQ(f.handler->last_transition(), GestureHandler::Transition::kEager);
+  EXPECT_EQ(f.handler->stats().eager_transitions, 1u);
+  // Manipulation ran for the points after the eager fire.
+  bool saw_manip = false;
+  for (const auto& s : f.trace) {
+    saw_manip = saw_manip || s == "manip:U";
+  }
+  EXPECT_TRUE(saw_manip);
+}
+
+TEST(GestureHandlerTest, ManipulationReceivesDragPoints) {
+  Fixture f;
+  const geom::Gesture stroke = SampleStroke("U");
+  const double t0 = 0.0;
+  f.driver.Feed(InputEvent::MouseDown(stroke.front().x, stroke.front().y, t0));
+  for (std::size_t i = 1; i < stroke.size(); ++i) {
+    f.driver.Feed(InputEvent::MouseMove(stroke[i].x, stroke[i].y, stroke[i].t));
+  }
+  // Dwell to trigger the timeout transition.
+  const double t_end = stroke.back().t + 400.0;
+  f.driver.Feed(InputEvent::MouseMove(stroke.back().x, stroke.back().y, t_end));
+  ASSERT_EQ(f.handler->phase(), GestureHandler::Phase::kManipulating);
+  // Three manipulation moves.
+  std::size_t manip_before = f.trace.size();
+  f.driver.Feed(InputEvent::MouseMove(200, 200, t_end + 10));
+  f.driver.Feed(InputEvent::MouseMove(210, 200, t_end + 20));
+  f.driver.Feed(InputEvent::MouseMove(220, 200, t_end + 30));
+  EXPECT_EQ(f.trace.size(), manip_before + 3);
+  f.driver.Feed(InputEvent::MouseUp(220, 200, t_end + 40));
+  EXPECT_EQ(f.handler->phase(), GestureHandler::Phase::kIdle);
+  EXPECT_EQ(f.trace.back(), "done:U:42");
+}
+
+TEST(GestureHandlerTest, CollectedGestureIsFiltered) {
+  Fixture f;
+  f.driver.Feed(InputEvent::MouseDown(0, 0, 0));
+  // Points within the 3 px filter radius are dropped.
+  f.driver.Feed(InputEvent::MouseMove(1, 0, 10));
+  f.driver.Feed(InputEvent::MouseMove(2, 0, 20));
+  f.driver.Feed(InputEvent::MouseMove(10, 0, 30));
+  EXPECT_EQ(f.handler->collected().size(), 2u);
+  f.driver.Feed(InputEvent::MouseUp(10, 0, 40));
+}
+
+TEST(GestureHandlerTest, RejectionAbortsInteraction) {
+  GestureHandler::Config config;
+  config.use_rejection = true;
+  config.rejection.min_probability = 1.1;  // reject everything
+  Fixture f(config);
+  int rejections = 0;
+  f.handler->on_rejected = [&](const classify::Classification&) { ++rejections; };
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_EQ(rejections, 1);
+  EXPECT_TRUE(f.trace.empty());  // no semantics ran
+  EXPECT_EQ(f.handler->stats().rejected, 1u);
+  EXPECT_EQ(f.handler->phase(), GestureHandler::Phase::kIdle);
+  // The handler recovers: a new interaction works.
+  f.driver.PlayStroke(SampleStroke("D"));
+}
+
+TEST(GestureHandlerTest, InkCallbackSeesGrowingGesture) {
+  Fixture f;
+  std::size_t last_size = 0;
+  bool monotonic = true;
+  f.handler->on_ink = [&](const geom::Gesture& g) {
+    monotonic = monotonic && g.size() >= last_size;
+    last_size = g.size();
+  };
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_TRUE(monotonic);
+  EXPECT_GT(last_size, 5u);
+}
+
+TEST(GestureHandlerTest, UnknownClassSemanticsIsNoOp) {
+  Fixture f;
+  // Remove semantics by using a fresh handler with none registered.
+  auto bare = std::make_shared<GestureHandler>("bare", &Recognizer(), GestureHandler::Config{});
+  f.root.AddHandler(bare);  // queried before f.handler
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_EQ(bare->recognized_class(), "U");
+  EXPECT_TRUE(f.trace.empty());
+}
+
+TEST(GestureHandlerTest, StatsAccumulateAcrossInteractions) {
+  Fixture f;
+  f.driver.PlayStroke(SampleStroke("U", 1));
+  f.driver.PlayStroke(SampleStroke("D", 2));
+  f.driver.PlayStroke(SampleStroke("U", 3), /*hold_ms_before_release=*/300.0);
+  EXPECT_EQ(f.handler->stats().recognized, 3u);
+  EXPECT_EQ(f.handler->stats().mouseup_transitions, 2u);
+  EXPECT_EQ(f.handler->stats().timeout_transitions, 1u);
+}
+
+TEST(GestureHandlerTest, NestedMouseDownDoesNotBreakInteraction) {
+  // A spurious second press mid-collection (device glitch, chorded button)
+  // must not strand the handler: the interaction continues and completes.
+  Fixture f;
+  const geom::Gesture stroke = SampleStroke("U");
+  f.driver.Feed(InputEvent::MouseDown(stroke.front().x, stroke.front().y, 0));
+  f.driver.Feed(InputEvent::MouseMove(stroke[3].x, stroke[3].y, stroke[3].t));
+  f.driver.Feed(InputEvent::MouseDown(stroke[3].x, stroke[3].y, stroke[3].t + 1));  // glitch
+  for (std::size_t i = 4; i < stroke.size(); ++i) {
+    f.driver.Feed(InputEvent::MouseMove(stroke[i].x, stroke[i].y, stroke[i].t));
+  }
+  f.driver.Feed(InputEvent::MouseUp(stroke.back().x, stroke.back().y, stroke.back().t + 5));
+  EXPECT_EQ(f.handler->recognized_class(), "U");
+  EXPECT_EQ(f.handler->phase(), GestureHandler::Phase::kIdle);
+  // And the handler is reusable afterwards.
+  f.driver.PlayStroke(SampleStroke("D"));
+  EXPECT_EQ(f.handler->recognized_class(), "D");
+}
+
+TEST(GestureHandlerTest, GestureAndDragCoexistOnDifferentButtons) {
+  // Section 1's alternative integration: "use one mouse button for gesturing
+  // and another for direct manipulation" — one view carries both handlers,
+  // selected by their button predicates.
+  Fixture f;  // gesture handler on button 0
+  int drags = 0;
+  DragHandler::Callbacks callbacks;
+  callbacks.on_drag = [&](View&, const InputEvent&) { ++drags; };
+  f.root.AddHandler(std::make_shared<DragHandler>("drag1", std::move(callbacks),
+                                                  /*button=*/1));
+
+  // Button 1: the drag handler takes it.
+  f.driver.Feed(InputEvent::MouseDown(10, 10, 0, /*button=*/1));
+  f.driver.Feed(InputEvent::MouseMove(20, 20, 10, /*button=*/1));
+  f.driver.Feed(InputEvent::MouseUp(20, 20, 20, /*button=*/1));
+  EXPECT_EQ(drags, 1);
+  EXPECT_TRUE(f.trace.empty());
+
+  // Button 0: the gesture handler takes it.
+  f.driver.PlayStroke(SampleStroke("U"));
+  EXPECT_EQ(f.handler->recognized_class(), "U");
+  EXPECT_EQ(drags, 1);
+}
+
+TEST(GestureHandlerTest, WrongButtonIgnored) {
+  GestureHandler::Config config;
+  config.button = 0;
+  Fixture f(config);
+  f.driver.Feed(InputEvent::MouseDown(0, 0, 0, /*button=*/1));
+  EXPECT_EQ(f.handler->phase(), GestureHandler::Phase::kIdle);
+  f.driver.Feed(InputEvent::MouseUp(0, 0, 10, /*button=*/1));
+}
+
+}  // namespace
+}  // namespace grandma::toolkit

@@ -1,0 +1,103 @@
+#include "toolkit/model.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gdp/document.h"
+#include "gdp/session.h"
+
+namespace grandma::toolkit {
+namespace {
+
+class TestModel : public Model {
+ public:
+  void Touch(const std::string& what) {
+    NotifyChanged({ModelChange::Kind::kModified, what});
+  }
+};
+
+TEST(ModelTest, ObserversReceiveChanges) {
+  TestModel model;
+  std::vector<std::string> seen;
+  model.AddObserver([&seen](const Model&, const ModelChange& change) {
+    seen.push_back(change.detail);
+  });
+  model.Touch("a");
+  model.Touch("b");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a");
+  EXPECT_EQ(seen[1], "b");
+}
+
+TEST(ModelTest, RemoveObserverByToken) {
+  TestModel model;
+  int calls = 0;
+  const Model::ObserverToken token =
+      model.AddObserver([&calls](const Model&, const ModelChange&) { ++calls; });
+  model.Touch("x");
+  EXPECT_TRUE(model.RemoveObserver(token));
+  EXPECT_FALSE(model.RemoveObserver(token));
+  model.Touch("y");
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(model.observer_count(), 0u);
+}
+
+TEST(ModelTest, ObserverMayUnregisterDuringNotification) {
+  TestModel model;
+  int calls = 0;
+  Model::ObserverToken token = 0;
+  token = model.AddObserver([&](const Model&, const ModelChange&) {
+    ++calls;
+    model.RemoveObserver(token);
+  });
+  model.Touch("once");
+  model.Touch("twice");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ModelTest, MultipleObserversAllNotified) {
+  TestModel model;
+  int a = 0;
+  int b = 0;
+  model.AddObserver([&a](const Model&, const ModelChange&) { ++a; });
+  model.AddObserver([&b](const Model&, const ModelChange&) { ++b; });
+  model.Touch("x");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(DocumentModelTest, AddRemoveNotifyObservers) {
+  gdp::Document doc;
+  std::vector<ModelChange::Kind> kinds;
+  doc.AddObserver([&kinds](const Model&, const ModelChange& change) {
+    kinds.push_back(change.kind);
+  });
+  gdp::Shape* dot = doc.Add(std::make_unique<gdp::DotShape>(1, 2));
+  doc.Remove(dot);
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], ModelChange::Kind::kAdded);
+  EXPECT_EQ(kinds[1], ModelChange::Kind::kRemoved);
+}
+
+TEST(DocumentModelTest, GestureSemanticsDriveModelNotifications) {
+  // The full MVC loop: a gesture through the event pipeline mutates the
+  // model; observers (stand-ins for views) hear about it.
+  static gdp::GdpApp* app = new gdp::GdpApp();
+  for (gdp::Shape* s : app->document().AllShapes()) {
+    app->document().Remove(s);
+  }
+  std::vector<std::string> seen;
+  const Model::ObserverToken token =
+      app->document().AddObserver([&seen](const Model&, const ModelChange& change) {
+        seen.push_back(change.detail);
+      });
+  gdp::PlayGestureWithDrag(*app, "rectangle", 60, 200, 180, 120);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_NE(seen.front().find("rectangle"), std::string::npos);
+  app->document().RemoveObserver(token);
+}
+
+}  // namespace
+}  // namespace grandma::toolkit

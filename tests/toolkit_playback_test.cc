@@ -1,0 +1,155 @@
+#include "toolkit/playback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "toolkit/dispatcher.h"
+#include "toolkit/event_handler.h"
+#include "toolkit/semantics.h"
+
+namespace grandma::toolkit {
+namespace {
+
+// Records everything it receives, grabbing from mouse-down to mouse-up.
+class RecordingHandler : public EventHandler {
+ public:
+  RecordingHandler() : EventHandler("recorder") {}
+
+  bool Wants(const InputEvent& e, View&) const override {
+    return e.type == EventType::kMouseDown;
+  }
+  HandlerResponse OnEvent(const InputEvent& e, View&) override {
+    events.push_back(e);
+    if (e.type == EventType::kMouseUp) {
+      return HandlerResponse::kConsumed;
+    }
+    return HandlerResponse::kConsumedAndGrab;
+  }
+
+  std::vector<InputEvent> events;
+};
+
+struct Fixture {
+  ViewClass cls{"V"};
+  View root{&cls, "root"};
+  VirtualClock clock;
+  Dispatcher dispatcher{&root, &clock};
+  PlaybackDriver driver{&dispatcher, /*tick_interval_ms=*/25.0};
+  std::shared_ptr<RecordingHandler> handler = std::make_shared<RecordingHandler>();
+
+  Fixture() {
+    root.SetBounds({-1000, -1000, 2000, 2000});
+    root.AddHandler(handler);
+  }
+
+  std::size_t CountType(EventType type) const {
+    std::size_t n = 0;
+    for (const auto& e : handler->events) {
+      n += e.type == type ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+TEST(PlaybackDriverTest, PlayStrokeEmitsDownMovesUp) {
+  Fixture f;
+  geom::Gesture stroke({{0, 0, 0}, {10, 0, 20}, {20, 0, 40}, {30, 0, 60}});
+  f.driver.PlayStroke(stroke);
+  EXPECT_EQ(f.CountType(EventType::kMouseDown), 1u);
+  EXPECT_EQ(f.CountType(EventType::kMouseMove), 3u);
+  EXPECT_EQ(f.CountType(EventType::kMouseUp), 1u);
+  // Event times track the stroke's relative times.
+  EXPECT_DOUBLE_EQ(f.handler->events[1].time_ms - f.handler->events[0].time_ms, 20.0);
+}
+
+TEST(PlaybackDriverTest, EmptyStrokeIsNoOp) {
+  Fixture f;
+  f.driver.PlayStroke(geom::Gesture());
+  EXPECT_TRUE(f.handler->events.empty());
+}
+
+TEST(PlaybackDriverTest, HoldInsertsTimerTicks) {
+  Fixture f;
+  geom::Gesture stroke({{0, 0, 0}, {10, 0, 20}});
+  f.driver.PlayStroke(stroke, /*hold_ms_before_release=*/200.0);
+  // 200 ms at 25 ms tick interval: 8 ticks reach the grabbed handler.
+  EXPECT_EQ(f.CountType(EventType::kTimer), 8u);
+  // The mouse-up arrives after the hold.
+  const InputEvent& up = f.handler->events.back();
+  EXPECT_EQ(up.type, EventType::kMouseUp);
+  EXPECT_DOUBLE_EQ(up.time_ms, 220.0);
+}
+
+TEST(PlaybackDriverTest, StrokeStartsAtCurrentClock) {
+  Fixture f;
+  f.clock.Set(5000.0);
+  geom::Gesture stroke({{0, 0, 100}, {10, 0, 140}});
+  f.driver.PlayStroke(stroke);
+  EXPECT_DOUBLE_EQ(f.handler->events[0].time_ms, 5000.0);
+  for (const InputEvent& e : f.handler->events) {
+    if (e.type == EventType::kMouseMove) {
+      EXPECT_DOUBLE_EQ(e.time_ms, 5040.0);  // 40 ms after the rebased start
+    }
+  }
+}
+
+TEST(PlaybackDriverTest, PressDragRelease) {
+  Fixture f;
+  f.driver.PressDragRelease(10, 10, /*hold_ms=*/100.0,
+                            {{20, 20, 10.0}, {30, 30, 20.0}});
+  EXPECT_EQ(f.CountType(EventType::kMouseDown), 1u);
+  EXPECT_EQ(f.CountType(EventType::kMouseMove), 2u);
+  EXPECT_EQ(f.CountType(EventType::kMouseUp), 1u);
+  EXPECT_EQ(f.CountType(EventType::kTimer), 4u);  // 100 ms of dwell ticks
+  const InputEvent& up = f.handler->events.back();
+  EXPECT_DOUBLE_EQ(up.x, 30.0);
+  EXPECT_DOUBLE_EQ(up.y, 30.0);
+}
+
+TEST(PlaybackDriverTest, FeedAdvancesClockInTicks) {
+  Fixture f;
+  // Grab first so Tick() has somewhere to go.
+  f.driver.Feed(InputEvent::MouseDown(0, 0, 0));
+  f.driver.Feed(InputEvent::MouseMove(5, 5, 105.0));
+  // Clock landed exactly on the event time.
+  EXPECT_DOUBLE_EQ(f.clock.now_ms(), 105.0);
+  // 4 ticks (25, 50, 75, 100) were delivered between the events.
+  EXPECT_EQ(f.CountType(EventType::kTimer), 4u);
+}
+
+TEST(SemanticContextTest, AttributesFromCollectedGesture) {
+  geom::Gesture g({{0, 0, 0}, {30, 0, 50}, {30, 40, 100}});
+  SemanticContext ctx(&g, nullptr);
+  ctx.SetCurrent(g.back());
+  EXPECT_DOUBLE_EQ(ctx.startX(), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.endX(), 30.0);
+  EXPECT_DOUBLE_EQ(ctx.endY(), 40.0);
+  EXPECT_DOUBLE_EQ(ctx.currentY(), 40.0);
+  EXPECT_DOUBLE_EQ(ctx.length(), 70.0);
+  EXPECT_DOUBLE_EQ(ctx.diagonalLength(), 50.0);
+  // Initial angle measured at the third point (like feature f1/f2).
+  EXPECT_NEAR(ctx.initialAngle(), std::atan2(40.0, 30.0), 1e-12);
+  ctx.SetCurrent({99, 1, 200});
+  EXPECT_DOUBLE_EQ(ctx.currentX(), 99.0);
+  EXPECT_DOUBLE_EQ(ctx.currentT(), 200.0);
+}
+
+TEST(SemanticContextTest, EnclosureQuery) {
+  geom::Gesture lasso({{0, 0, 0}, {100, 0, 1}, {100, 100, 2}, {0, 100, 3}});
+  SemanticContext ctx(&lasso, nullptr);
+  EXPECT_TRUE(ctx.Encloses(50, 50));
+  EXPECT_FALSE(ctx.Encloses(150, 50));
+}
+
+TEST(SemanticContextTest, RecogSlotRoundTrip) {
+  geom::Gesture g({{0, 0, 0}, {1, 1, 1}});
+  SemanticContext ctx(&g, nullptr);
+  ctx.recog_slot() = std::any(123);
+  EXPECT_EQ(ctx.RecogAs<int>(), 123);
+}
+
+}  // namespace
+}  // namespace grandma::toolkit

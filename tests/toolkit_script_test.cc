@@ -1,0 +1,233 @@
+#include "toolkit/script.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "toolkit/script_semantics.h"
+
+namespace grandma::toolkit::script {
+namespace {
+
+// A scriptable counter used across tests.
+class Counter : public Object {
+ public:
+  Value Send(const std::string& selector, std::span<const Value> args) override {
+    log_.push_back(selector);
+    if (selector == "value") {
+      return static_cast<double>(count_);
+    }
+    if (selector == "increment") {
+      ++count_;
+      return this;
+    }
+    if (selector == "add:") {
+      count_ += static_cast<int>(std::get<double>(args[0]));
+      return this;
+    }
+    if (selector == "add:times:") {
+      count_ += static_cast<int>(std::get<double>(args[0]) * std::get<double>(args[1]));
+      return this;
+    }
+    throw ScriptError("counter does not understand '" + selector + "'");
+  }
+  std::string Description() const override { return "counter"; }
+
+  int count() const { return count_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  int count_ = 0;
+  std::vector<std::string> log_;
+};
+
+Environment EnvWith(Counter* counter) {
+  Environment env;
+  env.variables = [counter](const std::string& name) -> std::optional<Value> {
+    if (name == "counter") {
+      return Value(counter);
+    }
+    return std::nullopt;
+  };
+  env.attributes = [](const std::string& name) -> std::optional<double> {
+    if (name == "three") {
+      return 3.0;
+    }
+    return std::nullopt;
+  };
+  return env;
+}
+
+TEST(ScriptTest, NumberLiteral) {
+  const Value v = Evaluate("42", Environment{});
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 42.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(Evaluate("-3.5", Environment{})), -3.5);
+}
+
+TEST(ScriptTest, NilLiteral) {
+  EXPECT_TRUE(IsNil(Evaluate("nil", Environment{})));
+}
+
+TEST(ScriptTest, AttributeLookup) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(std::get<double>(Evaluate("<three>", EnvWith(&c))), 3.0);
+  EXPECT_THROW(Evaluate("<unknown>", EnvWith(&c)), ScriptError);
+}
+
+TEST(ScriptTest, VariableLookup) {
+  Counter c;
+  const Value v = Evaluate("counter", EnvWith(&c));
+  EXPECT_EQ(std::get<Object*>(v), &c);
+  EXPECT_THROW(Evaluate("unbound", EnvWith(&c)), ScriptError);
+}
+
+TEST(ScriptTest, UnaryMessage) {
+  Counter c;
+  Evaluate("[counter increment]", EnvWith(&c));
+  EXPECT_EQ(c.count(), 1);
+  const Value v = Evaluate("[counter value]", EnvWith(&c));
+  EXPECT_DOUBLE_EQ(std::get<double>(v), 1.0);
+}
+
+TEST(ScriptTest, KeywordMessageBuildsSelector) {
+  Counter c;
+  Evaluate("[counter add:5]", EnvWith(&c));
+  EXPECT_EQ(c.count(), 5);
+  Evaluate("[counter add:2 times:<three>]", EnvWith(&c));
+  EXPECT_EQ(c.count(), 11);
+  EXPECT_EQ(c.log().back(), "add:times:");
+}
+
+TEST(ScriptTest, NestedMessagesChain) {
+  Counter c;
+  Evaluate("[[counter increment] add:10]", EnvWith(&c));
+  EXPECT_EQ(c.count(), 11);
+}
+
+TEST(ScriptTest, MessagesToNilAnswerNil) {
+  Counter c;
+  const Value v = Evaluate("[nil add:5]", EnvWith(&c));
+  EXPECT_TRUE(IsNil(v));
+  EXPECT_EQ(c.count(), 0);
+}
+
+TEST(ScriptTest, NumberReceiverIsError) {
+  Counter c;
+  EXPECT_THROW(Evaluate("[42 increment]", EnvWith(&c)), ScriptError);
+}
+
+TEST(ScriptTest, UnknownSelectorPropagates) {
+  Counter c;
+  EXPECT_THROW(Evaluate("[counter explode]", EnvWith(&c)), ScriptError);
+}
+
+TEST(ScriptTest, ParseErrors) {
+  EXPECT_THROW(Parse("[counter"), ScriptError);
+  EXPECT_THROW(Parse("[]"), ScriptError);
+  EXPECT_THROW(Parse("<"), ScriptError);
+  EXPECT_THROW(Parse("[counter add:]"), ScriptError);
+  EXPECT_THROW(Parse("42 43"), ScriptError);  // trailing input
+  EXPECT_THROW(Parse("$"), ScriptError);
+  EXPECT_THROW(Parse(""), ScriptError);
+}
+
+TEST(ScriptTest, TrailingSemicolonAccepted) {
+  EXPECT_DOUBLE_EQ(std::get<double>(Evaluate("42;", Environment{})), 42.0);
+}
+
+TEST(ScriptTest, ParseOnceEvaluateMany) {
+  Counter c;
+  const ExpressionPtr expr = Parse("[counter increment]");
+  const Environment env = EnvWith(&c);
+  for (int i = 0; i < 5; ++i) {
+    expr->Evaluate(env);
+  }
+  EXPECT_EQ(c.count(), 5);
+}
+
+TEST(ScriptTest, ToStringRenderings) {
+  Counter c;
+  EXPECT_EQ(ToString(Value{}), "nil");
+  EXPECT_EQ(ToString(Value(2.0)), "2");
+  EXPECT_EQ(ToString(Value(std::string("hi"))), "\"hi\"");
+  EXPECT_EQ(ToString(Value(&c)), "counter");
+}
+
+}  // namespace
+}  // namespace grandma::toolkit::script
+
+namespace grandma::toolkit {
+namespace {
+
+TEST(ScriptSemanticsTest, CompileRunsAgainstContext) {
+  // A recorder object observing the evaluated coordinates.
+  class Recorder : public script::Object {
+   public:
+    script::Value Send(const std::string& selector,
+                       std::span<const script::Value> args) override {
+      if (selector == "at:y:") {
+        x = std::get<double>(args[0]);
+        y = std::get<double>(args[1]);
+        return this;
+      }
+      throw script::ScriptError("bad selector " + selector);
+    }
+    double x = 0.0;
+    double y = 0.0;
+  };
+  Recorder recorder;
+  auto resolver = [&recorder](const std::string& name) -> std::optional<script::Value> {
+    if (name == "recorder") {
+      return script::Value(&recorder);
+    }
+    return std::nullopt;
+  };
+
+  GestureSemantics semantics = CompileScriptSemantics(
+      "[recorder at:<startX> y:<startY>]", "[recog at:<currentX> y:<currentY>]", "nil",
+      resolver);
+  ASSERT_TRUE(semantics.recog);
+  ASSERT_TRUE(semantics.manip);
+  EXPECT_FALSE(semantics.done);
+
+  geom::Gesture g({{10, 20, 0}, {15, 25, 10}, {30, 40, 20}});
+  SemanticContext ctx(&g, nullptr);
+  ctx.SetCurrent(g[2]);
+  ctx.recog_slot() = semantics.recog(ctx);
+
+  EXPECT_DOUBLE_EQ(recorder.x, 10.0);
+  EXPECT_DOUBLE_EQ(recorder.y, 20.0);
+
+  // manip: `recog` resolves to the recorder returned by recog.
+  ctx.SetCurrent({99, 77, 30});
+  semantics.manip(ctx);
+  EXPECT_DOUBLE_EQ(recorder.x, 99.0);
+  EXPECT_DOUBLE_EQ(recorder.y, 77.0);
+}
+
+TEST(ScriptSemanticsTest, NoOpSourcesCompileToEmpty) {
+  const GestureSemantics s = CompileScriptSemantics("", "nil", " ;  ", nullptr);
+  EXPECT_FALSE(s.recog);
+  EXPECT_FALSE(s.manip);
+  EXPECT_FALSE(s.done);
+}
+
+TEST(ScriptSemanticsTest, ParseErrorsThrowAtCompileTime) {
+  EXPECT_THROW(CompileScriptSemantics("[broken", "", "", nullptr), script::ScriptError);
+}
+
+TEST(ScriptSemanticsTest, AttributeResolverCoversDocumentedSet) {
+  geom::Gesture g({{1, 2, 0}, {4, 6, 10}, {7, 10, 20}});
+  SemanticContext ctx(&g, nullptr);
+  ctx.SetCurrent({50, 60, 70});
+  for (const char* name : {"startX", "startY", "endX", "endY", "currentX", "currentY",
+                           "currentT", "length", "initialAngle", "diagonalLength"}) {
+    EXPECT_TRUE(ResolveGesturalAttribute(ctx, name).has_value()) << name;
+  }
+  EXPECT_FALSE(ResolveGesturalAttribute(ctx, "bogus").has_value());
+  EXPECT_DOUBLE_EQ(*ResolveGesturalAttribute(ctx, "currentX"), 50.0);
+  EXPECT_DOUBLE_EQ(*ResolveGesturalAttribute(ctx, "startY"), 2.0);
+}
+
+}  // namespace
+}  // namespace grandma::toolkit

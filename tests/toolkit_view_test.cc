@@ -1,0 +1,130 @@
+#include "toolkit/view.h"
+
+#include <gtest/gtest.h>
+
+#include "toolkit/event_handler.h"
+
+namespace grandma::toolkit {
+namespace {
+
+// A handler that records offers and can be configured to want/consume.
+class ProbeHandler : public EventHandler {
+ public:
+  explicit ProbeHandler(std::string name, bool wants = true)
+      : EventHandler(std::move(name)), wants_(wants) {}
+
+  bool Wants(const InputEvent&, View&) const override { return wants_; }
+  HandlerResponse OnEvent(const InputEvent&, View&) override {
+    ++events_;
+    return HandlerResponse::kConsumed;
+  }
+
+  int events() const { return events_; }
+
+ private:
+  bool wants_;
+  int events_ = 0;
+};
+
+TEST(ViewClassTest, InheritanceChain) {
+  ViewClass base("Base");
+  ViewClass derived("Derived", &base);
+  EXPECT_TRUE(derived.IsKindOf(base));
+  EXPECT_TRUE(derived.IsKindOf(derived));
+  EXPECT_FALSE(base.IsKindOf(derived));
+}
+
+TEST(ViewTest, HitTestUsesBounds) {
+  ViewClass cls("V");
+  View v(&cls, "v");
+  v.SetBounds({0, 0, 10, 10});
+  EXPECT_TRUE(v.HitTest(5, 5));
+  EXPECT_FALSE(v.HitTest(11, 5));
+}
+
+TEST(ViewTest, FindViewAtPrefersTopmostChild) {
+  ViewClass cls("V");
+  View root(&cls, "root");
+  root.SetBounds({0, 0, 100, 100});
+  auto child1 = std::make_unique<View>(&cls, "child1");
+  child1->SetBounds({10, 10, 50, 50});
+  auto child2 = std::make_unique<View>(&cls, "child2");
+  child2->SetBounds({30, 30, 70, 70});
+  View* c1 = root.AddChild(std::move(child1));
+  View* c2 = root.AddChild(std::move(child2));
+
+  // Overlap region: the later-added child (topmost) wins.
+  EXPECT_EQ(root.FindViewAt(40, 40), c2);
+  EXPECT_EQ(root.FindViewAt(15, 15), c1);
+  EXPECT_EQ(root.FindViewAt(90, 90), &root);
+  EXPECT_EQ(root.FindViewAt(200, 200), nullptr);
+  EXPECT_EQ(c1->parent(), &root);
+}
+
+TEST(ViewTest, RemoveChild) {
+  ViewClass cls("V");
+  View root(&cls, "root");
+  root.SetBounds({0, 0, 100, 100});
+  auto child = std::make_unique<View>(&cls, "child");
+  child->SetBounds({0, 0, 10, 10});
+  View* c = root.AddChild(std::move(child));
+  EXPECT_TRUE(root.RemoveChild(c));
+  EXPECT_FALSE(root.RemoveChild(c));
+  EXPECT_EQ(root.children().size(), 0u);
+}
+
+TEST(ViewTest, HandlerChainOrdersInstanceBeforeClassBeforeSuper) {
+  ViewClass base("Base");
+  ViewClass derived("Derived", &base);
+  auto base_handler = std::make_shared<ProbeHandler>("base");
+  auto class_handler = std::make_shared<ProbeHandler>("class");
+  auto instance_handler = std::make_shared<ProbeHandler>("instance");
+  base.AddHandler(base_handler);
+  derived.AddHandler(class_handler);
+
+  View v(&derived, "v");
+  v.AddHandler(instance_handler);
+
+  const auto chain = v.HandlerChain();
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->name(), "instance");
+  EXPECT_EQ(chain[1]->name(), "class");
+  EXPECT_EQ(chain[2]->name(), "base");
+}
+
+TEST(ViewTest, ClassHandlerSharedAcrossInstances) {
+  // The paper's efficiency argument: one handler serves every view of the
+  // class.
+  ViewClass cls("Shared");
+  auto handler = std::make_shared<ProbeHandler>("h");
+  cls.AddHandler(handler);
+  View a(&cls, "a");
+  View b(&cls, "b");
+  ASSERT_EQ(a.HandlerChain().size(), 1u);
+  EXPECT_EQ(a.HandlerChain()[0], b.HandlerChain()[0]);
+}
+
+TEST(ViewTest, MostRecentHandlerQueriedFirst) {
+  ViewClass cls("V");
+  View v(&cls, "v");
+  auto first = std::make_shared<ProbeHandler>("first");
+  auto second = std::make_shared<ProbeHandler>("second");
+  v.AddHandler(first);
+  v.AddHandler(second);
+  EXPECT_EQ(v.HandlerChain()[0]->name(), "second");
+}
+
+TEST(ViewTest, RemoveHandler) {
+  ViewClass cls("V");
+  View v(&cls, "v");
+  auto h = std::make_shared<ProbeHandler>("h");
+  v.AddHandler(h);
+  v.RemoveHandler(h.get());
+  EXPECT_TRUE(v.HandlerChain().empty());
+  cls.AddHandler(h);
+  cls.RemoveHandler(h.get());
+  EXPECT_TRUE(v.HandlerChain().empty());
+}
+
+}  // namespace
+}  // namespace grandma::toolkit
