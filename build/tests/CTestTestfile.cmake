@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/linalg_tests[1]_include.cmake")
+include("/root/repo/build/tests/geom_tests[1]_include.cmake")
+include("/root/repo/build/tests/features_tests[1]_include.cmake")
+include("/root/repo/build/tests/classify_tests[1]_include.cmake")
+include("/root/repo/build/tests/synth_tests[1]_include.cmake")
+include("/root/repo/build/tests/eager_tests[1]_include.cmake")
+include("/root/repo/build/tests/toolkit_tests[1]_include.cmake")
+include("/root/repo/build/tests/gdp_tests[1]_include.cmake")
+include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/multipath_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/toolkit_model_tests[1]_include.cmake")
