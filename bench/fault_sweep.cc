@@ -1,0 +1,208 @@
+// Robustness sweep: replays the Figure 9 test set through the fault
+// injector -> stroke validator -> eager recognizer pipeline at increasing
+// fault rates, reporting recognition accuracy alongside the degradation
+// counters, and writes BENCH_fault_sweep.json.
+//
+// Doubles as the acceptance gate for the hardened pipeline: at a 10% fault
+// rate every stroke must complete without throwing, >= 80% of repairable
+// faulted strokes must still classify correctly, and the stroke-level
+// accounting (rejected + repaired + degraded == faulted) must balance.
+// Exits nonzero when any of that fails.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "eager/eager_recognizer.h"
+#include "geom/gesture.h"
+#include "robust/fault_injector.h"
+#include "robust/fault_stats.h"
+#include "robust/stroke_validator.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+
+struct SweepRow {
+  double fault_rate = 0.0;
+  std::size_t strokes = 0;
+  std::size_t faulted = 0;
+  std::size_t rejected = 0;
+  std::size_t repaired = 0;
+  std::size_t degraded = 0;
+  std::size_t completed = 0;  // strokes that produced a classification
+  double overall_accuracy = 0.0;     // over accepted strokes
+  double clean_accuracy = 0.0;       // unfaulted strokes only
+  double repairable_accuracy = 0.0;  // faulted, all-repairable strokes
+  std::size_t repairable_total = 0;
+  robust::FaultStats stats;
+  robust::FaultRecord record;
+};
+
+SweepRow RunSweep(const eager::EagerRecognizer& recognizer,
+                  const std::vector<synth::LabeledSamples>& test_batches, double fault_rate,
+                  std::uint64_t seed) {
+  SweepRow row;
+  row.fault_rate = fault_rate;
+
+  robust::FaultInjectorOptions fopts;
+  fopts.fault_rate = fault_rate;
+  robust::FaultInjector injector(fopts, seed);
+  robust::StrokeValidator validator;
+
+  std::size_t accepted = 0;
+  std::size_t accepted_correct = 0;
+  std::size_t clean_total = 0;
+  std::size_t clean_correct = 0;
+  std::size_t repairable_correct = 0;
+
+  for (const auto& batch : test_batches) {
+    const classify::ClassId want = recognizer.full().registry().Require(batch.class_name);
+    for (const auto& sample : batch.samples) {
+      ++row.strokes;
+      robust::InjectedFaults injected;
+      const geom::Gesture damaged = injector.Corrupt(sample.gesture, &injected);
+      robust::ValidationReport report;
+      auto validated = validator.Validate(damaged, &report, &row.stats);
+
+      if (injected.any()) {
+        ++row.faulted;
+        if (!validated.ok()) {
+          ++row.rejected;
+        } else if (report.repaired()) {
+          ++row.repaired;
+        } else {
+          ++row.degraded;  // lossy (dropped/truncated samples) but valid
+        }
+      }
+      if (!validated.ok()) {
+        continue;  // rejection is a completed, accounted outcome
+      }
+
+      eager::EagerStream stream(recognizer);
+      for (const auto& p : *validated) {
+        (void)stream.AddPoint(p);
+      }
+      const classify::Classification c = stream.ClassifyNow();
+      ++row.completed;
+
+      const bool correct = c.class_id == want;
+      ++accepted;
+      accepted_correct += correct ? 1 : 0;
+      if (!injected.any()) {
+        ++clean_total;
+        clean_correct += correct ? 1 : 0;
+      } else if (injected.only_repairable()) {
+        ++row.repairable_total;
+        repairable_correct += correct ? 1 : 0;
+      }
+    }
+  }
+
+  row.overall_accuracy =
+      accepted == 0 ? 0.0 : static_cast<double>(accepted_correct) / accepted;
+  row.clean_accuracy =
+      clean_total == 0 ? 0.0 : static_cast<double>(clean_correct) / clean_total;
+  row.repairable_accuracy = row.repairable_total == 0
+                                ? 1.0
+                                : static_cast<double>(repairable_correct) /
+                                      static_cast<double>(row.repairable_total);
+  row.record = injector.record();
+  return row;
+}
+
+std::string RowJson(const SweepRow& r) {
+  std::ostringstream out;
+  out << "    {\"fault_rate\": " << r.fault_rate << ", \"strokes\": " << r.strokes
+      << ", \"faulted\": " << r.faulted << ", \"rejected\": " << r.rejected
+      << ", \"repaired\": " << r.repaired << ", \"degraded\": " << r.degraded
+      << ", \"completed\": " << r.completed << ", \"overall_accuracy\": " << r.overall_accuracy
+      << ", \"clean_accuracy\": " << r.clean_accuracy
+      << ", \"repairable_accuracy\": " << r.repairable_accuracy
+      << ", \"repairable_total\": " << r.repairable_total << ",\n      \"injector\": "
+      << r.record.ToJson() << ",\n      \"stats\": " << r.stats.ToJson() << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  const auto specs = synth::MakeEightDirectionSpecs();
+  const auto train_batches =
+      synth::GenerateSet(specs, synth::NoiseModel{}, /*per_class=*/10, /*seed=*/1991);
+  const auto test_batches =
+      synth::GenerateSet(specs, synth::NoiseModel{}, /*per_class=*/30, /*seed=*/42);
+
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(synth::ToTrainingSet(train_batches));
+
+  const std::vector<double> rates = {0.0, 0.05, 0.10, 0.20, 0.30};
+  std::vector<SweepRow> rows;
+  bool ok = true;
+
+  std::printf("=== Fault sweep: Figure 9 set through the hardened pipeline ===\n");
+  std::printf("%10s %8s %8s %9s %9s %9s %10s %10s %11s\n", "fault_rate", "strokes", "faulted",
+              "rejected", "repaired", "degraded", "acc(all)", "acc(clean)", "acc(repair)");
+
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    SweepRow row;
+    try {
+      row = RunSweep(recognizer, test_batches, rates[i], /*seed=*/7000 + i);
+    } catch (const std::exception& e) {
+      std::printf("FAIL: pipeline threw at fault rate %.2f: %s\n", rates[i], e.what());
+      return 1;
+    }
+    std::printf("%10.2f %8zu %8zu %9zu %9zu %9zu %9.1f%% %9.1f%% %10.1f%%\n", row.fault_rate,
+                row.strokes, row.faulted, row.rejected, row.repaired, row.degraded,
+                100.0 * row.overall_accuracy, 100.0 * row.clean_accuracy,
+                100.0 * row.repairable_accuracy);
+
+    // Accounting must balance at every rate: each faulted stroke lands in
+    // exactly one outcome bucket, and the injector's record agrees.
+    if (row.rejected + row.repaired + row.degraded != row.faulted ||
+        row.record.strokes_faulted != row.faulted || row.record.strokes_seen != row.strokes) {
+      std::printf("FAIL: fault accounting does not balance at rate %.2f\n", row.fault_rate);
+      ok = false;
+    }
+    rows.push_back(row);
+  }
+
+  // Acceptance at the 10% rate.
+  for (const SweepRow& row : rows) {
+    if (row.fault_rate != 0.10) {
+      continue;
+    }
+    if (row.completed + row.rejected != row.strokes) {
+      std::printf("FAIL: %zu strokes did not complete at the 10%% rate\n",
+                  row.strokes - row.completed - row.rejected);
+      ok = false;
+    }
+    if (row.repairable_accuracy < 0.8) {
+      std::printf("FAIL: repairable accuracy %.1f%% < 80%% at the 10%% rate\n",
+                  100.0 * row.repairable_accuracy);
+      ok = false;
+    }
+  }
+
+  std::ofstream json("BENCH_fault_sweep.json");
+  json << "{\n  \"bench\": \"fault_sweep\",\n  \"gesture_set\": \"fig9_eight_directions\",\n"
+       << "  \"train_per_class\": 10,\n  \"test_per_class\": 30,\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << RowJson(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote BENCH_fault_sweep.json\n");
+
+  if (!ok) {
+    return 1;
+  }
+  std::printf("acceptance: all strokes completed; accounting balanced; "
+              "repairable accuracy >= 80%% at the 10%% rate\n");
+  return 0;
+}

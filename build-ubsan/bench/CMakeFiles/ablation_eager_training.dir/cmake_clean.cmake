@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eager_training.dir/ablation_eager_training.cc.o"
+  "CMakeFiles/ablation_eager_training.dir/ablation_eager_training.cc.o.d"
+  "ablation_eager_training"
+  "ablation_eager_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_handcoded_eager.dir/baseline_handcoded_eager.cc.o"
+  "CMakeFiles/baseline_handcoded_eager.dir/baseline_handcoded_eager.cc.o.d"
+  "baseline_handcoded_eager"
+  "baseline_handcoded_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_handcoded_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_twophase_accuracy.dir/claim_twophase_accuracy.cc.o"
+  "CMakeFiles/claim_twophase_accuracy.dir/claim_twophase_accuracy.cc.o.d"
+  "claim_twophase_accuracy"
+  "claim_twophase_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_twophase_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

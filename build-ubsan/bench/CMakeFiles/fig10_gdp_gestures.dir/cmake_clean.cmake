@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gdp_gestures.dir/fig10_gdp_gestures.cc.o"
+  "CMakeFiles/fig10_gdp_gestures.dir/fig10_gdp_gestures.cc.o.d"
+  "fig10_gdp_gestures"
+  "fig10_gdp_gestures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gdp_gestures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_gdp_semantics.dir/fig3_gdp_semantics.cc.o"
+  "CMakeFiles/fig3_gdp_semantics.dir/fig3_gdp_semantics.cc.o.d"
+  "fig3_gdp_semantics"
+  "fig3_gdp_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_gdp_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

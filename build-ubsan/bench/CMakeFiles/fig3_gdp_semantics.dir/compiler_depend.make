@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_gdp_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_7_ud_walkthrough.dir/fig5_7_ud_walkthrough.cc.o"
+  "CMakeFiles/fig5_7_ud_walkthrough.dir/fig5_7_ud_walkthrough.cc.o.d"
+  "fig5_7_ud_walkthrough"
+  "fig5_7_ud_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_7_ud_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_note_gestures.dir/fig8_note_gestures.cc.o"
+  "CMakeFiles/fig8_note_gestures.dir/fig8_note_gestures.cc.o.d"
+  "fig8_note_gestures"
+  "fig8_note_gestures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_note_gestures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

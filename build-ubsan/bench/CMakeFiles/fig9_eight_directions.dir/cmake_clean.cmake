@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_eight_directions.dir/fig9_eight_directions.cc.o"
+  "CMakeFiles/fig9_eight_directions.dir/fig9_eight_directions.cc.o.d"
+  "fig9_eight_directions"
+  "fig9_eight_directions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_eight_directions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

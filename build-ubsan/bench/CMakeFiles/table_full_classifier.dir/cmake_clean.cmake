@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_full_classifier.dir/table_full_classifier.cc.o"
+  "CMakeFiles/table_full_classifier.dir/table_full_classifier.cc.o.d"
+  "table_full_classifier"
+  "table_full_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_full_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

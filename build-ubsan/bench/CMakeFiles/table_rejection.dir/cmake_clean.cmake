@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_rejection.dir/table_rejection.cc.o"
+  "CMakeFiles/table_rejection.dir/table_rejection.cc.o.d"
+  "table_rejection"
+  "table_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

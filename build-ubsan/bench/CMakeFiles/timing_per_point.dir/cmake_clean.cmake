@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_per_point.dir/timing_per_point.cc.o"
+  "CMakeFiles/timing_per_point.dir/timing_per_point.cc.o.d"
+  "timing_per_point"
+  "timing_per_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_per_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timing_per_point.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_paint.dir/eager_paint.cpp.o"
+  "CMakeFiles/eager_paint.dir/eager_paint.cpp.o.d"
+  "eager_paint"
+  "eager_paint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_paint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

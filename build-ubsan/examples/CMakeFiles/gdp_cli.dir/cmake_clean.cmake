@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_cli.dir/gdp_cli.cpp.o"
+  "CMakeFiles/gdp_cli.dir/gdp_cli.cpp.o.d"
+  "gdp_cli"
+  "gdp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_session.dir/gdp_session.cpp.o"
+  "CMakeFiles/gdp_session.dir/gdp_session.cpp.o.d"
+  "gdp_session"
+  "gdp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

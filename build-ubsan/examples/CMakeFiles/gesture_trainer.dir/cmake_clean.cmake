@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_trainer.dir/gesture_trainer.cpp.o"
+  "CMakeFiles/gesture_trainer.dir/gesture_trainer.cpp.o.d"
+  "gesture_trainer"
+  "gesture_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

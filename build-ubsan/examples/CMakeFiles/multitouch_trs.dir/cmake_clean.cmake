@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitouch_trs.dir/multitouch_trs.cpp.o"
+  "CMakeFiles/multitouch_trs.dir/multitouch_trs.cpp.o.d"
+  "multitouch_trs"
+  "multitouch_trs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitouch_trs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

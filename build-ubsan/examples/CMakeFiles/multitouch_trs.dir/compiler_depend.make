@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multitouch_trs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for multitouch_trs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_timeout.dir/two_phase_timeout.cpp.o"
+  "CMakeFiles/two_phase_timeout.dir/two_phase_timeout.cpp.o.d"
+  "two_phase_timeout"
+  "two_phase_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-ubsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("geom")
+subdirs("robust")
+subdirs("features")
+subdirs("classify")
+subdirs("synth")
+subdirs("eager")
+subdirs("toolkit")
+subdirs("gdp")
+subdirs("io")
+subdirs("multipath")

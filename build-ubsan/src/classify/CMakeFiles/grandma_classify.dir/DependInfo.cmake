@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/evaluation.cc" "src/classify/CMakeFiles/grandma_classify.dir/evaluation.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/evaluation.cc.o.d"
+  "/root/repo/src/classify/gesture_classifier.cc" "src/classify/CMakeFiles/grandma_classify.dir/gesture_classifier.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/gesture_classifier.cc.o.d"
+  "/root/repo/src/classify/linear_classifier.cc" "src/classify/CMakeFiles/grandma_classify.dir/linear_classifier.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/linear_classifier.cc.o.d"
+  "/root/repo/src/classify/multistroke.cc" "src/classify/CMakeFiles/grandma_classify.dir/multistroke.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/multistroke.cc.o.d"
+  "/root/repo/src/classify/rejection.cc" "src/classify/CMakeFiles/grandma_classify.dir/rejection.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/rejection.cc.o.d"
+  "/root/repo/src/classify/training_set.cc" "src/classify/CMakeFiles/grandma_classify.dir/training_set.cc.o" "gcc" "src/classify/CMakeFiles/grandma_classify.dir/training_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_classify.dir/evaluation.cc.o"
+  "CMakeFiles/grandma_classify.dir/evaluation.cc.o.d"
+  "CMakeFiles/grandma_classify.dir/gesture_classifier.cc.o"
+  "CMakeFiles/grandma_classify.dir/gesture_classifier.cc.o.d"
+  "CMakeFiles/grandma_classify.dir/linear_classifier.cc.o"
+  "CMakeFiles/grandma_classify.dir/linear_classifier.cc.o.d"
+  "CMakeFiles/grandma_classify.dir/multistroke.cc.o"
+  "CMakeFiles/grandma_classify.dir/multistroke.cc.o.d"
+  "CMakeFiles/grandma_classify.dir/rejection.cc.o"
+  "CMakeFiles/grandma_classify.dir/rejection.cc.o.d"
+  "CMakeFiles/grandma_classify.dir/training_set.cc.o"
+  "CMakeFiles/grandma_classify.dir/training_set.cc.o.d"
+  "libgrandma_classify.a"
+  "libgrandma_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

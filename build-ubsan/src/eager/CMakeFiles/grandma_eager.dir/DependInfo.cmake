@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eager/accidental_mover.cc" "src/eager/CMakeFiles/grandma_eager.dir/accidental_mover.cc.o" "gcc" "src/eager/CMakeFiles/grandma_eager.dir/accidental_mover.cc.o.d"
+  "/root/repo/src/eager/auc.cc" "src/eager/CMakeFiles/grandma_eager.dir/auc.cc.o" "gcc" "src/eager/CMakeFiles/grandma_eager.dir/auc.cc.o.d"
+  "/root/repo/src/eager/eager_recognizer.cc" "src/eager/CMakeFiles/grandma_eager.dir/eager_recognizer.cc.o" "gcc" "src/eager/CMakeFiles/grandma_eager.dir/eager_recognizer.cc.o.d"
+  "/root/repo/src/eager/evaluation.cc" "src/eager/CMakeFiles/grandma_eager.dir/evaluation.cc.o" "gcc" "src/eager/CMakeFiles/grandma_eager.dir/evaluation.cc.o.d"
+  "/root/repo/src/eager/subgesture_labeler.cc" "src/eager/CMakeFiles/grandma_eager.dir/subgesture_labeler.cc.o" "gcc" "src/eager/CMakeFiles/grandma_eager.dir/subgesture_labeler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/classify/CMakeFiles/grandma_classify.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/synth/CMakeFiles/grandma_synth.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

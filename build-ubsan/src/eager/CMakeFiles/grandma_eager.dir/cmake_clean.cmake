@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_eager.dir/accidental_mover.cc.o"
+  "CMakeFiles/grandma_eager.dir/accidental_mover.cc.o.d"
+  "CMakeFiles/grandma_eager.dir/auc.cc.o"
+  "CMakeFiles/grandma_eager.dir/auc.cc.o.d"
+  "CMakeFiles/grandma_eager.dir/eager_recognizer.cc.o"
+  "CMakeFiles/grandma_eager.dir/eager_recognizer.cc.o.d"
+  "CMakeFiles/grandma_eager.dir/evaluation.cc.o"
+  "CMakeFiles/grandma_eager.dir/evaluation.cc.o.d"
+  "CMakeFiles/grandma_eager.dir/subgesture_labeler.cc.o"
+  "CMakeFiles/grandma_eager.dir/subgesture_labeler.cc.o.d"
+  "libgrandma_eager.a"
+  "libgrandma_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cc" "src/features/CMakeFiles/grandma_features.dir/extractor.cc.o" "gcc" "src/features/CMakeFiles/grandma_features.dir/extractor.cc.o.d"
+  "/root/repo/src/features/feature_vector.cc" "src/features/CMakeFiles/grandma_features.dir/feature_vector.cc.o" "gcc" "src/features/CMakeFiles/grandma_features.dir/feature_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

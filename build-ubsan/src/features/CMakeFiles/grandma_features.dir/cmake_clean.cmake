@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_features.dir/extractor.cc.o"
+  "CMakeFiles/grandma_features.dir/extractor.cc.o.d"
+  "CMakeFiles/grandma_features.dir/feature_vector.cc.o"
+  "CMakeFiles/grandma_features.dir/feature_vector.cc.o.d"
+  "libgrandma_features.a"
+  "libgrandma_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

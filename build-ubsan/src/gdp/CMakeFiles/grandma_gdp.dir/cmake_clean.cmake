@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_gdp.dir/app.cc.o"
+  "CMakeFiles/grandma_gdp.dir/app.cc.o.d"
+  "CMakeFiles/grandma_gdp.dir/canvas.cc.o"
+  "CMakeFiles/grandma_gdp.dir/canvas.cc.o.d"
+  "CMakeFiles/grandma_gdp.dir/document.cc.o"
+  "CMakeFiles/grandma_gdp.dir/document.cc.o.d"
+  "CMakeFiles/grandma_gdp.dir/scripting.cc.o"
+  "CMakeFiles/grandma_gdp.dir/scripting.cc.o.d"
+  "CMakeFiles/grandma_gdp.dir/session.cc.o"
+  "CMakeFiles/grandma_gdp.dir/session.cc.o.d"
+  "CMakeFiles/grandma_gdp.dir/shapes.cc.o"
+  "CMakeFiles/grandma_gdp.dir/shapes.cc.o.d"
+  "libgrandma_gdp.a"
+  "libgrandma_gdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_gdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grandma_gdp.
+# This may be replaced when dependencies are built.

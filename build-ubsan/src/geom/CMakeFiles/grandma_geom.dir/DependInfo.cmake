@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/filter.cc" "src/geom/CMakeFiles/grandma_geom.dir/filter.cc.o" "gcc" "src/geom/CMakeFiles/grandma_geom.dir/filter.cc.o.d"
+  "/root/repo/src/geom/gesture.cc" "src/geom/CMakeFiles/grandma_geom.dir/gesture.cc.o" "gcc" "src/geom/CMakeFiles/grandma_geom.dir/gesture.cc.o.d"
+  "/root/repo/src/geom/resample.cc" "src/geom/CMakeFiles/grandma_geom.dir/resample.cc.o" "gcc" "src/geom/CMakeFiles/grandma_geom.dir/resample.cc.o.d"
+  "/root/repo/src/geom/transform.cc" "src/geom/CMakeFiles/grandma_geom.dir/transform.cc.o" "gcc" "src/geom/CMakeFiles/grandma_geom.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_geom.dir/filter.cc.o"
+  "CMakeFiles/grandma_geom.dir/filter.cc.o.d"
+  "CMakeFiles/grandma_geom.dir/gesture.cc.o"
+  "CMakeFiles/grandma_geom.dir/gesture.cc.o.d"
+  "CMakeFiles/grandma_geom.dir/resample.cc.o"
+  "CMakeFiles/grandma_geom.dir/resample.cc.o.d"
+  "CMakeFiles/grandma_geom.dir/transform.cc.o"
+  "CMakeFiles/grandma_geom.dir/transform.cc.o.d"
+  "libgrandma_geom.a"
+  "libgrandma_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_io.dir/event_trace.cc.o"
+  "CMakeFiles/grandma_io.dir/event_trace.cc.o.d"
+  "CMakeFiles/grandma_io.dir/serialize.cc.o"
+  "CMakeFiles/grandma_io.dir/serialize.cc.o.d"
+  "libgrandma_io.a"
+  "libgrandma_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

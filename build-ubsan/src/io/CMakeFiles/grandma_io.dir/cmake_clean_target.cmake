@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrandma_io.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/grandma_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/grandma_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/grandma_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/grandma_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/linalg/CMakeFiles/grandma_linalg.dir/solve.cc.o" "gcc" "src/linalg/CMakeFiles/grandma_linalg.dir/solve.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/linalg/CMakeFiles/grandma_linalg.dir/stats.cc.o" "gcc" "src/linalg/CMakeFiles/grandma_linalg.dir/stats.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/linalg/CMakeFiles/grandma_linalg.dir/vector.cc.o" "gcc" "src/linalg/CMakeFiles/grandma_linalg.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

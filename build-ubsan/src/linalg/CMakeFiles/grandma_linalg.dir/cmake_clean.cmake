@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/grandma_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/grandma_linalg.dir/matrix.cc.o"
+  "CMakeFiles/grandma_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/grandma_linalg.dir/solve.cc.o"
+  "CMakeFiles/grandma_linalg.dir/solve.cc.o.d"
+  "CMakeFiles/grandma_linalg.dir/stats.cc.o"
+  "CMakeFiles/grandma_linalg.dir/stats.cc.o.d"
+  "CMakeFiles/grandma_linalg.dir/vector.cc.o"
+  "CMakeFiles/grandma_linalg.dir/vector.cc.o.d"
+  "libgrandma_linalg.a"
+  "libgrandma_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multipath/classifier.cc" "src/multipath/CMakeFiles/grandma_multipath.dir/classifier.cc.o" "gcc" "src/multipath/CMakeFiles/grandma_multipath.dir/classifier.cc.o.d"
+  "/root/repo/src/multipath/features.cc" "src/multipath/CMakeFiles/grandma_multipath.dir/features.cc.o" "gcc" "src/multipath/CMakeFiles/grandma_multipath.dir/features.cc.o.d"
+  "/root/repo/src/multipath/multipath_gesture.cc" "src/multipath/CMakeFiles/grandma_multipath.dir/multipath_gesture.cc.o" "gcc" "src/multipath/CMakeFiles/grandma_multipath.dir/multipath_gesture.cc.o.d"
+  "/root/repo/src/multipath/synth.cc" "src/multipath/CMakeFiles/grandma_multipath.dir/synth.cc.o" "gcc" "src/multipath/CMakeFiles/grandma_multipath.dir/synth.cc.o.d"
+  "/root/repo/src/multipath/two_finger_transform.cc" "src/multipath/CMakeFiles/grandma_multipath.dir/two_finger_transform.cc.o" "gcc" "src/multipath/CMakeFiles/grandma_multipath.dir/two_finger_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/classify/CMakeFiles/grandma_classify.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/synth/CMakeFiles/grandma_synth.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

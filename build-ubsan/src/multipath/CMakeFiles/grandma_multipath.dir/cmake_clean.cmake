@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_multipath.dir/classifier.cc.o"
+  "CMakeFiles/grandma_multipath.dir/classifier.cc.o.d"
+  "CMakeFiles/grandma_multipath.dir/features.cc.o"
+  "CMakeFiles/grandma_multipath.dir/features.cc.o.d"
+  "CMakeFiles/grandma_multipath.dir/multipath_gesture.cc.o"
+  "CMakeFiles/grandma_multipath.dir/multipath_gesture.cc.o.d"
+  "CMakeFiles/grandma_multipath.dir/synth.cc.o"
+  "CMakeFiles/grandma_multipath.dir/synth.cc.o.d"
+  "CMakeFiles/grandma_multipath.dir/two_finger_transform.cc.o"
+  "CMakeFiles/grandma_multipath.dir/two_finger_transform.cc.o.d"
+  "libgrandma_multipath.a"
+  "libgrandma_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

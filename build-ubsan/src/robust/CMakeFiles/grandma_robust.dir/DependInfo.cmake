@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/fault_injector.cc" "src/robust/CMakeFiles/grandma_robust.dir/fault_injector.cc.o" "gcc" "src/robust/CMakeFiles/grandma_robust.dir/fault_injector.cc.o.d"
+  "/root/repo/src/robust/fault_stats.cc" "src/robust/CMakeFiles/grandma_robust.dir/fault_stats.cc.o" "gcc" "src/robust/CMakeFiles/grandma_robust.dir/fault_stats.cc.o.d"
+  "/root/repo/src/robust/stroke_validator.cc" "src/robust/CMakeFiles/grandma_robust.dir/stroke_validator.cc.o" "gcc" "src/robust/CMakeFiles/grandma_robust.dir/stroke_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_robust.dir/fault_injector.cc.o"
+  "CMakeFiles/grandma_robust.dir/fault_injector.cc.o.d"
+  "CMakeFiles/grandma_robust.dir/fault_stats.cc.o"
+  "CMakeFiles/grandma_robust.dir/fault_stats.cc.o.d"
+  "CMakeFiles/grandma_robust.dir/stroke_validator.cc.o"
+  "CMakeFiles/grandma_robust.dir/stroke_validator.cc.o.d"
+  "libgrandma_robust.a"
+  "libgrandma_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_synth.dir/generator.cc.o"
+  "CMakeFiles/grandma_synth.dir/generator.cc.o.d"
+  "CMakeFiles/grandma_synth.dir/path_spec.cc.o"
+  "CMakeFiles/grandma_synth.dir/path_spec.cc.o.d"
+  "CMakeFiles/grandma_synth.dir/sets.cc.o"
+  "CMakeFiles/grandma_synth.dir/sets.cc.o.d"
+  "libgrandma_synth.a"
+  "libgrandma_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolkit/dispatcher.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/dispatcher.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/dispatcher.cc.o.d"
+  "/root/repo/src/toolkit/drag_handler.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/drag_handler.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/drag_handler.cc.o.d"
+  "/root/repo/src/toolkit/event.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/event.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/event.cc.o.d"
+  "/root/repo/src/toolkit/gesture_handler.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/gesture_handler.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/gesture_handler.cc.o.d"
+  "/root/repo/src/toolkit/model.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/model.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/model.cc.o.d"
+  "/root/repo/src/toolkit/playback.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/playback.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/playback.cc.o.d"
+  "/root/repo/src/toolkit/script.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/script.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/script.cc.o.d"
+  "/root/repo/src/toolkit/script_semantics.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/script_semantics.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/script_semantics.cc.o.d"
+  "/root/repo/src/toolkit/semantics.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/semantics.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/semantics.cc.o.d"
+  "/root/repo/src/toolkit/view.cc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/view.cc.o" "gcc" "src/toolkit/CMakeFiles/grandma_toolkit.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/eager/CMakeFiles/grandma_eager.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/classify/CMakeFiles/grandma_classify.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/synth/CMakeFiles/grandma_synth.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

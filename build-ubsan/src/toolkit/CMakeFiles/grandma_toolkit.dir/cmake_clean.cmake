@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grandma_toolkit.dir/dispatcher.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/dispatcher.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/drag_handler.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/drag_handler.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/event.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/event.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/gesture_handler.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/gesture_handler.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/model.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/model.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/playback.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/playback.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/script.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/script.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/script_semantics.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/script_semantics.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/semantics.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/semantics.cc.o.d"
+  "CMakeFiles/grandma_toolkit.dir/view.cc.o"
+  "CMakeFiles/grandma_toolkit.dir/view.cc.o.d"
+  "libgrandma_toolkit.a"
+  "libgrandma_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grandma_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

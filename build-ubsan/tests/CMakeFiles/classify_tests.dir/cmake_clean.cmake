@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_tests.dir/classify_evaluation_test.cc.o"
+  "CMakeFiles/classify_tests.dir/classify_evaluation_test.cc.o.d"
+  "CMakeFiles/classify_tests.dir/classify_linear_test.cc.o"
+  "CMakeFiles/classify_tests.dir/classify_linear_test.cc.o.d"
+  "CMakeFiles/classify_tests.dir/classify_multistroke_test.cc.o"
+  "CMakeFiles/classify_tests.dir/classify_multistroke_test.cc.o.d"
+  "CMakeFiles/classify_tests.dir/classify_rejection_test.cc.o"
+  "CMakeFiles/classify_tests.dir/classify_rejection_test.cc.o.d"
+  "CMakeFiles/classify_tests.dir/classify_training_set_test.cc.o"
+  "CMakeFiles/classify_tests.dir/classify_training_set_test.cc.o.d"
+  "classify_tests"
+  "classify_tests.pdb"
+  "classify_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_tests.dir/eager_auc_test.cc.o"
+  "CMakeFiles/eager_tests.dir/eager_auc_test.cc.o.d"
+  "CMakeFiles/eager_tests.dir/eager_labeler_test.cc.o"
+  "CMakeFiles/eager_tests.dir/eager_labeler_test.cc.o.d"
+  "CMakeFiles/eager_tests.dir/eager_mover_test.cc.o"
+  "CMakeFiles/eager_tests.dir/eager_mover_test.cc.o.d"
+  "CMakeFiles/eager_tests.dir/eager_options_test.cc.o"
+  "CMakeFiles/eager_tests.dir/eager_options_test.cc.o.d"
+  "CMakeFiles/eager_tests.dir/eager_recognizer_test.cc.o"
+  "CMakeFiles/eager_tests.dir/eager_recognizer_test.cc.o.d"
+  "eager_tests"
+  "eager_tests.pdb"
+  "eager_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_tests.dir/features_test.cc.o"
+  "CMakeFiles/features_tests.dir/features_test.cc.o.d"
+  "features_tests"
+  "features_tests.pdb"
+  "features_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_tests.dir/gdp_app_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_app_test.cc.o.d"
+  "CMakeFiles/gdp_tests.dir/gdp_canvas_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_canvas_test.cc.o.d"
+  "CMakeFiles/gdp_tests.dir/gdp_document_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_document_test.cc.o.d"
+  "CMakeFiles/gdp_tests.dir/gdp_scripting_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_scripting_test.cc.o.d"
+  "CMakeFiles/gdp_tests.dir/gdp_session_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_session_test.cc.o.d"
+  "CMakeFiles/gdp_tests.dir/gdp_shapes_test.cc.o"
+  "CMakeFiles/gdp_tests.dir/gdp_shapes_test.cc.o.d"
+  "gdp_tests"
+  "gdp_tests.pdb"
+  "gdp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

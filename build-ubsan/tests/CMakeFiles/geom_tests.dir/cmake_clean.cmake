@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_tests.dir/geom_filter_test.cc.o"
+  "CMakeFiles/geom_tests.dir/geom_filter_test.cc.o.d"
+  "CMakeFiles/geom_tests.dir/geom_gesture_test.cc.o"
+  "CMakeFiles/geom_tests.dir/geom_gesture_test.cc.o.d"
+  "CMakeFiles/geom_tests.dir/geom_resample_test.cc.o"
+  "CMakeFiles/geom_tests.dir/geom_resample_test.cc.o.d"
+  "CMakeFiles/geom_tests.dir/geom_transform_test.cc.o"
+  "CMakeFiles/geom_tests.dir/geom_transform_test.cc.o.d"
+  "geom_tests"
+  "geom_tests.pdb"
+  "geom_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

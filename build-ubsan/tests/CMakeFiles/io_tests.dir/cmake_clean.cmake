@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_tests.dir/io_event_trace_test.cc.o"
+  "CMakeFiles/io_tests.dir/io_event_trace_test.cc.o.d"
+  "CMakeFiles/io_tests.dir/io_serialize_test.cc.o"
+  "CMakeFiles/io_tests.dir/io_serialize_test.cc.o.d"
+  "io_tests"
+  "io_tests.pdb"
+  "io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg_cholesky_test.cc.o"
+  "CMakeFiles/linalg_tests.dir/linalg_cholesky_test.cc.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg_matrix_test.cc.o"
+  "CMakeFiles/linalg_tests.dir/linalg_matrix_test.cc.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg_solve_test.cc.o"
+  "CMakeFiles/linalg_tests.dir/linalg_solve_test.cc.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg_stats_test.cc.o"
+  "CMakeFiles/linalg_tests.dir/linalg_stats_test.cc.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg_vector_test.cc.o"
+  "CMakeFiles/linalg_tests.dir/linalg_vector_test.cc.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

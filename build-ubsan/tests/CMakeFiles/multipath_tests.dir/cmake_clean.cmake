@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_tests.dir/multipath_test.cc.o"
+  "CMakeFiles/multipath_tests.dir/multipath_test.cc.o.d"
+  "multipath_tests"
+  "multipath_tests.pdb"
+  "multipath_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robust_degenerate_test.cc" "tests/CMakeFiles/robust_tests.dir/robust_degenerate_test.cc.o" "gcc" "tests/CMakeFiles/robust_tests.dir/robust_degenerate_test.cc.o.d"
+  "/root/repo/tests/robust_fault_injector_test.cc" "tests/CMakeFiles/robust_tests.dir/robust_fault_injector_test.cc.o" "gcc" "tests/CMakeFiles/robust_tests.dir/robust_fault_injector_test.cc.o.d"
+  "/root/repo/tests/robust_pipeline_test.cc" "tests/CMakeFiles/robust_tests.dir/robust_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/robust_tests.dir/robust_pipeline_test.cc.o.d"
+  "/root/repo/tests/robust_status_test.cc" "tests/CMakeFiles/robust_tests.dir/robust_status_test.cc.o" "gcc" "tests/CMakeFiles/robust_tests.dir/robust_status_test.cc.o.d"
+  "/root/repo/tests/robust_validator_test.cc" "tests/CMakeFiles/robust_tests.dir/robust_validator_test.cc.o" "gcc" "tests/CMakeFiles/robust_tests.dir/robust_validator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ubsan/src/gdp/CMakeFiles/grandma_gdp.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/io/CMakeFiles/grandma_io.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/toolkit/CMakeFiles/grandma_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/eager/CMakeFiles/grandma_eager.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/multipath/CMakeFiles/grandma_multipath.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/synth/CMakeFiles/grandma_synth.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/classify/CMakeFiles/grandma_classify.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
+  "/root/repo/build-ubsan/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_tests.dir/robust_degenerate_test.cc.o"
+  "CMakeFiles/robust_tests.dir/robust_degenerate_test.cc.o.d"
+  "CMakeFiles/robust_tests.dir/robust_fault_injector_test.cc.o"
+  "CMakeFiles/robust_tests.dir/robust_fault_injector_test.cc.o.d"
+  "CMakeFiles/robust_tests.dir/robust_pipeline_test.cc.o"
+  "CMakeFiles/robust_tests.dir/robust_pipeline_test.cc.o.d"
+  "CMakeFiles/robust_tests.dir/robust_status_test.cc.o"
+  "CMakeFiles/robust_tests.dir/robust_status_test.cc.o.d"
+  "CMakeFiles/robust_tests.dir/robust_validator_test.cc.o"
+  "CMakeFiles/robust_tests.dir/robust_validator_test.cc.o.d"
+  "robust_tests"
+  "robust_tests.pdb"
+  "robust_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_tests.dir/synth_test.cc.o"
+  "CMakeFiles/synth_tests.dir/synth_test.cc.o.d"
+  "synth_tests"
+  "synth_tests.pdb"
+  "synth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

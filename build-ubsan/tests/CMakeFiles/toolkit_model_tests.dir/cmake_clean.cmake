@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolkit_model_tests.dir/toolkit_model_test.cc.o"
+  "CMakeFiles/toolkit_model_tests.dir/toolkit_model_test.cc.o.d"
+  "toolkit_model_tests"
+  "toolkit_model_tests.pdb"
+  "toolkit_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolkit_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolkit_tests.dir/toolkit_dispatcher_test.cc.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit_dispatcher_test.cc.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit_gesture_handler_test.cc.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit_gesture_handler_test.cc.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit_playback_test.cc.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit_playback_test.cc.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit_script_test.cc.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit_script_test.cc.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit_view_test.cc.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit_view_test.cc.o.d"
+  "toolkit_tests"
+  "toolkit_tests.pdb"
+  "toolkit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolkit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

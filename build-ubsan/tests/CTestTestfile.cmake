@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-ubsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-ubsan/tests/linalg_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/geom_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/features_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/classify_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/synth_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/eager_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/toolkit_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/gdp_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/io_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/robust_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/property_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/multipath_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build-ubsan/tests/toolkit_model_tests[1]_include.cmake")

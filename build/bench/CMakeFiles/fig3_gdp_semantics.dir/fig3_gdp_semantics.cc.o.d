@@ -235,6 +235,7 @@ bench/CMakeFiles/fig3_gdp_semantics.dir/fig3_gdp_semantics.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/accidental_mover.h /usr/include/c++/12/optional \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/features/extractor.h /root/repo/src/gdp/canvas.h \

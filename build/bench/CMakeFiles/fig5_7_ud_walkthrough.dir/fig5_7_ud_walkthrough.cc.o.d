@@ -166,6 +166,7 @@ bench/CMakeFiles/fig5_7_ud_walkthrough.dir/fig5_7_ud_walkthrough.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/synth/generator.h /root/repo/src/synth/path_spec.h \
  /root/repo/src/synth/rng.h /usr/include/c++/12/random \

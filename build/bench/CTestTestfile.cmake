@@ -5,26 +5,28 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_smoke_fig5_7_ud_walkthrough "/root/repo/build/bench/fig5_7_ud_walkthrough")
-set_tests_properties(bench_smoke_fig5_7_ud_walkthrough PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig5_7_ud_walkthrough PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_fig8_note_gestures "/root/repo/build/bench/fig8_note_gestures")
-set_tests_properties(bench_smoke_fig8_note_gestures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig8_note_gestures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_fig9_eight_directions "/root/repo/build/bench/fig9_eight_directions")
-set_tests_properties(bench_smoke_fig9_eight_directions PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig9_eight_directions PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_fig10_gdp_gestures "/root/repo/build/bench/fig10_gdp_gestures")
-set_tests_properties(bench_smoke_fig10_gdp_gestures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig10_gdp_gestures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_fig3_gdp_semantics "/root/repo/build/bench/fig3_gdp_semantics")
-set_tests_properties(bench_smoke_fig3_gdp_semantics PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_fig3_gdp_semantics PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_table_full_classifier "/root/repo/build/bench/table_full_classifier")
-set_tests_properties(bench_smoke_table_full_classifier PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_table_full_classifier PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_table_rejection "/root/repo/build/bench/table_rejection")
-set_tests_properties(bench_smoke_table_rejection PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_table_rejection PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_ablation_eager_training "/root/repo/build/bench/ablation_eager_training")
-set_tests_properties(bench_smoke_ablation_eager_training PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_ablation_eager_training PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_baseline_handcoded_eager "/root/repo/build/bench/baseline_handcoded_eager")
-set_tests_properties(bench_smoke_baseline_handcoded_eager PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_baseline_handcoded_eager PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_render_figures "/root/repo/build/bench/render_figures")
-set_tests_properties(bench_smoke_render_figures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_render_figures PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fault_sweep "/root/repo/build/bench/fault_sweep")
+set_tests_properties(bench_smoke_fault_sweep PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_timing "/root/repo/build/bench/timing_per_point" "--benchmark_min_time=0.01")
-set_tests_properties(bench_smoke_timing PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_timing PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_smoke_claim_twophase "/root/repo/build/bench/claim_twophase_accuracy")
-set_tests_properties(bench_smoke_claim_twophase PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_smoke_claim_twophase PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -235,7 +235,8 @@ examples/CMakeFiles/multitouch_trs.dir/multitouch_trs.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/features/feature_vector.h /root/repo/src/linalg/vector.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/multipath/features.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/robust/fault_stats.h \
+ /root/repo/src/multipath/features.h \
  /root/repo/src/multipath/multipath_gesture.h \
  /root/repo/src/multipath/synth.h /root/repo/src/synth/generator.h \
  /root/repo/src/synth/path_spec.h /root/repo/src/synth/rng.h \

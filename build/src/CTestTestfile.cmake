@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("linalg")
 subdirs("geom")
+subdirs("robust")
 subdirs("features")
 subdirs("classify")
 subdirs("synth")

@@ -234,6 +234,7 @@ src/gdp/CMakeFiles/grandma_gdp.dir/app.cc.o: /root/repo/src/gdp/app.cc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/accidental_mover.h /usr/include/c++/12/optional \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/features/extractor.h /root/repo/src/gdp/canvas.h \

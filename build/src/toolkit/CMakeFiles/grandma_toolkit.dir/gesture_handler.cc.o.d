@@ -236,6 +236,7 @@ src/toolkit/CMakeFiles/grandma_toolkit.dir/gesture_handler.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/eager_recognizer.h \
  /root/repo/src/classify/gesture_classifier.h \
  /root/repo/src/eager/accidental_mover.h \

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/multipath/CMakeFiles/grandma_multipath.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/grandma_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/classify/CMakeFiles/grandma_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/grandma_robust.dir/DependInfo.cmake"
   "/root/repo/build/src/features/CMakeFiles/grandma_features.dir/DependInfo.cmake"
   "/root/repo/build/src/geom/CMakeFiles/grandma_geom.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/grandma_linalg.dir/DependInfo.cmake"

@@ -160,7 +160,8 @@ tests/CMakeFiles/eager_tests.dir/eager_auc_test.cc.o: \
  /root/repo/src/features/feature_vector.h /usr/include/c++/12/array \
  /root/repo/src/linalg/vector.h /root/repo/src/geom/gesture.h \
  /usr/include/c++/12/span /root/repo/src/geom/point.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/eager/subgesture_labeler.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/robust/fault_stats.h \
+ /root/repo/src/eager/subgesture_labeler.h \
  /root/repo/src/classify/gesture_classifier.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \

@@ -166,6 +166,7 @@ tests/CMakeFiles/eager_tests.dir/eager_mover_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/subgesture_labeler.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \

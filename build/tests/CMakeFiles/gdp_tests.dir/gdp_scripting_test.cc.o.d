@@ -327,6 +327,7 @@ tests/CMakeFiles/gdp_tests.dir/gdp_scripting_test.cc.o: \
  /root/repo/src/classify/gesture_classifier.h \
  /root/repo/src/classify/linear_classifier.h \
  /root/repo/src/classify/training_set.h /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/accidental_mover.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/synth/sets.h /root/repo/src/synth/path_spec.h \

@@ -126,9 +126,10 @@ tests/CMakeFiles/io_tests.dir/io_event_trace_test.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/toolkit/dispatcher.h \
- /usr/include/c++/12/cstddef /root/repo/src/toolkit/event.h \
- /root/repo/src/toolkit/event_handler.h /root/repo/src/toolkit/view.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/cstddef /root/repo/src/robust/fault_stats.h \
+ /root/repo/src/toolkit/event.h /root/repo/src/toolkit/event_handler.h \
+ /root/repo/src/toolkit/view.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -316,7 +317,12 @@ tests/CMakeFiles/io_tests.dir/io_event_trace_test.cc.o: \
  /root/miniconda/include/gtest/gtest-test-part.h \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
- /root/miniconda/include/gtest/gtest_pred_impl.h /root/repo/src/gdp/app.h \
+ /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/gdp/app.h \
  /root/repo/src/eager/eager_recognizer.h \
  /root/repo/src/classify/gesture_classifier.h \
  /root/repo/src/classify/linear_classifier.h \

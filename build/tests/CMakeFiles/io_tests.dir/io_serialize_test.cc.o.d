@@ -162,6 +162,7 @@ tests/CMakeFiles/io_tests.dir/io_serialize_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/eager_recognizer.h \
  /root/repo/src/eager/accidental_mover.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
@@ -324,10 +325,11 @@ tests/CMakeFiles/io_tests.dir/io_serialize_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/eager/evaluation.h /root/repo/src/synth/generator.h \
- /root/repo/src/synth/path_spec.h /root/repo/src/synth/rng.h \
  /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/synth/sets.h
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/eager/evaluation.h /root/repo/src/synth/generator.h \
+ /root/repo/src/synth/path_spec.h /root/repo/src/synth/rng.h \
+ /root/repo/src/synth/sets.h

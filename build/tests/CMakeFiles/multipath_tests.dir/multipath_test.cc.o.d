@@ -321,7 +321,7 @@ tests/CMakeFiles/multipath_tests.dir/multipath_test.cc.o: \
  /root/repo/src/features/feature_vector.h /root/repo/src/linalg/vector.h \
  /root/repo/src/geom/gesture.h /usr/include/c++/12/span \
  /root/repo/src/geom/point.h /root/repo/src/linalg/matrix.h \
- /root/repo/src/multipath/features.h \
+ /root/repo/src/robust/fault_stats.h /root/repo/src/multipath/features.h \
  /root/repo/src/multipath/multipath_gesture.h \
  /root/repo/src/multipath/synth.h /root/repo/src/synth/generator.h \
  /root/repo/src/synth/path_spec.h /root/repo/src/synth/rng.h \

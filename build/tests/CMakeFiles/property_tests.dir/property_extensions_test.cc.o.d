@@ -320,6 +320,7 @@ tests/CMakeFiles/property_tests.dir/property_extensions_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/multipath/classifier.h \
  /root/repo/src/multipath/features.h \
  /root/repo/src/multipath/multipath_gesture.h \

@@ -327,7 +327,8 @@ tests/CMakeFiles/property_tests.dir/property_numeric_test.cc.o: \
  /root/repo/src/classify/linear_classifier.h \
  /root/repo/src/classify/training_set.h \
  /root/repo/src/features/feature_vector.h /root/repo/src/linalg/vector.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/eager/eager_recognizer.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/robust/fault_stats.h \
+ /root/repo/src/eager/eager_recognizer.h \
  /root/repo/src/eager/accidental_mover.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/features/extractor.h /root/repo/src/linalg/cholesky.h \

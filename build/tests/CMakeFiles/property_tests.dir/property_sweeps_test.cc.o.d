@@ -322,6 +322,7 @@ tests/CMakeFiles/property_tests.dir/property_sweeps_test.cc.o: \
  /root/repo/src/features/feature_vector.h /root/repo/src/linalg/vector.h \
  /root/repo/src/geom/gesture.h /usr/include/c++/12/span \
  /root/repo/src/geom/point.h /root/repo/src/linalg/matrix.h \
+ /root/repo/src/robust/fault_stats.h \
  /root/repo/src/eager/eager_recognizer.h \
  /root/repo/src/eager/accidental_mover.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \

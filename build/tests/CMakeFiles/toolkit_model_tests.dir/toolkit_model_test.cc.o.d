@@ -325,7 +325,8 @@ tests/CMakeFiles/toolkit_model_tests.dir/toolkit_model_test.cc.o: \
  /root/repo/src/classify/linear_classifier.h \
  /root/repo/src/classify/training_set.h \
  /root/repo/src/features/feature_vector.h /root/repo/src/linalg/vector.h \
- /root/repo/src/linalg/matrix.h /root/repo/src/eager/accidental_mover.h \
+ /root/repo/src/linalg/matrix.h /root/repo/src/robust/fault_stats.h \
+ /root/repo/src/eager/accidental_mover.h \
  /root/repo/src/eager/subgesture_labeler.h /root/repo/src/eager/auc.h \
  /root/repo/src/features/extractor.h /root/repo/src/synth/sets.h \
  /root/repo/src/synth/path_spec.h /root/repo/src/toolkit/dispatcher.h \

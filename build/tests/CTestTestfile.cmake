@@ -13,6 +13,7 @@ include("/root/repo/build/tests/eager_tests[1]_include.cmake")
 include("/root/repo/build/tests/toolkit_tests[1]_include.cmake")
 include("/root/repo/build/tests/gdp_tests[1]_include.cmake")
 include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/robust_tests[1]_include.cmake")
 include("/root/repo/build/tests/property_tests[1]_include.cmake")
 include("/root/repo/build/tests/multipath_tests[1]_include.cmake")
 include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -5,10 +5,11 @@
 namespace grandma::classify {
 
 double GestureClassifier::Train(const GestureTrainingSet& examples,
-                                const features::FeatureMask& mask) {
+                                const features::FeatureMask& mask,
+                                robust::FaultStats* stats) {
   registry_ = examples.registry();
   mask_ = mask;
-  return linear_.Train(ExtractFeatureSet(examples, mask));
+  return linear_.Train(ExtractFeatureSet(examples, mask), stats);
 }
 
 Classification GestureClassifier::Classify(const geom::Gesture& g) const {

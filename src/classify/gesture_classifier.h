@@ -18,9 +18,11 @@ class GestureClassifier {
   GestureClassifier() = default;
 
   // Trains on `examples` using the features selected by `mask`.
-  // Returns the covariance-repair ridge used (0.0 normally).
+  // Returns the covariance-repair ridge used (0.0 normally). `stats`
+  // (optional) accumulates degradation counters; see LinearClassifier::Train.
   double Train(const GestureTrainingSet& examples,
-               const features::FeatureMask& mask = features::FeatureMask::All());
+               const features::FeatureMask& mask = features::FeatureMask::All(),
+               robust::FaultStats* stats = nullptr);
 
   bool trained() const { return linear_.trained(); }
   std::size_t num_classes() const { return linear_.num_classes(); }

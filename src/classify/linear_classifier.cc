@@ -1,5 +1,6 @@
 #include "classify/linear_classifier.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,7 +9,44 @@
 
 namespace grandma::classify {
 
-double LinearClassifier::Train(const FeatureTrainingSet& data) {
+namespace {
+
+bool AllFinite(const linalg::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Last-resort covariance inverse when even ridge repair fails (a non-finite
+// or hopelessly scaled Sigma): an independent-features model built from the
+// diagonal, with a variance floor. Always finite, always invertible, and a
+// reasonable classifier — per-feature whitening instead of full Mahalanobis.
+linalg::Matrix DiagonalFallbackInverse(const linalg::Matrix& sigma, double* floor_used) {
+  double max_var = 0.0;
+  for (std::size_t i = 0; i < sigma.rows(); ++i) {
+    const double v = sigma(i, i);
+    if (std::isfinite(v) && v > max_var) {
+      max_var = v;
+    }
+  }
+  const double floor = std::max(max_var, 1.0) * 1e-8;
+  if (floor_used != nullptr) {
+    *floor_used = floor;
+  }
+  linalg::Matrix inv(sigma.rows(), sigma.cols());
+  for (std::size_t i = 0; i < sigma.rows(); ++i) {
+    const double v = sigma(i, i);
+    inv(i, i) = 1.0 / (std::isfinite(v) && v > floor ? v : floor);
+  }
+  return inv;
+}
+
+}  // namespace
+
+double LinearClassifier::Train(const FeatureTrainingSet& data, robust::FaultStats* stats) {
   const std::size_t num_classes = data.num_classes();
   if (num_classes < 2) {
     throw std::invalid_argument("LinearClassifier::Train needs at least two classes");
@@ -25,6 +63,7 @@ double LinearClassifier::Train(const FeatureTrainingSet& data) {
   std::vector<linalg::Vector> means;
   means.reserve(num_classes);
   linalg::PooledCovariance pooled(dim);
+  std::size_t finite_examples = 0;
   for (ClassId c = 0; c < num_classes; ++c) {
     const auto& examples = data.ExamplesOf(c);
     if (examples.empty()) {
@@ -36,18 +75,43 @@ double LinearClassifier::Train(const FeatureTrainingSet& data) {
       if (f.size() != dim) {
         throw std::invalid_argument("LinearClassifier::Train: inconsistent dimensions");
       }
+      // A non-finite example would poison the mean and covariance of its
+      // whole class; drop it and account for the drop instead.
+      if (!AllFinite(f)) {
+        if (stats != nullptr) {
+          ++stats->training_examples_dropped;
+        }
+        continue;
+      }
       scatter.Add(f);
+      ++finite_examples;
+    }
+    if (scatter.count() == 0) {
+      throw std::invalid_argument("LinearClassifier::Train: class " + std::to_string(c) +
+                                  " has no finite examples");
     }
     means.push_back(scatter.Mean());
     pooled.AddClass(scatter);
+  }
+  if (finite_examples <= num_classes) {
+    throw std::invalid_argument(
+        "LinearClassifier::Train: need more finite examples than classes");
   }
 
   const linalg::Matrix sigma = pooled.Estimate();
   double ridge_used = 0.0;
   auto inverse = linalg::InvertCovarianceWithRepair(sigma, /*initial_ridge=*/1e-8,
                                                     /*max_ridge=*/1e6, &ridge_used);
+  if (stats != nullptr && inverse.has_value() && ridge_used > 0.0) {
+    ++stats->covariance_ridge_repairs;
+  }
   if (!inverse.has_value()) {
-    throw std::runtime_error("LinearClassifier::Train: covariance repair failed");
+    // Even escalating ridge could not produce an invertible matrix — degrade
+    // to a diagonal model rather than failing the whole trainer.
+    inverse = DiagonalFallbackInverse(sigma, &ridge_used);
+    if (stats != nullptr) {
+      ++stats->covariance_diagonal_fallbacks;
+    }
   }
 
   weights_.clear();

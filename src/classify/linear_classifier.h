@@ -12,6 +12,7 @@
 #include "classify/training_set.h"
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
+#include "robust/fault_stats.h"
 
 namespace grandma::classify {
 
@@ -44,7 +45,12 @@ class LinearClassifier {
   // have positive degrees of freedom); throws std::invalid_argument
   // otherwise. Returns the ridge magnitude used to repair the covariance
   // (0.0 when none was needed).
-  double Train(const FeatureTrainingSet& data);
+  //
+  // Degradation ladder (counted into `stats` when given): non-finite example
+  // vectors are dropped; a singular Sigma is repaired with escalating ridge
+  // terms; if even that fails, a diagonal-covariance fallback is used. Only
+  // structurally unusable training sets (too few classes/examples) throw.
+  double Train(const FeatureTrainingSet& data, robust::FaultStats* stats = nullptr);
 
   bool trained() const { return !weights_.empty(); }
   std::size_t num_classes() const { return weights_.size(); }

@@ -1,20 +1,66 @@
 #include "eager/eager_recognizer.h"
 
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+
 namespace grandma::eager {
+
+namespace {
+
+// An AUC whose discriminant contains NaN/Inf would answer D(s) arbitrarily;
+// treat it like a failed training run.
+bool AucWellConditioned(const Auc& auc) {
+  if (auc.mode() != Auc::Mode::kNormal) {
+    return true;
+  }
+  const classify::LinearClassifier& linear = auc.linear();
+  for (classify::ClassId c = 0; c < linear.num_classes(); ++c) {
+    if (!std::isfinite(linear.bias(c))) {
+      return false;
+    }
+    for (double w : linear.weights(c)) {
+      if (!std::isfinite(w)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 EagerTrainReport EagerRecognizer::Train(const classify::GestureTrainingSet& training,
                                         const EagerTrainOptions& options) {
   EagerTrainReport report;
   min_prefix_points_ = std::max<std::size_t>(options.labeler.min_prefix_points, 1);
 
-  report.full_classifier_ridge = full_.Train(training, options.mask);
+  // The full classifier is the load-bearing half; if it cannot be trained the
+  // recognizer is unusable and the error propagates to the caller.
+  report.full_classifier_ridge = full_.Train(training, options.mask, options.stats);
 
-  SubgesturePartition partition = LabelSubgestures(full_, training, options.labeler);
-  report.complete_before_move = partition.total_complete();
-  report.incomplete_before_move = partition.total_incomplete();
+  // The AUC is an optimization: failure to train it must never take down the
+  // session. Fall back to mouse-up two-phase recognition (D always answers
+  // "ambiguous") and account for the degradation.
+  try {
+    SubgesturePartition partition = LabelSubgestures(full_, training, options.labeler);
+    report.complete_before_move = partition.total_complete();
+    report.incomplete_before_move = partition.total_incomplete();
 
-  report.mover = MoveAccidentallyComplete(full_, partition, options.mover);
-  report.auc = auc_.Train(partition, options.auc);
+    report.mover = MoveAccidentallyComplete(full_, partition, options.mover);
+    report.auc = auc_.Train(partition, options.auc);
+    if (!AucWellConditioned(auc_)) {
+      throw std::runtime_error("EagerRecognizer::Train: AUC is ill-conditioned");
+    }
+  } catch (const std::exception&) {
+    auc_ = Auc::FromParameters(Auc::Mode::kAlwaysAmbiguous, {}, {});
+    report.auc = AucTrainReport{};
+    report.auc.degenerate = true;
+    report.eager_fallback = true;
+    if (options.stats != nullptr) {
+      ++options.stats->eager_twophase_fallbacks;
+    }
+  }
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include "features/extractor.h"
 #include "features/feature_vector.h"
 #include "geom/point.h"
+#include "robust/fault_stats.h"
 
 namespace grandma::eager {
 
@@ -24,6 +25,9 @@ struct EagerTrainOptions {
   LabelerOptions labeler;
   MoverOptions mover;
   AucOptions auc;
+  // Optional degradation accounting, threaded through the full classifier,
+  // the AUC trainer, and the two-phase fallback below.
+  robust::FaultStats* stats = nullptr;
 };
 
 struct EagerTrainReport {
@@ -33,6 +37,11 @@ struct EagerTrainReport {
   std::size_t incomplete_before_move = 0;
   MoverReport mover;
   AucTrainReport auc;
+  // True when the AUC could not be trained (or trained ill-conditioned) and
+  // the recognizer fell back to never firing eagerly: every gesture is then
+  // classified at mouse-up, exactly like a two-phase non-eager system. The
+  // full classifier is unaffected.
+  bool eager_fallback = false;
 };
 
 // Trained eager recognizer: the full classifier C plus the doneness

@@ -53,8 +53,14 @@ void FeatureExtractor::AddPoint(const geom::TimedPoint& p) {
     have_prev_delta_ = true;
   }
 
-  if (dt > 0.0) {
-    max_speed_sq_ = std::max(max_speed_sq_, (dx * dx + dy * dy) / (dt * dt));
+  // Speed sample only when the segment has a positive, finite dt: duplicate
+  // timestamps (dt == 0) would divide to Inf, and reordered events (dt < 0)
+  // or a NaN clock would poison max_speed_sq_ for the rest of the gesture.
+  if (dt > 0.0 && std::isfinite(dt)) {
+    const double speed_sq = (dx * dx + dy * dy) / (dt * dt);
+    if (std::isfinite(speed_sq)) {
+      max_speed_sq_ = std::max(max_speed_sq_, speed_sq);
+    }
   }
 
   min_x_ = std::min(min_x_, p.x);

@@ -1,5 +1,6 @@
 #include "io/event_trace.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -12,6 +13,13 @@ namespace grandma::io {
 namespace {
 
 constexpr const char* kHeader = "grandma-eventtrace v1";
+
+// Sanity cap on the declared event count: a corrupt or malicious header must
+// not drive a multi-gigabyte reserve. 4M events is hours of input at device
+// rates. Reservation is additionally bounded below so a huge-but-capped
+// count backed by a short stream still fails by parse error, not bad_alloc.
+constexpr std::size_t kMaxTraceEvents = std::size_t{1} << 22;
+constexpr std::size_t kMaxUpfrontReserve = 4096;
 
 const char* KindName(toolkit::EventType type) {
   switch (type) {
@@ -66,8 +74,11 @@ std::optional<EventTrace> LoadEventTrace(std::istream& in) {
   if (!(in >> tag >> count) || tag != "events") {
     return std::nullopt;
   }
+  if (count > kMaxTraceEvents) {
+    return std::nullopt;
+  }
   EventTrace trace;
-  trace.reserve(count);
+  trace.reserve(std::min(count, kMaxUpfrontReserve));
   for (std::size_t i = 0; i < count; ++i) {
     std::string kind_name;
     toolkit::InputEvent e;

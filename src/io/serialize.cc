@@ -1,5 +1,6 @@
 #include "io/serialize.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -16,6 +17,17 @@ constexpr const char* kGestureSetHeader = "grandma-gestureset v1";
 constexpr const char* kClassifierHeader = "grandma-classifier v1";
 constexpr const char* kEagerHeader = "grandma-eager v1";
 
+// Sanity caps for declared sizes in loaded files. A corrupt or hostile size
+// field must produce a parse error (std::nullopt), never a multi-gigabyte
+// allocation or bad_alloc unwinding through the loader. The caps are far
+// above anything the system writes (13 features, dozens of classes).
+constexpr std::size_t kMaxVectorSize = std::size_t{1} << 16;
+constexpr std::size_t kMaxMatrixSide = std::size_t{1} << 13;
+constexpr std::size_t kMaxClasses = std::size_t{1} << 16;
+constexpr std::size_t kMaxExamplesPerClass = std::size_t{1} << 20;
+constexpr std::size_t kMaxPointsPerGesture = std::size_t{1} << 22;
+constexpr std::size_t kMaxUpfrontReserve = 4096;
+
 void WriteVector(std::ostream& out, const linalg::Vector& v) {
   out << v.size();
   for (double x : v) {
@@ -26,7 +38,7 @@ void WriteVector(std::ostream& out, const linalg::Vector& v) {
 
 std::optional<linalg::Vector> ReadVector(std::istream& in) {
   std::size_t n = 0;
-  if (!(in >> n)) {
+  if (!(in >> n) || n > kMaxVectorSize) {
     return std::nullopt;
   }
   linalg::Vector v(n);
@@ -51,7 +63,7 @@ void WriteMatrix(std::ostream& out, const linalg::Matrix& m) {
 std::optional<linalg::Matrix> ReadMatrix(std::istream& in) {
   std::size_t rows = 0;
   std::size_t cols = 0;
-  if (!(in >> rows >> cols)) {
+  if (!(in >> rows >> cols) || rows > kMaxMatrixSide || cols > kMaxMatrixSide) {
     return std::nullopt;
   }
   linalg::Matrix m(rows, cols);
@@ -101,10 +113,10 @@ std::optional<classify::LinearClassifier> ReadLinear(std::istream& in) {
   std::string tag;
   std::size_t num_classes = 0;
   std::size_t dimension = 0;
-  if (!(in >> tag >> num_classes) || tag != "classes") {
+  if (!(in >> tag >> num_classes) || tag != "classes" || num_classes > kMaxClasses) {
     return std::nullopt;
   }
-  if (!(in >> tag >> dimension) || tag != "dimension") {
+  if (!(in >> tag >> dimension) || tag != "dimension" || dimension > kMaxVectorSize) {
     return std::nullopt;
   }
   std::vector<linalg::Vector> weights;
@@ -244,23 +256,25 @@ std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in) {
   }
   std::string tag;
   std::size_t num_classes = 0;
-  if (!(in >> tag >> num_classes) || tag != "classes") {
+  if (!(in >> tag >> num_classes) || tag != "classes" || num_classes > kMaxClasses) {
     return std::nullopt;
   }
   classify::GestureTrainingSet set;
   for (std::size_t c = 0; c < num_classes; ++c) {
     std::string name;
     std::size_t num_examples = 0;
-    if (!(in >> tag >> name >> num_examples) || tag != "class") {
+    if (!(in >> tag >> name >> num_examples) || tag != "class" ||
+        num_examples > kMaxExamplesPerClass) {
       return std::nullopt;
     }
     for (std::size_t e = 0; e < num_examples; ++e) {
       std::size_t num_points = 0;
-      if (!(in >> tag >> num_points) || tag != "example") {
+      if (!(in >> tag >> num_points) || tag != "example" ||
+          num_points > kMaxPointsPerGesture) {
         return std::nullopt;
       }
       geom::Gesture g;
-      g.Reserve(num_points);
+      g.Reserve(std::min(num_points, kMaxUpfrontReserve));
       for (std::size_t p = 0; p < num_points; ++p) {
         geom::TimedPoint pt;
         if (!(in >> pt.x >> pt.y >> pt.t)) {
@@ -336,7 +350,8 @@ std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
   }
   std::string tag;
   std::size_t min_prefix = 0;
-  if (!(in >> tag >> min_prefix) || tag != "min_prefix") {
+  if (!(in >> tag >> min_prefix) || tag != "min_prefix" ||
+      min_prefix > kMaxPointsPerGesture) {
     return std::nullopt;
   }
   auto full = ReadGestureClassifierBody(in);
@@ -354,7 +369,7 @@ std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
     auc = eager::Auc::FromParameters(eager::Auc::Mode::kAlwaysUnambiguous, {}, {});
   } else if (mode_name == "normal") {
     std::size_t num_sets = 0;
-    if (!(in >> tag >> num_sets) || tag != "sets") {
+    if (!(in >> tag >> num_sets) || tag != "sets" || num_sets > kMaxClasses) {
       return std::nullopt;
     }
     std::vector<eager::Auc::SetInfo> sets;

@@ -1,0 +1,257 @@
+#include "robust/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace grandma::robust {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropPoints:
+      return "drop_points";
+    case FaultKind::kTimestampJitter:
+      return "timestamp_jitter";
+    case FaultKind::kDuplicateTimestamp:
+      return "duplicate_timestamp";
+    case FaultKind::kCoordinateSpike:
+      return "coordinate_spike";
+    case FaultKind::kNonFinite:
+      return "non_finite";
+    case FaultKind::kStuckPoint:
+      return "stuck_point";
+    case FaultKind::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+bool FaultKindRepairable(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTimestampJitter:
+    case FaultKind::kDuplicateTimestamp:
+    case FaultKind::kCoordinateSpike:
+    case FaultKind::kNonFinite:
+    case FaultKind::kStuckPoint:
+      return true;  // the validator restores a fully classifiable stroke
+    case FaultKind::kDropPoints:
+    case FaultKind::kTruncate:
+      return false;  // the samples are gone; the stroke survives degraded
+  }
+  return false;
+}
+
+std::uint64_t FaultRecord::total_faults() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) {
+    total += c;
+  }
+  return total;
+}
+
+std::string FaultRecord::ToJson() const {
+  std::ostringstream out;
+  out << "{\"strokes_seen\": " << strokes_seen
+      << ", \"strokes_faulted\": " << strokes_faulted;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    out << ", \"" << FaultKindName(static_cast<FaultKind>(k)) << "\": " << counts[k];
+  }
+  out << '}';
+  return out.str();
+}
+
+bool InjectedFaults::any() const {
+  for (std::uint8_t a : applied) {
+    if (a != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InjectedFaults::only_repairable() const {
+  bool fired = false;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (applied[k] == 0) {
+      continue;
+    }
+    fired = true;
+    if (!FaultKindRepairable(static_cast<FaultKind>(k))) {
+      return false;
+    }
+  }
+  return fired;
+}
+
+double FaultInjector::Uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t FaultInjector::Index(std::size_t n) {
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+void FaultInjector::ApplyFault(FaultKind kind, std::vector<geom::TimedPoint>& pts) {
+  switch (kind) {
+    case FaultKind::kDropPoints: {
+      if (pts.size() < 5) {
+        return;
+      }
+      const std::size_t n = 1 + Index(3);
+      for (std::size_t k = 0; k < n && pts.size() > 4; ++k) {
+        pts.erase(pts.begin() + static_cast<std::ptrdiff_t>(1 + Index(pts.size() - 2)));
+      }
+      break;
+    }
+    case FaultKind::kTimestampJitter: {
+      if (pts.size() < 2) {
+        return;
+      }
+      const std::size_t start = Index(pts.size());
+      const std::size_t len = std::min(pts.size() - start, std::size_t{1} + Index(4));
+      for (std::size_t i = start; i < start + len; ++i) {
+        pts[i].t += Uniform(-options_.timestamp_jitter_ms, options_.timestamp_jitter_ms);
+      }
+      break;
+    }
+    case FaultKind::kDuplicateTimestamp: {
+      if (pts.size() < 2) {
+        return;
+      }
+      const std::size_t i = Index(pts.size() - 1);
+      pts[i + 1].t = pts[i].t;
+      break;
+    }
+    case FaultKind::kCoordinateSpike: {
+      const std::size_t i = Index(pts.size());
+      const double magnitude = options_.spike_distance * Uniform(0.5, 1.5);
+      const double angle = Uniform(0.0, 6.283185307179586);
+      pts[i].x += magnitude * std::cos(angle);
+      pts[i].y += magnitude * std::sin(angle);
+      break;
+    }
+    case FaultKind::kNonFinite: {
+      const std::size_t i = Index(pts.size());
+      switch (Index(3)) {
+        case 0:
+          pts[i].x = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case 1:
+          pts[i].y = std::numeric_limits<double>::infinity();
+          break;
+        default:
+          pts[i].t = -std::numeric_limits<double>::infinity();
+          break;
+      }
+      break;
+    }
+    case FaultKind::kStuckPoint: {
+      const std::size_t i = Index(pts.size());
+      const geom::TimedPoint stuck = pts[i];
+      pts.insert(pts.begin() + static_cast<std::ptrdiff_t>(i + 1), options_.stuck_repeats,
+                 stuck);
+      break;
+    }
+    case FaultKind::kTruncate: {
+      if (pts.size() < 4) {
+        return;
+      }
+      const std::size_t keep = 1 + Index(pts.size() - 1);
+      pts.resize(keep);
+      break;
+    }
+  }
+}
+
+void FaultInjector::CorruptPoints(std::vector<geom::TimedPoint>& pts,
+                                  InjectedFaults& injected) {
+  ++record_.strokes_seen;
+  if (pts.empty() || Uniform(0.0, 1.0) >= options_.fault_rate) {
+    return;
+  }
+
+  std::vector<FaultKind> kinds;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (options_.enabled[k]) {
+      kinds.push_back(static_cast<FaultKind>(k));
+    }
+  }
+  if (kinds.empty()) {
+    return;
+  }
+  std::shuffle(kinds.begin(), kinds.end(), engine_);
+  const std::size_t num =
+      std::min(kinds.size(), std::size_t{1} + Index(std::max<std::size_t>(
+                                 options_.max_faults_per_stroke, 1)));
+
+  bool mutated = false;
+  for (std::size_t k = 0; k < num; ++k) {
+    const std::size_t before = pts.size();
+    const std::vector<geom::TimedPoint> snapshot = pts;
+    ApplyFault(kinds[k], pts);
+    // Count only faults that actually changed the stroke; small strokes make
+    // some kinds no-ops and those must not inflate the record.
+    if (pts.size() != before || pts != snapshot) {
+      injected.applied[static_cast<std::size_t>(kinds[k])] = 1;
+      ++record_.counts[static_cast<std::size_t>(kinds[k])];
+      mutated = true;
+    }
+  }
+  if (mutated) {
+    ++record_.strokes_faulted;
+  }
+}
+
+geom::Gesture FaultInjector::Corrupt(const geom::Gesture& g, InjectedFaults* injected) {
+  InjectedFaults local;
+  InjectedFaults& inj = injected != nullptr ? *injected : local;
+  inj = InjectedFaults{};
+  std::vector<geom::TimedPoint> pts = g.points();
+  CorruptPoints(pts, inj);
+  return geom::Gesture(std::move(pts));
+}
+
+std::vector<toolkit::InputEvent> FaultInjector::CorruptTrace(
+    const std::vector<toolkit::InputEvent>& trace, InjectedFaults* injected) {
+  InjectedFaults local;
+  InjectedFaults& inj = injected != nullptr ? *injected : local;
+  inj = InjectedFaults{};
+
+  // Pull the positional payload out of the trace, damage it, and rebuild a
+  // well-formed down/move.../up sequence around the surviving points. Timer
+  // events are discarded — replay regenerates ticks from the gaps.
+  std::vector<geom::TimedPoint> pts;
+  int button = 0;
+  bool saw_down = false;
+  for (const toolkit::InputEvent& e : trace) {
+    switch (e.type) {
+      case toolkit::EventType::kMouseDown:
+        button = e.button;
+        saw_down = true;
+        [[fallthrough]];
+      case toolkit::EventType::kMouseMove:
+      case toolkit::EventType::kMouseUp:
+        pts.push_back(geom::TimedPoint{e.x, e.y, e.time_ms});
+        break;
+      case toolkit::EventType::kTimer:
+        break;
+    }
+  }
+  CorruptPoints(pts, inj);
+
+  std::vector<toolkit::InputEvent> out;
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i == 0 && saw_down) {
+      out.push_back(toolkit::InputEvent::MouseDown(pts[i].x, pts[i].y, pts[i].t, button));
+    } else if (i + 1 == pts.size()) {
+      out.push_back(toolkit::InputEvent::MouseUp(pts[i].x, pts[i].y, pts[i].t, button));
+    } else {
+      out.push_back(toolkit::InputEvent::MouseMove(pts[i].x, pts[i].y, pts[i].t, button));
+    }
+  }
+  return out;
+}
+
+}  // namespace grandma::robust

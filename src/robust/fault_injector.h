@@ -1,0 +1,107 @@
+// Deterministic fault injection: a decorator over the synthetic gesture
+// generator (src/synth) and the io::EventTrace replay path that damages
+// strokes the way misbehaving hardware does — dropped events, timestamp
+// jitter and reordering, coordinate spikes, non-finite samples, stuck
+// points, truncation. Seeded, so every test and bench can replay the exact
+// same fault load and assert on the FaultRecord it produces.
+#ifndef GRANDMA_SRC_ROBUST_FAULT_INJECTOR_H_
+#define GRANDMA_SRC_ROBUST_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "geom/gesture.h"
+#include "toolkit/event.h"
+
+namespace grandma::robust {
+
+enum class FaultKind : std::size_t {
+  kDropPoints = 0,      // lose 1-3 interior samples (event-queue overflow)
+  kTimestampJitter,     // +-jitter on a run of timestamps; may reorder
+  kDuplicateTimestamp,  // a stuck clock: t[i+1] == t[i]
+  kCoordinateSpike,     // one sample teleports thousands of px away
+  kNonFinite,           // one coordinate becomes NaN or Inf
+  kStuckPoint,          // one sample repeats several times, clock frozen
+  kTruncate,            // the tail of the stroke never arrives
+};
+inline constexpr std::size_t kNumFaultKinds = 7;
+
+const char* FaultKindName(FaultKind kind);
+
+// Whether a fault of this kind is *repairable* — the validator can restore a
+// classifiable stroke (spikes dropped, timestamps clamped) — or only
+// *degrading*: the data is gone (dropped/truncated samples) and the stroke
+// survives in a lossy form. The fault-sweep accounting depends on this split.
+bool FaultKindRepairable(FaultKind kind);
+
+struct FaultInjectorOptions {
+  // Per-stroke probability that any faults are injected at all.
+  double fault_rate = 0.1;
+  // When a stroke is selected, 1..max_faults_per_stroke distinct kinds fire.
+  std::size_t max_faults_per_stroke = 2;
+  // Per-kind enable switches (indexed by FaultKind).
+  std::array<bool, kNumFaultKinds> enabled = {true, true, true, true, true, true, true};
+
+  double timestamp_jitter_ms = 40.0;   // magnitude for kTimestampJitter
+  double spike_distance = 5000.0;      // offset for kCoordinateSpike
+  std::size_t stuck_repeats = 4;       // copies inserted by kStuckPoint
+};
+
+// What one injector instance has done so far.
+struct FaultRecord {
+  std::array<std::uint64_t, kNumFaultKinds> counts{};
+  std::uint64_t strokes_seen = 0;
+  std::uint64_t strokes_faulted = 0;
+
+  std::uint64_t total_faults() const;
+  std::string ToJson() const;
+};
+
+// Per-stroke outcome of one Corrupt() call.
+struct InjectedFaults {
+  std::array<std::uint8_t, kNumFaultKinds> applied{};
+  bool any() const;
+  // True when at least one fault fired and every fired fault is repairable.
+  bool only_repairable() const;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultInjectorOptions& options, std::uint64_t seed)
+      : options_(options), engine_(seed) {}
+
+  // Damages one gesture (the synth decoration point). Returns the corrupted
+  // stroke; `injected` (optional) reports which kinds fired on this stroke.
+  geom::Gesture Corrupt(const geom::Gesture& g, InjectedFaults* injected = nullptr);
+
+  // Damages the point-carrying events of an input trace (the io::EventTrace
+  // decoration point). The mouse-down/up bracketing is rebuilt around the
+  // surviving points so replay still forms a gesture; timer events are
+  // discarded (replay regenerates ticks from the gaps).
+  std::vector<toolkit::InputEvent> CorruptTrace(const std::vector<toolkit::InputEvent>& trace,
+                                                InjectedFaults* injected = nullptr);
+
+  const FaultRecord& record() const { return record_; }
+  void ResetRecord() { record_ = FaultRecord{}; }
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  // Applies faults to a raw point vector; shared by both decoration points.
+  void CorruptPoints(std::vector<geom::TimedPoint>& pts, InjectedFaults& injected);
+  void ApplyFault(FaultKind kind, std::vector<geom::TimedPoint>& pts);
+
+  double Uniform(double lo, double hi);
+  std::size_t Index(std::size_t n);  // uniform in [0, n)
+
+  FaultInjectorOptions options_;
+  std::mt19937_64 engine_;
+  FaultRecord record_;
+};
+
+}  // namespace grandma::robust
+
+#endif  // GRANDMA_SRC_ROBUST_FAULT_INJECTOR_H_

@@ -1,0 +1,56 @@
+// Degradation accounting: one counter struct threaded through the validator,
+// the classifier trainers, the eager recognizer, and the toolkit dispatcher,
+// so tests and benches can assert not just *that* the pipeline survived bad
+// input but *how* it degraded. Header-only (plus ToString/ToJson in the .cc)
+// so lower layers can include it without linking extra libraries.
+#ifndef GRANDMA_SRC_ROBUST_FAULT_STATS_H_
+#define GRANDMA_SRC_ROBUST_FAULT_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace grandma::robust {
+
+// All counters are cumulative; Reset() zeroes, Merge() adds. Every field is
+// incremented by exactly one site (named in the comment) so the numbers can
+// be traced back to a decision in the code.
+struct FaultStats {
+  // --- StrokeValidator ---
+  std::uint64_t strokes_validated = 0;  // every Validate() call
+  std::uint64_t strokes_clean = 0;      // accepted with no repairs
+  std::uint64_t strokes_repaired = 0;   // accepted after >= 1 repair
+  std::uint64_t strokes_rejected = 0;   // refused (see Status for why)
+  std::uint64_t points_dropped_nonfinite = 0;  // NaN/Inf coordinate or time
+  std::uint64_t points_dropped_out_of_range = 0;  // beyond plausible device range
+  std::uint64_t points_dropped_spike = 0;  // teleport outlier
+  std::uint64_t timestamps_repaired = 0;  // duplicate/non-monotonic t re-timed
+
+  // --- LinearClassifier::Train ---
+  std::uint64_t training_examples_dropped = 0;    // non-finite feature vectors
+  std::uint64_t covariance_ridge_repairs = 0;     // singular Sigma, ridge fixed it
+  std::uint64_t covariance_diagonal_fallbacks = 0;  // ridge failed, diagonal used
+
+  // --- EagerRecognizer::Train ---
+  std::uint64_t eager_twophase_fallbacks = 0;  // AUC untrainable/ill-conditioned
+
+  // --- toolkit::Dispatcher ---
+  std::uint64_t handler_exceptions = 0;        // a handler threw mid-dispatch
+  std::uint64_t handlers_quarantined = 0;      // distinct handlers isolated
+  std::uint64_t events_skipped_quarantined = 0;  // offers skipped due to quarantine
+
+  void Reset() { *this = FaultStats(); }
+  void Merge(const FaultStats& other);
+
+  // Sum of every degradation event (everything except strokes_validated and
+  // strokes_clean, which count normal operation).
+  std::uint64_t TotalFaultEvents() const;
+
+  // Multi-line "name: value" rendering of the non-zero counters.
+  std::string ToString() const;
+  // Flat JSON object with every counter, for bench output files.
+  std::string ToJson() const;
+};
+
+}  // namespace grandma::robust
+
+#endif  // GRANDMA_SRC_ROBUST_FAULT_STATS_H_

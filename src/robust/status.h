@@ -1,0 +1,150 @@
+// Error propagation for the fault-tolerance layer: a Status/StatusOr<T> pair
+// in the style of absl::Status, kept header-only and dependency-free so every
+// pipeline stage (geom -> features -> classify -> eager -> toolkit -> gdp)
+// can report recoverable failures without throwing across layer boundaries.
+#ifndef GRANDMA_SRC_ROBUST_STATUS_H_
+#define GRANDMA_SRC_ROBUST_STATUS_H_
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace grandma::robust {
+
+// Coarse failure taxonomy; see docs/ROBUSTNESS.md for which stage emits what.
+enum class StatusCode {
+  kOk = 0,
+  // The caller handed in something structurally unusable (empty stroke,
+  // mismatched dimensions). Not repairable by policy.
+  kInvalidArgument,
+  // Input violated a precondition that repair policy chose not to fix.
+  kFailedPrecondition,
+  // A size or value exceeded the sanity bounds (absurd point counts,
+  // coordinates beyond any plausible device range).
+  kOutOfRange,
+  // Input was damaged badly enough that repair would fabricate data (every
+  // point non-finite, stroke truncated below the minimum).
+  kDataLoss,
+  // The operation completed but only by degrading (fallback classifier,
+  // two-phase recognition instead of eager). Carriers of this code still
+  // produced a usable result.
+  kDegraded,
+  // A bug on our side (should not happen on any input).
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kDegraded:
+      return "DEGRADED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A success-or-error value. Default-constructed Status is OK; error statuses
+// carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Degraded(std::string msg) {
+    return Status(StatusCode::kDegraded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Either a T or a non-OK Status. value() on an error throws std::logic_error
+// — extracting a value that does not exist is a programmer error, unlike the
+// error state itself, which is an expected outcome callers must check.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from an OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    Check();
+    return *value_;
+  }
+  const T& value() const {
+    Check();
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void Check() const {
+    if (!ok()) {
+      throw std::logic_error("StatusOr::value on error status: " + status_.ToString());
+    }
+  }
+
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace grandma::robust
+
+#endif  // GRANDMA_SRC_ROBUST_STATUS_H_

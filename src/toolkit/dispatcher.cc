@@ -1,6 +1,37 @@
 #include "toolkit/dispatcher.h"
 
+#include <algorithm>
+
 namespace grandma::toolkit {
+
+bool Dispatcher::IsQuarantined(const EventHandler* handler) const {
+  return std::find(quarantined_.begin(), quarantined_.end(), handler) != quarantined_.end();
+}
+
+void Dispatcher::Quarantine(EventHandler* handler) {
+  ++handler_fault_count_;
+  if (fault_stats_ != nullptr) {
+    ++fault_stats_->handler_exceptions;
+  }
+  if (IsQuarantined(handler)) {
+    return;
+  }
+  quarantined_.push_back(handler);
+  if (fault_stats_ != nullptr) {
+    ++fault_stats_->handlers_quarantined;
+  }
+}
+
+std::optional<HandlerResponse> Dispatcher::GuardedOnEvent(EventHandler* handler,
+                                                          const InputEvent& event,
+                                                          View& view) {
+  try {
+    return handler->OnEvent(event, view);
+  } catch (...) {
+    Quarantine(handler);
+  }
+  return std::nullopt;
+}
 
 bool Dispatcher::Dispatch(const InputEvent& event) {
   ++dispatched_count_;
@@ -18,8 +49,19 @@ bool Dispatcher::Dispatch(const InputEvent& event) {
   if (grabbed_handler_ != nullptr) {
     EventHandler* handler = grabbed_handler_;
     View* view = grabbed_view_;
-    const HandlerResponse response = handler->OnEvent(event, *view);
-    HandleResponse(response, handler, view, event);
+    const std::optional<HandlerResponse> response = GuardedOnEvent(handler, event, *view);
+    if (!response.has_value()) {
+      // The grabbed handler died mid-interaction: isolate it exactly like an
+      // abort — release the grab and swallow the rest of this interaction —
+      // but keep it quarantined so the remaining handlers stay in service.
+      grabbed_handler_ = nullptr;
+      grabbed_view_ = nullptr;
+      if (event.type != EventType::kMouseUp) {
+        swallowing_until_up_ = true;
+      }
+      return true;
+    }
+    HandleResponse(*response, handler, view, event);
     return true;
   }
 
@@ -28,14 +70,32 @@ bool Dispatcher::Dispatch(const InputEvent& event) {
   View* hit = root_ != nullptr ? root_->FindViewAt(event.x, event.y) : nullptr;
   for (View* view = hit; view != nullptr; view = view->parent()) {
     for (EventHandler* handler : view->HandlerChain()) {
-      if (!handler->Wants(event, *view)) {
+      if (IsQuarantined(handler)) {
+        if (fault_stats_ != nullptr) {
+          ++fault_stats_->events_skipped_quarantined;
+        }
         continue;
       }
-      const HandlerResponse response = handler->OnEvent(event, *view);
-      if (response == HandlerResponse::kIgnored) {
+      bool wants = false;
+      try {
+        wants = handler->Wants(event, *view);
+      } catch (...) {
+        Quarantine(handler);
+        continue;
+      }
+      if (!wants) {
+        continue;
+      }
+      const std::optional<HandlerResponse> response = GuardedOnEvent(handler, event, *view);
+      if (!response.has_value()) {
+        // Threw while starting an interaction: treat as if it never wanted
+        // the event and let the next handler have a look.
+        continue;
+      }
+      if (*response == HandlerResponse::kIgnored) {
         continue;  // Propagate to the next handler.
       }
-      HandleResponse(response, handler, view, event);
+      HandleResponse(*response, handler, view, event);
       return true;
     }
   }
@@ -49,7 +109,14 @@ void Dispatcher::Tick() {
   const InputEvent tick = InputEvent::Timer(clock_->now_ms());
   EventHandler* handler = grabbed_handler_;
   View* view = grabbed_view_;
-  HandleResponse(handler->OnEvent(tick, *view), handler, view, tick);
+  const std::optional<HandlerResponse> response = GuardedOnEvent(handler, tick, *view);
+  if (!response.has_value()) {
+    grabbed_handler_ = nullptr;
+    grabbed_view_ = nullptr;
+    swallowing_until_up_ = true;
+    return;
+  }
+  HandleResponse(*response, handler, view, tick);
 }
 
 void Dispatcher::HandleResponse(HandlerResponse response, EventHandler* handler, View* view,

@@ -1,11 +1,19 @@
 // Routes input events to views and their handler chains, maintaining the
 // grab: after a handler accepts a mouse-down, it receives the rest of the
 // interaction (moves, timer ticks, the mouse-up) directly.
+//
+// Fault isolation: a handler that throws out of Wants/OnEvent is caught and
+// *quarantined* — it is skipped for the rest of the session instead of
+// unwinding the event loop, so one misbehaving interaction technique cannot
+// take down every view (see docs/ROBUSTNESS.md).
 #ifndef GRANDMA_SRC_TOOLKIT_DISPATCHER_H_
 #define GRANDMA_SRC_TOOLKIT_DISPATCHER_H_
 
 #include <cstddef>
+#include <optional>
+#include <vector>
 
+#include "robust/fault_stats.h"
 #include "toolkit/event.h"
 #include "toolkit/event_handler.h"
 #include "toolkit/view.h"
@@ -33,12 +41,28 @@ class Dispatcher {
   VirtualClock& clock() { return *clock_; }
   View* root() { return root_; }
 
+  // Quarantine surface. A quarantined handler receives no further events;
+  // ClearQuarantine (an operator action: e.g. after reloading handlers)
+  // restores it.
+  bool IsQuarantined(const EventHandler* handler) const;
+  std::size_t quarantined_count() const { return quarantined_.size(); }
+  void ClearQuarantine() { quarantined_.clear(); }
+
+  // Optional degradation accounting (not owned; may be null).
+  void set_fault_stats(robust::FaultStats* stats) { fault_stats_ = stats; }
+
   // Diagnostics.
   std::size_t dispatched_count() const { return dispatched_count_; }
+  std::size_t handler_fault_count() const { return handler_fault_count_; }
 
  private:
   void HandleResponse(HandlerResponse response, EventHandler* handler, View* view,
                       const InputEvent& event);
+  // OnEvent with isolation: nullopt means the handler threw and is now
+  // quarantined.
+  std::optional<HandlerResponse> GuardedOnEvent(EventHandler* handler,
+                                                const InputEvent& event, View& view);
+  void Quarantine(EventHandler* handler);
 
   View* root_;
   VirtualClock* clock_;
@@ -48,6 +72,9 @@ class Dispatcher {
   // are swallowed.
   bool swallowing_until_up_ = false;
   std::size_t dispatched_count_ = 0;
+  std::size_t handler_fault_count_ = 0;
+  std::vector<const EventHandler*> quarantined_;
+  robust::FaultStats* fault_stats_ = nullptr;
 };
 
 }  // namespace grandma::toolkit

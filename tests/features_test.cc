@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "features/feature_vector.h"
@@ -215,6 +216,43 @@ TEST(FeatureExtractorTest, ResetClearsState) {
   fx.Reset();
   EXPECT_EQ(fx.point_count(), 0u);
   EXPECT_DOUBLE_EQ(fx.Features()[kPathLength], 0.0);
+}
+
+TEST(FeatureExtractorTest, DuplicateTimestampsKeepSpeedFinite) {
+  // Regression: a stuck clock (dt == 0 between consecutive samples) must not
+  // poison the max-speed feature with Inf — the segment simply contributes no
+  // speed sample.
+  Gesture g;
+  g.AppendPoint({0, 0, 0});
+  g.AppendPoint({10, 0, 0});  // dt == 0 with real displacement
+  g.AppendPoint({20, 0, 10});
+  g.AppendPoint({30, 0, 10});  // again mid-stroke
+  g.AppendPoint({40, 0, 20});
+  const Vector f = ExtractFeatures(g);
+  EXPECT_TRUE(std::isfinite(f[kMaxSpeedSquared]));
+  // The surviving dt>0 segments move 10 px / 10 ms = 1 px/ms.
+  EXPECT_DOUBLE_EQ(f[kMaxSpeedSquared], 1.0);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(f[i])) << i;
+  }
+}
+
+TEST(FeatureExtractorTest, BackwardAndNonFiniteTimestampsKeepFeaturesFinite) {
+  // Reordered events (dt < 0) and a NaN clock reading must not contribute
+  // speed samples either; every feature stays finite.
+  Gesture g;
+  g.AppendPoint({0, 0, 100});
+  g.AppendPoint({10, 0, 90});  // clock went backwards
+  g.AppendPoint({20, 0, std::numeric_limits<double>::quiet_NaN()});
+  g.AppendPoint({30, 0, 120});
+  const Vector f = ExtractFeatures(g);
+  EXPECT_TRUE(std::isfinite(f[kMaxSpeedSquared]));
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i == kDuration) {
+      continue;  // duration reflects the raw (garbage-in) clock values
+    }
+    EXPECT_TRUE(std::isfinite(f[i])) << i;
+  }
 }
 
 TEST(FeatureExtractorTest, SamplingRobustness) {

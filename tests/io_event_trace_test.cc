@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <random>
 #include <sstream>
+#include <string>
 
 #include "gdp/app.h"
 #include "gdp/session.h"
@@ -33,6 +36,59 @@ TEST(EventTraceIoTest, RoundTrip) {
     EXPECT_DOUBLE_EQ((*loaded)[i].time_ms, original[i].time_ms);
     EXPECT_EQ((*loaded)[i].button, original[i].button);
   }
+}
+
+TEST(EventTraceIoTest, TruncationAtEveryPrefixNeverCrashes) {
+  // Fuzz-style: loading any prefix of a valid file must return either a
+  // (shorter) value or nullopt — never crash, throw, or hang.
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const std::string text = buffer.str();
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    std::stringstream truncated(text.substr(0, len));
+    ASSERT_NO_THROW((void)LoadEventTrace(truncated)) << "prefix length " << len;
+  }
+  // The complete text still loads.
+  std::stringstream whole(text);
+  EXPECT_TRUE(LoadEventTrace(whole).has_value());
+}
+
+TEST(EventTraceIoTest, SeededByteMutationsNeverCrash) {
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const std::string text = buffer.str();
+  std::mt19937_64 rng(20240805);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 256);
+    }
+    std::stringstream in(mutated);
+    std::optional<EventTrace> loaded;
+    ASSERT_NO_THROW(loaded = LoadEventTrace(in)) << "round " << round;
+    if (loaded.has_value()) {
+      // Anything that parses must at least respect the declared bounds.
+      EXPECT_LE(loaded->size(), (std::size_t{1} << 22)) << "round " << round;
+    }
+  }
+}
+
+TEST(EventTraceIoTest, HugeDeclaredCountIsRejectedNotAllocated) {
+  // A corrupt header must fail by parse error, not by attempting a
+  // multi-gigabyte allocation.
+  std::stringstream in("grandma-eventtrace v1\nevents 18446744073709551615\n");
+  EXPECT_FALSE(LoadEventTrace(in).has_value());
+  std::stringstream in2("grandma-eventtrace v1\nevents 99999999\n");
+  EXPECT_FALSE(LoadEventTrace(in2).has_value());
+}
+
+TEST(EventTraceIoTest, CappedCountWithShortBodyIsParseError) {
+  // Declared count within the cap but body cut off: must return nullopt.
+  std::stringstream in("grandma-eventtrace v1\nevents 4000\ndown 1 2 3 0\n");
+  EXPECT_FALSE(LoadEventTrace(in).has_value());
 }
 
 TEST(EventTraceIoTest, RejectsBadInput) {

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <random>
 #include <sstream>
+#include <string>
 
 #include "eager/evaluation.h"
 #include "synth/generator.h"
@@ -120,6 +125,68 @@ TEST(EagerIoTest, RejectsGarbageAucMode) {
   text.replace(pos, 15, "auc_mode bogus!");
   std::stringstream bad(text);
   EXPECT_FALSE(LoadEagerRecognizer(bad).has_value());
+}
+
+// Fuzz-style hardening tests: truncation at every prefix and seeded byte
+// mutations across all three formats must yield nullopt or a value — never a
+// crash, an uncaught exception, or a giant allocation.
+
+template <typename Loader>
+void CheckEveryPrefix(const std::string& text, Loader load) {
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    std::stringstream truncated(text.substr(0, len));
+    ASSERT_NO_THROW((void)load(truncated)) << "prefix length " << len;
+  }
+}
+
+template <typename Loader>
+void CheckSeededMutations(const std::string& text, Loader load, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = text;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 256);
+    }
+    std::stringstream in(mutated);
+    ASSERT_NO_THROW((void)load(in)) << "round " << round;
+  }
+}
+
+TEST(FuzzIoTest, GestureSetSurvivesTruncationAndMutation) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGestureSet(MakeTrainingSet(), buffer));
+  const std::string text = buffer.str();
+  CheckEveryPrefix(text, [](std::istream& in) { return LoadGestureSet(in); });
+  CheckSeededMutations(text, [](std::istream& in) { return LoadGestureSet(in); }, 101);
+}
+
+TEST(FuzzIoTest, ClassifierSurvivesTruncationAndMutation) {
+  classify::GestureClassifier classifier;
+  classifier.Train(MakeTrainingSet());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClassifier(classifier, buffer));
+  const std::string text = buffer.str();
+  CheckEveryPrefix(text, [](std::istream& in) { return LoadClassifier(in); });
+  CheckSeededMutations(text, [](std::istream& in) { return LoadClassifier(in); }, 202);
+}
+
+TEST(FuzzIoTest, EagerRecognizerSurvivesTruncationAndMutation) {
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(MakeTrainingSet());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEagerRecognizer(recognizer, buffer));
+  const std::string text = buffer.str();
+  CheckEveryPrefix(text, [](std::istream& in) { return LoadEagerRecognizer(in); });
+  CheckSeededMutations(text, [](std::istream& in) { return LoadEagerRecognizer(in); }, 303);
+}
+
+TEST(FuzzIoTest, HugeDeclaredCountsAreRejectedNotAllocated) {
+  // Corrupt headers declaring absurd sizes must fail by parse error.
+  std::stringstream s1("grandma-gestureset v1\nclasses 18446744073709551615\n");
+  EXPECT_FALSE(LoadGestureSet(s1).has_value());
+  std::stringstream s2("grandma-gestureset v1\nclasses 1\nclass x 99999999999\n");
+  EXPECT_FALSE(LoadGestureSet(s2).has_value());
 }
 
 TEST(FileIoTest, FileRoundTripAndMissingFile) {

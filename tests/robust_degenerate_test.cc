@@ -1,0 +1,118 @@
+// Satellite of the robustness PR: degenerate strokes — single-point,
+// two-point, all-points-coincident, zero-duration — must flow through
+// feature extraction, the full classifier, and the eager recognizer without
+// throwing and without producing non-finite scores. These are exactly the
+// strokes a real toolkit sees when the user taps instead of draws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "eager/eager_recognizer.h"
+#include "features/extractor.h"
+#include "geom/gesture.h"
+#include "geom/point.h"
+#include "linalg/vector.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+geom::Gesture G(std::vector<geom::TimedPoint> pts) { return geom::Gesture(std::move(pts)); }
+
+// The degenerate menagerie.
+std::vector<std::pair<const char*, geom::Gesture>> DegenerateGestures() {
+  std::vector<std::pair<const char*, geom::Gesture>> out;
+  out.emplace_back("single_point", G({{50.0, 50.0, 0.0}}));
+  out.emplace_back("two_points", G({{50.0, 50.0, 0.0}, {55.0, 50.0, 10.0}}));
+  out.emplace_back("coincident",
+                   G({{50.0, 50.0, 0.0}, {50.0, 50.0, 10.0}, {50.0, 50.0, 20.0},
+                      {50.0, 50.0, 30.0}}));
+  out.emplace_back("zero_duration",
+                   G({{50.0, 50.0, 5.0}, {55.0, 50.0, 5.0}, {60.0, 50.0, 5.0}}));
+  out.emplace_back("zero_duration_coincident",
+                   G({{50.0, 50.0, 5.0}, {50.0, 50.0, 5.0}, {50.0, 50.0, 5.0}}));
+  return out;
+}
+
+bool AllFinite(const linalg::Vector& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+classify::GestureTrainingSet Fig9Training() {
+  const auto batches =
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), synth::NoiseModel{}, 10, 1991);
+  return synth::ToTrainingSet(batches);
+}
+
+TEST(DegenerateGestureTest, FeaturesAreFinite) {
+  for (const auto& [name, g] : DegenerateGestures()) {
+    const linalg::Vector f = features::ExtractFeatures(g);
+    EXPECT_TRUE(AllFinite(f)) << name;
+  }
+}
+
+TEST(DegenerateGestureTest, FullClassifierNeverThrowsOrGoesNonFinite) {
+  classify::GestureClassifier classifier;
+  classifier.Train(Fig9Training());
+  for (const auto& [name, g] : DegenerateGestures()) {
+    classify::Classification c;
+    ASSERT_NO_THROW(c = classifier.Classify(g)) << name;
+    EXPECT_LT(c.class_id, classifier.num_classes()) << name;
+    EXPECT_TRUE(std::isfinite(c.score)) << name;
+    EXPECT_TRUE(std::isfinite(c.probability)) << name;
+    EXPECT_GE(c.probability, 0.0) << name;
+    EXPECT_LE(c.probability, 1.0 + 1e-9) << name;
+    EXPECT_TRUE(std::isfinite(c.mahalanobis_squared)) << name;
+  }
+}
+
+TEST(DegenerateGestureTest, EagerStreamSurvivesEveryDegenerate) {
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(Fig9Training());
+  for (const auto& [name, g] : DegenerateGestures()) {
+    eager::EagerStream stream(recognizer);
+    ASSERT_NO_THROW({
+      for (const auto& p : g) {
+        (void)stream.AddPoint(p);
+      }
+    }) << name;
+    // Mouse-up classification must still produce a finite verdict.
+    classify::Classification c;
+    ASSERT_NO_THROW(c = stream.ClassifyNow()) << name;
+    EXPECT_TRUE(std::isfinite(c.score)) << name;
+    EXPECT_TRUE(std::isfinite(c.probability)) << name;
+    EXPECT_TRUE(AllFinite(stream.Features())) << name;
+  }
+}
+
+TEST(DegenerateGestureTest, DotClassTrainsAndWins) {
+  // A training set containing an explicit dot class (as GDP has): degenerate
+  // taps should classify *as* the dot class, not crash into another one.
+  classify::GestureTrainingSet training = Fig9Training();
+  for (int e = 0; e < 10; ++e) {
+    std::vector<geom::TimedPoint> pts;
+    const double cx = 50.0 + static_cast<double>(e);
+    for (std::size_t i = 0; i < 3; ++i) {
+      pts.push_back({cx + 0.3 * static_cast<double>(i), 50.0,
+                     25.0 * static_cast<double>(i)});
+    }
+    training.Add("dot", G(std::move(pts)));
+  }
+  classify::GestureClassifier classifier;
+  classifier.Train(training);
+  const auto c = classifier.Classify(G({{60.0, 50.0, 0.0}, {60.2, 50.0, 25.0}, {60.4, 50.0, 50.0}}));
+  EXPECT_EQ(classifier.ClassName(c.class_id), "dot");
+}
+
+}  // namespace
+}  // namespace grandma

@@ -1,0 +1,213 @@
+#include "robust/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/gesture.h"
+#include "geom/point.h"
+#include "robust/stroke_validator.h"
+#include "toolkit/event.h"
+
+namespace grandma::robust {
+namespace {
+
+geom::Gesture Line(std::size_t n, double step = 5.0, double dt = 10.0) {
+  std::vector<geom::TimedPoint> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({step * static_cast<double>(i), 0.0, dt * static_cast<double>(i)});
+  }
+  return geom::Gesture(std::move(pts));
+}
+
+bool SamePoints(const geom::Gesture& a, const geom::Gesture& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise comparison on purpose: NaN outputs must also match exactly in
+    // position, so compare the representations via inequality of the rest.
+    if (a[i].x != b[i].x && !(a[i].x != a[i].x && b[i].x != b[i].x)) {
+      return false;
+    }
+    if (a[i].y != b[i].y && !(a[i].y != a[i].y && b[i].y != b[i].y)) {
+      return false;
+    }
+    if (a[i].t != b[i].t && !(a[i].t != a[i].t && b[i].t != b[i].t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDamage) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 1.0;
+  FaultInjector a(opts, 7);
+  FaultInjector b(opts, 7);
+  for (int i = 0; i < 20; ++i) {
+    const geom::Gesture in = Line(30);
+    EXPECT_TRUE(SamePoints(a.Corrupt(in), b.Corrupt(in)));
+  }
+  EXPECT_EQ(a.record().total_faults(), b.record().total_faults());
+  EXPECT_EQ(a.record().strokes_faulted, b.record().strokes_faulted);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 1.0;
+  FaultInjector a(opts, 1);
+  FaultInjector b(opts, 2);
+  bool diverged = false;
+  for (int i = 0; i < 20 && !diverged; ++i) {
+    const geom::Gesture in = Line(30);
+    diverged = !SamePoints(a.Corrupt(in), b.Corrupt(in));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, ZeroRateNeverDamages) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 0.0;
+  FaultInjector inj(opts, 3);
+  for (int i = 0; i < 50; ++i) {
+    const geom::Gesture in = Line(25);
+    InjectedFaults injected;
+    EXPECT_TRUE(SamePoints(inj.Corrupt(in, &injected), in));
+    EXPECT_FALSE(injected.any());
+  }
+  EXPECT_EQ(inj.record().strokes_seen, 50u);
+  EXPECT_EQ(inj.record().strokes_faulted, 0u);
+  EXPECT_EQ(inj.record().total_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, FullRateDamagesEveryStroke) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 1.0;
+  FaultInjector inj(opts, 11);
+  std::uint64_t faulted = 0;
+  for (int i = 0; i < 40; ++i) {
+    InjectedFaults injected;
+    (void)inj.Corrupt(Line(30), &injected);
+    if (injected.any()) {
+      ++faulted;
+    }
+  }
+  // Long strokes make every kind effective, so every stroke must be hit.
+  EXPECT_EQ(faulted, 40u);
+  EXPECT_EQ(inj.record().strokes_faulted, 40u);
+  EXPECT_GE(inj.record().total_faults(), 40u);
+}
+
+TEST(FaultInjectorTest, RecordAgreesWithPerStrokeReports) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 0.5;
+  FaultInjector inj(opts, 23);
+  std::uint64_t faulted = 0;
+  std::uint64_t faults = 0;
+  for (int i = 0; i < 100; ++i) {
+    InjectedFaults injected;
+    (void)inj.Corrupt(Line(30), &injected);
+    if (injected.any()) {
+      ++faulted;
+    }
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+      faults += injected.applied[k];
+    }
+  }
+  EXPECT_EQ(inj.record().strokes_seen, 100u);
+  EXPECT_EQ(inj.record().strokes_faulted, faulted);
+  EXPECT_EQ(inj.record().total_faults(), faults);
+  EXPECT_GT(faulted, 0u);
+  EXPECT_LT(faulted, 100u);
+}
+
+TEST(FaultInjectorTest, SingleKindInjectionIsThatKind) {
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    FaultInjectorOptions opts;
+    opts.fault_rate = 1.0;
+    opts.enabled = {};
+    opts.enabled[k] = true;
+    FaultInjector inj(opts, 5);
+    InjectedFaults injected;
+    (void)inj.Corrupt(Line(30), &injected);
+    ASSERT_TRUE(injected.any()) << FaultKindName(static_cast<FaultKind>(k));
+    for (std::size_t j = 0; j < kNumFaultKinds; ++j) {
+      EXPECT_EQ(injected.applied[j] != 0, j == k);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, RepairableKindsSurviveTheValidator) {
+  // Every repairable kind, injected alone, must yield a stroke the validator
+  // accepts — that is what "repairable" promises.
+  StrokeValidator validator;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (!FaultKindRepairable(static_cast<FaultKind>(k))) {
+      continue;
+    }
+    FaultInjectorOptions opts;
+    opts.fault_rate = 1.0;
+    opts.enabled = {};
+    opts.enabled[k] = true;
+    FaultInjector inj(opts, 17);
+    for (int i = 0; i < 20; ++i) {
+      const geom::Gesture damaged = inj.Corrupt(Line(30));
+      auto repaired = validator.Validate(damaged);
+      EXPECT_TRUE(repaired.ok()) << FaultKindName(static_cast<FaultKind>(k)) << ": "
+                                 << repaired.status().ToString();
+    }
+  }
+}
+
+TEST(FaultInjectorTest, OnlyRepairableClassifiesMixes) {
+  InjectedFaults f;
+  EXPECT_FALSE(f.only_repairable());  // nothing fired
+  f.applied[static_cast<std::size_t>(FaultKind::kCoordinateSpike)] = 1;
+  EXPECT_TRUE(f.only_repairable());
+  f.applied[static_cast<std::size_t>(FaultKind::kTruncate)] = 1;
+  EXPECT_FALSE(f.only_repairable());
+}
+
+TEST(FaultInjectorTest, CorruptTraceRebuildsWellFormedSequence) {
+  std::vector<toolkit::InputEvent> trace;
+  trace.push_back(toolkit::InputEvent::MouseDown(0, 0, 0, 1));
+  for (int i = 1; i < 29; ++i) {
+    trace.push_back(toolkit::InputEvent::MouseMove(5.0 * i, 0, 10.0 * i, 1));
+  }
+  trace.push_back(toolkit::InputEvent::MouseUp(145, 0, 290, 1));
+
+  FaultInjectorOptions opts;
+  opts.fault_rate = 1.0;
+  FaultInjector inj(opts, 29);
+  for (int round = 0; round < 10; ++round) {
+    const auto out = inj.CorruptTrace(trace);
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out.front().type, toolkit::EventType::kMouseDown);
+    EXPECT_EQ(out.back().type, toolkit::EventType::kMouseUp);
+    for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+      EXPECT_EQ(out[i].type, toolkit::EventType::kMouseMove);
+    }
+    for (const auto& e : out) {
+      EXPECT_EQ(e.button, 1);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, FaultRecordJsonNamesEveryKind) {
+  FaultInjectorOptions opts;
+  opts.fault_rate = 1.0;
+  FaultInjector inj(opts, 31);
+  (void)inj.Corrupt(Line(30));
+  const std::string json = inj.record().ToJson();
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    EXPECT_NE(json.find(FaultKindName(static_cast<FaultKind>(k))), std::string::npos);
+  }
+  EXPECT_NE(json.find("strokes_seen"), std::string::npos);
+  inj.ResetRecord();
+  EXPECT_EQ(inj.record().strokes_seen, 0u);
+}
+
+}  // namespace
+}  // namespace grandma::robust

@@ -1,0 +1,266 @@
+// End-to-end tests of the hardened pipeline: fault injection -> validation ->
+// classification must complete every stroke, account for every injected
+// fault, and degrade (ridge repair, diagonal fallback, two-phase fallback)
+// instead of throwing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "classify/linear_classifier.h"
+#include "classify/training_set.h"
+#include "eager/eager_recognizer.h"
+#include "geom/gesture.h"
+#include "linalg/vector.h"
+#include "robust/fault_injector.h"
+#include "robust/fault_stats.h"
+#include "robust/stroke_validator.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+classify::GestureTrainingSet Fig9Training(std::size_t per_class, std::uint64_t seed,
+                                          const synth::NoiseModel& noise = {}) {
+  return synth::ToTrainingSet(
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), noise, per_class, seed));
+}
+
+// A noise model with every random term zeroed: all examples of a class are
+// bit-identical, so per-class scatter (and the pooled covariance) is exactly
+// singular — the worst case the covariance-repair ladder must handle.
+synth::NoiseModel DegenerateNoise() {
+  synth::NoiseModel noise;
+  noise.spacing_sigma = 0.0;
+  noise.point_jitter = 0.0;
+  noise.rotation_sigma = 0.0;
+  noise.scale_sigma = 0.0;
+  noise.translation_sigma = 0.0;
+  noise.tempo_sigma = 0.0;
+  noise.point_tempo_sigma = 0.0;
+  return noise;
+}
+
+double Accuracy(const classify::GestureClassifier& classifier,
+                const std::vector<synth::LabeledSamples>& batches) {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& batch : batches) {
+    const classify::ClassId want = classifier.registry().Require(batch.class_name);
+    for (const auto& sample : batch.samples) {
+      ++total;
+      if (classifier.Classify(sample.gesture).class_id == want) {
+        ++correct;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+// The acceptance scenario: at a 10% fault rate the pipeline completes every
+// stroke without throwing, classifies >= 80% of repairable faulted strokes
+// correctly, and the stroke-level accounting covers every faulted stroke.
+TEST(HardenedPipelineTest, TenPercentFaultSweepInvariant) {
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(Fig9Training(10, 1991));
+
+  const auto test_batches =
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), synth::NoiseModel{}, 25, 42);
+
+  robust::FaultInjectorOptions fopts;
+  fopts.fault_rate = 0.10;
+  robust::FaultInjector injector(fopts, 2024);
+  robust::StrokeValidator validator;
+  robust::FaultStats stats;
+
+  std::uint64_t faulted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t degraded = 0;
+  std::size_t repairable_total = 0;
+  std::size_t repairable_correct = 0;
+
+  for (const auto& batch : test_batches) {
+    const classify::ClassId want = recognizer.full().registry().Require(batch.class_name);
+    for (const auto& sample : batch.samples) {
+      ASSERT_NO_THROW({
+        robust::InjectedFaults injected;
+        const geom::Gesture damaged = injector.Corrupt(sample.gesture, &injected);
+        robust::ValidationReport report;
+        auto validated = validator.Validate(damaged, &report, &stats);
+
+        if (injected.any()) {
+          ++faulted;
+          if (!validated.ok()) {
+            ++rejected;
+          } else if (report.repaired()) {
+            ++repaired;
+          } else {
+            ++degraded;  // lossy (drop/truncate) but structurally clean
+          }
+        }
+
+        if (validated.ok()) {
+          // Replays the arrival of each surviving point, then classifies at
+          // mouse-up — the full hardened path every stroke takes.
+          eager::EagerStream stream(recognizer);
+          for (const auto& p : *validated) {
+            (void)stream.AddPoint(p);
+          }
+          const classify::Classification c = stream.ClassifyNow();
+          ASSERT_TRUE(std::isfinite(c.score));
+          if (injected.any() && injected.only_repairable()) {
+            ++repairable_total;
+            if (c.class_id == want) {
+              ++repairable_correct;
+            }
+          }
+        }
+      });
+    }
+  }
+
+  // Every faulted stroke is accounted for in exactly one outcome bucket, and
+  // the injector's own record agrees.
+  EXPECT_EQ(rejected + repaired + degraded, faulted);
+  EXPECT_EQ(injector.record().strokes_faulted, faulted);
+  EXPECT_EQ(injector.record().strokes_seen, 8u * 25u);
+  EXPECT_GT(faulted, 0u);
+
+  // Repairable faults must overwhelmingly still classify correctly.
+  ASSERT_GT(repairable_total, 0u);
+  const double repairable_accuracy =
+      static_cast<double>(repairable_correct) / static_cast<double>(repairable_total);
+  EXPECT_GE(repairable_accuracy, 0.8)
+      << repairable_correct << "/" << repairable_total << "; stats:\n"
+      << stats.ToString();
+
+  // The validator's stroke buckets also cover everything it saw.
+  EXPECT_EQ(stats.strokes_clean + stats.strokes_repaired + stats.strokes_rejected,
+            stats.strokes_validated);
+}
+
+// Singular covariance (identical examples per class) must train via the
+// ridge-repair path and still classify held-out clean gestures nearly as
+// well as a classifier trained on well-conditioned data.
+TEST(HardenedPipelineTest, SingularCovarianceRidgeFallback) {
+  classify::GestureClassifier healthy;
+  robust::FaultStats healthy_stats;
+  const double healthy_ridge =
+      healthy.Train(Fig9Training(10, 1991), features::FeatureMask::All(), &healthy_stats);
+  EXPECT_EQ(healthy_ridge, 0.0);
+  EXPECT_EQ(healthy_stats.covariance_ridge_repairs, 0u);
+
+  classify::GestureClassifier degenerate;
+  robust::FaultStats stats;
+  const double ridge = degenerate.Train(Fig9Training(3, 5, DegenerateNoise()),
+                                        features::FeatureMask::All(), &stats);
+  EXPECT_GT(ridge, 0.0);
+  EXPECT_EQ(stats.covariance_ridge_repairs, 1u);
+  EXPECT_EQ(stats.covariance_diagonal_fallbacks, 0u);
+
+  const auto held_out =
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), synth::NoiseModel{}, 25, 42);
+  const double healthy_acc = Accuracy(healthy, held_out);
+  const double degenerate_acc = Accuracy(degenerate, held_out);
+  EXPECT_GE(degenerate_acc, 0.95 * healthy_acc)
+      << "healthy " << healthy_acc << " vs ridge-repaired " << degenerate_acc;
+}
+
+TEST(HardenedPipelineTest, NonFiniteTrainingExamplesAreDroppedAndCounted) {
+  classify::FeatureTrainingSet data;
+  for (int e = 0; e < 6; ++e) {
+    linalg::Vector v(2);
+    v[0] = 0.1 * e;
+    v[1] = 1.0 + 0.05 * e;
+    data.Add(0, v);
+    linalg::Vector w(2);
+    w[0] = 10.0 + 0.1 * e;
+    w[1] = -1.0 - 0.05 * e;
+    data.Add(1, w);
+  }
+  linalg::Vector poison(2);
+  poison[0] = std::numeric_limits<double>::quiet_NaN();
+  poison[1] = 0.0;
+  data.Add(0, poison);
+
+  classify::LinearClassifier classifier;
+  robust::FaultStats stats;
+  ASSERT_NO_THROW(classifier.Train(data, &stats));
+  EXPECT_EQ(stats.training_examples_dropped, 1u);
+  ASSERT_TRUE(classifier.trained());
+
+  linalg::Vector probe(2);
+  probe[0] = 0.2;
+  probe[1] = 1.1;
+  EXPECT_EQ(classifier.Classify(probe).class_id, 0u);
+}
+
+TEST(HardenedPipelineTest, ClassWithOnlyNonFiniteExamplesStillThrows) {
+  // Dropping every example of a class is not a degradation the classifier can
+  // absorb — that is a structurally unusable training set.
+  classify::FeatureTrainingSet data;
+  for (int e = 0; e < 4; ++e) {
+    linalg::Vector v(2);
+    v[0] = e;
+    v[1] = -e;
+    data.Add(0, v);
+    linalg::Vector poison(2);
+    poison[0] = std::numeric_limits<double>::infinity();
+    poison[1] = 0.0;
+    data.Add(1, poison);
+  }
+  classify::LinearClassifier classifier;
+  robust::FaultStats stats;
+  EXPECT_THROW(classifier.Train(data, &stats), std::invalid_argument);
+}
+
+TEST(HardenedPipelineTest, UntrainableAucFallsBackToTwoPhase) {
+  eager::EagerTrainOptions options;
+  // No training gesture has this many points, so subgesture enumeration
+  // produces an empty partition and AUC training fails.
+  options.labeler.min_prefix_points = 100000;
+  robust::FaultStats stats;
+  options.stats = &stats;
+
+  eager::EagerRecognizer recognizer;
+  eager::EagerTrainReport report;
+  ASSERT_NO_THROW(report = recognizer.Train(Fig9Training(10, 1991), options));
+
+  EXPECT_TRUE(report.eager_fallback);
+  EXPECT_TRUE(report.auc.degenerate);
+  EXPECT_EQ(stats.eager_twophase_fallbacks, 1u);
+  ASSERT_TRUE(recognizer.trained());
+  EXPECT_EQ(recognizer.auc().mode(), eager::Auc::Mode::kAlwaysAmbiguous);
+
+  // Two-phase behaviour: the stream never fires eagerly, but mouse-up
+  // classification still works and is accurate.
+  const auto held_out =
+      synth::GenerateSet(synth::MakeEightDirectionSpecs(), synth::NoiseModel{}, 10, 42);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& batch : held_out) {
+    const classify::ClassId want = recognizer.full().registry().Require(batch.class_name);
+    for (const auto& sample : batch.samples) {
+      eager::EagerStream stream(recognizer);
+      for (const auto& p : sample.gesture) {
+        EXPECT_FALSE(stream.AddPoint(p));
+      }
+      EXPECT_FALSE(stream.fired());
+      ++total;
+      if (stream.ClassifyNow().class_id == want) {
+        ++correct;
+      }
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+}  // namespace
+}  // namespace grandma

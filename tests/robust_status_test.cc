@@ -1,0 +1,83 @@
+#include "robust/status.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grandma::robust {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::DataLoss("3 points dropped");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "3 points dropped");
+}
+
+TEST(StatusTest, ToStringNamesTheCode) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const std::string rendered = Status::InvalidArgument("empty stroke").ToString();
+  EXPECT_NE(rendered.find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(rendered.find("empty stroke"), std::string::npos);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  const std::vector<StatusCode> codes = {
+      StatusCode::kOk,         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange, StatusCode::kDataLoss,        StatusCode::kDegraded,
+      StatusCode::kInternal,
+  };
+  for (StatusCode c : codes) {
+    EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::OutOfRange("too many points");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.value_or(-1), -1);
+  EXPECT_THROW(v.value(), std::logic_error);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(v.ok());
+  const std::vector<int> taken = *std::move(v);
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowReachesMembers) {
+  StatusOr<std::string> v = std::string("abc");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  // Constructing a StatusOr from an OK status is a caller bug; it must still
+  // yield a well-defined *error* state, never a value-less "ok".
+  StatusOr<int> v = Status::Ok();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace grandma::robust

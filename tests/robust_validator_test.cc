@@ -1,0 +1,219 @@
+#include "robust/stroke_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geom/gesture.h"
+#include "geom/point.h"
+#include "robust/fault_stats.h"
+#include "robust/status.h"
+
+namespace grandma::robust {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<geom::TimedPoint> LinePts(std::size_t n, double step = 5.0, double dt = 10.0) {
+  std::vector<geom::TimedPoint> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({step * static_cast<double>(i), 0.0, dt * static_cast<double>(i)});
+  }
+  return pts;
+}
+
+geom::Gesture G(std::vector<geom::TimedPoint> pts) { return geom::Gesture(std::move(pts)); }
+
+bool IsClean(const geom::Gesture& g) {
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (!std::isfinite(g[i].x) || !std::isfinite(g[i].y) || !std::isfinite(g[i].t)) {
+      return false;
+    }
+    if (i > 0 && !(g[i].t > g[i - 1].t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StrokeValidatorTest, CleanStrokePassesUntouched) {
+  StrokeValidator v;
+  ValidationReport report;
+  FaultStats stats;
+  const geom::Gesture in = G(LinePts(20));
+  auto out = v.Validate(in, &report, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), in.size());
+  EXPECT_FALSE(report.repaired());
+  EXPECT_EQ(stats.strokes_validated, 1u);
+  EXPECT_EQ(stats.strokes_clean, 1u);
+  EXPECT_EQ(stats.strokes_repaired, 0u);
+  EXPECT_EQ(stats.strokes_rejected, 0u);
+}
+
+TEST(StrokeValidatorTest, EmptyStrokeIsInvalidArgument) {
+  StrokeValidator v;
+  FaultStats stats;
+  auto out = v.Validate(geom::Gesture{}, nullptr, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.strokes_rejected, 1u);
+}
+
+TEST(StrokeValidatorTest, DropsNanAndInfPoints) {
+  StrokeValidator v;
+  auto pts = LinePts(10);
+  pts[3].x = kNan;
+  pts[7].y = kInf;
+  ValidationReport report;
+  FaultStats stats;
+  auto out = v.Validate(G(std::move(pts)), &report, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 8u);
+  EXPECT_EQ(report.nonfinite_dropped, 2u);
+  EXPECT_TRUE(IsClean(*out));
+  EXPECT_EQ(stats.strokes_repaired, 1u);
+  EXPECT_EQ(stats.points_dropped_nonfinite, 2u);
+}
+
+TEST(StrokeValidatorTest, NonFiniteTimestampDropsThePoint) {
+  StrokeValidator v;
+  auto pts = LinePts(10);
+  pts[5].t = -kInf;
+  auto out = v.Validate(G(std::move(pts)));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 9u);
+  EXPECT_TRUE(IsClean(*out));
+}
+
+TEST(StrokeValidatorTest, DropsOutOfRangeCoordinates) {
+  StrokeValidator v;
+  auto pts = LinePts(10);
+  pts[4].x = 1.0e9;  // beyond any plausible device
+  ValidationReport report;
+  auto out = v.Validate(G(std::move(pts)), &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 9u);
+  EXPECT_EQ(report.out_of_range_dropped, 1u);
+}
+
+TEST(StrokeValidatorTest, DropsTeleportSpikes) {
+  StrokeValidator v;
+  auto pts = LinePts(10);
+  pts[5].x += 5000.0;  // one-sample teleport, well past max_segment_length
+  ValidationReport report;
+  auto out = v.Validate(G(std::move(pts)), &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 9u);
+  EXPECT_EQ(report.spikes_dropped, 1u);
+  // Remaining geometry is the original line minus the spiked sample.
+  for (const auto& p : *out) {
+    EXPECT_LT(p.x, 50.0);
+  }
+}
+
+TEST(StrokeValidatorTest, ClampsDuplicateAndBackwardTimestamps) {
+  StrokeValidator v;
+  auto pts = LinePts(10);
+  pts[4].t = pts[3].t;        // stuck clock
+  pts[7].t = pts[5].t - 3.0;  // reordered
+  ValidationReport report;
+  auto out = v.Validate(G(std::move(pts)), &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 10u);
+  EXPECT_GE(report.timestamps_repaired, 2u);
+  EXPECT_TRUE(IsClean(*out));
+}
+
+TEST(StrokeValidatorTest, NoRepairPolicyRejectsInsteadOfFixing) {
+  ValidationPolicy policy;
+  policy.repair = false;
+  StrokeValidator v(policy);
+  auto pts = LinePts(10);
+  pts[3].x = kNan;
+  FaultStats stats;
+  auto out = v.Validate(G(std::move(pts)), nullptr, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(stats.strokes_rejected, 1u);
+  EXPECT_EQ(stats.strokes_repaired, 0u);
+}
+
+TEST(StrokeValidatorTest, AllPointsNonFiniteIsDataLoss) {
+  StrokeValidator v;
+  std::vector<geom::TimedPoint> pts(5, geom::TimedPoint{kNan, kNan, kNan});
+  auto out = v.Validate(G(std::move(pts)));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StrokeValidatorTest, TooManyPointsIsOutOfRange) {
+  ValidationPolicy policy;
+  policy.max_points = 16;
+  StrokeValidator v(policy);
+  auto out = v.Validate(G(LinePts(17)));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StrokeValidatorTest, MinPointsPolicyRejectsShortSurvivors) {
+  ValidationPolicy policy;
+  policy.min_points = 3;
+  StrokeValidator v(policy);
+  auto pts = LinePts(3);
+  pts[2].x = kNan;  // survivor count drops to 2 < min_points
+  auto out = v.Validate(G(std::move(pts)));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StrokeValidatorTest, SinglePointDotIsValidByDefault) {
+  StrokeValidator v;
+  auto out = v.Validate(G({{10.0, 20.0, 0.0}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(StrokeValidatorTest, StatsAccumulateAcrossStrokes) {
+  StrokeValidator v;
+  FaultStats stats;
+  auto bad = LinePts(10);
+  bad[2].y = kNan;
+  (void)v.Validate(G(LinePts(10)), nullptr, &stats);
+  (void)v.Validate(G(std::move(bad)), nullptr, &stats);
+  (void)v.Validate(geom::Gesture{}, nullptr, &stats);
+  EXPECT_EQ(stats.strokes_validated, 3u);
+  EXPECT_EQ(stats.strokes_clean, 1u);
+  EXPECT_EQ(stats.strokes_repaired, 1u);
+  EXPECT_EQ(stats.strokes_rejected, 1u);
+  // Every validated stroke lands in exactly one outcome bucket.
+  EXPECT_EQ(stats.strokes_clean + stats.strokes_repaired + stats.strokes_rejected,
+            stats.strokes_validated);
+}
+
+TEST(FaultStatsTest, MergeAddsAndToJsonListsEveryCounter) {
+  FaultStats a;
+  a.strokes_validated = 2;
+  a.points_dropped_spike = 3;
+  FaultStats b;
+  b.strokes_validated = 5;
+  b.handler_exceptions = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.strokes_validated, 7u);
+  EXPECT_EQ(a.points_dropped_spike, 3u);
+  EXPECT_EQ(a.handler_exceptions, 1u);
+  const std::string json = a.ToJson();
+  EXPECT_NE(json.find("\"strokes_validated\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"handler_exceptions\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"eager_twophase_fallbacks\": 0"), std::string::npos);
+  a.Reset();
+  EXPECT_EQ(a.strokes_validated, 0u);
+  EXPECT_EQ(a.TotalFaultEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace grandma::robust

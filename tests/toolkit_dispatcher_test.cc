@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
+#include "robust/fault_stats.h"
 #include "toolkit/drag_handler.h"
 
 namespace grandma::toolkit {
@@ -145,6 +147,149 @@ TEST(DispatcherTest, ClockAdvancesToEventTime) {
   // Events never move the clock backwards.
   f.dispatcher.Dispatch(InputEvent::MouseMove(5, 5, 50.0));
   EXPECT_DOUBLE_EQ(f.clock.now_ms(), 123.0);
+}
+
+// Handler whose OnEvent (or Wants) throws, for quarantine tests.
+class FaultyHandler : public EventHandler {
+ public:
+  enum class ThrowFrom { kOnEvent, kWants };
+
+  explicit FaultyHandler(ThrowFrom where, HandlerResponse response = HandlerResponse::kConsumed)
+      : EventHandler("faulty"), where_(where), response_(response) {}
+
+  bool Wants(const InputEvent&, View&) const override {
+    if (where_ == ThrowFrom::kWants) {
+      throw std::runtime_error("Wants exploded");
+    }
+    return true;
+  }
+  HandlerResponse OnEvent(const InputEvent&, View&) override {
+    ++calls_;
+    if (where_ == ThrowFrom::kOnEvent) {
+      throw std::runtime_error("OnEvent exploded");
+    }
+    return response_;
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  ThrowFrom where_;
+  HandlerResponse response_;
+  int calls_ = 0;
+};
+
+TEST(DispatcherQuarantineTest, ThrowingHandlerIsQuarantinedAndSkipped) {
+  Fixture f;
+  robust::FaultStats stats;
+  f.dispatcher.set_fault_stats(&stats);
+  auto healthy = std::make_shared<ScriptedHandler>("h", true, HandlerResponse::kConsumed);
+  auto faulty = std::make_shared<FaultyHandler>(FaultyHandler::ThrowFrom::kOnEvent);
+  f.root.AddHandler(healthy);
+  f.root.AddHandler(faulty);  // queried first
+
+  // First event: the faulty handler throws, the dispatcher survives, and the
+  // healthy handler behind it still gets the event.
+  EXPECT_NO_THROW(f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0)));
+  EXPECT_EQ(faulty->calls(), 1);
+  EXPECT_EQ(healthy->log().size(), 1u);
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(faulty.get()));
+  EXPECT_EQ(f.dispatcher.quarantined_count(), 1u);
+  EXPECT_EQ(stats.handler_exceptions, 1u);
+  EXPECT_EQ(stats.handlers_quarantined, 1u);
+
+  // Subsequent events never reach the quarantined handler again.
+  f.dispatcher.Dispatch(InputEvent::MouseUp(6, 6, 10));
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 20));
+  EXPECT_EQ(faulty->calls(), 1);
+  EXPECT_EQ(healthy->log().size(), 3u);
+  EXPECT_GE(stats.events_skipped_quarantined, 2u);
+}
+
+TEST(DispatcherQuarantineTest, ThrowingWantsIsAlsoQuarantined) {
+  Fixture f;
+  auto healthy = std::make_shared<ScriptedHandler>("h", true, HandlerResponse::kConsumed);
+  auto faulty = std::make_shared<FaultyHandler>(FaultyHandler::ThrowFrom::kWants);
+  f.root.AddHandler(healthy);
+  f.root.AddHandler(faulty);
+  EXPECT_NO_THROW(f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0)));
+  EXPECT_EQ(faulty->calls(), 0);
+  EXPECT_EQ(healthy->log().size(), 1u);
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(faulty.get()));
+}
+
+TEST(DispatcherQuarantineTest, GrabbedHandlerThrowingReleasesGrabAndSwallows) {
+  Fixture f;
+  robust::FaultStats stats;
+  f.dispatcher.set_fault_stats(&stats);
+  // Grabs on the down, then explodes on the first move.
+  class GrabThenThrow : public EventHandler {
+   public:
+    GrabThenThrow() : EventHandler("grab-throw") {}
+    bool Wants(const InputEvent&, View&) const override { return true; }
+    HandlerResponse OnEvent(const InputEvent& e, View&) override {
+      if (e.type == EventType::kMouseDown) {
+        return HandlerResponse::kConsumedAndGrab;
+      }
+      throw std::runtime_error("mid-interaction crash");
+    }
+  };
+  auto bomb = std::make_shared<GrabThenThrow>();
+  auto other = std::make_shared<ScriptedHandler>("other", true, HandlerResponse::kConsumed);
+  f.root.AddHandler(other);
+  f.root.AddHandler(bomb);
+
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  EXPECT_TRUE(f.dispatcher.HasGrab());
+  EXPECT_NO_THROW(f.dispatcher.Dispatch(InputEvent::MouseMove(6, 6, 10)));
+  EXPECT_FALSE(f.dispatcher.HasGrab());
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(bomb.get()));
+  // The rest of the broken interaction is swallowed, like an abort...
+  f.dispatcher.Dispatch(InputEvent::MouseMove(7, 7, 20));
+  f.dispatcher.Dispatch(InputEvent::MouseUp(8, 8, 30));
+  EXPECT_TRUE(other->log().empty());
+  // ...and the next interaction reaches the surviving handler.
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 40));
+  EXPECT_EQ(other->log().size(), 1u);
+  EXPECT_EQ(stats.handler_exceptions, 1u);
+  EXPECT_EQ(f.dispatcher.handler_fault_count(), 1u);
+}
+
+TEST(DispatcherQuarantineTest, ThrowingInTickIsIsolated) {
+  Fixture f;
+  class GrabThenThrowOnTimer : public EventHandler {
+   public:
+    GrabThenThrowOnTimer() : EventHandler("tick-bomb") {}
+    bool Wants(const InputEvent&, View&) const override { return true; }
+    HandlerResponse OnEvent(const InputEvent& e, View&) override {
+      if (e.type == EventType::kTimer) {
+        throw std::runtime_error("timer crash");
+      }
+      return HandlerResponse::kConsumedAndGrab;
+    }
+  };
+  auto bomb = std::make_shared<GrabThenThrowOnTimer>();
+  f.root.AddHandler(bomb);
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  ASSERT_TRUE(f.dispatcher.HasGrab());
+  f.clock.Advance(25);
+  EXPECT_NO_THROW(f.dispatcher.Tick());
+  EXPECT_FALSE(f.dispatcher.HasGrab());
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(bomb.get()));
+}
+
+TEST(DispatcherQuarantineTest, ClearQuarantineRestoresService) {
+  Fixture f;
+  auto faulty = std::make_shared<FaultyHandler>(FaultyHandler::ThrowFrom::kOnEvent);
+  f.root.AddHandler(faulty);
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 0));
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(faulty.get()));
+  f.dispatcher.ClearQuarantine();
+  EXPECT_EQ(f.dispatcher.quarantined_count(), 0u);
+  f.dispatcher.Dispatch(InputEvent::MouseUp(5, 5, 5));
+  f.dispatcher.Dispatch(InputEvent::MouseDown(5, 5, 10));
+  EXPECT_EQ(faulty->calls(), 2);  // back in service (and it threw again)
+  EXPECT_TRUE(f.dispatcher.IsQuarantined(faulty.get()));
 }
 
 }  // namespace
