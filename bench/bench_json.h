@@ -1,0 +1,138 @@
+// Tiny streaming JSON writer shared by the bench harnesses that emit
+// BENCH_*.json artifacts (fault_sweep, serve_load, timing_per_point).
+// Emits pretty-printed JSON with two-space indentation; comma placement is
+// tracked per nesting level so call sites stay linear. Header-only, bench
+// code only — not part of the library layers.
+#ifndef GRANDMA_BENCH_BENCH_JSON_H_
+#define GRANDMA_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grandma::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  // Key of the next value inside an object.
+  JsonWriter& Key(std::string_view k) {
+    Separate();
+    Quote(k);
+    out_ << ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view v) {
+    Separate();
+    Quote(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v) {
+    Separate();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(std::int64_t v) {
+    Separate();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(std::uint64_t v) {
+    Separate();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  // Pre-serialized JSON (e.g. a struct's own ToJson()) spliced in verbatim.
+  JsonWriter& Raw(std::string_view json) {
+    Separate();
+    out_ << json;
+    return *this;
+  }
+
+  // Key-value in one call.
+  template <typename T>
+  JsonWriter& KV(std::string_view k, T v) {
+    Key(k);
+    return Value(v);
+  }
+
+ private:
+  JsonWriter& Open(char bracket) {
+    Separate();
+    out_ << bracket;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& Close(char bracket) {
+    if (!first_.empty() && !first_.back()) {
+      out_ << '\n' << Indent(first_.size() - 1);
+    }
+    first_.pop_back();
+    out_ << bracket;
+    if (first_.empty()) {
+      out_ << '\n';
+    }
+    return *this;
+  }
+
+  // Emits the comma/newline/indent due before a value or key.
+  void Separate() {
+    if (pending_key_) {
+      pending_key_ = false;  // value immediately follows its key
+      return;
+    }
+    if (first_.empty()) {
+      return;  // document root
+    }
+    out_ << (first_.back() ? "\n" : ",\n") << Indent(first_.size());
+    first_.back() = false;
+  }
+
+  std::string Indent(std::size_t depth) const { return std::string(2 * depth, ' '); }
+
+  void Quote(std::string_view s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        default:
+          out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace grandma::bench
+
+#endif  // GRANDMA_BENCH_BENCH_JSON_H_

@@ -11,10 +11,10 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "classify/gesture_classifier.h"
 #include "eager/eager_recognizer.h"
 #include "geom/gesture.h"
@@ -116,17 +116,22 @@ SweepRow RunSweep(const eager::EagerRecognizer& recognizer,
   return row;
 }
 
-std::string RowJson(const SweepRow& r) {
-  std::ostringstream out;
-  out << "    {\"fault_rate\": " << r.fault_rate << ", \"strokes\": " << r.strokes
-      << ", \"faulted\": " << r.faulted << ", \"rejected\": " << r.rejected
-      << ", \"repaired\": " << r.repaired << ", \"degraded\": " << r.degraded
-      << ", \"completed\": " << r.completed << ", \"overall_accuracy\": " << r.overall_accuracy
-      << ", \"clean_accuracy\": " << r.clean_accuracy
-      << ", \"repairable_accuracy\": " << r.repairable_accuracy
-      << ", \"repairable_total\": " << r.repairable_total << ",\n      \"injector\": "
-      << r.record.ToJson() << ",\n      \"stats\": " << r.stats.ToJson() << "}";
-  return out.str();
+void WriteRow(bench::JsonWriter& json, const SweepRow& r) {
+  json.BeginObject()
+      .KV("fault_rate", r.fault_rate)
+      .KV("strokes", r.strokes)
+      .KV("faulted", r.faulted)
+      .KV("rejected", r.rejected)
+      .KV("repaired", r.repaired)
+      .KV("degraded", r.degraded)
+      .KV("completed", r.completed)
+      .KV("overall_accuracy", r.overall_accuracy)
+      .KV("clean_accuracy", r.clean_accuracy)
+      .KV("repairable_accuracy", r.repairable_accuracy)
+      .KV("repairable_total", r.repairable_total);
+  json.Key("injector").Raw(r.record.ToJson());
+  json.Key("stats").Raw(r.stats.ToJson());
+  json.EndObject();
 }
 
 }  // namespace
@@ -189,14 +194,19 @@ int main() {
     }
   }
 
-  std::ofstream json("BENCH_fault_sweep.json");
-  json << "{\n  \"bench\": \"fault_sweep\",\n  \"gesture_set\": \"fig9_eight_directions\",\n"
-       << "  \"train_per_class\": 10,\n  \"test_per_class\": 30,\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    json << RowJson(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
+  std::ofstream file("BENCH_fault_sweep.json");
+  bench::JsonWriter json(file);
+  json.BeginObject()
+      .KV("bench", "fault_sweep")
+      .KV("gesture_set", "fig9_eight_directions")
+      .KV("train_per_class", 10)
+      .KV("test_per_class", 30);
+  json.Key("rows").BeginArray();
+  for (const SweepRow& row : rows) {
+    WriteRow(json, row);
   }
-  json << "  ]\n}\n";
-  json.close();
+  json.EndArray().EndObject();
+  file.close();
   std::printf("\nwrote BENCH_fault_sweep.json\n");
 
   if (!ok) {

@@ -6,8 +6,19 @@
 // Absolute numbers on a modern laptop are ~1000x faster; the *structure*
 // that must hold: per-point work is O(1) in gesture length, and AUC
 // evaluation scales linearly with the number of AUC classes (2C).
+//
+// Besides the usual console table, writes BENCH_timing_per_point.json so the
+// timing trajectory is machine-readable across PRs (same JsonWriter helper
+// as fault_sweep and serve_load).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
 #include "eager/eager_recognizer.h"
 #include "features/extractor.h"
 #include "synth/generator.h"
@@ -145,6 +156,65 @@ void BM_EagerTrainGdp(benchmark::State& state) {
 }
 BENCHMARK(BM_EagerTrainGdp)->Unit(benchmark::kMillisecond);
 
+// Console output as usual, but also capture every run so main() can write
+// the JSON artifact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time = 0.0;  // per iteration, in `time_unit`
+    double cpu_time = 0.0;
+    std::string time_unit;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_time = run.GetAdjustedRealTime();
+      row.cpu_time = run.GetAdjustedCPUTime();
+      row.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      row.iterations = run.iterations;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream file("BENCH_timing_per_point.json");
+  grandma::bench::JsonWriter json(file);
+  json.BeginObject().KV("bench", "timing_per_point");
+  json.Key("rows").BeginArray();
+  for (const auto& row : reporter.rows()) {
+    json.BeginObject()
+        .KV("name", row.name)
+        .KV("real_time", row.real_time)
+        .KV("cpu_time", row.cpu_time)
+        .KV("time_unit", row.time_unit)
+        .KV("iterations", row.iterations)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+  std::printf("wrote BENCH_timing_per_point.json\n");
+  return 0;
+}

@@ -13,6 +13,12 @@
 namespace grandma::classify {
 
 // Full-gesture classifier C(g) (Section 4.2). Immutable after Train.
+//
+// Thread-safety: const methods are safe to share across threads after Train
+// (see LinearClassifier). mutable_linear() is the one escape hatch that can
+// mutate a trained instance (bias tweaking during AUC training); never call
+// it on an instance that has been published to other threads — serve freezes
+// classifiers behind shared_ptr<const RecognizerBundle> for exactly this.
 class GestureClassifier {
  public:
   GestureClassifier() = default;

@@ -36,6 +36,11 @@ struct Classification {
 // weights w_c = Sigma^-1 mu_c and constant w_c0 = -1/2 mu_c^T Sigma^-1 mu_c.
 // A singular Sigma (linearly dependent features in the training data) is
 // repaired with escalating ridge terms; see linalg::InvertCovarianceWithRepair.
+//
+// Thread-safety: const methods (Evaluate, Classify, Mahalanobis*) are pure
+// reads with no internal caching and are safe to call concurrently from many
+// threads once training has happened-before the sharing (the serve layer
+// relies on this). Train and AdjustBias mutate and must not race with reads.
 class LinearClassifier {
  public:
   LinearClassifier() = default;

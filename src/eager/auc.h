@@ -40,6 +40,9 @@ struct AucTrainReport {
 };
 
 // The trained AUC.
+//
+// Thread-safety: immutable after Train/FromParameters; Unambiguous and
+// Classify are pure reads, safe to call concurrently.
 class Auc {
  public:
   // How this AUC answers D(s).

@@ -46,6 +46,11 @@ struct EagerTrainReport {
 
 // Trained eager recognizer: the full classifier C plus the doneness
 // predicate D built from the same training examples.
+//
+// Thread-safety: after Train returns, the const surface (UnambiguousFeatures,
+// ClassifyFeatures, accessors) is safe for concurrent use from many threads —
+// one trained recognizer serves every shard of a RecognitionServer. Train
+// itself must be exclusive.
 class EagerRecognizer {
  public:
   EagerRecognizer() = default;
@@ -84,6 +89,10 @@ class EagerRecognizer {
 // Per-gesture streaming session: feed mouse points as they arrive; the
 // stream reports the moment the gesture becomes unambiguous (D fires), after
 // which the caller typically classifies and enters the manipulation phase.
+//
+// Thread-safety: none — a stream is one user's mutable per-stroke state and
+// must be owned by a single thread (serve pins each stream to one shard).
+// Many streams may share one recognizer concurrently.
 class EagerStream {
  public:
   explicit EagerStream(const EagerRecognizer& recognizer) : recognizer_(&recognizer) {}

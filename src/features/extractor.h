@@ -24,6 +24,9 @@ namespace grandma::features {
 // Gestures with fewer than kMinPoints points do not carry enough geometry for
 // the angle features; Features() is still defined (degenerate features are 0)
 // so that very short gestures such as GDP's `dot` remain classifiable.
+//
+// Thread-safety: none — an extractor is per-stroke mutable state owned by a
+// single thread. Distinct extractors are independent (no shared statics).
 class FeatureExtractor {
  public:
   // Minimum number of points for a fully defined feature vector.

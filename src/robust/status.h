@@ -30,6 +30,10 @@ enum class StatusCode {
   // two-phase recognition instead of eager). Carriers of this code still
   // produced a usable result.
   kDegraded,
+  // The system is at capacity and shed this request rather than queueing it
+  // (bounded serve queues under load). The input was fine; retrying later can
+  // succeed.
+  kOverloaded,
   // A bug on our side (should not happen on any input).
   kInternal,
 };
@@ -48,6 +52,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kDegraded:
       return "DEGRADED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -77,6 +83,9 @@ class Status {
   }
   static Status Degraded(std::string msg) {
     return Status(StatusCode::kDegraded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

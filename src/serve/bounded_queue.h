@@ -1,0 +1,119 @@
+// A bounded multi-producer multi-consumer queue: the backpressure point of
+// the recognition server. Producers either block until space frees up
+// (backpressure) or fail fast when full (shed) — the server picks per its
+// OverloadPolicy. Closing the queue wakes everyone; consumers drain whatever
+// is left before seeing end-of-stream, so shutdown never loses queued events.
+#ifndef GRANDMA_SRC_SERVE_BOUNDED_QUEUE_H_
+#define GRANDMA_SRC_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace grandma::serve {
+
+// Thread-safety: every method is safe to call from any thread.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("BoundedQueue: capacity must be positive");
+    }
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking push; false when the queue is full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      max_depth_ = std::max(max_depth_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking push: waits while full; false when the queue is (or becomes)
+  // closed, in which case `item` is dropped.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      max_depth_ = std::max(max_depth_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking pop: waits while empty; nullopt only once the queue is closed
+  // AND fully drained (close-then-drain shutdown semantics).
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;  // closed and drained
+      }
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  // No pushes succeed after this; pops drain the remainder. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  // High-water mark of size() since construction (queue-depth metric).
+  std::size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_BOUNDED_QUEUE_H_

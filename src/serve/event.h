@@ -1,0 +1,90 @@
+// The wire-level vocabulary of the recognition server: what clients submit
+// (ServeEvent) and what the server hands back (RecognitionResult). A session
+// is one end user's input connection; within a session, strokes are numbered
+// and each stroke is a begin / points... / end sequence, mirroring the
+// mouse-down / mouse-move / mouse-up structure the paper's single-user input
+// loop consumes.
+#ifndef GRANDMA_SRC_SERVE_EVENT_H_
+#define GRANDMA_SRC_SERVE_EVENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/linear_classifier.h"
+#include "geom/point.h"
+
+namespace grandma::serve {
+
+using SessionId = std::uint64_t;
+using StrokeId = std::uint32_t;
+
+enum class EventType : std::uint8_t {
+  // Start a new stroke for the session (resets its incremental extractor).
+  kStrokeBegin,
+  // One or more input points of the current stroke, in arrival order.
+  // Devices deliver coalesced batches (touch frames); a batch of one is a
+  // plain mouse-move.
+  kPoints,
+  // Mouse-up: classify whatever was seen (two-phase path when the eager
+  // predicate never fired mid-stroke).
+  kStrokeEnd,
+  // The session disconnected; its state is discarded.
+  kSessionEnd,
+};
+
+inline const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kStrokeBegin:
+      return "STROKE_BEGIN";
+    case EventType::kPoints:
+      return "POINTS";
+    case EventType::kStrokeEnd:
+      return "STROKE_END";
+    case EventType::kSessionEnd:
+      return "SESSION_END";
+  }
+  return "UNKNOWN";
+}
+
+// One queued unit of work. `enqueue_time` is stamped by the server at Submit
+// so the worker can account the enqueue->recognize latency.
+struct ServeEvent {
+  SessionId session = 0;
+  EventType type = EventType::kPoints;
+  StrokeId stroke = 0;
+  std::vector<geom::TimedPoint> points;  // kPoints only
+  std::chrono::steady_clock::time_point enqueue_time{};
+};
+
+enum class ResultKind : std::uint8_t {
+  // The AUC judged the stroke unambiguous mid-stroke — the paper's eager
+  // recognition moment, after which a client enters its manipulation phase.
+  kEagerFire,
+  // Mouse-up classification of the complete stroke (always emitted, whether
+  // or not an eager fire preceded it).
+  kStrokeEnd,
+};
+
+// One recognition answer, delivered on the owning shard's worker thread.
+// Results for a given session are totally ordered; results for different
+// sessions on different shards arrive concurrently.
+struct RecognitionResult {
+  SessionId session = 0;
+  StrokeId stroke = 0;
+  ResultKind kind = ResultKind::kStrokeEnd;
+  classify::Classification classification;
+  std::string class_name;
+  // Points consumed when this result was produced.
+  std::size_t points_seen = 0;
+  // True when the eager predicate fired during this stroke (on kStrokeEnd
+  // results this reports whether a kEagerFire preceded it).
+  bool eager_fired = false;
+  // Points seen at the moment of the eager fire; 0 when it never fired.
+  std::size_t fired_at = 0;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_EVENT_H_

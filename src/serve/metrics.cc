@@ -1,0 +1,117 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace grandma::serve {
+
+namespace {
+
+std::size_t BucketOf(double us) {
+  if (!(us > kLatencyMinMicros)) {
+    return 0;
+  }
+  const double idx = std::log(us / kLatencyMinMicros) / std::log(kLatencyGrowth);
+  return std::min(static_cast<std::size_t>(idx), kLatencyBuckets - 1);
+}
+
+double BucketUpperMicros(std::size_t bucket) {
+  return kLatencyMinMicros * std::pow(kLatencyGrowth, static_cast<double>(bucket) + 1.0);
+}
+
+}  // namespace
+
+void LatencyHistogram::RecordMicros(double us) {
+  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    out.count += out.buckets[i];
+  }
+  return out;
+}
+
+double HistogramSnapshot::PercentileMicros(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[i];
+    if (static_cast<double>(seen) >= target) {
+      return BucketUpperMicros(i);
+    }
+  }
+  return BucketUpperMicros(kLatencyBuckets - 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"count\": " << count << ", \"p50_us\": " << PercentileMicros(0.50)
+      << ", \"p95_us\": " << PercentileMicros(0.95)
+      << ", \"p99_us\": " << PercentileMicros(0.99) << "}";
+  return out.str();
+}
+
+void ShardMetrics::Merge(const ShardMetrics& other) {
+  events_processed += other.events_processed;
+  points_processed += other.points_processed;
+  strokes_completed += other.strokes_completed;
+  eager_fires += other.eager_fires;
+  sessions_created += other.sessions_created;
+  sessions_resident += other.sessions_resident;
+  events_shed += other.events_shed;
+  callback_errors += other.callback_errors;
+  queue_capacity += other.queue_capacity;
+  queue_max_depth = std::max(queue_max_depth, other.queue_max_depth);
+  queue_latency.Merge(other.queue_latency);
+}
+
+std::string ShardMetrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"shard\": " << shard << ", \"events_processed\": " << events_processed
+      << ", \"points_processed\": " << points_processed
+      << ", \"strokes_completed\": " << strokes_completed
+      << ", \"eager_fires\": " << eager_fires
+      << ", \"sessions_created\": " << sessions_created
+      << ", \"sessions_resident\": " << sessions_resident
+      << ", \"events_shed\": " << events_shed
+      << ", \"callback_errors\": " << callback_errors
+      << ", \"queue_capacity\": " << queue_capacity
+      << ", \"queue_max_depth\": " << queue_max_depth
+      << ", \"queue_latency\": " << queue_latency.ToJson() << "}";
+  return out.str();
+}
+
+ShardMetrics ServerMetrics::Totals() const {
+  ShardMetrics total;
+  for (const ShardMetrics& s : shards) {
+    total.Merge(s);
+  }
+  return total;
+}
+
+std::string ServerMetrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"totals\": " << Totals().ToJson() << ", \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << shards[i].ToJson();
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace grandma::serve

@@ -1,0 +1,84 @@
+// Server observability: per-shard counters and an enqueue->recognize latency
+// histogram. Recording runs on worker/producer threads with relaxed atomics
+// (each cell has a single logical writer; metrics tolerate being a snapshot,
+// not a transaction); ServerMetrics is the plain-value snapshot handed to
+// callers, safe to read, merge, and serialize without any synchronization.
+#ifndef GRANDMA_SRC_SERVE_METRICS_H_
+#define GRANDMA_SRC_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grandma::serve {
+
+// Log-spaced latency buckets: bucket i covers [kMinMicros * kGrowth^i,
+// kMinMicros * kGrowth^(i+1)), from 0.1 us to ~2.6 s. Percentiles use the
+// bucket upper bound, so they are conservative (never under-report).
+inline constexpr std::size_t kLatencyBuckets = 48;
+inline constexpr double kLatencyMinMicros = 0.1;
+inline constexpr double kLatencyGrowth = 1.5;
+
+// Snapshot histogram: plain counts, single-threaded use.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kLatencyBuckets> buckets{};
+  std::uint64_t count = 0;
+
+  // p in (0, 1]; 0.0 when the histogram is empty.
+  double PercentileMicros(double p) const;
+  void Merge(const HistogramSnapshot& other);
+  // {"count": N, "p50_us": ..., "p95_us": ..., "p99_us": ...}
+  std::string ToJson() const;
+};
+
+// Recording histogram: one logical writer (the owning shard worker), any
+// number of concurrent snapshot readers.
+class LatencyHistogram {
+ public:
+  void RecordMicros(double us);
+  HistogramSnapshot Snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// Plain-value per-shard counters (snapshot form).
+struct ShardMetrics {
+  std::size_t shard = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t points_processed = 0;
+  std::uint64_t strokes_completed = 0;
+  std::uint64_t eager_fires = 0;
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_resident = 0;
+  // Events rejected at Submit because this shard's queue was full (shed
+  // policy) — counted on the producer side.
+  std::uint64_t events_shed = 0;
+  // Exceptions thrown by the result callback, swallowed by the worker.
+  std::uint64_t callback_errors = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_max_depth = 0;
+  HistogramSnapshot queue_latency;
+
+  void Merge(const ShardMetrics& other);
+  std::string ToJson() const;
+};
+
+// Whole-server snapshot, one entry per shard.
+struct ServerMetrics {
+  std::vector<ShardMetrics> shards;
+
+  // All shards merged (shard index -1 semantics: `shard` is left at 0,
+  // queue_capacity summed, max depth maximized).
+  ShardMetrics Totals() const;
+  std::string ToJson() const;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_METRICS_H_

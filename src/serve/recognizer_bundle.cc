@@ -1,0 +1,25 @@
+#include "serve/recognizer_bundle.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace grandma::serve {
+
+std::shared_ptr<const RecognizerBundle> RecognizerBundle::Train(
+    const classify::GestureTrainingSet& training, const eager::EagerTrainOptions& options) {
+  auto bundle = std::shared_ptr<RecognizerBundle>(new RecognizerBundle());
+  bundle->train_report_ = bundle->recognizer_.Train(training, options);
+  return bundle;
+}
+
+std::shared_ptr<const RecognizerBundle> RecognizerBundle::FromRecognizer(
+    eager::EagerRecognizer recognizer) {
+  if (!recognizer.trained()) {
+    throw std::invalid_argument("RecognizerBundle::FromRecognizer: recognizer is untrained");
+  }
+  auto bundle = std::shared_ptr<RecognizerBundle>(new RecognizerBundle());
+  bundle->recognizer_ = std::move(recognizer);
+  return bundle;
+}
+
+}  // namespace grandma::serve

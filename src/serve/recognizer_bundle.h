@@ -1,0 +1,50 @@
+// The immutable trained-model package a server shards over: the eager
+// recognizer (full LinearClassifier + AUC) frozen at training time. Freezing
+// matters because one trained model is shared read-only by every worker
+// thread; the bundle can only be obtained as shared_ptr<const>, so no caller
+// can reach a mutator (e.g. GestureClassifier::mutable_linear) after
+// publication. See docs/SERVING.md for the thread-safety contract.
+#ifndef GRANDMA_SRC_SERVE_RECOGNIZER_BUNDLE_H_
+#define GRANDMA_SRC_SERVE_RECOGNIZER_BUNDLE_H_
+
+#include <memory>
+
+#include "classify/training_set.h"
+#include "eager/eager_recognizer.h"
+
+namespace grandma::serve {
+
+// Thread-safety: immutable after construction; all const methods are safe to
+// call concurrently from any number of threads.
+class RecognizerBundle {
+ public:
+  // Trains an eager recognizer on `training` and freezes it. Training
+  // happens on the calling thread, before any sharing; throws whatever
+  // EagerRecognizer::Train throws for unusable training sets.
+  static std::shared_ptr<const RecognizerBundle> Train(
+      const classify::GestureTrainingSet& training,
+      const eager::EagerTrainOptions& options = {});
+
+  // Freezes an already-trained recognizer (e.g. deserialized via io::).
+  // Throws std::invalid_argument when `recognizer` is untrained.
+  static std::shared_ptr<const RecognizerBundle> FromRecognizer(
+      eager::EagerRecognizer recognizer);
+
+  const eager::EagerRecognizer& recognizer() const { return recognizer_; }
+  // The full classifier C inside the recognizer (convenience accessor).
+  const classify::GestureClassifier& full_classifier() const { return recognizer_.full(); }
+  // Training diagnostics; default-initialized for FromRecognizer bundles.
+  const eager::EagerTrainReport& train_report() const { return train_report_; }
+
+  std::size_t num_classes() const { return recognizer_.num_classes(); }
+
+ private:
+  RecognizerBundle() = default;
+
+  eager::EagerRecognizer recognizer_;
+  eager::EagerTrainReport train_report_;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_RECOGNIZER_BUNDLE_H_

@@ -1,0 +1,180 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace grandma::serve {
+
+namespace {
+
+// SplitMix64 finalizer: sequential session ids (the common allocation
+// pattern) must still spread uniformly across shards.
+std::uint64_t MixSessionId(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RecognitionServer::RecognitionServer(std::shared_ptr<const RecognizerBundle> bundle,
+                                     ServerOptions options, ResultSink on_result)
+    : bundle_(std::move(bundle)), options_(options), on_result_(std::move(on_result)) {
+  if (bundle_ == nullptr || !bundle_->recognizer().trained()) {
+    throw std::invalid_argument("RecognitionServer: bundle must hold a trained recognizer");
+  }
+  if (options_.num_shards == 0) {
+    throw std::invalid_argument("RecognitionServer: num_shards must be positive");
+  }
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    shard->sessions = std::make_unique<SessionManager>(bundle_->recognizer());
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.start_workers) {
+    Start();
+  }
+}
+
+RecognitionServer::~RecognitionServer() { Shutdown(); }
+
+void RecognitionServer::Start() {
+  if (started_.exchange(true)) {
+    return;
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+  }
+}
+
+void RecognitionServer::Shutdown() {
+  if (shutdown_.exchange(true)) {
+    return;
+  }
+  // Close first so blocked producers wake with a refusal, then make sure the
+  // workers exist to drain what was accepted.
+  for (auto& shard : shards_) {
+    shard->queue.Close();
+  }
+  Start();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+}
+
+std::size_t RecognitionServer::ShardOf(SessionId session) const {
+  return static_cast<std::size_t>(MixSessionId(session) % shards_.size());
+}
+
+robust::Status RecognitionServer::Submit(ServeEvent event) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return robust::Status::FailedPrecondition("RecognitionServer: already shut down");
+  }
+  if (event.type == EventType::kPoints && event.points.empty()) {
+    return robust::Status::InvalidArgument("Submit: kPoints event carries no points");
+  }
+  if (event.type != EventType::kPoints && !event.points.empty()) {
+    return robust::Status::InvalidArgument("Submit: only kPoints events carry points");
+  }
+
+  Shard& shard = *shards_[ShardOf(event.session)];
+  event.enqueue_time = std::chrono::steady_clock::now();
+
+  if (options_.overload == OverloadPolicy::kShed) {
+    if (!shard.queue.TryPush(std::move(event))) {
+      shard.events_shed.fetch_add(1, std::memory_order_relaxed);
+      return robust::Status::Overloaded("Submit: shard queue full, event shed");
+    }
+    return robust::Status::Ok();
+  }
+  // kBlock: wait for room; a false return means the queue closed under us.
+  if (!shard.queue.Push(std::move(event))) {
+    return robust::Status::FailedPrecondition("Submit: server shut down during backpressure");
+  }
+  return robust::Status::Ok();
+}
+
+void RecognitionServer::WorkerLoop(Shard& shard) {
+  SessionManager& sessions = *shard.sessions;
+
+  // Wrap the user callback once: count throws instead of tearing down the
+  // worker (a misbehaving client sink must not take the shard with it).
+  const ResultSink sink = [&shard, this](const RecognitionResult& result) {
+    if (!on_result_) {
+      return;
+    }
+    try {
+      on_result_(result);
+    } catch (...) {
+      shard.callback_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  while (auto event = shard.queue.Pop()) {
+    const auto now = std::chrono::steady_clock::now();
+    const double wait_us =
+        std::chrono::duration<double, std::micro>(now - event->enqueue_time).count();
+    shard.queue_latency.RecordMicros(wait_us);
+
+    if (event->type == EventType::kSessionEnd) {
+      sessions.Erase(event->session);
+    } else {
+      Session& session = sessions.GetOrCreate(event->session);
+      const SessionStats before = session.stats();
+
+      switch (event->type) {
+        case EventType::kStrokeBegin:
+          session.BeginStroke(event->stroke, sink);
+          break;
+        case EventType::kPoints:
+          session.AddPoints(event->stroke, event->points, sink);
+          shard.points_processed.fetch_add(event->points.size(), std::memory_order_relaxed);
+          break;
+        case EventType::kStrokeEnd:
+          session.EndStroke(sink);
+          break;
+        case EventType::kSessionEnd:
+          break;  // handled above
+      }
+
+      const SessionStats& after = session.stats();
+      shard.strokes_completed.fetch_add(after.strokes_completed - before.strokes_completed,
+                                        std::memory_order_relaxed);
+      shard.eager_fires.fetch_add(after.eager_fires - before.eager_fires,
+                                  std::memory_order_relaxed);
+    }
+    shard.events_processed.fetch_add(1, std::memory_order_relaxed);
+    shard.sessions_created.store(sessions.created(), std::memory_order_relaxed);
+    shard.sessions_resident.store(sessions.size(), std::memory_order_relaxed);
+  }
+}
+
+ServerMetrics RecognitionServer::Metrics() const {
+  ServerMetrics out;
+  out.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    ShardMetrics m;
+    m.shard = i;
+    m.events_processed = s.events_processed.load(std::memory_order_relaxed);
+    m.points_processed = s.points_processed.load(std::memory_order_relaxed);
+    m.strokes_completed = s.strokes_completed.load(std::memory_order_relaxed);
+    m.eager_fires = s.eager_fires.load(std::memory_order_relaxed);
+    m.sessions_created = s.sessions_created.load(std::memory_order_relaxed);
+    m.sessions_resident = s.sessions_resident.load(std::memory_order_relaxed);
+    m.events_shed = s.events_shed.load(std::memory_order_relaxed);
+    m.callback_errors = s.callback_errors.load(std::memory_order_relaxed);
+    m.queue_capacity = s.queue.capacity();
+    m.queue_max_depth = s.queue.max_depth();
+    m.queue_latency = s.queue_latency.Snapshot();
+    out.shards.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace grandma::serve

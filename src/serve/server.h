@@ -1,0 +1,119 @@
+// The concurrent multi-session recognition server. N shard workers each own
+// a bounded event queue and a private session table; a session is pinned to
+// one shard by id hash, so all of its events are processed in submission
+// order by one thread while different sessions recognize in parallel. The
+// only shared mutable state is the queues (mutex-protected) and the metrics
+// (relaxed atomics); the trained model is shared immutably via
+// RecognizerBundle.
+//
+//   clients --Submit--> [shard queue]... --worker--> SessionManager
+//                                                    -> EagerStream per point
+//                                                    -> ResultCallback
+//
+// Overload: with OverloadPolicy::kShed a full shard queue rejects the event
+// with robust::Status kOverloaded (counted per shard); with kBlock the
+// submitting thread waits for space — backpressure propagates to producers.
+#ifndef GRANDMA_SRC_SERVE_SERVER_H_
+#define GRANDMA_SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "robust/status.h"
+#include "serve/bounded_queue.h"
+#include "serve/event.h"
+#include "serve/metrics.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/session_manager.h"
+
+namespace grandma::serve {
+
+enum class OverloadPolicy : std::uint8_t {
+  // Reject events when the target shard queue is full (fail fast, shed load).
+  kShed,
+  // Block the submitter until the queue has room (backpressure).
+  kBlock,
+};
+
+struct ServerOptions {
+  std::size_t num_shards = 1;
+  // Per-shard event queue capacity.
+  std::size_t queue_capacity = 1024;
+  OverloadPolicy overload = OverloadPolicy::kShed;
+  // When false, workers are not spawned until Start() — events queue up (and
+  // shed) deterministically. Tests use this to exercise the backpressure and
+  // drain paths without timing races.
+  bool start_workers = true;
+};
+
+// Thread-safety: Submit, Metrics, ShardOf, and Shutdown may be called from
+// any thread. The ResultCallback runs on shard worker threads — possibly
+// several concurrently for different sessions — and must be thread-safe
+// across sessions; per session it is totally ordered. Exceptions it throws
+// are swallowed and counted (callback_errors).
+class RecognitionServer {
+ public:
+  RecognitionServer(std::shared_ptr<const RecognizerBundle> bundle, ServerOptions options,
+                    ResultSink on_result);
+  ~RecognitionServer();
+
+  RecognitionServer(const RecognitionServer&) = delete;
+  RecognitionServer& operator=(const RecognitionServer&) = delete;
+
+  // Routes `event` to its session's shard. Stamps event.enqueue_time.
+  // Errors: kInvalidArgument (malformed event), kOverloaded (kShed policy,
+  // queue full), kFailedPrecondition (server shut down; also returned by
+  // kBlock submits raced with shutdown).
+  robust::Status Submit(ServeEvent event);
+
+  // Spawns the workers when constructed with start_workers = false. No-op
+  // when they are already running.
+  void Start();
+
+  // Closes every queue, lets the workers drain what was already accepted,
+  // and joins them. Idempotent; called by the destructor.
+  void Shutdown();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t ShardOf(SessionId session) const;
+  const RecognizerBundle& bundle() const { return *bundle_; }
+
+  // Point-in-time snapshot; safe while the server is running.
+  ServerMetrics Metrics() const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+
+    BoundedQueue<ServeEvent> queue;
+    // Worker-private; constructed before the worker starts, read by it only.
+    std::unique_ptr<SessionManager> sessions;
+    std::thread worker;
+    // Counters: single logical writer each, relaxed reads from Metrics().
+    std::atomic<std::uint64_t> events_processed{0};
+    std::atomic<std::uint64_t> points_processed{0};
+    std::atomic<std::uint64_t> strokes_completed{0};
+    std::atomic<std::uint64_t> eager_fires{0};
+    std::atomic<std::uint64_t> sessions_resident{0};
+    std::atomic<std::uint64_t> sessions_created{0};
+    std::atomic<std::uint64_t> events_shed{0};  // producer-side writer
+    std::atomic<std::uint64_t> callback_errors{0};
+    LatencyHistogram queue_latency;
+  };
+
+  void WorkerLoop(Shard& shard);
+
+  std::shared_ptr<const RecognizerBundle> bundle_;
+  ServerOptions options_;
+  ResultSink on_result_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_SERVER_H_

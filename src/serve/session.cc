@@ -1,0 +1,65 @@
+#include "serve/session.h"
+
+namespace grandma::serve {
+
+Session::Session(SessionId id, const eager::EagerRecognizer& recognizer)
+    : id_(id), recognizer_(&recognizer), stream_(recognizer) {}
+
+void Session::EmitResult(ResultKind kind, const ResultSink& sink) {
+  RecognitionResult result;
+  result.session = id_;
+  result.stroke = current_stroke_;
+  result.kind = kind;
+  result.classification = stream_.ClassifyNow();
+  result.class_name = recognizer_->ClassName(result.classification.class_id);
+  result.points_seen = stream_.points_seen();
+  result.eager_fired = stream_.fired();
+  result.fired_at = stream_.fired_at();
+  if (sink) {
+    sink(result);
+  }
+}
+
+void Session::BeginStroke(StrokeId stroke, const ResultSink& sink) {
+  if (in_stroke_) {
+    ++stats_.implicit_ends;
+    EndStroke(sink);
+  }
+  current_stroke_ = stroke;
+  in_stroke_ = true;
+  stream_.Reset();
+  ++stats_.strokes_begun;
+}
+
+void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> points,
+                        const ResultSink& sink) {
+  if (!in_stroke_) {
+    ++stats_.implicit_begins;
+    BeginStroke(stroke, sink);
+  }
+  for (const geom::TimedPoint& p : points) {
+    ++stats_.points_seen;
+    if (stream_.AddPoint(p)) {
+      // First moment the AUC judged the stroke unambiguous.
+      ++stats_.eager_fires;
+      EmitResult(ResultKind::kEagerFire, sink);
+    }
+  }
+}
+
+void Session::EndStroke(const ResultSink& sink) {
+  if (!in_stroke_ || stream_.points_seen() == 0) {
+    if (!in_stroke_) {
+      ++stats_.empty_stroke_ends;
+    }
+    in_stroke_ = false;
+    stream_.Reset();
+    return;
+  }
+  EmitResult(ResultKind::kStrokeEnd, sink);
+  ++stats_.strokes_completed;
+  in_stroke_ = false;
+  stream_.Reset();
+}
+
+}  // namespace grandma::serve

@@ -1,0 +1,73 @@
+// Per-session incremental recognition state: one end user's EagerStream plus
+// stroke bookkeeping. A Session is owned by exactly one shard worker (pinned
+// by session-id hash), so it is deliberately NOT thread-safe — single
+// ownership is what lets the per-point hot path run lock-free.
+#ifndef GRANDMA_SRC_SERVE_SESSION_H_
+#define GRANDMA_SRC_SERVE_SESSION_H_
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "eager/eager_recognizer.h"
+#include "geom/point.h"
+#include "serve/event.h"
+
+namespace grandma::serve {
+
+// Invoked synchronously (on the owning worker thread) for every recognition
+// the session produces.
+using ResultSink = std::function<void(const RecognitionResult&)>;
+
+// Lifetime counters for one session; all monotonically increasing.
+struct SessionStats {
+  std::size_t strokes_begun = 0;
+  std::size_t strokes_completed = 0;
+  std::size_t points_seen = 0;
+  std::size_t eager_fires = 0;
+  // Protocol slop tolerated rather than rejected: points arriving with no
+  // open stroke implicitly begin one; a second begin without an end
+  // implicitly completes the open stroke first.
+  std::size_t implicit_begins = 0;
+  std::size_t implicit_ends = 0;
+  // kStrokeEnd with no open stroke and no buffered points: dropped.
+  std::size_t empty_stroke_ends = 0;
+};
+
+// Thread-safety: none — each instance belongs to a single shard worker.
+class Session {
+ public:
+  Session(SessionId id, const eager::EagerRecognizer& recognizer);
+
+  SessionId id() const { return id_; }
+  bool in_stroke() const { return in_stroke_; }
+  const SessionStats& stats() const { return stats_; }
+
+  // Opens stroke `stroke`. An already-open stroke is finalized first (its
+  // kStrokeEnd result goes to `sink`) and counted as an implicit end.
+  void BeginStroke(StrokeId stroke, const ResultSink& sink);
+
+  // Feeds points into the current stroke, emitting a kEagerFire result the
+  // moment the AUC first judges it unambiguous. Points with no open stroke
+  // implicitly begin stroke `stroke`.
+  void AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> points,
+                 const ResultSink& sink);
+
+  // Mouse-up: emits the kStrokeEnd classification (the two-phase path when
+  // no eager fire happened) and closes the stroke.
+  void EndStroke(const ResultSink& sink);
+
+ private:
+  void EmitResult(ResultKind kind, const ResultSink& sink);
+
+  SessionId id_;
+  const eager::EagerRecognizer* recognizer_;
+  eager::EagerStream stream_;
+  StrokeId current_stroke_ = 0;
+  bool in_stroke_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_SESSION_H_

@@ -1,0 +1,23 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+namespace grandma::serve {
+
+Session& SessionManager::GetOrCreate(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(id, Session(id, *recognizer_)).first;
+    ++created_;
+  }
+  return it->second;
+}
+
+bool SessionManager::Erase(SessionId id) { return sessions_.erase(id) > 0; }
+
+const Session* SessionManager::Find(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace grandma::serve

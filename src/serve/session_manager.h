@@ -1,0 +1,43 @@
+// The per-shard session table. Each shard worker owns exactly one
+// SessionManager; because sessions are pinned to shards by id hash, no
+// session is ever visible to two managers, and the table needs no locking.
+#ifndef GRANDMA_SRC_SERVE_SESSION_MANAGER_H_
+#define GRANDMA_SRC_SERVE_SESSION_MANAGER_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "eager/eager_recognizer.h"
+#include "serve/session.h"
+
+namespace grandma::serve {
+
+// Thread-safety: none — each instance belongs to a single shard worker. The
+// shared `recognizer` is only read (see the RecognizerBundle contract).
+class SessionManager {
+ public:
+  explicit SessionManager(const eager::EagerRecognizer& recognizer)
+      : recognizer_(&recognizer) {}
+
+  // The session's state, created on first contact.
+  Session& GetOrCreate(SessionId id);
+
+  // Discards a session's state; false when the session was unknown.
+  bool Erase(SessionId id);
+
+  const Session* Find(SessionId id) const;
+
+  // Sessions currently resident.
+  std::size_t size() const { return sessions_.size(); }
+  // Sessions ever created (monotonic; includes erased ones).
+  std::size_t created() const { return created_; }
+
+ private:
+  const eager::EagerRecognizer* recognizer_;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_SESSION_MANAGER_H_

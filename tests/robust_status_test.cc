@@ -35,11 +35,18 @@ TEST(StatusTest, EveryCodeHasAName) {
   const std::vector<StatusCode> codes = {
       StatusCode::kOk,         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
       StatusCode::kOutOfRange, StatusCode::kDataLoss,        StatusCode::kDegraded,
-      StatusCode::kInternal,
+      StatusCode::kOverloaded, StatusCode::kInternal,
   };
   for (StatusCode c : codes) {
     EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, OverloadedIsARetryableRejection) {
+  const Status s = Status::Overloaded("shard queue full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOverloaded);
+  EXPECT_NE(s.ToString().find("OVERLOADED"), std::string::npos);
 }
 
 TEST(StatusOrTest, HoldsValue) {
