@@ -1,0 +1,205 @@
+// Before/after evidence for the zero-allocation recognition kernel: replays
+// the same GDP stroke pool through
+//   legacy  — the pre-refactor per-point protocol, reconstructed faithfully
+//             from the allocating APIs it used: copy-returning Features(),
+//             FeatureMask::Project into a fresh Vector, and the AUC's full
+//             Classify (probability + Mahalanobis) just to test doneness;
+//   kernel  — EagerStream::AddPoint, the span-based Workspace path;
+// and reports per-point latency (p50/p95 over per-stroke samples) and heap
+// allocations per point for both, into BENCH_hotpath.json.
+//
+// Exits nonzero when the refactor's two gates fail: the kernel path must
+// allocate ZERO times per steady-state point, and its p50 must be at least
+// 1.5x faster than legacy.
+//
+// Flags: --reps=N (per-variant stroke replays; default 400, smoke uses less).
+#include "support/counting_new.h"
+//
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "eager/eager_recognizer.h"
+#include "features/extractor.h"
+#include "features/feature_vector.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+using Clock = std::chrono::steady_clock;
+
+eager::EagerRecognizer TrainGdp() {
+  eager::EagerRecognizer r;
+  synth::NoiseModel noise;
+  r.Train(synth::ToTrainingSet(synth::GenerateSet(synth::MakeGdpSpecs(), noise, 10, 1991)));
+  return r;
+}
+
+std::vector<geom::Gesture> StrokePool() {
+  std::vector<geom::Gesture> pool;
+  synth::NoiseModel noise;
+  synth::Rng rng(7);
+  for (const synth::PathSpec& spec : synth::MakeGdpSpecs()) {
+    pool.push_back(synth::Generate(spec, noise, rng).gesture);
+  }
+  return pool;
+}
+
+// One legacy stroke replay: the exact allocating call sequence the per-point
+// loop performed before the kernel refactor, fire semantics included.
+classify::Classification ReplayLegacy(const eager::EagerRecognizer& r, const geom::Gesture& g) {
+  const features::FeatureMask& mask = r.full().mask();
+  features::FeatureExtractor fx;
+  bool fired = false;
+  for (const geom::TimedPoint& p : g) {
+    fx.AddPoint(p);
+    if (fired || fx.point_count() < r.min_prefix_points()) {
+      continue;
+    }
+    const linalg::Vector f = fx.Features();              // 13-entry copy
+    const linalg::Vector masked = mask.Project(f);       // fresh Vector
+    const classify::Classification c = r.auc().Classify(masked);  // full classify
+    fired = r.auc().ClassInfo(c.class_id).complete;
+  }
+  return r.ClassifyFeatures(fx.Features());  // mouse-up, allocating flavor
+}
+
+// One kernel stroke replay: the refactored path.
+classify::Classification ReplayKernel(eager::EagerStream& stream, const geom::Gesture& g) {
+  for (const geom::TimedPoint& p : g) {
+    (void)stream.AddPoint(p);
+  }
+  const classify::Classification c = stream.ClassifyNow();
+  stream.Reset();
+  return c;
+}
+
+struct VariantStats {
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double allocs_per_point = 0.0;
+  std::uint64_t points = 0;
+};
+
+double Percentile(std::vector<double>& samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+// Runs `replay(stroke)` reps times over the pool, collecting one ns/point
+// sample per stroke replay, then one counted pass for allocations/point.
+template <typename Replay>
+VariantStats Measure(const std::vector<geom::Gesture>& pool, std::size_t reps, Replay&& replay) {
+  VariantStats stats;
+  double checksum = 0.0;
+  // Warm-up pass (sizes any lazy buffers, faults in code + data).
+  for (const geom::Gesture& g : pool) {
+    checksum += replay(g).score;
+  }
+  std::vector<double> samples;
+  samples.reserve(reps * pool.size());
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (const geom::Gesture& g : pool) {
+      const Clock::time_point start = Clock::now();
+      checksum += replay(g).score;
+      const Clock::time_point stop = Clock::now();
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start).count());
+      samples.push_back(ns / static_cast<double>(g.size()));
+      stats.points += g.size();
+    }
+  }
+  std::uint64_t counted_points = 0;
+  const std::uint64_t allocs = grandma::testsupport::CountAllocations([&] {
+    for (const geom::Gesture& g : pool) {
+      checksum += replay(g).score;
+      counted_points += g.size();
+    }
+  });
+  stats.allocs_per_point = static_cast<double>(allocs) / static_cast<double>(counted_points);
+  stats.p50_ns = Percentile(samples, 0.50);
+  stats.p95_ns = Percentile(samples, 0.95);
+  if (!(checksum == checksum)) {  // keep the work observable
+    std::fprintf(stderr, "non-finite checksum\n");
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 400;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = static_cast<std::size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    }
+  }
+  if (reps == 0) {
+    reps = 1;
+  }
+
+  const eager::EagerRecognizer r = TrainGdp();
+  const std::vector<geom::Gesture> pool = StrokePool();
+  eager::EagerStream stream(r);
+
+  const VariantStats legacy =
+      Measure(pool, reps, [&](const geom::Gesture& g) { return ReplayLegacy(r, g); });
+  const VariantStats kernel =
+      Measure(pool, reps, [&](const geom::Gesture& g) { return ReplayKernel(stream, g); });
+
+  const double speedup_p50 = legacy.p50_ns / kernel.p50_ns;
+  const double speedup_p95 = legacy.p95_ns / kernel.p95_ns;
+
+  std::printf("hotpath per-point (GDP, %zu strokes x %zu reps)\n", pool.size(), reps);
+  std::printf("  %-8s p50 %8.1f ns  p95 %8.1f ns  allocs/point %6.2f\n", "legacy",
+              legacy.p50_ns, legacy.p95_ns, legacy.allocs_per_point);
+  std::printf("  %-8s p50 %8.1f ns  p95 %8.1f ns  allocs/point %6.2f\n", "kernel",
+              kernel.p50_ns, kernel.p95_ns, kernel.allocs_per_point);
+  std::printf("  speedup p50 %.2fx  p95 %.2fx\n", speedup_p50, speedup_p95);
+
+  {
+    std::ofstream file("BENCH_hotpath.json");
+    grandma::bench::JsonWriter json(file);
+    json.BeginObject()
+        .KV("bench", "hotpath_per_point")
+        .KV("strokes", static_cast<std::int64_t>(pool.size()))
+        .KV("reps", static_cast<std::int64_t>(reps));
+    json.Key("legacy")
+        .BeginObject()
+        .KV("p50_ns", legacy.p50_ns)
+        .KV("p95_ns", legacy.p95_ns)
+        .KV("allocs_per_point", legacy.allocs_per_point)
+        .EndObject();
+    json.Key("kernel")
+        .BeginObject()
+        .KV("p50_ns", kernel.p50_ns)
+        .KV("p95_ns", kernel.p95_ns)
+        .KV("allocs_per_point", kernel.allocs_per_point)
+        .EndObject();
+    json.KV("speedup_p50", speedup_p50).KV("speedup_p95", speedup_p95).EndObject();
+  }
+  std::printf("wrote BENCH_hotpath.json\n");
+
+  // The two refactor gates.
+  int rc = 0;
+  if (kernel.allocs_per_point != 0.0) {
+    std::fprintf(stderr, "GATE FAILED: kernel path allocates (%.4f allocs/point)\n",
+                 kernel.allocs_per_point);
+    rc = 1;
+  }
+  if (speedup_p50 < 1.5) {
+    std::fprintf(stderr, "GATE FAILED: p50 speedup %.2fx < 1.5x\n", speedup_p50);
+    rc = 1;
+  }
+  return rc;
+}

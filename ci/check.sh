@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The full pre-merge gauntlet, in the order a failure is cheapest to find:
+#   1. tier-1: default configure + build + the whole ctest suite
+#   2. hotpath: the zero-allocation gate and the legacy-vs-kernel speedup
+#      gate (label `hotpath`, runs in the tier-1 build tree)
+#   3. asan / ubsan: full suite under AddressSanitizer and UBSan
+#   4. tsan: the threaded serve layer (label `serve`) under ThreadSanitizer
+# Usage: ci/check.sh [jobs]   (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+run() {
+  echo
+  echo "=== $* ==="
+  "$@"
+}
+
+# 1. Tier-1 verify.
+run cmake --preset default
+run cmake --build --preset default -j "$JOBS"
+run ctest --preset default
+
+# 2. Hot-path allocation + speedup gates (already built by tier-1).
+run ctest --preset default -L hotpath
+
+# 3. Memory-error and UB gates, full suite.
+for san in asan ubsan; do
+  run cmake --preset "$san"
+  run cmake --build --preset "$san" -j "$JOBS"
+  run ctest --preset "$san"
+done
+
+# 4. Data-race gate on the concurrent serve layer.
+run cmake --preset tsan
+run cmake --build --preset tsan -j "$JOBS"
+run ctest --preset tsan
+
+echo
+echo "ci/check.sh: all gates passed"

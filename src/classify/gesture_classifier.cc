@@ -17,7 +17,16 @@ Classification GestureClassifier::Classify(const geom::Gesture& g) const {
 }
 
 Classification GestureClassifier::ClassifyFeatures(const linalg::Vector& full_features) const {
-  return linear_.Classify(mask_.Project(full_features));
+  const linalg::Vector masked = mask_.Project(full_features);
+  return linear_.Classify(masked);
+}
+
+Classification GestureClassifier::ClassifyFeaturesView(linalg::VecView full_features,
+                                                       linalg::MutVecView masked,
+                                                       linalg::MutVecView scores,
+                                                       linalg::MutVecView diff) const {
+  mask_.ProjectInto(full_features, masked);
+  return linear_.ClassifyView(masked, scores, diff);
 }
 
 GestureClassifier GestureClassifier::FromParameters(ClassRegistry registry,

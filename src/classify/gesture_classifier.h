@@ -36,7 +36,15 @@ class GestureClassifier {
   // Classifies a complete gesture.
   Classification Classify(const geom::Gesture& g) const;
   // Classifies an already-extracted (unmasked, 13-entry) feature vector.
+  // Allocates internal scratch; the hot path uses ClassifyFeaturesView.
   Classification ClassifyFeatures(const linalg::Vector& full_features) const;
+
+  // Zero-allocation flavor: projects `full_features` through the mask into
+  // `masked` (size mask().count()), then classifies with caller scratch
+  // (`scores` sized num_classes(), `diff` sized mask().count()). Bit-identical
+  // to ClassifyFeatures, which is implemented on top of it.
+  Classification ClassifyFeaturesView(linalg::VecView full_features, linalg::MutVecView masked,
+                                      linalg::MutVecView scores, linalg::MutVecView diff) const;
 
   const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
   const ClassRegistry& registry() const { return registry_; }

@@ -126,37 +126,89 @@ double LinearClassifier::Train(const FeatureTrainingSet& data, robust::FaultStat
     weights_.push_back(std::move(w));
     biases_.push_back(bias);
   }
+  RebuildKernelBlocks();
   return ridge_used;
 }
 
-std::vector<double> LinearClassifier::Evaluate(const linalg::Vector& f) const {
+void LinearClassifier::RebuildKernelBlocks() {
+  const std::size_t dim = dimension();
+  flat_weights_.assign(weights_.size() * dim, 0.0);
+  flat_means_.assign(means_.size() * dim, 0.0);
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      flat_weights_[c * dim + i] = weights_[c][i];
+      flat_means_[c * dim + i] = means_[c][i];
+    }
+  }
+}
+
+void LinearClassifier::EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const {
   if (!trained()) {
     throw std::logic_error("LinearClassifier::Evaluate before Train");
   }
-  if (f.size() != dimension()) {
+  const std::size_t dim = dimension();
+  if (f.size() != dim) {
     throw std::invalid_argument("LinearClassifier::Evaluate: dimension mismatch");
   }
-  std::vector<double> scores(num_classes());
-  for (ClassId c = 0; c < num_classes(); ++c) {
-    scores[c] = biases_[c] + linalg::Dot(weights_[c], f);
+  if (scores.size() != num_classes()) {
+    throw std::invalid_argument("LinearClassifier::EvaluateInto: bad scores size");
   }
+  const double* row = flat_weights_.data();
+  for (ClassId c = 0; c < num_classes(); ++c, row += dim) {
+    scores[c] = biases_[c] + linalg::Dot(linalg::VecView(row, dim), f);
+  }
+}
+
+std::vector<double> LinearClassifier::Evaluate(const linalg::Vector& f) const {
+  std::vector<double> scores(num_classes());
+  EvaluateInto(f.view(), linalg::MutVecView(scores.data(), scores.size()));
   return scores;
 }
 
-Classification LinearClassifier::Classify(const linalg::Vector& f) const {
-  const std::vector<double> scores = Evaluate(f);
+ClassId LinearClassifier::BestClassView(linalg::VecView f, linalg::MutVecView scores) const {
+  EvaluateInto(f, scores);
   ClassId best = 0;
   for (ClassId c = 1; c < scores.size(); ++c) {
     if (scores[c] > scores[best]) {
       best = c;
     }
   }
+  return best;
+}
+
+Classification LinearClassifier::ClassifyView(linalg::VecView f, linalg::MutVecView scores,
+                                              linalg::MutVecView diff) const {
+  const ClassId best = BestClassView(f, scores);
   Classification result;
   result.class_id = best;
   result.score = scores[best];
-  result.probability = RecognitionProbability(scores, best);
-  result.mahalanobis_squared = MahalanobisSquared(f, best);
+  result.probability = RecognitionProbability(linalg::VecView(scores), best);
+  result.mahalanobis_squared = MahalanobisSquaredView(f, best, diff);
   return result;
+}
+
+Classification LinearClassifier::Classify(const linalg::Vector& f) const {
+  std::vector<double> scores(num_classes());
+  std::vector<double> diff(dimension());
+  return ClassifyView(f.view(), linalg::MutVecView(scores.data(), scores.size()),
+                      linalg::MutVecView(diff.data(), diff.size()));
+}
+
+double LinearClassifier::MahalanobisSquaredView(linalg::VecView f, ClassId c,
+                                                linalg::MutVecView diff) const {
+  if (!trained()) {
+    throw std::logic_error("LinearClassifier::MahalanobisSquaredBetween before Train");
+  }
+  const std::size_t dim = dimension();
+  if (c >= num_classes()) {
+    throw std::out_of_range("LinearClassifier::MahalanobisSquaredView: bad class");
+  }
+  if (f.size() != dim || diff.size() != dim) {
+    throw std::invalid_argument("LinearClassifier::MahalanobisSquaredView: bad sizes");
+  }
+  linalg::Subtract(f, linalg::VecView(flat_means_.data() + c * dim, dim), diff);
+  return linalg::QuadraticForm(linalg::VecView(diff), inverse_covariance_,
+                               linalg::VecView(diff));
 }
 
 double LinearClassifier::MahalanobisSquared(const linalg::Vector& f, ClassId c) const {
@@ -186,11 +238,20 @@ LinearClassifier LinearClassifier::FromParameters(std::vector<linalg::Vector> we
   out.biases_ = std::move(biases);
   out.means_ = std::move(means);
   out.inverse_covariance_ = std::move(inverse_covariance);
+  out.RebuildKernelBlocks();
   return out;
 }
 
 double RecognitionProbability(const std::vector<double>& scores, ClassId winner) {
-  const double v_i = scores.at(winner);
+  if (winner >= scores.size()) {
+    throw std::out_of_range("RecognitionProbability: winner out of range");
+  }
+  return RecognitionProbability(linalg::VecView(scores.data(), scores.size()), winner);
+}
+
+double RecognitionProbability(linalg::VecView scores, ClassId winner) {
+  assert(winner < scores.size());
+  const double v_i = scores[winner];
   double denom = 0.0;
   for (double v_j : scores) {
     denom += std::exp(v_j - v_i);

@@ -11,6 +11,7 @@
 
 #include "classify/training_set.h"
 #include "linalg/matrix.h"
+#include "linalg/vec_view.h"
 #include "linalg/vector.h"
 #include "robust/fault_stats.h"
 
@@ -37,10 +38,13 @@ struct Classification {
 // A singular Sigma (linearly dependent features in the training data) is
 // repaired with escalating ridge terms; see linalg::InvertCovarianceWithRepair.
 //
-// Thread-safety: const methods (Evaluate, Classify, Mahalanobis*) are pure
-// reads with no internal caching and are safe to call concurrently from many
-// threads once training has happened-before the sharing (the serve layer
-// relies on this). Train and AdjustBias mutate and must not race with reads.
+// Thread-safety: const methods (Evaluate, Classify, Mahalanobis*, and the
+// *View/*Into kernel flavors) are pure reads with no internal caching and are
+// safe to call concurrently from many threads once training has
+// happened-before the sharing (the serve layer relies on this); the kernel
+// flavors write only into caller-owned scratch, so concurrent callers are
+// independent as long as each brings its own buffers. Train and AdjustBias
+// mutate and must not race with reads.
 class LinearClassifier {
  public:
   LinearClassifier() = default;
@@ -61,11 +65,35 @@ class LinearClassifier {
   std::size_t num_classes() const { return weights_.size(); }
   std::size_t dimension() const { return trained() ? weights_.front().size() : 0; }
 
-  // Per-class evaluations v_c(f). Requires trained().
+  // Per-class evaluations v_c(f). Requires trained(). Allocates the result;
+  // the hot path uses EvaluateInto.
   std::vector<double> Evaluate(const linalg::Vector& f) const;
 
   // argmax over Evaluate(f), with probability and Mahalanobis diagnostics.
+  // Allocates internal scratch; the hot path uses ClassifyView.
   Classification Classify(const linalg::Vector& f) const;
+
+  // --- Zero-allocation kernel surface -------------------------------------
+  // These run over the contiguous row-major weight/mean blocks and write into
+  // caller-owned scratch (see eager::Workspace). Results are bit-identical to
+  // the allocating flavors above, which are implemented on top of them.
+
+  // Writes v_c(f) for every class into `scores` (size num_classes()).
+  void EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const;
+
+  // argmax over EvaluateInto only — no probability, no Mahalanobis. This is
+  // what a per-point doneness test actually needs; `scores` is scratch of
+  // size num_classes().
+  ClassId BestClassView(linalg::VecView f, linalg::MutVecView scores) const;
+
+  // Full Classification (argmax + probability + Mahalanobis) reusing caller
+  // scratch: `scores` sized num_classes(), `diff` sized dimension().
+  Classification ClassifyView(linalg::VecView f, linalg::MutVecView scores,
+                              linalg::MutVecView diff) const;
+
+  // Squared Mahalanobis distance with caller scratch (`diff` sized
+  // dimension()).
+  double MahalanobisSquaredView(linalg::VecView f, ClassId c, linalg::MutVecView diff) const;
 
   // Squared Mahalanobis distance (f - mu_c)^T Sigma^-1 (f - mu_c).
   double MahalanobisSquared(const linalg::Vector& f, ClassId c) const;
@@ -90,15 +118,28 @@ class LinearClassifier {
                                          linalg::Matrix inverse_covariance);
 
  private:
-  std::vector<linalg::Vector> weights_;  // w_c, one per class
+  // Rebuilds the contiguous kernel blocks below from weights_/means_; called
+  // whenever the per-class parameters change (Train, FromParameters).
+  void RebuildKernelBlocks();
+
+  std::vector<linalg::Vector> weights_;  // w_c, one per class (owning)
   std::vector<double> biases_;           // w_c0
-  std::vector<linalg::Vector> means_;    // mu_c
+  std::vector<linalg::Vector> means_;    // mu_c (owning)
   linalg::Matrix inverse_covariance_;    // Sigma^-1
+
+  // Classify-time kernel layout: weights and means flattened into one
+  // row-major block each (class-major, dimension()-wide rows), so the
+  // per-point evaluation walks memory linearly instead of chasing one
+  // heap-allocated Vector per class. Always mirrors weights_/means_.
+  std::vector<double> flat_weights_;
+  std::vector<double> flat_means_;
 };
 
 // Computes Rubine's P(correct) estimate given all per-class scores and the
 // index of the winner.
 double RecognitionProbability(const std::vector<double>& scores, ClassId winner);
+// View flavor (identical arithmetic, no allocation).
+double RecognitionProbability(linalg::VecView scores, ClassId winner);
 
 }  // namespace grandma::classify
 

@@ -109,6 +109,12 @@ AucTrainReport Auc::Train(const SubgesturePartition& partition, const AucOptions
 }
 
 bool Auc::Unambiguous(const linalg::Vector& masked_features) const {
+  std::vector<double> scores(linear_.num_classes());
+  return UnambiguousView(masked_features.view(),
+                         linalg::MutVecView(scores.data(), scores.size()));
+}
+
+bool Auc::UnambiguousView(linalg::VecView masked_features, linalg::MutVecView scores) const {
   switch (mode_) {
     case Mode::kUntrained:
       throw std::logic_error("Auc::Unambiguous before Train");
@@ -119,8 +125,8 @@ bool Auc::Unambiguous(const linalg::Vector& masked_features) const {
     case Mode::kNormal:
       break;
   }
-  const classify::Classification result = linear_.Classify(masked_features);
-  return sets_[result.class_id].complete;
+  const classify::ClassId winner = linear_.BestClassView(masked_features, scores);
+  return sets_[winner].complete;
 }
 
 Auc Auc::FromParameters(Mode mode, classify::LinearClassifier linear,

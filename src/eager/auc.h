@@ -71,7 +71,14 @@ class Auc {
   bool trained() const { return mode_ != Mode::kUntrained; }
 
   // D(s): true iff `masked_features` is judged an unambiguous prefix.
+  // Allocates internal scratch; the per-point hot path uses UnambiguousView.
   bool Unambiguous(const linalg::Vector& masked_features) const;
+
+  // Zero-allocation D(s): evaluates the per-set scores into caller scratch
+  // (`scores` sized num_sets()) and takes the argmax — no probability, no
+  // Mahalanobis, which a doneness test never needs. The winning set (and
+  // therefore the answer) is bit-identical to Unambiguous.
+  bool UnambiguousView(linalg::VecView masked_features, linalg::MutVecView scores) const;
 
   // The winning AUC set for diagnostics; meaningful only in kNormal mode.
   classify::Classification Classify(const linalg::Vector& masked_features) const;

@@ -77,17 +77,44 @@ bool EagerRecognizer::UnambiguousFeatures(const linalg::Vector& full_features) c
   return auc_.Unambiguous(full_.mask().Project(full_features));
 }
 
+bool EagerRecognizer::Unambiguous(linalg::VecView full_features, Workspace& ws) const {
+  ws.Prepare(num_classes(), auc_.num_sets());
+  const features::FeatureMask& mask = full_.mask();
+  const linalg::MutVecView masked = ws.MaskedView(mask.count());
+  mask.ProjectInto(full_features, masked);
+  return auc_.UnambiguousView(masked, ws.AucScoresView());
+}
+
+classify::Classification EagerRecognizer::Classify(linalg::VecView full_features,
+                                                   Workspace& ws) const {
+  ws.Prepare(num_classes(), auc_.num_sets());
+  const std::size_t masked_dim = full_.mask().count();
+  return full_.ClassifyFeaturesView(full_features, ws.MaskedView(masked_dim),
+                                    ws.FullScoresView(), ws.DiffView(masked_dim));
+}
+
 bool EagerStream::AddPoint(const geom::TimedPoint& p) {
   extractor_.AddPoint(p);
   if (fired_ || extractor_.point_count() < recognizer_->min_prefix_points()) {
     return false;
   }
-  if (recognizer_->UnambiguousFeatures(extractor_.Features())) {
+  extractor_.FeaturesInto(workspace_.FeaturesView());
+  if (recognizer_->Unambiguous(workspace_.FeaturesView(), workspace_)) {
     fired_ = true;
     fired_at_ = extractor_.point_count();
     return true;
   }
   return false;
+}
+
+classify::Classification EagerStream::ClassifyNow() const {
+  extractor_.FeaturesInto(workspace_.FeaturesView());
+  return recognizer_->Classify(workspace_.FeaturesView(), workspace_);
+}
+
+linalg::VecView EagerStream::FeaturesView() const {
+  extractor_.FeaturesInto(workspace_.FeaturesView());
+  return workspace_.FeaturesView();
 }
 
 void EagerStream::Reset() {

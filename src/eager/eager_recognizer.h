@@ -13,9 +13,11 @@
 #include "eager/accidental_mover.h"
 #include "eager/auc.h"
 #include "eager/subgesture_labeler.h"
+#include "eager/workspace.h"
 #include "features/extractor.h"
 #include "features/feature_vector.h"
 #include "geom/point.h"
+#include "linalg/vec_view.h"
 #include "robust/fault_stats.h"
 
 namespace grandma::eager {
@@ -63,12 +65,25 @@ class EagerRecognizer {
   bool trained() const { return full_.trained() && auc_.trained(); }
 
   // D over a full 13-entry feature vector (the mask is applied internally).
+  // Allocates internal scratch; the per-point hot path uses Unambiguous.
   bool UnambiguousFeatures(const linalg::Vector& full_features) const;
 
-  // C over a full 13-entry feature vector.
+  // C over a full 13-entry feature vector. Allocating flavor; the hot path
+  // uses Classify below.
   classify::Classification ClassifyFeatures(const linalg::Vector& full_features) const {
     return full_.ClassifyFeatures(full_features);
   }
+
+  // --- Zero-allocation kernel surface -------------------------------------
+  // Both take the caller's per-stream Workspace; they size its score buffers
+  // on first use and reuse them afterwards. Answers are bit-identical to the
+  // allocating flavors above.
+
+  // D over a full 13-entry feature view.
+  bool Unambiguous(linalg::VecView full_features, Workspace& ws) const;
+
+  // C over a full 13-entry feature view.
+  classify::Classification Classify(linalg::VecView full_features, Workspace& ws) const;
 
   const classify::GestureClassifier& full() const { return full_; }
   const Auc& auc() const { return auc_; }
@@ -90,6 +105,10 @@ class EagerRecognizer {
 // stream reports the moment the gesture becomes unambiguous (D fires), after
 // which the caller typically classifies and enters the manipulation phase.
 //
+// The stream owns a Workspace, so its steady-state per-point loop (AddPoint,
+// ClassifyNow, FeaturesView) performs zero heap allocations after the first
+// call sized the score buffers (enforced by tests/hotpath_alloc_test.cc).
+//
 // Thread-safety: none — a stream is one user's mutable per-stroke state and
 // must be owned by a single thread (serve pins each stream to one shard).
 // Many streams may share one recognizer concurrently.
@@ -106,12 +125,17 @@ class EagerStream {
   // Number of points seen when D fired; 0 when it has not.
   std::size_t fired_at() const { return fired_at_; }
 
-  // The full classifier's verdict on everything seen so far.
-  classify::Classification ClassifyNow() const {
-    return recognizer_->ClassifyFeatures(extractor_.Features());
-  }
+  // The full classifier's verdict on everything seen so far. Allocation-free
+  // (classifies through the stream's Workspace).
+  classify::Classification ClassifyNow() const;
 
-  // Current feature snapshot (full 13-entry vector).
+  // Current feature snapshot, written into the stream's Workspace; the view
+  // is valid until the next AddPoint/ClassifyNow/FeaturesView/Reset call.
+  // Allocation-free.
+  linalg::VecView FeaturesView() const;
+
+  // Compatibility shim: copy-returning snapshot (allocates). Prefer
+  // FeaturesView on any per-point path.
   linalg::Vector Features() const { return extractor_.Features(); }
 
   void Reset();
@@ -119,6 +143,10 @@ class EagerStream {
  private:
   const EagerRecognizer* recognizer_;
   features::FeatureExtractor extractor_;
+  // Scratch for the zero-allocation kernel. Mutable: ClassifyNow and
+  // FeaturesView are logically const reads but reuse the per-stream buffers;
+  // safe under the stream's single-thread ownership contract.
+  mutable Workspace workspace_;
   bool fired_ = false;
   std::size_t fired_at_ = 0;
 };

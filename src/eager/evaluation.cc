@@ -84,6 +84,7 @@ double TrainingPrematureFireRate(const EagerRecognizer& recognizer,
                                  const classify::GestureTrainingSet& training) {
   std::size_t fired_wrong = 0;
   std::size_t fired_total = 0;
+  Workspace ws;  // one scratch for the whole sweep; no per-prefix allocation
   for (classify::ClassId c = 0; c < training.num_classes(); ++c) {
     for (const geom::Gesture& g : training.ExamplesOf(c)) {
       features::FeatureExtractor fx;
@@ -92,10 +93,10 @@ double TrainingPrematureFireRate(const EagerRecognizer& recognizer,
         if (fx.point_count() < recognizer.min_prefix_points()) {
           continue;
         }
-        const linalg::Vector f = fx.Features();
-        if (recognizer.UnambiguousFeatures(f)) {
+        fx.FeaturesInto(ws.FeaturesView());
+        if (recognizer.Unambiguous(ws.FeaturesView(), ws)) {
           ++fired_total;
-          if (recognizer.ClassifyFeatures(f).class_id != c) {
+          if (recognizer.Classify(ws.FeaturesView(), ws).class_id != c) {
             ++fired_wrong;
           }
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace grandma::features {
 
@@ -76,8 +77,17 @@ void FeatureExtractor::AddPoint(const geom::TimedPoint& p) {
 
 linalg::Vector FeatureExtractor::Features() const {
   linalg::Vector f(kNumFeatures);
+  FeaturesInto(f.view());
+  return f;
+}
+
+void FeatureExtractor::FeaturesInto(linalg::MutVecView f) const {
+  if (f.size() != kNumFeatures) {
+    throw std::invalid_argument("FeatureExtractor::FeaturesInto expects a 13-entry view");
+  }
+  linalg::Fill(f, 0.0);
   if (count_ == 0) {
-    return f;
+    return;
   }
 
   // f1, f2: initial angle at the third point.
@@ -115,7 +125,6 @@ linalg::Vector FeatureExtractor::Features() const {
   f[kSharpness] = sharpness_;
   f[kMaxSpeedSquared] = max_speed_sq_;
   f[kDuration] = last_t_ - t0_;
-  return f;
 }
 
 void FeatureExtractor::Reset() { *this = FeatureExtractor(); }

@@ -10,6 +10,7 @@
 #include "features/feature_vector.h"
 #include "geom/gesture.h"
 #include "geom/point.h"
+#include "linalg/vec_view.h"
 #include "linalg/vector.h"
 
 namespace grandma::features {
@@ -42,8 +43,15 @@ class FeatureExtractor {
   // Number of points seen so far.
   std::size_t point_count() const { return count_; }
 
-  // Snapshot of the current 13-entry feature vector.
+  // Snapshot of the current 13-entry feature vector. Allocates the result;
+  // the per-point hot path uses FeaturesInto instead.
   linalg::Vector Features() const;
+
+  // In-place snapshot for the per-point kernel: writes all kNumFeatures
+  // entries into `out` (typically a view over a caller-owned
+  // std::array<double, kNumFeatures>); no heap. Throws std::invalid_argument
+  // when out.size() != kNumFeatures. Values are bit-identical to Features().
+  void FeaturesInto(linalg::MutVecView out) const;
 
   // Restart for a new gesture.
   void Reset();

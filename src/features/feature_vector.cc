@@ -84,17 +84,24 @@ std::size_t FeatureMask::count() const {
 }
 
 linalg::Vector FeatureMask::Project(const linalg::Vector& full) const {
+  linalg::Vector out(count());
+  ProjectInto(full.view(), out.view());
+  return out;
+}
+
+void FeatureMask::ProjectInto(linalg::VecView full, linalg::MutVecView out) const {
   if (full.size() != kNumFeatures) {
     throw std::invalid_argument("FeatureMask::Project expects a 13-entry vector");
   }
-  linalg::Vector out(count());
+  if (out.size() != count()) {
+    throw std::invalid_argument("FeatureMask::ProjectInto: output size != enabled count");
+  }
   std::size_t j = 0;
   for (std::size_t i = 0; i < kNumFeatures; ++i) {
     if (enabled_[i]) {
       out[j++] = full[i];
     }
   }
-  return out;
 }
 
 }  // namespace grandma::features

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "linalg/vec_view.h"
 #include "linalg/vector.h"
 
 namespace grandma::features {
@@ -60,6 +61,12 @@ class FeatureMask {
 
   // Projects a full 13-entry vector onto the enabled features, in index order.
   linalg::Vector Project(const linalg::Vector& full) const;
+
+  // Allocation-free flavor for the per-point kernel: writes the enabled
+  // features of `full` (which must have kNumFeatures entries) into `out`
+  // (which must have count() entries). Throws std::invalid_argument on a
+  // size mismatch, exactly like Project.
+  void ProjectInto(linalg::VecView full, linalg::MutVecView out) const;
 
   friend bool operator==(const FeatureMask&, const FeatureMask&) = default;
 

@@ -201,16 +201,16 @@ Matrix Multiply(const Matrix& a, const Matrix& b) {
 }
 
 double QuadraticForm(const Vector& x, const Matrix& m, const Vector& y) {
+  return QuadraticForm(x.view(), m, y.view());
+}
+
+double QuadraticForm(VecView x, const Matrix& m, VecView y) {
   if (m.rows() != x.size() || m.cols() != y.size()) {
     throw std::invalid_argument("QuadraticForm: dimension mismatch");
   }
   double sum = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    double row = 0.0;
-    for (std::size_t j = 0; j < y.size(); ++j) {
-      row += m(i, j) * y[j];
-    }
-    sum += x[i] * row;
+    sum += x[i] * Dot(m.RowView(i), y);
   }
   return sum;
 }

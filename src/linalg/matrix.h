@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/vec_view.h"
 #include "linalg/vector.h"
 
 namespace grandma::linalg {
@@ -55,6 +56,13 @@ class Matrix {
   Vector Row(std::size_t r) const;
   Vector Col(std::size_t c) const;
 
+  // Non-owning view of row r (rows are contiguous in the row-major storage);
+  // valid until the matrix is resized or destroyed. Assert-checked.
+  VecView RowView(std::size_t r) const {
+    assert(r < rows_);
+    return VecView(data_.data() + r * cols_, cols_);
+  }
+
   // Largest absolute entry; 0 for an empty matrix.
   double MaxAbs() const;
 
@@ -77,6 +85,12 @@ Matrix Multiply(const Matrix& a, const Matrix& b);
 
 // Quadratic form x^T m y (m must be square with side x.size() == y.size()).
 double QuadraticForm(const Vector& x, const Matrix& m, const Vector& y);
+
+// View flavor for the classify-time kernel: identical accumulation order to
+// the Vector overload (bit-identical results), no allocation. Dimension
+// mismatches throw std::invalid_argument, as in the Vector overload — the
+// check is once per call, not per element.
+double QuadraticForm(VecView x, const Matrix& m, VecView y);
 
 // True when every entry differs by at most tol.
 bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);

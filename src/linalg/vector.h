@@ -9,11 +9,18 @@
 #include <string>
 #include <vector>
 
+#include "linalg/vec_view.h"
+
 namespace grandma::linalg {
 
-// A resizable dense vector of doubles with element access checked in debug
-// builds. Value semantics throughout: copies are deep and cheap at the sizes
-// this library works with.
+// A resizable dense vector of doubles. Value semantics throughout: copies are
+// deep and cheap at the sizes this library works with.
+//
+// Element access comes in two flavors with different checking guarantees:
+//   - operator[] is assert-checked, i.e. checked in debug builds only
+//     (builds without NDEBUG); in release builds an out-of-range index is
+//     undefined behavior.
+//   - at() throws std::out_of_range on a bad index in ALL builds.
 class Vector {
  public:
   Vector() = default;
@@ -24,6 +31,8 @@ class Vector {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Assert-checked access: bounds are verified in debug builds only; an
+  // out-of-range index in a release (NDEBUG) build is undefined behavior.
   double& operator[](std::size_t i);
   double operator[](std::size_t i) const;
 
@@ -33,6 +42,11 @@ class Vector {
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
+
+  // Non-owning views over the storage (see linalg/vec_view.h); valid until
+  // the vector is resized or destroyed.
+  VecView view() const { return VecView(data_.data(), data_.size()); }
+  MutVecView view() { return MutVecView(data_.data(), data_.size()); }
 
   auto begin() { return data_.begin(); }
   auto end() { return data_.end(); }

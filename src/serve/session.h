@@ -2,6 +2,11 @@
 // stroke bookkeeping. A Session is owned by exactly one shard worker (pinned
 // by session-id hash), so it is deliberately NOT thread-safe — single
 // ownership is what lets the per-point hot path run lock-free.
+//
+// The per-point loop is also allocation-free in steady state: the embedded
+// EagerStream carries the eager::Workspace scratch, AddPoints/EmitResult use
+// only the stream's view-based API, and result class names fit std::string's
+// small-string buffer (enforced by tests/hotpath_alloc_test.cc).
 #ifndef GRANDMA_SRC_SERVE_SESSION_H_
 #define GRANDMA_SRC_SERVE_SESSION_H_
 

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "classify/training_set.h"
+#include "linalg/vec_view.h"
 
 namespace grandma::classify {
 namespace {
@@ -130,6 +134,66 @@ TEST(RecognitionProbabilityTest, UniformScoresGiveOneOverC) {
 TEST(RecognitionProbabilityTest, DominantWinnerNearOne) {
   const std::vector<double> scores{100.0, 0.0, -5.0};
   EXPECT_NEAR(RecognitionProbability(scores, 0), 1.0, 1e-12);
+}
+
+// The zero-allocation kernel surface (EvaluateInto / BestClassView /
+// ClassifyView / MahalanobisSquaredView) must be bit-identical to the
+// allocating flavors it backs — exact == on doubles, no tolerance.
+TEST(LinearClassifierTest, KernelSurfaceMatchesAllocatingSurfaceBitForBit) {
+  LinearClassifier c;
+  c.Train(TwoClusters());
+  const linalg::Vector probes[] = {
+      {0.1, 0.1}, {10.1, 9.9}, {5.0, 5.0}, {-3.0, 17.0}, {0.0, 0.0}};
+  std::array<double, 2> scores_buf{};
+  std::array<double, 2> diff_buf{};
+  const linalg::MutVecView scores = linalg::ViewOf(scores_buf);
+  const linalg::MutVecView diff = linalg::ViewOf(diff_buf);
+  for (const linalg::Vector& f : probes) {
+    const std::vector<double> legacy_scores = c.Evaluate(f);
+    c.EvaluateInto(f.view(), scores);
+    ASSERT_EQ(legacy_scores.size(), scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(legacy_scores[i], scores[i]) << "class " << i;
+    }
+
+    const Classification legacy = c.Classify(f);
+    EXPECT_EQ(c.BestClassView(f.view(), scores), legacy.class_id);
+    const Classification kernel = c.ClassifyView(f.view(), scores, diff);
+    EXPECT_EQ(kernel.class_id, legacy.class_id);
+    EXPECT_EQ(kernel.score, legacy.score);
+    EXPECT_EQ(kernel.probability, legacy.probability);
+    EXPECT_EQ(kernel.mahalanobis_squared, legacy.mahalanobis_squared);
+
+    for (ClassId cls = 0; cls < c.num_classes(); ++cls) {
+      EXPECT_EQ(c.MahalanobisSquaredView(f.view(), cls, diff), c.MahalanobisSquared(f, cls));
+    }
+  }
+}
+
+TEST(LinearClassifierTest, KernelSurfaceValidatesScratchSizes) {
+  LinearClassifier c;
+  c.Train(TwoClusters());
+  const linalg::Vector f{0.0, 0.0};
+  std::array<double, 4> buf{};
+  // scores must be exactly num_classes(), diff exactly dimension().
+  EXPECT_THROW(c.EvaluateInto(f.view(), linalg::ViewOf(buf, 1)), std::invalid_argument);
+  EXPECT_THROW(c.EvaluateInto(f.view(), linalg::ViewOf(buf, 3)), std::invalid_argument);
+  EXPECT_THROW(
+      c.ClassifyView(f.view(), linalg::ViewOf(buf, 2), linalg::ViewOf(buf, 1)),
+      std::invalid_argument);
+  EXPECT_THROW(c.MahalanobisSquaredView(f.view(), 0, linalg::ViewOf(buf, 3)),
+               std::invalid_argument);
+  // Wrong feature width.
+  const linalg::Vector bad{1.0};
+  EXPECT_THROW(c.EvaluateInto(bad.view(), linalg::ViewOf(buf, 2)), std::invalid_argument);
+}
+
+TEST(LinearClassifierTest, RecognitionProbabilityViewMatchesVectorFlavor) {
+  const std::vector<double> scores{1.0, 3.5, -2.0, 3.2};
+  const linalg::VecView view(scores.data(), scores.size());
+  for (ClassId w = 0; w < scores.size(); ++w) {
+    EXPECT_EQ(RecognitionProbability(view, w), RecognitionProbability(scores, w));
+  }
 }
 
 TEST(LinearClassifierTest, FromParametersRoundTrip) {

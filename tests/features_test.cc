@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <limits>
 #include <numbers>
+#include <stdexcept>
 
 #include "features/feature_vector.h"
+#include "linalg/vec_view.h"
 #include "geom/resample.h"
 #include "geom/transform.h"
 
@@ -253,6 +256,53 @@ TEST(FeatureExtractorTest, BackwardAndNonFiniteTimestampsKeepFeaturesFinite) {
     }
     EXPECT_TRUE(std::isfinite(f[i])) << i;
   }
+}
+
+TEST(FeatureExtractorTest, FeaturesIntoMatchesFeaturesBitForBit) {
+  FeatureExtractor fx;
+  for (const auto& p : LStroke()) {
+    fx.AddPoint(p);
+    const Vector copied = fx.Features();
+    std::array<double, kNumFeatures> scratch{};
+    fx.FeaturesInto(linalg::ViewOf(scratch));
+    for (std::size_t i = 0; i < kNumFeatures; ++i) {
+      EXPECT_EQ(copied[i], scratch[i]) << "feature " << i;  // exact
+    }
+  }
+}
+
+TEST(FeatureExtractorTest, FeaturesIntoRejectsWrongSize) {
+  FeatureExtractor fx;
+  std::array<double, kNumFeatures - 1> small{};
+  std::array<double, kNumFeatures + 1> big{};
+  EXPECT_THROW(fx.FeaturesInto(linalg::ViewOf(small)), std::invalid_argument);
+  EXPECT_THROW(fx.FeaturesInto(linalg::ViewOf(big)), std::invalid_argument);
+}
+
+TEST(FeatureMaskTest, ProjectIntoMatchesProjectBitForBit) {
+  const FeatureMask mask = FeatureMask::GeometryOnly();
+  const Vector full = ExtractFeatures(LStroke());
+  const Vector projected = mask.Project(full);
+  std::array<double, kNumFeatures> scratch{};
+  const linalg::MutVecView out = linalg::ViewOf(scratch, mask.count());
+  mask.ProjectInto(full.view(), out);
+  ASSERT_EQ(projected.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(projected[i], out[i]) << i;
+  }
+}
+
+TEST(FeatureMaskTest, ProjectIntoRejectsWrongSizes) {
+  const FeatureMask mask = FeatureMask::GeometryOnly();
+  std::array<double, kNumFeatures> full{};
+  std::array<double, kNumFeatures> out{};
+  // Wrong input width.
+  EXPECT_THROW(mask.ProjectInto(linalg::ViewOf(full, kNumFeatures - 1),
+                                linalg::ViewOf(out, mask.count())),
+               std::invalid_argument);
+  // Wrong output width.
+  EXPECT_THROW(mask.ProjectInto(linalg::ViewOf(full), linalg::ViewOf(out, mask.count() - 1)),
+               std::invalid_argument);
 }
 
 TEST(FeatureExtractorTest, SamplingRobustness) {

@@ -1,0 +1,181 @@
+// The allocation contract of the recognition hot path (ctest label
+// `hotpath`): after warm-up, the steady-state per-point loop — EagerStream
+// and serve::Session both — performs ZERO heap allocations. Enforced with
+// the counting operator-new harness in tests/support/counting_new.h.
+//
+// Also pins down that the zero-allocation kernel path is bit-identical to
+// the allocating compatibility path it replaced: same fire points, same
+// Classification doubles, exactly.
+#include "support/counting_new.h"
+//
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "features/extractor.h"
+#include "serve/session.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+using testsupport::CountAllocations;
+
+const eager::EagerRecognizer& GdpRecognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(synth::ToTrainingSet(synth::GenerateSet(synth::MakeGdpSpecs(), noise, 10, 1991)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+// A pool of strokes covering several GDP classes.
+std::vector<geom::Gesture> StrokePool() {
+  std::vector<geom::Gesture> pool;
+  synth::NoiseModel noise;
+  synth::Rng rng(7);
+  const auto specs = synth::MakeGdpSpecs();
+  for (std::size_t i = 0; i < specs.size(); i += 2) {
+    pool.push_back(synth::Generate(specs[i], noise, rng).gesture);
+  }
+  return pool;
+}
+
+TEST(HotpathAllocTest, EagerStreamSteadyStateIsAllocationFree) {
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+  eager::EagerStream stream(r);
+
+  // Warm-up: one full stroke sizes the stream's Workspace score buffers and
+  // exercises every branch (fire + mouse-up classification).
+  for (const geom::TimedPoint& p : pool[0]) {
+    (void)stream.AddPoint(p);
+  }
+  (void)stream.ClassifyNow();
+  stream.Reset();
+
+  // Steady state: >= 1000 points across the pool, with a ClassifyNow at each
+  // eager fire and at each stroke end — the paper's full per-point protocol.
+  std::size_t points = 0;
+  classify::Classification last{};
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        for (const geom::TimedPoint& p : g) {
+          ++points;
+          if (stream.AddPoint(p)) {
+            last = stream.ClassifyNow();
+          }
+        }
+        last = stream.ClassifyNow();
+        stream.Reset();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " points";
+  EXPECT_GE(points, 1000u);
+  EXPECT_LT(last.class_id, r.num_classes());
+}
+
+TEST(HotpathAllocTest, ServeSessionSteadyStateIsAllocationFree) {
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+
+  serve::Session session(/*id=*/1, r);
+  // Results land in preallocated slots; the sink captures two pointers and
+  // fits std::function's small-object buffer. Constructed before counting.
+  std::array<serve::RecognitionResult, 8> slots;
+  std::size_t slot = 0;
+  serve::ResultSink sink = [&slots, &slot](const serve::RecognitionResult& res) {
+    slots[slot % slots.size()] = res;
+    ++slot;
+  };
+
+  // Warm-up stroke: sizes workspace buffers and the result slots' class_name
+  // strings.
+  session.BeginStroke(1, sink);
+  session.AddPoints(1, std::span<const geom::TimedPoint>(pool[0].points()), sink);
+  session.EndStroke(sink);
+
+  std::size_t points = 0;
+  serve::StrokeId stroke = 2;
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        session.BeginStroke(stroke, sink);
+        session.AddPoints(stroke, std::span<const geom::TimedPoint>(g.points()), sink);
+        session.EndStroke(sink);
+        ++stroke;
+        points += g.size();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " points, " << slot << " results";
+  EXPECT_GE(points, 1000u);
+  EXPECT_GT(slot, 0u);
+  EXPECT_EQ(session.stats().points_seen, points + pool[0].size());
+}
+
+// The counting harness itself must see ordinary allocations, or the zero
+// results above would be vacuous.
+TEST(HotpathAllocTest, HarnessCountsAllocations) {
+  std::vector<double> sink;
+  const std::uint64_t allocs = CountAllocations([&] {
+    sink.assign(64, 1.0);  // forces a real heap allocation the optimizer
+                           // cannot elide (sink outlives the lambda)
+  });
+  EXPECT_GE(allocs, 1u);
+}
+
+// Bit-identity: the view-based kernel must reproduce the allocating
+// compatibility path exactly — same fire point, identical Classification
+// doubles (==, not almost-equal).
+TEST(HotpathAllocTest, KernelPathIsBitIdenticalToLegacyPath) {
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  for (const geom::Gesture& g : StrokePool()) {
+    // Legacy replay: copy-returning snapshots + allocating classify calls.
+    features::FeatureExtractor fx;
+    bool legacy_fired = false;
+    std::size_t legacy_fired_at = 0;
+    for (const geom::TimedPoint& p : g) {
+      fx.AddPoint(p);
+      if (!legacy_fired && fx.point_count() >= r.min_prefix_points() &&
+          r.UnambiguousFeatures(fx.Features())) {
+        legacy_fired = true;
+        legacy_fired_at = fx.point_count();
+      }
+    }
+    const classify::Classification legacy = r.ClassifyFeatures(fx.Features());
+
+    // Kernel replay.
+    eager::EagerStream stream(r);
+    for (const geom::TimedPoint& p : g) {
+      (void)stream.AddPoint(p);
+    }
+    const classify::Classification kernel = stream.ClassifyNow();
+
+    EXPECT_EQ(stream.fired(), legacy_fired);
+    EXPECT_EQ(stream.fired_at(), legacy_fired_at);
+    EXPECT_EQ(kernel.class_id, legacy.class_id);
+    EXPECT_EQ(kernel.score, legacy.score);
+    EXPECT_EQ(kernel.probability, legacy.probability);
+    EXPECT_EQ(kernel.mahalanobis_squared, legacy.mahalanobis_squared);
+
+    // The view snapshot matches the copy-returning shim bit for bit.
+    const linalg::Vector copied = stream.Features();
+    const linalg::VecView viewed = stream.FeaturesView();
+    ASSERT_EQ(copied.size(), viewed.size());
+    for (std::size_t i = 0; i < copied.size(); ++i) {
+      EXPECT_EQ(copied[i], viewed[i]) << "feature " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grandma

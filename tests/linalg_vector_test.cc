@@ -81,5 +81,40 @@ TEST(VectorTest, CheckedAccessThrows) {
   EXPECT_DOUBLE_EQ(v.at(0), 1.0);
 }
 
+// The two access flavors have different checking contracts (see the class
+// comment in linalg/vector.h); these tests pin each one down.
+
+// at() throws in ALL builds — debug and release alike — for both const and
+// non-const access.
+TEST(VectorTest, AtThrowsInEveryBuildMode) {
+  Vector v{1.0, 2.0};
+  const Vector& cv = v;
+  EXPECT_THROW(v.at(2), std::out_of_range);
+  EXPECT_THROW(cv.at(2), std::out_of_range);
+  EXPECT_THROW(v.at(static_cast<std::size_t>(-1)), std::out_of_range);
+  // In-range at() is plain access.
+  v.at(1) = 9.0;
+  EXPECT_DOUBLE_EQ(cv.at(1), 9.0);
+}
+
+// operator[] is assert-checked only: in a debug build (no NDEBUG) an
+// out-of-range index dies on the assert; in a release build it is UB and
+// deliberately not tested. In-range behavior is identical in both.
+TEST(VectorTest, BracketInRangeMatchesAt) {
+  Vector v{4.0, 5.0, 6.0};
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_DOUBLE_EQ(v[i], v.at(i));
+  }
+  v[2] = -1.0;
+  EXPECT_DOUBLE_EQ(v.at(2), -1.0);
+}
+
+#ifndef NDEBUG
+TEST(VectorDeathTest, BracketAssertsOutOfRangeInDebugBuilds) {
+  Vector v{1.0};
+  EXPECT_DEATH((void)v[1], "");
+}
+#endif
+
 }  // namespace
 }  // namespace grandma::linalg

@@ -39,7 +39,7 @@ std::vector<std::pair<const char*, geom::Gesture>> DegenerateGestures() {
   return out;
 }
 
-bool AllFinite(const linalg::Vector& v) {
+bool AllFinite(linalg::VecView v) {
   for (std::size_t i = 0; i < v.size(); ++i) {
     if (!std::isfinite(v[i])) {
       return false;
@@ -57,7 +57,7 @@ classify::GestureTrainingSet Fig9Training() {
 TEST(DegenerateGestureTest, FeaturesAreFinite) {
   for (const auto& [name, g] : DegenerateGestures()) {
     const linalg::Vector f = features::ExtractFeatures(g);
-    EXPECT_TRUE(AllFinite(f)) << name;
+    EXPECT_TRUE(AllFinite(f.view())) << name;
   }
 }
 
@@ -91,7 +91,7 @@ TEST(DegenerateGestureTest, EagerStreamSurvivesEveryDegenerate) {
     ASSERT_NO_THROW(c = stream.ClassifyNow()) << name;
     EXPECT_TRUE(std::isfinite(c.score)) << name;
     EXPECT_TRUE(std::isfinite(c.probability)) << name;
-    EXPECT_TRUE(AllFinite(stream.Features())) << name;
+    EXPECT_TRUE(AllFinite(stream.FeaturesView())) << name;
   }
 }
 

@@ -1,0 +1,108 @@
+// Test-only counting replacement of the global allocation functions: every
+// operator new (array, nothrow, and aligned forms included) bumps a counter
+// while counting is enabled. This is how the hotpath allocation gate proves
+// the steady-state per-point recognition loop is heap-free.
+//
+// IMPORTANT: including this header *defines* the replaceable global
+// operator new/delete for the whole binary. Include it from exactly ONE
+// translation unit of a test or bench executable, and never from library
+// code (tests/hotpath_alloc_test.cc and bench/hotpath_per_point.cc do).
+#ifndef GRANDMA_TESTS_SUPPORT_COUNTING_NEW_H_
+#define GRANDMA_TESTS_SUPPORT_COUNTING_NEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace grandma::testsupport {
+
+namespace internal {
+inline std::atomic<bool> g_counting{false};
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+inline void NoteAlloc() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+inline void* CountedAlloc(std::size_t size) {
+  NoteAlloc();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  NoteAlloc();
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+}
+}  // namespace internal
+
+// Runs `fn` with allocation counting enabled and returns how many heap
+// allocations it performed. Not reentrant; single-threaded use only.
+template <typename Fn>
+std::uint64_t CountAllocations(Fn&& fn) {
+  internal::g_allocations.store(0, std::memory_order_relaxed);
+  internal::g_counting.store(true, std::memory_order_relaxed);
+  std::forward<Fn>(fn)();
+  internal::g_counting.store(false, std::memory_order_relaxed);
+  return internal::g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace grandma::testsupport
+
+// --- Replaceable global allocation functions ------------------------------
+
+void* operator new(std::size_t size) {
+  if (void* p = grandma::testsupport::internal::CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = grandma::testsupport::internal::CountedAlloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return grandma::testsupport::internal::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return grandma::testsupport::internal::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p = grandma::testsupport::internal::CountedAlignedAlloc(
+          size, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  if (void* p = grandma::testsupport::internal::CountedAlignedAlloc(
+          size, static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // GRANDMA_TESTS_SUPPORT_COUNTING_NEW_H_
