@@ -3,8 +3,12 @@
 #   1. tier-1: default configure + build + the whole ctest suite
 #   2. hotpath: the zero-allocation gate and the legacy-vs-kernel speedup
 #      gate (label `hotpath`, runs in the tier-1 build tree)
-#   3. asan / ubsan: full suite under AddressSanitizer and UBSan
-#   4. tsan: the threaded serve layer (label `serve`) under ThreadSanitizer
+#   2b. chaos: crash-kill sweep over snapshot writes, corruption corpus,
+#      and hot-swap-under-traffic recovery gates (label `chaos`)
+#   3. asan / ubsan: full suite under AddressSanitizer and UBSan (includes
+#      the snapshot fuzz/corruption tests in io_tests)
+#   4. tsan: the threaded serve layer (label `serve`, including the
+#      hot-swap tests) under ThreadSanitizer
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,6 +28,11 @@ run ctest --preset default
 
 # 2. Hot-path allocation + speedup gates (already built by tier-1).
 run ctest --preset default -L hotpath
+
+# 2b. Crash-safety chaos gate: strided crash-kill sweep over snapshot
+#     writes + corruption corpus + hot-swap-under-traffic (label `chaos`,
+#     runs in the tier-1 build tree).
+run ctest --preset default -L chaos
 
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do

@@ -140,6 +140,14 @@ class EagerStream {
 
   void Reset();
 
+  // Points the stream at a different trained recognizer (hot model swap).
+  // Only legal between strokes: all per-stroke state resets, and the
+  // workspace re-sizes lazily if the new model's shape differs.
+  void Rebind(const EagerRecognizer& recognizer) {
+    recognizer_ = &recognizer;
+    Reset();
+  }
+
  private:
   const EagerRecognizer* recognizer_;
   features::FeatureExtractor extractor_;

@@ -1,0 +1,96 @@
+#include "io/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <streambuf>
+
+#include "robust/crash_point.h"
+
+namespace grandma::io {
+
+namespace {
+
+// Unbuffered pass-through streambuf that meters every byte through
+// robust::CrashPoint. When an armed byte budget runs out mid-chunk, the
+// allowed prefix is pushed to the destination and synced first, so the bytes
+// "on disk" at the moment of death are exactly the budget.
+class CrashMeteredBuf : public std::streambuf {
+ public:
+  explicit CrashMeteredBuf(std::streambuf* dest) : dest_(dest) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) {
+      return sync() == 0 ? traits_type::not_eof(ch) : traits_type::eof();
+    }
+    const char c = traits_type::to_char_type(ch);
+    return Write(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override { return Write(s, n); }
+
+  int sync() override { return dest_->pubsync(); }
+
+ private:
+  std::streamsize Write(const char* s, std::streamsize n) {
+    const auto allowed = static_cast<std::streamsize>(
+        robust::CrashPoint::Allow(static_cast<std::uint64_t>(n)));
+    const std::streamsize put = dest_->sputn(s, allowed);
+    if (allowed < n) {
+      dest_->pubsync();
+      robust::CrashPoint::Die("crash point fired after " +
+                              std::to_string(robust::CrashPoint::bytes_written()) +
+                              " bytes written");
+    }
+    return put;
+  }
+
+  std::streambuf* dest_;
+};
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+robust::Status AtomicWriteFile(const std::string& path,
+                               const std::function<bool(std::ostream&)>& producer) {
+  const std::string temp = AtomicTempPath(path);
+  bool writer_ok = false;
+  bool stream_ok = false;
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return robust::Status::FailedPrecondition("AtomicWriteFile: cannot open " + temp);
+    }
+    CrashMeteredBuf metered(file.rdbuf());
+    std::ostream out(&metered);
+    // ostream inserters swallow streambuf exceptions into badbit by default;
+    // the badbit mask makes them rethrow the ORIGINAL exception, so an armed
+    // CrashPointTriggered unwinds out of `producer` as a real crash would.
+    // Genuine short writes surface as ios_base::failure, mapped to a status.
+    out.exceptions(std::ios::badbit);
+    try {
+      writer_ok = producer(out);
+      out.flush();
+      stream_ok = static_cast<bool>(out) && static_cast<bool>(file);
+    } catch (const std::ios_base::failure&) {
+      stream_ok = false;
+    }
+  }  // closed (and flushed) before the rename
+  if (!writer_ok || !stream_ok) {
+    std::remove(temp.c_str());
+    return !writer_ok
+               ? robust::Status::FailedPrecondition("AtomicWriteFile: writer declined " + path)
+               : robust::Status::DataLoss("AtomicWriteFile: short write to " + temp);
+  }
+  robust::CrashPoint::OnSite(kCrashBeforeRename);
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return robust::Status::DataLoss("AtomicWriteFile: rename to " + path + " failed");
+  }
+  robust::CrashPoint::OnSite(kCrashAfterRename);
+  return robust::Status::Ok();
+}
+
+}  // namespace grandma::io

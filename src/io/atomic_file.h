@@ -1,0 +1,41 @@
+// Crash-safe file writing: every persisted artifact is produced in a
+// temporary sibling file and atomically rename(2)d onto its destination, so
+// a crash or full disk at ANY byte of the write leaves the destination
+// either untouched (old content intact) or fully replaced — never torn.
+// The write stream is instrumented with robust::CrashPoint so the chaos
+// harness can kill the write at an exact byte boundary and prove that
+// property.
+#ifndef GRANDMA_SRC_IO_ATOMIC_FILE_H_
+#define GRANDMA_SRC_IO_ATOMIC_FILE_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "robust/status.h"
+
+namespace grandma::io {
+
+// The temp sibling `path` is written through before the rename; a crash
+// mid-write strands it (harmless — the next successful write overwrites it).
+std::string AtomicTempPath(const std::string& path);
+
+// Crash-injection site names consulted around the rename (robust::CrashPoint).
+inline constexpr const char* kCrashBeforeRename = "atomic_write.before_rename";
+inline constexpr const char* kCrashAfterRename = "atomic_write.after_rename";
+
+// Runs `producer` against a stream backed by AtomicTempPath(path), then
+// renames the temp onto `path`. The destination is never opened for writing.
+//
+// Errors: kFailedPrecondition — the temp could not be opened, or `producer`
+// returned false (it declined to write, e.g. an untrained model);
+// kDataLoss — the stream went bad during/after the write (disk full, I/O
+// error) or the rename failed; the temp file is removed in these cases.
+// robust::CrashPointTriggered thrown by an armed crash point propagates
+// untouched, leaving the temp exactly as a killed process would.
+robust::Status AtomicWriteFile(const std::string& path,
+                               const std::function<bool(std::ostream&)>& producer);
+
+}  // namespace grandma::io
+
+#endif  // GRANDMA_SRC_IO_ATOMIC_FILE_H_

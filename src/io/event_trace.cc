@@ -7,6 +7,9 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <utility>
+
+#include "io/atomic_file.h"
 
 namespace grandma::io {
 
@@ -63,19 +66,31 @@ bool SaveEventTrace(const EventTrace& trace, std::ostream& out) {
   return static_cast<bool>(out);
 }
 
-std::optional<EventTrace> LoadEventTrace(std::istream& in) {
+robust::StatusOr<EventTrace> LoadEventTraceOr(std::istream& in) {
   std::string word1;
+  if (!(in >> word1)) {
+    return robust::Status::Truncated("event trace: empty stream");
+  }
+  if (word1 != "grandma-eventtrace") {
+    return robust::Status::CorruptSnapshot("event trace: not a grandma-eventtrace stream");
+  }
   std::string word2;
-  if (!(in >> word1 >> word2) || word1 + " " + word2 != kHeader) {
-    return std::nullopt;
+  if (!(in >> word2)) {
+    return robust::Status::Truncated("event trace: stream ends inside the header");
+  }
+  if (word2 != "v1") {
+    return robust::Status::VersionMismatch("event trace: unknown format version '" + word2 +
+                                           "' (this binary speaks v1)");
   }
   std::string tag;
   std::size_t count = 0;
   if (!(in >> tag >> count) || tag != "events") {
-    return std::nullopt;
+    return in.eof() ? robust::Status::Truncated("event trace: stream ends before the count")
+                    : robust::Status::CorruptSnapshot("event trace: malformed event count");
   }
   if (count > kMaxTraceEvents) {
-    return std::nullopt;
+    return robust::Status::CorruptSnapshot("event trace: absurd declared event count " +
+                                           std::to_string(count));
   }
   EventTrace trace;
   trace.reserve(std::min(count, kMaxUpfrontReserve));
@@ -83,11 +98,16 @@ std::optional<EventTrace> LoadEventTrace(std::istream& in) {
     std::string kind_name;
     toolkit::InputEvent e;
     if (!(in >> kind_name >> e.x >> e.y >> e.time_ms >> e.button)) {
-      return std::nullopt;
+      return in.eof() ? robust::Status::Truncated(
+                            "event trace: stream ends at event " + std::to_string(i) + " of " +
+                            std::to_string(count))
+                      : robust::Status::CorruptSnapshot("event trace: malformed event " +
+                                                        std::to_string(i));
     }
     const auto kind = KindFromName(kind_name);
     if (!kind.has_value()) {
-      return std::nullopt;
+      return robust::Status::CorruptSnapshot("event trace: unknown event kind '" + kind_name +
+                                             "'");
     }
     e.type = *kind;
     trace.push_back(e);
@@ -95,17 +115,33 @@ std::optional<EventTrace> LoadEventTrace(std::istream& in) {
   return trace;
 }
 
+std::optional<EventTrace> LoadEventTrace(std::istream& in) {
+  auto loaded = LoadEventTraceOr(in);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*loaded);
+}
+
 bool SaveEventTraceFile(const EventTrace& trace, const std::string& path) {
-  std::ofstream out(path);
-  return out && SaveEventTrace(trace, out);
+  return AtomicWriteFile(path, [&](std::ostream& out) { return SaveEventTrace(trace, out); })
+      .ok();
+}
+
+robust::StatusOr<EventTrace> LoadEventTraceFileOr(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return robust::Status::FailedPrecondition("cannot open event trace " + path);
+  }
+  return LoadEventTraceOr(in);
 }
 
 std::optional<EventTrace> LoadEventTraceFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
+  auto loaded = LoadEventTraceFileOr(path);
+  if (!loaded.ok()) {
     return std::nullopt;
   }
-  return LoadEventTrace(in);
+  return std::move(*loaded);
 }
 
 bool EventRecorder::Dispatch(const toolkit::InputEvent& event) {

@@ -7,12 +7,20 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "io/atomic_file.h"
 
 namespace grandma::io {
 
 namespace {
 
+constexpr const char* kGestureSetFamily = "grandma-gestureset";
+constexpr const char* kClassifierFamily = "grandma-classifier";
+constexpr const char* kEagerFamily = "grandma-eager";
+constexpr const char* kFormatVersion = "v1";
 constexpr const char* kGestureSetHeader = "grandma-gestureset v1";
 constexpr const char* kClassifierHeader = "grandma-classifier v1";
 constexpr const char* kEagerHeader = "grandma-eager v1";
@@ -87,13 +95,26 @@ bool WriteName(std::ostream& out, const std::string& name) {
   return true;
 }
 
-bool CheckHeader(std::istream& in, const char* expected) {
+// Distinguishes the ways a header can be wrong, so the Or-loaders can report
+// a precise reason instead of a bare parse failure.
+enum class HeaderCheck { kOk, kTruncated, kWrongFamily, kWrongVersion };
+
+HeaderCheck ReadHeader(std::istream& in, const char* family) {
   std::string word1;
-  std::string word2;
-  if (!(in >> word1 >> word2)) {
-    return false;
+  if (!(in >> word1)) {
+    return HeaderCheck::kTruncated;
   }
-  return word1 + " " + word2 == expected;
+  if (word1 != family) {
+    return HeaderCheck::kWrongFamily;
+  }
+  std::string word2;
+  if (!(in >> word2)) {
+    return HeaderCheck::kTruncated;
+  }
+  if (word2 != kFormatVersion) {
+    return HeaderCheck::kWrongVersion;
+  }
+  return HeaderCheck::kOk;
 }
 
 void WriteLinear(std::ostream& out, const classify::LinearClassifier& linear) {
@@ -226,34 +247,7 @@ std::optional<classify::GestureClassifier> ReadGestureClassifierBody(std::istrea
                                                      std::move(*linear));
 }
 
-}  // namespace
-
-// --- Gesture sets ---
-
-bool SaveGestureSet(const classify::GestureTrainingSet& set, std::ostream& out) {
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << kGestureSetHeader << '\n';
-  out << "classes " << set.num_classes() << '\n';
-  for (classify::ClassId c = 0; c < set.num_classes(); ++c) {
-    out << "class ";
-    if (!WriteName(out, set.ClassName(c))) {
-      return false;
-    }
-    out << ' ' << set.ExamplesOf(c).size() << '\n';
-    for (const geom::Gesture& g : set.ExamplesOf(c)) {
-      out << "example " << g.size() << '\n';
-      for (const geom::TimedPoint& p : g) {
-        out << p.x << ' ' << p.y << ' ' << p.t << '\n';
-      }
-    }
-  }
-  return static_cast<bool>(out);
-}
-
-std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in) {
-  if (!CheckHeader(in, kGestureSetHeader)) {
-    return std::nullopt;
-  }
+std::optional<classify::GestureTrainingSet> ReadGestureSetBody(std::istream& in) {
   std::string tag;
   std::size_t num_classes = 0;
   if (!(in >> tag >> num_classes) || tag != "classes" || num_classes > kMaxClasses) {
@@ -288,66 +282,7 @@ std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in) {
   return set;
 }
 
-// --- Classifiers ---
-
-bool SaveClassifier(const classify::GestureClassifier& classifier, std::ostream& out) {
-  if (!classifier.trained()) {
-    return false;
-  }
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << kClassifierHeader << '\n';
-  return WriteGestureClassifierBody(out, classifier) && static_cast<bool>(out);
-}
-
-std::optional<classify::GestureClassifier> LoadClassifier(std::istream& in) {
-  if (!CheckHeader(in, kClassifierHeader)) {
-    return std::nullopt;
-  }
-  return ReadGestureClassifierBody(in);
-}
-
-// --- Eager recognizers ---
-
-bool SaveEagerRecognizer(const eager::EagerRecognizer& recognizer, std::ostream& out) {
-  if (!recognizer.trained()) {
-    return false;
-  }
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << kEagerHeader << '\n';
-  out << "min_prefix " << recognizer.min_prefix_points() << '\n';
-  if (!WriteGestureClassifierBody(out, recognizer.full())) {
-    return false;
-  }
-  const eager::Auc& auc = recognizer.auc();
-  out << "auc_mode ";
-  switch (auc.mode()) {
-    case eager::Auc::Mode::kNormal:
-      out << "normal\n";
-      break;
-    case eager::Auc::Mode::kAlwaysAmbiguous:
-      out << "always_ambiguous\n";
-      break;
-    case eager::Auc::Mode::kAlwaysUnambiguous:
-      out << "always_unambiguous\n";
-      break;
-    case eager::Auc::Mode::kUntrained:
-      return false;
-  }
-  if (auc.mode() == eager::Auc::Mode::kNormal) {
-    out << "sets " << auc.num_sets() << '\n';
-    for (classify::ClassId k = 0; k < auc.num_sets(); ++k) {
-      const eager::Auc::SetInfo& info = auc.ClassInfo(k);
-      out << (info.complete ? "C" : "I") << ' ' << info.full_class << '\n';
-    }
-    WriteLinear(out, auc.linear());
-  }
-  return static_cast<bool>(out);
-}
-
-std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
-  if (!CheckHeader(in, kEagerHeader)) {
-    return std::nullopt;
-  }
+std::optional<eager::EagerRecognizer> ReadEagerBody(std::istream& in) {
   std::string tag;
   std::size_t min_prefix = 0;
   if (!(in >> tag >> min_prefix) || tag != "min_prefix" ||
@@ -393,41 +328,198 @@ std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
   return eager::EagerRecognizer::FromParameters(std::move(*full), std::move(auc), min_prefix);
 }
 
+// Header check + body parse, mapping each failure to a precise Status.
+template <typename T, typename BodyFn>
+robust::StatusOr<T> LoadOr(std::istream& in, const char* family, const char* what,
+                           BodyFn read_body) {
+  switch (ReadHeader(in, family)) {
+    case HeaderCheck::kTruncated:
+      return robust::Status::Truncated(std::string(what) + ": stream ends inside the header");
+    case HeaderCheck::kWrongFamily:
+      return robust::Status::CorruptSnapshot(std::string(what) + ": not a " + family +
+                                             " stream");
+    case HeaderCheck::kWrongVersion:
+      return robust::Status::VersionMismatch(std::string(what) +
+                                             ": unknown format version (this binary speaks " +
+                                             kFormatVersion + ")");
+    case HeaderCheck::kOk:
+      break;
+  }
+  auto value = read_body(in);
+  if (!value.has_value()) {
+    return in.eof()
+               ? robust::Status::Truncated(std::string(what) + ": stream ends mid-parse")
+               : robust::Status::CorruptSnapshot(std::string(what) + ": malformed contents");
+  }
+  return std::move(*value);
+}
+
+}  // namespace
+
+// --- Gesture sets ---
+
+bool SaveGestureSet(const classify::GestureTrainingSet& set, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kGestureSetHeader << '\n';
+  out << "classes " << set.num_classes() << '\n';
+  for (classify::ClassId c = 0; c < set.num_classes(); ++c) {
+    out << "class ";
+    if (!WriteName(out, set.ClassName(c))) {
+      return false;
+    }
+    out << ' ' << set.ExamplesOf(c).size() << '\n';
+    for (const geom::Gesture& g : set.ExamplesOf(c)) {
+      out << "example " << g.size() << '\n';
+      for (const geom::TimedPoint& p : g) {
+        out << p.x << ' ' << p.y << ' ' << p.t << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+robust::StatusOr<classify::GestureTrainingSet> LoadGestureSetOr(std::istream& in) {
+  return LoadOr<classify::GestureTrainingSet>(in, kGestureSetFamily, "gesture set",
+                                              ReadGestureSetBody);
+}
+
+std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in) {
+  auto loaded = LoadGestureSetOr(in);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*loaded);
+}
+
+// --- Classifiers ---
+
+bool SaveClassifier(const classify::GestureClassifier& classifier, std::ostream& out) {
+  if (!classifier.trained()) {
+    return false;
+  }
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kClassifierHeader << '\n';
+  return WriteGestureClassifierBody(out, classifier) && static_cast<bool>(out);
+}
+
+robust::StatusOr<classify::GestureClassifier> LoadClassifierOr(std::istream& in) {
+  return LoadOr<classify::GestureClassifier>(in, kClassifierFamily, "classifier",
+                                             ReadGestureClassifierBody);
+}
+
+std::optional<classify::GestureClassifier> LoadClassifier(std::istream& in) {
+  auto loaded = LoadClassifierOr(in);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*loaded);
+}
+
+// --- Eager recognizers ---
+
+bool SaveEagerRecognizer(const eager::EagerRecognizer& recognizer, std::ostream& out) {
+  if (!recognizer.trained()) {
+    return false;
+  }
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kEagerHeader << '\n';
+  out << "min_prefix " << recognizer.min_prefix_points() << '\n';
+  if (!WriteGestureClassifierBody(out, recognizer.full())) {
+    return false;
+  }
+  const eager::Auc& auc = recognizer.auc();
+  out << "auc_mode ";
+  switch (auc.mode()) {
+    case eager::Auc::Mode::kNormal:
+      out << "normal\n";
+      break;
+    case eager::Auc::Mode::kAlwaysAmbiguous:
+      out << "always_ambiguous\n";
+      break;
+    case eager::Auc::Mode::kAlwaysUnambiguous:
+      out << "always_unambiguous\n";
+      break;
+    case eager::Auc::Mode::kUntrained:
+      return false;
+  }
+  if (auc.mode() == eager::Auc::Mode::kNormal) {
+    out << "sets " << auc.num_sets() << '\n';
+    for (classify::ClassId k = 0; k < auc.num_sets(); ++k) {
+      const eager::Auc::SetInfo& info = auc.ClassInfo(k);
+      out << (info.complete ? "C" : "I") << ' ' << info.full_class << '\n';
+    }
+    WriteLinear(out, auc.linear());
+  }
+  return static_cast<bool>(out);
+}
+
+robust::StatusOr<eager::EagerRecognizer> LoadEagerRecognizerOr(std::istream& in) {
+  return LoadOr<eager::EagerRecognizer>(in, kEagerFamily, "eager recognizer", ReadEagerBody);
+}
+
+std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in) {
+  auto loaded = LoadEagerRecognizerOr(in);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*loaded);
+}
+
 // --- File wrappers ---
 
 namespace {
+// All savers go through the atomic temp+rename path: a crash or full disk
+// mid-save never leaves a torn file at `path`.
 template <typename SaveFn, typename T>
 bool SaveFile(SaveFn fn, const T& value, const std::string& path) {
-  std::ofstream out(path);
-  return out && fn(value, out);
+  return AtomicWriteFile(path, [&](std::ostream& out) { return fn(value, out); }).ok();
 }
 template <typename LoadFn>
-auto LoadFile(LoadFn fn, const std::string& path) -> decltype(fn(std::declval<std::istream&>())) {
+auto LoadFileOr(LoadFn fn, const std::string& path)
+    -> decltype(fn(std::declval<std::istream&>())) {
   std::ifstream in(path);
   if (!in) {
-    return std::nullopt;
+    return robust::Status::FailedPrecondition("cannot open " + path);
   }
   return fn(in);
+}
+template <typename LoadFn>
+auto ShimFile(LoadFn fn, const std::string& path)
+    -> std::optional<std::decay_t<decltype(fn(path).value())>> {
+  auto loaded = fn(path);
+  if (!loaded.ok()) {
+    return std::nullopt;
+  }
+  return std::move(*loaded);
 }
 }  // namespace
 
 bool SaveGestureSetFile(const classify::GestureTrainingSet& set, const std::string& path) {
   return SaveFile(SaveGestureSet, set, path);
 }
+robust::StatusOr<classify::GestureTrainingSet> LoadGestureSetFileOr(const std::string& path) {
+  return LoadFileOr(LoadGestureSetOr, path);
+}
 std::optional<classify::GestureTrainingSet> LoadGestureSetFile(const std::string& path) {
-  return LoadFile(LoadGestureSet, path);
+  return ShimFile(LoadGestureSetFileOr, path);
 }
 bool SaveClassifierFile(const classify::GestureClassifier& classifier, const std::string& path) {
   return SaveFile(SaveClassifier, classifier, path);
 }
+robust::StatusOr<classify::GestureClassifier> LoadClassifierFileOr(const std::string& path) {
+  return LoadFileOr(LoadClassifierOr, path);
+}
 std::optional<classify::GestureClassifier> LoadClassifierFile(const std::string& path) {
-  return LoadFile(LoadClassifier, path);
+  return ShimFile(LoadClassifierFileOr, path);
 }
 bool SaveEagerRecognizerFile(const eager::EagerRecognizer& recognizer, const std::string& path) {
   return SaveFile(SaveEagerRecognizer, recognizer, path);
 }
+robust::StatusOr<eager::EagerRecognizer> LoadEagerRecognizerFileOr(const std::string& path) {
+  return LoadFileOr(LoadEagerRecognizerOr, path);
+}
 std::optional<eager::EagerRecognizer> LoadEagerRecognizerFile(const std::string& path) {
-  return LoadFile(LoadEagerRecognizer, path);
+  return ShimFile(LoadEagerRecognizerFileOr, path);
 }
 
 }  // namespace grandma::io

@@ -4,6 +4,15 @@
 //
 // Formats are line-oriented, versioned, and locale-independent (numbers are
 // written with max round-trip precision).
+//
+// The ...Or loaders are the primary API: they return robust::StatusOr with a
+// precise failure reason — kTruncated (stream ended mid-parse),
+// kVersionMismatch (right file family, unknown format version),
+// kCorruptSnapshot (wrong family or malformed contents),
+// kFailedPrecondition (file loaders only: the file cannot be opened). The
+// std::optional flavors are thin shims kept for existing callers; they drop
+// the reason. All file savers write atomically (io/atomic_file.h): temp
+// sibling + rename, so a crash mid-save never tears the destination.
 #ifndef GRANDMA_SRC_IO_SERIALIZE_H_
 #define GRANDMA_SRC_IO_SERIALIZE_H_
 
@@ -14,6 +23,7 @@
 #include "classify/gesture_classifier.h"
 #include "classify/training_set.h"
 #include "eager/eager_recognizer.h"
+#include "robust/status.h"
 
 namespace grandma::io {
 
@@ -23,7 +33,10 @@ namespace grandma::io {
 bool SaveGestureSet(const classify::GestureTrainingSet& set, std::ostream& out);
 bool SaveGestureSetFile(const classify::GestureTrainingSet& set, const std::string& path);
 
-// Parses a gesture set; std::nullopt on malformed input.
+robust::StatusOr<classify::GestureTrainingSet> LoadGestureSetOr(std::istream& in);
+robust::StatusOr<classify::GestureTrainingSet> LoadGestureSetFileOr(const std::string& path);
+
+// Shims over the Or flavors; std::nullopt on any failure.
 std::optional<classify::GestureTrainingSet> LoadGestureSet(std::istream& in);
 std::optional<classify::GestureTrainingSet> LoadGestureSetFile(const std::string& path);
 
@@ -32,6 +45,9 @@ std::optional<classify::GestureTrainingSet> LoadGestureSetFile(const std::string
 bool SaveClassifier(const classify::GestureClassifier& classifier, std::ostream& out);
 bool SaveClassifierFile(const classify::GestureClassifier& classifier, const std::string& path);
 
+robust::StatusOr<classify::GestureClassifier> LoadClassifierOr(std::istream& in);
+robust::StatusOr<classify::GestureClassifier> LoadClassifierFileOr(const std::string& path);
+
 std::optional<classify::GestureClassifier> LoadClassifier(std::istream& in);
 std::optional<classify::GestureClassifier> LoadClassifierFile(const std::string& path);
 
@@ -39,6 +55,9 @@ std::optional<classify::GestureClassifier> LoadClassifierFile(const std::string&
 
 bool SaveEagerRecognizer(const eager::EagerRecognizer& recognizer, std::ostream& out);
 bool SaveEagerRecognizerFile(const eager::EagerRecognizer& recognizer, const std::string& path);
+
+robust::StatusOr<eager::EagerRecognizer> LoadEagerRecognizerOr(std::istream& in);
+robust::StatusOr<eager::EagerRecognizer> LoadEagerRecognizerFileOr(const std::string& path);
 
 std::optional<eager::EagerRecognizer> LoadEagerRecognizer(std::istream& in);
 std::optional<eager::EagerRecognizer> LoadEagerRecognizerFile(const std::string& path);

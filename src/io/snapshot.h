@@ -1,0 +1,81 @@
+// Versioned, checksummed model snapshots — the crash-safe on-disk form of a
+// trained model. A snapshot is a small header followed by the payload (the
+// plain-text serialization from io/serialize.h):
+//
+//   grandma-snapshot v1 <kind>\n
+//   bytes <N> crc32 <8-hex>\n
+//   <exactly N payload bytes>
+//
+// The header carries a magic, a format version, the payload kind
+// (classifier | eager | bundle), the payload length, and a CRC32 (IEEE
+// 802.3) over the payload bytes. Loaders verify all of it and return
+// robust::StatusOr with a precise reason on failure:
+//
+//   kTruncated        — the stream ended before the declared content did
+//   kVersionMismatch  — intact header, but a format version we do not speak
+//   kCorruptSnapshot  — bad magic, wrong kind, CRC mismatch, or a payload
+//                       that fails to parse
+//
+// File savers go through io::AtomicWriteFile (temp + rename), so a crash at
+// any byte leaves the previous snapshot intact; bench/chaos_recovery proves
+// this at every byte boundary.
+#ifndef GRANDMA_SRC_IO_SNAPSHOT_H_
+#define GRANDMA_SRC_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "classify/gesture_classifier.h"
+#include "eager/eager_recognizer.h"
+#include "robust/status.h"
+
+namespace grandma::io {
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) of `bytes`.
+std::uint32_t Crc32(std::string_view bytes);
+
+// --- Trained full classifiers ---
+
+// Returns false when `classifier` is untrained or the stream failed.
+bool SaveClassifierSnapshot(const classify::GestureClassifier& classifier, std::ostream& out);
+robust::StatusOr<classify::GestureClassifier> LoadClassifierSnapshot(std::istream& in);
+
+robust::Status SaveClassifierSnapshotFile(const classify::GestureClassifier& classifier,
+                                          const std::string& path);
+robust::StatusOr<classify::GestureClassifier> LoadClassifierSnapshotFile(
+    const std::string& path);
+
+// --- Trained eager recognizers ---
+
+bool SaveEagerSnapshot(const eager::EagerRecognizer& recognizer, std::ostream& out);
+robust::StatusOr<eager::EagerRecognizer> LoadEagerSnapshot(std::istream& in);
+
+robust::Status SaveEagerSnapshotFile(const eager::EagerRecognizer& recognizer,
+                                     const std::string& path);
+robust::StatusOr<eager::EagerRecognizer> LoadEagerSnapshotFile(const std::string& path);
+
+// --- Combined bundle snapshots ---
+// One file carrying everything a recognition server hot-loads: the full
+// classifier section and the eager recognizer section, checked together.
+// Loading cross-validates the two (same class count) so a spliced file from
+// two different trainings is rejected as corrupt.
+
+struct BundleSnapshot {
+  classify::GestureClassifier classifier;
+  eager::EagerRecognizer recognizer;
+};
+
+bool SaveBundleSnapshot(const eager::EagerRecognizer& recognizer, std::ostream& out);
+robust::StatusOr<BundleSnapshot> LoadBundleSnapshot(std::istream& in);
+
+robust::Status SaveBundleSnapshotFile(const eager::EagerRecognizer& recognizer,
+                                      const std::string& path);
+robust::StatusOr<BundleSnapshot> LoadBundleSnapshotFile(const std::string& path);
+
+}  // namespace grandma::io
+
+#endif  // GRANDMA_SRC_IO_SNAPSHOT_H_

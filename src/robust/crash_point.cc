@@ -1,0 +1,90 @@
+#include "robust/crash_point.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace grandma::robust {
+
+namespace {
+
+std::atomic<bool> g_byte_armed{false};
+std::atomic<std::uint64_t> g_byte_budget{0};
+std::atomic<std::uint64_t> g_bytes_written{0};
+std::atomic<std::uint64_t> g_crashes_fired{0};
+
+std::atomic<bool> g_site_armed{false};
+std::mutex g_site_mutex;
+std::string g_site;  // guarded by g_site_mutex
+
+}  // namespace
+
+void CrashPoint::ArmAfterBytes(std::uint64_t bytes) {
+  g_bytes_written.store(0, std::memory_order_relaxed);
+  g_byte_budget.store(bytes, std::memory_order_relaxed);
+  g_byte_armed.store(true, std::memory_order_release);
+}
+
+void CrashPoint::ArmAtSite(std::string_view site) {
+  {
+    std::lock_guard<std::mutex> lock(g_site_mutex);
+    g_site.assign(site);
+  }
+  g_bytes_written.store(0, std::memory_order_relaxed);
+  g_site_armed.store(true, std::memory_order_release);
+}
+
+void CrashPoint::Disarm() {
+  g_byte_armed.store(false, std::memory_order_release);
+  g_site_armed.store(false, std::memory_order_release);
+  g_bytes_written.store(0, std::memory_order_relaxed);
+}
+
+bool CrashPoint::armed() {
+  return g_byte_armed.load(std::memory_order_acquire) ||
+         g_site_armed.load(std::memory_order_acquire);
+}
+
+std::uint64_t CrashPoint::bytes_written() {
+  return g_bytes_written.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CrashPoint::crashes_fired() {
+  return g_crashes_fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CrashPoint::Allow(std::uint64_t n) {
+  if (!g_byte_armed.load(std::memory_order_acquire)) {
+    g_bytes_written.fetch_add(n, std::memory_order_relaxed);
+    return n;
+  }
+  const std::uint64_t budget = g_byte_budget.load(std::memory_order_relaxed);
+  const std::uint64_t written = g_bytes_written.load(std::memory_order_relaxed);
+  const std::uint64_t remaining = budget > written ? budget - written : 0;
+  const std::uint64_t allowed = n < remaining ? n : remaining;
+  g_bytes_written.fetch_add(allowed, std::memory_order_relaxed);
+  return allowed;
+}
+
+void CrashPoint::Die(std::string what) {
+  g_crashes_fired.fetch_add(1, std::memory_order_relaxed);
+  throw CrashPointTriggered(what);
+}
+
+void CrashPoint::OnSite(std::string_view site) {
+  if (!g_site_armed.load(std::memory_order_acquire)) {
+    return;
+  }
+  bool match = false;
+  {
+    std::lock_guard<std::mutex> lock(g_site_mutex);
+    match = g_site == site;
+  }
+  if (match) {
+    // One-shot: the next pass through the same site must survive, so the
+    // harness's recovery attempt is not re-killed.
+    g_site_armed.store(false, std::memory_order_release);
+    Die("crash point fired at site " + std::string(site));
+  }
+}
+
+}  // namespace grandma::robust

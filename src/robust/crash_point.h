@@ -1,0 +1,64 @@
+// Deterministic crash injection for the crash-safety harness: a process
+// "dies" at an exact byte offset of a file write, or at a named operation
+// site (e.g. just before the atomic rename). Dying is simulated by throwing
+// CrashPointTriggered out of the instrumented operation — nothing after the
+// throw runs, so whatever was on disk at that instant is exactly what a real
+// kill -9 would have left. The chaos harness (bench/chaos_recovery) arms a
+// point, attempts a snapshot write, catches the "crash", and then proves the
+// loader still recovers the last good model.
+//
+// Thread-safety: the armed state is plain atomics; arming/disarming while
+// other threads are mid-write is not supported (the harness arms from the
+// same thread that writes). Disarmed cost is one relaxed load per check.
+#ifndef GRANDMA_SRC_ROBUST_CRASH_POINT_H_
+#define GRANDMA_SRC_ROBUST_CRASH_POINT_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace grandma::robust {
+
+// Thrown by an instrumented operation when the armed crash fires. Callers
+// simulating a crash must let it unwind to the harness: cleanup code that
+// would not survive a real crash (temp-file removal, renames) must not run.
+class CrashPointTriggered : public std::runtime_error {
+ public:
+  explicit CrashPointTriggered(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CrashPoint {
+ public:
+  // Arms the byte counter: the next instrumented write stream dies once
+  // `bytes` bytes have been written (0 = die before the first byte).
+  static void ArmAfterBytes(std::uint64_t bytes);
+
+  // Arms a named operation site (e.g. "atomic_write.before_rename"): the
+  // next OnSite() with a matching name dies.
+  static void ArmAtSite(std::string_view site);
+
+  static void Disarm();
+  static bool armed();
+
+  // Bytes written through instrumented streams since the last Arm/Disarm.
+  static std::uint64_t bytes_written();
+  // Total crashes fired since process start (for harness accounting).
+  static std::uint64_t crashes_fired();
+
+  // --- called by instrumented code ---
+  // The writer is about to emit `n` bytes; returns how many of them it may
+  // put on disk before the armed crash fires (always `n` when no byte budget
+  // is armed). The returned count is accounted immediately. The caller must
+  // write exactly that prefix, flush it, and then call Die() when the return
+  // value was < n — so the bytes that "reached the disk" are byte-exact.
+  static std::uint64_t Allow(std::uint64_t n);
+  // Records a fired crash and throws CrashPointTriggered.
+  [[noreturn]] static void Die(std::string what);
+  // Throws CrashPointTriggered when `site` is armed.
+  static void OnSite(std::string_view site);
+};
+
+}  // namespace grandma::robust
+
+#endif  // GRANDMA_SRC_ROBUST_CRASH_POINT_H_

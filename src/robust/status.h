@@ -34,6 +34,15 @@ enum class StatusCode {
   // (bounded serve queues under load). The input was fine; retrying later can
   // succeed.
   kOverloaded,
+  // A persisted snapshot failed its integrity check (bad magic, payload CRC
+  // mismatch, wrong section kind). The bytes on disk are not a usable model.
+  kCorruptSnapshot,
+  // A snapshot carries a format version this binary does not speak. The file
+  // may be perfectly intact — just written by a different era of the code.
+  kVersionMismatch,
+  // A snapshot (or other persisted stream) ended before its declared
+  // contents did — the classic torn-write / partial-download shape.
+  kTruncated,
   // A bug on our side (should not happen on any input).
   kInternal,
 };
@@ -54,6 +63,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "DEGRADED";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kCorruptSnapshot:
+      return "CORRUPT_SNAPSHOT";
+    case StatusCode::kVersionMismatch:
+      return "VERSION_MISMATCH";
+    case StatusCode::kTruncated:
+      return "TRUNCATED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -86,6 +101,15 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status CorruptSnapshot(std::string msg) {
+    return Status(StatusCode::kCorruptSnapshot, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -83,6 +83,11 @@ struct RecognitionResult {
   bool eager_fired = false;
   // Points seen at the moment of the eager fire; 0 when it never fired.
   std::size_t fired_at = 0;
+  // Version of the RecognizerBundle that produced this result (0 for
+  // sessions bound directly to a bare recognizer). Because sessions pin
+  // their bundle at stroke start, every result of one stroke carries the
+  // same version even if the server hot-swapped models mid-stroke.
+  std::uint64_t model_version = 0;
 };
 
 }  // namespace grandma::serve

@@ -96,6 +96,21 @@ std::string ShardMetrics::ToJson() const {
   return out.str();
 }
 
+void ModelLifecycleMetrics::Merge(const ModelLifecycleMetrics& other) {
+  snapshot_loads_ok += other.snapshot_loads_ok;
+  snapshot_loads_failed += other.snapshot_loads_failed;
+  model_swaps += other.model_swaps;
+  rollbacks += other.rollbacks;
+}
+
+std::string ModelLifecycleMetrics::ToJson() const {
+  std::ostringstream out;
+  out << "{\"snapshot_loads_ok\": " << snapshot_loads_ok
+      << ", \"snapshot_loads_failed\": " << snapshot_loads_failed
+      << ", \"model_swaps\": " << model_swaps << ", \"rollbacks\": " << rollbacks << "}";
+  return out.str();
+}
+
 ShardMetrics ServerMetrics::Totals() const {
   ShardMetrics total;
   for (const ShardMetrics& s : shards) {
@@ -106,7 +121,8 @@ ShardMetrics ServerMetrics::Totals() const {
 
 std::string ServerMetrics::ToJson() const {
   std::ostringstream out;
-  out << "{\"totals\": " << Totals().ToJson() << ", \"shards\": [";
+  out << "{\"totals\": " << Totals().ToJson() << ", \"models\": " << models.ToJson()
+      << ", \"shards\": [";
   for (std::size_t i = 0; i < shards.size(); ++i) {
     out << (i == 0 ? "" : ", ") << shards[i].ToJson();
   }

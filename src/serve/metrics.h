@@ -69,9 +69,27 @@ struct ShardMetrics {
   std::string ToJson() const;
 };
 
+// Model-lifecycle accounting for a hot-swapping server (snapshot form,
+// recorded by ModelRegistry). Invariants the chaos harness asserts:
+// every LoadFromFile attempt lands in exactly one of snapshot_loads_ok /
+// snapshot_loads_failed; every ok load produces a swap (model_swaps >=
+// snapshot_loads_ok — direct Swap() calls add more); every failed load is a
+// rollback to the previous model (rollbacks == snapshot_loads_failed).
+struct ModelLifecycleMetrics {
+  std::uint64_t snapshot_loads_ok = 0;
+  std::uint64_t snapshot_loads_failed = 0;
+  std::uint64_t model_swaps = 0;
+  std::uint64_t rollbacks = 0;
+
+  void Merge(const ModelLifecycleMetrics& other);
+  std::string ToJson() const;
+};
+
 // Whole-server snapshot, one entry per shard.
 struct ServerMetrics {
   std::vector<ShardMetrics> shards;
+  // Lifecycle of the served model; zeros for a server without a registry.
+  ModelLifecycleMetrics models;
 
   // All shards merged (shard index -1 semantics: `shard` is left at 0,
   // queue_capacity summed, max depth maximized).

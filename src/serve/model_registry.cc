@@ -1,0 +1,69 @@
+#include "serve/model_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "io/snapshot.h"
+
+namespace grandma::serve {
+
+ModelRegistry::ModelRegistry(std::shared_ptr<const RecognizerBundle> initial,
+                             std::string source_path)
+    : current_(std::move(initial)), last_good_path_(std::move(source_path)) {
+  if (current_ == nullptr) {
+    throw std::invalid_argument("ModelRegistry: initial bundle must be non-null");
+  }
+}
+
+std::shared_ptr<const RecognizerBundle> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void ModelRegistry::Swap(std::shared_ptr<const RecognizerBundle> next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("ModelRegistry::Swap: bundle must be non-null");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+robust::Status ModelRegistry::LoadFromFile(const std::string& path) {
+  auto loaded = io::LoadBundleSnapshotFile(path);
+  if (!loaded.ok()) {
+    loads_failed_.fetch_add(1, std::memory_order_relaxed);
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    return loaded.status();
+  }
+  // The snapshot's eager section embeds the full classifier, so the bundle
+  // is rebuilt from the recognizer alone (the classifier section was the
+  // cross-check).
+  auto bundle = RecognizerBundle::FromRecognizer(std::move(loaded->recognizer));
+  loads_ok_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = bundle;
+    last_good_path_ = path;
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return robust::Status::Ok();
+}
+
+std::string ModelRegistry::last_good_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_good_path_;
+}
+
+ModelLifecycleMetrics ModelRegistry::Metrics() const {
+  ModelLifecycleMetrics out;
+  out.snapshot_loads_ok = loads_ok_.load(std::memory_order_relaxed);
+  out.snapshot_loads_failed = loads_failed_.load(std::memory_order_relaxed);
+  out.model_swaps = swaps_.load(std::memory_order_relaxed);
+  out.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace grandma::serve

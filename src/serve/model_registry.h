@@ -1,0 +1,73 @@
+// The hot-reload point of the serving stack: a ModelRegistry owns the
+// "current" RecognizerBundle and lets an operator swap in a new one — from a
+// checksummed bundle snapshot on disk (io/snapshot.h) or an already-built
+// bundle — while shard workers keep recognizing.
+//
+// The swap protocol is pin-at-stroke-start: workers fetch Current() only at
+// stroke boundaries and hand the shared_ptr to the session, which holds it
+// until the stroke completes. A swap therefore never mixes two models'
+// weights inside one gesture, and the old bundle is destroyed only when the
+// last in-flight stroke that pinned it finishes.
+//
+// Failure containment: a LoadFromFile that hits a corrupt / truncated /
+// version-skewed snapshot leaves the current model untouched (rollback to
+// last good), returns the precise robust::Status, and counts the failure —
+// the server keeps answering with the model it already trusts.
+#ifndef GRANDMA_SRC_SERVE_MODEL_REGISTRY_H_
+#define GRANDMA_SRC_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "robust/status.h"
+#include "serve/metrics.h"
+#include "serve/recognizer_bundle.h"
+
+namespace grandma::serve {
+
+// Thread-safety: all methods may be called concurrently from any thread.
+class ModelRegistry {
+ public:
+  // `initial` must be non-null (throws std::invalid_argument otherwise).
+  // `source_path`, when known, seeds last_good_path().
+  explicit ModelRegistry(std::shared_ptr<const RecognizerBundle> initial,
+                         std::string source_path = "");
+
+  // The model new strokes should pin. Never null.
+  std::shared_ptr<const RecognizerBundle> Current() const;
+
+  // Publishes `next` as the current model (counted as a swap). Throws
+  // std::invalid_argument on null.
+  void Swap(std::shared_ptr<const RecognizerBundle> next);
+
+  // Loads a bundle snapshot and publishes it on success; on any failure
+  // (unopenable, truncated, corrupt, version mismatch) the current model
+  // stays in place and the load is counted as a rollback. Returns the load's
+  // precise status.
+  robust::Status LoadFromFile(const std::string& path);
+
+  // Path of the most recent snapshot that loaded successfully ("" when the
+  // current model never came from disk).
+  std::string last_good_path() const;
+
+  std::uint64_t current_version() const { return Current()->version(); }
+
+  ModelLifecycleMetrics Metrics() const;
+
+ private:
+  mutable std::mutex mu_;           // guards current_ and last_good_path_
+  std::shared_ptr<const RecognizerBundle> current_;
+  std::string last_good_path_;
+
+  std::atomic<std::uint64_t> loads_ok_{0};
+  std::atomic<std::uint64_t> loads_failed_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_MODEL_REGISTRY_H_

@@ -1,9 +1,17 @@
 #include "serve/recognizer_bundle.h"
 
+#include <atomic>
 #include <stdexcept>
 #include <utility>
 
 namespace grandma::serve {
+
+namespace {
+std::atomic<std::uint64_t> g_next_version{1};
+}  // namespace
+
+RecognizerBundle::RecognizerBundle()
+    : version_(g_next_version.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::shared_ptr<const RecognizerBundle> RecognizerBundle::Train(
     const classify::GestureTrainingSet& training, const eager::EagerTrainOptions& options) {

@@ -7,6 +7,7 @@
 #ifndef GRANDMA_SRC_SERVE_RECOGNIZER_BUNDLE_H_
 #define GRANDMA_SRC_SERVE_RECOGNIZER_BUNDLE_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "classify/training_set.h"
@@ -38,11 +39,17 @@ class RecognizerBundle {
 
   std::size_t num_classes() const { return recognizer_.num_classes(); }
 
+  // Process-unique, monotonically increasing id assigned at construction
+  // (never 0). Lets results be traced back to the exact model that produced
+  // them across hot swaps (RecognitionResult::model_version).
+  std::uint64_t version() const { return version_; }
+
  private:
-  RecognizerBundle() = default;
+  RecognizerBundle();
 
   eager::EagerRecognizer recognizer_;
   eager::EagerTrainReport train_report_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace grandma::serve

@@ -21,7 +21,15 @@ std::uint64_t MixSessionId(std::uint64_t x) {
 
 RecognitionServer::RecognitionServer(std::shared_ptr<const RecognizerBundle> bundle,
                                      ServerOptions options, ResultSink on_result)
-    : bundle_(std::move(bundle)), options_(options), on_result_(std::move(on_result)) {
+    : RecognitionServer(bundle == nullptr
+                            ? nullptr
+                            : std::make_shared<ModelRegistry>(std::move(bundle)),
+                        options, std::move(on_result)) {}
+
+RecognitionServer::RecognitionServer(std::shared_ptr<ModelRegistry> registry,
+                                     ServerOptions options, ResultSink on_result)
+    : registry_(std::move(registry)), options_(options), on_result_(std::move(on_result)) {
+  bundle_ = registry_ == nullptr ? nullptr : registry_->Current();
   if (bundle_ == nullptr || !bundle_->recognizer().trained()) {
     throw std::invalid_argument("RecognitionServer: bundle must hold a trained recognizer");
   }
@@ -31,7 +39,7 @@ RecognitionServer::RecognitionServer(std::shared_ptr<const RecognizerBundle> bun
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity);
-    shard->sessions = std::make_unique<SessionManager>(bundle_->recognizer());
+    shard->sessions = std::make_unique<SessionManager>(bundle_);
     shards_.push_back(std::move(shard));
   }
   if (options_.start_workers) {
@@ -129,10 +137,14 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
 
       switch (event->type) {
         case EventType::kStrokeBegin:
-          session.BeginStroke(event->stroke, sink);
+          // Stroke boundary: pin whatever the registry currently publishes.
+          // The per-point path below stays registry-free (no mutex) while a
+          // stroke is open.
+          session.BeginStroke(event->stroke, sink, registry_->Current());
           break;
         case EventType::kPoints:
-          session.AddPoints(event->stroke, event->points, sink);
+          session.AddPoints(event->stroke, event->points, sink,
+                            session.in_stroke() ? nullptr : registry_->Current());
           shard.points_processed.fetch_add(event->points.size(), std::memory_order_relaxed);
           break;
         case EventType::kStrokeEnd:
@@ -156,6 +168,7 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
 
 ServerMetrics RecognitionServer::Metrics() const {
   ServerMetrics out;
+  out.models = registry_->Metrics();
   out.shards.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Shard& s = *shards_[i];

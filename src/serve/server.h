@@ -26,6 +26,7 @@
 #include "serve/bounded_queue.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
+#include "serve/model_registry.h"
 #include "serve/recognizer_bundle.h"
 #include "serve/session_manager.h"
 
@@ -56,7 +57,17 @@ struct ServerOptions {
 // are swallowed and counted (callback_errors).
 class RecognitionServer {
  public:
+  // Single-model server: wraps `bundle` in a private ModelRegistry (the
+  // model can still be hot-swapped through registry()).
   RecognitionServer(std::shared_ptr<const RecognizerBundle> bundle, ServerOptions options,
+                    ResultSink on_result);
+
+  // Hot-reload server: serves whatever `registry` currently publishes.
+  // Sessions pin the bundle at stroke start, so a swap (or a registry
+  // LoadFromFile) takes effect on the next stroke of each session and never
+  // mixes models mid-stroke. The registry may be shared with an operator
+  // thread that calls LoadFromFile concurrently.
+  RecognitionServer(std::shared_ptr<ModelRegistry> registry, ServerOptions options,
                     ResultSink on_result);
   ~RecognitionServer();
 
@@ -79,7 +90,11 @@ class RecognitionServer {
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t ShardOf(SessionId session) const;
+  // The bundle the server was constructed with (kept alive for the server's
+  // lifetime). Under hot reload the *current* model is registry()->Current().
   const RecognizerBundle& bundle() const { return *bundle_; }
+  // The registry serving this server; never null.
+  const std::shared_ptr<ModelRegistry>& registry() const { return registry_; }
 
   // Point-in-time snapshot; safe while the server is running.
   ServerMetrics Metrics() const;
@@ -106,6 +121,9 @@ class RecognitionServer {
 
   void WorkerLoop(Shard& shard);
 
+  std::shared_ptr<ModelRegistry> registry_;
+  // The construction-time bundle, retained so bundle() stays valid across
+  // swaps.
   std::shared_ptr<const RecognizerBundle> bundle_;
   ServerOptions options_;
   ResultSink on_result_;

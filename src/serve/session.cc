@@ -1,9 +1,18 @@
 #include "serve/session.h"
 
+#include <utility>
+
 namespace grandma::serve {
 
 Session::Session(SessionId id, const eager::EagerRecognizer& recognizer)
     : id_(id), recognizer_(&recognizer), stream_(recognizer) {}
+
+Session::Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle)
+    : id_(id),
+      pinned_(std::move(bundle)),
+      recognizer_(&pinned_->recognizer()),
+      stream_(pinned_->recognizer()),
+      model_version_(pinned_->version()) {}
 
 void Session::EmitResult(ResultKind kind, const ResultSink& sink) {
   RecognitionResult result;
@@ -15,15 +24,25 @@ void Session::EmitResult(ResultKind kind, const ResultSink& sink) {
   result.points_seen = stream_.points_seen();
   result.eager_fired = stream_.fired();
   result.fired_at = stream_.fired_at();
+  result.model_version = model_version_;
   if (sink) {
     sink(result);
   }
 }
 
-void Session::BeginStroke(StrokeId stroke, const ResultSink& sink) {
+void Session::BeginStroke(StrokeId stroke, const ResultSink& sink,
+                          std::shared_ptr<const RecognizerBundle> pin) {
   if (in_stroke_) {
+    // The open stroke is finalized by the model it started under — the new
+    // pin must not take effect until the boundary.
     ++stats_.implicit_ends;
     EndStroke(sink);
+  }
+  if (pin != nullptr && pin.get() != pinned_.get()) {
+    pinned_ = std::move(pin);
+    recognizer_ = &pinned_->recognizer();
+    model_version_ = pinned_->version();
+    stream_.Rebind(*recognizer_);
   }
   current_stroke_ = stroke;
   in_stroke_ = true;
@@ -32,10 +51,11 @@ void Session::BeginStroke(StrokeId stroke, const ResultSink& sink) {
 }
 
 void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> points,
-                        const ResultSink& sink) {
+                        const ResultSink& sink,
+                        std::shared_ptr<const RecognizerBundle> pin) {
   if (!in_stroke_) {
     ++stats_.implicit_begins;
-    BeginStroke(stroke, sink);
+    BeginStroke(stroke, sink, std::move(pin));
   }
   for (const geom::TimedPoint& p : points) {
     ++stats_.points_seen;

@@ -12,11 +12,13 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 
 #include "eager/eager_recognizer.h"
 #include "geom/point.h"
 #include "serve/event.h"
+#include "serve/recognizer_bundle.h"
 
 namespace grandma::serve {
 
@@ -40,23 +42,42 @@ struct SessionStats {
 };
 
 // Thread-safety: none — each instance belongs to a single shard worker.
+//
+// Model pinning: a session may hold a shared_ptr to the RecognizerBundle it
+// recognizes with. The pin can only change at a stroke boundary (the `pin`
+// argument of BeginStroke / the implicit begin in AddPoints), so a hot model
+// swap mid-stroke never mixes two models' weights inside one gesture — the
+// open stroke finishes under the model it started with.
 class Session {
  public:
+  // Binds to a bare recognizer the caller keeps alive (no pin; results carry
+  // model_version 0). Used by single-model embedders and the hot-path tests.
   Session(SessionId id, const eager::EagerRecognizer& recognizer);
+
+  // Binds to (and pins) a bundle; results carry its version.
+  Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle);
 
   SessionId id() const { return id_; }
   bool in_stroke() const { return in_stroke_; }
   const SessionStats& stats() const { return stats_; }
+  // Version of the currently pinned bundle; 0 when bound to a bare
+  // recognizer.
+  std::uint64_t model_version() const { return model_version_; }
 
   // Opens stroke `stroke`. An already-open stroke is finalized first (its
-  // kStrokeEnd result goes to `sink`) and counted as an implicit end.
-  void BeginStroke(StrokeId stroke, const ResultSink& sink);
+  // kStrokeEnd result goes to `sink`, produced by the OLD model) and counted
+  // as an implicit end. A non-null `pin` then rebinds the session to that
+  // bundle for the new stroke.
+  void BeginStroke(StrokeId stroke, const ResultSink& sink,
+                   std::shared_ptr<const RecognizerBundle> pin = nullptr);
 
   // Feeds points into the current stroke, emitting a kEagerFire result the
   // moment the AUC first judges it unambiguous. Points with no open stroke
-  // implicitly begin stroke `stroke`.
+  // implicitly begin stroke `stroke` (adopting `pin` if non-null); `pin` is
+  // ignored when a stroke is already open.
   void AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> points,
-                 const ResultSink& sink);
+                 const ResultSink& sink,
+                 std::shared_ptr<const RecognizerBundle> pin = nullptr);
 
   // Mouse-up: emits the kStrokeEnd classification (the two-phase path when
   // no eager fire happened) and closes the stroke.
@@ -66,8 +87,13 @@ class Session {
   void EmitResult(ResultKind kind, const ResultSink& sink);
 
   SessionId id_;
+  // Keeps the pinned model alive while any stroke may still reference it;
+  // null when the session was built over a bare recognizer. Declared before
+  // stream_ so the recognizer outlives the stream during construction.
+  std::shared_ptr<const RecognizerBundle> pinned_;
   const eager::EagerRecognizer* recognizer_;
   eager::EagerStream stream_;
+  std::uint64_t model_version_ = 0;
   StrokeId current_stroke_ = 0;
   bool in_stroke_ = false;
   SessionStats stats_;

@@ -7,7 +7,9 @@ namespace grandma::serve {
 Session& SessionManager::GetOrCreate(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
-    it = sessions_.emplace(id, Session(id, *recognizer_)).first;
+    it = sessions_
+             .emplace(id, bundle_ != nullptr ? Session(id, bundle_) : Session(id, *recognizer_))
+             .first;
     ++created_;
   }
   return it->second;

@@ -5,9 +5,12 @@
 #define GRANDMA_SRC_SERVE_SESSION_MANAGER_H_
 
 #include <cstddef>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "eager/eager_recognizer.h"
+#include "serve/recognizer_bundle.h"
 #include "serve/session.h"
 
 namespace grandma::serve {
@@ -16,8 +19,15 @@ namespace grandma::serve {
 // shared `recognizer` is only read (see the RecognizerBundle contract).
 class SessionManager {
  public:
+  // New sessions bind to this bare recognizer (no pin; model_version 0).
   explicit SessionManager(const eager::EagerRecognizer& recognizer)
       : recognizer_(&recognizer) {}
+
+  // New sessions pin this bundle at creation. Under a hot-swapping server
+  // the pin is refreshed per stroke anyway (Session::BeginStroke), so this
+  // only decides which model a session is born with.
+  explicit SessionManager(std::shared_ptr<const RecognizerBundle> bundle)
+      : bundle_(std::move(bundle)), recognizer_(&bundle_->recognizer()) {}
 
   // The session's state, created on first contact.
   Session& GetOrCreate(SessionId id);
@@ -33,6 +43,7 @@ class SessionManager {
   std::size_t created() const { return created_; }
 
  private:
+  std::shared_ptr<const RecognizerBundle> bundle_;  // null in bare mode
   const eager::EagerRecognizer* recognizer_;
   std::unordered_map<SessionId, Session> sessions_;
   std::size_t created_ = 0;

@@ -1,0 +1,58 @@
+// The deterministic crash-injection primitive behind the chaos harness.
+#include "robust/crash_point.h"
+
+#include <gtest/gtest.h>
+
+namespace grandma::robust {
+namespace {
+
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CrashPoint::Disarm(); }
+  void TearDown() override { CrashPoint::Disarm(); }
+};
+
+TEST_F(CrashPointTest, DisarmedAllowsEverything) {
+  EXPECT_FALSE(CrashPoint::armed());
+  EXPECT_EQ(CrashPoint::Allow(1000), 1000u);
+  EXPECT_NO_THROW(CrashPoint::OnSite("anything"));
+}
+
+TEST_F(CrashPointTest, ByteBudgetIsExact) {
+  CrashPoint::ArmAfterBytes(10);
+  EXPECT_TRUE(CrashPoint::armed());
+  EXPECT_EQ(CrashPoint::Allow(4), 4u);   // 4 of 10 spent
+  EXPECT_EQ(CrashPoint::Allow(4), 4u);   // 8 of 10
+  EXPECT_EQ(CrashPoint::Allow(4), 2u);   // only 2 left
+  EXPECT_EQ(CrashPoint::Allow(4), 0u);   // exhausted
+  EXPECT_EQ(CrashPoint::bytes_written(), 10u);
+}
+
+TEST_F(CrashPointTest, ZeroBudgetDiesBeforeFirstByte) {
+  CrashPoint::ArmAfterBytes(0);
+  EXPECT_EQ(CrashPoint::Allow(1), 0u);
+}
+
+TEST_F(CrashPointTest, DieCountsAndThrows) {
+  const auto before = CrashPoint::crashes_fired();
+  EXPECT_THROW(CrashPoint::Die("test crash"), CrashPointTriggered);
+  EXPECT_EQ(CrashPoint::crashes_fired(), before + 1);
+}
+
+TEST_F(CrashPointTest, SiteArmingMatchesExactName) {
+  CrashPoint::ArmAtSite("rename.before");
+  EXPECT_NO_THROW(CrashPoint::OnSite("rename.after"));
+  EXPECT_THROW(CrashPoint::OnSite("rename.before"), CrashPointTriggered);
+  // Firing disarms: the next pass through the same site survives.
+  EXPECT_NO_THROW(CrashPoint::OnSite("rename.before"));
+}
+
+TEST_F(CrashPointTest, DisarmClearsByteBudget) {
+  CrashPoint::ArmAfterBytes(5);
+  CrashPoint::Disarm();
+  EXPECT_FALSE(CrashPoint::armed());
+  EXPECT_EQ(CrashPoint::Allow(100), 100u);
+}
+
+}  // namespace
+}  // namespace grandma::robust

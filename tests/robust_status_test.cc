@@ -35,11 +35,27 @@ TEST(StatusTest, EveryCodeHasAName) {
   const std::vector<StatusCode> codes = {
       StatusCode::kOk,         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
       StatusCode::kOutOfRange, StatusCode::kDataLoss,        StatusCode::kDegraded,
-      StatusCode::kOverloaded, StatusCode::kInternal,
+      StatusCode::kOverloaded, StatusCode::kCorruptSnapshot, StatusCode::kVersionMismatch,
+      StatusCode::kTruncated,  StatusCode::kInternal,
   };
   for (StatusCode c : codes) {
     EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, SnapshotFailureCodesAreDistinctAndNamed) {
+  const Status corrupt = Status::CorruptSnapshot("crc mismatch");
+  const Status version = Status::VersionMismatch("v9");
+  const Status truncated = Status::Truncated("eof at byte 12");
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_FALSE(version.ok());
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_NE(corrupt.code(), version.code());
+  EXPECT_NE(version.code(), truncated.code());
+  EXPECT_NE(corrupt.code(), truncated.code());
+  EXPECT_STREQ(StatusCodeName(corrupt.code()), "CORRUPT_SNAPSHOT");
+  EXPECT_STREQ(StatusCodeName(version.code()), "VERSION_MISMATCH");
+  EXPECT_STREQ(StatusCodeName(truncated.code()), "TRUNCATED");
 }
 
 TEST(StatusTest, OverloadedIsARetryableRejection) {

@@ -135,7 +135,8 @@ TEST(SessionManagerTest, CreateFindErase) {
 }
 
 TEST(ServerTest, RejectsBadConstruction) {
-  EXPECT_THROW(RecognitionServer(nullptr, {}, {}), std::invalid_argument);
+  EXPECT_THROW(RecognitionServer(std::shared_ptr<const RecognizerBundle>(), {}, {}),
+               std::invalid_argument);
   ServerOptions zero_shards;
   zero_shards.num_shards = 0;
   EXPECT_THROW(RecognitionServer(UdBundle(), zero_shards, {}), std::invalid_argument);
