@@ -5,10 +5,15 @@
 #      gate (label `hotpath`, runs in the tier-1 build tree)
 #   2b. chaos: crash-kill sweep over snapshot writes, corruption corpus,
 #      and hot-swap-under-traffic recovery gates (label `chaos`)
+#   2c. obs: tracing-layer gates — span well-formedness, trace-replay
+#      determinism, golden chrome trace, overhead/alloc bench (label `obs`)
 #   3. asan / ubsan: full suite under AddressSanitizer and UBSan (includes
 #      the snapshot fuzz/corruption tests in io_tests)
-#   4. tsan: the threaded serve layer (label `serve`, including the
-#      hot-swap tests) under ThreadSanitizer
+#   4. tsan: the threaded serve and tracing layers (labels `serve` and
+#      `obs`, including the hot-swap tests) under ThreadSanitizer
+#   5. notrace: GRANDMA_TRACING=OFF build — proves the instrumented tree
+#      still compiles with tracing compiled out, and the obs tests (which
+#      then assert that zero spans are ever recorded) still pass
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,6 +39,11 @@ run ctest --preset default -L hotpath
 #     runs in the tier-1 build tree).
 run ctest --preset default -L chaos
 
+# 2c. Tracing-layer gate: property/replay/golden tests plus the overhead,
+#     zero-allocation, and replay-determinism bench (label `obs`, runs in
+#     the tier-1 build tree).
+run ctest --preset default -L obs
+
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do
   run cmake --preset "$san"
@@ -41,10 +51,18 @@ for san in asan ubsan; do
   run ctest --preset "$san"
 done
 
-# 4. Data-race gate on the concurrent serve layer.
+# 4. Data-race gate on the concurrent serve layer and the per-thread
+#    tracing buffers (single-writer rings + stage histograms).
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$JOBS"
 run ctest --preset tsan
+
+# 5. Compile-out gate: the whole tree must build with GRANDMA_TRACING=OFF
+#    (TRACE_SPAN expands to a no-op) and the obs tests must still pass —
+#    in that config they assert that no span is ever recorded.
+run cmake --preset notrace
+run cmake --build --preset notrace -j "$JOBS"
+run ctest --preset notrace
 
 echo
 echo "ci/check.sh: all gates passed"

@@ -6,6 +6,7 @@
 
 #include "linalg/solve.h"
 #include "linalg/stats.h"
+#include "obs/trace.h"
 
 namespace grandma::classify {
 
@@ -47,6 +48,7 @@ linalg::Matrix DiagonalFallbackInverse(const linalg::Matrix& sigma, double* floo
 }  // namespace
 
 double LinearClassifier::Train(const FeatureTrainingSet& data, robust::FaultStats* stats) {
+  TRACE_SPAN("classify.train");
   const std::size_t num_classes = data.num_classes();
   if (num_classes < 2) {
     throw std::invalid_argument("LinearClassifier::Train needs at least two classes");
@@ -178,6 +180,7 @@ ClassId LinearClassifier::BestClassView(linalg::VecView f, linalg::MutVecView sc
 
 Classification LinearClassifier::ClassifyView(linalg::VecView f, linalg::MutVecView scores,
                                               linalg::MutVecView diff) const {
+  TRACE_SPAN_FINE("classify.view");
   const ClassId best = BestClassView(f, scores);
   Classification result;
   result.class_id = best;

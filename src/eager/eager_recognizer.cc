@@ -4,6 +4,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace grandma::eager {
 
 namespace {
@@ -32,6 +34,7 @@ bool AucWellConditioned(const Auc& auc) {
 
 EagerTrainReport EagerRecognizer::Train(const classify::GestureTrainingSet& training,
                                         const EagerTrainOptions& options) {
+  TRACE_SPAN("eager.train");
   EagerTrainReport report;
   min_prefix_points_ = std::max<std::size_t>(options.labeler.min_prefix_points, 1);
 
@@ -78,6 +81,7 @@ bool EagerRecognizer::UnambiguousFeatures(const linalg::Vector& full_features) c
 }
 
 bool EagerRecognizer::Unambiguous(linalg::VecView full_features, Workspace& ws) const {
+  TRACE_SPAN_FINE("eager.unambiguous");
   ws.Prepare(num_classes(), auc_.num_sets());
   const features::FeatureMask& mask = full_.mask();
   const linalg::MutVecView masked = ws.MaskedView(mask.count());
@@ -87,6 +91,7 @@ bool EagerRecognizer::Unambiguous(linalg::VecView full_features, Workspace& ws) 
 
 classify::Classification EagerRecognizer::Classify(linalg::VecView full_features,
                                                    Workspace& ws) const {
+  TRACE_SPAN("eager.classify");
   ws.Prepare(num_classes(), auc_.num_sets());
   const std::size_t masked_dim = full_.mask().count();
   return full_.ClassifyFeaturesView(full_features, ws.MaskedView(masked_dim),
@@ -94,6 +99,9 @@ classify::Classification EagerRecognizer::Classify(linalg::VecView full_features
 }
 
 bool EagerStream::AddPoint(const geom::TimedPoint& p) {
+  // The one per-point coarse span on the hot path: everything the stream does
+  // for this point (extract, snapshot, ambiguity test) nests under it.
+  TRACE_SPAN("eager.point");
   extractor_.AddPoint(p);
   if (fired_ || extractor_.point_count() < recognizer_->min_prefix_points()) {
     return false;

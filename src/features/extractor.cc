@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace grandma::features {
 
 void FeatureExtractor::AddPoint(const geom::TimedPoint& p) {
@@ -82,6 +84,7 @@ linalg::Vector FeatureExtractor::Features() const {
 }
 
 void FeatureExtractor::FeaturesInto(linalg::MutVecView f) const {
+  TRACE_SPAN_FINE("features.snapshot");
   if (f.size() != kNumFeatures) {
     throw std::invalid_argument("FeatureExtractor::FeaturesInto expects a 13-entry view");
   }
@@ -130,6 +133,7 @@ void FeatureExtractor::FeaturesInto(linalg::MutVecView f) const {
 void FeatureExtractor::Reset() { *this = FeatureExtractor(); }
 
 linalg::Vector ExtractFeatures(const geom::Gesture& g) {
+  TRACE_SPAN("features.extract");
   FeatureExtractor fx;
   for (const geom::TimedPoint& p : g) {
     fx.AddPoint(p);
@@ -138,6 +142,7 @@ linalg::Vector ExtractFeatures(const geom::Gesture& g) {
 }
 
 std::vector<linalg::Vector> ExtractPrefixFeatures(const geom::Gesture& g) {
+  TRACE_SPAN("features.prefixes");
   std::vector<linalg::Vector> out;
   if (g.size() < FeatureExtractor::kMinPoints) {
     return out;

@@ -1,3 +1,5 @@
+// Input-event (data) traces — distinct from the execution-span tracing in
+// src/obs/; see the naming note in event_trace.h.
 #include "io/event_trace.h"
 
 #include <algorithm>

@@ -1,0 +1,89 @@
+#include "obs/export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace grandma::obs {
+
+namespace {
+
+std::uint64_t PercentileUpperBound(const std::array<std::uint64_t, kStageBuckets>& buckets,
+                                   std::uint64_t count, double p) {
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kStageBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > 0 && static_cast<double>(seen) >= target) {
+      return internal::BucketUpperBound(b);
+    }
+  }
+  return internal::BucketUpperBound(kStageBuckets - 1);
+}
+
+}  // namespace
+
+std::string StageSummary::ToJson() const {
+  std::ostringstream out;
+  out << "{\"name\": \"" << name << "\", \"count\": " << count << ", \"p50\": " << p50
+      << ", \"p95\": " << p95 << ", \"p99\": " << p99 << ", \"mean\": " << mean << "}";
+  return out.str();
+}
+
+std::vector<StageSummary> SnapshotStages() {
+  std::vector<StageSummary> out;
+  const std::size_t names = NumNames();
+  for (std::size_t id = 0; id < names && id < kMaxNames; ++id) {
+    const internal::StageHistogram& h = internal::g_stages[id];
+    // One coherent local copy per stage: count, percentiles, and mean all
+    // derive from the same point-in-time bucket snapshot.
+    std::array<std::uint64_t, kStageBuckets> buckets;
+    std::uint64_t count = 0;
+    double weighted = 0.0;
+    for (std::uint32_t b = 0; b < kStageBuckets; ++b) {
+      buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+      count += buckets[b];
+      weighted += static_cast<double>(buckets[b]) *
+                  static_cast<double>(internal::BucketUpperBound(b));
+    }
+    if (count == 0) {
+      continue;
+    }
+    StageSummary s;
+    s.name = NameOf(static_cast<NameId>(id));
+    s.count = count;
+    s.p50 = PercentileUpperBound(buckets, count, 0.50);
+    s.p95 = PercentileUpperBound(buckets, count, 0.95);
+    s.p99 = PercentileUpperBound(buckets, count, 0.99);
+    // Bucket-upper-bound mean: conservative like the percentiles (within the
+    // ~19% quarter-log2 bucket width of the true mean).
+    s.mean = weighted / static_cast<double>(count);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ExportChromeTrace(const std::vector<ThreadTrace>& threads, std::ostream& out) {
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  std::uint32_t tid = 0;
+  for (const ThreadTrace& t : threads) {
+    for (const Span& s : t.spans) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "  {\"name\": \"" << NameOf(s.name_id) << "\", \"cat\": \"grandma\", "
+          << "\"ph\": \"X\", \"pid\": 0, \"tid\": " << tid << ", \"ts\": " << s.t_start
+          << ", \"dur\": " << (s.t_end - s.t_start) << ", \"args\": {\"session\": " << s.session
+          << ", \"seq\": " << s.seq << ", \"depth\": " << s.depth << "}}";
+    }
+    ++tid;
+  }
+  out << "\n]}\n";
+}
+
+std::string ChromeTraceJson() {
+  std::ostringstream out;
+  ExportChromeTrace(CollectAll(), out);
+  return out.str();
+}
+
+}  // namespace grandma::obs

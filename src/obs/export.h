@@ -1,0 +1,50 @@
+// Trace exporters: the chrome://tracing JSON format (load the file in
+// chrome://tracing or https://ui.perfetto.dev) and flat per-stage latency
+// summaries (p50/p95/p99) that serve::ServerMetrics merges into its snapshot.
+#ifndef GRANDMA_SRC_OBS_EXPORT_H_
+#define GRANDMA_SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace grandma::obs {
+
+// One stage's duration distribution, snapshot form. Units are whatever the
+// clock produced: nanoseconds under ClockMode::kReal, virtual ticks under
+// kVirtual (the queue.wait stage is always real nanoseconds — see
+// RecordManualSpan). Percentiles are bucket upper bounds: conservative,
+// never under-reported.
+struct StageSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  double mean = 0.0;
+
+  std::string ToJson() const;
+};
+
+// Snapshot of every stage with at least one recorded span, in NameId order.
+// Process-wide (stages aggregate across all threads and servers); safe to
+// call while recording threads run (relaxed reads, point-in-time view).
+std::vector<StageSummary> SnapshotStages();
+
+// Serializes `threads` (from CollectAll or CaptureTrace) as a chrome-trace
+// JSON object. Thread ids are renumbered 0..N-1 in the order given, so the
+// bytes do not depend on which threads traced earlier in the process — under
+// the virtual clock the output is byte-stable across runs (the golden-trace
+// test pins this).
+void ExportChromeTrace(const std::vector<ThreadTrace>& threads, std::ostream& out);
+
+// CollectAll() + ExportChromeTrace into a string. Same quiescence contract
+// as CollectAll.
+std::string ChromeTraceJson();
+
+}  // namespace grandma::obs
+
+#endif  // GRANDMA_SRC_OBS_EXPORT_H_

@@ -1,0 +1,130 @@
+#include "obs/replay.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace grandma::obs {
+
+namespace {
+
+// One span flattened to the fields structural comparison cares about.
+struct SpanKey {
+  const char* name;
+  std::uint32_t depth;
+  std::uint64_t session;
+  std::uint64_t t_start;
+  std::uint64_t t_end;
+
+  friend bool operator==(const SpanKey&, const SpanKey&) = default;
+};
+
+bool KeyLess(const SpanKey& a, const SpanKey& b) {
+  const int c = std::strcmp(a.name, b.name);
+  if (c != 0) {
+    return c < 0;
+  }
+  if (a.depth != b.depth) {
+    return a.depth < b.depth;
+  }
+  if (a.session != b.session) {
+    return a.session < b.session;
+  }
+  if (a.t_start != b.t_start) {
+    return a.t_start < b.t_start;
+  }
+  return a.t_end < b.t_end;
+}
+
+using ThreadKey = std::vector<SpanKey>;
+
+std::vector<ThreadKey> Canonicalize(const std::vector<ThreadTrace>& threads,
+                                    bool with_timestamps) {
+  std::vector<ThreadKey> out;
+  out.reserve(threads.size());
+  for (const ThreadTrace& t : threads) {
+    ThreadKey key;
+    key.reserve(t.spans.size());
+    for (const Span& s : t.spans) {
+      key.push_back(SpanKey{NameOf(s.name_id), s.depth, s.session,
+                            with_timestamps ? s.t_start : 0,
+                            with_timestamps ? s.t_end : 0});
+    }
+    out.push_back(std::move(key));
+  }
+  // Canonical thread order: lexicographic by span content. Threads with
+  // identical content are interchangeable, so ties are harmless.
+  std::sort(out.begin(), out.end(), [](const ThreadKey& a, const ThreadKey& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(), KeyLess);
+  });
+  return out;
+}
+
+std::string DescribeSpan(const SpanKey& s) {
+  std::ostringstream out;
+  out << s.name << " depth=" << s.depth << " session=" << s.session << " t=[" << s.t_start
+      << "," << s.t_end << "]";
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<ThreadTrace> CaptureTrace(const std::function<void()>& workload, Detail detail,
+                                      ClockMode clock) {
+  const bool was_enabled = TracingEnabled();
+  const Detail prev_detail = CurrentDetail();
+  const ClockMode prev_clock = CurrentClockMode();
+
+  EnableTracing(false);
+  ResetAll();
+  SetDetail(detail);
+  SetClockMode(clock);
+  EnableTracing(true);
+
+  workload();
+
+  EnableTracing(false);
+  std::vector<ThreadTrace> out = CollectAll();
+
+  SetDetail(prev_detail);
+  SetClockMode(prev_clock);
+  EnableTracing(was_enabled);
+  return out;
+}
+
+bool StructurallyEqual(const std::vector<ThreadTrace>& a, const std::vector<ThreadTrace>& b,
+                       bool compare_timestamps, std::string* diff) {
+  const std::vector<ThreadKey> ca = Canonicalize(a, compare_timestamps);
+  const std::vector<ThreadKey> cb = Canonicalize(b, compare_timestamps);
+  if (ca.size() != cb.size()) {
+    if (diff != nullptr) {
+      std::ostringstream out;
+      out << "thread count differs: " << ca.size() << " vs " << cb.size();
+      *diff = out.str();
+    }
+    return false;
+  }
+  for (std::size_t t = 0; t < ca.size(); ++t) {
+    if (ca[t].size() != cb[t].size()) {
+      if (diff != nullptr) {
+        std::ostringstream out;
+        out << "thread " << t << " span count differs: " << ca[t].size() << " vs "
+            << cb[t].size();
+        *diff = out.str();
+      }
+      return false;
+    }
+    for (std::size_t i = 0; i < ca[t].size(); ++i) {
+      if (!(ca[t][i] == cb[t][i])) {
+        if (diff != nullptr) {
+          *diff = "thread " + std::to_string(t) + " span " + std::to_string(i) +
+                  " differs: " + DescribeSpan(ca[t][i]) + " vs " + DescribeSpan(cb[t][i]);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace grandma::obs

@@ -1,0 +1,40 @@
+// The trace-replay harness: runs a workload under a fresh deterministic
+// tracing configuration and compares the resulting span trees structurally.
+// Because the virtual clock makes per-thread timestamps a pure function of
+// the work performed, two runs of the same seeded workload must produce
+// IDENTICAL traces — any divergence (extra span, different nesting, shifted
+// tick) is a real nondeterminism bug somewhere in the pipeline. Tracing
+// thereby doubles as a correctness oracle (tests/obs_trace_replay_test.cc).
+#ifndef GRANDMA_SRC_OBS_REPLAY_H_
+#define GRANDMA_SRC_OBS_REPLAY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace grandma::obs {
+
+// Resets all trace state, runs `workload` with tracing enabled under the
+// given detail/clock, restores the previous tracing configuration, and
+// returns the collected per-thread spans. The workload must quiesce before
+// returning (join any threads it spawned — a serve server's Shutdown, for
+// example); buffers of those threads are still collected.
+std::vector<ThreadTrace> CaptureTrace(const std::function<void()>& workload,
+                                      Detail detail = Detail::kFine,
+                                      ClockMode clock = ClockMode::kVirtual);
+
+// Structural equality of two captures: same number of threads, and each
+// thread's span sequence matches in name, depth, session, and (when
+// `compare_timestamps`) virtual start/end ticks. Thread identity is
+// canonicalized by sorting each capture's threads on their span content, so
+// nondeterministic thread registration order does not produce false
+// mismatches. On mismatch, `diff` (when non-null) receives a one-line
+// description of the first difference.
+bool StructurallyEqual(const std::vector<ThreadTrace>& a, const std::vector<ThreadTrace>& b,
+                       bool compare_timestamps = true, std::string* diff = nullptr);
+
+}  // namespace grandma::obs
+
+#endif  // GRANDMA_SRC_OBS_REPLAY_H_

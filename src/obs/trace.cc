@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace grandma::obs {
+
+namespace {
+
+// Name interning table. Fixed capacity, stores the literal pointers only —
+// RegisterName never allocates. Guarded by its own mutex (cold path: each
+// TRACE_SPAN site runs it once, at static-local init).
+struct NameTable {
+  std::mutex mu;
+  std::array<const char*, kMaxNames> names{};
+  std::size_t count = 0;
+};
+
+NameTable& Names() {
+  static NameTable table;
+  return table;
+}
+
+// Buffer registry. Owns every TraceBuffer ever acquired; buffers of exited
+// threads are kept (their spans stay collectible) until ResetAll() zeroes
+// them, at which point new threads recycle them instead of allocating.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::uint32_t next_thread_index = 0;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry;  // never destroyed:
+  // worker threads may still release buffers during process teardown.
+  return *registry;
+}
+
+// Thread-exit hook: marks this thread's buffer as ownerless so ResetAll can
+// recycle it. The spans survive (collectors read them after join).
+struct ThreadSlot {
+  TraceBuffer* buffer = nullptr;
+  ~ThreadSlot() {
+    if (buffer != nullptr) {
+      buffer->owner_alive.store(false, std::memory_order_release);
+      internal::tls_buffer = nullptr;
+    }
+  }
+};
+
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+NameId RegisterName(const char* literal) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  for (std::size_t i = 0; i < table.count; ++i) {
+    if (table.names[i] == literal || std::strcmp(table.names[i], literal) == 0) {
+      return static_cast<NameId>(i);
+    }
+  }
+  if (table.count >= kMaxNames) {
+    throw std::length_error("obs::RegisterName: kMaxNames span names exceeded");
+  }
+  table.names[table.count] = literal;
+  return static_cast<NameId>(table.count++);
+}
+
+const char* NameOf(NameId id) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return id < table.count ? table.names[id] : "?";
+}
+
+std::size_t NumNames() {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  return table.count;
+}
+
+namespace internal {
+
+TraceBuffer& AcquireThreadBuffer() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  TraceBuffer* buffer = nullptr;
+  for (auto& b : registry.buffers) {
+    // Recyclable: owner exited AND contents already harvested (ResetAll).
+    if (!b->owner_alive.load(std::memory_order_acquire) &&
+        b->cursor.load(std::memory_order_acquire) == 0) {
+      buffer = b.get();
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    registry.buffers.push_back(std::make_unique<TraceBuffer>());
+    buffer = registry.buffers.back().get();
+  }
+  buffer->owner_alive.store(true, std::memory_order_relaxed);
+  buffer->thread_index = registry.next_thread_index++;
+  buffer->depth = 0;
+  buffer->current_session = 0;
+  buffer->virtual_tick = 0;
+  t_slot.buffer = buffer;
+  tls_buffer = buffer;
+  return *buffer;
+}
+
+}  // namespace internal
+
+void ResetAll() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& b : registry.buffers) {
+    b->depth = 0;
+    b->current_session = 0;
+    b->virtual_tick = 0;
+    b->cursor.store(0, std::memory_order_release);
+  }
+  for (std::size_t id = 0; id < kMaxNames; ++id) {
+    internal::StageHistogram& h = internal::g_stages[id];
+    for (auto& bucket : h.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<ThreadTrace> CollectAll() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<ThreadTrace> out;
+  for (const auto& b : registry.buffers) {
+    const std::uint64_t cursor = b->cursor.load(std::memory_order_acquire);
+    if (cursor == 0) {
+      continue;
+    }
+    ThreadTrace t;
+    t.thread_index = b->thread_index;
+    t.dropped = cursor > kSpanCapacity ? cursor - kSpanCapacity : 0;
+    const std::uint64_t first = cursor > kSpanCapacity ? cursor - kSpanCapacity : 0;
+    t.spans.reserve(static_cast<std::size_t>(cursor - first));
+    for (std::uint64_t seq = first; seq < cursor; ++seq) {
+      t.spans.push_back(b->slots[seq % kSpanCapacity]);
+    }
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(), [](const ThreadTrace& a, const ThreadTrace& b2) {
+    return a.thread_index < b2.thread_index;
+  });
+  return out;
+}
+
+}  // namespace grandma::obs

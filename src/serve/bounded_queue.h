@@ -3,6 +3,12 @@
 // (backpressure) or fail fast when full (shed) — the server picks per its
 // OverloadPolicy. Closing the queue wakes everyone; consumers drain whatever
 // is left before seeing end-of-stream, so shutdown never loses queued events.
+//
+// Observability: the queue itself stays trace-free (it is templated and its
+// waits span two threads, which a per-thread RAII span cannot represent).
+// Instead the server stamps ServeEvent::enqueue_time at Push and the worker
+// records the enqueue→dequeue wait as the "queue.wait" stage on its own
+// buffer right after Pop (see RecognitionServer::WorkerLoop).
 #ifndef GRANDMA_SRC_SERVE_BOUNDED_QUEUE_H_
 #define GRANDMA_SRC_SERVE_BOUNDED_QUEUE_H_
 

@@ -126,6 +126,10 @@ std::string ServerMetrics::ToJson() const {
   for (std::size_t i = 0; i < shards.size(); ++i) {
     out << (i == 0 ? "" : ", ") << shards[i].ToJson();
   }
+  out << "], \"stages\": [";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << stages[i].ToJson();
+  }
   out << "]}";
   return out.str();
 }

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+
 namespace grandma::serve {
 
 // Log-spaced latency buckets: bucket i covers [kMinMicros * kGrowth^i,
@@ -90,6 +92,10 @@ struct ServerMetrics {
   std::vector<ShardMetrics> shards;
   // Lifecycle of the served model; zeros for a server without a registry.
   ModelLifecycleMetrics models;
+  // Per-stage span latency summaries from the obs tracing layer (p50/p95/p99
+  // nanoseconds per TRACE_SPAN site). Process-wide, not per-server; empty
+  // when tracing is compiled out or was never enabled.
+  std::vector<obs::StageSummary> stages;
 
   // All shards merged (shard index -1 semantics: `shard` is left at 0,
   // queue_capacity summed, max depth maximized).

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/snapshot.h"
+#include "obs/trace.h"
 
 namespace grandma::serve {
 
@@ -21,6 +22,7 @@ std::shared_ptr<const RecognizerBundle> ModelRegistry::Current() const {
 }
 
 void ModelRegistry::Swap(std::shared_ptr<const RecognizerBundle> next) {
+  TRACE_SPAN("registry.swap");
   if (next == nullptr) {
     throw std::invalid_argument("ModelRegistry::Swap: bundle must be non-null");
   }
@@ -32,6 +34,7 @@ void ModelRegistry::Swap(std::shared_ptr<const RecognizerBundle> next) {
 }
 
 robust::Status ModelRegistry::LoadFromFile(const std::string& path) {
+  TRACE_SPAN("registry.load");
   auto loaded = io::LoadBundleSnapshotFile(path);
   if (!loaded.ok()) {
     loads_failed_.fetch_add(1, std::memory_order_relaxed);

@@ -1,8 +1,12 @@
 #include "serve/server.h"
 
 #include <chrono>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/export.h"
+#include "obs/trace.h"
 
 namespace grandma::serve {
 
@@ -128,6 +132,13 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
     const double wait_us =
         std::chrono::duration<double, std::micro>(now - event->enqueue_time).count();
     shard.queue_latency.RecordMicros(wait_us);
+    // Enqueue→dequeue wait measured on the real clock by the producer's
+    // timestamp; recorded from the consumer side so the span lands on the
+    // worker's (single-writer) trace buffer.
+    TRACE_MANUAL_SPAN("queue.wait", static_cast<std::uint64_t>(wait_us * 1000.0),
+                      event->session);
+    TRACE_SESSION_SCOPE(event->session);
+    TRACE_SPAN("serve.event");
 
     if (event->type == EventType::kSessionEnd) {
       sessions.Erase(event->session);
@@ -187,6 +198,10 @@ ServerMetrics RecognitionServer::Metrics() const {
     m.queue_latency = s.queue_latency.Snapshot();
     out.shards.push_back(std::move(m));
   }
+  // Per-stage span histograms accumulate process-wide (all shards, plus any
+  // in-process training); surfacing them here makes /metrics the one-stop
+  // snapshot. Empty unless tracing is compiled in and was enabled.
+  out.stages = obs::SnapshotStages();
   return out;
 }
 

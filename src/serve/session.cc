@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace grandma::serve {
 
 Session::Session(SessionId id, const eager::EagerRecognizer& recognizer)
@@ -32,6 +34,8 @@ void Session::EmitResult(ResultKind kind, const ResultSink& sink) {
 
 void Session::BeginStroke(StrokeId stroke, const ResultSink& sink,
                           std::shared_ptr<const RecognizerBundle> pin) {
+  TRACE_SESSION_SCOPE(id_);
+  TRACE_SPAN("session.begin");
   if (in_stroke_) {
     // The open stroke is finalized by the model it started under — the new
     // pin must not take effect until the boundary.
@@ -53,6 +57,8 @@ void Session::BeginStroke(StrokeId stroke, const ResultSink& sink,
 void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> points,
                         const ResultSink& sink,
                         std::shared_ptr<const RecognizerBundle> pin) {
+  TRACE_SESSION_SCOPE(id_);
+  TRACE_SPAN("session.points");
   if (!in_stroke_) {
     ++stats_.implicit_begins;
     BeginStroke(stroke, sink, std::move(pin));
@@ -68,6 +74,8 @@ void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> point
 }
 
 void Session::EndStroke(const ResultSink& sink) {
+  TRACE_SESSION_SCOPE(id_);
+  TRACE_SPAN("session.end");
   if (!in_stroke_ || stream_.points_seen() == 0) {
     if (!in_stroke_) {
       ++stats_.empty_stroke_ends;

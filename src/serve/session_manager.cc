@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace grandma::serve {
 
 Session& SessionManager::GetOrCreate(SessionId id) {
+  TRACE_SPAN("sessions.get_or_create");
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     it = sessions_

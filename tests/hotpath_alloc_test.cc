@@ -16,6 +16,7 @@
 
 #include "eager/eager_recognizer.h"
 #include "features/extractor.h"
+#include "obs/trace.h"
 #include "serve/session.h"
 #include "synth/generator.h"
 #include "synth/sets.h"
@@ -120,6 +121,114 @@ TEST(HotpathAllocTest, ServeSessionSteadyStateIsAllocationFree) {
   EXPECT_GE(points, 1000u);
   EXPECT_GT(slot, 0u);
   EXPECT_EQ(session.stats().points_seen, points + pool[0].size());
+}
+
+// RAII guard: tracing enabled at fine detail for the scope of one test, with
+// everything reset on the way out so the untraced tests stay untraced.
+class ScopedFineTracing {
+ public:
+  explicit ScopedFineTracing(obs::ClockMode clock) {
+    obs::ResetAll();
+    obs::SetClockMode(clock);
+    obs::SetDetail(obs::Detail::kFine);
+    obs::EnableTracing(true);
+  }
+  ScopedFineTracing(const ScopedFineTracing&) = delete;
+  ScopedFineTracing& operator=(const ScopedFineTracing&) = delete;
+  ~ScopedFineTracing() {
+    obs::EnableTracing(false);
+    obs::SetDetail(obs::Detail::kCoarse);
+    obs::SetClockMode(obs::ClockMode::kReal);
+    obs::ResetAll();
+  }
+};
+
+// The tracing layer must preserve the zero-allocation contract: with spans
+// compiled in, ENABLED, and at the most verbose detail, the steady-state
+// per-point loop still never touches the heap. The per-thread ring buffer is
+// acquired (one allocation) during warm-up; recording after that is
+// array-slot writes only, even across ring wrap.
+TEST(HotpathAllocTest, TracedEagerStreamSteadyStateIsAllocationFree) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out: covered by the untraced variant";
+  }
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+  ScopedFineTracing tracing(obs::ClockMode::kVirtual);
+  eager::EagerStream stream(r);
+
+  // Warm-up acquires this thread's trace buffer and interns every span name
+  // on the path (both are one-time, allocation-bearing cold paths).
+  for (const geom::TimedPoint& p : pool[0]) {
+    (void)stream.AddPoint(p);
+  }
+  (void)stream.ClassifyNow();
+  stream.Reset();
+
+  std::size_t points = 0;
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        for (const geom::TimedPoint& p : g) {
+          ++points;
+          if (stream.AddPoint(p)) {
+            (void)stream.ClassifyNow();
+          }
+        }
+        (void)stream.ClassifyNow();
+        stream.Reset();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " traced points";
+  EXPECT_GE(points, 1000u);
+  // The spans really were recorded — the zero above is not vacuous.
+  const auto threads = obs::CollectAll();
+  ASSERT_FALSE(threads.empty());
+  std::size_t recorded = 0;
+  for (const auto& t : threads) {
+    recorded += t.spans.size() + static_cast<std::size_t>(t.dropped);
+  }
+  EXPECT_GT(recorded, points) << "at least one span per point at fine detail";
+}
+
+TEST(HotpathAllocTest, TracedServeSessionSteadyStateIsAllocationFree) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out: covered by the untraced variant";
+  }
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+  ScopedFineTracing tracing(obs::ClockMode::kReal);  // real clock: no
+                                                     // allocation either
+
+  serve::Session session(/*id=*/7, r);
+  std::array<serve::RecognitionResult, 8> slots;
+  std::size_t slot = 0;
+  serve::ResultSink sink = [&slots, &slot](const serve::RecognitionResult& res) {
+    slots[slot % slots.size()] = res;
+    ++slot;
+  };
+
+  session.BeginStroke(1, sink);
+  session.AddPoints(1, std::span<const geom::TimedPoint>(pool[0].points()), sink);
+  session.EndStroke(sink);
+
+  std::size_t points = 0;
+  serve::StrokeId stroke = 2;
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        session.BeginStroke(stroke, sink);
+        session.AddPoints(stroke, std::span<const geom::TimedPoint>(g.points()), sink);
+        session.EndStroke(sink);
+        ++stroke;
+        points += g.size();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " traced points, " << slot << " results";
+  EXPECT_GE(points, 1000u);
+  EXPECT_FALSE(obs::CollectAll().empty());
 }
 
 // The counting harness itself must see ordinary allocations, or the zero

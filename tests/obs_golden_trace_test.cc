@@ -1,0 +1,126 @@
+// Golden-trace pin (ctest label `obs`): a fully seeded 3-class workload —
+// training included — captured under the virtual clock must export
+// byte-for-byte the chrome://tracing JSON committed at
+// tests/data/golden_trace.json. Byte stability is what makes traces diffable
+// across machines and commits; any intentional pipeline change that shifts
+// the trace regenerates the file with:
+//
+//   GRANDMA_REGEN_GOLDEN=1 ./obs_tests --gtest_filter='ObsGoldenTrace.*'
+//
+// and the new golden is reviewed like any other source change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "obs/export.h"
+#include "obs/replay.h"
+#include "obs/trace.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+std::string GoldenPath() { return std::string(GRANDMA_TEST_DATA_DIR) + "/golden_trace.json"; }
+
+// The whole model lifecycle inside the capture: train on the seeded 3-class
+// set, then recognize one stroke per class. Every input is derived from
+// fixed seeds, so under the virtual clock the span stream is a pure function
+// of this code.
+void RunGoldenWorkload() {
+  synth::NoiseModel noise;
+  const auto specs = synth::MakeUpDownRightSpecs();
+
+  eager::EagerRecognizer recognizer;
+  recognizer.Train(synth::ToTrainingSet(synth::GenerateSet(specs, noise, 6, 1991)));
+
+  eager::EagerStream stream(recognizer);
+  synth::Rng rng(7);
+  for (const auto& spec : specs) {
+    const geom::Gesture g = synth::Generate(spec, noise, rng).gesture;
+    for (const geom::TimedPoint& p : g) {
+      (void)stream.AddPoint(p);
+    }
+    (void)stream.ClassifyNow();
+    stream.Reset();
+  }
+}
+
+std::string CaptureGoldenJson() {
+  const auto threads =
+      obs::CaptureTrace(RunGoldenWorkload, obs::Detail::kFine, obs::ClockMode::kVirtual);
+  std::ostringstream out;
+  obs::ExportChromeTrace(threads, out);
+  return out.str();
+}
+
+TEST(ObsGoldenTrace, SeededWorkloadMatchesCommittedGoldenByteForByte) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "golden trace pins the GRANDMA_TRACING=ON configuration";
+  }
+  const std::string json = CaptureGoldenJson();
+  ASSERT_FALSE(json.empty());
+
+  if (std::getenv("GRANDMA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << json;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " (" << json.size() << " bytes)";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << GoldenPath()
+                         << " — regenerate with GRANDMA_REGEN_GOLDEN=1";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  // Byte equality, with a readable failure: locate the first differing byte
+  // rather than dumping two multi-kilobyte JSON blobs.
+  const std::string& expected = golden.str();
+  if (json != expected) {
+    std::size_t i = 0;
+    while (i < json.size() && i < expected.size() && json[i] == expected[i]) {
+      ++i;
+    }
+    const std::size_t lo = i < 60 ? 0 : i - 60;
+    FAIL() << "trace diverges from golden at byte " << i << " (got " << json.size()
+           << " bytes, golden " << expected.size() << ")\n  golden: ..."
+           << expected.substr(lo, 120) << "\n  got:    ..." << json.substr(lo, 120);
+  }
+}
+
+TEST(ObsGoldenTrace, ExportIsStableAcrossRepeatedCaptures) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "no trace to export when tracing is compiled out";
+  }
+  const std::string a = CaptureGoldenJson();
+  const std::string b = CaptureGoldenJson();
+  EXPECT_EQ(a, b) << "virtual-clock export must be byte-stable run to run";
+}
+
+TEST(ObsGoldenTrace, ChromeJsonShapeIsWellFormed) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP();
+  }
+  const std::string json = CaptureGoldenJson();
+  // Spot-check the chrome-trace contract without a JSON parser: the
+  // traceEvents envelope, complete events ("ph": "X"), renumbered tid 0, and
+  // the instrumentation names that must appear for this workload.
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"classify.train\""), std::string::npos);
+  EXPECT_NE(json.find("\"eager.train\""), std::string::npos);
+  EXPECT_NE(json.find("\"eager.point\""), std::string::npos);
+  EXPECT_NE(json.find("\"features.snapshot\""), std::string::npos);
+  EXPECT_EQ(json.find("\"pid\": 1"), std::string::npos) << "single process, pid 0 only";
+}
+
+}  // namespace
+}  // namespace grandma

@@ -1,0 +1,245 @@
+// Tracing under the concurrent recognition server (ctest label `obs`; the
+// tsan preset runs this binary): multiple producer threads submit while the
+// shard workers record spans on their per-thread ring buffers and a metrics
+// reader snapshots the stage histograms mid-flight. Verifies the
+// single-writer ring discipline, the quiesced-collection contract
+// (CollectAll after Shutdown), session tagging across threads, the
+// queue.wait manual span, and the stage summaries ServerMetrics now carries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/server.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+const eager::EagerRecognizer& TestRecognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(
+        synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownRightSpecs(), noise, 8, 404)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+std::vector<geom::Gesture> Strokes(std::uint32_t seed, std::size_t n) {
+  std::vector<geom::Gesture> out;
+  synth::NoiseModel noise;
+  synth::Rng rng(seed);
+  const auto specs = synth::MakeUpDownRightSpecs();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(synth::Generate(specs[i % specs.size()], noise, rng).gesture);
+  }
+  return out;
+}
+
+void SubmitStrokes(serve::RecognitionServer& server, serve::SessionId session,
+                   const std::vector<geom::Gesture>& strokes) {
+  serve::StrokeId stroke = 1;
+  for (const geom::Gesture& g : strokes) {
+    ASSERT_TRUE(server
+                    .Submit({.session = session,
+                             .type = serve::EventType::kStrokeBegin,
+                             .stroke = stroke})
+                    .ok());
+    ASSERT_TRUE(server
+                    .Submit({.session = session,
+                             .type = serve::EventType::kPoints,
+                             .stroke = stroke,
+                             .points = g.points()})
+                    .ok());
+    ASSERT_TRUE(
+        server
+            .Submit({.session = session, .type = serve::EventType::kStrokeEnd, .stroke = stroke})
+            .ok());
+    ++stroke;
+  }
+}
+
+TEST(ObsServeTrace, ConcurrentServerTracesUnderRealClock) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kStrokesPerProducer = 4;
+  (void)TestRecognizer();  // memoized training happens before recording starts
+  const std::vector<geom::Gesture> strokes = Strokes(61, kStrokesPerProducer);
+
+  obs::ResetAll();
+  obs::SetClockMode(obs::ClockMode::kReal);
+  obs::SetDetail(obs::Detail::kFine);
+  obs::EnableTracing(true);
+
+  std::uint64_t events_processed = 0;
+  {
+    serve::ServerOptions options;
+    options.num_shards = 2;
+    options.overload = serve::OverloadPolicy::kBlock;
+    serve::RecognitionServer server(serve::RecognizerBundle::FromRecognizer(TestRecognizer()),
+                                    options, serve::ResultSink{});
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back(
+          [&server, &strokes, p] { SubmitStrokes(server, 500 + p, strokes); });
+    }
+    for (std::thread& t : producers) {
+      t.join();
+    }
+    server.Shutdown();  // joins the workers: collection below is quiesced
+    events_processed = server.Metrics().Totals().events_processed;
+  }
+  obs::EnableTracing(false);
+
+  EXPECT_EQ(events_processed, kProducers * kStrokesPerProducer * 3);
+
+  const auto threads = obs::CollectAll();
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(threads.empty());
+    obs::ResetAll();
+    return;
+  }
+
+  // Every span is well-formed under the real clock too, and session tags
+  // only ever name the sessions this test created.
+  std::size_t session_points = 0;
+  std::size_t queue_waits = 0;
+  std::set<std::uint64_t> sessions_seen;
+  for (const obs::ThreadTrace& t : threads) {
+    std::uint64_t prev_seq = 0;
+    for (std::size_t i = 0; i < t.spans.size(); ++i) {
+      const obs::Span& s = t.spans[i];
+      EXPECT_GE(s.t_end, s.t_start);
+      if (i > 0) {
+        EXPECT_GT(s.seq, prev_seq);
+      }
+      prev_seq = s.seq;
+      if (s.session != 0) {
+        sessions_seen.insert(s.session);
+      }
+      const std::string_view name = obs::NameOf(s.name_id);
+      if (name == "session.points") ++session_points;
+      if (name == "queue.wait") ++queue_waits;
+    }
+  }
+  // One session.points span per kPoints event and one queue.wait per
+  // dequeued event (ring capacity comfortably exceeds this workload).
+  EXPECT_EQ(session_points, kProducers * kStrokesPerProducer);
+  EXPECT_EQ(queue_waits, events_processed);
+  for (std::uint64_t s : sessions_seen) {
+    EXPECT_GE(s, 500u);
+    EXPECT_LT(s, 500u + kProducers);
+  }
+  EXPECT_EQ(sessions_seen.size(), kProducers);
+  obs::ResetAll();
+}
+
+TEST(ObsServeTrace, StageSummariesFlowIntoServerMetrics) {
+  (void)TestRecognizer();
+  const std::vector<geom::Gesture> strokes = Strokes(62, 3);
+
+  obs::ResetAll();
+  obs::SetClockMode(obs::ClockMode::kReal);
+  obs::SetDetail(obs::Detail::kCoarse);
+  obs::EnableTracing(true);
+
+  serve::ServerMetrics metrics;
+  {
+    serve::ServerOptions options;
+    options.overload = serve::OverloadPolicy::kBlock;
+    serve::RecognitionServer server(serve::RecognizerBundle::FromRecognizer(TestRecognizer()),
+                                    options, serve::ResultSink{});
+
+    // A metrics reader races the recording workers on purpose: SnapshotStages
+    // uses relaxed atomics and must be tsan-clean while spans land.
+    std::thread reader([&server] {
+      for (int i = 0; i < 50; ++i) {
+        (void)server.Metrics();
+        std::this_thread::yield();
+      }
+    });
+    SubmitStrokes(server, 900, strokes);
+    reader.join();
+    server.Shutdown();
+    metrics = server.Metrics();
+  }
+  obs::EnableTracing(false);
+
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(metrics.stages.empty());
+    EXPECT_NE(metrics.ToJson().find("\"stages\": []"), std::string::npos);
+    obs::ResetAll();
+    return;
+  }
+
+  ASSERT_FALSE(metrics.stages.empty());
+  bool saw_event = false;
+  bool saw_wait = false;
+  for (const obs::StageSummary& s : metrics.stages) {
+    EXPECT_GT(s.count, 0u) << s.name;
+    EXPECT_LE(s.p50, s.p95) << s.name;
+    EXPECT_LE(s.p95, s.p99) << s.name;
+    if (s.name == "serve.event") {
+      saw_event = true;
+      EXPECT_EQ(s.count, strokes.size() * 3);
+    }
+    if (s.name == "queue.wait") {
+      saw_wait = true;
+    }
+  }
+  EXPECT_TRUE(saw_event) << "serve.event stage missing from ServerMetrics";
+  EXPECT_TRUE(saw_wait) << "queue.wait stage missing from ServerMetrics";
+
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"stages\": [{"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.event\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  obs::ResetAll();
+}
+
+// Model hot-swaps are traced on whichever thread performs them.
+TEST(ObsServeTrace, RegistrySwapAndLoadAreTraced) {
+  (void)TestRecognizer();
+  obs::ResetAll();
+  obs::SetClockMode(obs::ClockMode::kVirtual);
+  obs::EnableTracing(true);
+
+  serve::ModelRegistry registry(serve::RecognizerBundle::FromRecognizer(TestRecognizer()));
+  registry.Swap(serve::RecognizerBundle::FromRecognizer(TestRecognizer()));
+  EXPECT_FALSE(registry.LoadFromFile("/nonexistent/model.snapshot").ok());
+
+  obs::EnableTracing(false);
+  const auto threads = obs::CollectAll();
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(threads.empty());
+    obs::ResetAll();
+    return;
+  }
+
+  std::size_t swaps = 0;
+  std::size_t loads = 0;
+  for (const obs::ThreadTrace& t : threads) {
+    for (const obs::Span& s : t.spans) {
+      const std::string_view name = obs::NameOf(s.name_id);
+      if (name == "registry.swap") ++swaps;
+      if (name == "registry.load") ++loads;
+    }
+  }
+  EXPECT_EQ(swaps, 1u);
+  EXPECT_EQ(loads, 1u) << "failed loads are traced too (the span brackets the attempt)";
+  obs::ResetAll();
+}
+
+}  // namespace
+}  // namespace grandma

@@ -1,0 +1,270 @@
+// Property tests for the obs tracing layer (ctest label `obs`): structural
+// invariants that must hold for ANY traced workload — spans well-nested per
+// thread, t_end >= t_start, timestamps monotone in seq order, per-session
+// span counts matching the points fed — plus the name-interning and
+// histogram-bucket algebra the exporters depend on.
+//
+// Every test here also passes under -DGRANDMA_TRACING=OFF, where it asserts
+// the opposite: the TRACE_* macros provably vanished and no workload can
+// produce a span. ci/check.sh runs this binary in both configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "eager/eager_recognizer.h"
+#include "obs/export.h"
+#include "obs/replay.h"
+#include "obs/trace.h"
+#include "serve/session.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma {
+namespace {
+
+const eager::EagerRecognizer& TestRecognizer() {
+  static const eager::EagerRecognizer* recognizer = [] {
+    auto* r = new eager::EagerRecognizer;
+    synth::NoiseModel noise;
+    r->Train(
+        synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownRightSpecs(), noise, 8, 404)));
+    return r;
+  }();
+  return *recognizer;
+}
+
+std::vector<geom::Gesture> Strokes(std::uint32_t seed, std::size_t n) {
+  std::vector<geom::Gesture> out;
+  synth::NoiseModel noise;
+  synth::Rng rng(seed);
+  const auto specs = synth::MakeUpDownRightSpecs();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(synth::Generate(specs[i % specs.size()], noise, rng).gesture);
+  }
+  return out;
+}
+
+// Feeds `strokes` through an EagerStream — the instrumented per-point path.
+void RunEagerWorkload(const std::vector<geom::Gesture>& strokes) {
+  eager::EagerStream stream(TestRecognizer());
+  for (const geom::Gesture& g : strokes) {
+    for (const geom::TimedPoint& p : g) {
+      (void)stream.AddPoint(p);
+    }
+    (void)stream.ClassifyNow();
+    stream.Reset();
+  }
+}
+
+// Interval-nesting check: sorted by t_start, every span must either start
+// after the enclosing span ended (sibling) or end within it (child). A
+// partial overlap is a broken RAII discipline or a clock bug.
+void ExpectWellNested(const obs::ThreadTrace& t) {
+  std::vector<obs::Span> by_start = t.spans;
+  std::stable_sort(by_start.begin(), by_start.end(),
+                   [](const obs::Span& a, const obs::Span& b) { return a.t_start < b.t_start; });
+  std::vector<std::uint64_t> open_ends;
+  for (const obs::Span& s : by_start) {
+    while (!open_ends.empty() && open_ends.back() < s.t_start) {
+      open_ends.pop_back();
+    }
+    if (!open_ends.empty()) {
+      EXPECT_LE(s.t_end, open_ends.back())
+          << "span '" << obs::NameOf(s.name_id) << "' [" << s.t_start << ", " << s.t_end
+          << "] partially overlaps an enclosing span on thread " << t.thread_index;
+    }
+    open_ends.push_back(s.t_end);
+  }
+}
+
+TEST(ObsTraceProperty, SpansAreWellFormedAndWellNestedPerThread) {
+  (void)TestRecognizer();  // memoized training happens outside the capture
+  const auto strokes = Strokes(11, 6);
+  const auto threads = obs::CaptureTrace([&] { RunEagerWorkload(strokes); });
+
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(threads.empty()) << "tracing is compiled out; no span may exist";
+    return;
+  }
+
+  ASSERT_EQ(threads.size(), 1u) << "single-threaded workload traces one thread";
+  const obs::ThreadTrace& t = threads[0];
+  ASSERT_FALSE(t.spans.empty());
+  EXPECT_EQ(t.dropped, 0u);
+
+  std::uint64_t prev_seq = 0;
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    const obs::Span& s = t.spans[i];
+    // Every record's interval is ordered and its name resolves.
+    EXPECT_GE(s.t_end, s.t_start);
+    EXPECT_NE(obs::NameOf(s.name_id), nullptr);
+    // seq strictly increasing; spans close in seq order, and under the
+    // virtual clock every close consumes a fresh tick, so t_end is strictly
+    // monotone in seq as well.
+    if (i > 0) {
+      EXPECT_GT(s.seq, prev_seq);
+      EXPECT_GT(s.t_end, prev_end);
+    }
+    prev_seq = s.seq;
+    prev_end = s.t_end;
+  }
+  ExpectWellNested(t);
+}
+
+TEST(ObsTraceProperty, PerSessionSpanCountsMatchPointsFed) {
+  (void)TestRecognizer();
+  const auto strokes_a = Strokes(21, 4);
+  const auto strokes_b = Strokes(22, 2);
+  std::size_t points_a = 0;
+  std::size_t points_b = 0;
+  for (const auto& g : strokes_a) points_a += g.size();
+  for (const auto& g : strokes_b) points_b += g.size();
+
+  const serve::ResultSink sink;  // empty: results dropped
+  const auto threads = obs::CaptureTrace([&] {
+    serve::Session a(/*id=*/101, TestRecognizer());
+    serve::Session b(/*id=*/202, TestRecognizer());
+    serve::StrokeId stroke = 1;
+    for (const geom::Gesture& g : strokes_a) {
+      a.BeginStroke(stroke, sink);
+      a.AddPoints(stroke, std::span<const geom::TimedPoint>(g.points()), sink);
+      a.EndStroke(sink);
+      ++stroke;
+    }
+    for (const geom::Gesture& g : strokes_b) {
+      b.BeginStroke(stroke, sink);
+      b.AddPoints(stroke, std::span<const geom::TimedPoint>(g.points()), sink);
+      b.EndStroke(sink);
+      ++stroke;
+    }
+  });
+
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(threads.empty());
+    return;
+  }
+
+  // Each point fed to a session produces exactly one "eager.point" span
+  // tagged with that session's id (TRACE_SESSION_SCOPE in Session methods).
+  std::size_t eager_a = 0;
+  std::size_t eager_b = 0;
+  std::size_t begin_a = 0;
+  std::size_t end_b = 0;
+  for (const obs::ThreadTrace& t : threads) {
+    for (const obs::Span& s : t.spans) {
+      const char* name = obs::NameOf(s.name_id);
+      EXPECT_TRUE(s.session == 0 || s.session == 101 || s.session == 202)
+          << "unexpected session tag " << s.session << " on '" << name << "'";
+      if (std::string_view(name) == "eager.point") {
+        if (s.session == 101) ++eager_a;
+        if (s.session == 202) ++eager_b;
+      }
+      if (std::string_view(name) == "session.begin" && s.session == 101) ++begin_a;
+      if (std::string_view(name) == "session.end" && s.session == 202) ++end_b;
+    }
+  }
+  EXPECT_EQ(eager_a, points_a);
+  EXPECT_EQ(eager_b, points_b);
+  EXPECT_EQ(begin_a, strokes_a.size());
+  EXPECT_EQ(end_b, strokes_b.size());
+}
+
+TEST(ObsTraceProperty, RingWrapDropsOldestAndKeepsSeqContiguous) {
+  static const obs::NameId kSpin = [] {
+    return obs::kCompiledIn ? obs::RegisterName("test.spin") : obs::NameId{0};
+  }();
+  constexpr std::uint64_t kOverflow = 100;
+  const auto threads = obs::CaptureTrace([&] {
+    for (std::uint64_t i = 0; i < obs::kSpanCapacity + kOverflow; ++i) {
+      TRACE_SPAN("test.spin");
+    }
+  });
+
+  if (!obs::kCompiledIn) {
+    EXPECT_TRUE(threads.empty());
+    return;
+  }
+
+  ASSERT_EQ(threads.size(), 1u);
+  const obs::ThreadTrace& t = threads[0];
+  EXPECT_EQ(t.spans.size(), obs::kSpanCapacity) << "ring retains exactly its capacity";
+  EXPECT_EQ(t.dropped, kOverflow) << "overflow drops the oldest records, counted";
+  // The retained window is the contiguous tail: seq kOverflow .. capacity+99.
+  EXPECT_EQ(t.spans.front().seq, kOverflow);
+  EXPECT_EQ(t.spans.back().seq, obs::kSpanCapacity + kOverflow - 1);
+  for (const obs::Span& s : t.spans) {
+    EXPECT_EQ(s.name_id, kSpin);
+  }
+}
+
+TEST(ObsTraceProperty, NameInterningIsIdempotentAndBounded) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "name table is unused when tracing is compiled out";
+  }
+  const obs::NameId a = obs::RegisterName("test.interned");
+  const obs::NameId b = obs::RegisterName("test.interned");
+  EXPECT_EQ(a, b) << "same literal interns to one id from any site";
+  EXPECT_STREQ(obs::NameOf(a), "test.interned");
+  EXPECT_LE(obs::NumNames(), obs::kMaxNames);
+  // Ids are dense: every id below NumNames resolves.
+  for (obs::NameId id = 0; id < obs::NumNames(); ++id) {
+    EXPECT_NE(obs::NameOf(id), nullptr);
+  }
+}
+
+TEST(ObsTraceProperty, DurationBucketsRoundTripAndStayMonotone) {
+  using obs::internal::BucketOf;
+  using obs::internal::BucketUpperBound;
+  // Exhaustive low range plus a log sweep with neighbors: every value lands
+  // in a bucket whose upper bound contains it, buckets are monotone in their
+  // upper bounds, and upper bounds map back to their own bucket.
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < 4096; ++v) values.push_back(v);
+  for (int k = 12; k < 63; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    values.insert(values.end(), {p - 1, p, p + 1, p + p / 3, p + p / 2});
+  }
+  std::uint32_t max_bucket = 0;
+  for (std::uint64_t v : values) {
+    const std::uint32_t b = BucketOf(v);
+    ASSERT_LT(b, obs::kStageBuckets) << "v=" << v;
+    EXPECT_LE(v, BucketUpperBound(b)) << "v=" << v;
+    max_bucket = std::max(max_bucket, b);
+  }
+  EXPECT_GT(max_bucket, 128u) << "sweep exercises the wide end of the histogram";
+  for (std::uint32_t b = 1; b < obs::kStageBuckets; ++b) {
+    EXPECT_GT(BucketUpperBound(b), BucketUpperBound(b - 1));
+    EXPECT_EQ(BucketOf(BucketUpperBound(b)), b);
+  }
+}
+
+TEST(ObsTraceProperty, DisabledTracingRecordsNothing) {
+  obs::ResetAll();
+  ASSERT_FALSE(obs::TracingEnabled());
+  RunEagerWorkload(Strokes(31, 2));
+  EXPECT_TRUE(obs::CollectAll().empty())
+      << "with tracing disabled at runtime the pipeline must not record";
+}
+
+// The behavioral half of the compile-out gate: under GRANDMA_TRACING=OFF the
+// macros in the instrumented libraries expand to nothing, so even a fully
+// enabled, fine-detail capture of the pipeline yields zero spans. The
+// `notrace` stage of ci/check.sh runs exactly this binary to prove it.
+TEST(ObsTraceProperty, CompiledOutMeansNoSpansEver) {
+  const auto threads = obs::CaptureTrace([&] { RunEagerWorkload(Strokes(41, 2)); });
+  if (obs::kCompiledIn) {
+    EXPECT_FALSE(threads.empty());
+  } else {
+    EXPECT_TRUE(threads.empty());
+    EXPECT_TRUE(obs::ChromeTraceJson().find("\"traceEvents\": []") != std::string::npos ||
+                obs::CollectAll().empty());
+  }
+}
+
+}  // namespace
+}  // namespace grandma
