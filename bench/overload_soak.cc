@@ -1,0 +1,860 @@
+// Fault-injected overload soak for the serve layer. One run proves the
+// overload-resilience story end to end:
+//
+//   1. Generate a large synthetic load (GDP strokes, interleaved sessions,
+//      ~1M points by default) and persist it as a `grandma-events v1` wire
+//      file — the soak replays from DISK, the way an external load driver
+//      would, and gates on the save -> load -> save bytes being identical.
+//   2. Calibrate: replay the file losslessly (kBlock, no deadlines) through
+//      one shard, verify ZERO divergence from the single-threaded EagerStream
+//      reference, and measure service capacity.
+//   3. Overload: replay the file again at --pace-mult x capacity (2x by
+//      default) through a kAdaptive server with per-event deadline budgets,
+//      client-side retry-with-backoff, injected slow-consumer stalls
+//      (including deadline-busting stall storms), and mid-stream model swaps.
+//      Hard gates: balanced shed/deadline/retry accounting, bounded queue
+//      depth, no session leaks beyond failed session-ends, a structural p99
+//      bound on accepted-event queue wait, zero divergence on untainted
+//      strokes (a stroke is tainted iff one of its events was shed after
+//      retries or expired in queue), and non-vacuity (the run must actually
+//      shed, expire, retry, and flip the admission controller).
+//   4. Corrupt: damage K frame payloads and truncate a copy of the file;
+//      gate that 100% of damaged frames are rejected with typed statuses
+//      while intact frames still replay.
+//
+// Finishing at all is the no-deadlock proof; a watchdog turns a hang into a
+// loud nonzero exit instead of a silent CI timeout. Results are written to
+// BENCH_overload.json; any gate failure exits nonzero.
+//
+// Flags (defaults in Config): --target-points=N --strokes=N --batch=N
+//   --deadline-ms=N --capacity=N --shards=N --producers=N --pace-mult=X
+//   --stall-every=N --storm-every=N --swap-ms=N --corrupt-frames=N
+//   --frame-events=N --watchdog-sec=N
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_json.h"
+#include "eager/eager_recognizer.h"
+#include "geom/gesture.h"
+#include "io/event_wire.h"
+#include "obs/export.h"
+#include "serve/event.h"
+#include "serve/model_registry.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/retry.h"
+#include "serve/server.h"
+#include "serve/wire_adapter.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace {
+
+using namespace grandma;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::size_t target_points = 1'000'000;
+  // Together these keep kSessionEnd (the one no-deadline event type) well
+  // under 1% of the stream, which the structural p99 gate depends on.
+  std::size_t strokes_per_session = 12;
+  std::size_t batch = 2;          // points per kPoints event
+  std::uint32_t deadline_ms = 50; // budget on every non-kSessionEnd event
+  std::size_t capacity = 256;     // per-shard queue slots
+  std::size_t shards = 2;
+  std::size_t producers = 2;
+  double pace_mult = 2.0;         // offered load as a multiple of capacity
+  std::size_t stall_every = 200;  // results between 1 ms consumer stalls
+  std::size_t storm_every = 2000; // results between deadline-busting storms
+  std::size_t swap_ms = 5;        // model-swap period during overload
+  std::size_t corrupt_frames = 10;
+  std::size_t frame_events = io::kEventWireDefaultFrameEvents;
+  std::size_t watchdog_sec = 540;
+};
+
+const char* kWirePath = "/tmp/grandma_overload_soak.events";
+
+// ---- gate bookkeeping ----
+
+struct Gates {
+  std::vector<std::pair<std::string, bool>> checks;
+  bool Check(const std::string& name, bool pass) {
+    checks.emplace_back(name, pass);
+    if (!pass) {
+      std::printf("GATE FAIL: %s\n", name.c_str());
+    }
+    return pass;
+  }
+  bool AllPass() const {
+    for (const auto& [name, pass] : checks) {
+      if (!pass) return false;
+    }
+    return true;
+  }
+};
+
+// ---- watchdog: a deadlock must fail loudly, not eat the CI timeout ----
+
+struct Watchdog {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::thread thread;
+
+  explicit Watchdog(std::size_t seconds) {
+    thread = std::thread([this, seconds] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (!cv.wait_for(lock, std::chrono::seconds(seconds), [this] { return done; })) {
+        std::fprintf(stderr, "GATE FAIL: watchdog fired after %zus — deadlock/hang\n",
+                     seconds);
+        std::_Exit(3);
+      }
+    });
+  }
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+    }
+    cv.notify_all();
+    thread.join();
+  }
+};
+
+// ---- single-threaded paper-pipeline reference ----
+
+struct ReferenceOutcome {
+  bool fired = false;
+  std::size_t fired_at = 0;
+  classify::ClassId eager_class = 0;
+  classify::ClassId final_class = 0;
+};
+
+ReferenceOutcome Reference(const eager::EagerRecognizer& r, const geom::Gesture& g) {
+  ReferenceOutcome out;
+  eager::EagerStream stream(r);
+  for (const auto& p : g) {
+    if (stream.AddPoint(p)) {
+      out.fired = true;
+      out.fired_at = stream.fired_at();
+      out.eager_class = stream.ClassifyNow().class_id;
+    }
+  }
+  out.final_class = stream.ClassifyNow().class_id;
+  return out;
+}
+
+std::uint64_t StrokeKey(serve::SessionId session, serve::StrokeId stroke) {
+  return (session << 8) | stroke;
+}
+
+// Compares one stroke's delivered results against its reference outcome.
+bool StrokeMatches(const std::vector<serve::RecognitionResult>& got,
+                   const ReferenceOutcome& want) {
+  const std::size_t expect = want.fired ? 2 : 1;
+  if (got.size() != expect) {
+    return false;
+  }
+  if (want.fired) {
+    const serve::RecognitionResult& fire = got[0];
+    if (fire.kind != serve::ResultKind::kEagerFire ||
+        fire.classification.class_id != want.eager_class ||
+        fire.points_seen != want.fired_at) {
+      return false;
+    }
+  }
+  const serve::RecognitionResult& last = got.back();
+  return last.kind == serve::ResultKind::kStrokeEnd &&
+         last.classification.class_id == want.final_class &&
+         last.eager_fired == want.fired && last.fired_at == want.fired_at;
+}
+
+// Buckets a session's in-order results by stroke id (implicit finalizations
+// of a damaged stroke land under THAT stroke's id, so untainted strokes stay
+// isolated from their tainted neighbors).
+std::vector<std::vector<serve::RecognitionResult>> BucketByStroke(
+    const std::vector<serve::RecognitionResult>& results, std::size_t strokes) {
+  std::vector<std::vector<serve::RecognitionResult>> buckets(strokes + 1);
+  for (const serve::RecognitionResult& r : results) {
+    if (r.stroke <= strokes) {
+      buckets[r.stroke].push_back(r);
+    }
+  }
+  return buckets;
+}
+
+// ---- phase 1: load generation ----
+
+struct Load {
+  std::vector<io::WireEvent> events;
+  std::size_t sessions = 0;
+  std::size_t total_points = 0;
+  std::size_t session_end_events = 0;
+  // reference[session * strokes + (stroke-1)] — same indexing the replay uses.
+  std::vector<std::size_t> stroke_to_pool;
+};
+
+Load GenerateLoad(const Config& config, const std::vector<geom::Gesture>& pool) {
+  Load load;
+  const std::uint32_t deadline_us = config.deadline_ms * 1000;
+  serve::SessionId session = 0;
+  while (load.total_points < config.target_points) {
+    for (std::size_t k = 0; k < config.strokes_per_session; ++k) {
+      const std::size_t pool_index =
+          (session * config.strokes_per_session + k) % pool.size();
+      load.stroke_to_pool.push_back(pool_index);
+      const auto& points = pool[pool_index].points();
+      const auto stroke = static_cast<std::uint32_t>(k + 1);
+      load.events.push_back(
+          {session, stroke, deadline_us, io::WireEventType::kStrokeBegin, {}});
+      for (std::size_t i = 0; i < points.size(); i += config.batch) {
+        const std::size_t end = std::min(points.size(), i + config.batch);
+        io::WireEvent e{session, stroke, deadline_us, io::WireEventType::kPoints, {}};
+        e.points.assign(points.begin() + static_cast<std::ptrdiff_t>(i),
+                        points.begin() + static_cast<std::ptrdiff_t>(end));
+        load.events.push_back(std::move(e));
+      }
+      load.events.push_back(
+          {session, stroke, deadline_us, io::WireEventType::kStrokeEnd, {}});
+      load.total_points += points.size();
+    }
+    // No deadline on kSessionEnd: the server exempts it from expiry (state
+    // cleanup must not be a casualty of overload) and its queue wait is the
+    // one unbounded-budget contribution to the latency histogram.
+    load.events.push_back({session, 0, 0, io::WireEventType::kSessionEnd, {}});
+    load.session_end_events += 1;
+    session += 1;
+  }
+  load.sessions = session;
+  return load;
+}
+
+// ---- phases 2 and 3: replay drivers ----
+
+struct CalibrationResult {
+  double wall_ms = 0.0;
+  double points_per_sec = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t divergences = 0;
+  serve::ShardMetrics totals;
+};
+
+CalibrationResult RunCalibration(const std::shared_ptr<const serve::RecognizerBundle>& bundle,
+                                 const Load& load, const Config& config,
+                                 const std::vector<ReferenceOutcome>& reference) {
+  CalibrationResult out;
+  std::vector<std::vector<serve::RecognitionResult>> results(load.sessions);
+
+  serve::ServerOptions options;
+  options.num_shards = 1;
+  options.queue_capacity = config.capacity;
+  options.overload = serve::OverloadPolicy::kBlock;
+  serve::RecognitionServer server(bundle, options, [&](const serve::RecognitionResult& r) {
+    results[static_cast<std::size_t>(r.session)].push_back(r);
+  });
+
+  const auto start = Clock::now();
+  for (const io::WireEvent& wire : load.events) {
+    serve::ServeEvent event = serve::ToServeEvent(wire);  // copies via wire copy
+    event.deadline_us = 0;  // lossless pass: nothing may expire
+    if (!server.Submit(std::move(event)).ok()) {
+      out.divergences += 1;  // kBlock must accept everything
+    }
+    out.submitted += 1;
+  }
+  server.Shutdown();
+  out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  out.totals = server.Metrics().Totals();
+  out.points_per_sec = out.wall_ms > 0.0
+                           ? static_cast<double>(out.totals.points_processed) /
+                                 (out.wall_ms / 1000.0)
+                           : 0.0;
+
+  for (std::size_t s = 0; s < load.sessions; ++s) {
+    const auto buckets = BucketByStroke(results[s], config.strokes_per_session);
+    for (std::size_t k = 1; k <= config.strokes_per_session; ++k) {
+      const ReferenceOutcome& want =
+          reference[load.stroke_to_pool[s * config.strokes_per_session + (k - 1)]];
+      if (!StrokeMatches(buckets[k], want)) {
+        out.divergences += 1;
+      }
+    }
+  }
+  return out;
+}
+
+struct OverloadResult {
+  double wall_ms = 0.0;
+  double paced_points_per_sec = 0.0;
+  serve::RetryStats retry;
+  std::uint64_t session_end_failures = 0;
+  std::uint64_t tainted_strokes = 0;
+  std::uint64_t untainted_strokes = 0;
+  std::uint64_t divergences = 0;
+  std::uint64_t consumer_stalls = 0;
+  std::uint64_t stall_storms = 0;
+  std::uint64_t model_swaps = 0;
+  serve::ShardMetrics totals;
+  std::vector<serve::ShardMetrics> shards;
+  serve::ModelLifecycleMetrics models;
+};
+
+OverloadResult RunOverload(const std::shared_ptr<const serve::RecognizerBundle>& bundle_a,
+                           const std::shared_ptr<const serve::RecognizerBundle>& bundle_b,
+                           const Load& load, const Config& config,
+                           const std::vector<ReferenceOutcome>& reference,
+                           double capacity_points_per_sec) {
+  OverloadResult out;
+  std::vector<std::vector<serve::RecognitionResult>> results(load.sessions);
+
+  // Fault injection #1: a slow consumer. Every --stall-every results the
+  // sink sleeps 1 ms; every --storm-every results it sleeps 1.2x the
+  // deadline budget, guaranteeing that everything then sitting in that
+  // shard's queue (except exempt kSessionEnds) overstays its budget.
+  std::atomic<std::uint64_t> results_seen{0};
+  std::atomic<std::uint64_t> stalls{0};
+  std::atomic<std::uint64_t> storms{0};
+  const auto storm_sleep = std::chrono::microseconds(config.deadline_ms * 1200);
+  auto sink = [&](const serve::RecognitionResult& r) {
+    results[static_cast<std::size_t>(r.session)].push_back(r);
+    const std::uint64_t n = results_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config.storm_every > 0 && n % config.storm_every == 0) {
+      storms.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(storm_sleep);
+    } else if (config.stall_every > 0 && n % config.stall_every == 0) {
+      stalls.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  serve::ServerOptions options;
+  options.num_shards = config.shards;
+  options.queue_capacity = config.capacity;
+  options.overload = serve::OverloadPolicy::kAdaptive;
+  // Watermarks sized to the drain time of a full queue: sustained full-queue
+  // waits must trip shedding; a drained queue must restore blocking.
+  options.admission.high_watermark_us = 5'000.0;
+  options.admission.low_watermark_us = 500.0;
+  options.admission.eval_period_events = 256;
+  options.admission.min_dwell_evals = 2;
+
+  // Taint tracking: a stroke whose event expired in queue is tainted via
+  // on_drop (worker threads); shed-after-retry taints on the producer side.
+  std::mutex taint_mu;
+  std::unordered_set<std::uint64_t> tainted;
+  options.on_drop = [&](const serve::ServeEvent& e, const robust::Status&) {
+    std::lock_guard<std::mutex> lock(taint_mu);
+    tainted.insert(StrokeKey(e.session, e.stroke));
+  };
+
+  auto registry = std::make_shared<serve::ModelRegistry>(bundle_a);
+  serve::RecognitionServer server(registry, options, sink);
+
+  // Fault injection #2: mid-stream model swaps between two identically
+  // trained bundles — classifications must not change, only model_version.
+  std::atomic<bool> swap_stop{false};
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!swap_stop.load(std::memory_order_relaxed)) {
+      registry->Swap(use_b ? bundle_b : bundle_a);
+      use_b = !use_b;
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.swap_ms));
+    }
+  });
+
+  // Offered load: --pace-mult x the measured lossless capacity, split across
+  // producers. Each producer replays its sessions' events in file order.
+  const double pace_pps = config.pace_mult * capacity_points_per_sec;
+  const double producer_pps = pace_pps / static_cast<double>(config.producers);
+  serve::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::microseconds(200);
+  policy.max_backoff = std::chrono::microseconds(5'000);
+
+  std::vector<serve::RetryStats> stats(config.producers);
+  std::vector<std::uint64_t> end_failures(config.producers, 0);
+  std::vector<std::vector<std::uint64_t>> shed_keys(config.producers);
+
+  const auto start = Clock::now();
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < config.producers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint64_t sent_points = 0;
+      const auto producer_start = Clock::now();
+      for (const io::WireEvent& wire : load.events) {
+        if (wire.session % config.producers != p) {
+          continue;
+        }
+        const std::size_t npoints = wire.points.size();
+        io::WireEvent copy = wire;
+        const robust::Status status =
+            serve::SubmitWithRetry(server, serve::ToServeEvent(std::move(copy)), policy,
+                                   &stats[p]);
+        if (!status.ok()) {
+          if (wire.type == io::WireEventType::kSessionEnd) {
+            end_failures[p] += 1;
+          } else {
+            shed_keys[p].push_back(StrokeKey(wire.session, wire.stroke));
+          }
+        }
+        if (npoints > 0 && producer_pps > 0.0) {
+          sent_points += npoints;
+          const auto due =
+              producer_start + std::chrono::duration<double>(
+                                   static_cast<double>(sent_points) / producer_pps);
+          std::this_thread::sleep_until(due);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  server.Shutdown();
+  out.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  swap_stop.store(true);
+  swapper.join();
+
+  {
+    std::lock_guard<std::mutex> lock(taint_mu);
+    for (const auto& keys : shed_keys) {
+      tainted.insert(keys.begin(), keys.end());
+    }
+  }
+  for (const serve::RetryStats& s : stats) {
+    out.retry.Merge(s);
+  }
+  for (std::uint64_t f : end_failures) {
+    out.session_end_failures += f;
+  }
+  out.paced_points_per_sec = pace_pps;
+  out.consumer_stalls = stalls.load();
+  out.stall_storms = storms.load();
+  const serve::ServerMetrics metrics = server.Metrics();
+  out.totals = metrics.Totals();
+  out.shards = metrics.shards;
+  out.models = metrics.models;
+  out.model_swaps = metrics.models.model_swaps;
+
+  // Divergence audit: every untainted stroke must match the single-threaded
+  // reference exactly; tainted strokes (shed or expired constituents) are
+  // excluded — their results are unspecified by design.
+  for (std::size_t s = 0; s < load.sessions; ++s) {
+    const auto buckets = BucketByStroke(results[s], config.strokes_per_session);
+    for (std::size_t k = 1; k <= config.strokes_per_session; ++k) {
+      if (tainted.count(StrokeKey(s, static_cast<serve::StrokeId>(k))) != 0) {
+        out.tainted_strokes += 1;
+        continue;
+      }
+      out.untainted_strokes += 1;
+      const ReferenceOutcome& want =
+          reference[load.stroke_to_pool[s * config.strokes_per_session + (k - 1)]];
+      if (!StrokeMatches(buckets[k], want)) {
+        out.divergences += 1;
+      }
+    }
+  }
+  return out;
+}
+
+// ---- phase 4: corruption and truncation ----
+
+// Structural scan of a serialized wire file: byte offsets + lengths of every
+// frame payload (never string-searches payload bytes, which are binary).
+struct FrameSpan {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+std::vector<FrameSpan> ScanFrames(const std::string& bytes) {
+  std::vector<FrameSpan> spans;
+  std::size_t pos = bytes.find('\n');            // magic line
+  if (pos == std::string::npos) return spans;
+  pos = bytes.find('\n', pos + 1);               // counts line
+  if (pos == std::string::npos) return spans;
+  pos += 1;
+  while (pos < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) break;
+    std::istringstream header(bytes.substr(pos, nl - pos));
+    std::string tag_frame, tag_events, tag_bytes, tag_crc, crc;
+    std::size_t n_events = 0, n_bytes = 0;
+    if (!(header >> tag_frame >> tag_events >> n_events >> tag_bytes >> n_bytes >>
+          tag_crc >> crc) ||
+        tag_frame != "frame") {
+      break;
+    }
+    spans.push_back({nl + 1, n_bytes});
+    pos = nl + 1 + n_bytes;
+  }
+  return spans;
+}
+
+struct CorruptionResult {
+  std::size_t frames = 0;
+  std::size_t corrupted = 0;
+  std::size_t rejected_typed = 0;     // corrupt frames refused with kCorruptSnapshot
+  std::size_t surviving_frames = 0;
+  std::size_t recovered_events = 0;
+  bool truncation_typed = false;
+  std::string truncation_code;
+};
+
+CorruptionResult RunCorruption(const std::string& bytes, std::size_t total_events,
+                               std::size_t corrupt_frames) {
+  CorruptionResult out;
+  const std::vector<FrameSpan> spans = ScanFrames(bytes);
+  out.frames = spans.size();
+
+  // Flip one payload byte in K frames spread across the file.
+  const std::size_t k = std::min(corrupt_frames, spans.size());
+  std::string damaged = bytes;
+  std::unordered_set<std::size_t> victims;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t frame = i * spans.size() / k;
+    const FrameSpan& span = spans[frame];
+    if (span.length == 0) continue;
+    damaged[span.offset + span.length / 2] ^= 0x5A;
+    victims.insert(frame);
+  }
+  out.corrupted = victims.size();
+
+  std::istringstream in(damaged);
+  io::EventWireReader reader(in);
+  if (!reader.Open().ok()) {
+    return out;  // caller's gates will fail loudly
+  }
+  std::vector<io::WireEvent> frame;
+  std::size_t index = 0;
+  while (!reader.done()) {
+    const robust::Status status = reader.NextFrame(frame);
+    if (status.ok()) {
+      out.surviving_frames += 1;
+      out.recovered_events += frame.size();
+      if (victims.count(index) != 0) {
+        std::printf("GATE FAIL: corrupted frame %zu was ACCEPTED\n", index);
+      }
+    } else if (status.code() == robust::StatusCode::kCorruptSnapshot &&
+               victims.count(index) != 0) {
+      out.rejected_typed += 1;
+    } else {
+      std::printf("corruption phase: frame %zu unexpected status %s\n", index,
+                  status.ToString().c_str());
+    }
+    index += 1;
+  }
+  (void)total_events;
+
+  // Truncation: cut mid-file; the reader must fail with a typed status and
+  // refuse to continue (sticky), never crash or spin.
+  const std::string cut = bytes.substr(0, bytes.size() * 37 / 100);
+  std::istringstream cut_in(cut);
+  io::EventWireReader cut_reader(cut_in);
+  if (cut_reader.Open().ok()) {
+    while (!cut_reader.done()) {
+      const robust::Status status = cut_reader.NextFrame(frame);
+      if (!status.ok()) {
+        out.truncation_typed = status.code() == robust::StatusCode::kTruncated ||
+                               status.code() == robust::StatusCode::kCorruptSnapshot;
+        out.truncation_code = robust::StatusCodeName(status.code());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](std::size_t prefix) {
+      return std::strtoull(arg.c_str() + prefix, nullptr, 10);
+    };
+    if (arg.rfind("--target-points=", 0) == 0) {
+      config.target_points = val(16);
+    } else if (arg.rfind("--strokes=", 0) == 0) {
+      config.strokes_per_session = std::max<std::size_t>(1, val(10));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      config.batch = std::max<std::size_t>(1, val(8));
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      config.deadline_ms = static_cast<std::uint32_t>(val(14));
+    } else if (arg.rfind("--capacity=", 0) == 0) {
+      config.capacity = std::max<std::size_t>(2, val(11));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shards = std::max<std::size_t>(1, val(9));
+    } else if (arg.rfind("--producers=", 0) == 0) {
+      config.producers = std::max<std::size_t>(1, val(12));
+    } else if (arg.rfind("--pace-mult=", 0) == 0) {
+      config.pace_mult = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--stall-every=", 0) == 0) {
+      config.stall_every = val(14);
+    } else if (arg.rfind("--storm-every=", 0) == 0) {
+      config.storm_every = val(14);
+    } else if (arg.rfind("--swap-ms=", 0) == 0) {
+      config.swap_ms = std::max<std::size_t>(1, val(10));
+    } else if (arg.rfind("--corrupt-frames=", 0) == 0) {
+      config.corrupt_frames = std::max<std::size_t>(1, val(17));
+    } else if (arg.rfind("--frame-events=", 0) == 0) {
+      config.frame_events = std::max<std::size_t>(1, val(15));
+    } else if (arg.rfind("--watchdog-sec=", 0) == 0) {
+      config.watchdog_sec = std::max<std::size_t>(30, val(15));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Watchdog watchdog(config.watchdog_sec);
+  Gates gates;
+
+  // Two identically trained bundles: swapping between them mid-stream must
+  // be invisible to classifications (only model_version moves).
+  const auto train_set = synth::ToTrainingSet(
+      synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{}, 10, 1991));
+  const auto bundle_a = serve::RecognizerBundle::Train(train_set);
+  const auto bundle_b = serve::RecognizerBundle::Train(train_set);
+
+  std::vector<geom::Gesture> pool;
+  for (const auto& batch : synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{},
+                                              /*per_class=*/20, /*seed=*/42)) {
+    for (const auto& sample : batch.samples) {
+      pool.push_back(sample.gesture);
+    }
+  }
+  std::vector<ReferenceOutcome> reference;
+  reference.reserve(pool.size());
+  for (const auto& g : pool) {
+    reference.push_back(Reference(bundle_a->recognizer(), g));
+  }
+
+  // --- Phase 1: generate + persist the load ---
+  const Load load = GenerateLoad(config, pool);
+  const double session_end_fraction =
+      static_cast<double>(load.session_end_events) / static_cast<double>(load.events.size());
+  std::printf(
+      "=== overload_soak: %zu events / %zu points / %zu sessions "
+      "(session-end fraction %.3f%%) ===\n",
+      load.events.size(), load.total_points, load.sessions, 100.0 * session_end_fraction);
+  // The p99 gate below is structural only while no-deadline events are rarer
+  // than the percentile's tail; this is a harness self-check, not a server
+  // property.
+  gates.Check("session_end_fraction_below_p99_tail", session_end_fraction < 0.009);
+
+  std::ostringstream first_save;
+  gates.Check("wire_save_ok",
+              io::SaveEventWire(load.events, first_save, config.frame_events));
+  gates.Check("wire_file_save_ok",
+              io::SaveEventWireFile(load.events, kWirePath, config.frame_events).ok());
+  std::string file_bytes;
+  {
+    std::ifstream in(kWirePath, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    file_bytes = buf.str();
+  }
+  gates.Check("wire_file_bytes_match_stream", file_bytes == first_save.str());
+
+  auto loaded = io::LoadEventWireFile(kWirePath);
+  gates.Check("wire_reload_ok", loaded.ok());
+  if (!loaded.ok()) {
+    std::printf("FATAL: cannot reload the wire file: %s\n",
+                loaded.status().ToString().c_str());
+    return 1;
+  }
+  gates.Check("wire_reload_equal", *loaded == load.events);
+  std::ostringstream second_save;
+  gates.Check("wire_resave_ok", io::SaveEventWire(*loaded, second_save, config.frame_events));
+  gates.Check("wire_round_trip_byte_identical", first_save.str() == second_save.str());
+  std::printf("wire: %zu bytes, %zu frames, round-trip byte-identical\n", file_bytes.size(),
+              ScanFrames(file_bytes).size());
+
+  // Replay FROM THE FILE from here on: the load the servers see is exactly
+  // what any external v1-speaking driver would feed them.
+  Load replay = load;
+  replay.events = std::move(*loaded);
+
+  // --- Phase 2: lossless calibration ---
+  const CalibrationResult cal = RunCalibration(bundle_a, replay, config, reference);
+  std::printf("calibration: %.0f points/s, %llu events, %llu divergences, %.1f ms\n",
+              cal.points_per_sec, static_cast<unsigned long long>(cal.submitted),
+              static_cast<unsigned long long>(cal.divergences), cal.wall_ms);
+  gates.Check("calibration_zero_divergence", cal.divergences == 0);
+  gates.Check("calibration_lossless", cal.totals.events_shed == 0 &&
+                                          cal.totals.events_deadline_expired == 0 &&
+                                          cal.totals.events_processed == cal.submitted);
+
+  // --- Phase 3: fault-injected overload at pace_mult x capacity ---
+  const OverloadResult ov =
+      RunOverload(bundle_a, bundle_b, replay, config, reference, cal.points_per_sec);
+  const serve::ShardMetrics& t = ov.totals;
+  std::printf(
+      "overload: attempts=%llu accepted=%llu shed=%llu expired=%llu processed=%llu "
+      "retries=%llu dropped=%llu\n",
+      static_cast<unsigned long long>(ov.retry.attempts),
+      static_cast<unsigned long long>(ov.retry.accepted),
+      static_cast<unsigned long long>(t.events_shed),
+      static_cast<unsigned long long>(t.events_deadline_expired),
+      static_cast<unsigned long long>(t.events_processed),
+      static_cast<unsigned long long>(ov.retry.retries),
+      static_cast<unsigned long long>(ov.retry.dropped));
+  std::printf(
+      "overload: %llu/%llu strokes untainted, %llu divergences, admission switches "
+      "%llu->shed %llu->block, %llu swaps, %llu stalls, %llu storms\n",
+      static_cast<unsigned long long>(ov.untainted_strokes),
+      static_cast<unsigned long long>(ov.untainted_strokes + ov.tainted_strokes),
+      static_cast<unsigned long long>(ov.divergences),
+      static_cast<unsigned long long>(t.admission_switches_to_shed),
+      static_cast<unsigned long long>(t.admission_switches_to_block),
+      static_cast<unsigned long long>(ov.model_swaps),
+      static_cast<unsigned long long>(ov.consumer_stalls),
+      static_cast<unsigned long long>(ov.stall_storms));
+
+  // Accounting must balance exactly — every submitted event has one fate.
+  gates.Check("ov_client_accounting",
+              ov.retry.submitted == ov.retry.accepted + ov.retry.dropped);
+  gates.Check("ov_shed_accounting", t.events_shed == ov.retry.attempts - ov.retry.accepted);
+  gates.Check("ov_server_accounting",
+              ov.retry.accepted == t.events_processed + t.events_deadline_expired);
+  gates.Check("ov_all_events_offered",
+              ov.retry.submitted == static_cast<std::uint64_t>(replay.events.size()));
+  // Bounded memory: no queue ever exceeded its configured capacity.
+  bool depth_ok = true;
+  for (const serve::ShardMetrics& shard : ov.shards) {
+    depth_ok = depth_ok && shard.queue_max_depth <= config.capacity;
+  }
+  gates.Check("ov_bounded_queue_depth", depth_ok);
+  // Session state cannot leak beyond the session-ends the client failed to
+  // deliver.
+  gates.Check("ov_no_session_leak", t.sessions_resident <= ov.session_end_failures);
+  // Structural p99 bound: accepted deadline-carrying events wait at most
+  // their budget (expired ones are excluded from the histogram), and the
+  // histogram's conservative bucket upper bound adds at most the 1.5x bucket
+  // growth factor.
+  const double p99 = t.queue_latency.PercentileMicros(0.99);
+  const double p99_bound = static_cast<double>(config.deadline_ms) * 1000.0 * 1.5 + 1.0;
+  std::printf("overload: queue wait p50=%.0fus p95=%.0fus p99=%.0fus (bound %.0fus)\n",
+              t.queue_latency.PercentileMicros(0.50), t.queue_latency.PercentileMicros(0.95),
+              p99, p99_bound);
+  gates.Check("ov_p99_within_deadline_bound", p99 <= p99_bound);
+  // Zero divergence on everything the server actually accepted.
+  gates.Check("ov_zero_divergence_untainted", ov.divergences == 0);
+  gates.Check("ov_untainted_nonempty", ov.untainted_strokes > 0);
+  // Non-vacuity: a soak that never sheds, expires, retries, flips the
+  // controller, or swaps models proved nothing.
+  gates.Check("ov_sheds_nonzero", t.events_shed > 0);
+  gates.Check("ov_expiries_nonzero", t.events_deadline_expired > 0);
+  gates.Check("ov_retries_nonzero", ov.retry.retries > 0);
+  gates.Check("ov_admission_tripped", t.admission_switches_to_shed >= 1);
+  gates.Check("ov_model_swaps_nonzero", ov.model_swaps >= 1);
+
+  // --- Phase 4: corruption + truncation ---
+  const CorruptionResult corrupt =
+      RunCorruption(file_bytes, replay.events.size(), config.corrupt_frames);
+  std::printf(
+      "corruption: %zu frames, %zu corrupted, %zu rejected typed, %zu survived "
+      "(%zu events); truncation -> %s\n",
+      corrupt.frames, corrupt.corrupted, corrupt.rejected_typed, corrupt.surviving_frames,
+      corrupt.recovered_events, corrupt.truncation_code.c_str());
+  gates.Check("corrupt_frames_nonzero", corrupt.corrupted > 0);
+  gates.Check("corrupt_all_rejected_typed", corrupt.rejected_typed == corrupt.corrupted);
+  gates.Check("corrupt_others_survive",
+              corrupt.surviving_frames == corrupt.frames - corrupt.corrupted);
+  gates.Check("truncation_typed", corrupt.truncation_typed);
+
+  // --- Artifact ---
+  std::ofstream file("BENCH_overload.json");
+  bench::JsonWriter json(file);
+  json.BeginObject()
+      .KV("bench", "overload_soak")
+      .KV("gesture_set", "fig10_gdp")
+      .KV("target_points", config.target_points)
+      .KV("points", replay.total_points)
+      .KV("events", static_cast<std::uint64_t>(replay.events.size()))
+      .KV("sessions", replay.sessions)
+      .KV("strokes_per_session", config.strokes_per_session)
+      .KV("points_per_event", config.batch)
+      .KV("deadline_ms", static_cast<std::uint64_t>(config.deadline_ms))
+      .KV("queue_capacity", config.capacity)
+      .KV("shards", config.shards)
+      .KV("pace_mult", config.pace_mult)
+      .KV("session_end_fraction", session_end_fraction);
+  json.Key("wire")
+      .BeginObject()
+      .KV("bytes", static_cast<std::uint64_t>(file_bytes.size()))
+      .KV("frames", static_cast<std::uint64_t>(ScanFrames(file_bytes).size()))
+      .KV("round_trip_byte_identical", first_save.str() == second_save.str())
+      .EndObject();
+  json.Key("calibration")
+      .BeginObject()
+      .KV("wall_ms", cal.wall_ms)
+      .KV("points_per_sec", cal.points_per_sec)
+      .KV("events", cal.submitted)
+      .KV("divergences", cal.divergences)
+      .EndObject();
+  json.Key("overload")
+      .BeginObject()
+      .KV("wall_ms", ov.wall_ms)
+      .KV("offered_points_per_sec", ov.paced_points_per_sec)
+      .KV("submitted", ov.retry.submitted)
+      .KV("attempts", ov.retry.attempts)
+      .KV("accepted", ov.retry.accepted)
+      .KV("retries", ov.retry.retries)
+      .KV("dropped_after_retries", ov.retry.dropped)
+      .KV("backoff_waits", ov.retry.backoff_waits)
+      .KV("events_shed", t.events_shed)
+      .KV("events_deadline_expired", t.events_deadline_expired)
+      .KV("events_processed", t.events_processed)
+      .KV("session_end_failures", ov.session_end_failures)
+      .KV("sessions_resident", t.sessions_resident)
+      .KV("queue_max_depth", t.queue_max_depth)
+      .KV("admission_evaluations", t.admission_evaluations)
+      .KV("admission_switches_to_shed", t.admission_switches_to_shed)
+      .KV("admission_switches_to_block", t.admission_switches_to_block)
+      .KV("model_swaps", ov.model_swaps)
+      .KV("consumer_stalls", ov.consumer_stalls)
+      .KV("stall_storms", ov.stall_storms)
+      .KV("strokes_untainted", ov.untainted_strokes)
+      .KV("strokes_tainted", ov.tainted_strokes)
+      .KV("divergences_untainted", ov.divergences)
+      .KV("p99_bound_us", p99_bound);
+  json.Key("queue_latency").Raw(t.queue_latency.ToJson());
+  json.EndObject();
+  if (const auto stage = obs::SnapshotStage("queue.wait")) {
+    json.Key("trace_queue_wait").Raw(stage->ToJson());
+  }
+  json.Key("corruption")
+      .BeginObject()
+      .KV("frames", static_cast<std::uint64_t>(corrupt.frames))
+      .KV("corrupted", static_cast<std::uint64_t>(corrupt.corrupted))
+      .KV("rejected_typed", static_cast<std::uint64_t>(corrupt.rejected_typed))
+      .KV("surviving_frames", static_cast<std::uint64_t>(corrupt.surviving_frames))
+      .KV("recovered_events", static_cast<std::uint64_t>(corrupt.recovered_events))
+      .KV("truncation_status", corrupt.truncation_code)
+      .EndObject();
+  json.Key("gates").BeginObject();
+  for (const auto& [name, pass] : gates.checks) {
+    json.KV(name, pass);
+  }
+  json.EndObject();
+  json.KV("ok", gates.AllPass());
+  json.EndObject();
+  file.close();
+  std::remove(kWirePath);
+  std::printf("wrote BENCH_overload.json — %s\n", gates.AllPass() ? "ALL GATES PASS" : "GATE FAILURES");
+  return gates.AllPass() ? 0 : 1;
+}

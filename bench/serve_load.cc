@@ -359,7 +359,10 @@ int main(int argc, char** argv) {
       .KV("rate_points_per_sec", config.rate)
       .KV("hardware_concurrency", static_cast<std::uint64_t>(hardware))
       .KV("speedup_4t_over_1t", speedup_4t)
-      .KV("speedup_gate", gate_enforced ? "enforced" : "skipped_insufficient_cores");
+      // Not a silent skip: the artifact records that the gate didn't run and
+      // why (too few cores for parallel speedup to be physically possible).
+      .KV("speedup_gate", gate_enforced ? "enforced" : "skipped_low_cores")
+      .KV("speedup_gate_cores", static_cast<std::uint64_t>(hardware));
   json.Key("runs").BeginArray();
   for (const RunResult& run : runs) {
     json.BeginObject()

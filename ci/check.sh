@@ -7,10 +7,15 @@
 #      and hot-swap-under-traffic recovery gates (label `chaos`)
 #   2c. obs: tracing-layer gates — span well-formedness, trace-replay
 #      determinism, golden chrome trace, overhead/alloc bench (label `obs`)
+#   2d. soak: the fault-injected overload soak (label `soak`) — wire-format
+#      round trip, adaptive admission under 2x overload, deadline budgets,
+#      retry accounting, corrupt/truncated frame rejection
 #   3. asan / ubsan: full suite under AddressSanitizer and UBSan (includes
-#      the snapshot fuzz/corruption tests in io_tests)
+#      the snapshot + event-wire fuzz/corruption tests in io_tests)
 #   4. tsan: the threaded serve and tracing layers (labels `serve` and
-#      `obs`, including the hot-swap tests) under ThreadSanitizer
+#      `obs`; the serve label includes the admission/deadline/retry and
+#      concurrent-metrics-snapshot tests alongside hot-swap) under
+#      ThreadSanitizer
 #   5. notrace: GRANDMA_TRACING=OFF build — proves the instrumented tree
 #      still compiles with tracing compiled out, and the obs tests (which
 #      then assert that zero spans are ever recorded) still pass
@@ -43,6 +48,12 @@ run ctest --preset default -L chaos
 #     zero-allocation, and replay-determinism bench (label `obs`, runs in
 #     the tier-1 build tree).
 run ctest --preset default -L obs
+
+# 2d. Overload-resilience soak gate: bench_smoke_overload replays a reduced
+#     wire-format load through the adaptive-admission server with fault
+#     injection and checks every hard gate (label `soak`, runs in the tier-1
+#     build tree).
+run ctest --preset default -L soak
 
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do

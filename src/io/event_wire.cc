@@ -1,0 +1,343 @@
+// grandma-events v1 — binary framed input-event streams; see event_wire.h.
+#include "io/event_wire.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "io/atomic_file.h"
+#include "io/snapshot.h"  // Crc32
+
+namespace grandma::io {
+
+namespace {
+
+constexpr const char* kMagic = "grandma-events";
+
+// Fixed per-event prefix: session(8) stroke(4) deadline(4) type(1) npoints(4).
+constexpr std::size_t kEventHeaderBytes = 8 + 4 + 4 + 1 + 4;
+constexpr std::size_t kPointBytes = 3 * 8;
+
+void AppendLe(std::string& buf, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendF64(std::string& buf, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  AppendLe(buf, bits, 8);
+}
+
+std::uint64_t ReadLe(const std::string& buf, std::size_t offset, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[offset + i])) << (8 * i);
+  }
+  return v;
+}
+
+double ReadF64(const std::string& buf, std::size_t offset) {
+  const std::uint64_t bits = ReadLe(buf, offset, 8);
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+bool ValidEvent(const WireEvent& e) {
+  const bool is_points = e.type == WireEventType::kPoints;
+  if (is_points && (e.points.empty() || e.points.size() > kEventWireMaxPointsPerEvent)) {
+    return false;
+  }
+  if (!is_points && !e.points.empty()) {
+    return false;
+  }
+  return static_cast<std::uint8_t>(e.type) <=
+         static_cast<std::uint8_t>(WireEventType::kSessionEnd);
+}
+
+std::string EncodeFrame(const std::vector<WireEvent>& events, std::size_t begin,
+                        std::size_t end) {
+  std::string payload;
+  std::size_t bytes = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    bytes += kEventHeaderBytes + events[i].points.size() * kPointBytes;
+  }
+  payload.reserve(bytes);
+  for (std::size_t i = begin; i < end; ++i) {
+    const WireEvent& e = events[i];
+    AppendLe(payload, e.session, 8);
+    AppendLe(payload, e.stroke, 4);
+    AppendLe(payload, e.deadline_us, 4);
+    AppendLe(payload, static_cast<std::uint8_t>(e.type), 1);
+    AppendLe(payload, e.points.size(), 4);
+    for (const geom::TimedPoint& p : e.points) {
+      AppendF64(payload, p.x);
+      AppendF64(payload, p.y);
+      AppendF64(payload, p.t);
+    }
+  }
+  return payload;
+}
+
+// Decodes a CRC-verified frame payload; false on any inconsistency (the
+// bytes are intact per the checksum, so failure means a writer bug or a
+// forged frame — reported as kCorruptSnapshot by the caller).
+bool DecodeFrame(const std::string& payload, std::size_t declared_events,
+                 std::vector<WireEvent>& out) {
+  out.clear();
+  out.reserve(declared_events);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < declared_events; ++i) {
+    if (payload.size() - off < kEventHeaderBytes) {
+      return false;
+    }
+    WireEvent e;
+    e.session = ReadLe(payload, off, 8);
+    e.stroke = static_cast<std::uint32_t>(ReadLe(payload, off + 8, 4));
+    e.deadline_us = static_cast<std::uint32_t>(ReadLe(payload, off + 12, 4));
+    const std::uint64_t type = ReadLe(payload, off + 16, 1);
+    const std::uint64_t npoints = ReadLe(payload, off + 17, 4);
+    off += kEventHeaderBytes;
+    if (type > static_cast<std::uint64_t>(WireEventType::kSessionEnd) ||
+        npoints > kEventWireMaxPointsPerEvent) {
+      return false;
+    }
+    e.type = static_cast<WireEventType>(type);
+    if ((payload.size() - off) / kPointBytes < npoints) {
+      return false;
+    }
+    e.points.reserve(npoints);
+    for (std::uint64_t p = 0; p < npoints; ++p) {
+      geom::TimedPoint pt;
+      pt.x = ReadF64(payload, off);
+      pt.y = ReadF64(payload, off + 8);
+      pt.t = ReadF64(payload, off + 16);
+      e.points.push_back(pt);
+      off += kPointBytes;
+    }
+    if (!ValidEvent(e)) {
+      return false;
+    }
+    out.push_back(std::move(e));
+  }
+  return off == payload.size();  // no trailing garbage inside the frame
+}
+
+}  // namespace
+
+bool SaveEventWire(const std::vector<WireEvent>& events, std::ostream& out,
+                   std::size_t events_per_frame) {
+  if (events_per_frame == 0) {
+    return false;
+  }
+  std::size_t total_points = 0;
+  for (const WireEvent& e : events) {
+    if (!ValidEvent(e)) {
+      return false;
+    }
+    total_points += e.points.size();
+  }
+  const std::size_t frames =
+      (events.size() + events_per_frame - 1) / events_per_frame;
+  if (frames > kEventWireMaxFrames || events.size() > kEventWireMaxEvents) {
+    return false;
+  }
+  out << kMagic << " v" << kEventWireFormatVersion << '\n';
+  out << "frames " << frames << " events " << events.size() << " points " << total_points
+      << '\n';
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t begin = f * events_per_frame;
+    const std::size_t end = std::min(events.size(), begin + events_per_frame);
+    const std::string payload = EncodeFrame(events, begin, end);
+    out << "frame events " << (end - begin) << " bytes " << payload.size() << " crc32 "
+        << std::hex << std::setw(8) << std::setfill('0') << Crc32(payload) << std::dec
+        << '\n';
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+robust::Status SaveEventWireFile(const std::vector<WireEvent>& events,
+                                 const std::string& path, std::size_t events_per_frame) {
+  return AtomicWriteFile(path, [&](std::ostream& out) {
+    return SaveEventWire(events, out, events_per_frame);
+  });
+}
+
+robust::Status EventWireReader::Open() {
+  if (opened_) {
+    return robust::Status::FailedPrecondition("event wire: Open called twice");
+  }
+  std::string magic;
+  if (!(in_ >> magic)) {
+    sticky_error_ = true;
+    return robust::Status::Truncated("event wire: empty stream");
+  }
+  if (magic != kMagic) {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: bad magic '" + magic + "'");
+  }
+  std::string version;
+  if (!(in_ >> version)) {
+    sticky_error_ = true;
+    return robust::Status::Truncated("event wire: stream ends inside the header");
+  }
+  const std::string expected_version = "v" + std::to_string(kEventWireFormatVersion);
+  if (version != expected_version) {
+    sticky_error_ = true;
+    if (in_.eof() && expected_version.compare(0, version.size(), version) == 0) {
+      return robust::Status::Truncated("event wire: stream ends inside the version token");
+    }
+    return robust::Status::VersionMismatch("event wire: format version '" + version +
+                                           "', this binary speaks " + expected_version);
+  }
+  std::string tag_frames;
+  std::string tag_events;
+  std::string tag_points;
+  std::size_t frames = 0;
+  std::size_t events = 0;
+  std::size_t points = 0;
+  if (!(in_ >> tag_frames >> frames >> tag_events >> events >> tag_points >> points)) {
+    sticky_error_ = true;
+    return in_.eof()
+               ? robust::Status::Truncated("event wire: stream ends inside the count line")
+               : robust::Status::CorruptSnapshot("event wire: malformed count line");
+  }
+  if (tag_frames != "frames" || tag_events != "events" || tag_points != "points") {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: malformed count line");
+  }
+  if (frames > kEventWireMaxFrames || events > kEventWireMaxEvents) {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: absurd declared totals (frames " +
+                                           std::to_string(frames) + ", events " +
+                                           std::to_string(events) + ")");
+  }
+  declared_frames_ = frames;
+  declared_events_ = events;
+  declared_points_ = points;
+  opened_ = true;
+  return robust::Status::Ok();
+}
+
+robust::Status EventWireReader::NextFrame(std::vector<WireEvent>& out) {
+  out.clear();
+  if (!opened_ || sticky_error_) {
+    return robust::Status::FailedPrecondition(
+        "event wire: reader not open (or a structural error already occurred)");
+  }
+  if (done()) {
+    return robust::Status::FailedPrecondition("event wire: all declared frames were read");
+  }
+  std::string tag_frame;
+  std::string tag_events;
+  std::string tag_bytes;
+  std::string tag_crc;
+  std::string crc_hex;
+  std::size_t n_events = 0;
+  std::size_t n_bytes = 0;
+  if (!(in_ >> tag_frame >> tag_events >> n_events >> tag_bytes >> n_bytes >> tag_crc >>
+        crc_hex)) {
+    sticky_error_ = true;
+    return in_.eof() ? robust::Status::Truncated(
+                           "event wire: stream ends at frame " + std::to_string(frames_read_) +
+                           " of " + std::to_string(declared_frames_))
+                     : robust::Status::CorruptSnapshot("event wire: malformed frame header");
+  }
+  if (tag_frame != "frame" || tag_events != "events" || tag_bytes != "bytes" ||
+      tag_crc != "crc32" || crc_hex.size() != 8) {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: malformed frame header");
+  }
+  if (n_events > declared_events_ || n_bytes > kEventWireMaxFrameBytes) {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: absurd frame header (events " +
+                                           std::to_string(n_events) + ", bytes " +
+                                           std::to_string(n_bytes) + ")");
+  }
+  std::uint32_t declared_crc = 0;
+  for (char c : crc_hex) {
+    const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    const bool digit = lower >= '0' && lower <= '9';
+    const bool hex = lower >= 'a' && lower <= 'f';
+    if (!digit && !hex) {
+      sticky_error_ = true;
+      return robust::Status::CorruptSnapshot("event wire: non-hex frame checksum digit");
+    }
+    declared_crc = declared_crc * 16 +
+                   static_cast<std::uint32_t>(digit ? lower - '0' : lower - 'a' + 10);
+  }
+  const int sep = in_.get();
+  if (sep == std::char_traits<char>::eof()) {
+    sticky_error_ = true;
+    return robust::Status::Truncated("event wire: stream ends before the frame payload");
+  }
+  if (sep != '\n') {
+    sticky_error_ = true;
+    return robust::Status::CorruptSnapshot("event wire: malformed frame header terminator");
+  }
+  std::string payload(n_bytes, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(n_bytes));
+  if (static_cast<std::size_t>(in_.gcount()) != n_bytes) {
+    sticky_error_ = true;
+    return robust::Status::Truncated("event wire: frame payload has " +
+                                     std::to_string(in_.gcount()) + " of " +
+                                     std::to_string(n_bytes) + " declared bytes");
+  }
+  // The payload arrived in full: from here on, failures are recoverable —
+  // the stream is positioned at the next frame either way.
+  frames_read_ += 1;
+  if (Crc32(payload) != declared_crc) {
+    return robust::Status::CorruptSnapshot("event wire: frame " +
+                                           std::to_string(frames_read_ - 1) +
+                                           " payload CRC mismatch");
+  }
+  if (!DecodeFrame(payload, n_events, out)) {
+    out.clear();
+    return robust::Status::CorruptSnapshot("event wire: frame " +
+                                           std::to_string(frames_read_ - 1) +
+                                           " payload decodes to nonsense");
+  }
+  return robust::Status::Ok();
+}
+
+robust::StatusOr<std::vector<WireEvent>> LoadEventWire(std::istream& in) {
+  EventWireReader reader(in);
+  if (robust::Status open = reader.Open(); !open.ok()) {
+    return open;
+  }
+  std::vector<WireEvent> all;
+  all.reserve(std::min(reader.declared_events(), std::size_t{1} << 16));
+  std::vector<WireEvent> frame;
+  std::size_t points = 0;
+  while (!reader.done()) {
+    if (robust::Status status = reader.NextFrame(frame); !status.ok()) {
+      return status;
+    }
+    for (WireEvent& e : frame) {
+      points += e.points.size();
+      all.push_back(std::move(e));
+    }
+  }
+  if (all.size() != reader.declared_events() || points != reader.declared_points()) {
+    return robust::Status::CorruptSnapshot(
+        "event wire: frame contents disagree with declared totals");
+  }
+  return all;
+}
+
+robust::StatusOr<std::vector<WireEvent>> LoadEventWireFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return robust::Status::FailedPrecondition("cannot open event wire file " + path);
+  }
+  return LoadEventWire(in);
+}
+
+}  // namespace grandma::io

@@ -1,0 +1,131 @@
+// The versioned binary wire format for serve-layer input-event streams:
+// `grandma-events v1`. This is how load files are generated, persisted, and
+// replayed from OUTSIDE the serving process — a million-event soak file is
+// written once and fed through any server build that speaks v1.
+//
+// Container (reusing the checksummed-header idiom of io/snapshot.h, framed
+// so a reader can stream a huge file and survive damage mid-file):
+//
+//   grandma-events v1\n
+//   frames <F> events <N> points <P>\n
+//   F x [ frame events <n> bytes <m> crc32 <8-hex>\n  <m raw bytes> ]
+//
+// Each frame's payload is a fixed little-endian encoding of n events
+// (session u64, stroke u32, deadline_us u32, type u8, npoints u32, then
+// npoints x three f64: x, y, t) and carries its own CRC32 (IEEE 802.3).
+// The encoding is canonical — the same events always produce the same
+// bytes — so save -> load -> save is byte-identical (the soak harness
+// gates on it).
+//
+// Reader contract (EventWireReader): every failure is a typed
+// robust::Status —
+//   kTruncated        — the stream ended before declared content did
+//   kVersionMismatch  — intact header, unknown format version
+//   kCorruptSnapshot  — bad magic, malformed framing, CRC mismatch, or a
+//                       payload that decodes to nonsense
+// A frame whose bytes all arrived but fail the CRC (or decode) is a
+// RECOVERABLE error: the reader stays positioned at the next frame, so one
+// flipped sector costs one frame, not the file. Structural damage (magic,
+// framing, short read) is sticky. File savers go through io::AtomicWriteFile.
+#ifndef GRANDMA_SRC_IO_EVENT_WIRE_H_
+#define GRANDMA_SRC_IO_EVENT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "robust/status.h"
+
+namespace grandma::io {
+
+inline constexpr std::uint32_t kEventWireFormatVersion = 1;
+// Canonical chunking: events per frame unless the caller overrides.
+inline constexpr std::size_t kEventWireDefaultFrameEvents = 4096;
+
+// Sanity caps a corrupt header must not be able to exceed (they bound
+// allocation, not capability: 128M events is ~2 orders past the soak load).
+inline constexpr std::size_t kEventWireMaxFrames = std::size_t{1} << 20;
+inline constexpr std::size_t kEventWireMaxEvents = std::size_t{1} << 27;
+inline constexpr std::size_t kEventWireMaxFrameBytes = std::size_t{1} << 28;
+inline constexpr std::size_t kEventWireMaxPointsPerEvent = std::size_t{1} << 16;
+
+// Mirrors serve::EventType byte-for-byte without making io depend on the
+// serve layer (serve links io; serve/wire_adapter.h static_asserts the two
+// enums agree and converts).
+enum class WireEventType : std::uint8_t {
+  kStrokeBegin = 0,
+  kPoints = 1,
+  kStrokeEnd = 2,
+  kSessionEnd = 3,
+};
+
+struct WireEvent {
+  std::uint64_t session = 0;
+  std::uint32_t stroke = 0;
+  // Deadline budget in microseconds from submission; 0 = none.
+  std::uint32_t deadline_us = 0;
+  WireEventType type = WireEventType::kPoints;
+  std::vector<geom::TimedPoint> points;  // kPoints only (reader-enforced)
+
+  friend bool operator==(const WireEvent&, const WireEvent&) = default;
+};
+
+// --- Writing ---
+
+// False when the stream failed or an event is malformed (kPoints with no
+// points / points on a non-kPoints event / too many points per event).
+bool SaveEventWire(const std::vector<WireEvent>& events, std::ostream& out,
+                   std::size_t events_per_frame = kEventWireDefaultFrameEvents);
+// Atomic (temp + rename) file flavor; see AtomicWriteFile for error codes.
+robust::Status SaveEventWireFile(const std::vector<WireEvent>& events,
+                                 const std::string& path,
+                                 std::size_t events_per_frame = kEventWireDefaultFrameEvents);
+
+// --- Streaming reads ---
+
+// Frame-at-a-time reader for load files too large to care to hold twice.
+// Thread-safety: none (wraps one istream).
+class EventWireReader {
+ public:
+  explicit EventWireReader(std::istream& in) : in_(in) {}
+
+  // Parses and validates the header. Must be called (once) before
+  // NextFrame; returns the typed failure otherwise.
+  robust::Status Open();
+
+  // Appends the next frame's events to `out` (cleared first). kOk on
+  // success; after the last declared frame, done() is true and further
+  // calls return kFailedPrecondition. CRC/decode failures are recoverable
+  // (the next call reads the following frame); structural failures are
+  // sticky and done() never becomes true.
+  robust::Status NextFrame(std::vector<WireEvent>& out);
+
+  // True once every declared frame was consumed (successfully or not).
+  bool done() const { return opened_ && frames_read_ == declared_frames_; }
+
+  std::size_t declared_frames() const { return declared_frames_; }
+  std::size_t declared_events() const { return declared_events_; }
+  std::size_t declared_points() const { return declared_points_; }
+  std::size_t frames_read() const { return frames_read_; }
+
+ private:
+  std::istream& in_;
+  bool opened_ = false;
+  bool sticky_error_ = false;
+  std::size_t declared_frames_ = 0;
+  std::size_t declared_events_ = 0;
+  std::size_t declared_points_ = 0;
+  std::size_t frames_read_ = 0;
+};
+
+// Whole-stream convenience: Open + every frame, first failure wins. Also
+// verifies the declared event/point totals against what was read.
+robust::StatusOr<std::vector<WireEvent>> LoadEventWire(std::istream& in);
+robust::StatusOr<std::vector<WireEvent>> LoadEventWireFile(const std::string& path);
+
+}  // namespace grandma::io
+
+#endif  // GRANDMA_SRC_IO_EVENT_WIRE_H_

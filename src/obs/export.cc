@@ -62,6 +62,17 @@ std::vector<StageSummary> SnapshotStages() {
   return out;
 }
 
+std::optional<StageSummary> SnapshotStage(std::string_view name) {
+  // Linear over the (<= kMaxNames) interned stages; fine for a diagnostics
+  // query. Reuses SnapshotStages so the coherence contract is identical.
+  for (StageSummary& s : SnapshotStages()) {
+    if (s.name == name) {
+      return std::move(s);
+    }
+  }
+  return std::nullopt;
+}
+
 void ExportChromeTrace(const std::vector<ThreadTrace>& threads, std::ostream& out) {
   out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
   bool first = true;

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/trace.h"
@@ -33,6 +35,12 @@ struct StageSummary {
 // Process-wide (stages aggregate across all threads and servers); safe to
 // call while recording threads run (relaxed reads, point-in-time view).
 std::vector<StageSummary> SnapshotStages();
+
+// Snapshot of one stage by name (e.g. "queue.wait"), or nullopt when the
+// stage never recorded a span (or tracing is compiled out / disabled). The
+// single-stage query the overload harness uses to report the queue-wait
+// percentile feed without snapshotting every stage.
+std::optional<StageSummary> SnapshotStage(std::string_view name);
 
 // Serializes `threads` (from CollectAll or CaptureTrace) as a chrome-trace
 // JSON object. Thread ids are renumbered 0..N-1 in the order given, so the

@@ -43,6 +43,10 @@ enum class StatusCode {
   // A snapshot (or other persisted stream) ended before its declared
   // contents did — the classic torn-write / partial-download shape.
   kTruncated,
+  // The event sat in a queue past its deadline budget and was dropped
+  // before classification: a stale answer is worse than no answer for an
+  // interactive gesture. The input was fine; the system was too slow.
+  kDeadlineExceeded,
   // A bug on our side (should not happen on any input).
   kInternal,
 };
@@ -69,6 +73,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "VERSION_MISMATCH";
     case StatusCode::kTruncated:
       return "TRUNCATED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -110,6 +116,9 @@ class Status {
   }
   static Status Truncated(std::string msg) {
     return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

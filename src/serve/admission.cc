@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+#include <stdexcept>
+
+namespace grandma::serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options) : options_(options) {
+  if (!(options_.percentile > 0.0) || options_.percentile > 1.0) {
+    throw std::invalid_argument("AdmissionController: percentile must be in (0, 1]");
+  }
+  if (!(options_.high_watermark_us > options_.low_watermark_us) ||
+      !(options_.low_watermark_us >= 0.0)) {
+    throw std::invalid_argument(
+        "AdmissionController: watermarks must satisfy 0 <= low < high");
+  }
+  if (options_.eval_period_events == 0) {
+    throw std::invalid_argument("AdmissionController: eval_period_events must be positive");
+  }
+}
+
+void AdmissionController::RecordWait(double wait_us) {
+  window_[LatencyBucketOf(wait_us)] += 1;
+  window_count_ += 1;
+  if (window_count_ >= options_.eval_period_events) {
+    EvaluateNow();
+  }
+}
+
+double AdmissionController::WindowPercentileMicros() const {
+  if (window_count_ == 0) {
+    return 0.0;
+  }
+  const double target = options_.percentile * static_cast<double>(window_count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += window_[i];
+    if (static_cast<double>(seen) >= target) {
+      return LatencyBucketUpperMicros(i);
+    }
+  }
+  return LatencyBucketUpperMicros(kLatencyBuckets - 1);
+}
+
+void AdmissionController::EvaluateNow() {
+  if (window_count_ == 0) {
+    return;  // nothing observed; keep the current mode and dwell
+  }
+  const double tail_us = WindowPercentileMicros();
+  window_.fill(0);
+  window_count_ = 0;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (dwell_evals_ < options_.min_dwell_evals) {
+    ++dwell_evals_;
+    return;
+  }
+  const bool shedding = shedding_.load(std::memory_order_relaxed);
+  if (!shedding && tail_us > options_.high_watermark_us) {
+    shedding_.store(true, std::memory_order_release);
+    switches_to_shed_.fetch_add(1, std::memory_order_relaxed);
+    dwell_evals_ = 0;
+  } else if (shedding && tail_us < options_.low_watermark_us) {
+    shedding_.store(false, std::memory_order_release);
+    switches_to_block_.fetch_add(1, std::memory_order_relaxed);
+    dwell_evals_ = 0;
+  }
+}
+
+}  // namespace grandma::serve

@@ -1,0 +1,102 @@
+// Adaptive admission control: a hysteresis controller that flips a shard
+// between backpressure (kBlock semantics) and load shedding (kShed
+// semantics) from the queue-wait latency the shard is actually observing —
+// the same enqueue->dequeue wait the obs "queue.wait" stage and the shard's
+// LatencyHistogram measure.
+//
+// Control loop (one controller per shard, driven by that shard's worker):
+//
+//   worker pops event ──RecordWait(wait_us)──> window histogram
+//                                                   │ every eval_period_events
+//                                                   ▼
+//                              p(tail) of the window (e.g. p99)
+//                                                   │
+//             > high_watermark_us  and dwell satisfied ──> SHED
+//             < low_watermark_us   and dwell satisfied ──> BLOCK
+//
+// Producers read shedding() (one relaxed-ish atomic load) in Submit to pick
+// TryPush vs Push. Hysteresis (two watermarks + a minimum dwell measured in
+// evaluations) keeps the controller from flapping when the load hovers at
+// one threshold: each mode must be held for min_dwell_evals evaluation
+// periods before the opposite switch is allowed.
+//
+// The feed is deliberately the serve-layer histogram rather than the obs
+// tracing stage: the two measure the same wait, but admission must keep
+// working in GRANDMA_TRACING=OFF builds and when tracing is disabled at
+// runtime.
+#ifndef GRANDMA_SRC_SERVE_ADMISSION_H_
+#define GRANDMA_SRC_SERVE_ADMISSION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "serve/metrics.h"
+
+namespace grandma::serve {
+
+struct AdmissionOptions {
+  // Queue-wait percentile (in (0, 1]) the controller watches.
+  double percentile = 0.99;
+  // Tail wait above this: stop blocking producers, start shedding.
+  double high_watermark_us = 20'000.0;  // 20 ms
+  // Tail wait below this: overload has passed, resume backpressure.
+  double low_watermark_us = 2'000.0;  // 2 ms
+  // Events between controller evaluations (the percentile window size).
+  std::uint64_t eval_period_events = 256;
+  // Evaluations a mode must be held before the opposite switch is allowed.
+  std::uint32_t min_dwell_evals = 2;
+};
+
+// Thread-safety: RecordWait is single-writer (the owning shard worker);
+// shedding() and the counters may be read from any thread.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  // True when producers should shed (TryPush) instead of block (Push).
+  bool shedding() const { return shedding_.load(std::memory_order_acquire); }
+
+  // Feeds one dequeued event's queue wait; runs an evaluation every
+  // eval_period_events calls. Worker thread only.
+  void RecordWait(double wait_us);
+
+  // Forces an evaluation of the current (possibly short) window. Worker
+  // thread only; used at drain/shutdown and by tests.
+  void EvaluateNow();
+
+  std::uint64_t evaluations() const { return evaluations_.load(std::memory_order_relaxed); }
+  std::uint64_t switches_to_shed() const {
+    return switches_to_shed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t switches_to_block() const {
+    return switches_to_block_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  // Tail latency of the current window, conservative (bucket upper bound);
+  // 0.0 for an empty window.
+  double WindowPercentileMicros() const;
+
+  AdmissionOptions options_;
+
+  // Producer-visible mode; everything below is worker-private.
+  std::atomic<bool> shedding_{false};
+
+  // Window histogram: same bucket layout as LatencyHistogram but plain
+  // integers — one writer, reset after each evaluation.
+  std::array<std::uint64_t, kLatencyBuckets> window_{};
+  std::uint64_t window_count_ = 0;
+  std::uint32_t dwell_evals_ = 0;  // evaluations since the last switch
+
+  // Counters surfaced in ShardMetrics (relaxed: single writer, any reader).
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> switches_to_shed_{0};
+  std::atomic<std::uint64_t> switches_to_block_{0};
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_ADMISSION_H_

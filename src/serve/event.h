@@ -55,6 +55,12 @@ struct ServeEvent {
   EventType type = EventType::kPoints;
   StrokeId stroke = 0;
   std::vector<geom::TimedPoint> points;  // kPoints only
+  // Deadline budget in microseconds measured from Submit; 0 means no
+  // deadline. An event still queued when its budget expires is dropped by
+  // the worker before classification (kDeadlineExceeded, counted in
+  // events_deadline_expired, reported through ServerOptions::on_drop) — a
+  // stale eager-recognition answer is worse than none.
+  std::uint32_t deadline_us = 0;
   std::chrono::steady_clock::time_point enqueue_time{};
 };
 

@@ -6,9 +6,7 @@
 
 namespace grandma::serve {
 
-namespace {
-
-std::size_t BucketOf(double us) {
+std::size_t LatencyBucketOf(double us) {
   if (!(us > kLatencyMinMicros)) {
     return 0;
   }
@@ -16,14 +14,12 @@ std::size_t BucketOf(double us) {
   return std::min(static_cast<std::size_t>(idx), kLatencyBuckets - 1);
 }
 
-double BucketUpperMicros(std::size_t bucket) {
+double LatencyBucketUpperMicros(std::size_t bucket) {
   return kLatencyMinMicros * std::pow(kLatencyGrowth, static_cast<double>(bucket) + 1.0);
 }
 
-}  // namespace
-
 void LatencyHistogram::RecordMicros(double us) {
-  buckets_[BucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[LatencyBucketOf(us)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -45,10 +41,10 @@ double HistogramSnapshot::PercentileMicros(double p) const {
   for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
     seen += buckets[i];
     if (static_cast<double>(seen) >= target) {
-      return BucketUpperMicros(i);
+      return LatencyBucketUpperMicros(i);
     }
   }
-  return BucketUpperMicros(kLatencyBuckets - 1);
+  return LatencyBucketUpperMicros(kLatencyBuckets - 1);
 }
 
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
@@ -74,7 +70,12 @@ void ShardMetrics::Merge(const ShardMetrics& other) {
   sessions_created += other.sessions_created;
   sessions_resident += other.sessions_resident;
   events_shed += other.events_shed;
+  events_deadline_expired += other.events_deadline_expired;
   callback_errors += other.callback_errors;
+  admission_shedding = admission_shedding || other.admission_shedding;
+  admission_evaluations += other.admission_evaluations;
+  admission_switches_to_shed += other.admission_switches_to_shed;
+  admission_switches_to_block += other.admission_switches_to_block;
   queue_capacity += other.queue_capacity;
   queue_max_depth = std::max(queue_max_depth, other.queue_max_depth);
   queue_latency.Merge(other.queue_latency);
@@ -89,7 +90,12 @@ std::string ShardMetrics::ToJson() const {
       << ", \"sessions_created\": " << sessions_created
       << ", \"sessions_resident\": " << sessions_resident
       << ", \"events_shed\": " << events_shed
+      << ", \"events_deadline_expired\": " << events_deadline_expired
       << ", \"callback_errors\": " << callback_errors
+      << ", \"admission_shedding\": " << (admission_shedding ? "true" : "false")
+      << ", \"admission_evaluations\": " << admission_evaluations
+      << ", \"admission_switches_to_shed\": " << admission_switches_to_shed
+      << ", \"admission_switches_to_block\": " << admission_switches_to_block
       << ", \"queue_capacity\": " << queue_capacity
       << ", \"queue_max_depth\": " << queue_max_depth
       << ", \"queue_latency\": " << queue_latency.ToJson() << "}";

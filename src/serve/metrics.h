@@ -24,6 +24,12 @@ inline constexpr std::size_t kLatencyBuckets = 48;
 inline constexpr double kLatencyMinMicros = 0.1;
 inline constexpr double kLatencyGrowth = 1.5;
 
+// Bucket index for a latency of `us` microseconds / the conservative upper
+// bound of bucket `bucket`. Shared by LatencyHistogram and the admission
+// controller's private window histogram (admission.h).
+std::size_t LatencyBucketOf(double us);
+double LatencyBucketUpperMicros(std::size_t bucket);
+
 // Snapshot histogram: plain counts, single-threaded use.
 struct HistogramSnapshot {
   std::array<std::uint64_t, kLatencyBuckets> buckets{};
@@ -59,10 +65,23 @@ struct ShardMetrics {
   std::uint64_t sessions_created = 0;
   std::uint64_t sessions_resident = 0;
   // Events rejected at Submit because this shard's queue was full (shed
-  // policy) — counted on the producer side.
+  // policy, or adaptive policy currently in shed mode) — counted on the
+  // producer side.
   std::uint64_t events_shed = 0;
+  // Events accepted into the queue but dropped by the worker before
+  // classification because their deadline budget expired while queued
+  // (status kDeadlineExceeded). Accounting invariant:
+  //   accepted == events_processed + events_deadline_expired,
+  //   submitted == accepted + events_shed.
+  std::uint64_t events_deadline_expired = 0;
   // Exceptions thrown by the result callback, swallowed by the worker.
   std::uint64_t callback_errors = 0;
+  // Adaptive admission (OverloadPolicy::kAdaptive only; zeros otherwise).
+  // True when this shard is currently shedding instead of blocking.
+  bool admission_shedding = false;
+  std::uint64_t admission_evaluations = 0;
+  std::uint64_t admission_switches_to_shed = 0;
+  std::uint64_t admission_switches_to_block = 0;
   std::size_t queue_capacity = 0;
   std::size_t queue_max_depth = 0;
   HistogramSnapshot queue_latency;

@@ -1,0 +1,56 @@
+#include "serve/retry.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace grandma::serve {
+
+void RetryStats::Merge(const RetryStats& other) {
+  submitted += other.submitted;
+  attempts += other.attempts;
+  retries += other.retries;
+  accepted += other.accepted;
+  dropped += other.dropped;
+  backoff_waits += other.backoff_waits;
+  backoff_us += other.backoff_us;
+}
+
+robust::Status SubmitWithRetry(RecognitionServer& server, ServeEvent event,
+                               const RetryPolicy& policy, RetryStats* stats) {
+  RetryStats local;
+  local.submitted = 1;
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, policy.max_attempts);
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  robust::Status status;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      local.retries += 1;
+      if (backoff.count() > 0) {
+        local.backoff_waits += 1;
+        local.backoff_us += static_cast<std::uint64_t>(backoff.count());
+        std::this_thread::sleep_for(backoff);
+      }
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+    local.attempts += 1;
+    // Submit moves the event in; keep a copy alive while a retry is still
+    // possible (the last attempt moves).
+    status = attempt + 1 == max_attempts ? server.Submit(std::move(event))
+                                         : server.Submit(event);
+    if (status.code() != robust::StatusCode::kOverloaded) {
+      break;
+    }
+  }
+  if (status.ok()) {
+    local.accepted = 1;
+  } else if (status.code() == robust::StatusCode::kOverloaded) {
+    local.dropped = 1;
+  }
+  if (stats != nullptr) {
+    stats->Merge(local);
+  }
+  return status;
+}
+
+}  // namespace grandma::serve

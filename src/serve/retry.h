@@ -1,0 +1,51 @@
+// Client-side bounded retry-with-backoff for shed submissions. When a
+// server (kShed, or kAdaptive in shed mode) answers kOverloaded, the right
+// client behavior is usually to back off briefly and retry a bounded number
+// of times, then give up — retrying forever turns shedding back into
+// unbounded blocking, and retrying instantly just hammers the full queue.
+// The replay drivers (bench/overload_soak, external feeders) use this; it
+// lives in the library so the policy is testable and shared.
+#ifndef GRANDMA_SRC_SERVE_RETRY_H_
+#define GRANDMA_SRC_SERVE_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "robust/status.h"
+#include "serve/event.h"
+#include "serve/server.h"
+
+namespace grandma::serve {
+
+struct RetryPolicy {
+  // Total submit attempts, including the first (>= 1). 1 disables retry.
+  std::uint32_t max_attempts = 4;
+  // Sleep before the first retry; doubles each further retry (capped).
+  std::chrono::microseconds initial_backoff{200};
+  std::chrono::microseconds max_backoff{10'000};
+};
+
+// Accounting a driver aggregates across calls (single-threaded use; drivers
+// keep one per producer thread and merge).
+struct RetryStats {
+  std::uint64_t submitted = 0;      // SubmitWithRetry calls
+  std::uint64_t attempts = 0;       // Submit calls issued (>= submitted)
+  std::uint64_t retries = 0;        // attempts - submitted
+  std::uint64_t accepted = 0;       // eventually kOk
+  std::uint64_t dropped = 0;        // still kOverloaded after max_attempts
+  std::uint64_t backoff_waits = 0;  // sleeps taken
+  std::uint64_t backoff_us = 0;     // total requested backoff
+
+  void Merge(const RetryStats& other);
+};
+
+// Submits `event`, retrying on kOverloaded up to policy.max_attempts total
+// attempts with exponential backoff between attempts. Any status other than
+// kOverloaded (kOk, kInvalidArgument, kFailedPrecondition) returns
+// immediately — only shedding is retryable. Returns the final status.
+robust::Status SubmitWithRetry(RecognitionServer& server, ServeEvent event,
+                               const RetryPolicy& policy, RetryStats* stats = nullptr);
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_RETRY_H_

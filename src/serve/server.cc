@@ -42,7 +42,7 @@ RecognitionServer::RecognitionServer(std::shared_ptr<ModelRegistry> registry,
   }
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    auto shard = std::make_unique<Shard>(options_.queue_capacity, options_.admission);
     shard->sessions = std::make_unique<SessionManager>(bundle_);
     shards_.push_back(std::move(shard));
   }
@@ -97,14 +97,19 @@ robust::Status RecognitionServer::Submit(ServeEvent event) {
   Shard& shard = *shards_[ShardOf(event.session)];
   event.enqueue_time = std::chrono::steady_clock::now();
 
-  if (options_.overload == OverloadPolicy::kShed) {
+  // kAdaptive resolves to shed or block per shard, per the controller's
+  // current mode (one atomic load; the shard worker drives the mode).
+  const bool shed = options_.overload == OverloadPolicy::kShed ||
+                    (options_.overload == OverloadPolicy::kAdaptive && shard.admission.shedding());
+  if (shed) {
     if (!shard.queue.TryPush(std::move(event))) {
       shard.events_shed.fetch_add(1, std::memory_order_relaxed);
       return robust::Status::Overloaded("Submit: shard queue full, event shed");
     }
     return robust::Status::Ok();
   }
-  // kBlock: wait for room; a false return means the queue closed under us.
+  // Blocking path: wait for room; a false return means the queue closed
+  // under us.
   if (!shard.queue.Push(std::move(event))) {
     return robust::Status::FailedPrecondition("Submit: server shut down during backpressure");
   }
@@ -131,12 +136,38 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
     const auto now = std::chrono::steady_clock::now();
     const double wait_us =
         std::chrono::duration<double, std::micro>(now - event->enqueue_time).count();
-    shard.queue_latency.RecordMicros(wait_us);
     // Enqueue→dequeue wait measured on the real clock by the producer's
     // timestamp; recorded from the consumer side so the span lands on the
     // worker's (single-writer) trace buffer.
     TRACE_MANUAL_SPAN("queue.wait", static_cast<std::uint64_t>(wait_us * 1000.0),
                       event->session);
+    // The admission controller sees every dequeued wait — including waits
+    // that will expire the event below. Feeding only accepted events would
+    // blind the controller exactly when overload is worst.
+    if (options_.overload == OverloadPolicy::kAdaptive) {
+      shard.admission.RecordWait(wait_us);
+    }
+    // Deadline budget: an event that overstayed its budget in the queue is
+    // dropped before classification — by now the gesture moment it belongs
+    // to has passed. Dropped events are excluded from queue_latency (which
+    // is the accepted-event wait) and from events_processed. kSessionEnd is
+    // exempt: it frees session state, and dropping it would turn overload
+    // into a resident-memory leak.
+    if (event->deadline_us > 0 && event->type != EventType::kSessionEnd &&
+        wait_us > static_cast<double>(event->deadline_us)) {
+      shard.events_deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      if (options_.on_drop) {
+        try {
+          options_.on_drop(*event,
+                           robust::Status::DeadlineExceeded(
+                               "WorkerLoop: event overstayed its deadline budget in queue"));
+        } catch (...) {
+          shard.callback_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      continue;
+    }
+    shard.queue_latency.RecordMicros(wait_us);
     TRACE_SESSION_SCOPE(event->session);
     TRACE_SPAN("serve.event");
 
@@ -192,7 +223,12 @@ ServerMetrics RecognitionServer::Metrics() const {
     m.sessions_created = s.sessions_created.load(std::memory_order_relaxed);
     m.sessions_resident = s.sessions_resident.load(std::memory_order_relaxed);
     m.events_shed = s.events_shed.load(std::memory_order_relaxed);
+    m.events_deadline_expired = s.events_deadline_expired.load(std::memory_order_relaxed);
     m.callback_errors = s.callback_errors.load(std::memory_order_relaxed);
+    m.admission_shedding = s.admission.shedding();
+    m.admission_evaluations = s.admission.evaluations();
+    m.admission_switches_to_shed = s.admission.switches_to_shed();
+    m.admission_switches_to_block = s.admission.switches_to_block();
     m.queue_capacity = s.queue.capacity();
     m.queue_max_depth = s.queue.max_depth();
     m.queue_latency = s.queue_latency.Snapshot();

@@ -13,16 +13,23 @@
 // Overload: with OverloadPolicy::kShed a full shard queue rejects the event
 // with robust::Status kOverloaded (counted per shard); with kBlock the
 // submitting thread waits for space — backpressure propagates to producers.
+// kAdaptive starts as kBlock and flips per shard to kShed (and back) from a
+// hysteresis controller over observed queue-wait tail latency (admission.h).
+// Independently, events carrying a deadline_us budget that expires while
+// queued are dropped by the worker before classification (typed
+// kDeadlineExceeded, ServerOptions::on_drop, events_deadline_expired).
 #ifndef GRANDMA_SRC_SERVE_SERVER_H_
 #define GRANDMA_SRC_SERVE_SERVER_H_
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "robust/status.h"
+#include "serve/admission.h"
 #include "serve/bounded_queue.h"
 #include "serve/event.h"
 #include "serve/metrics.h"
@@ -37,13 +44,28 @@ enum class OverloadPolicy : std::uint8_t {
   kShed,
   // Block the submitter until the queue has room (backpressure).
   kBlock,
+  // Start in kBlock and let a per-shard AdmissionController flip the shard
+  // to kShed (and back) from observed queue-wait tail latency — graceful
+  // degradation under sustained overload, lossless otherwise. Tuned by
+  // ServerOptions::admission.
+  kAdaptive,
 };
+
+// Invoked on the worker thread for every accepted event the worker drops
+// instead of processing (today: deadline expiry, status kDeadlineExceeded).
+// Same thread-safety contract as ResultSink; exceptions are swallowed and
+// counted as callback_errors.
+using DropSink = std::function<void(const ServeEvent&, const robust::Status&)>;
 
 struct ServerOptions {
   std::size_t num_shards = 1;
   // Per-shard event queue capacity.
   std::size_t queue_capacity = 1024;
   OverloadPolicy overload = OverloadPolicy::kShed;
+  // Hysteresis tuning for OverloadPolicy::kAdaptive (ignored otherwise).
+  AdmissionOptions admission;
+  // Optional observer for worker-side drops (deadline-expired events).
+  DropSink on_drop;
   // When false, workers are not spawned until Start() — events queue up (and
   // shed) deterministically. Tests use this to exercise the backpressure and
   // drain paths without timing races.
@@ -101,9 +123,12 @@ class RecognitionServer {
 
  private:
   struct Shard {
-    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    Shard(std::size_t capacity, const AdmissionOptions& admission_options)
+        : queue(capacity), admission(admission_options) {}
 
     BoundedQueue<ServeEvent> queue;
+    // Per-shard hysteresis controller (consulted only under kAdaptive).
+    AdmissionController admission;
     // Worker-private; constructed before the worker starts, read by it only.
     std::unique_ptr<SessionManager> sessions;
     std::thread worker;
@@ -115,7 +140,10 @@ class RecognitionServer {
     std::atomic<std::uint64_t> sessions_resident{0};
     std::atomic<std::uint64_t> sessions_created{0};
     std::atomic<std::uint64_t> events_shed{0};  // producer-side writer
+    std::atomic<std::uint64_t> events_deadline_expired{0};
     std::atomic<std::uint64_t> callback_errors{0};
+    // Queue wait of events the worker actually processed (accepted-event
+    // latency; deadline-expired drops are excluded and counted above).
     LatencyHistogram queue_latency;
   };
 

@@ -76,6 +76,72 @@ TEST(EventTraceIoTest, SeededByteMutationsNeverCrash) {
   }
 }
 
+TEST(EventTraceIoTest, TruncationAtEveryPrefixYieldsTypedStatus) {
+  // Same prefix sweep through the StatusOr reader: every failing prefix must
+  // name WHY it failed with a typed code, never a bare "nullopt" ambiguity.
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const std::string text = buffer.str();
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    std::stringstream truncated(text.substr(0, len));
+    robust::StatusOr<EventTrace> loaded = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(loaded = LoadEventTraceOr(truncated)) << "prefix length " << len;
+    if (!loaded.ok()) {
+      const robust::StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == robust::StatusCode::kTruncated ||
+                  code == robust::StatusCode::kCorruptSnapshot ||
+                  code == robust::StatusCode::kVersionMismatch)
+          << "prefix length " << len << ": " << loaded.status().ToString();
+    }
+  }
+}
+
+TEST(EventTraceIoTest, SeededByteMutationsYieldTypedStatus) {
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const std::string text = buffer.str();
+  std::mt19937_64 rng(20260809);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = text;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] = static_cast<char>(rng() % 256);
+    }
+    std::stringstream in(mutated);
+    robust::StatusOr<EventTrace> loaded = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(loaded = LoadEventTraceOr(in)) << "round " << round;
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().message().empty()) << "round " << round;
+      EXPECT_NE(loaded.status().code(), robust::StatusCode::kOk) << "round " << round;
+    } else {
+      EXPECT_LE(loaded->size(), (std::size_t{1} << 22)) << "round " << round;
+    }
+  }
+}
+
+TEST(EventTraceIoTest, RandomChunkDeletionNeverCrashes) {
+  // Beyond single-byte flips: delete whole spans (lost packets / torn
+  // writes). The reader must reject or shrink, never over-read.
+  const EventTrace original = MakeTrace();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveEventTrace(original, buffer));
+  const std::string text = buffer.str();
+  std::mt19937_64 rng(424242);
+  for (int round = 0; round < 100; ++round) {
+    const std::size_t begin = rng() % text.size();
+    const std::size_t span = 1 + rng() % (text.size() - begin);
+    const std::string gouged = text.substr(0, begin) + text.substr(begin + span);
+    std::stringstream in(gouged);
+    std::optional<EventTrace> loaded;
+    ASSERT_NO_THROW(loaded = LoadEventTrace(in)) << "round " << round;
+    if (loaded.has_value()) {
+      EXPECT_LE(loaded->size(), original.size()) << "round " << round;
+    }
+  }
+}
+
 TEST(EventTraceIoTest, HugeDeclaredCountIsRejectedNotAllocated) {
   // A corrupt header must fail by parse error, not by attempting a
   // multi-gigabyte allocation.

@@ -1,0 +1,275 @@
+// grandma-events v1 wire format: canonical round-trips (save -> load -> save
+// byte-identical), the typed-status error taxonomy under truncation and
+// corruption, recoverable-vs-sticky reader semantics, and allocation caps on
+// hostile headers. Mirrors the snapshot/event-trace fuzz idiom from PR 4.
+#include "io/event_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace grandma::io {
+namespace {
+
+using robust::StatusCode;
+
+std::vector<WireEvent> MakeEvents(std::size_t sessions, std::size_t points_per_stroke) {
+  std::vector<WireEvent> events;
+  for (std::uint64_t s = 1; s <= sessions; ++s) {
+    events.push_back({s, 1, 0, WireEventType::kStrokeBegin, {}});
+    WireEvent pts{s, 1, static_cast<std::uint32_t>(1000 * s), WireEventType::kPoints, {}};
+    for (std::size_t i = 0; i < points_per_stroke; ++i) {
+      const double d = static_cast<double>(i);
+      pts.points.push_back({d * 1.5, -d * 0.25, d * 16.0});
+    }
+    events.push_back(std::move(pts));
+    events.push_back({s, 1, 0, WireEventType::kStrokeEnd, {}});
+    events.push_back({s, 0, 0, WireEventType::kSessionEnd, {}});
+  }
+  return events;
+}
+
+std::string Serialize(const std::vector<WireEvent>& events, std::size_t events_per_frame) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveEventWire(events, out, events_per_frame));
+  return out.str();
+}
+
+TEST(EventWireTest, RoundTripPreservesEveryField) {
+  const std::vector<WireEvent> original = MakeEvents(5, 37);
+  std::stringstream buffer(Serialize(original, /*events_per_frame=*/7));
+  auto loaded = LoadEventWire(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]) << "event " << i;
+  }
+}
+
+TEST(EventWireTest, SaveLoadSaveIsByteIdentical) {
+  // The soak harness gates on this: the encoding is canonical, so reloading
+  // and re-saving a file reproduces it bit-for-bit.
+  const std::vector<WireEvent> original = MakeEvents(9, 21);
+  const std::string first = Serialize(original, /*events_per_frame=*/16);
+  std::stringstream in(first);
+  auto loaded = LoadEventWire(in);
+  ASSERT_TRUE(loaded.ok());
+  const std::string second = Serialize(*loaded, /*events_per_frame=*/16);
+  EXPECT_EQ(first, second);
+}
+
+TEST(EventWireTest, EmptyStreamRoundTrips) {
+  const std::string text = Serialize({}, kEventWireDefaultFrameEvents);
+  std::stringstream in(text);
+  auto loaded = LoadEventWire(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(EventWireTest, WriterRejectsMalformedEvents) {
+  std::ostringstream out;
+  // kPoints with no points.
+  EXPECT_FALSE(SaveEventWire({{1, 1, 0, WireEventType::kPoints, {}}}, out));
+  // Points on a non-kPoints event.
+  EXPECT_FALSE(SaveEventWire({{1, 1, 0, WireEventType::kStrokeEnd, {{1, 2, 3}}}}, out));
+}
+
+TEST(EventWireTest, FileRoundTripIsAtomic) {
+  const std::string path = "/tmp/grandma_event_wire_test.bin";
+  const std::vector<WireEvent> original = MakeEvents(3, 10);
+  ASSERT_TRUE(SaveEventWireFile(original, path).ok());
+  auto loaded = LoadEventWireFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, original);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadEventWireFile(path).ok());
+}
+
+// --- Typed-status taxonomy ---
+
+TEST(EventWireTest, BadMagicIsCorruptSnapshot) {
+  std::stringstream in("grandma-elephants v1\nframes 0 events 0 points 0\n");
+  EXPECT_EQ(LoadEventWire(in).status().code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(EventWireTest, FutureVersionIsVersionMismatch) {
+  std::stringstream in("grandma-events v2\nframes 0 events 0 points 0\n");
+  EXPECT_EQ(LoadEventWire(in).status().code(), StatusCode::kVersionMismatch);
+}
+
+TEST(EventWireTest, EmptyAndHeaderOnlyStreamsAreTruncated) {
+  std::stringstream empty("");
+  EXPECT_EQ(LoadEventWire(empty).status().code(), StatusCode::kTruncated);
+  std::stringstream magic_only("grandma-events v1\n");
+  EXPECT_EQ(LoadEventWire(magic_only).status().code(), StatusCode::kTruncated);
+}
+
+TEST(EventWireTest, HugeDeclaredCountsRejectedNotAllocated) {
+  // Hostile headers must fail by validation, not by attempting the
+  // allocation they describe.
+  std::stringstream frames("grandma-events v1\nframes 18446744073709551615 events 1 points 1\n");
+  EXPECT_EQ(LoadEventWire(frames).status().code(), StatusCode::kCorruptSnapshot);
+  std::stringstream events("grandma-events v1\nframes 1 events 999999999999 points 1\n");
+  EXPECT_EQ(LoadEventWire(events).status().code(), StatusCode::kCorruptSnapshot);
+  std::stringstream bytes(
+      "grandma-events v1\nframes 1 events 1 points 0\n"
+      "frame events 1 bytes 999999999999 crc32 00000000\n");
+  EXPECT_EQ(LoadEventWire(bytes).status().code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(EventWireTest, TruncationAtEveryPrefixIsTypedNeverFatal) {
+  // The PR-4 snapshot fuzz idiom applied to the wire: every proper prefix
+  // must fail with a typed status (truncation or corruption), never crash,
+  // hang, or "succeed" with silently missing events.
+  const std::vector<WireEvent> original = MakeEvents(2, 9);
+  const std::string text = Serialize(original, /*events_per_frame=*/3);
+  for (std::size_t len = 0; len < text.size(); ++len) {
+    std::stringstream in(text.substr(0, len));
+    robust::StatusOr<std::vector<WireEvent>> loaded = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(loaded = LoadEventWire(in)) << "prefix length " << len;
+    ASSERT_FALSE(loaded.ok()) << "prefix length " << len;
+    const StatusCode code = loaded.status().code();
+    EXPECT_TRUE(code == StatusCode::kTruncated || code == StatusCode::kCorruptSnapshot ||
+                code == StatusCode::kVersionMismatch)
+        << "prefix length " << len << ": " << loaded.status().ToString();
+  }
+  std::stringstream whole(text);
+  EXPECT_TRUE(LoadEventWire(whole).ok());
+}
+
+TEST(EventWireTest, SeededByteMutationsAreTypedNeverFatal) {
+  const std::vector<WireEvent> original = MakeEvents(3, 17);
+  const std::string text = Serialize(original, /*events_per_frame=*/8);
+  std::mt19937_64 rng(20260809);
+  std::size_t rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = text;
+    const std::size_t flips = 1 + rng() % 4;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    }
+    std::stringstream in(mutated);
+    robust::StatusOr<std::vector<WireEvent>> loaded = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(loaded = LoadEventWire(in)) << "round " << round;
+    if (!loaded.ok()) {
+      ++rejected;
+      const StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == StatusCode::kTruncated || code == StatusCode::kCorruptSnapshot ||
+                  code == StatusCode::kVersionMismatch)
+          << "round " << round << ": " << loaded.status().ToString();
+    } else {
+      // A mutation that survives CRC must still respect declared bounds.
+      EXPECT_LE(loaded->size(), kEventWireMaxEvents) << "round " << round;
+    }
+  }
+  // Payload flips are CRC-guarded; the vast majority of rounds must reject.
+  EXPECT_GE(rejected, 250u);
+}
+
+// --- Streaming reader: recoverable vs sticky ---
+
+TEST(EventWireReaderTest, CrcFlipCostsOneFrameNotTheFile) {
+  const std::vector<WireEvent> original = MakeEvents(4, 5);  // 16 events
+  const std::string text = Serialize(original, /*events_per_frame=*/4);  // 4 frames
+
+  // Flip one byte inside the SECOND frame's payload: locate it after the
+  // second "frame " header line.
+  std::size_t second_header = text.find("frame events", text.find("frame events") + 1);
+  ASSERT_NE(second_header, std::string::npos);
+  std::size_t payload = text.find('\n', second_header) + 1;
+  std::string damaged = text;
+  damaged[payload + 3] ^= 0x40;
+
+  std::stringstream in(damaged);
+  EventWireReader reader(in);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.declared_frames(), 4u);
+
+  std::vector<WireEvent> frame;
+  std::vector<WireEvent> recovered;
+  std::size_t failures = 0;
+  while (!reader.done()) {
+    const robust::Status status = reader.NextFrame(frame);
+    if (status.ok()) {
+      recovered.insert(recovered.end(), frame.begin(), frame.end());
+    } else {
+      ++failures;
+      EXPECT_EQ(status.code(), StatusCode::kCorruptSnapshot);
+    }
+  }
+  EXPECT_EQ(failures, 1u);
+  EXPECT_EQ(reader.frames_read(), 4u);
+  // Frames 1, 3, 4 survive: 12 of the 16 events.
+  ASSERT_EQ(recovered.size(), 12u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(recovered[i], original[i]);
+    EXPECT_EQ(recovered[4 + i], original[8 + i]);
+    EXPECT_EQ(recovered[8 + i], original[12 + i]);
+  }
+  // The whole-stream loader refuses the same bytes (first failure wins).
+  std::stringstream whole(damaged);
+  EXPECT_EQ(LoadEventWire(whole).status().code(), StatusCode::kCorruptSnapshot);
+}
+
+TEST(EventWireReaderTest, MidStreamTruncationIsSticky) {
+  const std::vector<WireEvent> original = MakeEvents(4, 5);
+  const std::string text = Serialize(original, /*events_per_frame=*/4);
+  // Cut the stream in the middle of the third frame.
+  std::size_t third_header = text.find("frame events");
+  third_header = text.find("frame events", third_header + 1);
+  third_header = text.find("frame events", third_header + 1);
+  ASSERT_NE(third_header, std::string::npos);
+  const std::string cut = text.substr(0, text.find('\n', third_header) + 10);
+
+  std::stringstream in(cut);
+  EventWireReader reader(in);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<WireEvent> frame;
+  ASSERT_TRUE(reader.NextFrame(frame).ok());
+  ASSERT_TRUE(reader.NextFrame(frame).ok());
+  const robust::Status status = reader.NextFrame(frame);
+  EXPECT_EQ(status.code(), StatusCode::kTruncated);
+  // Sticky: the reader never reports done, and refuses further reads.
+  EXPECT_FALSE(reader.done());
+  EXPECT_EQ(reader.NextFrame(frame).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EventWireReaderTest, NextFrameAfterDoneIsFailedPrecondition) {
+  const std::string text = Serialize(MakeEvents(1, 3), kEventWireDefaultFrameEvents);
+  std::stringstream in(text);
+  EventWireReader reader(in);
+  ASSERT_TRUE(reader.Open().ok());
+  std::vector<WireEvent> frame;
+  while (!reader.done()) {
+    ASSERT_TRUE(reader.NextFrame(frame).ok());
+  }
+  EXPECT_EQ(reader.NextFrame(frame).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EventWireReaderTest, NextFrameBeforeOpenIsFailedPrecondition) {
+  std::stringstream in("");
+  EventWireReader reader(in);
+  std::vector<WireEvent> frame;
+  EXPECT_EQ(reader.NextFrame(frame).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EventWireTest, DeclaredTotalsMismatchIsCorruption) {
+  // A consistent frame under a lying header: the whole-stream loader
+  // cross-checks declared totals and must refuse.
+  const std::string text = Serialize(MakeEvents(1, 3), kEventWireDefaultFrameEvents);
+  const std::size_t counts_at = text.find("frames ");
+  const std::size_t counts_end = text.find('\n', counts_at);
+  std::string lying = text.substr(0, counts_at) + "frames 1 events 9999 points 3" +
+                      text.substr(counts_end);
+  std::stringstream in(lying);
+  EXPECT_EQ(LoadEventWire(in).status().code(), StatusCode::kCorruptSnapshot);
+}
+
+}  // namespace
+}  // namespace grandma::io

@@ -36,7 +36,7 @@ TEST(StatusTest, EveryCodeHasAName) {
       StatusCode::kOk,         StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
       StatusCode::kOutOfRange, StatusCode::kDataLoss,        StatusCode::kDegraded,
       StatusCode::kOverloaded, StatusCode::kCorruptSnapshot, StatusCode::kVersionMismatch,
-      StatusCode::kTruncated,  StatusCode::kInternal,
+      StatusCode::kTruncated,  StatusCode::kDeadlineExceeded, StatusCode::kInternal,
   };
   for (StatusCode c : codes) {
     EXPECT_STRNE(StatusCodeName(c), "UNKNOWN");
@@ -63,6 +63,14 @@ TEST(StatusTest, OverloadedIsARetryableRejection) {
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kOverloaded);
   EXPECT_NE(s.ToString().find("OVERLOADED"), std::string::npos);
+}
+
+TEST(StatusTest, DeadlineExceededIsTypedAndDistinctFromOverloaded) {
+  const Status s = Status::DeadlineExceeded("queued 80ms past a 50ms budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.code(), StatusCode::kOverloaded);
+  EXPECT_STREQ(StatusCodeName(s.code()), "DEADLINE_EXCEEDED");
 }
 
 TEST(StatusOrTest, HoldsValue) {
