@@ -55,6 +55,13 @@ run ctest --preset default -L obs
 #     build tree).
 run ctest --preset default -L soak
 
+# 2e. Personalization gate: user-delta math/snapshot/cache/serve-wiring unit
+#     tests plus the churn bench smoke (adapted-vs-base accuracy, balanced
+#     eviction/rehydration accounting, zero concurrent divergences) — label
+#     `personalize`, runs in the tier-1 build tree. The same label rides the
+#     tsan preset below.
+run ctest --preset default -L personalize
+
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do
   run cmake --preset "$san"

@@ -45,7 +45,7 @@ std::array<std::uint32_t, 256> MakeCrcTable() {
 }
 
 // Serializes the snapshot container around an already-produced payload.
-bool WriteContainer(std::ostream& out, const char* kind, const std::string& payload) {
+bool WriteContainer(std::ostream& out, std::string_view kind, const std::string& payload) {
   out << kMagic << " v" << kSnapshotFormatVersion << ' ' << kind << '\n';
   out << "bytes " << payload.size() << " crc32 " << std::hex << std::setw(8)
       << std::setfill('0') << Crc32(payload) << std::dec << '\n';
@@ -54,7 +54,7 @@ bool WriteContainer(std::ostream& out, const char* kind, const std::string& payl
 }
 
 // Parses the container and hands back the verified payload bytes.
-robust::StatusOr<std::string> ReadContainer(std::istream& in, const char* expected_kind) {
+robust::StatusOr<std::string> ReadContainer(std::istream& in, std::string_view expected_kind) {
   std::string magic;
   std::string version;
   std::string kind;
@@ -82,7 +82,7 @@ robust::StatusOr<std::string> ReadContainer(std::istream& in, const char* expect
   }
   if (kind != expected_kind) {
     return robust::Status::CorruptSnapshot("snapshot: holds a '" + kind + "', expected '" +
-                                           expected_kind + "'");
+                                           std::string(expected_kind) + "'");
   }
   std::string tag;
   std::size_t bytes = 0;
@@ -187,6 +187,27 @@ std::uint32_t Crc32(std::string_view bytes) {
     crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
+}
+
+// --- Generic container framing ---
+
+bool WriteSnapshotContainer(std::ostream& out, std::string_view kind,
+                            const std::string& payload) {
+  if (kind.empty()) {
+    return false;
+  }
+  for (char c : kind) {
+    // The header is whitespace-tokenized, so a kind containing whitespace
+    // would write a container no reader can parse back.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return WriteContainer(out, kind, payload);
+}
+
+robust::StatusOr<std::string> ReadSnapshotContainer(std::istream& in, std::string_view kind) {
+  return ReadContainer(in, kind);
 }
 
 // --- Classifier snapshots ---

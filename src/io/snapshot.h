@@ -38,6 +38,19 @@ inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
 // CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) of `bytes`.
 std::uint32_t Crc32(std::string_view bytes);
 
+// --- Generic container framing ---
+// The checksummed `grandma-snapshot v1` envelope around an arbitrary payload,
+// exposed so higher layers can define new snapshot kinds (e.g. personalize's
+// `user-delta`) with the same header/CRC/truncation guarantees as the model
+// kinds below. `kind` must be a single non-empty whitespace-free token; the
+// writer returns false on a malformed kind or a failed stream, the reader
+// returns the verified payload bytes or the same typed statuses the model
+// loaders use (kTruncated / kVersionMismatch / kCorruptSnapshot).
+bool WriteSnapshotContainer(std::ostream& out, std::string_view kind,
+                            const std::string& payload);
+robust::StatusOr<std::string> ReadSnapshotContainer(std::istream& in,
+                                                    std::string_view kind);
+
 // --- Trained full classifiers ---
 
 // Returns false when `classifier` is untrained or the stream failed.

@@ -1,6 +1,7 @@
 #include "linalg/stats.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace grandma::linalg {
 
@@ -34,6 +35,18 @@ void ScatterAccumulator::Add(const Vector& sample) {
       scatter_(i, j) += 0.5 * (delta[i] * delta2[j] + delta[j] * delta2[i]);
     }
   }
+}
+
+ScatterAccumulator ScatterAccumulator::FromMoments(Vector mean, Matrix scatter,
+                                                   std::size_t count) {
+  if (scatter.rows() != mean.size() || scatter.cols() != mean.size()) {
+    throw std::invalid_argument("ScatterAccumulator::FromMoments: shape mismatch");
+  }
+  ScatterAccumulator out(mean.size());
+  out.mean_ = std::move(mean);
+  out.scatter_ = std::move(scatter);
+  out.count_ = count;
+  return out;
 }
 
 Matrix ScatterAccumulator::SampleCovariance() const {

@@ -37,6 +37,14 @@ class ScatterAccumulator {
 
   void Add(const Vector& sample);
 
+  // Reconstructs an accumulator from persisted moments — the exact inverse
+  // of Mean()/Scatter()/count(). Because the Welford recursion only reads
+  // (mean, scatter, count), adding further samples to the reconstructed
+  // instance continues bit-identically to the original, which is what makes
+  // user-delta snapshot rehydration deterministic. `scatter` must be square
+  // with side mean.size() (throws std::invalid_argument otherwise).
+  static ScatterAccumulator FromMoments(Vector mean, Matrix scatter, std::size_t count);
+
   std::size_t count() const { return count_; }
   std::size_t dimension() const { return mean_.size(); }
 

@@ -1,0 +1,170 @@
+#include "personalize/delta_snapshot.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "io/atomic_file.h"
+#include "io/snapshot.h"
+#include "linalg/matrix.h"
+#include "linalg/stats.h"
+#include "linalg/vector.h"
+
+namespace grandma::personalize {
+
+namespace {
+
+// Caps against allocation bombs from corrupt (but CRC-valid) payloads; far
+// above anything the system trains (13 masked features, dozens of classes).
+constexpr std::size_t kMaxClasses = std::size_t{1} << 14;
+constexpr std::size_t kMaxDimension = std::size_t{1} << 10;
+constexpr std::size_t kMaxExamplesPerClass = std::size_t{1} << 24;
+
+bool WritePayload(const UserDelta& delta, std::ostream& out) {
+  // max_digits10 makes the double round trip bit-exact (same idiom as
+  // io/serialize.cc) — rehydrated accumulators must continue the Welford
+  // recursion identically to the evicted ones.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "user " << delta.user() << '\n';
+  out << "shape " << delta.num_classes() << ' ' << delta.dimension() << '\n';
+  out << "adapted " << delta.adapted_classes() << '\n';
+  for (classify::ClassId c = 0; c < delta.num_classes(); ++c) {
+    const linalg::ScatterAccumulator* stats = delta.ClassStats(c);
+    if (stats == nullptr || stats->count() == 0) {
+      continue;
+    }
+    out << "class " << c << " count " << stats->count() << '\n';
+    const linalg::Vector mean = stats->Mean();
+    out << "mean";
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      out << ' ' << mean[i];
+    }
+    out << '\n';
+    const linalg::Matrix& scatter = stats->Scatter();
+    out << "scatter";
+    for (std::size_t i = 0; i < scatter.rows(); ++i) {
+      for (std::size_t j = 0; j < scatter.cols(); ++j) {
+        out << ' ' << scatter(i, j);
+      }
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<UserDelta> ParsePayload(std::istream& in) {
+  std::string tag;
+  UserId user = 0;
+  std::size_t classes = 0;
+  std::size_t dimension = 0;
+  std::size_t adapted = 0;
+  if (!(in >> tag >> user) || tag != "user") {
+    return std::nullopt;
+  }
+  if (!(in >> tag >> classes >> dimension) || tag != "shape") {
+    return std::nullopt;
+  }
+  if (classes == 0 || classes > kMaxClasses || dimension == 0 ||
+      dimension > kMaxDimension) {
+    return std::nullopt;
+  }
+  if (!(in >> tag >> adapted) || tag != "adapted" || adapted > classes) {
+    return std::nullopt;
+  }
+  UserDelta delta(user, classes, dimension);
+  std::size_t last_class = 0;
+  for (std::size_t k = 0; k < adapted; ++k) {
+    std::size_t c = 0;
+    std::size_t count = 0;
+    if (!(in >> tag >> c) || tag != "class" || c >= classes) {
+      return std::nullopt;
+    }
+    // Classes are written in strictly increasing order; anything else is not
+    // a writer-produced payload.
+    if (k > 0 && c <= last_class) {
+      return std::nullopt;
+    }
+    last_class = c;
+    if (!(in >> tag >> count) || tag != "count" || count == 0 ||
+        count > kMaxExamplesPerClass) {
+      return std::nullopt;
+    }
+    if (!(in >> tag) || tag != "mean") {
+      return std::nullopt;
+    }
+    linalg::Vector mean(dimension);
+    for (std::size_t i = 0; i < dimension; ++i) {
+      if (!(in >> mean[i])) {
+        return std::nullopt;
+      }
+    }
+    if (!(in >> tag) || tag != "scatter") {
+      return std::nullopt;
+    }
+    linalg::Matrix scatter(dimension, dimension);
+    for (std::size_t i = 0; i < dimension; ++i) {
+      for (std::size_t j = 0; j < dimension; ++j) {
+        if (!(in >> scatter(i, j))) {
+          return std::nullopt;
+        }
+      }
+    }
+    delta.RestoreClassStats(
+        c, linalg::ScatterAccumulator::FromMoments(std::move(mean), std::move(scatter), count));
+  }
+  // Trailing garbage after the declared sections is not writer output.
+  if (in >> tag) {
+    return std::nullopt;
+  }
+  return delta;
+}
+
+}  // namespace
+
+bool SaveUserDeltaSnapshot(const UserDelta& delta, std::ostream& out) {
+  if (delta.dimension() == 0 || delta.num_classes() == 0) {
+    return false;
+  }
+  std::ostringstream payload;
+  if (!WritePayload(delta, payload)) {
+    return false;
+  }
+  return io::WriteSnapshotContainer(out, kUserDeltaKind, payload.str());
+}
+
+robust::StatusOr<UserDelta> LoadUserDeltaSnapshot(std::istream& in) {
+  auto payload = io::ReadSnapshotContainer(in, kUserDeltaKind);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  std::istringstream body(*payload);
+  auto delta = ParsePayload(body);
+  if (!delta.has_value()) {
+    return robust::Status::CorruptSnapshot(
+        "snapshot: CRC-valid user-delta payload failed to parse");
+  }
+  return std::move(*delta);
+}
+
+robust::Status SaveUserDeltaSnapshotFile(const UserDelta& delta, const std::string& path) {
+  return io::AtomicWriteFile(path,
+                             [&](std::ostream& out) { return SaveUserDeltaSnapshot(delta, out); });
+}
+
+robust::StatusOr<UserDelta> LoadUserDeltaSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return robust::Status::FailedPrecondition("cannot open user-delta snapshot " + path);
+  }
+  return LoadUserDeltaSnapshot(in);
+}
+
+std::string UserDeltaFileName(UserId user) {
+  return "user-" + std::to_string(user) + ".udelta";
+}
+
+}  // namespace grandma::personalize

@@ -1,0 +1,40 @@
+// Crash-safe persistence of UserDelta — the `user-delta` kind of the
+// `grandma-snapshot v1` container (io/snapshot.h): same magic/version
+// header, CRC32 over the payload, typed rejection (kTruncated /
+// kVersionMismatch / kCorruptSnapshot), and atomic file writes through
+// io::AtomicWriteFile, so the crash-point harness's guarantees (a kill at
+// any byte leaves the previous snapshot intact) extend to user deltas.
+//
+// The payload is the plain-text moment dump of every adapted class — user
+// id, shape, then per class its example count, mean vector, and scatter
+// matrix — written at max_digits10 so rehydration reconstructs the
+// accumulators bit-exactly and further Welford updates continue as if the
+// delta had never left memory.
+#ifndef GRANDMA_SRC_PERSONALIZE_DELTA_SNAPSHOT_H_
+#define GRANDMA_SRC_PERSONALIZE_DELTA_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "personalize/user_delta.h"
+#include "robust/status.h"
+
+namespace grandma::personalize {
+
+inline constexpr const char* kUserDeltaKind = "user-delta";
+
+// Returns false when the delta is empty-shaped (dimension 0) or the stream
+// failed.
+bool SaveUserDeltaSnapshot(const UserDelta& delta, std::ostream& out);
+robust::StatusOr<UserDelta> LoadUserDeltaSnapshot(std::istream& in);
+
+robust::Status SaveUserDeltaSnapshotFile(const UserDelta& delta, const std::string& path);
+robust::StatusOr<UserDelta> LoadUserDeltaSnapshotFile(const std::string& path);
+
+// Canonical spill file name for a user inside a delta directory:
+// "user-<id>.udelta".
+std::string UserDeltaFileName(UserId user);
+
+}  // namespace grandma::personalize
+
+#endif  // GRANDMA_SRC_PERSONALIZE_DELTA_SNAPSHOT_H_

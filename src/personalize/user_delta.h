@@ -1,0 +1,109 @@
+// Per-user personalization deltas (the paper's core promise at production
+// scale): GRANDMA trains a per-user classifier from 10-15 examples per class;
+// serving millions of users means millions of live adapted models layered
+// over one shared base. A UserDelta is the copy-on-write layer for one user —
+// per-class running mean/scatter statistics accumulated incrementally
+// (Welford rank-1 updates via linalg::ScatterAccumulator, no full retrain)
+// from that user's own examples.
+//
+// Adaptation model: the base LinearClassifier's per-class means are pulled
+// toward the user's observed means under a MAP/shrinkage rule,
+//
+//   mu'_c = (k0 * mu_base_c + n_c * mean_user_c) / (k0 + n_c)
+//
+// where k0 (AdaptOptions::base_strength) is the pseudo-count of base
+// examples and n_c the user's example count for class c. Weights are then
+// recomputed in closed form under the SHARED base covariance
+// (w'_c = Sigma^-1 mu'_c, w'_c0 = -1/2 mu'_c . w'_c): with 10-15 examples in
+// a 13-dimensional feature space a per-user covariance is singular, so the
+// per-user scatter is accumulated and persisted (diagnostics, future
+// covariance shrinkage) but does not feed the adapted weights. Classes the
+// user never demonstrated keep the base parameters bit-identically, so a
+// fresh user classifies exactly like the base model.
+//
+// Thread-safety: none — a delta is one user's mutable state; UserModelCache
+// serializes access per shard.
+#ifndef GRANDMA_SRC_PERSONALIZE_USER_DELTA_H_
+#define GRANDMA_SRC_PERSONALIZE_USER_DELTA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classify/training_set.h"
+#include "eager/eager_recognizer.h"
+#include "linalg/stats.h"
+#include "linalg/vec_view.h"
+
+namespace grandma::personalize {
+
+using UserId = std::uint64_t;
+
+struct AdaptOptions {
+  // Pseudo-count of base-model examples in the shrinkage mean. Larger values
+  // trust the base longer; smaller values let few user examples dominate.
+  // Must be > 0 (a zero would discard the base entirely on one example).
+  double base_strength = 8.0;
+};
+
+// The accumulated corrections of one user. Move-only (per-class accumulators
+// are allocated lazily — most users adapt a few classes, not all).
+class UserDelta {
+ public:
+  UserDelta() = default;
+  // Shape must match the base model: `num_classes` classes over `dimension`
+  // masked features (the base classifier's dimension(), not kNumFeatures).
+  UserDelta(UserId user, std::size_t num_classes, std::size_t dimension);
+
+  UserDelta(UserDelta&&) = default;
+  UserDelta& operator=(UserDelta&&) = default;
+  UserDelta(const UserDelta&) = delete;
+  UserDelta& operator=(const UserDelta&) = delete;
+
+  UserId user() const { return user_; }
+  std::size_t num_classes() const { return per_class_.size(); }
+  std::size_t dimension() const { return dimension_; }
+
+  // Folds one masked feature vector into class c's running statistics
+  // (O(dimension^2) Welford update). Throws std::out_of_range on a bad class
+  // and std::invalid_argument on a dimension mismatch.
+  void AddExample(classify::ClassId c, linalg::VecView masked_features);
+
+  // Total examples across classes / classes with at least one example.
+  std::size_t examples() const { return examples_; }
+  std::size_t adapted_classes() const;
+
+  std::size_t ExampleCount(classify::ClassId c) const;
+  // Class c's running statistics; nullptr when the user never demonstrated c.
+  const linalg::ScatterAccumulator* ClassStats(classify::ClassId c) const;
+
+  // Installs reconstructed statistics for class c (snapshot rehydration);
+  // replaces any existing slot and recounts examples(). Shape-checked like
+  // AddExample.
+  void RestoreClassStats(classify::ClassId c, linalg::ScatterAccumulator stats);
+
+  // Deterministic approximation of the resident footprint (mean + scatter +
+  // bookkeeping per adapted class), used for the cache's byte budget.
+  std::size_t ApproxBytes() const;
+
+ private:
+  UserId user_ = 0;
+  std::size_t dimension_ = 0;
+  std::size_t examples_ = 0;
+  std::vector<std::unique_ptr<linalg::ScatterAccumulator>> per_class_;
+};
+
+// Materializes the user's adapted recognizer from the base: adapted classes
+// get shrunk means and recomputed weights/biases under the base covariance;
+// everything else (mask, registry, AUC, unadapted classes) is copied
+// bit-identically, so the result rides the same zero-allocation classify
+// kernels as the base. Throws std::invalid_argument when the delta's shape
+// does not match the base or base_strength <= 0.
+eager::EagerRecognizer AdaptRecognizer(const eager::EagerRecognizer& base,
+                                       const UserDelta& delta,
+                                       const AdaptOptions& options = {});
+
+}  // namespace grandma::personalize
+
+#endif  // GRANDMA_SRC_PERSONALIZE_USER_DELTA_H_

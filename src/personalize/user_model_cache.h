@@ -1,0 +1,340 @@
+// Sharded LRU cache of per-user adapted models, bounded by entry and byte
+// budgets, with eviction -> delta-snapshot spill -> rehydration round trips.
+// This is what lets "millions of users" ride a fixed memory budget: only the
+// hot users' adapted models stay materialized; everyone else's delta lives as
+// a crash-safe `user-delta` snapshot (delta_snapshot.h) until they return.
+//
+// The cache is generic over the materialized model handle (`ModelPtr`,
+// typically shared_ptr<const serve::RecognizerBundle>) so it can live below
+// the serve layer; the owner supplies a Materializer that turns a UserDelta
+// into a model against the current base. A monotonically increasing `epoch`
+// (the base bundle's version) invalidates materialized models across base
+// hot-swaps: an entry materialized against an older base is transparently
+// re-materialized on its next touch, and its delta survives the swap.
+//
+// Thread-safety: every public method is safe from any thread. Each shard is
+// one mutex over its map + LRU list. Spills and rehydrations run WHILE
+// HOLDING the shard lock — deliberately: if an eviction released the lock
+// before its spill completed, a concurrent Resolve of the same user could
+// miss, read a stale (or absent) snapshot, and silently drop examples.
+// Deltas are kilobytes, evictions are the rare path, and other shards stay
+// unaffected, so the lock-held file write is the correct trade
+// (docs/SERVING.md covers sizing).
+#ifndef GRANDMA_SRC_PERSONALIZE_USER_MODEL_CACHE_H_
+#define GRANDMA_SRC_PERSONALIZE_USER_MODEL_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "personalize/delta_snapshot.h"
+#include "personalize/user_delta.h"
+#include "robust/status.h"
+
+namespace grandma::personalize {
+
+// Plain-value counters; the accounting invariants the churn bench gates on:
+//   lookups == hits + misses
+//   evictions == spills_ok + spills_failed + evictions_dropped
+//   rehydrations_ok <= spills_ok (can only read back what was written)
+//   resident_entries <= max_entries, resident_bytes stays near max_bytes
+//   (one oversized entry per shard may exceed it; see Options::max_bytes)
+struct CacheMetrics {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t adapts = 0;
+  std::uint64_t materializations = 0;
+  std::uint64_t materialize_failed = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t spills_ok = 0;
+  std::uint64_t spills_failed = 0;
+  // Evictions with no spill directory configured: the delta is dropped.
+  std::uint64_t evictions_dropped = 0;
+  std::uint64_t rehydrations_ok = 0;
+  std::uint64_t rehydrations_failed = 0;
+  // Deltas discarded because their shape no longer matches the base model.
+  std::uint64_t shape_resets = 0;
+  // Gauges.
+  std::uint64_t resident_entries = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+template <typename ModelPtr>
+class UserModelCache {
+ public:
+  struct Options {
+    std::size_t shards = 4;
+    // Total budgets across all shards (split evenly, minimum one entry per
+    // shard). Eviction never removes the entry being touched, so a shard
+    // holds at least one entry regardless of byte pressure — max_bytes is a
+    // high-water target, exceedable by at most one entry per shard.
+    std::size_t max_entries = 1024;
+    std::size_t max_bytes = std::size_t{8} << 20;
+    // Added to every entry's delta footprint to account for the materialized
+    // model (the owner estimates it once from the base model's shape).
+    std::size_t model_bytes_estimate = 0;
+    // Directory for eviction spills; "" disables spill/rehydrate (an evicted
+    // user's personalization is simply lost).
+    std::string spill_dir;
+  };
+
+  // Builds a model for `delta` against the owner's current base. Returning a
+  // null ModelPtr means "cannot materialize" (e.g. shape mismatch mid-swap):
+  // the caller falls back to the base model and the delta is kept.
+  using Materializer = std::function<ModelPtr(const UserDelta&)>;
+
+  explicit UserModelCache(Options options) : options_(std::move(options)) {
+    if (options_.shards == 0) {
+      throw std::invalid_argument("UserModelCache: shards must be > 0");
+    }
+    entries_per_shard_ =
+        std::max<std::size_t>(1, options_.max_entries / options_.shards);
+    bytes_per_shard_ = std::max<std::size_t>(1, options_.max_bytes / options_.shards);
+    shards_ = std::vector<Shard>(options_.shards);
+  }
+
+  // The model strokes of `user` should pin, or null when the user has no
+  // delta (resident or spilled) — the caller then uses the base model. A
+  // damaged spill file is counted and treated as "no delta": broken
+  // personalization must never fail the session.
+  ModelPtr Resolve(UserId user, std::uint64_t epoch, const Materializer& materialize) {
+    Shard& shard = ShardOf(user);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    auto it = shard.entries.find(user);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      Touch(shard, it->second);
+      if (it->second.epoch != epoch) {
+        Rematerialize(it->second, epoch, materialize);
+      }
+      return it->second.model;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    UserDelta delta;
+    if (!TryRehydrate(user, delta)) {
+      return ModelPtr{};
+    }
+    Entry& entry = Insert(shard, user, std::move(delta));
+    Rematerialize(entry, epoch, materialize);
+    ModelPtr model = entry.model;
+    EvictOverBudget(shard, user);
+    return model;
+  }
+
+  // Folds one example into the user's delta (creating it — or rehydrating it
+  // from a spill — if needed) and re-materializes the user's model. `shape`
+  // is the base model's (num_classes, dimension); a resident delta whose
+  // shape no longer matches is discarded and restarted (counted as a
+  // shape_reset).
+  robust::Status Adapt(UserId user, classify::ClassId class_id, linalg::VecView masked,
+                       std::pair<std::size_t, std::size_t> shape, std::uint64_t epoch,
+                       const Materializer& materialize) {
+    const auto [num_classes, dimension] = shape;
+    if (class_id >= num_classes) {
+      return robust::Status::InvalidArgument("UserModelCache::Adapt: class out of range");
+    }
+    if (masked.size() != dimension) {
+      return robust::Status::InvalidArgument("UserModelCache::Adapt: dimension mismatch");
+    }
+    Shard& shard = ShardOf(user);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(user);
+    if (it == shard.entries.end()) {
+      UserDelta delta;
+      if (!TryRehydrate(user, delta)) {
+        delta = UserDelta(user, num_classes, dimension);
+      }
+      Insert(shard, user, std::move(delta));
+      it = shard.entries.find(user);
+    } else {
+      Touch(shard, it->second);
+    }
+    Entry& entry = it->second;
+    if (entry.delta.num_classes() != num_classes || entry.delta.dimension() != dimension) {
+      shape_resets_.fetch_add(1, std::memory_order_relaxed);
+      shard.bytes -= entry.bytes;
+      entry.delta = UserDelta(user, num_classes, dimension);
+      entry.bytes = EntryBytes(entry.delta);
+      shard.bytes += entry.bytes;
+    }
+    shard.bytes -= entry.bytes;
+    entry.delta.AddExample(class_id, masked);
+    entry.bytes = EntryBytes(entry.delta);
+    shard.bytes += entry.bytes;
+    adapts_.fetch_add(1, std::memory_order_relaxed);
+    Rematerialize(entry, epoch, materialize);
+    EvictOverBudget(shard, user);
+    return robust::Status::Ok();
+  }
+
+  CacheMetrics Metrics() const {
+    CacheMetrics out;
+    out.lookups = lookups_.load(std::memory_order_relaxed);
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.adapts = adapts_.load(std::memory_order_relaxed);
+    out.materializations = materializations_.load(std::memory_order_relaxed);
+    out.materialize_failed = materialize_failed_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.spills_ok = spills_ok_.load(std::memory_order_relaxed);
+    out.spills_failed = spills_failed_.load(std::memory_order_relaxed);
+    out.evictions_dropped = evictions_dropped_.load(std::memory_order_relaxed);
+    out.rehydrations_ok = rehydrations_ok_.load(std::memory_order_relaxed);
+    out.rehydrations_failed = rehydrations_failed_.load(std::memory_order_relaxed);
+    out.shape_resets = shape_resets_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      out.resident_entries += shard.entries.size();
+      out.resident_bytes += shard.bytes;
+    }
+    return out;
+  }
+
+  const Options& options() const { return options_; }
+  std::size_t entries_per_shard() const { return entries_per_shard_; }
+  std::size_t bytes_per_shard() const { return bytes_per_shard_; }
+
+ private:
+  struct Entry {
+    UserDelta delta;
+    ModelPtr model{};
+    std::uint64_t epoch = 0;
+    std::size_t bytes = 0;
+    std::list<UserId>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<UserId, Entry> entries;
+    std::list<UserId> lru;  // front = most recent
+    std::size_t bytes = 0;
+  };
+
+  // SplitMix64 — decorrelates sequential user ids across shards (same hash
+  // family the serve layer uses for session sharding).
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  Shard& ShardOf(UserId user) { return shards_[Mix(user) % shards_.size()]; }
+
+  std::size_t EntryBytes(const UserDelta& delta) const {
+    return delta.ApproxBytes() + options_.model_bytes_estimate;
+  }
+
+  std::string SpillPath(UserId user) const {
+    return options_.spill_dir + "/" + UserDeltaFileName(user);
+  }
+
+  // All four helpers below run under the owning shard's lock.
+
+  void Touch(Shard& shard, Entry& entry) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_pos);
+  }
+
+  Entry& Insert(Shard& shard, UserId user, UserDelta delta) {
+    shard.lru.push_front(user);
+    Entry& entry = shard.entries[user];
+    entry.delta = std::move(delta);
+    entry.bytes = EntryBytes(entry.delta);
+    entry.lru_pos = shard.lru.begin();
+    shard.bytes += entry.bytes;
+    return entry;
+  }
+
+  void Rematerialize(Entry& entry, std::uint64_t epoch, const Materializer& materialize) {
+    entry.model = materialize(entry.delta);
+    entry.epoch = epoch;
+    if (!entry.model) {
+      materialize_failed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      materializations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Loads `user`'s spilled delta into `out`; false when there is no spill
+  // (or spilling is disabled). A present-but-damaged snapshot is a typed
+  // rejection: counted, treated as absent, session falls back to the base.
+  bool TryRehydrate(UserId user, UserDelta& out) {
+    if (options_.spill_dir.empty()) {
+      return false;
+    }
+    TRACE_SPAN("personalize.rehydrate");
+    auto loaded = LoadUserDeltaSnapshotFile(SpillPath(user));
+    if (loaded.ok()) {
+      rehydrations_ok_.fetch_add(1, std::memory_order_relaxed);
+      out = std::move(*loaded);
+      return true;
+    }
+    if (loaded.status().code() != robust::StatusCode::kFailedPrecondition) {
+      // The file exists but is truncated/corrupt/version-skewed.
+      rehydrations_failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  void EvictOverBudget(Shard& shard, UserId keep) {
+    while ((shard.entries.size() > entries_per_shard_ || shard.bytes > bytes_per_shard_) &&
+           shard.lru.size() > 1) {
+      UserId victim = shard.lru.back();
+      if (victim == keep) {
+        // The just-touched user sits at the front by construction; this is
+        // pure defensiveness.
+        break;
+      }
+      auto it = shard.entries.find(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.spill_dir.empty()) {
+        evictions_dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        TRACE_SPAN("personalize.spill");
+        if (SaveUserDeltaSnapshotFile(it->second.delta, SpillPath(victim)).ok()) {
+          spills_ok_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          spills_failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      shard.bytes -= it->second.bytes;
+      shard.lru.pop_back();
+      shard.entries.erase(it);
+    }
+  }
+
+  Options options_;
+  std::size_t entries_per_shard_ = 1;
+  std::size_t bytes_per_shard_ = 1;
+  std::vector<Shard> shards_;
+
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> adapts_{0};
+  std::atomic<std::uint64_t> materializations_{0};
+  std::atomic<std::uint64_t> materialize_failed_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> spills_ok_{0};
+  std::atomic<std::uint64_t> spills_failed_{0};
+  std::atomic<std::uint64_t> evictions_dropped_{0};
+  std::atomic<std::uint64_t> rehydrations_ok_{0};
+  std::atomic<std::uint64_t> rehydrations_failed_{0};
+  std::atomic<std::uint64_t> shape_resets_{0};
+};
+
+}  // namespace grandma::personalize
+
+#endif  // GRANDMA_SRC_PERSONALIZE_USER_MODEL_CACHE_H_

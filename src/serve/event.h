@@ -19,6 +19,11 @@ namespace grandma::serve {
 
 using SessionId = std::uint64_t;
 using StrokeId = std::uint32_t;
+// End-user identity for per-user personalization (src/personalize). Distinct
+// from SessionId: one user may hold many concurrent sessions (devices), and
+// sessions are transient while a user's adapted model persists across them.
+// User 0 is the anonymous user and always gets the shared base model.
+using UserId = std::uint64_t;
 
 enum class EventType : std::uint8_t {
   // Start a new stroke for the session (resets its incremental extractor).
@@ -62,6 +67,10 @@ struct ServeEvent {
   // stale eager-recognition answer is worse than none.
   std::uint32_t deadline_us = 0;
   std::chrono::steady_clock::time_point enqueue_time{};
+  // Owner of the stroke, for per-user model resolution at stroke boundaries
+  // (0 = anonymous, base model). Deliberately last so existing positional
+  // aggregate initializers stay valid.
+  UserId user = 0;
 };
 
 enum class ResultKind : std::uint8_t {

@@ -102,18 +102,52 @@ std::string ShardMetrics::ToJson() const {
   return out.str();
 }
 
+double ModelLifecycleMetrics::UserHitRate() const {
+  const std::uint64_t lookups = user_cache_hits + user_cache_misses;
+  if (lookups == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(user_cache_hits) / static_cast<double>(lookups);
+}
+
 void ModelLifecycleMetrics::Merge(const ModelLifecycleMetrics& other) {
   snapshot_loads_ok += other.snapshot_loads_ok;
   snapshot_loads_failed += other.snapshot_loads_failed;
   model_swaps += other.model_swaps;
   rollbacks += other.rollbacks;
+  user_adapts += other.user_adapts;
+  user_cache_hits += other.user_cache_hits;
+  user_cache_misses += other.user_cache_misses;
+  user_materializations += other.user_materializations;
+  user_materialize_failed += other.user_materialize_failed;
+  user_evictions += other.user_evictions;
+  user_spills_ok += other.user_spills_ok;
+  user_spills_failed += other.user_spills_failed;
+  user_evictions_dropped += other.user_evictions_dropped;
+  user_rehydrations += other.user_rehydrations;
+  user_rehydrate_failed += other.user_rehydrate_failed;
+  user_models_resident += other.user_models_resident;
+  user_delta_bytes += other.user_delta_bytes;
 }
 
 std::string ModelLifecycleMetrics::ToJson() const {
   std::ostringstream out;
   out << "{\"snapshot_loads_ok\": " << snapshot_loads_ok
       << ", \"snapshot_loads_failed\": " << snapshot_loads_failed
-      << ", \"model_swaps\": " << model_swaps << ", \"rollbacks\": " << rollbacks << "}";
+      << ", \"model_swaps\": " << model_swaps << ", \"rollbacks\": " << rollbacks
+      << ", \"user_adapts\": " << user_adapts << ", \"user_cache_hits\": " << user_cache_hits
+      << ", \"user_cache_misses\": " << user_cache_misses
+      << ", \"user_hit_rate\": " << UserHitRate()
+      << ", \"user_materializations\": " << user_materializations
+      << ", \"user_materialize_failed\": " << user_materialize_failed
+      << ", \"user_evictions\": " << user_evictions
+      << ", \"user_spills_ok\": " << user_spills_ok
+      << ", \"user_spills_failed\": " << user_spills_failed
+      << ", \"user_evictions_dropped\": " << user_evictions_dropped
+      << ", \"user_rehydrations\": " << user_rehydrations
+      << ", \"user_rehydrate_failed\": " << user_rehydrate_failed
+      << ", \"user_models_resident\": " << user_models_resident
+      << ", \"user_delta_bytes\": " << user_delta_bytes << "}";
   return out.str();
 }
 

@@ -102,6 +102,31 @@ struct ModelLifecycleMetrics {
   std::uint64_t model_swaps = 0;
   std::uint64_t rollbacks = 0;
 
+  // Per-user personalization (all zeros when it is disabled). Invariants the
+  // churn bench and unit tests assert:
+  //   user_cache_hits + user_cache_misses == cache lookups (one per
+  //     CurrentFor of a non-anonymous user)
+  //   user_evictions == user_spills_ok + user_spills_failed +
+  //     user_evictions_dropped
+  //   user_rehydrations <= user_spills_ok (only written spills read back)
+  std::uint64_t user_adapts = 0;
+  std::uint64_t user_cache_hits = 0;
+  std::uint64_t user_cache_misses = 0;
+  std::uint64_t user_materializations = 0;
+  std::uint64_t user_materialize_failed = 0;
+  std::uint64_t user_evictions = 0;
+  std::uint64_t user_spills_ok = 0;
+  std::uint64_t user_spills_failed = 0;
+  std::uint64_t user_evictions_dropped = 0;
+  std::uint64_t user_rehydrations = 0;
+  std::uint64_t user_rehydrate_failed = 0;
+  // Gauges (resident adapted models / approximate bytes held by the cache).
+  std::uint64_t user_models_resident = 0;
+  std::uint64_t user_delta_bytes = 0;
+
+  // user_cache_hits / (hits + misses); 0.0 before the first lookup.
+  double UserHitRate() const;
+
   void Merge(const ModelLifecycleMetrics& other);
   std::string ToJson() const;
 };

@@ -1,8 +1,11 @@
 #include "serve/model_registry.h"
 
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
+#include "features/extractor.h"
+#include "features/feature_vector.h"
 #include "io/snapshot.h"
 #include "obs/trace.h"
 
@@ -60,12 +63,111 @@ std::string ModelRegistry::last_good_path() const {
   return last_good_path_;
 }
 
+void ModelRegistry::EnablePersonalization(PersonalizationOptions options) {
+  if (cache_ != nullptr) {
+    throw std::logic_error("ModelRegistry::EnablePersonalization: already enabled");
+  }
+  popts_ = std::move(options);
+  Cache::Options copts;
+  copts.shards = popts_.cache_shards;
+  copts.max_entries = popts_.cache_max_entries;
+  copts.max_bytes = popts_.cache_max_bytes;
+  copts.spill_dir = popts_.delta_dir;
+  // Byte-budget estimate of one materialized bundle: the adapted classifier's
+  // flat weight/mean blocks and per-class vectors, the shared inverse
+  // covariance, the copied AUC (another classifier of similar shape), plus
+  // registry/object slack. Deliberately coarse — it only has to make the
+  // byte budget meaningful, not account allocator pages.
+  const auto& lin = Current()->full_classifier().linear();
+  const std::size_t c = lin.num_classes();
+  const std::size_t d = lin.dimension();
+  copts.model_bytes_estimate = 2 * (4 * c * d + d * d) * sizeof(double) + 4096;
+  cache_ = std::make_unique<Cache>(std::move(copts));
+}
+
+ModelRegistry::Cache::Materializer ModelRegistry::MaterializerFor(
+    std::shared_ptr<const RecognizerBundle> base) const {
+  personalize::AdaptOptions aopts;
+  aopts.base_strength = popts_.base_strength;
+  return [base = std::move(base), aopts](const personalize::UserDelta& delta)
+             -> std::shared_ptr<const RecognizerBundle> {
+    try {
+      return RecognizerBundle::FromRecognizer(
+          personalize::AdaptRecognizer(base->recognizer(), delta, aopts));
+    } catch (const std::exception&) {
+      // Typically a delta shaped for a differently-shaped previous base; the
+      // session falls back to the base model and the delta is kept.
+      return nullptr;
+    }
+  };
+}
+
+std::shared_ptr<const RecognizerBundle> ModelRegistry::CurrentFor(UserId user) {
+  std::shared_ptr<const RecognizerBundle> base = Current();
+  if (user == 0 || cache_ == nullptr) {
+    return base;
+  }
+  auto adapted = cache_->Resolve(user, base->version(), MaterializerFor(base));
+  return adapted != nullptr ? std::move(adapted) : std::move(base);
+}
+
+robust::Status ModelRegistry::AdaptUser(UserId user, classify::ClassId class_id,
+                                        const geom::Gesture& example) {
+  if (cache_ == nullptr) {
+    return robust::Status::FailedPrecondition("AdaptUser: personalization is not enabled");
+  }
+  if (example.size() < Current()->recognizer().min_prefix_points()) {
+    return robust::Status::InvalidArgument(
+        "AdaptUser: example has too few points to carry gesture features");
+  }
+  return AdaptUserFeatures(user, class_id, features::ExtractFeatures(example));
+}
+
+robust::Status ModelRegistry::AdaptUserFeatures(UserId user, classify::ClassId class_id,
+                                                const linalg::Vector& full_features) {
+  TRACE_SPAN("personalize.adapt");
+  if (cache_ == nullptr) {
+    return robust::Status::FailedPrecondition(
+        "AdaptUserFeatures: personalization is not enabled");
+  }
+  if (user == 0) {
+    return robust::Status::FailedPrecondition(
+        "AdaptUserFeatures: user 0 is the anonymous user and keeps the base model");
+  }
+  if (full_features.size() != features::kNumFeatures) {
+    return robust::Status::InvalidArgument(
+        "AdaptUserFeatures: expected a full 13-entry feature vector");
+  }
+  std::shared_ptr<const RecognizerBundle> base = Current();
+  const classify::GestureClassifier& full = base->full_classifier();
+  const linalg::Vector masked = full.mask().Project(full_features);
+  return cache_->Adapt(user, class_id, masked.view(),
+                       {full.num_classes(), full.linear().dimension()}, base->version(),
+                       MaterializerFor(base));
+}
+
 ModelLifecycleMetrics ModelRegistry::Metrics() const {
   ModelLifecycleMetrics out;
   out.snapshot_loads_ok = loads_ok_.load(std::memory_order_relaxed);
   out.snapshot_loads_failed = loads_failed_.load(std::memory_order_relaxed);
   out.model_swaps = swaps_.load(std::memory_order_relaxed);
   out.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const personalize::CacheMetrics cm = cache_->Metrics();
+    out.user_adapts = cm.adapts;
+    out.user_cache_hits = cm.hits;
+    out.user_cache_misses = cm.misses;
+    out.user_materializations = cm.materializations;
+    out.user_materialize_failed = cm.materialize_failed;
+    out.user_evictions = cm.evictions;
+    out.user_spills_ok = cm.spills_ok;
+    out.user_spills_failed = cm.spills_failed;
+    out.user_evictions_dropped = cm.evictions_dropped;
+    out.user_rehydrations = cm.rehydrations_ok;
+    out.user_rehydrate_failed = cm.rehydrations_failed;
+    out.user_models_resident = cm.resident_entries;
+    out.user_delta_bytes = cm.resident_bytes;
+  }
   return out;
 }
 

@@ -9,10 +9,22 @@
 // weights inside one gesture, and the old bundle is destroyed only when the
 // last in-flight stroke that pinned it finishes.
 //
+// Per-user personalization (src/personalize) extends the same protocol: once
+// EnablePersonalization is called, the registry also owns a sharded LRU
+// UserModelCache of adapted bundles. CurrentFor(user) is what workers pin at
+// stroke boundaries — the user's adapted bundle when a delta exists
+// (resident or rehydratable from its spill snapshot), the plain base
+// otherwise. AdaptUser folds one example into the user's delta and
+// republishes the adapted bundle; because sessions pin at stroke start, a
+// mid-stroke adapt never mixes weights inside an open stroke, exactly like a
+// hot swap.
+//
 // Failure containment: a LoadFromFile that hits a corrupt / truncated /
 // version-skewed snapshot leaves the current model untouched (rollback to
 // last good), returns the precise robust::Status, and counts the failure —
-// the server keeps answering with the model it already trusts.
+// the server keeps answering with the model it already trusts. Likewise a
+// damaged user-delta spill is rejected typed, counted, and the user falls
+// back to the base model; personalization failures never fail a session.
 #ifndef GRANDMA_SRC_SERVE_MODEL_REGISTRY_H_
 #define GRANDMA_SRC_SERVE_MODEL_REGISTRY_H_
 
@@ -22,13 +34,34 @@
 #include <mutex>
 #include <string>
 
+#include "classify/training_set.h"
+#include "geom/gesture.h"
+#include "linalg/vector.h"
+#include "personalize/user_delta.h"
+#include "personalize/user_model_cache.h"
 #include "robust/status.h"
+#include "serve/event.h"
 #include "serve/metrics.h"
 #include "serve/recognizer_bundle.h"
 
 namespace grandma::serve {
 
-// Thread-safety: all methods may be called concurrently from any thread.
+struct PersonalizationOptions {
+  // Cache geometry (see personalize::UserModelCache::Options).
+  std::size_t cache_shards = 4;
+  std::size_t cache_max_entries = 1024;
+  std::size_t cache_max_bytes = std::size_t{8} << 20;
+  // Directory for eviction spill snapshots; "" keeps deltas memory-only (an
+  // evicted user's personalization is lost).
+  std::string delta_dir;
+  // Shrinkage pseudo-count of the base model (personalize::AdaptOptions).
+  double base_strength = 8.0;
+};
+
+// Thread-safety: all methods may be called concurrently from any thread,
+// except EnablePersonalization, which must happen-before any CurrentFor /
+// AdaptUser call (in practice: configure the registry before starting the
+// server that shares it).
 class ModelRegistry {
  public:
   // `initial` must be non-null (throws std::invalid_argument otherwise).
@@ -55,9 +88,38 @@ class ModelRegistry {
 
   std::uint64_t current_version() const { return Current()->version(); }
 
+  // --- Per-user personalization ---
+
+  // Installs the user-model cache. Call once, before sharing the registry
+  // with serving threads; throws std::logic_error on a second call.
+  void EnablePersonalization(PersonalizationOptions options);
+  bool personalization_enabled() const { return cache_ != nullptr; }
+
+  // The model strokes of `user` should pin: the adapted bundle when the user
+  // has a delta, Current() otherwise. Never null. Exactly Current() for
+  // user 0 or when personalization is disabled.
+  std::shared_ptr<const RecognizerBundle> CurrentFor(UserId user);
+
+  // Folds one training example into `user`'s delta (rank-1 accumulator
+  // update, no retrain) and republishes the user's adapted bundle. The
+  // gesture needs at least the recognizer's min_prefix_points. Open strokes
+  // keep the bundle they pinned; the new model takes effect from the user's
+  // next stroke. Errors: kFailedPrecondition (personalization disabled or
+  // user 0), kInvalidArgument (bad class, too-short gesture).
+  robust::Status AdaptUser(UserId user, classify::ClassId class_id,
+                           const geom::Gesture& example);
+  // Same, from an already-extracted full (unmasked, 13-entry) feature vector.
+  robust::Status AdaptUserFeatures(UserId user, classify::ClassId class_id,
+                                   const linalg::Vector& full_features);
+
   ModelLifecycleMetrics Metrics() const;
 
  private:
+  using Cache = personalize::UserModelCache<std::shared_ptr<const RecognizerBundle>>;
+
+  // Builds the cache's materializer closure for the given base bundle.
+  Cache::Materializer MaterializerFor(std::shared_ptr<const RecognizerBundle> base) const;
+
   mutable std::mutex mu_;           // guards current_ and last_good_path_
   std::shared_ptr<const RecognizerBundle> current_;
   std::string last_good_path_;
@@ -66,6 +128,10 @@ class ModelRegistry {
   std::atomic<std::uint64_t> loads_failed_{0};
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> rollbacks_{0};
+
+  // Personalization state; immutable pointer after EnablePersonalization.
+  PersonalizationOptions popts_;
+  std::unique_ptr<Cache> cache_;
 };
 
 }  // namespace grandma::serve

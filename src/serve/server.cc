@@ -179,14 +179,18 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
 
       switch (event->type) {
         case EventType::kStrokeBegin:
-          // Stroke boundary: pin whatever the registry currently publishes.
-          // The per-point path below stays registry-free (no mutex) while a
-          // stroke is open.
-          session.BeginStroke(event->stroke, sink, registry_->Current());
+          // Stroke boundary: pin whatever the registry currently publishes
+          // for this event's user — the base bundle, or the user's adapted
+          // bundle when personalization is enabled and a delta exists. The
+          // per-point path below stays registry-free (no mutex) while a
+          // stroke is open, so neither a hot swap nor a concurrent AdaptUser
+          // can mix weights inside it.
+          session.BeginStroke(event->stroke, sink, registry_->CurrentFor(event->user));
           break;
         case EventType::kPoints:
           session.AddPoints(event->stroke, event->points, sink,
-                            session.in_stroke() ? nullptr : registry_->Current());
+                            session.in_stroke() ? nullptr
+                                                : registry_->CurrentFor(event->user));
           shard.points_processed.fetch_add(event->points.size(), std::memory_order_relaxed);
           break;
         case EventType::kStrokeEnd:

@@ -17,6 +17,7 @@
 #include "eager/eager_recognizer.h"
 #include "features/extractor.h"
 #include "obs/trace.h"
+#include "personalize/user_delta.h"
 #include "serve/session.h"
 #include "synth/generator.h"
 #include "synth/sets.h"
@@ -82,6 +83,56 @@ TEST(HotpathAllocTest, EagerStreamSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "after " << points << " points";
   EXPECT_GE(points, 1000u);
   EXPECT_LT(last.class_id, r.num_classes());
+}
+
+// Personalization must not regress the contract: an *adapted* user model is
+// a plain EagerRecognizer rebuilt from shrunk means, so classifying through
+// it allocates exactly as much as the base — nothing.
+TEST(HotpathAllocTest, AdaptedModelSteadyStateIsAllocationFree) {
+  const eager::EagerRecognizer& base = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+
+  // Adapt a user on a few demonstrations of two classes (masked features,
+  // exactly what ModelRegistry::AdaptUser feeds the delta).
+  const auto& lin = base.full().linear();
+  personalize::UserDelta delta(/*user=*/7, lin.num_classes(), lin.dimension());
+  for (int rep = 0; rep < 3; ++rep) {
+    for (classify::ClassId c = 0; c < 2; ++c) {
+      const linalg::Vector masked =
+          base.full().mask().Project(features::ExtractFeatures(pool[c % pool.size()]));
+      delta.AddExample(c, masked.view());
+    }
+  }
+  const eager::EagerRecognizer adapted = personalize::AdaptRecognizer(base, delta);
+  ASSERT_TRUE(adapted.trained());
+
+  eager::EagerStream stream(adapted);
+  // Warm-up stroke sizes the workspace, as in the base-model variant.
+  for (const geom::TimedPoint& p : pool[0]) {
+    (void)stream.AddPoint(p);
+  }
+  (void)stream.ClassifyNow();
+  stream.Reset();
+
+  std::size_t points = 0;
+  classify::Classification last{};
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        for (const geom::TimedPoint& p : g) {
+          ++points;
+          if (stream.AddPoint(p)) {
+            last = stream.ClassifyNow();
+          }
+        }
+        last = stream.ClassifyNow();
+        stream.Reset();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " points through the adapted model";
+  EXPECT_GE(points, 1000u);
+  EXPECT_LT(last.class_id, adapted.num_classes());
 }
 
 TEST(HotpathAllocTest, ServeSessionSteadyStateIsAllocationFree) {

@@ -1,0 +1,248 @@
+// UserModelCache behavior: LRU order and budgets, eviction -> spill ->
+// rehydration round trips, accounting invariants, damaged-spill fallback,
+// epoch-based re-materialization, and a concurrent adapt+resolve hammering
+// test that the tsan preset runs (label `personalize`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "personalize/delta_snapshot.h"
+#include "personalize/user_model_cache.h"
+
+namespace grandma::personalize {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A stand-in "model": the number of examples the delta held when it was
+// materialized. Cheap, and lets tests assert re-materialization happened.
+using Model = std::shared_ptr<const std::size_t>;
+using Cache = UserModelCache<Model>;
+
+Cache::Materializer CountingMaterializer() {
+  return [](const UserDelta& delta) -> Model {
+    return std::make_shared<const std::size_t>(delta.examples());
+  };
+}
+
+constexpr std::size_t kClasses = 4;
+constexpr std::size_t kDim = 3;
+
+linalg::Vector Sample(double v) { return linalg::Vector(kDim, v); }
+
+robust::Status AdaptOnce(Cache& cache, UserId user, double v = 1.0,
+                         std::uint64_t epoch = 1) {
+  const linalg::Vector s = Sample(v);
+  return cache.Adapt(user, /*class_id=*/0, s.view(), {kClasses, kDim}, epoch,
+                     CountingMaterializer());
+}
+
+TEST(UserModelCacheTest, MissThenAdaptThenHit) {
+  Cache cache(Cache::Options{.shards = 1, .max_entries = 8});
+  EXPECT_EQ(cache.Resolve(5, 1, CountingMaterializer()), nullptr);
+  ASSERT_TRUE(AdaptOnce(cache, 5).ok());
+  Model m = cache.Resolve(5, 1, CountingMaterializer());
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(*m, 1u);
+  const CacheMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.lookups, 2u);
+  EXPECT_EQ(metrics.hits, 1u);
+  EXPECT_EQ(metrics.misses, 1u);
+  EXPECT_EQ(metrics.adapts, 1u);
+  EXPECT_EQ(metrics.resident_entries, 1u);
+  EXPECT_GT(metrics.resident_bytes, 0u);
+}
+
+TEST(UserModelCacheTest, RejectsBadClassAndDimension) {
+  Cache cache(Cache::Options{.shards = 1});
+  const linalg::Vector s = Sample(1.0);
+  EXPECT_EQ(cache
+                .Adapt(1, /*class_id=*/kClasses, s.view(), {kClasses, kDim}, 1,
+                       CountingMaterializer())
+                .code(),
+            robust::StatusCode::kInvalidArgument);
+  const linalg::Vector wrong(kDim + 2, 1.0);
+  EXPECT_EQ(cache
+                .Adapt(1, /*class_id=*/0, wrong.view(), {kClasses, kDim}, 1,
+                       CountingMaterializer())
+                .code(),
+            robust::StatusCode::kInvalidArgument);
+}
+
+TEST(UserModelCacheTest, LruEvictsColdestWhenOverEntryBudget) {
+  // No spill dir: evictions drop deltas. 1 shard x 2 entries.
+  Cache cache(Cache::Options{.shards = 1, .max_entries = 2});
+  ASSERT_TRUE(AdaptOnce(cache, 1).ok());
+  ASSERT_TRUE(AdaptOnce(cache, 2).ok());
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.Resolve(1, 1, CountingMaterializer()), nullptr);
+  ASSERT_TRUE(AdaptOnce(cache, 3).ok());
+  const CacheMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.evictions, 1u);
+  EXPECT_EQ(metrics.evictions_dropped, 1u);
+  EXPECT_EQ(metrics.resident_entries, 2u);
+  EXPECT_NE(cache.Resolve(1, 1, CountingMaterializer()), nullptr);
+  EXPECT_NE(cache.Resolve(3, 1, CountingMaterializer()), nullptr);
+  // User 2's delta is gone (no spill dir).
+  EXPECT_EQ(cache.Resolve(2, 1, CountingMaterializer()), nullptr);
+}
+
+TEST(UserModelCacheTest, ByteBudgetBoundsResidency) {
+  // Budget that fits ~2 entries of this shape; the touched entry itself is
+  // never evicted, so residency stays >= 1.
+  Cache::Options options;
+  options.shards = 1;
+  options.max_entries = 1024;
+  UserDelta probe(1, kClasses, kDim);
+  const linalg::Vector s = Sample(1.0);
+  probe.AddExample(0, s.view());
+  options.max_bytes = probe.ApproxBytes() * 2 + 1;
+  Cache cache(options);
+  for (UserId u = 1; u <= 6; ++u) {
+    ASSERT_TRUE(AdaptOnce(cache, u).ok());
+  }
+  const CacheMetrics metrics = cache.Metrics();
+  EXPECT_GE(metrics.evictions, 4u);
+  EXPECT_LE(metrics.resident_entries, 2u);
+  EXPECT_GE(metrics.resident_entries, 1u);
+  EXPECT_LE(metrics.resident_bytes, options.max_bytes + probe.ApproxBytes());
+}
+
+TEST(UserModelCacheTest, EvictSpillRehydrateRoundTripsTheDelta) {
+  const fs::path dir = fs::temp_directory_path() / "grandma_cache_spill";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Cache::Options options{.shards = 1, .max_entries = 1, .spill_dir = dir.string()};
+  Cache cache(options);
+  ASSERT_TRUE(AdaptOnce(cache, 1, 1.0).ok());
+  ASSERT_TRUE(AdaptOnce(cache, 1, 2.0).ok());
+  // Adapting user 2 evicts user 1 -> spill to disk.
+  ASSERT_TRUE(AdaptOnce(cache, 2).ok());
+  EXPECT_TRUE(fs::exists(dir / UserDeltaFileName(1)));
+  {
+    const CacheMetrics m = cache.Metrics();
+    EXPECT_EQ(m.evictions, 1u);
+    EXPECT_EQ(m.spills_ok, 1u);
+    EXPECT_EQ(m.spills_failed, 0u);
+    EXPECT_EQ(m.resident_entries, 1u);
+  }
+  // Resolving user 1 rehydrates the full two-example delta (and evicts 2).
+  Model m1 = cache.Resolve(1, 1, CountingMaterializer());
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(*m1, 2u);
+  // Continue adapting after rehydration; count keeps growing from 2.
+  ASSERT_TRUE(AdaptOnce(cache, 1, 3.0).ok());
+  Model m1b = cache.Resolve(1, 1, CountingMaterializer());
+  ASSERT_NE(m1b, nullptr);
+  EXPECT_EQ(*m1b, 3u);
+  const CacheMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.rehydrations_ok, 1u);
+  EXPECT_EQ(metrics.rehydrations_failed, 0u);
+  EXPECT_LE(metrics.rehydrations_ok, metrics.spills_ok);
+  fs::remove_all(dir);
+}
+
+TEST(UserModelCacheTest, DamagedSpillCountsAndFallsBackToNull) {
+  const fs::path dir = fs::temp_directory_path() / "grandma_cache_damaged";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Cache cache(Cache::Options{.shards = 1, .max_entries = 4, .spill_dir = dir.string()});
+  // Hand-plant a garbage spill file for user 9.
+  {
+    std::ofstream f(dir / UserDeltaFileName(9), std::ios::binary);
+    f << "grandma-snapshot v1 user-delta\nbytes 4 crc32 00000000\nXXXX";
+  }
+  EXPECT_EQ(cache.Resolve(9, 1, CountingMaterializer()), nullptr);
+  const CacheMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.rehydrations_failed, 1u);
+  EXPECT_EQ(metrics.misses, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(UserModelCacheTest, EpochChangeRematerializesWithoutLosingDelta) {
+  Cache cache(Cache::Options{.shards = 1});
+  std::atomic<int> builds{0};
+  auto materializer = [&](const UserDelta& delta) -> Model {
+    builds.fetch_add(1);
+    return std::make_shared<const std::size_t>(delta.examples());
+  };
+  const linalg::Vector s = Sample(1.0);
+  ASSERT_TRUE(cache.Adapt(1, 0, s.view(), {kClasses, kDim}, /*epoch=*/1, materializer).ok());
+  EXPECT_EQ(builds.load(), 1);
+  // Same epoch: hit, no rebuild.
+  ASSERT_NE(cache.Resolve(1, 1, materializer), nullptr);
+  EXPECT_EQ(builds.load(), 1);
+  // New epoch (base swapped): rebuilt once, delta intact.
+  Model m = cache.Resolve(1, 2, materializer);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(*m, 1u);
+  EXPECT_EQ(builds.load(), 2);
+  ASSERT_NE(cache.Resolve(1, 2, materializer), nullptr);
+  EXPECT_EQ(builds.load(), 2);
+}
+
+TEST(UserModelCacheTest, ShapeResetDiscardsStaleDelta) {
+  Cache cache(Cache::Options{.shards = 1});
+  ASSERT_TRUE(AdaptOnce(cache, 1).ok());
+  // The "base model" changed shape: adapting with the new shape restarts.
+  const linalg::Vector wide(kDim + 1, 1.0);
+  ASSERT_TRUE(cache
+                  .Adapt(1, 0, wide.view(), {kClasses, kDim + 1}, 2,
+                         CountingMaterializer())
+                  .ok());
+  Model m = cache.Resolve(1, 2, CountingMaterializer());
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(*m, 1u);  // restarted: one example under the new shape
+  EXPECT_EQ(cache.Metrics().shape_resets, 1u);
+}
+
+TEST(UserModelCacheTest, AccountingStaysBalancedUnderConcurrentChurn) {
+  const fs::path dir = fs::temp_directory_path() / "grandma_cache_concurrent";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Cache::Options options;
+  options.shards = 4;
+  options.max_entries = 16;  // small: force churn
+  options.spill_dir = dir.string();
+  Cache cache(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> null_resolves{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const UserId user = 1 + ((t * 131 + i * 17) % 64);
+        if (i % 3 == 0) {
+          ASSERT_TRUE(AdaptOnce(cache, user, 1.0 + t).ok());
+        } else if (cache.Resolve(user, 1, CountingMaterializer()) == nullptr) {
+          null_resolves.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  const CacheMetrics m = cache.Metrics();
+  EXPECT_EQ(m.lookups, m.hits + m.misses);
+  EXPECT_EQ(m.evictions, m.spills_ok + m.spills_failed + m.evictions_dropped);
+  EXPECT_EQ(m.spills_failed, 0u);
+  EXPECT_EQ(m.rehydrations_failed, 0u);
+  EXPECT_LE(m.rehydrations_ok, m.spills_ok);
+  EXPECT_GT(m.evictions, 0u);  // the small cache actually churned
+  EXPECT_LE(m.resident_entries, options.max_entries);
+  EXPECT_EQ(m.adapts, static_cast<std::uint64_t>(kThreads) * (kOpsPerThread / 3 + 1));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace grandma::personalize

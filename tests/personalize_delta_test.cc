@@ -1,0 +1,236 @@
+// UserDelta + AdaptRecognizer semantics: incremental accumulation, the
+// copy-on-write guarantee (unadapted classes stay bit-identical to the
+// base), shrinkage behavior as user evidence grows, and FromMoments-based
+// continuation (the property snapshot rehydration leans on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "classify/linear_classifier.h"
+#include "eager/eager_recognizer.h"
+#include "features/extractor.h"
+#include "linalg/stats.h"
+#include "linalg/vector.h"
+#include "personalize/user_delta.h"
+#include "serve/recognizer_bundle.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::personalize {
+namespace {
+
+const serve::RecognizerBundle& GdpBase() {
+  static const std::shared_ptr<const serve::RecognizerBundle> bundle =
+      serve::RecognizerBundle::Train(synth::ToTrainingSet(synth::GenerateSet(
+          synth::MakeGdpSpecs(), synth::NoiseModel{}, /*per_class=*/10, /*seed=*/1991)));
+  return *bundle;
+}
+
+linalg::Vector MaskedFeatures(const geom::Gesture& g) {
+  const auto& full = GdpBase().full_classifier();
+  return full.mask().Project(features::ExtractFeatures(g));
+}
+
+TEST(UserDeltaTest, AccumulatesPerClassCounts) {
+  const auto& lin = GdpBase().full_classifier().linear();
+  UserDelta delta(/*user=*/7, lin.num_classes(), lin.dimension());
+  EXPECT_EQ(delta.examples(), 0u);
+  EXPECT_EQ(delta.adapted_classes(), 0u);
+  EXPECT_EQ(delta.ClassStats(0), nullptr);
+
+  linalg::Vector sample(lin.dimension(), 1.0);
+  delta.AddExample(0, sample.view());
+  delta.AddExample(0, sample.view());
+  delta.AddExample(2, sample.view());
+  EXPECT_EQ(delta.examples(), 3u);
+  EXPECT_EQ(delta.adapted_classes(), 2u);
+  EXPECT_EQ(delta.ExampleCount(0), 2u);
+  EXPECT_EQ(delta.ExampleCount(1), 0u);
+  EXPECT_EQ(delta.ExampleCount(2), 1u);
+  ASSERT_NE(delta.ClassStats(0), nullptr);
+  EXPECT_EQ(delta.ClassStats(0)->count(), 2u);
+}
+
+TEST(UserDeltaTest, RejectsBadClassAndDimension) {
+  UserDelta delta(1, 4, 3);
+  linalg::Vector ok(3, 0.5);
+  linalg::Vector bad(5, 0.5);
+  EXPECT_THROW(delta.AddExample(4, ok.view()), std::out_of_range);
+  EXPECT_THROW(delta.AddExample(0, bad.view()), std::invalid_argument);
+}
+
+TEST(UserDeltaTest, ApproxBytesGrowsWithAdaptedClasses) {
+  UserDelta delta(1, 8, 13);
+  const std::size_t empty = delta.ApproxBytes();
+  linalg::Vector sample(13, 0.25);
+  delta.AddExample(3, sample.view());
+  const std::size_t one = delta.ApproxBytes();
+  delta.AddExample(5, sample.view());
+  const std::size_t two = delta.ApproxBytes();
+  EXPECT_GT(one, empty);
+  EXPECT_GT(two, one);
+  // More examples of an already-adapted class do not grow the footprint.
+  delta.AddExample(3, sample.view());
+  EXPECT_EQ(delta.ApproxBytes(), two);
+}
+
+TEST(AdaptRecognizerTest, EmptyDeltaReproducesBaseBitExactly) {
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  UserDelta delta(42, lin.num_classes(), lin.dimension());
+  eager::EagerRecognizer adapted = AdaptRecognizer(base, delta);
+  const auto& alin = adapted.full().linear();
+  ASSERT_EQ(alin.num_classes(), lin.num_classes());
+  for (classify::ClassId c = 0; c < lin.num_classes(); ++c) {
+    EXPECT_EQ(alin.weights(c), lin.weights(c)) << "class " << c;
+    EXPECT_EQ(alin.bias(c), lin.bias(c)) << "class " << c;
+    EXPECT_EQ(alin.mean(c), lin.mean(c)) << "class " << c;
+  }
+}
+
+TEST(AdaptRecognizerTest, OnlyDemonstratedClassesChange) {
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  UserDelta delta(42, lin.num_classes(), lin.dimension());
+  // Push class 1's mean somewhere else.
+  linalg::Vector shifted = lin.mean(1) * 1.5;
+  delta.AddExample(1, shifted.view());
+  delta.AddExample(1, shifted.view());
+
+  eager::EagerRecognizer adapted = AdaptRecognizer(base, delta);
+  const auto& alin = adapted.full().linear();
+  for (classify::ClassId c = 0; c < lin.num_classes(); ++c) {
+    if (c == 1) {
+      EXPECT_NE(alin.mean(c), lin.mean(c));
+      EXPECT_NE(alin.weights(c), lin.weights(c));
+    } else {
+      EXPECT_EQ(alin.mean(c), lin.mean(c)) << "class " << c;
+      EXPECT_EQ(alin.weights(c), lin.weights(c)) << "class " << c;
+      EXPECT_EQ(alin.bias(c), lin.bias(c)) << "class " << c;
+    }
+  }
+  // Mask, registry, AUC ride along unchanged.
+  EXPECT_EQ(adapted.num_classes(), base.num_classes());
+  EXPECT_EQ(adapted.min_prefix_points(), base.min_prefix_points());
+  EXPECT_EQ(adapted.full().ClassName(1), base.full().ClassName(1));
+}
+
+TEST(AdaptRecognizerTest, ShrinkageMovesMeanTowardUserWithMoreEvidence) {
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  const linalg::Vector target = lin.mean(0) * 2.0;
+
+  auto adapted_mean = [&](std::size_t n) {
+    UserDelta delta(1, lin.num_classes(), lin.dimension());
+    for (std::size_t i = 0; i < n; ++i) {
+      delta.AddExample(0, target.view());
+    }
+    return AdaptRecognizer(base, delta).full().linear().mean(0);
+  };
+
+  const linalg::Vector m2 = adapted_mean(2);
+  const linalg::Vector m20 = adapted_mean(20);
+  const double d2 = linalg::MaxAbsDifference(m2, target);
+  const double d20 = linalg::MaxAbsDifference(m20, target);
+  EXPECT_LT(d20, d2);  // more user evidence -> closer to the user's mean
+  // And both sit strictly between base and target.
+  EXPECT_LT(d20, linalg::MaxAbsDifference(lin.mean(0), target));
+  EXPECT_GT(linalg::MaxAbsDifference(m2, lin.mean(0)), 0.0);
+}
+
+TEST(AdaptRecognizerTest, AdaptedWeightsAreConsistentWithAdaptedMeans) {
+  // w'_c = Sigma^-1 mu'_c and w'_c0 = -1/2 mu'_c . w'_c, by construction.
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  UserDelta delta(1, lin.num_classes(), lin.dimension());
+  linalg::Vector shifted = lin.mean(2) * 0.8;
+  delta.AddExample(2, shifted.view());
+  const eager::EagerRecognizer adapted = AdaptRecognizer(base, delta);
+  const auto& alin = adapted.full().linear();
+  const linalg::Vector expected_w = linalg::Multiply(lin.inverse_covariance(), alin.mean(2));
+  EXPECT_TRUE(linalg::AlmostEqual(alin.weights(2), expected_w, 1e-12));
+  EXPECT_NEAR(alin.bias(2), -0.5 * linalg::Dot(alin.weights(2), alin.mean(2)), 1e-9);
+}
+
+TEST(AdaptRecognizerTest, RejectsShapeMismatchAndBadStrength) {
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  UserDelta wrong_classes(1, lin.num_classes() + 1, lin.dimension());
+  EXPECT_THROW(AdaptRecognizer(base, wrong_classes), std::invalid_argument);
+  UserDelta wrong_dim(1, lin.num_classes(), lin.dimension() + 1);
+  EXPECT_THROW(AdaptRecognizer(base, wrong_dim), std::invalid_argument);
+  UserDelta ok(1, lin.num_classes(), lin.dimension());
+  AdaptOptions zero;
+  zero.base_strength = 0.0;
+  EXPECT_THROW(AdaptRecognizer(base, ok, zero), std::invalid_argument);
+}
+
+TEST(AdaptRecognizerTest, AdaptedModelStillClassifiesCleanGestures) {
+  // Sanity end-to-end: adapt a user on their own (clean) examples and check
+  // the adapted model still recognizes fresh clean samples of every class.
+  const auto& base = GdpBase().recognizer();
+  const auto& lin = base.full().linear();
+  UserDelta delta(9, lin.num_classes(), lin.dimension());
+  auto train = synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{},
+                                  /*per_class=*/3, /*seed=*/77);
+  for (std::size_t c = 0; c < train.size(); ++c) {
+    for (const auto& sample : train[c].samples) {
+      linalg::Vector masked = MaskedFeatures(sample.gesture);
+      delta.AddExample(c, masked.view());
+    }
+  }
+  eager::EagerRecognizer adapted = AdaptRecognizer(base, delta);
+  auto test = synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{},
+                                 /*per_class=*/3, /*seed=*/78);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < test.size(); ++c) {
+    for (const auto& sample : test[c].samples) {
+      const auto verdict =
+          adapted.ClassifyFeatures(features::ExtractFeatures(sample.gesture));
+      correct += (verdict.class_id == c) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(ScatterFromMomentsTest, ContinuationIsBitIdentical) {
+  // The rehydration contract: FromMoments(Mean, Scatter, count) then Add(x)
+  // produces exactly the same state as Add(x) on the original accumulator.
+  linalg::ScatterAccumulator original(3);
+  std::vector<linalg::Vector> warm = {
+      {1.0, 2.0, 3.0}, {0.5, -1.0, 2.5}, {3.0, 0.25, -0.75}, {2.0, 2.0, 2.0}};
+  for (const auto& v : warm) {
+    original.Add(v);
+  }
+  linalg::ScatterAccumulator restored = linalg::ScatterAccumulator::FromMoments(
+      original.Mean(), original.Scatter(), original.count());
+  ASSERT_EQ(restored.count(), original.count());
+  std::vector<linalg::Vector> cont = {{-1.0, 0.0, 1.0}, {4.0, 4.0, 4.0}};
+  for (const auto& v : cont) {
+    original.Add(v);
+    restored.Add(v);
+  }
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.Mean(), original.Mean());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(restored.Scatter()(i, j), original.Scatter()(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(ScatterFromMomentsTest, RejectsShapeMismatch) {
+  EXPECT_THROW(linalg::ScatterAccumulator::FromMoments(linalg::Vector(3),
+                                                       linalg::Matrix(2, 2), 1),
+               std::invalid_argument);
+  EXPECT_THROW(linalg::ScatterAccumulator::FromMoments(linalg::Vector(3),
+                                                       linalg::Matrix(3, 2), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace grandma::personalize

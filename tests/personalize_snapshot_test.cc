@@ -1,0 +1,269 @@
+// The `user-delta` snapshot kind under the PR 4 robustness regime: bit-exact
+// round trips, typed rejection of every truncation prefix and a seeded
+// byte-mutation corpus (same harness shape as tests/io_snapshot_test.cc), a
+// full crash-point sweep over the atomic file write (0 atomicity
+// violations), and base-model fallback when a damaged delta is rehydrated.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "io/atomic_file.h"
+#include "io/snapshot.h"
+#include "personalize/delta_snapshot.h"
+#include "personalize/user_delta.h"
+#include "personalize/user_model_cache.h"
+#include "robust/crash_point.h"
+#include "robust/status.h"
+#include "serve/model_registry.h"
+#include "serve/recognizer_bundle.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::personalize {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const serve::RecognizerBundle> GdpBase() {
+  static const std::shared_ptr<const serve::RecognizerBundle> bundle =
+      serve::RecognizerBundle::Train(synth::ToTrainingSet(synth::GenerateSet(
+          synth::MakeGdpSpecs(), synth::NoiseModel{}, /*per_class=*/10, /*seed=*/1991)));
+  return bundle;
+}
+
+// A delta with a few adapted classes and non-trivial statistics. `stride`
+// controls how many classes are adapted (larger = smaller snapshot; the
+// crash sweep uses a one-class delta to keep the byte sweep fast).
+UserDelta MakeDelta(UserId user, std::uint64_t seed, std::size_t stride = 3) {
+  const auto& lin = GdpBase()->full_classifier().linear();
+  UserDelta delta(user, lin.num_classes(), lin.dimension());
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 2.0);
+  for (classify::ClassId c = 0; c < lin.num_classes(); c += stride) {
+    for (int n = 0; n < 4; ++n) {
+      linalg::Vector sample(lin.dimension());
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        sample[i] = gauss(rng);
+      }
+      delta.AddExample(c, sample.view());
+    }
+  }
+  return delta;
+}
+
+std::string Serialize(const UserDelta& delta) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveUserDeltaSnapshot(delta, out));
+  return out.str();
+}
+
+void ExpectSameStats(const UserDelta& a, const UserDelta& b) {
+  ASSERT_EQ(a.user(), b.user());
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  ASSERT_EQ(a.dimension(), b.dimension());
+  ASSERT_EQ(a.examples(), b.examples());
+  for (classify::ClassId c = 0; c < a.num_classes(); ++c) {
+    const auto* sa = a.ClassStats(c);
+    const auto* sb = b.ClassStats(c);
+    const std::size_t ca = (sa != nullptr) ? sa->count() : 0;
+    const std::size_t cb = (sb != nullptr) ? sb->count() : 0;
+    ASSERT_EQ(ca, cb) << "class " << c;
+    if (ca == 0) {
+      continue;
+    }
+    EXPECT_EQ(sa->Mean(), sb->Mean()) << "class " << c;
+    for (std::size_t i = 0; i < a.dimension(); ++i) {
+      for (std::size_t j = 0; j < a.dimension(); ++j) {
+        EXPECT_EQ(sa->Scatter()(i, j), sb->Scatter()(i, j)) << c << ":" << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(UserDeltaSnapshotTest, RoundTripIsBitExactAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 7ull, 404ull, 2026ull}) {
+    UserDelta original = MakeDelta(/*user=*/seed * 11 + 1, seed);
+    std::istringstream in(Serialize(original));
+    auto loaded = LoadUserDeltaSnapshot(in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameStats(original, *loaded);
+    // And the round trip is a fixed point: re-serialization is identical.
+    EXPECT_EQ(Serialize(original), Serialize(*loaded));
+  }
+}
+
+TEST(UserDeltaSnapshotTest, RehydratedAccumulatorContinuesIdentically) {
+  // Evict -> rehydrate -> keep adapting must equal never-evicted adapting.
+  UserDelta original = MakeDelta(5, 99);
+  std::istringstream in(Serialize(original));
+  auto rehydrated = LoadUserDeltaSnapshot(in);
+  ASSERT_TRUE(rehydrated.ok());
+  const auto& lin = GdpBase()->full_classifier().linear();
+  linalg::Vector extra(lin.dimension(), 0.125);
+  original.AddExample(0, extra.view());
+  rehydrated->AddExample(0, extra.view());
+  ExpectSameStats(original, *rehydrated);
+}
+
+TEST(UserDeltaSnapshotTest, SaveRejectsEmptyShapedDelta) {
+  std::ostringstream out;
+  EXPECT_FALSE(SaveUserDeltaSnapshot(UserDelta{}, out));
+}
+
+TEST(UserDeltaSnapshotTest, EveryPrefixYieldsTypedStatusNeverCrashes) {
+  const std::string bytes = Serialize(MakeDelta(3, 11));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::istringstream in(bytes.substr(0, len));
+    robust::StatusOr<UserDelta> result = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(result = LoadUserDeltaSnapshot(in)) << "prefix " << len;
+    ASSERT_FALSE(result.ok()) << "prefix " << len << " of " << bytes.size();
+    const auto code = result.status().code();
+    EXPECT_TRUE(code == robust::StatusCode::kTruncated ||
+                code == robust::StatusCode::kCorruptSnapshot ||
+                code == robust::StatusCode::kVersionMismatch)
+        << "prefix " << len << ": " << result.status().ToString();
+  }
+}
+
+TEST(UserDeltaSnapshotTest, SeededMutationsNeverCrashNeverMisparse) {
+  const std::string bytes = Serialize(MakeDelta(8, 21));
+  std::mt19937_64 rng(404);
+  std::uniform_int_distribution<std::size_t> pos(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> num_flips(1, 4);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = bytes;
+    const int flips = num_flips(rng);
+    for (int f = 0; f < flips; ++f) {
+      mutated[pos(rng)] = static_cast<char>(byte(rng));
+    }
+    if (mutated == bytes) {
+      continue;
+    }
+    std::istringstream in(mutated);
+    robust::StatusOr<UserDelta> result = robust::Status::Internal("unset");
+    ASSERT_NO_THROW(result = LoadUserDeltaSnapshot(in)) << "round " << round;
+    if (result.ok()) {
+      // The CRC has 2^-32 blindness per round; a surviving mutation must have
+      // hit only payload bytes AND still parse to the same statistics, which
+      // plain-text mutation cannot do silently — treat survival as identity.
+      EXPECT_EQ(Serialize(*result), bytes) << "round " << round;
+    }
+  }
+}
+
+TEST(UserDeltaSnapshotFileTest, CrashSweepEveryByteLeavesOldSnapshotIntact) {
+  const fs::path dir = fs::temp_directory_path() / "grandma_udelta_crash";
+  fs::create_directories(dir);
+  const std::string path = (dir / UserDeltaFileName(1)).string();
+
+  const UserDelta good = MakeDelta(1, 31, /*stride=*/100);
+  ASSERT_TRUE(SaveUserDeltaSnapshotFile(good, path).ok());
+  const std::string good_bytes = Serialize(good);
+
+  const UserDelta next = MakeDelta(1, 32, /*stride=*/100);
+  const std::size_t total = Serialize(next).size();
+  std::size_t violations = 0;
+  // Byte-budget sweep: die after exactly b bytes of the overwrite, for every
+  // b; after each "crash" the previous snapshot must still load bit-exactly.
+  for (std::size_t b = 0; b < total; ++b) {
+    robust::CrashPoint::ArmAfterBytes(b);
+    EXPECT_THROW(SaveUserDeltaSnapshotFile(next, path), robust::CrashPointTriggered);
+    robust::CrashPoint::Disarm();
+    auto loaded = LoadUserDeltaSnapshotFile(path);
+    if (!loaded.ok() || Serialize(*loaded) != good_bytes) {
+      ++violations;
+    }
+  }
+  // Site sweep: before-rename keeps the old file; after-rename has already
+  // committed the new one. Neither may yield a corrupt or missing snapshot.
+  robust::CrashPoint::ArmAtSite(io::kCrashBeforeRename);
+  EXPECT_THROW(SaveUserDeltaSnapshotFile(next, path), robust::CrashPointTriggered);
+  robust::CrashPoint::Disarm();
+  {
+    auto loaded = LoadUserDeltaSnapshotFile(path);
+    if (!loaded.ok() || Serialize(*loaded) != good_bytes) {
+      ++violations;
+    }
+  }
+  robust::CrashPoint::ArmAtSite(io::kCrashAfterRename);
+  EXPECT_THROW(SaveUserDeltaSnapshotFile(next, path), robust::CrashPointTriggered);
+  robust::CrashPoint::Disarm();
+  {
+    auto loaded = LoadUserDeltaSnapshotFile(path);
+    if (!loaded.ok() || Serialize(*loaded) != Serialize(next)) {
+      ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(UserDeltaSnapshotFileTest, DamagedSpillFallsBackToBaseModelNotFailure) {
+  const fs::path dir = fs::temp_directory_path() / "grandma_udelta_damaged";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto base = GdpBase();
+  serve::ModelRegistry registry(base);
+  serve::PersonalizationOptions popts;
+  popts.cache_shards = 1;
+  popts.cache_max_entries = 4;
+  popts.delta_dir = dir.string();
+  registry.EnablePersonalization(std::move(popts));
+
+  // Write a valid spill for user 7, then corrupt it in place.
+  const std::string path = (dir / UserDeltaFileName(7)).string();
+  ASSERT_TRUE(SaveUserDeltaSnapshotFile(MakeDelta(7, 55), path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    f.put('#');
+  }
+  // Resolution must not throw, must answer with the base model, and must
+  // count exactly one failed rehydration.
+  std::shared_ptr<const serve::RecognizerBundle> pinned;
+  ASSERT_NO_THROW(pinned = registry.CurrentFor(7));
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->version(), base->version());
+  const auto metrics = registry.Metrics();
+  EXPECT_EQ(metrics.user_rehydrate_failed, 1u);
+  EXPECT_EQ(metrics.user_cache_misses, 1u);
+  EXPECT_EQ(metrics.user_cache_hits, 0u);
+
+  // An intact spill for another user still personalizes.
+  ASSERT_TRUE(
+      SaveUserDeltaSnapshotFile(MakeDelta(8, 56), (dir / UserDeltaFileName(8)).string()).ok());
+  auto adapted = registry.CurrentFor(8);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_NE(adapted->version(), base->version());
+  EXPECT_EQ(registry.Metrics().user_rehydrations, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(UserDeltaSnapshotTest, WrongKindIsRejectedAsCorrupt) {
+  // A bundle-kind container fed to the user-delta loader must be a typed
+  // corrupt-rejection, not a parse attempt.
+  std::ostringstream out;
+  ASSERT_TRUE(io::WriteSnapshotContainer(out, "bundle", "not a delta"));
+  std::istringstream in(out.str());
+  auto result = LoadUserDeltaSnapshot(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), robust::StatusCode::kCorruptSnapshot);
+}
+
+TEST(SnapshotContainerTest, RejectsMalformedKindTokens) {
+  std::ostringstream out;
+  EXPECT_FALSE(io::WriteSnapshotContainer(out, "", "payload"));
+  EXPECT_FALSE(io::WriteSnapshotContainer(out, "user delta", "payload"));
+  EXPECT_FALSE(io::WriteSnapshotContainer(out, "user\ndelta", "payload"));
+  EXPECT_TRUE(io::WriteSnapshotContainer(out, "user-delta", "payload"));
+}
+
+}  // namespace
+}  // namespace grandma::personalize
