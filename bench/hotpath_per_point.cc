@@ -1,16 +1,30 @@
-// Before/after evidence for the zero-allocation recognition kernel: replays
-// the same GDP stroke pool through
-//   legacy  — the pre-refactor per-point protocol, reconstructed faithfully
-//             from the allocating APIs it used: copy-returning Features(),
-//             FeatureMask::Project into a fresh Vector, and the AUC's full
-//             Classify (probability + Mahalanobis) just to test doneness;
-//   kernel  — EagerStream::AddPoint, the span-based Workspace path;
-// and reports per-point latency (p50/p95 over per-stroke samples) and heap
-// allocations per point for both, into BENCH_hotpath.json.
+// Before/after evidence for the zero-allocation recognition kernel and its
+// SIMD/batched evaluator: replays the same GDP stroke pool through
+//   legacy       — the pre-refactor per-point protocol, reconstructed
+//                  faithfully from the allocating APIs it used:
+//                  copy-returning Features(), FeatureMask::Project into a
+//                  fresh Vector, and the AUC's full Classify (probability +
+//                  Mahalanobis) just to test doneness;
+//   kernel       — EagerStream::AddPoint, the span-based Workspace path,
+//                  pinned to the scalar dispatch tier so the legacy-vs-kernel
+//                  comparison stays an allocation story, not a SIMD one;
+// and, over an *eval-dense* pool (every stroke truncated right after its
+// fire point, so nearly every replayed point runs the AUC evaluator instead
+// of coasting post-fire):
+//   scalar_view  — per-point AddPoint, scalar tier: the pre-SoA view path;
+//   batched_simd — EagerStream::AddSpan, best runtime dispatch tier: the
+//                  SoA EvaluateBatchInto path this PR adds.
+// Reports per-point latency (p50/p95 over per-stroke samples) and heap
+// allocations per point for each, into BENCH_hotpath.json (including the
+// dispatch tier that was active, see docs/PERFORMANCE.md).
 //
-// Exits nonzero when the refactor's two gates fail: the kernel path must
-// allocate ZERO times per steady-state point, and its p50 must be at least
-// 1.5x faster than legacy.
+// Exits nonzero when a gate fails:
+//   - kernel and batched paths must allocate ZERO times per steady-state point;
+//   - kernel p50 must be at least 1.5x faster than legacy (both scalar tier);
+//   - batched_simd p50 must be at least 1.3x faster than scalar_view on the
+//     dense pool — enforced only when a vector tier is active; on
+//     scalar-only hardware or a GRANDMA_SIMD=OFF build the JSON records
+//     "speedup_gate": "skipped_no_simd" instead.
 //
 // Flags: --reps=N (per-variant stroke replays; default 400, smoke uses less).
 #include "support/counting_new.h"
@@ -22,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +44,7 @@
 #include "eager/eager_recognizer.h"
 #include "features/extractor.h"
 #include "features/feature_vector.h"
+#include "linalg/simd.h"
 #include "synth/generator.h"
 #include "synth/sets.h"
 
@@ -54,6 +70,25 @@ std::vector<geom::Gesture> StrokePool() {
   return pool;
 }
 
+// The eval-dense pool: each stroke truncated just past its fire point, so a
+// replay spends its points in the pre-fire region where every AddPoint (or
+// AddSpan row) runs the ambiguity evaluator. Full strokes would let the
+// post-fire coast — extractor-only, no evaluation — dilute the very code
+// path this comparison is about. Strokes that never fire stay whole.
+std::vector<geom::Gesture> DensePool(const eager::EagerRecognizer& r,
+                                     const std::vector<geom::Gesture>& pool) {
+  std::vector<geom::Gesture> dense;
+  eager::EagerStream stream(r);
+  for (const geom::Gesture& g : pool) {
+    for (const geom::TimedPoint& p : g) {
+      (void)stream.AddPoint(p);
+    }
+    dense.push_back(stream.fired() ? g.Subgesture(stream.fired_at()) : g);
+    stream.Reset();
+  }
+  return dense;
+}
+
 // One legacy stroke replay: the exact allocating call sequence the per-point
 // loop performed before the kernel refactor, fire semantics included.
 classify::Classification ReplayLegacy(const eager::EagerRecognizer& r, const geom::Gesture& g) {
@@ -73,11 +108,21 @@ classify::Classification ReplayLegacy(const eager::EagerRecognizer& r, const geo
   return r.ClassifyFeatures(fx.Features());  // mouse-up, allocating flavor
 }
 
-// One kernel stroke replay: the refactored path.
+// One per-point kernel stroke replay: the refactored AddPoint path.
 classify::Classification ReplayKernel(eager::EagerStream& stream, const geom::Gesture& g) {
   for (const geom::TimedPoint& p : g) {
     (void)stream.AddPoint(p);
   }
+  const classify::Classification c = stream.ClassifyNow();
+  stream.Reset();
+  return c;
+}
+
+// One batched stroke replay: the whole stroke in a single AddSpan call — the
+// SoA EvaluateBatchInto path, 16-point batches internally.
+classify::Classification ReplayBatched(eager::EagerStream& stream, const geom::Gesture& g) {
+  eager::FireEvent fire;
+  stream.AddSpan(std::span<const geom::TimedPoint>(g.points()), &fire);
   const classify::Classification c = stream.ClassifyNow();
   stream.Reset();
   return c;
@@ -135,6 +180,20 @@ VariantStats Measure(const std::vector<geom::Gesture>& pool, std::size_t reps, R
   return stats;
 }
 
+void PrintVariant(const char* name, const VariantStats& v) {
+  std::printf("  %-12s p50 %8.1f ns  p95 %8.1f ns  allocs/point %6.2f\n", name, v.p50_ns,
+              v.p95_ns, v.allocs_per_point);
+}
+
+void WriteVariant(grandma::bench::JsonWriter& json, const char* key, const VariantStats& v) {
+  json.Key(key)
+      .BeginObject()
+      .KV("p50_ns", v.p50_ns)
+      .KV("p95_ns", v.p95_ns)
+      .KV("allocs_per_point", v.allocs_per_point)
+      .EndObject();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,24 +207,46 @@ int main(int argc, char** argv) {
     reps = 1;
   }
 
+  namespace simd = linalg::simd;
   const eager::EagerRecognizer r = TrainGdp();
   const std::vector<geom::Gesture> pool = StrokePool();
+  const std::vector<geom::Gesture> dense = DensePool(r, pool);
   eager::EagerStream stream(r);
 
+  // Legacy vs kernel at the scalar tier: this pair isolates the allocation
+  // refactor's win, independent of what vector hardware the box has.
+  simd::ForceTier(simd::Tier::kScalar);
   const VariantStats legacy =
       Measure(pool, reps, [&](const geom::Gesture& g) { return ReplayLegacy(r, g); });
   const VariantStats kernel =
       Measure(pool, reps, [&](const geom::Gesture& g) { return ReplayKernel(stream, g); });
 
+  // Scalar view path over the dense pool, still pinned scalar: the baseline
+  // the SoA/SIMD batched path is gated against.
+  const VariantStats scalar_view =
+      Measure(dense, reps, [&](const geom::Gesture& g) { return ReplayKernel(stream, g); });
+
+  // Batched path at the best tier the hardware (and build) supports.
+  simd::ResetTier();
+  const simd::Tier active = simd::ActiveTier();
+  const VariantStats batched =
+      Measure(dense, reps, [&](const geom::Gesture& g) { return ReplayBatched(stream, g); });
+
   const double speedup_p50 = legacy.p50_ns / kernel.p50_ns;
   const double speedup_p95 = legacy.p95_ns / kernel.p95_ns;
+  const double dense_speedup_p50 = scalar_view.p50_ns / batched.p50_ns;
+  const bool simd_active = active != simd::Tier::kScalar;
 
-  std::printf("hotpath per-point (GDP, %zu strokes x %zu reps)\n", pool.size(), reps);
-  std::printf("  %-8s p50 %8.1f ns  p95 %8.1f ns  allocs/point %6.2f\n", "legacy",
-              legacy.p50_ns, legacy.p95_ns, legacy.allocs_per_point);
-  std::printf("  %-8s p50 %8.1f ns  p95 %8.1f ns  allocs/point %6.2f\n", "kernel",
-              kernel.p50_ns, kernel.p95_ns, kernel.allocs_per_point);
-  std::printf("  speedup p50 %.2fx  p95 %.2fx\n", speedup_p50, speedup_p95);
+  std::printf("hotpath per-point (GDP, %zu strokes x %zu reps, tier %s)\n", pool.size(), reps,
+              simd::TierName(active));
+  PrintVariant("legacy", legacy);
+  PrintVariant("kernel", kernel);
+  PrintVariant("scalar_view", scalar_view);
+  PrintVariant("batched_simd", batched);
+  std::printf("  speedup p50 %.2fx  p95 %.2fx  (kernel vs legacy, scalar tier)\n", speedup_p50,
+              speedup_p95);
+  std::printf("  speedup p50 %.2fx  (batched+%s vs scalar view, eval-dense)\n",
+              dense_speedup_p50, simd::TierName(active));
 
   {
     std::ofstream file("BENCH_hotpath.json");
@@ -173,33 +254,44 @@ int main(int argc, char** argv) {
     json.BeginObject()
         .KV("bench", "hotpath_per_point")
         .KV("strokes", static_cast<std::int64_t>(pool.size()))
-        .KV("reps", static_cast<std::int64_t>(reps));
-    json.Key("legacy")
-        .BeginObject()
-        .KV("p50_ns", legacy.p50_ns)
-        .KV("p95_ns", legacy.p95_ns)
-        .KV("allocs_per_point", legacy.allocs_per_point)
-        .EndObject();
-    json.Key("kernel")
-        .BeginObject()
-        .KV("p50_ns", kernel.p50_ns)
-        .KV("p95_ns", kernel.p95_ns)
-        .KV("allocs_per_point", kernel.allocs_per_point)
-        .EndObject();
-    json.KV("speedup_p50", speedup_p50).KV("speedup_p95", speedup_p95).EndObject();
+        .KV("reps", static_cast<std::int64_t>(reps))
+        .KV("simd_tier", simd::TierName(active));
+    WriteVariant(json, "legacy", legacy);
+    WriteVariant(json, "kernel", kernel);
+    WriteVariant(json, "scalar_view_dense", scalar_view);
+    WriteVariant(json, "batched_simd_dense", batched);
+    json.KV("speedup_p50", speedup_p50).KV("speedup_p95", speedup_p95);
+    json.KV("batched_speedup_p50", dense_speedup_p50);
+    json.KV("speedup_gate", simd_active ? (dense_speedup_p50 >= 1.3 ? "pass" : "fail")
+                                        : "skipped_no_simd");
+    json.EndObject();
   }
   std::printf("wrote BENCH_hotpath.json\n");
 
-  // The two refactor gates.
+  // The hard gates.
   int rc = 0;
   if (kernel.allocs_per_point != 0.0) {
     std::fprintf(stderr, "GATE FAILED: kernel path allocates (%.4f allocs/point)\n",
                  kernel.allocs_per_point);
     rc = 1;
   }
+  if (batched.allocs_per_point != 0.0) {
+    std::fprintf(stderr, "GATE FAILED: batched path allocates (%.4f allocs/point)\n",
+                 batched.allocs_per_point);
+    rc = 1;
+  }
   if (speedup_p50 < 1.5) {
     std::fprintf(stderr, "GATE FAILED: p50 speedup %.2fx < 1.5x\n", speedup_p50);
     rc = 1;
+  }
+  if (simd_active) {
+    if (dense_speedup_p50 < 1.3) {
+      std::fprintf(stderr, "GATE FAILED: batched+SIMD p50 speedup %.2fx < 1.3x\n",
+                   dense_speedup_p50);
+      rc = 1;
+    }
+  } else {
+    std::fprintf(stderr, "note: no vector tier active, batched-vs-scalar gate skipped\n");
   }
   return rc;
 }

@@ -19,6 +19,13 @@
 #   5. notrace: GRANDMA_TRACING=OFF build — proves the instrumented tree
 #      still compiles with tracing compiled out, and the obs tests (which
 #      then assert that zero spans are ever recorded) still pass
+#   6. nosimd: GRANDMA_SIMD=OFF build — the scalar-only fallback must pass
+#      the FULL tier-1 suite, and the hotpath bench gates run on both the
+#      SIMD and scalar-only builds (the scalar build records
+#      "speedup_gate": "skipped_no_simd")
+#   7. artifacts: every BENCH_*.json the gauntlet produced is copied to the
+#      repo root so the perf trajectory is trackable across PRs (the nosimd
+#      hotpath result lands as BENCH_hotpath_nosimd.json)
 # Usage: ci/check.sh [jobs]   (defaults to nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -81,6 +88,34 @@ run ctest --preset tsan
 run cmake --preset notrace
 run cmake --build --preset notrace -j "$JOBS"
 run ctest --preset notrace
+
+# 6. Scalar-fallback gate: GRANDMA_SIMD=OFF compiles only the scalar kernel
+#    tier; the FULL tier-1 suite (equivalence tests included — they then see
+#    a single supported tier) must pass, proving no code path silently
+#    requires vector hardware.
+run cmake --preset nosimd
+run cmake --build --preset nosimd -j "$JOBS"
+run ctest --preset nosimd
+
+# 6b. Hotpath bench gates on both kernel builds, full reps. The default
+#     build enforces the batched-SIMD speedup gate (on vector-capable
+#     hardware); the nosimd build records "skipped_no_simd" and still
+#     enforces the allocation and legacy-speedup gates. Each writes
+#     BENCH_hotpath.json into its own bench dir; the tier is recorded in
+#     the JSON ("simd_tier") so regressions are attributable.
+run env -C build/bench ./hotpath_per_point
+run env -C build-nosimd/bench ./hotpath_per_point
+
+# 7. Artifact collection: surface every benchmark JSON the gauntlet wrote at
+#    the repo root so the numbers ride along with the PR. The nosimd hotpath
+#    result is renamed to keep both kernel configurations side by side.
+echo
+echo "=== collecting BENCH_*.json artifacts ==="
+for f in build/bench/BENCH_*.json; do
+  [ -e "$f" ] && cp -v "$f" .
+done
+[ -e build-nosimd/bench/BENCH_hotpath.json ] &&
+  cp -v build-nosimd/bench/BENCH_hotpath.json BENCH_hotpath_nosimd.json
 
 echo
 echo "ci/check.sh: all gates passed"

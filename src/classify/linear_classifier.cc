@@ -132,19 +132,31 @@ double LinearClassifier::Train(const FeatureTrainingSet& data, robust::FaultStat
   return ridge_used;
 }
 
+namespace {
+
+// Rows of the SoA weight block start 64-byte aligned when the row width is a
+// multiple of 8 doubles.
+std::size_t RoundUpToAlignedLanes(std::size_t n) {
+  constexpr std::size_t kLanes = linalg::simd::kBlockAlignment / sizeof(double);
+  return (n + kLanes - 1) / kLanes * kLanes;
+}
+
+}  // namespace
+
 void LinearClassifier::RebuildKernelBlocks() {
   const std::size_t dim = dimension();
-  flat_weights_.assign(weights_.size() * dim, 0.0);
+  class_stride_ = RoundUpToAlignedLanes(weights_.size());
+  soa_weights_.assign(dim * class_stride_, 0.0);
   flat_means_.assign(means_.size() * dim, 0.0);
   for (std::size_t c = 0; c < weights_.size(); ++c) {
     for (std::size_t i = 0; i < dim; ++i) {
-      flat_weights_[c * dim + i] = weights_[c][i];
+      soa_weights_[i * class_stride_ + c] = weights_[c][i];
       flat_means_[c * dim + i] = means_[c][i];
     }
   }
 }
 
-void LinearClassifier::EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const {
+void LinearClassifier::EvaluateAllInto(linalg::VecView f, linalg::MutVecView scores) const {
   if (!trained()) {
     throw std::logic_error("LinearClassifier::Evaluate before Train");
   }
@@ -155,10 +167,31 @@ void LinearClassifier::EvaluateInto(linalg::VecView f, linalg::MutVecView scores
   if (scores.size() != num_classes()) {
     throw std::invalid_argument("LinearClassifier::EvaluateInto: bad scores size");
   }
-  const double* row = flat_weights_.data();
-  for (ClassId c = 0; c < num_classes(); ++c, row += dim) {
-    scores[c] = biases_[c] + linalg::Dot(linalg::VecView(row, dim), f);
+  linalg::simd::EvaluateAll(soa_weights_.data(), class_stride_, biases_.data(), f.data(),
+                            dim, scores.data(), num_classes());
+}
+
+void LinearClassifier::EvaluateBatchInto(const double* features, std::size_t batch,
+                                         std::size_t feature_stride, double* scores,
+                                         std::size_t scores_stride) const {
+  if (!trained()) {
+    throw std::logic_error("LinearClassifier::Evaluate before Train");
   }
+  const std::size_t dim = dimension();
+  if (feature_stride < dim || scores_stride < num_classes()) {
+    throw std::invalid_argument("LinearClassifier::EvaluateBatchInto: bad strides");
+  }
+  // One dispatched kernel call per row: batched results are the per-row
+  // results, by construction.
+  for (std::size_t r = 0; r < batch; ++r) {
+    linalg::simd::EvaluateAll(soa_weights_.data(), class_stride_, biases_.data(),
+                              features + r * feature_stride, dim, scores + r * scores_stride,
+                              num_classes());
+  }
+}
+
+void LinearClassifier::EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const {
+  EvaluateAllInto(f, scores);
 }
 
 std::vector<double> LinearClassifier::Evaluate(const linalg::Vector& f) const {
@@ -210,12 +243,15 @@ double LinearClassifier::MahalanobisSquaredView(linalg::VecView f, ClassId c,
     throw std::invalid_argument("LinearClassifier::MahalanobisSquaredView: bad sizes");
   }
   linalg::Subtract(f, linalg::VecView(flat_means_.data() + c * dim, dim), diff);
-  return linalg::QuadraticForm(linalg::VecView(diff), inverse_covariance_,
-                               linalg::VecView(diff));
+  return linalg::simd::QuadraticForm(linalg::VecView(diff), inverse_covariance_.data(),
+                                     linalg::VecView(diff));
 }
 
 double LinearClassifier::MahalanobisSquared(const linalg::Vector& f, ClassId c) const {
-  return MahalanobisSquaredBetween(f, means_.at(c));
+  // Delegates to the view kernel (not MahalanobisSquaredBetween) so the
+  // allocating and view flavors stay bit-identical under SIMD dispatch.
+  std::vector<double> diff(dimension());
+  return MahalanobisSquaredView(f.view(), c, linalg::MutVecView(diff.data(), diff.size()));
 }
 
 double LinearClassifier::MahalanobisSquaredBetween(const linalg::Vector& a,

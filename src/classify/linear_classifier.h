@@ -11,6 +11,7 @@
 
 #include "classify/training_set.h"
 #include "linalg/matrix.h"
+#include "linalg/simd.h"
 #include "linalg/vec_view.h"
 #include "linalg/vector.h"
 #include "robust/fault_stats.h"
@@ -74,11 +75,30 @@ class LinearClassifier {
   Classification Classify(const linalg::Vector& f) const;
 
   // --- Zero-allocation kernel surface -------------------------------------
-  // These run over the contiguous row-major weight/mean blocks and write into
-  // caller-owned scratch (see eager::Workspace). Results are bit-identical to
-  // the allocating flavors above, which are implemented on top of them.
+  // These run over the structure-of-arrays weight block and the flat mean
+  // block, writing into caller-owned scratch (see eager::Workspace). Results
+  // are bit-identical to the allocating flavors above, which are implemented
+  // on top of them.
+
+  // The batched evaluator: scores ALL classes in one pass over the
+  // feature-major SoA weight block via the dispatched simd::EvaluateAll
+  // kernel. Bit-identical across dispatch tiers and to the classic
+  // "bias + Dot(weights_row, f)" per-class loop (see simd.h for why).
+  // `scores` must be sized num_classes().
+  void EvaluateAllInto(linalg::VecView f, linalg::MutVecView scores) const;
+
+  // Multi-feature-vector variant: scores `batch` feature vectors (rows of
+  // `features`, `feature_stride` doubles apart, each dimension() wide) into
+  // rows of `scores` (`scores_stride` doubles apart, each num_classes()
+  // wide). Row r's scores are bit-identical to EvaluateAllInto on row r —
+  // the batch loops the same per-row kernel, so batched and per-point
+  // callers can never disagree.
+  void EvaluateBatchInto(const double* features, std::size_t batch,
+                         std::size_t feature_stride, double* scores,
+                         std::size_t scores_stride) const;
 
   // Writes v_c(f) for every class into `scores` (size num_classes()).
+  // Thin wrapper over EvaluateAllInto, kept for the scalar-view API surface.
   void EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const;
 
   // argmax over EvaluateInto only — no probability, no Mahalanobis. This is
@@ -117,6 +137,11 @@ class LinearClassifier {
                                          std::vector<linalg::Vector> means,
                                          linalg::Matrix inverse_covariance);
 
+  // Padded row width of the SoA weight block: num_classes() rounded up so
+  // each feature row starts 64-byte aligned. Exposed for bench/test
+  // introspection.
+  std::size_t class_stride() const { return class_stride_; }
+
  private:
   // Rebuilds the contiguous kernel blocks below from weights_/means_; called
   // whenever the per-class parameters change (Train, FromParameters).
@@ -127,12 +152,16 @@ class LinearClassifier {
   std::vector<linalg::Vector> means_;    // mu_c (owning)
   linalg::Matrix inverse_covariance_;    // Sigma^-1
 
-  // Classify-time kernel layout: weights and means flattened into one
-  // row-major block each (class-major, dimension()-wide rows), so the
-  // per-point evaluation walks memory linearly instead of chasing one
-  // heap-allocated Vector per class. Always mirrors weights_/means_.
-  std::vector<double> flat_weights_;
-  std::vector<double> flat_means_;
+  // Classify-time kernel layout. Weights live feature-major
+  // (structure-of-arrays): soa_weights_[i * class_stride_ + c] is w_c[i],
+  // rows padded with zeros to class_stride_ (a multiple of 8 doubles, so
+  // every feature row is 64-byte aligned inside the aligned block) — the
+  // batched evaluator reads class-contiguous lanes per feature. Means stay
+  // class-major (dimension()-wide rows) for the Mahalanobis diff. Both
+  // always mirror weights_/means_.
+  linalg::simd::AlignedBuffer soa_weights_;
+  std::size_t class_stride_ = 0;
+  linalg::simd::AlignedBuffer flat_means_;
 };
 
 // Computes Rubine's P(correct) estimate given all per-class scores and the

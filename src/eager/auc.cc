@@ -129,6 +129,38 @@ bool Auc::UnambiguousView(linalg::VecView masked_features, linalg::MutVecView sc
   return sets_[winner].complete;
 }
 
+std::size_t Auc::FirstUnambiguous(const double* masked_rows, std::size_t batch,
+                                  std::size_t stride,
+                                  linalg::MutVecView scores_block) const {
+  switch (mode_) {
+    case Mode::kUntrained:
+      throw std::logic_error("Auc::Unambiguous before Train");
+    case Mode::kAlwaysAmbiguous:
+      return kNone;
+    case Mode::kAlwaysUnambiguous:
+      return batch > 0 ? 0 : kNone;
+    case Mode::kNormal:
+      break;
+  }
+  const std::size_t sets = linear_.num_classes();
+  assert(scores_block.size() >= batch * sets);
+  linear_.EvaluateBatchInto(masked_rows, batch, stride, scores_block.data(), sets);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* scores = scores_block.data() + r * sets;
+    // Same argmax loop as BestClassView: first index wins ties.
+    classify::ClassId winner = 0;
+    for (classify::ClassId k = 1; k < sets; ++k) {
+      if (scores[k] > scores[winner]) {
+        winner = k;
+      }
+    }
+    if (sets_[winner].complete) {
+      return r;
+    }
+  }
+  return kNone;
+}
+
 Auc Auc::FromParameters(Mode mode, classify::LinearClassifier linear,
                         std::vector<SetInfo> sets) {
   Auc out;

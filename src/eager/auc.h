@@ -80,6 +80,18 @@ class Auc {
   // therefore the answer) is bit-identical to Unambiguous.
   bool UnambiguousView(linalg::VecView masked_features, linalg::MutVecView scores) const;
 
+  // "No row fired" result for FirstUnambiguous.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // Batched D(s) over `batch` masked feature rows (`stride` doubles apart in
+  // `masked_rows`, each linear().dimension() wide): returns the index of the
+  // FIRST row judged unambiguous, or kNone. Row decisions are bit-identical
+  // to UnambiguousView on that row — the batch evaluator loops the same
+  // per-row kernel. `scores_block` is caller scratch of at least
+  // batch * num_sets() doubles (rows of num_sets() scores each).
+  std::size_t FirstUnambiguous(const double* masked_rows, std::size_t batch,
+                               std::size_t stride, linalg::MutVecView scores_block) const;
+
   // The winning AUC set for diagnostics; meaningful only in kNormal mode.
   classify::Classification Classify(const linalg::Vector& masked_features) const;
   const SetInfo& ClassInfo(classify::ClassId auc_class) const { return sets_.at(auc_class); }

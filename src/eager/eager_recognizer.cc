@@ -1,5 +1,6 @@
 #include "eager/eager_recognizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <exception>
 #include <stdexcept>
@@ -89,6 +90,20 @@ bool EagerRecognizer::Unambiguous(linalg::VecView full_features, Workspace& ws) 
   return auc_.UnambiguousView(masked, ws.AucScoresView());
 }
 
+std::size_t EagerRecognizer::FirstUnambiguous(const double* feature_rows, std::size_t batch,
+                                              std::size_t row_stride, Workspace& ws) const {
+  assert(batch <= Workspace::kBatchPoints);
+  ws.Prepare(num_classes(), auc_.num_sets());
+  const features::FeatureMask& mask = full_.mask();
+  const std::size_t masked_dim = mask.count();
+  for (std::size_t r = 0; r < batch; ++r) {
+    mask.ProjectInto(linalg::VecView(feature_rows + r * row_stride, features::kNumFeatures),
+                     ws.MaskedRowView(r, masked_dim));
+  }
+  return auc_.FirstUnambiguous(ws.masked_block.data(), batch, features::kNumFeatures,
+                               ws.BatchAucScoresView());
+}
+
 classify::Classification EagerRecognizer::Classify(linalg::VecView full_features,
                                                    Workspace& ws) const {
   TRACE_SPAN("eager.classify");
@@ -113,6 +128,69 @@ bool EagerStream::AddPoint(const geom::TimedPoint& p) {
     return true;
   }
   return false;
+}
+
+void EagerStream::AddSpan(std::span<const geom::TimedPoint> points, FireEvent* fire) {
+  if (fire != nullptr) {
+    *fire = FireEvent{};
+  }
+  std::size_t i = 0;
+  const std::size_t n = points.size();
+  const std::size_t min_prefix = recognizer_->min_prefix_points();
+  while (i < n) {
+    if (fired_) {
+      // Post-fire points only feed the extractor, exactly like AddPoint, but
+      // each still gets its per-point span.
+      for (; i < n; ++i) {
+        TRACE_SPAN("eager.point");
+        extractor_.AddPoint(points[i]);
+      }
+      return;
+    }
+    // Ingest one chunk: extract per point and snapshot the feature rows that
+    // are past the minimum prefix. Row r fires at point count
+    // first_row_count + r — rows are consecutive points by construction.
+    const std::size_t chunk = std::min(Workspace::kBatchPoints, n - i);
+    std::size_t rows = 0;
+    std::size_t first_row_count = 0;
+    for (std::size_t k = 0; k < chunk; ++k) {
+      TRACE_SPAN("eager.point");
+      extractor_.AddPoint(points[i + k]);
+      if (extractor_.point_count() >= min_prefix) {
+        extractor_.FeaturesInto(workspace_.FeatureRowView(rows));
+        if (rows == 0) {
+          first_row_count = extractor_.point_count();
+        }
+        ++rows;
+      }
+    }
+    i += chunk;
+    if (rows == 0) {
+      continue;
+    }
+    std::size_t fire_row = Auc::kNone;
+    {
+      TRACE_SPAN_FINE("eager.batch");
+      fire_row = recognizer_->FirstUnambiguous(workspace_.feature_block.data(), rows,
+                                               features::kNumFeatures, workspace_);
+    }
+    if (fire_row == Auc::kNone) {
+      continue;
+    }
+    fired_ = true;
+    fired_at_ = first_row_count + fire_row;
+    if (fire != nullptr) {
+      fire->fired = true;
+      fire->fired_at = fired_at_;
+      // Classify from the stored snapshot of the firing row: bit-identical
+      // to calling ClassifyNow at the moment the per-point path fired.
+      linalg::Copy(
+          linalg::VecView(workspace_.feature_block.data() + fire_row * features::kNumFeatures,
+                          features::kNumFeatures),
+          workspace_.FeaturesView());
+      fire->classification = recognizer_->Classify(workspace_.FeaturesView(), workspace_);
+    }
+  }
 }
 
 classify::Classification EagerStream::ClassifyNow() const {

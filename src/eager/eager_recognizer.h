@@ -6,6 +6,7 @@
 #define GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "classify/gesture_classifier.h"
@@ -82,6 +83,14 @@ class EagerRecognizer {
   // D over a full 13-entry feature view.
   bool Unambiguous(linalg::VecView full_features, Workspace& ws) const;
 
+  // Batched D over `batch` full-feature rows (`row_stride` doubles apart in
+  // `feature_rows`, each kNumFeatures wide; batch <= Workspace::kBatchPoints):
+  // mask-projects every row, then runs the AUC's batched evaluator. Returns
+  // the index of the FIRST unambiguous row, or Auc::kNone. Row answers are
+  // bit-identical to Unambiguous on that row.
+  std::size_t FirstUnambiguous(const double* feature_rows, std::size_t batch,
+                               std::size_t row_stride, Workspace& ws) const;
+
   // C over a full 13-entry feature view.
   classify::Classification Classify(linalg::VecView full_features, Workspace& ws) const;
 
@@ -99,6 +108,17 @@ class EagerRecognizer {
   classify::GestureClassifier full_;
   Auc auc_;
   std::size_t min_prefix_points_ = features::FeatureExtractor::kMinPoints;
+};
+
+// Everything a caller needs from the moment D fired inside a batched
+// AddSpan: whether it fired in this span, the point count at the fire, and
+// the full classifier's verdict at that exact point (classified from the
+// stored feature snapshot of the firing point, so it is bit-identical to
+// calling ClassifyNow at the fire in the per-point path).
+struct FireEvent {
+  bool fired = false;
+  std::size_t fired_at = 0;
+  classify::Classification classification;
 };
 
 // Per-gesture streaming session: feed mouse points as they arrive; the
@@ -119,6 +139,14 @@ class EagerStream {
   // Appends one point; returns true exactly once — on the point at which the
   // gesture first becomes unambiguous.
   bool AddPoint(const geom::TimedPoint& p);
+
+  // Appends a span of points, evaluating them in chunks of
+  // Workspace::kBatchPoints through the batched SoA evaluator. Produces the
+  // exact same fired()/fired_at() state (and, via `fire`, the exact same
+  // fire-point classification) as calling AddPoint per point — the batch
+  // kernel is per-row bit-identical — while amortizing dispatch and walking
+  // the weight block once per chunk. Allocation-free in steady state.
+  void AddSpan(std::span<const geom::TimedPoint> points, FireEvent* fire = nullptr);
 
   std::size_t points_seen() const { return extractor_.point_count(); }
   bool fired() const { return fired_; }

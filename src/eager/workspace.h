@@ -30,19 +30,30 @@
 namespace grandma::eager {
 
 struct Workspace {
+  // Points per batched-evaluation chunk (EagerStream::AddSpan): enough rows
+  // for the SIMD evaluator to amortize dispatch and stay in L1, fixed so the
+  // blocks below never allocate.
+  static constexpr std::size_t kBatchPoints = 16;
+
   // Raw 13-entry feature snapshot (FeatureExtractor::FeaturesInto target).
   std::array<double, features::kNumFeatures> features{};
   // Mask-projected features; the leading mask().count() entries are live.
   std::array<double, features::kNumFeatures> masked{};
   // Mahalanobis difference scratch (classifier dimension <= kNumFeatures).
   std::array<double, features::kNumFeatures> diff{};
+  // Batched-chunk blocks: row r (kNumFeatures doubles apart) is point r's
+  // feature snapshot / mask projection within the current chunk.
+  alignas(64) std::array<double, kBatchPoints * features::kNumFeatures> feature_block{};
+  alignas(64) std::array<double, kBatchPoints * features::kNumFeatures> masked_block{};
   // Per-class score buffers: full classifier (C classes) and AUC (up to 2C
-  // sets). Sized by Prepare(); steady state never reallocates.
+  // sets), plus the batched AUC block (kBatchPoints rows of num_auc_sets).
+  // Sized by Prepare(); steady state never reallocates.
   std::vector<double> full_scores;
   std::vector<double> auc_scores;
+  std::vector<double> batch_auc_scores;
 
   // Ensures the score buffers match the recognizer shape. Cheap when already
-  // sized (two integer compares); allocates only on first use or when the
+  // sized (three integer compares); allocates only on first use or when the
   // shape changed.
   void Prepare(std::size_t num_full_classes, std::size_t num_auc_sets) {
     if (full_scores.size() != num_full_classes) {
@@ -50,6 +61,9 @@ struct Workspace {
     }
     if (auc_scores.size() != num_auc_sets) {
       auc_scores.resize(num_auc_sets);
+    }
+    if (batch_auc_scores.size() != kBatchPoints * num_auc_sets) {
+      batch_auc_scores.resize(kBatchPoints * num_auc_sets);
     }
   }
 
@@ -61,6 +75,20 @@ struct Workspace {
   }
   linalg::MutVecView AucScoresView() {
     return linalg::MutVecView(auc_scores.data(), auc_scores.size());
+  }
+  // Feature-snapshot row r of the batched chunk (full kNumFeatures width).
+  linalg::MutVecView FeatureRowView(std::size_t r) {
+    assert(r < kBatchPoints);
+    return linalg::MutVecView(feature_block.data() + r * features::kNumFeatures,
+                              features::kNumFeatures);
+  }
+  // Mask-projection row r (leading n = mask.count() entries are live).
+  linalg::MutVecView MaskedRowView(std::size_t r, std::size_t n) {
+    assert(r < kBatchPoints && n <= features::kNumFeatures);
+    return linalg::MutVecView(masked_block.data() + r * features::kNumFeatures, n);
+  }
+  linalg::MutVecView BatchAucScoresView() {
+    return linalg::MutVecView(batch_auc_scores.data(), batch_auc_scores.size());
   }
 };
 

@@ -63,6 +63,10 @@ class Matrix {
     return VecView(data_.data() + r * cols_, cols_);
   }
 
+  // Raw row-major storage (rows * cols doubles, rows contiguous); valid
+  // until the matrix is resized or destroyed. For the SIMD kernels.
+  const double* data() const { return data_.data(); }
+
   // Largest absolute entry; 0 for an empty matrix.
   double MaxAbs() const;
 

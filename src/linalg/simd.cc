@@ -1,0 +1,521 @@
+// Kernel tables for the dispatch ladder declared in simd.h. This file is
+// compiled with -ffp-contract=off (see src/linalg/CMakeLists.txt): no
+// mul+add here may fuse into an FMA, or the bit-identity contract between
+// the scalar and vector tiers of EvaluateAll would silently break on
+// FMA-capable hardware.
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#if !defined(GRANDMA_SIMD_DISABLED)
+#if defined(__x86_64__) || defined(__i386__)
+#define GRANDMA_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define GRANDMA_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace grandma::linalg::simd {
+
+namespace {
+
+// Raw-pointer kernel signatures; the VecView entry points below unwrap once
+// and assert sizes, so the per-tier implementations stay branch-light.
+struct KernelTable {
+  Tier tier;
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+  double (*squared_norm)(const double* v, std::size_t n);
+  void (*evaluate_all)(const double* soa, std::size_t stride, const double* biases,
+                       const double* f, std::size_t dim, double* scores, std::size_t classes);
+};
+
+// --- Scalar tier (the reference) ---------------------------------------
+
+double DotScalar(const double* a, const double* b, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double SquaredNormScalar(const double* v, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += v[i] * v[i];
+  }
+  return sum;
+}
+
+void EvaluateAllScalar(const double* soa, std::size_t stride, const double* biases,
+                       const double* f, std::size_t dim, double* scores,
+                       std::size_t classes) {
+  for (std::size_t c = 0; c < classes; ++c) {
+    scores[c] = 0.0;
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double alpha = f[i];
+    const double* row = soa + i * stride;
+    for (std::size_t c = 0; c < classes; ++c) {
+      scores[c] += alpha * row[c];
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    scores[c] += biases[c];
+  }
+}
+
+constexpr KernelTable kScalarTable{Tier::kScalar, DotScalar, AxpyScalar, SquaredNormScalar,
+                                   EvaluateAllScalar};
+
+#if defined(GRANDMA_SIMD_X86)
+
+// --- SSE2 tier (x86-64 baseline) ---------------------------------------
+
+double DotSse2(const double* a, const double* b, std::size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  // Lane 0 + lane 1, then the odd tail element in order.
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double sum = lanes[0] + lanes[1];
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void AxpySse2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m128d va = _mm_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d prod = _mm_mul_pd(va, _mm_loadu_pd(x + i));
+    _mm_storeu_pd(y + i, _mm_add_pd(_mm_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double SquaredNormSse2(const double* v, std::size_t n) { return DotSse2(v, v, n); }
+
+void EvaluateAllSse2(const double* soa, std::size_t stride, const double* biases,
+                     const double* f, std::size_t dim, double* scores, std::size_t classes) {
+  std::size_t c = 0;
+  // 8-class blocks: four independent accumulators hide the add latency.
+  for (; c + 8 <= classes; c += 8) {
+    __m128d a0 = _mm_setzero_pd();
+    __m128d a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd();
+    __m128d a3 = _mm_setzero_pd();
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const __m128d ff = _mm_set1_pd(f[i]);
+      const double* row = col + i * stride;
+      a0 = _mm_add_pd(a0, _mm_mul_pd(ff, _mm_loadu_pd(row)));
+      a1 = _mm_add_pd(a1, _mm_mul_pd(ff, _mm_loadu_pd(row + 2)));
+      a2 = _mm_add_pd(a2, _mm_mul_pd(ff, _mm_loadu_pd(row + 4)));
+      a3 = _mm_add_pd(a3, _mm_mul_pd(ff, _mm_loadu_pd(row + 6)));
+    }
+    _mm_storeu_pd(scores + c, _mm_add_pd(a0, _mm_loadu_pd(biases + c)));
+    _mm_storeu_pd(scores + c + 2, _mm_add_pd(a1, _mm_loadu_pd(biases + c + 2)));
+    _mm_storeu_pd(scores + c + 4, _mm_add_pd(a2, _mm_loadu_pd(biases + c + 4)));
+    _mm_storeu_pd(scores + c + 6, _mm_add_pd(a3, _mm_loadu_pd(biases + c + 6)));
+  }
+  for (; c + 2 <= classes; c += 2) {
+    __m128d acc = _mm_setzero_pd();
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(f[i]), _mm_loadu_pd(col + i * stride)));
+    }
+    _mm_storeu_pd(scores + c, _mm_add_pd(acc, _mm_loadu_pd(biases + c)));
+  }
+  for (; c < classes; ++c) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc += f[i] * soa[i * stride + c];
+    }
+    scores[c] = acc + biases[c];
+  }
+}
+
+constexpr KernelTable kSse2Table{Tier::kSse2, DotSse2, AxpySse2, SquaredNormSse2,
+                                 EvaluateAllSse2};
+
+// --- AVX2 tier (runtime-detected) --------------------------------------
+
+__attribute__((target("avx2"))) double DotAvx2(const double* a, const double* b,
+                                               std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double alpha, const double* x, double* y,
+                                              std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+__attribute__((target("avx2"))) double SquaredNormAvx2(const double* v, std::size_t n) {
+  return DotAvx2(v, v, n);
+}
+
+__attribute__((target("avx2"))) void EvaluateAllAvx2(const double* soa, std::size_t stride,
+                                                     const double* biases, const double* f,
+                                                     std::size_t dim, double* scores,
+                                                     std::size_t classes) {
+  std::size_t c = 0;
+  // 16-class blocks: four independent 4-wide accumulators.
+  for (; c + 16 <= classes; c += 16) {
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const __m256d ff = _mm256_set1_pd(f[i]);
+      const double* row = col + i * stride;
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(ff, _mm256_loadu_pd(row)));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(ff, _mm256_loadu_pd(row + 4)));
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(ff, _mm256_loadu_pd(row + 8)));
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(ff, _mm256_loadu_pd(row + 12)));
+    }
+    _mm256_storeu_pd(scores + c, _mm256_add_pd(a0, _mm256_loadu_pd(biases + c)));
+    _mm256_storeu_pd(scores + c + 4, _mm256_add_pd(a1, _mm256_loadu_pd(biases + c + 4)));
+    _mm256_storeu_pd(scores + c + 8, _mm256_add_pd(a2, _mm256_loadu_pd(biases + c + 8)));
+    _mm256_storeu_pd(scores + c + 12, _mm256_add_pd(a3, _mm256_loadu_pd(biases + c + 12)));
+  }
+  for (; c + 4 <= classes; c += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc = _mm256_add_pd(acc,
+                          _mm256_mul_pd(_mm256_set1_pd(f[i]), _mm256_loadu_pd(col + i * stride)));
+    }
+    _mm256_storeu_pd(scores + c, _mm256_add_pd(acc, _mm256_loadu_pd(biases + c)));
+  }
+  for (; c < classes; ++c) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc += f[i] * soa[i * stride + c];
+    }
+    scores[c] = acc + biases[c];
+  }
+}
+
+constexpr KernelTable kAvx2Table{Tier::kAvx2, DotAvx2, AxpyAvx2, SquaredNormAvx2,
+                                 EvaluateAllAvx2};
+
+#elif defined(GRANDMA_SIMD_NEON)
+
+// --- NEON tier (aarch64 baseline; fills the kSse2 rung) -----------------
+
+double DotNeon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = vaddq_f64(acc, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+  }
+  double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+void AxpyNeon(double alpha, const double* x, double* y, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), vmulq_f64(va, vld1q_f64(x + i))));
+  }
+  for (; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double SquaredNormNeon(const double* v, std::size_t n) { return DotNeon(v, v, n); }
+
+void EvaluateAllNeon(const double* soa, std::size_t stride, const double* biases,
+                     const double* f, std::size_t dim, double* scores, std::size_t classes) {
+  std::size_t c = 0;
+  for (; c + 8 <= classes; c += 8) {
+    float64x2_t a0 = vdupq_n_f64(0.0);
+    float64x2_t a1 = vdupq_n_f64(0.0);
+    float64x2_t a2 = vdupq_n_f64(0.0);
+    float64x2_t a3 = vdupq_n_f64(0.0);
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const float64x2_t ff = vdupq_n_f64(f[i]);
+      const double* row = col + i * stride;
+      a0 = vaddq_f64(a0, vmulq_f64(ff, vld1q_f64(row)));
+      a1 = vaddq_f64(a1, vmulq_f64(ff, vld1q_f64(row + 2)));
+      a2 = vaddq_f64(a2, vmulq_f64(ff, vld1q_f64(row + 4)));
+      a3 = vaddq_f64(a3, vmulq_f64(ff, vld1q_f64(row + 6)));
+    }
+    vst1q_f64(scores + c, vaddq_f64(a0, vld1q_f64(biases + c)));
+    vst1q_f64(scores + c + 2, vaddq_f64(a1, vld1q_f64(biases + c + 2)));
+    vst1q_f64(scores + c + 4, vaddq_f64(a2, vld1q_f64(biases + c + 4)));
+    vst1q_f64(scores + c + 6, vaddq_f64(a3, vld1q_f64(biases + c + 6)));
+  }
+  for (; c + 2 <= classes; c += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    const double* col = soa + c;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(f[i]), vld1q_f64(col + i * stride)));
+    }
+    vst1q_f64(scores + c, vaddq_f64(acc, vld1q_f64(biases + c)));
+  }
+  for (; c < classes; ++c) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc += f[i] * soa[i * stride + c];
+    }
+    scores[c] = acc + biases[c];
+  }
+}
+
+constexpr KernelTable kSse2Table{Tier::kSse2, DotNeon, AxpyNeon, SquaredNormNeon,
+                                 EvaluateAllNeon};
+
+#endif  // GRANDMA_SIMD_X86 / GRANDMA_SIMD_NEON
+
+bool TierSupported(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kSse2:
+#if defined(GRANDMA_SIMD_X86) || defined(GRANDMA_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAvx2:
+#if defined(GRANDMA_SIMD_X86)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* TableFor(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return &kScalarTable;
+    case Tier::kSse2:
+#if defined(GRANDMA_SIMD_X86) || defined(GRANDMA_SIMD_NEON)
+      return &kSse2Table;
+#else
+      return &kScalarTable;
+#endif
+    case Tier::kAvx2:
+#if defined(GRANDMA_SIMD_X86)
+      return &kAvx2Table;
+#else
+      return &kScalarTable;
+#endif
+  }
+  return &kScalarTable;
+}
+
+// The startup selection: GRANDMA_SIMD env override when it names a
+// supported tier, otherwise the best supported tier.
+Tier StartupTier() {
+  if (const char* env = std::getenv("GRANDMA_SIMD")) {
+    const std::string v(env);
+    Tier requested = Tier::kScalar;
+    bool recognized = true;
+    if (v == "scalar" || v == "off") {
+      requested = Tier::kScalar;
+    } else if (v == "sse2" || v == "neon") {
+      requested = Tier::kSse2;
+    } else if (v == "avx2") {
+      requested = Tier::kAvx2;
+    } else {
+      recognized = false;
+    }
+    if (recognized && TierSupported(requested)) {
+      return requested;
+    }
+  }
+  return BestSupportedTier();
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable& Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // First call (or a racing pair of first calls — both compute the same
+    // table, so the double store is benign).
+    table = TableFor(StartupTier());
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+}  // namespace
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+#if defined(GRANDMA_SIMD_NEON)
+      return "neon";
+#else
+      return "sse2";
+#endif
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Tier BestSupportedTier() {
+  if (TierSupported(Tier::kAvx2)) {
+    return Tier::kAvx2;
+  }
+  if (TierSupported(Tier::kSse2)) {
+    return Tier::kSse2;
+  }
+  return Tier::kScalar;
+}
+
+Tier ActiveTier() { return Active().tier; }
+
+bool ForceTier(Tier t) {
+  if (!TierSupported(t)) {
+    return false;
+  }
+  g_active.store(TableFor(t), std::memory_order_release);
+  return true;
+}
+
+void ResetTier() { g_active.store(TableFor(StartupTier()), std::memory_order_release); }
+
+double Dot(VecView a, VecView b) {
+  assert(a.size() == b.size());
+  return Active().dot(a.data(), b.data(), a.size());
+}
+
+void Axpy(double alpha, VecView x, MutVecView y) {
+  assert(x.size() == y.size());
+  Active().axpy(alpha, x.data(), y.data(), x.size());
+}
+
+double SquaredNorm(VecView v) { return Active().squared_norm(v.data(), v.size()); }
+
+double QuadraticForm(VecView x, const double* m, VecView y) {
+  assert(x.size() == y.size());
+  const KernelTable& table = Active();
+  const std::size_t n = x.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += x[i] * table.dot(m + i * n, y.data(), n);
+  }
+  return sum;
+}
+
+void EvaluateAll(const double* soa, std::size_t stride, const double* biases,
+                 const double* f, std::size_t dim, double* scores, std::size_t classes) {
+  assert(stride >= classes);
+  Active().evaluate_all(soa, stride, biases, f, dim, scores, classes);
+}
+
+// --- AlignedBuffer ------------------------------------------------------
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other) {
+  assign(other.size_, 0.0);
+  if (size_ != 0) {
+    std::memcpy(data_, other.data_, size_ * sizeof(double));
+  }
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this != &other) {
+    assign(other.size_, 0.0);
+    if (size_ != 0) {
+      std::memcpy(data_, other.data_, size_ * sizeof(double));
+    }
+  }
+  return *this;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { Release(); }
+
+void AlignedBuffer::Release() {
+  if (data_ != nullptr) {
+    ::operator delete[](data_, std::align_val_t(kBlockAlignment));
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+void AlignedBuffer::assign(std::size_t size, double value) {
+  if (size != size_) {
+    Release();
+    if (size != 0) {
+      data_ = static_cast<double*>(
+          ::operator new[](size * sizeof(double), std::align_val_t(kBlockAlignment)));
+      size_ = size;
+    }
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    data_[i] = value;
+  }
+}
+
+}  // namespace grandma::linalg::simd

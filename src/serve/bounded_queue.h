@@ -19,6 +19,7 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace grandma::serve {
 
@@ -80,6 +81,33 @@ class BoundedQueue {
     }
     not_full_.notify_one();
     return out;
+  }
+
+  // Batch pop: waits while empty, then moves up to `max_items` into `out`
+  // (cleared first) in one critical section and returns the count. Returns 0
+  // only once the queue is closed AND fully drained — the same end-of-stream
+  // contract as Pop. Draining N items per wakeup amortizes the lock and the
+  // consumer wakeup across a burst instead of paying both per event.
+  std::size_t PopBatch(std::vector<T>& out, std::size_t max_items) {
+    out.clear();
+    if (max_items == 0) {
+      return 0;
+    }
+    bool freed_space = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      while (!items_.empty() && out.size() < max_items) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        freed_space = true;
+      }
+    }
+    if (freed_space) {
+      // A batch may free many slots; wake every blocked producer.
+      not_full_.notify_all();
+    }
+    return out.size();
   }
 
   // No pushes succeed after this; pops drain the remainder. Idempotent.

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <stdexcept>
@@ -132,83 +133,95 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
     }
   };
 
-  while (auto event = shard.queue.Pop()) {
+  // Batch dequeue: drain up to batch_dequeue events per queue wakeup. The
+  // buffer is reused across wakeups; PopBatch clears it. Events still process
+  // strictly in submission order with per-event accounting — batching only
+  // amortizes the lock round-trip and wakeup.
+  std::vector<ServeEvent> batch;
+  const std::size_t batch_max = std::max<std::size_t>(options_.batch_dequeue, 1);
+  batch.reserve(batch_max);
+  while (shard.queue.PopBatch(batch, batch_max) > 0) {
+    // One clock read per batch: every event in it was dequeued at the same
+    // instant, so a shared `now` is both cheaper and more honest.
     const auto now = std::chrono::steady_clock::now();
-    const double wait_us =
-        std::chrono::duration<double, std::micro>(now - event->enqueue_time).count();
-    // Enqueue→dequeue wait measured on the real clock by the producer's
-    // timestamp; recorded from the consumer side so the span lands on the
-    // worker's (single-writer) trace buffer.
-    TRACE_MANUAL_SPAN("queue.wait", static_cast<std::uint64_t>(wait_us * 1000.0),
-                      event->session);
-    // The admission controller sees every dequeued wait — including waits
-    // that will expire the event below. Feeding only accepted events would
-    // blind the controller exactly when overload is worst.
-    if (options_.overload == OverloadPolicy::kAdaptive) {
-      shard.admission.RecordWait(wait_us);
-    }
-    // Deadline budget: an event that overstayed its budget in the queue is
-    // dropped before classification — by now the gesture moment it belongs
-    // to has passed. Dropped events are excluded from queue_latency (which
-    // is the accepted-event wait) and from events_processed. kSessionEnd is
-    // exempt: it frees session state, and dropping it would turn overload
-    // into a resident-memory leak.
-    if (event->deadline_us > 0 && event->type != EventType::kSessionEnd &&
-        wait_us > static_cast<double>(event->deadline_us)) {
-      shard.events_deadline_expired.fetch_add(1, std::memory_order_relaxed);
-      if (options_.on_drop) {
-        try {
-          options_.on_drop(*event,
-                           robust::Status::DeadlineExceeded(
-                               "WorkerLoop: event overstayed its deadline budget in queue"));
-        } catch (...) {
-          shard.callback_errors.fetch_add(1, std::memory_order_relaxed);
+    for (ServeEvent& dequeued : batch) {
+      ServeEvent* const event = &dequeued;
+      const double wait_us =
+          std::chrono::duration<double, std::micro>(now - event->enqueue_time).count();
+      // Enqueue→dequeue wait measured on the real clock by the producer's
+      // timestamp; recorded from the consumer side so the span lands on the
+      // worker's (single-writer) trace buffer.
+      TRACE_MANUAL_SPAN("queue.wait", static_cast<std::uint64_t>(wait_us * 1000.0),
+                        event->session);
+      // The admission controller sees every dequeued wait — including waits
+      // that will expire the event below. Feeding only accepted events would
+      // blind the controller exactly when overload is worst.
+      if (options_.overload == OverloadPolicy::kAdaptive) {
+        shard.admission.RecordWait(wait_us);
+      }
+      // Deadline budget: an event that overstayed its budget in the queue is
+      // dropped before classification — by now the gesture moment it belongs
+      // to has passed. Dropped events are excluded from queue_latency (which
+      // is the accepted-event wait) and from events_processed. kSessionEnd is
+      // exempt: it frees session state, and dropping it would turn overload
+      // into a resident-memory leak.
+      if (event->deadline_us > 0 && event->type != EventType::kSessionEnd &&
+          wait_us > static_cast<double>(event->deadline_us)) {
+        shard.events_deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        if (options_.on_drop) {
+          try {
+            options_.on_drop(*event,
+                             robust::Status::DeadlineExceeded(
+                                 "WorkerLoop: event overstayed its deadline budget in queue"));
+          } catch (...) {
+            shard.callback_errors.fetch_add(1, std::memory_order_relaxed);
+          }
         }
+        continue;
       }
-      continue;
-    }
-    shard.queue_latency.RecordMicros(wait_us);
-    TRACE_SESSION_SCOPE(event->session);
-    TRACE_SPAN("serve.event");
+      shard.queue_latency.RecordMicros(wait_us);
+      TRACE_SESSION_SCOPE(event->session);
+      TRACE_SPAN("serve.event");
 
-    if (event->type == EventType::kSessionEnd) {
-      sessions.Erase(event->session);
-    } else {
-      Session& session = sessions.GetOrCreate(event->session);
-      const SessionStats before = session.stats();
+      if (event->type == EventType::kSessionEnd) {
+        sessions.Erase(event->session);
+      } else {
+        Session& session = sessions.GetOrCreate(event->session);
+        const SessionStats before = session.stats();
 
-      switch (event->type) {
-        case EventType::kStrokeBegin:
-          // Stroke boundary: pin whatever the registry currently publishes
-          // for this event's user — the base bundle, or the user's adapted
-          // bundle when personalization is enabled and a delta exists. The
-          // per-point path below stays registry-free (no mutex) while a
-          // stroke is open, so neither a hot swap nor a concurrent AdaptUser
-          // can mix weights inside it.
-          session.BeginStroke(event->stroke, sink, registry_->CurrentFor(event->user));
-          break;
-        case EventType::kPoints:
-          session.AddPoints(event->stroke, event->points, sink,
-                            session.in_stroke() ? nullptr
-                                                : registry_->CurrentFor(event->user));
-          shard.points_processed.fetch_add(event->points.size(), std::memory_order_relaxed);
-          break;
-        case EventType::kStrokeEnd:
-          session.EndStroke(sink);
-          break;
-        case EventType::kSessionEnd:
-          break;  // handled above
+        switch (event->type) {
+          case EventType::kStrokeBegin:
+            // Stroke boundary: pin whatever the registry currently publishes
+            // for this event's user — the base bundle, or the user's adapted
+            // bundle when personalization is enabled and a delta exists. The
+            // per-point path below stays registry-free (no mutex) while a
+            // stroke is open, so neither a hot swap nor a concurrent AdaptUser
+            // can mix weights inside it.
+            session.BeginStroke(event->stroke, sink, registry_->CurrentFor(event->user));
+            break;
+          case EventType::kPoints:
+            session.AddPoints(event->stroke, event->points, sink,
+                              session.in_stroke() ? nullptr
+                                                  : registry_->CurrentFor(event->user));
+            shard.points_processed.fetch_add(event->points.size(), std::memory_order_relaxed);
+            break;
+          case EventType::kStrokeEnd:
+            session.EndStroke(sink);
+            break;
+          case EventType::kSessionEnd:
+            break;  // handled above
+        }
+
+        const SessionStats& after = session.stats();
+        shard.strokes_completed.fetch_add(after.strokes_completed - before.strokes_completed,
+                                          std::memory_order_relaxed);
+        shard.eager_fires.fetch_add(after.eager_fires - before.eager_fires,
+                                    std::memory_order_relaxed);
       }
-
-      const SessionStats& after = session.stats();
-      shard.strokes_completed.fetch_add(after.strokes_completed - before.strokes_completed,
-                                        std::memory_order_relaxed);
-      shard.eager_fires.fetch_add(after.eager_fires - before.eager_fires,
-                                  std::memory_order_relaxed);
+      shard.events_processed.fetch_add(1, std::memory_order_relaxed);
+      shard.sessions_created.store(sessions.created(), std::memory_order_relaxed);
+      shard.sessions_resident.store(sessions.size(), std::memory_order_relaxed);
     }
-    shard.events_processed.fetch_add(1, std::memory_order_relaxed);
-    shard.sessions_created.store(sessions.created(), std::memory_order_relaxed);
-    shard.sessions_resident.store(sessions.size(), std::memory_order_relaxed);
   }
 }
 

@@ -66,6 +66,12 @@ struct ServerOptions {
   AdmissionOptions admission;
   // Optional observer for worker-side drops (deadline-expired events).
   DropSink on_drop;
+  // Max events a shard worker drains per queue wakeup (clamped to >= 1).
+  // Batch dequeue amortizes the queue lock and the consumer wakeup across
+  // bursts (ROADMAP item 2); per-event processing semantics are unchanged —
+  // one queue.wait sample, deadline check, and dispatch per event, in
+  // submission order.
+  std::size_t batch_dequeue = 16;
   // When false, workers are not spawned until Start() — events queue up (and
   // shed) deterministically. Tests use this to exercise the backpressure and
   // drain paths without timing races.

@@ -63,12 +63,28 @@ void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> point
     ++stats_.implicit_begins;
     BeginStroke(stroke, sink, std::move(pin));
   }
-  for (const geom::TimedPoint& p : points) {
-    ++stats_.points_seen;
-    if (stream_.AddPoint(p)) {
-      // First moment the AUC judged the stroke unambiguous.
-      ++stats_.eager_fires;
-      EmitResult(ResultKind::kEagerFire, sink);
+  eager::FireEvent fire;
+  stream_.AddSpan(points, &fire);
+  stats_.points_seen += points.size();
+  if (fire.fired) {
+    // First moment the AUC judged the stroke unambiguous. The result is
+    // built from the fire event rather than EmitResult: the batched stream
+    // has already consumed the rest of the span, so points_seen at the fire
+    // (== fired_at) and the fire-point classification come from the event —
+    // field-identical to the per-point path's mid-span emit.
+    ++stats_.eager_fires;
+    RecognitionResult result;
+    result.session = id_;
+    result.stroke = current_stroke_;
+    result.kind = ResultKind::kEagerFire;
+    result.classification = fire.classification;
+    result.class_name = recognizer_->ClassName(fire.classification.class_id);
+    result.points_seen = fire.fired_at;
+    result.eager_fired = true;
+    result.fired_at = fire.fired_at;
+    result.model_version = model_version_;
+    if (sink) {
+      sink(result);
     }
   }
 }

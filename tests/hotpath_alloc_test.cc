@@ -282,6 +282,104 @@ TEST(HotpathAllocTest, TracedServeSessionSteadyStateIsAllocationFree) {
   EXPECT_FALSE(obs::CollectAll().empty());
 }
 
+// The batched ingest path (EagerStream::AddSpan + the SoA EvaluateBatchInto
+// under it) must uphold the same contract: zero allocations per point in
+// steady state, including the fire-event classification.
+TEST(HotpathAllocTest, AddSpanSteadyStateIsAllocationFree) {
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  const std::vector<geom::Gesture> pool = StrokePool();
+  eager::EagerStream stream(r);
+  eager::FireEvent fire;
+
+  // Warm-up: sizes the workspace score buffers (incl. the batch block).
+  stream.AddSpan(std::span<const geom::TimedPoint>(pool[0].points()), &fire);
+  (void)stream.ClassifyNow();
+  stream.Reset();
+
+  std::size_t points = 0;
+  const std::uint64_t allocs = CountAllocations([&] {
+    while (points < 1000) {
+      for (const geom::Gesture& g : pool) {
+        stream.AddSpan(std::span<const geom::TimedPoint>(g.points()), &fire);
+        (void)stream.ClassifyNow();
+        stream.Reset();
+        points += g.size();
+      }
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "after " << points << " batched points";
+  EXPECT_GE(points, 1000u);
+}
+
+// The classifier's batched evaluator on its own: after training, scoring all
+// classes (single vector and multi-row) touches the heap zero times.
+TEST(HotpathAllocTest, EvaluateAllIntoIsAllocationFreePerPoint) {
+  const auto& lin = GdpRecognizer().full().linear();
+  const std::size_t dim = lin.dimension();
+  const std::size_t classes = lin.num_classes();
+  std::vector<double> features(4 * dim, 0.25);
+  std::vector<double> scores(4 * classes);
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (int rep = 0; rep < 1000; ++rep) {
+      lin.EvaluateAllInto(linalg::VecView(features.data(), dim),
+                          linalg::MutVecView(scores.data(), classes));
+      lin.EvaluateBatchInto(features.data(), 4, dim, scores.data(), classes);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+// AddSpan must be observably indistinguishable from per-point AddPoint:
+// same fire point, identical fire-time Classification doubles (==, not
+// almost-equal), identical final classification — for whole-stroke spans and
+// for odd chunkings that straddle the internal batch boundary.
+TEST(HotpathAllocTest, AddSpanIsBitIdenticalToAddPointPath) {
+  const eager::EagerRecognizer& r = GdpRecognizer();
+  for (const geom::Gesture& g : StrokePool()) {
+    // Per-point reference, capturing the fire-time classification the way
+    // serve's per-point path did (ClassifyNow at the firing point).
+    eager::EagerStream reference(r);
+    bool ref_fired = false;
+    classify::Classification ref_at_fire{};
+    for (const geom::TimedPoint& p : g) {
+      if (reference.AddPoint(p)) {
+        ref_fired = true;
+        ref_at_fire = reference.ClassifyNow();
+      }
+    }
+    const classify::Classification ref_final = reference.ClassifyNow();
+
+    for (std::size_t chunk : {g.size(), std::size_t{1}, std::size_t{7}, std::size_t{19}}) {
+      eager::EagerStream stream(r);
+      eager::FireEvent fire;
+      bool span_fired = false;
+      classify::Classification span_at_fire{};
+      const auto& pts = g.points();
+      for (std::size_t i = 0; i < pts.size(); i += chunk) {
+        const std::size_t len = std::min(chunk, pts.size() - i);
+        stream.AddSpan(std::span<const geom::TimedPoint>(pts.data() + i, len), &fire);
+        if (fire.fired) {
+          span_fired = true;
+          span_at_fire = fire.classification;
+        }
+      }
+      ASSERT_EQ(stream.fired(), reference.fired()) << "chunk=" << chunk;
+      EXPECT_EQ(stream.fired_at(), reference.fired_at()) << "chunk=" << chunk;
+      ASSERT_EQ(span_fired, ref_fired) << "chunk=" << chunk;
+      if (span_fired) {
+        EXPECT_EQ(span_at_fire.class_id, ref_at_fire.class_id) << "chunk=" << chunk;
+        EXPECT_EQ(span_at_fire.score, ref_at_fire.score) << "chunk=" << chunk;
+        EXPECT_EQ(span_at_fire.probability, ref_at_fire.probability) << "chunk=" << chunk;
+        EXPECT_EQ(span_at_fire.mahalanobis_squared, ref_at_fire.mahalanobis_squared)
+            << "chunk=" << chunk;
+      }
+      const classify::Classification final = stream.ClassifyNow();
+      EXPECT_EQ(final.class_id, ref_final.class_id) << "chunk=" << chunk;
+      EXPECT_EQ(final.score, ref_final.score) << "chunk=" << chunk;
+    }
+  }
+}
+
 // The counting harness itself must see ordinary allocations, or the zero
 // results above would be vacuous.
 TEST(HotpathAllocTest, HarnessCountsAllocations) {

@@ -1,0 +1,388 @@
+// Kernel-equivalence property tests for the dispatch ladder in
+// linalg/simd.h: every tier the build/CPU supports is forced in turn and
+// compared against the scalar reference — bit-exact where the contract says
+// bit-exact (EvaluateAll, Axpy), bounded-ULP where per-lane partial sums
+// reassociate (Dot, SquaredNorm, QuadraticForm) — over odd lengths,
+// unaligned tails, and NaN/Inf inputs.
+//
+// This TU is compiled with -ffp-contract=off (tests/CMakeLists.txt) so the
+// in-test scalar references cannot pick up FMA contraction that the kernels
+// themselves forbid.
+#include "linalg/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "classify/linear_classifier.h"
+#include "classify/training_set.h"
+#include "linalg/vec_view.h"
+#include "linalg/vector.h"
+
+namespace grandma::linalg::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Restores the startup tier selection on scope exit, so a failing test can
+// never leak a forced tier into the rest of the binary.
+struct TierGuard {
+  ~TierGuard() { ResetTier(); }
+};
+
+// Deterministic pseudo-random doubles in roughly [-2, 2): SplitMix64 mapped
+// to the unit interval. Seeded per call site so failures reproduce.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  double Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * (4.0 / 9007199254740992.0) - 2.0;
+  }
+  std::vector<double> Fill(std::size_t n) {
+    std::vector<double> out(n);
+    for (double& x : out) {
+      x = Next();
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<Tier> SupportedTiers() {
+  std::vector<Tier> out{Tier::kScalar};
+  for (Tier t : {Tier::kSse2, Tier::kAvx2}) {
+    TierGuard guard;
+    if (ForceTier(t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Tier> VectorTiers() {
+  std::vector<Tier> out;
+  for (Tier t : SupportedTiers()) {
+    if (t != Tier::kScalar) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+// Reassociation error bound for an n-term sum whose terms have the given
+// absolute sum: n * eps * sum|terms|, with a 4x safety margin.
+double SumBound(std::size_t n, double abs_sum) {
+  return 4.0 * static_cast<double>(n + 1) * std::numeric_limits<double>::epsilon() * abs_sum;
+}
+
+TEST(SimdDispatchTest, TierNamesAndBestTier) {
+  EXPECT_STREQ(TierName(Tier::kScalar), "scalar");
+  EXPECT_STREQ(TierName(Tier::kAvx2), "avx2");
+  if (!kCompiledIn) {
+    EXPECT_EQ(BestSupportedTier(), Tier::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, ForceTierRoundTrips) {
+  TierGuard guard;
+  for (Tier t : SupportedTiers()) {
+    ASSERT_TRUE(ForceTier(t)) << TierName(t);
+    EXPECT_EQ(ActiveTier(), t);
+  }
+  ResetTier();
+  EXPECT_EQ(ActiveTier(), BestSupportedTier());
+}
+
+TEST(SimdDispatchTest, ForcingUnsupportedTierFailsAndKeepsActive) {
+  if (kCompiledIn && BestSupportedTier() == Tier::kAvx2) {
+    GTEST_SKIP() << "every tier is supported on this CPU";
+  }
+  TierGuard guard;
+  ASSERT_TRUE(ForceTier(Tier::kScalar));
+  const Tier unsupported = kCompiledIn ? Tier::kAvx2 : Tier::kSse2;
+  EXPECT_FALSE(ForceTier(unsupported));
+  EXPECT_EQ(ActiveTier(), Tier::kScalar);
+}
+
+// Dot: bounded-ULP vs the scalar tier on every length 1..33 (odd lengths and
+// vector tails included) and on unaligned slices.
+TEST(SimdKernelTest, DotMatchesScalarBoundedUlp) {
+  TierGuard guard;
+  for (std::size_t n = 1; n <= 33; ++n) {
+    Rng rng(1000 + n);
+    const std::vector<double> a = rng.Fill(n + 1);
+    const std::vector<double> b = rng.Fill(n + 1);
+    // offset 1 makes the slice deliberately misaligned for 16/32-byte loads.
+    for (std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+      const VecView av(a.data() + offset, n);
+      const VecView bv(b.data() + offset, n);
+      ASSERT_TRUE(ForceTier(Tier::kScalar));
+      const double reference = simd::Dot(av, bv);
+      double abs_sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        abs_sum += std::fabs(av[i] * bv[i]);
+      }
+      for (Tier t : VectorTiers()) {
+        ASSERT_TRUE(ForceTier(t));
+        EXPECT_NEAR(simd::Dot(av, bv), reference, SumBound(n, abs_sum))
+            << TierName(t) << " n=" << n << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SquaredNormMatchesScalarBoundedUlp) {
+  TierGuard guard;
+  for (std::size_t n = 1; n <= 33; ++n) {
+    Rng rng(2000 + n);
+    const std::vector<double> v = rng.Fill(n);
+    const VecView vv(v.data(), n);
+    ASSERT_TRUE(ForceTier(Tier::kScalar));
+    const double reference = simd::SquaredNorm(vv);
+    for (Tier t : VectorTiers()) {
+      ASSERT_TRUE(ForceTier(t));
+      EXPECT_NEAR(simd::SquaredNorm(vv), reference, SumBound(n, reference))
+          << TierName(t) << " n=" << n;
+    }
+  }
+}
+
+// Axpy is element-wise: bit-identical across every tier, including the
+// scalar tail after the vector body and on unaligned slices.
+TEST(SimdKernelTest, AxpyIsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  for (std::size_t n = 1; n <= 33; ++n) {
+    Rng rng(3000 + n);
+    const std::vector<double> x = rng.Fill(n + 1);
+    const std::vector<double> y0 = rng.Fill(n + 1);
+    const double alpha = rng.Next();
+    for (std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+      ASSERT_TRUE(ForceTier(Tier::kScalar));
+      std::vector<double> expected = y0;
+      simd::Axpy(alpha, VecView(x.data() + offset, n), MutVecView(expected.data() + offset, n));
+      for (Tier t : VectorTiers()) {
+        ASSERT_TRUE(ForceTier(t));
+        std::vector<double> got = y0;
+        simd::Axpy(alpha, VecView(x.data() + offset, n), MutVecView(got.data() + offset, n));
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i], expected[i])
+              << TierName(t) << " n=" << n << " offset=" << offset << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, QuadraticFormMatchesScalarBoundedUlp) {
+  TierGuard guard;
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{13},
+                        std::size_t{16}, std::size_t{21}}) {
+    Rng rng(4000 + n);
+    const std::vector<double> m = rng.Fill(n * n);
+    const std::vector<double> x = rng.Fill(n);
+    const std::vector<double> y = rng.Fill(n);
+    const VecView xv(x.data(), n);
+    const VecView yv(y.data(), n);
+    ASSERT_TRUE(ForceTier(Tier::kScalar));
+    const double reference = simd::QuadraticForm(xv, m.data(), yv);
+    double abs_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        abs_sum += std::fabs(x[i] * m[i * n + j] * y[j]);
+      }
+    }
+    for (Tier t : VectorTiers()) {
+      ASSERT_TRUE(ForceTier(t));
+      EXPECT_NEAR(simd::QuadraticForm(xv, m.data(), yv), reference, SumBound(n * n, abs_sum))
+          << TierName(t) << " n=" << n;
+    }
+  }
+}
+
+// NaN/Inf classification must agree across tiers: a NaN term poisons every
+// tier's result; same-signed Inf terms produce that Inf; mixed-sign Inf
+// terms produce NaN no matter how lanes partition the sum.
+TEST(SimdKernelTest, NanAndInfPropagationAgreesAcrossTiers) {
+  TierGuard guard;
+  for (std::size_t n = 2; n <= 17; ++n) {
+    for (int scenario = 0; scenario < 3; ++scenario) {
+      Rng rng(5000 + 100 * n + scenario);
+      std::vector<double> a = rng.Fill(n);
+      const std::vector<double> b(n, 1.0);
+      if (scenario == 0) {
+        a[n / 2] = kNaN;
+      } else if (scenario == 1) {
+        a[n / 3] = kInf;
+      } else {
+        a[0] = kInf;
+        a[n - 1] = -kInf;
+      }
+      const VecView av(a.data(), n);
+      const VecView bv(b.data(), n);
+      ASSERT_TRUE(ForceTier(Tier::kScalar));
+      const double reference = simd::Dot(av, bv);
+      for (Tier t : VectorTiers()) {
+        ASSERT_TRUE(ForceTier(t));
+        const double got = simd::Dot(av, bv);
+        EXPECT_EQ(std::isnan(got), std::isnan(reference))
+            << TierName(t) << " n=" << n << " scenario=" << scenario;
+        if (!std::isnan(reference)) {
+          EXPECT_EQ(got, reference) << TierName(t) << " n=" << n << " scenario=" << scenario;
+        }
+      }
+    }
+  }
+}
+
+// EvaluateAll carries the strongest contract: bit-identical across every
+// tier AND to the classic per-class "bias + simd::Dot(weights_row, feature)"
+// chain, for any class count (vector blocks, 2/4-wide tails, scalar tails).
+TEST(SimdKernelTest, EvaluateAllIsBitIdenticalAcrossTiersAndToRowForm) {
+  TierGuard guard;
+  const std::size_t dim = 13;
+  for (std::size_t classes : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{8}, std::size_t{11}, std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{26}, std::size_t{33}}) {
+    Rng rng(6000 + classes);
+    const std::size_t stride = (classes + 7) / 8 * 8;
+    AlignedBuffer soa(dim * stride);
+    std::vector<std::vector<double>> rows(classes, std::vector<double>(dim));
+    for (std::size_t c = 0; c < classes; ++c) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        rows[c][i] = rng.Next();
+        soa[i * stride + c] = rows[c][i];
+      }
+    }
+    const std::vector<double> biases = rng.Fill(classes);
+    const std::vector<double> f = rng.Fill(dim);
+
+    // The pre-SoA formulation the refactor replaced: per-class row dot in
+    // index order, bias added via commutative final add. Written as a plain
+    // loop so no dispatch tier (and, with -ffp-contract=off, no FMA) can
+    // sneak into the reference.
+    std::vector<double> row_form(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        sum += rows[c][i] * f[i];
+      }
+      row_form[c] = biases[c] + sum;
+    }
+
+    for (Tier t : SupportedTiers()) {
+      ASSERT_TRUE(ForceTier(t));
+      std::vector<double> scores(classes, kNaN);
+      simd::EvaluateAll(soa.data(), stride, biases.data(), f.data(), dim, scores.data(), classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        EXPECT_EQ(scores[c], row_form[c]) << TierName(t) << " classes=" << classes
+                                          << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(SimdAlignedBufferTest, AllocationsAreBlockAligned) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{13}, std::size_t{64},
+                        std::size_t{1000}}) {
+    AlignedBuffer buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kBlockAlignment, 0u) << n;
+    EXPECT_EQ(buf.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(buf[i], 0.0);
+    }
+  }
+  AlignedBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+}
+
+TEST(SimdAlignedBufferTest, ValueSemantics) {
+  AlignedBuffer a(4);
+  a[0] = 1.0;
+  a[3] = 4.0;
+
+  AlignedBuffer copy(a);
+  EXPECT_EQ(copy.size(), 4u);
+  EXPECT_EQ(copy[0], 1.0);
+  EXPECT_EQ(copy[3], 4.0);
+  copy[0] = 9.0;
+  EXPECT_EQ(a[0], 1.0);  // deep copy
+
+  AlignedBuffer assigned;
+  assigned = a;
+  EXPECT_EQ(assigned[3], 4.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(assigned.data()) % kBlockAlignment, 0u);
+
+  AlignedBuffer moved(std::move(copy));
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved[0], 9.0);
+  EXPECT_EQ(copy.size(), 0u);      // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(copy.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+
+  moved = AlignedBuffer(2);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[1], 0.0);
+
+  // assign reuses the allocation when the size matches.
+  const double* before = moved.data();
+  moved.assign(2, 7.0);
+  EXPECT_EQ(moved.data(), before);
+  EXPECT_EQ(moved[0], 7.0);
+}
+
+// End-to-end through LinearClassifier: the SoA EvaluateAllInto and the
+// batched EvaluateBatchInto agree bit-exactly with each other and across
+// tiers on a really trained model.
+TEST(SimdClassifierTest, BatchedEvaluationIsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  classify::FeatureTrainingSet data;
+  Rng rng(7000);
+  const std::size_t dim = 13;
+  for (classify::ClassId c = 0; c < 11; ++c) {
+    for (int e = 0; e < 6; ++e) {
+      Vector f(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        f[i] = static_cast<double>(c) + rng.Next();
+      }
+      data.Add(c, f);
+    }
+  }
+  classify::LinearClassifier clf;
+  clf.Train(data);
+  ASSERT_EQ(clf.num_classes(), 11u);
+  EXPECT_EQ(clf.class_stride(), 16u);
+
+  constexpr std::size_t kBatch = 5;
+  const std::vector<double> features = rng.Fill(kBatch * dim);
+
+  std::vector<double> reference(kBatch * clf.num_classes());
+  ASSERT_TRUE(ForceTier(Tier::kScalar));
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    clf.EvaluateAllInto(VecView(features.data() + r * dim, dim),
+                        MutVecView(reference.data() + r * clf.num_classes(),
+                                   clf.num_classes()));
+  }
+
+  for (Tier t : SupportedTiers()) {
+    ASSERT_TRUE(ForceTier(t));
+    std::vector<double> batched(kBatch * clf.num_classes(), kNaN);
+    clf.EvaluateBatchInto(features.data(), kBatch, dim, batched.data(), clf.num_classes());
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i], reference[i]) << TierName(t) << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grandma::linalg::simd
