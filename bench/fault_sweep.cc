@@ -8,6 +8,7 @@
 // faulted strokes must still classify correctly, and the stroke-level
 // accounting (rejected + repaired + degraded == faulted) must balance.
 // Exits nonzero when any of that fails.
+#include <array>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -40,6 +41,11 @@ struct SweepRow {
   double clean_accuracy = 0.0;       // unfaulted strokes only
   double repairable_accuracy = 0.0;  // faulted, all-repairable strokes
   std::size_t repairable_total = 0;
+  // Per-kind validator outcome: of the strokes where kind k fired, how many
+  // the validator repaired / rejected (a stroke with two kinds counts under
+  // both — this attributes outcomes to causes, it is not a partition).
+  std::array<std::uint64_t, robust::kNumFaultKinds> repairs_by_kind{};
+  std::array<std::uint64_t, robust::kNumFaultKinds> rejects_by_kind{};
   robust::FaultStats stats;
   robust::FaultRecord record;
 };
@@ -78,6 +84,16 @@ SweepRow RunSweep(const eager::EagerRecognizer& recognizer,
           ++row.repaired;
         } else {
           ++row.degraded;  // lossy (dropped/truncated samples) but valid
+        }
+        for (std::size_t k = 0; k < robust::kNumFaultKinds; ++k) {
+          if (!injected.applied[k]) {
+            continue;
+          }
+          if (!validated.ok()) {
+            ++row.rejects_by_kind[k];
+          } else if (report.repaired()) {
+            ++row.repairs_by_kind[k];
+          }
         }
       }
       if (!validated.ok()) {
@@ -129,6 +145,16 @@ void WriteRow(bench::JsonWriter& json, const SweepRow& r) {
       .KV("clean_accuracy", r.clean_accuracy)
       .KV("repairable_accuracy", r.repairable_accuracy)
       .KV("repairable_total", r.repairable_total);
+  json.Key("validator_repairs_by_kind").BeginObject();
+  for (std::size_t k = 0; k < robust::kNumFaultKinds; ++k) {
+    json.KV(robust::FaultKindName(static_cast<robust::FaultKind>(k)), r.repairs_by_kind[k]);
+  }
+  json.EndObject();
+  json.Key("validator_rejects_by_kind").BeginObject();
+  for (std::size_t k = 0; k < robust::kNumFaultKinds; ++k) {
+    json.KV(robust::FaultKindName(static_cast<robust::FaultKind>(k)), r.rejects_by_kind[k]);
+  }
+  json.EndObject();
   json.Key("injector").Raw(r.record.ToJson());
   json.Key("stats").Raw(r.stats.ToJson());
   json.EndObject();

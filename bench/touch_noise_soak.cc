@@ -1,0 +1,371 @@
+// Touch-noise soak: the multi-contact robustness acceptance harness. A mixed
+// corpus — Figure 9 single strokes wrapped as one-contact groups plus the
+// pinch/rotate/swipe/tap touch set — runs through the fault injector's
+// contact-level kinds (bounce chatter, palm landings, finger-count changes,
+// id swaps) at increasing rates, then through the full serve entry path:
+// ContactTracker -> TouchFrontEnd -> RecognitionServer for single strokes,
+// attribute computation for multi-contact groups.
+//
+// Hard gates (exit nonzero on any failure):
+//   1. zero throws at every rate, including the >= 10% combined rate;
+//   2. exact contact accounting at every rate:
+//        contacts_in == passed_clean + repaired + rejected
+//      at the tracker level and groups_in == rejected + routed at the
+//      front-end level;
+//   3. zero divergence on untainted groups: strokes/groups the injector left
+//      alone must classify identically to a fault-free reference run;
+//   4. determinism: the pinch/rotate/swipe attribute streams of two
+//      identically seeded runs are bit-identical;
+//   5. a clean (rate 0) pass repairs and rejects nothing.
+// Writes BENCH_touch_soak.json.
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
+#include "geom/contact.h"
+#include "robust/fault_injector.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/server.h"
+#include "serve/touch_frontend.h"
+#include "synth/contact_synth.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+#include "toolkit/touch_attributes.h"
+
+namespace {
+
+using namespace grandma;
+
+struct Flags {
+  std::size_t per_class_single = 12;
+  std::size_t per_class_touch = 8;
+  std::size_t shards = 2;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--per-class-single=")) {
+      f.per_class_single = static_cast<std::size_t>(std::stoul(v));
+    } else if (const char* v = value("--per-class-touch=")) {
+      f.per_class_touch = static_cast<std::size_t>(std::stoul(v));
+    } else if (const char* v = value("--shards=")) {
+      f.shards = static_cast<std::size_t>(std::stoul(v));
+    }
+  }
+  return f;
+}
+
+// One corpus entry: a pristine group and its expected single-stroke class
+// (empty for multi-contact groups, which are judged on attributes instead).
+struct CorpusEntry {
+  geom::ContactGroup group;
+  std::string single_class;  // fig9 class name; "" for touch groups
+  std::string touch_class;   // touch spec name; "" for single strokes
+};
+
+std::vector<CorpusEntry> BuildCorpus(const Flags& flags) {
+  std::vector<CorpusEntry> corpus;
+  const auto single_batches = synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                                 synth::NoiseModel{}, flags.per_class_single,
+                                                 /*seed=*/424242);
+  for (const auto& batch : single_batches) {
+    for (const auto& sample : batch.samples) {
+      CorpusEntry e;
+      e.group = synth::AsContactGroup(sample.gesture);
+      e.single_class = batch.class_name;
+      corpus.push_back(std::move(e));
+    }
+  }
+  const auto touch_batches = synth::GenerateContactSet(
+      synth::MakeTouchSpecs(), synth::NoiseModel{}, flags.per_class_touch, /*seed=*/777);
+  for (const auto& batch : touch_batches) {
+    for (const auto& group : batch.groups) {
+      CorpusEntry e;
+      e.group = group;
+      e.touch_class = batch.class_name;
+      corpus.push_back(std::move(e));
+    }
+  }
+  return corpus;
+}
+
+// Everything observed for one corpus entry in one run.
+struct EntryOutcome {
+  bool accepted = false;
+  bool tainted = false;       // the injector actually mutated the group
+  bool routed_single = false;
+  std::string final_class;    // server's kStrokeEnd class for routed strokes
+  toolkit::TouchGestureKind kind = toolkit::TouchGestureKind::kSingleStroke;
+  std::string attribute_stream;  // exact textual encoding of the frames
+};
+
+// Bit-exact textual encoding of a track's attribute stream (hexfloat keeps
+// every mantissa bit, so string equality == bitwise equality).
+std::string EncodeAttributeStream(const toolkit::TouchTrack& track) {
+  std::ostringstream os;
+  os << toolkit::TouchGestureKindName(track.kind) << '\n' << std::hexfloat;
+  for (const toolkit::TouchFrame& f : track.frames) {
+    os << f.t << ' ' << f.cx << ' ' << f.cy << ' ' << f.angle << ' ' << f.scale << ' '
+       << f.active << '\n';
+  }
+  return os.str();
+}
+
+struct RunResult {
+  std::vector<EntryOutcome> outcomes;
+  serve::TouchFrontEndStats stats;
+  robust::FaultRecord record;
+  bool threw = false;
+  std::string what;
+};
+
+RunResult RunOnce(const std::vector<CorpusEntry>& corpus,
+                  const std::shared_ptr<const serve::RecognizerBundle>& bundle,
+                  const Flags& flags, double fault_rate, std::uint64_t seed) {
+  RunResult out;
+  out.outcomes.resize(corpus.size());
+
+  robust::FaultInjectorOptions fopts;
+  fopts.fault_rate = fault_rate;
+  // Contact-level kinds only: the point-level kinds are fault_sweep's beat.
+  for (std::size_t k = 0; k < robust::kNumPointFaultKinds; ++k) {
+    fopts.enabled[k] = false;
+  }
+  robust::FaultInjector injector(fopts, seed);
+
+  // Final classifications keyed by stroke id == corpus index.
+  std::mutex results_mu;
+  std::map<std::uint32_t, std::string> final_class;
+  auto sink = [&](const serve::RecognitionResult& r) {
+    if (r.kind != serve::ResultKind::kStrokeEnd) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(results_mu);
+    final_class[r.stroke] = r.class_name;
+  };
+
+  serve::ServerOptions sopts;
+  sopts.num_shards = flags.shards;
+  sopts.queue_capacity = 4096;
+  sopts.overload = serve::OverloadPolicy::kBlock;
+  serve::RecognitionServer server(bundle, sopts, sink);
+  serve::TouchFrontEnd frontend(&server);
+
+  try {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      EntryOutcome& o = out.outcomes[i];
+      robust::InjectedFaults injected;
+      const geom::ContactGroup damaged = injector.CorruptContacts(corpus[i].group, &injected);
+      o.tainted = injected.any();
+      auto submitted = frontend.Submit(/*session=*/i, /*user=*/0,
+                                       /*stroke=*/static_cast<serve::StrokeId>(i), damaged);
+      if (!submitted.ok()) {
+        continue;  // typed rejection is an accounted outcome, not a failure
+      }
+      o.accepted = true;
+      o.kind = submitted->track.kind;
+      o.routed_single = submitted->routed_to_classifier;
+      o.attribute_stream = EncodeAttributeStream(submitted->track);
+    }
+  } catch (const std::exception& e) {
+    out.threw = true;
+    out.what = e.what();
+  }
+  server.Shutdown();  // drain, then collect the final classifications
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (!out.outcomes[i].routed_single) {
+      continue;
+    }
+    auto it = final_class.find(static_cast<std::uint32_t>(i));
+    if (it != final_class.end()) {
+      out.outcomes[i].final_class = it->second;
+    }
+  }
+  out.stats = frontend.Stats();
+  out.record = injector.record();
+  return out;
+}
+
+struct RateRow {
+  double rate = 0.0;
+  std::size_t groups = 0;
+  std::size_t tainted = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t degraded = 0;
+  std::size_t routed_single = 0;
+  std::size_t routed_touch = 0;
+  std::size_t untainted_divergences = 0;
+  std::size_t determinism_mismatches = 0;
+  serve::TouchFrontEndStats stats;
+  robust::FaultRecord record;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const std::vector<CorpusEntry> corpus = BuildCorpus(flags);
+
+  const auto train_set = synth::ToTrainingSet(synth::GenerateSet(
+      synth::MakeEightDirectionSpecs(), synth::NoiseModel{}, /*per_class=*/10, /*seed=*/1991));
+  const auto bundle = serve::RecognizerBundle::Train(train_set);
+
+  // Fault-free reference: what every entry produces when nothing is damaged.
+  const RunResult reference = RunOnce(corpus, bundle, flags, /*fault_rate=*/0.0, /*seed=*/1);
+  if (reference.threw) {
+    std::printf("FAIL: reference run threw: %s\n", reference.what.c_str());
+    return 1;
+  }
+
+  const std::vector<double> rates = {0.0, 0.05, 0.10, 0.25};
+  std::vector<RateRow> rows;
+  bool ok = true;
+
+  std::printf("=== Touch-noise soak: %zu groups (%zu single + touch mix) ===\n", corpus.size(),
+              corpus.size());
+  std::printf("%6s %7s %8s %9s %9s %8s %7s %10s %8s\n", "rate", "groups", "tainted", "accepted",
+              "rejected", "degraded", "single", "touch", "diverge");
+
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    const std::uint64_t seed = 90000 + r;
+    const RunResult run = RunOnce(corpus, bundle, flags, rates[r], seed);
+    // Gate 4: a second identically seeded run must reproduce every attribute
+    // stream bit for bit.
+    const RunResult rerun = RunOnce(corpus, bundle, flags, rates[r], seed);
+
+    RateRow row;
+    row.rate = rates[r];
+    row.groups = corpus.size();
+    row.stats = run.stats;
+    row.record = run.record;
+
+    // Gate 1: no throws anywhere in the sweep.
+    if (run.threw || rerun.threw) {
+      std::printf("FAIL: pipeline threw at rate %.2f: %s\n", rates[r],
+                  (run.threw ? run.what : rerun.what).c_str());
+      ok = false;
+    }
+
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const EntryOutcome& o = run.outcomes[i];
+      row.tainted += o.tainted ? 1 : 0;
+      row.accepted += o.accepted ? 1 : 0;
+      row.routed_single += o.routed_single ? 1 : 0;
+      row.routed_touch += (o.accepted && !o.routed_single) ? 1 : 0;
+
+      // Gate 3: untainted entries must match the fault-free reference
+      // exactly — same acceptance, same final class, same attribute stream.
+      if (!o.tainted) {
+        const EntryOutcome& ref = reference.outcomes[i];
+        if (o.accepted != ref.accepted || o.final_class != ref.final_class ||
+            o.attribute_stream != ref.attribute_stream) {
+          ++row.untainted_divergences;
+        }
+      }
+      if (o.attribute_stream != rerun.outcomes[i].attribute_stream ||
+          o.final_class != rerun.outcomes[i].final_class) {
+        ++row.determinism_mismatches;
+      }
+    }
+    row.rejected = static_cast<std::size_t>(run.stats.groups_rejected);
+    row.degraded = static_cast<std::size_t>(run.stats.groups_degraded);
+
+    // Gate 2: exact accounting at both levels.
+    if (!run.stats.Balanced()) {
+      std::printf("FAIL: front-end accounting unbalanced at rate %.2f: %s\n", rates[r],
+                  run.stats.ToString().c_str());
+      ok = false;
+    }
+    const robust::FaultStats& fs = run.stats.faults;
+    if (fs.contacts_tracked !=
+        fs.contacts_passed_clean + fs.contacts_repaired + fs.contacts_rejected) {
+      std::printf("FAIL: tracker contact accounting unbalanced at rate %.2f "
+                  "(%llu != %llu + %llu + %llu)\n",
+                  rates[r], static_cast<unsigned long long>(fs.contacts_tracked),
+                  static_cast<unsigned long long>(fs.contacts_passed_clean),
+                  static_cast<unsigned long long>(fs.contacts_repaired),
+                  static_cast<unsigned long long>(fs.contacts_rejected));
+      ok = false;
+    }
+    if (row.untainted_divergences != 0) {
+      std::printf("FAIL: %zu untainted groups diverged from the reference at rate %.2f\n",
+                  row.untainted_divergences, rates[r]);
+      ok = false;
+    }
+    if (row.determinism_mismatches != 0) {
+      std::printf("FAIL: %zu entries differed between identically seeded runs at rate %.2f\n",
+                  row.determinism_mismatches, rates[r]);
+      ok = false;
+    }
+    // Gate 5: a clean pass must not repair or reject anything.
+    if (rates[r] == 0.0 &&
+        (fs.contacts_repaired != 0 || fs.contacts_rejected != 0 || row.rejected != 0)) {
+      std::printf("FAIL: clean pass repaired %llu / rejected %llu contacts\n",
+                  static_cast<unsigned long long>(fs.contacts_repaired),
+                  static_cast<unsigned long long>(fs.contacts_rejected));
+      ok = false;
+    }
+
+    std::printf("%6.2f %7zu %8zu %9zu %9zu %8zu %7zu %10zu %8zu\n", row.rate, row.groups,
+                row.tainted, row.accepted, row.rejected, row.degraded, row.routed_single,
+                row.routed_touch, row.untainted_divergences);
+    rows.push_back(row);
+  }
+
+  std::ofstream file("BENCH_touch_soak.json");
+  bench::JsonWriter json(file);
+  json.BeginObject()
+      .KV("bench", "touch_noise_soak")
+      .KV("corpus_groups", static_cast<std::uint64_t>(corpus.size()))
+      .KV("shards", static_cast<std::uint64_t>(flags.shards));
+  json.Key("rows").BeginArray();
+  for (const RateRow& row : rows) {
+    json.BeginObject()
+        .KV("rate", row.rate)
+        .KV("groups", static_cast<std::uint64_t>(row.groups))
+        .KV("tainted", static_cast<std::uint64_t>(row.tainted))
+        .KV("accepted", static_cast<std::uint64_t>(row.accepted))
+        .KV("rejected", static_cast<std::uint64_t>(row.rejected))
+        .KV("degraded", static_cast<std::uint64_t>(row.degraded))
+        .KV("routed_single", static_cast<std::uint64_t>(row.routed_single))
+        .KV("routed_touch", static_cast<std::uint64_t>(row.routed_touch))
+        .KV("untainted_divergences", static_cast<std::uint64_t>(row.untainted_divergences))
+        .KV("determinism_mismatches", static_cast<std::uint64_t>(row.determinism_mismatches))
+        .KV("contacts_tracked", row.stats.faults.contacts_tracked)
+        .KV("contacts_passed_clean", row.stats.faults.contacts_passed_clean)
+        .KV("contacts_repaired", row.stats.faults.contacts_repaired)
+        .KV("contacts_rejected", row.stats.faults.contacts_rejected)
+        .KV("bounces_stitched", row.stats.faults.contact_bounces_stitched)
+        .KV("palms_rejected", row.stats.faults.palms_rejected)
+        .KV("late_joiners_dropped", row.stats.faults.contact_late_joiners_dropped)
+        .KV("id_swaps_repaired", row.stats.faults.contact_id_swaps_repaired);
+    json.Key("injector").Raw(row.record.ToJson());
+    json.EndObject();
+  }
+  json.EndArray().EndObject();
+  file.close();
+  std::printf("\nwrote BENCH_touch_soak.json\n");
+
+  if (!ok) {
+    return 1;
+  }
+  std::printf("acceptance: zero throws, balanced contact accounting, zero untainted "
+              "divergence, bit-identical attribute streams across seeded runs\n");
+  return 0;
+}

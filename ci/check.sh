@@ -12,8 +12,12 @@
 #      retry accounting, corrupt/truncated frame rejection
 #   3. asan / ubsan: full suite under AddressSanitizer and UBSan (includes
 #      the snapshot + event-wire fuzz/corruption tests in io_tests)
-#   4. tsan: the threaded serve and tracing layers (labels `serve` and
-#      `obs`; the serve label includes the admission/deadline/retry and
+#   2f. touch: multi-contact robustness gates — contact lifecycle repair,
+#      touch-attribute classification, front-end routing, touch-noise soak
+#      smoke (label `touch`)
+#   4. tsan: the threaded serve, tracing, personalization, and touch
+#      layers (labels `serve`, `obs`, `personalize`, `touch`; the serve
+#      label includes the admission/deadline/retry and
 #      concurrent-metrics-snapshot tests alongside hot-swap) under
 #      ThreadSanitizer
 #   5. notrace: GRANDMA_TRACING=OFF build — proves the instrumented tree
@@ -68,6 +72,14 @@ run ctest --preset default -L soak
 #     `personalize`, runs in the tier-1 build tree. The same label rides the
 #     tsan preset below.
 run ctest --preset default -L personalize
+
+# 2f. Multi-contact robustness gate: contact-tracker lifecycle repair,
+#     touch-attribute classification, and TouchFrontEnd routing unit tests
+#     plus the touch-noise soak smoke (zero throws under contact-level
+#     faults, balanced contact accounting, zero untainted divergences,
+#     bit-identical attribute streams) — label `touch`, runs in the tier-1
+#     build tree. The same label rides the tsan preset below.
+run ctest --preset default -L touch
 
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do

@@ -1,0 +1,136 @@
+// Multi-contact lifecycle tracking: the stage between a raw device's contact
+// stream and the clean-geometry pipeline. Real touch hardware chattering a
+// contact up/down within milliseconds, resting palms, fingers joining
+// mid-gesture, and slot ids crossing between concurrent contacts are the
+// dominant production failure modes (libinput's evdev-debounce and palm
+// rejection exist for exactly these). The tracker generalizes the
+// StrokeValidator's repair-or-reject policy surface to contact groups:
+//
+//   1. debounce       — a contact releasing and re-landing within the window
+//                       (and radius) is stitched back into one lifetime;
+//   2. id continuity  — two concurrent contacts whose streams teleport across
+//                       each other at the same instant have their tails
+//                       swapped back;
+//   3. palm rejection — large-area / short-lived / offset contacts are
+//                       dropped by heuristic;
+//   4. finger-count   — contacts joining long after the group started are
+//                       dropped (libinput cancels the gesture; we repair it);
+//   5. per-contact    — every surviving stroke runs through StrokeValidator.
+//
+// Downstream stages keep their clean-geometry contract: every contact of a
+// tracked group is a certified stroke. An unrepairable group degrades to the
+// best surviving contacts rather than erroring; only a group with nothing
+// usable left is rejected, with a typed Status saying why.
+#ifndef GRANDMA_SRC_ROBUST_CONTACT_TRACKER_H_
+#define GRANDMA_SRC_ROBUST_CONTACT_TRACKER_H_
+
+#include <cstddef>
+
+#include "geom/contact.h"
+#include "robust/fault_stats.h"
+#include "robust/status.h"
+#include "robust/stroke_validator.h"
+
+namespace grandma::robust {
+
+// What the tracker is allowed to do. With `repair` false any lifecycle
+// anomaly rejects the group (trusted-replay mode), mirroring
+// ValidationPolicy::repair.
+struct ContactPolicy {
+  bool repair = true;
+
+  // Per-contact stroke validation applied after lifecycle repair.
+  ValidationPolicy stroke;
+
+  // A contact re-landing within this many ms and px of another contact's
+  // release is chatter and is stitched (libinput's debounce window is 25 ms;
+  // ours is wider because touch frames arrive at ~80 Hz, so one lost frame
+  // already costs ~12 ms).
+  double debounce_window_ms = 40.0;
+  double debounce_radius_px = 30.0;
+
+  // Palm heuristics. Area at/above palm_min_area is a palm outright; area
+  // at/above palm_suspect_area is a palm when it is also short-lived
+  // (<= palm_max_duration_ms) or offset from the rest of the group by
+  // >= palm_offset_px. Contacts without area data (area <= 0) are exempt.
+  double palm_min_area = 300.0;
+  double palm_suspect_area = 150.0;
+  double palm_max_duration_ms = 200.0;
+  double palm_offset_px = 100.0;
+
+  // A contact joining later than this many ms after the group's first
+  // touch-down is a finger-count change, not a stagger, and is dropped.
+  // Legitimate multi-finger stagger is tens of ms (synth uses <= 60).
+  double late_join_ms = 150.0;
+
+  // Two concurrent contacts both teleporting (> id_swap_jump_px between
+  // consecutive samples) within id_swap_sync_ms of each other, where
+  // crossing the tails removes both teleports, is an id swap and is
+  // un-crossed. <= 0 disables the repair.
+  double id_swap_jump_px = 200.0;
+  double id_swap_sync_ms = 30.0;
+
+  // Groups with more simultaneous contacts than any supported gesture are a
+  // sensor storm, not input.
+  std::size_t max_contacts = 16;
+};
+
+// Per-group account of what Track found and did. The accounting invariant —
+// every input contact lands in exactly one terminal bucket — is what the
+// touch soak gates on:
+//   contacts_in == contacts_passed_clean + contacts_repaired + contacts_rejected
+struct ContactReport {
+  std::size_t contacts_in = 0;
+  std::size_t contacts_out = 0;
+  std::size_t contacts_passed_clean = 0;
+  std::size_t contacts_repaired = 0;
+  std::size_t contacts_rejected = 0;
+
+  // Repair/reject detail (each contributes to the buckets above).
+  std::size_t bounces_stitched = 0;      // absorbed re-landings
+  std::size_t id_swaps_repaired = 0;     // crossed pairs un-crossed
+  std::size_t palms_rejected = 0;        // palm heuristic drops
+  std::size_t late_joiners_dropped = 0;  // finger-count-change drops
+  std::size_t validation_rejected = 0;   // per-contact StrokeValidator rejects
+  std::size_t validation_repaired = 0;   // contacts whose stroke needed repair
+
+  bool repaired() const { return contacts_repaired > 0; }
+  // True when contacts were lost but the group survived.
+  bool degraded() const { return contacts_rejected > 0; }
+  bool Balanced() const {
+    return contacts_in == contacts_passed_clean + contacts_repaired + contacts_rejected;
+  }
+};
+
+// A repaired, validated group. Every contact's stroke is certified by
+// StrokeValidator under the policy's stroke rules.
+struct TrackedGroup {
+  geom::ContactGroup group;
+  // True when >= 1 input contact was rejected — the group survives with the
+  // best remaining contacts (possibly a single stroke).
+  bool degraded = false;
+};
+
+class ContactTracker {
+ public:
+  explicit ContactTracker(ContactPolicy policy = {}) : policy_(policy) {}
+
+  // Tracks (and under the repair policy, fixes) one contact group. On
+  // success every returned contact has a certified stroke and the group's
+  // lifecycle anomalies are resolved. `report` (optional) receives the
+  // per-group account; `stats` (optional) accumulates across calls.
+  // Errors: kInvalidArgument (empty group), kOutOfRange (> max_contacts),
+  // kContactChatter / kPalmRejected / kDataLoss under no-repair or when
+  // nothing usable survives.
+  StatusOr<TrackedGroup> Track(const geom::ContactGroup& in, ContactReport* report = nullptr,
+                               FaultStats* stats = nullptr) const;
+
+  const ContactPolicy& policy() const { return policy_; }
+
+ private:
+  ContactPolicy policy_;
+};
+
+}  // namespace grandma::robust
+
+#endif  // GRANDMA_SRC_ROBUST_CONTACT_TRACKER_H_

@@ -4,8 +4,21 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <tuple>
 
 namespace grandma::robust {
+
+// The exhaustiveness guard: adding a FaultKind without growing kNumFaultKinds
+// (and therefore FaultInjectorOptions::enabled, FaultRecord::counts, and
+// InjectedFaults::applied, which are all sized by it) must not compile. The
+// switches below have no default case, so -Werror switch coverage plus these
+// asserts keep name/repairability/level classification in sync with the enum.
+static_assert(static_cast<std::size_t>(FaultKind::kContactIdSwap) + 1 == kNumFaultKinds,
+              "kNumFaultKinds must count every FaultKind enumerator");
+static_assert(static_cast<std::size_t>(FaultKind::kTruncate) + 1 == kNumPointFaultKinds,
+              "point-level kinds must precede the contact-level block");
+static_assert(std::tuple_size_v<decltype(FaultInjectorOptions::enabled)> == kNumFaultKinds,
+              "FaultInjectorOptions::enabled must have one switch per kind");
 
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
@@ -23,6 +36,14 @@ const char* FaultKindName(FaultKind kind) {
       return "stuck_point";
     case FaultKind::kTruncate:
       return "truncate";
+    case FaultKind::kContactBounce:
+      return "contact_bounce";
+    case FaultKind::kPalmTouch:
+      return "palm_touch";
+    case FaultKind::kFingerCountChange:
+      return "finger_count_change";
+    case FaultKind::kContactIdSwap:
+      return "contact_id_swap";
   }
   return "?";
 }
@@ -35,9 +56,33 @@ bool FaultKindRepairable(FaultKind kind) {
     case FaultKind::kNonFinite:
     case FaultKind::kStuckPoint:
       return true;  // the validator restores a fully classifiable stroke
+    case FaultKind::kContactBounce:
+    case FaultKind::kPalmTouch:
+    case FaultKind::kFingerCountChange:
+    case FaultKind::kContactIdSwap:
+      return true;  // the tracker stitches/rejects/swaps back to the original
     case FaultKind::kDropPoints:
     case FaultKind::kTruncate:
       return false;  // the samples are gone; the stroke survives degraded
+  }
+  return false;
+}
+
+bool FaultKindContactLevel(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropPoints:
+    case FaultKind::kTimestampJitter:
+    case FaultKind::kDuplicateTimestamp:
+    case FaultKind::kCoordinateSpike:
+    case FaultKind::kNonFinite:
+    case FaultKind::kStuckPoint:
+    case FaultKind::kTruncate:
+      return false;
+    case FaultKind::kContactBounce:
+    case FaultKind::kPalmTouch:
+    case FaultKind::kFingerCountChange:
+    case FaultKind::kContactIdSwap:
+      return true;
   }
   return false;
 }
@@ -164,6 +209,18 @@ void FaultInjector::ApplyFault(FaultKind kind, std::vector<geom::TimedPoint>& pt
   }
 }
 
+std::vector<FaultKind> FaultInjector::ShuffledKinds(bool point_level_only) {
+  std::vector<FaultKind> kinds;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    if (options_.enabled[k] && !(point_level_only && FaultKindContactLevel(kind))) {
+      kinds.push_back(kind);
+    }
+  }
+  std::shuffle(kinds.begin(), kinds.end(), engine_);
+  return kinds;
+}
+
 void FaultInjector::CorruptPoints(std::vector<geom::TimedPoint>& pts,
                                   InjectedFaults& injected) {
   ++record_.strokes_seen;
@@ -171,16 +228,10 @@ void FaultInjector::CorruptPoints(std::vector<geom::TimedPoint>& pts,
     return;
   }
 
-  std::vector<FaultKind> kinds;
-  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
-    if (options_.enabled[k]) {
-      kinds.push_back(static_cast<FaultKind>(k));
-    }
-  }
+  const std::vector<FaultKind> kinds = ShuffledKinds(/*point_level_only=*/true);
   if (kinds.empty()) {
     return;
   }
-  std::shuffle(kinds.begin(), kinds.end(), engine_);
   const std::size_t num =
       std::min(kinds.size(), std::size_t{1} + Index(std::max<std::size_t>(
                                  options_.max_faults_per_stroke, 1)));
@@ -201,6 +252,215 @@ void FaultInjector::CorruptPoints(std::vector<geom::TimedPoint>& pts,
   if (mutated) {
     ++record_.strokes_faulted;
   }
+}
+
+bool FaultInjector::ApplyContactFault(FaultKind kind, geom::ContactGroup& group) {
+  std::int32_t max_id = 0;
+  for (const geom::Contact& c : group.contacts()) {
+    max_id = std::max(max_id, c.id);
+  }
+  switch (kind) {
+    case FaultKind::kContactBounce: {
+      // One contact spuriously reports up then down again: its lifetime
+      // splits at a cut point, samples inside the release gap are lost, and
+      // the re-landing gets a fresh slot id.
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (group[i].stroke.size() >= 6) {
+          eligible.push_back(i);
+        }
+      }
+      if (eligible.empty()) {
+        return false;
+      }
+      geom::Contact& victim = group[eligible[Index(eligible.size())]];
+      const std::vector<geom::TimedPoint>& pts = victim.stroke.points();
+      const std::size_t cut = 2 + Index(pts.size() - 4);
+      const double gap = Uniform(0.2, 1.0) * options_.bounce_gap_ms;
+      const double reland_t = pts[cut].t + gap;
+      std::vector<geom::TimedPoint> head(pts.begin(),
+                                         pts.begin() + static_cast<std::ptrdiff_t>(cut));
+      std::vector<geom::TimedPoint> tail;
+      for (std::size_t i = cut; i < pts.size(); ++i) {
+        if (pts[i].t >= reland_t) {
+          tail.push_back(pts[i]);
+        }
+      }
+      if (tail.size() < 2) {
+        return false;  // the bounce would eat the whole tail; leave intact
+      }
+      geom::Contact reland;
+      reland.id = max_id + 1;
+      reland.area = victim.area;
+      reland.stroke = geom::Gesture(std::move(tail));
+      victim.stroke = geom::Gesture(std::move(head));
+      group.AddContact(std::move(reland));
+      return true;
+    }
+    case FaultKind::kPalmTouch: {
+      // A large-area, short-lived contact lands offset from the gesture —
+      // the heel of the hand grazing the sensor.
+      if (group.TotalPoints() == 0) {
+        return false;
+      }
+      const geom::BoundingBox box = group.Bounds();
+      const double side = Uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0;
+      const bool horizontal = Uniform(0.0, 1.0) < 0.5;
+      const double offset = options_.palm_offset_px * Uniform(0.8, 1.5);
+      double cx = horizontal ? (side < 0 ? box.min_x - offset : box.max_x + offset)
+                             : Uniform(box.min_x, box.max_x + 1e-9);
+      double cy = horizontal ? Uniform(box.min_y, box.max_y + 1e-9)
+                             : (side < 0 ? box.min_y - offset : box.max_y + offset);
+      const double t0 = group.StartTime() +
+                        Uniform(0.0, std::max(1.0, group.Duration() * 0.5));
+      const double duration = Uniform(30.0, std::max(31.0, options_.palm_duration_ms));
+      geom::Contact palm;
+      palm.id = max_id + 1;
+      palm.area = options_.palm_area * Uniform(1.0, 2.0);
+      for (double t = 0.0; t <= duration; t += 15.0) {
+        palm.stroke.AppendPoint({cx + Uniform(-2.0, 2.0), cy + Uniform(-2.0, 2.0), t0 + t});
+      }
+      group.AddContact(std::move(palm));
+      return true;
+    }
+    case FaultKind::kFingerCountChange: {
+      // A fingertip-sized contact joins mid-gesture — the classic "third
+      // finger grazes during a pinch" finger-count transition. Only the
+      // late-join heuristic can tell it from a legitimate stagger.
+      if (group.empty() || group.Duration() <= 0.0) {
+        return false;
+      }
+      const double span = group.Duration();
+      const double join_t = group.StartTime() +
+                            span * Uniform(options_.late_join_fraction, 0.9);
+      const geom::BoundingBox box = group.Bounds();
+      double x = Uniform(box.min_x, box.max_x + 1e-9) + Uniform(-30.0, 30.0);
+      double y = Uniform(box.min_y, box.max_y + 1e-9) + Uniform(-30.0, 30.0);
+      const double vx = Uniform(-0.3, 0.3);
+      const double vy = Uniform(-0.3, 0.3);
+      geom::Contact joiner;
+      joiner.id = max_id + 1;
+      joiner.area = 55.0 * Uniform(0.8, 1.2);
+      for (double t = join_t; t <= group.EndTime(); t += 12.0) {
+        joiner.stroke.AppendPoint({x, y, t});
+        x += vx * 12.0;
+        y += vy * 12.0;
+      }
+      if (joiner.stroke.size() < 2) {
+        return false;
+      }
+      group.AddContact(std::move(joiner));
+      return true;
+    }
+    case FaultKind::kContactIdSwap: {
+      // Two temporally overlapping contacts trade slot ids mid-stream: every
+      // sample after the swap instant lands in the other contact's stream.
+      // Slot attributes (id, area) stay put — only the points cross over.
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        if (group[i].stroke.size() >= 4) {
+          eligible.push_back(i);
+        }
+      }
+      if (eligible.size() < 2) {
+        return false;
+      }
+      const std::size_t ia = eligible[Index(eligible.size())];
+      std::size_t ib = ia;
+      while (ib == ia) {
+        ib = eligible[Index(eligible.size())];
+      }
+      geom::Contact& a = group[ia];
+      geom::Contact& b = group[ib];
+      const double lo = std::max(a.StartTime(), b.StartTime());
+      const double hi = std::min(a.EndTime(), b.EndTime());
+      if (hi - lo <= 0.0) {
+        return false;  // no temporal overlap: a device cannot cross them
+      }
+      const double swap_t = Uniform(lo + 0.25 * (hi - lo), lo + 0.75 * (hi - lo));
+      auto split = [swap_t](const geom::Gesture& g, std::vector<geom::TimedPoint>& head,
+                            std::vector<geom::TimedPoint>& tail) {
+        for (const geom::TimedPoint& p : g) {
+          (p.t < swap_t ? head : tail).push_back(p);
+        }
+      };
+      std::vector<geom::TimedPoint> a_head, a_tail, b_head, b_tail;
+      split(a.stroke, a_head, a_tail);
+      split(b.stroke, b_head, b_tail);
+      if (a_head.size() < 2 || b_head.size() < 2 || a_tail.size() < 2 || b_tail.size() < 2) {
+        return false;
+      }
+      a_head.insert(a_head.end(), b_tail.begin(), b_tail.end());
+      b_head.insert(b_head.end(), a_tail.begin(), a_tail.end());
+      a.stroke = geom::Gesture(std::move(a_head));
+      b.stroke = geom::Gesture(std::move(b_head));
+      return true;
+    }
+    case FaultKind::kDropPoints:
+    case FaultKind::kTimestampJitter:
+    case FaultKind::kDuplicateTimestamp:
+    case FaultKind::kCoordinateSpike:
+    case FaultKind::kNonFinite:
+    case FaultKind::kStuckPoint:
+    case FaultKind::kTruncate:
+      break;  // point-level kinds are routed through ApplyFault
+  }
+  return false;
+}
+
+geom::ContactGroup FaultInjector::CorruptContacts(const geom::ContactGroup& group,
+                                                  InjectedFaults* injected) {
+  InjectedFaults local;
+  InjectedFaults& inj = injected != nullptr ? *injected : local;
+  inj = InjectedFaults{};
+  geom::ContactGroup out = group;
+
+  ++record_.strokes_seen;
+  if (out.empty() || Uniform(0.0, 1.0) >= options_.fault_rate) {
+    return out;
+  }
+  const std::vector<FaultKind> kinds = ShuffledKinds(/*point_level_only=*/false);
+  if (kinds.empty()) {
+    return out;
+  }
+  const std::size_t num =
+      std::min(kinds.size(), std::size_t{1} + Index(std::max<std::size_t>(
+                                 options_.max_faults_per_stroke, 1)));
+
+  bool mutated = false;
+  for (std::size_t k = 0; k < num; ++k) {
+    bool changed = false;
+    if (FaultKindContactLevel(kinds[k])) {
+      changed = ApplyContactFault(kinds[k], out);
+    } else {
+      // Point-level damage lands on one randomly chosen non-empty contact.
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (!out[i].stroke.empty()) {
+          eligible.push_back(i);
+        }
+      }
+      if (!eligible.empty()) {
+        geom::Contact& victim = out[eligible[Index(eligible.size())]];
+        std::vector<geom::TimedPoint> pts = victim.stroke.points();
+        const std::vector<geom::TimedPoint> snapshot = pts;
+        ApplyFault(kinds[k], pts);
+        changed = pts != snapshot;
+        if (changed) {
+          victim.stroke = geom::Gesture(std::move(pts));
+        }
+      }
+    }
+    if (changed) {
+      inj.applied[static_cast<std::size_t>(kinds[k])] = 1;
+      ++record_.counts[static_cast<std::size_t>(kinds[k])];
+      mutated = true;
+    }
+  }
+  if (mutated) {
+    ++record_.strokes_faulted;
+  }
+  return out;
 }
 
 geom::Gesture FaultInjector::Corrupt(const geom::Gesture& g, InjectedFaults* injected) {

@@ -14,12 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "geom/contact.h"
 #include "geom/gesture.h"
 #include "toolkit/event.h"
 
 namespace grandma::robust {
 
 enum class FaultKind : std::size_t {
+  // --- point-level: damage inside one stroke ---
   kDropPoints = 0,      // lose 1-3 interior samples (event-queue overflow)
   kTimestampJitter,     // +-jitter on a run of timestamps; may reorder
   kDuplicateTimestamp,  // a stuck clock: t[i+1] == t[i]
@@ -27,16 +29,29 @@ enum class FaultKind : std::size_t {
   kNonFinite,           // one coordinate becomes NaN or Inf
   kStuckPoint,          // one sample repeats several times, clock frozen
   kTruncate,            // the tail of the stroke never arrives
+  // --- contact-level: damage to a multi-touch group's lifecycle ---
+  kContactBounce,       // up/down chatter: one contact splits into two within
+                        // the debounce window (libinput evdev-debounce)
+  kPalmTouch,           // a large-area short-lived spurious contact lands
+  kFingerCountChange,   // an extra contact joins mid-gesture
+  kContactIdSwap,       // two concurrent contacts swap slot ids mid-stream
 };
-inline constexpr std::size_t kNumFaultKinds = 7;
+inline constexpr std::size_t kNumPointFaultKinds = 7;
+inline constexpr std::size_t kNumFaultKinds = 11;
 
 const char* FaultKindName(FaultKind kind);
 
-// Whether a fault of this kind is *repairable* — the validator can restore a
-// classifiable stroke (spikes dropped, timestamps clamped) — or only
+// Whether a fault of this kind is *repairable* — the validator/tracker can
+// restore a classifiable stroke or group (spikes dropped, timestamps clamped,
+// chatter stitched, palms rejected, crossed ids swapped back) — or only
 // *degrading*: the data is gone (dropped/truncated samples) and the stroke
 // survives in a lossy form. The fault-sweep accounting depends on this split.
 bool FaultKindRepairable(FaultKind kind);
+
+// True for the kinds that only make sense on a ContactGroup (they alter the
+// set of contacts rather than the points of one stroke). Corrupt()/
+// CorruptTrace() never apply these; CorruptContacts() applies both levels.
+bool FaultKindContactLevel(FaultKind kind);
 
 struct FaultInjectorOptions {
   // Per-stroke probability that any faults are injected at all.
@@ -44,11 +59,27 @@ struct FaultInjectorOptions {
   // When a stroke is selected, 1..max_faults_per_stroke distinct kinds fire.
   std::size_t max_faults_per_stroke = 2;
   // Per-kind enable switches (indexed by FaultKind).
-  std::array<bool, kNumFaultKinds> enabled = {true, true, true, true, true, true, true};
+  std::array<bool, kNumFaultKinds> enabled = {true, true, true, true, true, true,
+                                              true, true, true, true, true};
 
   double timestamp_jitter_ms = 40.0;   // magnitude for kTimestampJitter
   double spike_distance = 5000.0;      // offset for kCoordinateSpike
   std::size_t stuck_repeats = 4;       // copies inserted by kStuckPoint
+
+  // kContactBounce: the released-and-relanded contact reappears after this
+  // many milliseconds (uniform in (0, bounce_gap_ms]); kept under the
+  // tracker's default debounce window so the chatter is stitchable.
+  double bounce_gap_ms = 18.0;
+  // kPalmTouch: area of the spurious contact (uniform in [1, 2] times this —
+  // well above any fingertip) and the lifetime cap that makes it short-lived.
+  double palm_area = 400.0;
+  double palm_duration_ms = 120.0;
+  // How far from the gesture's bounding box the palm lands.
+  double palm_offset_px = 120.0;
+  // kFingerCountChange: the joining contact lands this far into the group's
+  // lifetime (fraction, uniform in [this, 0.9]); well past any legitimate
+  // start stagger.
+  double late_join_fraction = 0.5;
 };
 
 // What one injector instance has done so far.
@@ -85,14 +116,28 @@ class FaultInjector {
   std::vector<toolkit::InputEvent> CorruptTrace(const std::vector<toolkit::InputEvent>& trace,
                                                 InjectedFaults* injected = nullptr);
 
+  // Damages one multi-contact group (the contact-synth decoration point).
+  // Both fault levels apply: contact-level kinds alter the set of contacts
+  // (chatter splits, palm landings, late joiners, id swaps); point-level
+  // kinds damage the points of one randomly chosen contact. A group counts
+  // as one "stroke" in the FaultRecord.
+  geom::ContactGroup CorruptContacts(const geom::ContactGroup& group,
+                                     InjectedFaults* injected = nullptr);
+
   const FaultRecord& record() const { return record_; }
   void ResetRecord() { record_ = FaultRecord{}; }
   const FaultInjectorOptions& options() const { return options_; }
 
  private:
-  // Applies faults to a raw point vector; shared by both decoration points.
+  // Applies point-level faults to a raw point vector; shared by the stroke
+  // and trace decoration points (contact-level kinds are skipped there).
   void CorruptPoints(std::vector<geom::TimedPoint>& pts, InjectedFaults& injected);
   void ApplyFault(FaultKind kind, std::vector<geom::TimedPoint>& pts);
+  // Contact-level damage; returns true when the group actually changed.
+  bool ApplyContactFault(FaultKind kind, geom::ContactGroup& group);
+  // The enabled kinds, optionally restricted to point-level ones, in a
+  // freshly shuffled order.
+  std::vector<FaultKind> ShuffledKinds(bool point_level_only);
 
   double Uniform(double lo, double hi);
   std::size_t Index(std::size_t n);  // uniform in [0, n)

@@ -20,6 +20,19 @@ std::vector<std::pair<const char*, std::uint64_t FaultStats::*>> Fields() {
       {"points_dropped_out_of_range", &FaultStats::points_dropped_out_of_range},
       {"points_dropped_spike", &FaultStats::points_dropped_spike},
       {"timestamps_repaired", &FaultStats::timestamps_repaired},
+      {"groups_tracked", &FaultStats::groups_tracked},
+      {"groups_clean", &FaultStats::groups_clean},
+      {"groups_repaired", &FaultStats::groups_repaired},
+      {"groups_rejected", &FaultStats::groups_rejected},
+      {"groups_degraded", &FaultStats::groups_degraded},
+      {"contacts_tracked", &FaultStats::contacts_tracked},
+      {"contacts_passed_clean", &FaultStats::contacts_passed_clean},
+      {"contacts_repaired", &FaultStats::contacts_repaired},
+      {"contacts_rejected", &FaultStats::contacts_rejected},
+      {"contact_bounces_stitched", &FaultStats::contact_bounces_stitched},
+      {"palms_rejected", &FaultStats::palms_rejected},
+      {"contact_late_joiners_dropped", &FaultStats::contact_late_joiners_dropped},
+      {"contact_id_swaps_repaired", &FaultStats::contact_id_swaps_repaired},
       {"training_examples_dropped", &FaultStats::training_examples_dropped},
       {"covariance_ridge_repairs", &FaultStats::covariance_ridge_repairs},
       {"covariance_diagonal_fallbacks", &FaultStats::covariance_diagonal_fallbacks},
@@ -45,7 +58,8 @@ std::uint64_t FaultStats::TotalFaultEvents() const {
     (void)name;
     total += this->*member;
   }
-  return total - strokes_validated - strokes_clean;
+  return total - strokes_validated - strokes_clean - groups_tracked - groups_clean -
+         contacts_tracked - contacts_passed_clean;
 }
 
 std::string FaultStats::ToString() const {

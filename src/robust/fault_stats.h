@@ -25,6 +25,23 @@ struct FaultStats {
   std::uint64_t points_dropped_spike = 0;  // teleport outlier
   std::uint64_t timestamps_repaired = 0;  // duplicate/non-monotonic t re-timed
 
+  // --- ContactTracker ---
+  // One terminal bucket per group, by severity (rejected > degraded >
+  // repaired > clean); groups_tracked is the four buckets' sum.
+  std::uint64_t groups_tracked = 0;    // every Track() call
+  std::uint64_t groups_clean = 0;      // accepted untouched
+  std::uint64_t groups_repaired = 0;   // accepted, >= 1 repair, nothing lost
+  std::uint64_t groups_rejected = 0;   // nothing usable survived
+  std::uint64_t groups_degraded = 0;   // accepted, but >= 1 contact was lost
+  std::uint64_t contacts_tracked = 0;  // input contacts across all groups
+  std::uint64_t contacts_passed_clean = 0;   // untouched through the pipeline
+  std::uint64_t contacts_repaired = 0;       // stitched/swapped/validator-repaired
+  std::uint64_t contacts_rejected = 0;       // palm/late-joiner/validation drop
+  std::uint64_t contact_bounces_stitched = 0;   // chatter pairs merged
+  std::uint64_t palms_rejected = 0;             // palm heuristic drops
+  std::uint64_t contact_late_joiners_dropped = 0;  // finger-count-change repairs
+  std::uint64_t contact_id_swaps_repaired = 0;     // crossed tails swapped back
+
   // --- LinearClassifier::Train ---
   std::uint64_t training_examples_dropped = 0;    // non-finite feature vectors
   std::uint64_t covariance_ridge_repairs = 0;     // singular Sigma, ridge fixed it
@@ -41,8 +58,9 @@ struct FaultStats {
   void Reset() { *this = FaultStats(); }
   void Merge(const FaultStats& other);
 
-  // Sum of every degradation event (everything except strokes_validated and
-  // strokes_clean, which count normal operation).
+  // Sum of every degradation event (everything except the strokes_validated
+  // / strokes_clean / groups_tracked / groups_clean / contacts_tracked /
+  // contacts_passed_clean counters, which count normal operation).
   std::uint64_t TotalFaultEvents() const;
 
   // Multi-line "name: value" rendering of the non-zero counters.

@@ -47,6 +47,15 @@ enum class StatusCode {
   // before classification: a stale answer is worse than no answer for an
   // interactive gesture. The input was fine; the system was too slow.
   kDeadlineExceeded,
+  // A multi-touch contact group was rejected because every surviving contact
+  // was a palm (large-area, short-lived, or offset touches that carry no
+  // gesture intent). Individual palms inside an otherwise-healthy group are
+  // dropped silently; this code means nothing usable remained.
+  kPalmRejected,
+  // Contact up/down chatter (a contact releasing and re-landing within the
+  // debounce window) under a no-repair policy. With repair enabled chatter
+  // is stitched instead and never surfaces as an error.
+  kContactChatter,
   // A bug on our side (should not happen on any input).
   kInternal,
 };
@@ -75,6 +84,10 @@ inline const char* StatusCodeName(StatusCode code) {
       return "TRUNCATED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kPalmRejected:
+      return "PALM_REJECTED";
+    case StatusCode::kContactChatter:
+      return "CONTACT_CHATTER";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -119,6 +132,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status PalmRejected(std::string msg) {
+    return Status(StatusCode::kPalmRejected, std::move(msg));
+  }
+  static Status ContactChatter(std::string msg) {
+    return Status(StatusCode::kContactChatter, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,106 @@
+// The multi-contact entry path into the serving layer. A TouchFrontEnd takes
+// raw device contact groups, runs them through robust::ContactTracker
+// (debounce, palm rejection, id-continuity repair, per-contact stroke
+// certification), then routes:
+//
+//   single surviving contact  -> the existing single-stroke serve path
+//                                (kStrokeBegin / kPoints / kStrokeEnd through
+//                                RecognitionServer, primary-contact stroke);
+//   multi-contact group       -> toolkit::ComputeTouchTrack — the pinch /
+//                                rotate / swipe attribute streams ARE the
+//                                answer; the Rubine classifier never sees
+//                                them.
+//
+// Graceful degradation is the tracker's contract: a group that loses
+// contacts to palms or chatter degrades to its best surviving stroke and
+// still gets served; only a group with nothing usable is rejected, with a
+// typed Status (never a throw).
+//
+// Thread-safety: Submit may be called from any thread; stats accumulate
+// under a mutex. One Submit is one whole gesture (the group carries complete
+// contact lifetimes), so no per-session ordering state lives here.
+#ifndef GRANDMA_SRC_SERVE_TOUCH_FRONTEND_H_
+#define GRANDMA_SRC_SERVE_TOUCH_FRONTEND_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "geom/contact.h"
+#include "robust/contact_tracker.h"
+#include "robust/fault_stats.h"
+#include "robust/status.h"
+#include "serve/event.h"
+#include "serve/server.h"
+#include "toolkit/touch_attributes.h"
+
+namespace grandma::serve {
+
+struct TouchFrontEndOptions {
+  robust::ContactPolicy policy;
+  toolkit::TouchAttributeOptions attributes;
+  // Deadline stamped on serve events of routed single strokes (0 = none).
+  std::uint32_t deadline_us = 0;
+};
+
+// What one Submit produced.
+struct TouchSubmitResult {
+  toolkit::TouchTrack track;
+  robust::ContactReport report;
+  // True when the tracker dropped >= 1 contact but the group survived.
+  bool degraded = false;
+  // True when the group resolved to a single stroke and was submitted to the
+  // RecognitionServer (its results arrive through the server's ResultSink).
+  bool routed_to_classifier = false;
+};
+
+// Cumulative front-end accounting. groups_in == groups_rejected +
+// routed_single_stroke + routed_touch on every snapshot — the same exact-
+// accounting discipline as ContactReport, one level up.
+struct TouchFrontEndStats {
+  std::uint64_t groups_in = 0;
+  std::uint64_t groups_rejected = 0;
+  std::uint64_t groups_degraded = 0;
+  std::uint64_t routed_single_stroke = 0;
+  std::uint64_t routed_touch = 0;
+  // Accepted groups by final TouchGestureKind (index = enum value).
+  std::array<std::uint64_t, toolkit::kNumTouchGestureKinds> by_kind{};
+  // Tracker + validator detail aggregated across Submits.
+  robust::FaultStats faults;
+
+  bool Balanced() const {
+    return groups_in == groups_rejected + routed_single_stroke + routed_touch;
+  }
+  std::string ToString() const;
+};
+
+class TouchFrontEnd {
+ public:
+  // `server` must outlive the front end; may be null, in which case single-
+  // stroke groups are tracked and classified by kind but not submitted.
+  explicit TouchFrontEnd(RecognitionServer* server, TouchFrontEndOptions options = {});
+
+  // Processes one raw contact group end to end. Errors: the tracker's
+  // rejections (kPalmRejected, kContactChatter, kDataLoss, kInvalidArgument,
+  // kOutOfRange) and, for routed strokes, the server's Submit errors
+  // (kOverloaded, kFailedPrecondition) — the group is still accounted as
+  // routed; the caller retries at the serve layer, not here.
+  robust::StatusOr<TouchSubmitResult> Submit(SessionId session, UserId user, StrokeId stroke,
+                                             const geom::ContactGroup& raw);
+
+  TouchFrontEndStats Stats() const;
+
+  const TouchFrontEndOptions& options() const { return options_; }
+
+ private:
+  RecognitionServer* server_;
+  TouchFrontEndOptions options_;
+  robust::ContactTracker tracker_;
+  mutable std::mutex mu_;
+  TouchFrontEndStats stats_;
+};
+
+}  // namespace grandma::serve
+
+#endif  // GRANDMA_SRC_SERVE_TOUCH_FRONTEND_H_

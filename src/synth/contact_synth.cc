@@ -1,0 +1,137 @@
+#include "synth/contact_synth.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "geom/transform.h"
+
+namespace grandma::synth {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TouchSpec TwoFinger(std::string name, PathSpec a, PathSpec b) {
+  TouchSpec spec;
+  spec.class_name = std::move(name);
+  spec.fingers = {std::move(a), std::move(b)};
+  return spec;
+}
+
+PathSpec Line(double x0, double y0, double x1, double y1) {
+  PathSpec p;
+  p.start_x = x0;
+  p.start_y = y0;
+  p.LineTo(x1, y1);
+  return p;
+}
+
+PathSpec Orbit(double radius, double start_angle, double sweep) {
+  PathSpec p;
+  p.start_x = radius * std::cos(start_angle);
+  p.start_y = radius * std::sin(start_angle);
+  p.segments.push_back(PathSegment::Arc(0.0, 0.0, radius, start_angle, sweep));
+  return p;
+}
+
+}  // namespace
+
+std::vector<TouchSpec> MakeTouchSpecs() {
+  std::vector<TouchSpec> specs;
+  // Pinch / spread: fingers converge toward / diverge from the midpoint.
+  specs.push_back(TwoFinger("pinch", Line(-60.0, 0.0, -15.0, 0.0), Line(60.0, 0.0, 15.0, 0.0)));
+  specs.push_back(TwoFinger("spread", Line(-15.0, 0.0, -60.0, 0.0), Line(15.0, 0.0, 60.0, 0.0)));
+  // Rotations: both fingers orbit the midpoint by ~90 degrees either way.
+  specs.push_back(TwoFinger("rotate-cw", Orbit(45.0, 0.0, -kPi / 2.0),
+                            Orbit(45.0, kPi, -kPi / 2.0)));
+  specs.push_back(TwoFinger("rotate-ccw", Orbit(45.0, 0.0, kPi / 2.0),
+                            Orbit(45.0, kPi, kPi / 2.0)));
+  // Swipes: parallel translation, the logical-center workload.
+  specs.push_back(TwoFinger("swipe-right", Line(-40.0, 18.0, 50.0, 18.0),
+                            Line(-40.0, -18.0, 50.0, -18.0)));
+  specs.push_back(TwoFinger("swipe-left", Line(40.0, 18.0, -50.0, 18.0),
+                            Line(40.0, -18.0, -50.0, -18.0)));
+  specs.push_back(TwoFinger("swipe-up", Line(18.0, -40.0, 18.0, 50.0),
+                            Line(-18.0, -40.0, -18.0, 50.0)));
+  specs.push_back(TwoFinger("swipe-down", Line(18.0, 40.0, 18.0, -50.0),
+                            Line(-18.0, 40.0, -18.0, -50.0)));
+  // Two-finger tap: both fingers dwell (empty specs emit dwell points).
+  {
+    PathSpec a;
+    a.start_x = -22.0;
+    PathSpec b;
+    b.start_x = 22.0;
+    specs.push_back(TwoFinger("tap-two", std::move(a), std::move(b)));
+  }
+  return specs;
+}
+
+geom::ContactGroup GenerateContactGroup(const TouchSpec& spec, const NoiseModel& noise,
+                                        Rng& rng) {
+  // One shared whole-gesture pose and tempo keep the fingers geometrically
+  // and temporally related (same decomposition as multipath's shared pose);
+  // the per-finger generator adds only per-point jitter. Independent
+  // per-finger tempo would desynchronize the fingers' progress along their
+  // paths, which reads as spurious baseline rotation/scale to the attribute
+  // layer — real fingers in one gesture move together.
+  NoiseModel per_finger = noise;
+  per_finger.rotation_sigma = 0.0;
+  per_finger.scale_sigma = 0.0;
+  per_finger.translation_sigma = 0.0;
+  per_finger.speed = noise.speed * rng.LogNormalFactor(noise.tempo_sigma);
+  per_finger.tempo_sigma = 0.0;
+
+  const double rotation = rng.Gaussian(noise.rotation_sigma);
+  const double scale = rng.LogNormalFactor(noise.scale_sigma);
+  const double dx = rng.Gaussian(noise.translation_sigma);
+  const double dy = rng.Gaussian(noise.translation_sigma);
+  const geom::AffineTransform pose =
+      geom::AffineTransform::Translation(dx, dy)
+          .Compose(geom::AffineTransform::Rotation(rotation).Compose(
+              geom::AffineTransform::Scale(scale)));
+
+  geom::ContactGroup out;
+  for (std::size_t f = 0; f < spec.fingers.size(); ++f) {
+    GestureSample sample = Generate(spec.fingers[f], per_finger, rng);
+    geom::Contact contact;
+    contact.id = static_cast<std::int32_t>(f) + 1;
+    contact.area = spec.finger_area * rng.LogNormalFactor(spec.finger_area_sigma);
+    // The first finger lands at t = 0; the rest land up to the stagger later.
+    const double stagger = f == 0 ? 0.0 : rng.Uniform(0.0, spec.max_start_stagger_ms);
+    contact.stroke = geom::RebaseTime(pose.Apply(sample.gesture), stagger);
+    out.AddContact(std::move(contact));
+  }
+  return out;
+}
+
+std::vector<LabeledContactGroups> GenerateContactSet(const std::vector<TouchSpec>& specs,
+                                                     const NoiseModel& noise,
+                                                     std::size_t per_class,
+                                                     std::uint64_t seed) {
+  std::vector<LabeledContactGroups> out;
+  out.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    Rng rng(seed * 2654435761u + s);
+    LabeledContactGroups batch;
+    batch.class_name = specs[s].class_name;
+    batch.groups.reserve(per_class);
+    for (std::size_t e = 0; e < per_class; ++e) {
+      batch.groups.push_back(GenerateContactGroup(specs[s], noise, rng));
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+geom::ContactGroup AsContactGroup(const geom::Gesture& g, std::int32_t id, double area) {
+  geom::Contact contact;
+  contact.id = id;
+  contact.area = area;
+  contact.stroke = g;
+  geom::ContactGroup group;
+  group.AddContact(std::move(contact));
+  return group;
+}
+
+}  // namespace grandma::synth

@@ -1,0 +1,68 @@
+// Synthetic multi-contact device traces: touch gesture specs (pinch, spread,
+// rotate, swipe, tap) whose fingers are full contact lifetimes — staggered
+// touch-downs, per-contact reported areas, independent lifts — emitted as
+// geom::ContactGroup, the raw-device vocabulary robust::ContactTracker
+// consumes. The single-stroke generator (generator.h) stands in for the
+// mouse; this module stands in for a multi-touch sensor.
+#ifndef GRANDMA_SRC_SYNTH_CONTACT_SYNTH_H_
+#define GRANDMA_SRC_SYNTH_CONTACT_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/contact.h"
+#include "synth/generator.h"
+#include "synth/path_spec.h"
+#include "synth/rng.h"
+
+namespace grandma::synth {
+
+// A multi-contact gesture class: one canonical PathSpec per finger.
+struct TouchSpec {
+  std::string class_name;
+  std::vector<PathSpec> fingers;
+  // Fingers rarely land simultaneously; each finger after the first starts
+  // up to this many milliseconds later (uniformly random). Kept well under
+  // any finger-count-change heuristic so clean traces are never repaired.
+  double max_start_stagger_ms = 50.0;
+  // Mean reported contact area (px^2, touch-major-ish). Fingertips ~55;
+  // per-contact lognormal jitter applies.
+  double finger_area = 55.0;
+  double finger_area_sigma = 0.15;
+};
+
+// The device-realistic touch set the ROADMAP's libinput taxonomy names:
+//   pinch / spread    fingers converge / diverge (absolute-scale workload)
+//   rotate-cw / ccw   fingers orbit their midpoint (relative-angle workload)
+//   swipe-{left,right,up,down}  two fingers translate in parallel
+//                     (logical-center workload)
+//   tap-two           both fingers dwell
+std::vector<TouchSpec> MakeTouchSpecs();
+
+// Generates one contact group of `spec` under `noise`: a shared whole-
+// gesture pose keeps the fingers geometrically related; stagger, area, and
+// per-point noise are per contact. Contact ids are 1..N in finger order.
+geom::ContactGroup GenerateContactGroup(const TouchSpec& spec, const NoiseModel& noise,
+                                        Rng& rng);
+
+// A labeled batch of groups for one class.
+struct LabeledContactGroups {
+  std::string class_name;
+  std::vector<geom::ContactGroup> groups;
+};
+
+// Generates `per_class` groups of every spec. Deterministic in `seed`.
+std::vector<LabeledContactGroups> GenerateContactSet(const std::vector<TouchSpec>& specs,
+                                                     const NoiseModel& noise,
+                                                     std::size_t per_class,
+                                                     std::uint64_t seed);
+
+// Wraps a single-stroke gesture as a one-contact group — how a mouse/stylus
+// stroke enters the multi-contact entry path.
+geom::ContactGroup AsContactGroup(const geom::Gesture& g, std::int32_t id = 1,
+                                  double area = 55.0);
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_CONTACT_SYNTH_H_

@@ -1,0 +1,102 @@
+// Multi-contact gestural attributes: turns a tracked contact group into the
+// attribute streams direct-manipulation semantics consume — logical center
+// (mean of active contacts), relative angle (baseline rotation since both
+// fingers landed, unwrapped), and absolute scale (span ratio against the
+// initial span). This is the libinput pinch-gesture attribute set grafted
+// onto the paper's semantics machinery: recog fires once at classification,
+// manip fires per frame with the logical center as the "mouse", done fires at
+// lift. Single-contact groups route to the existing single-stroke path via
+// PrimaryContact extraction.
+#ifndef GRANDMA_SRC_TOOLKIT_TOUCH_ATTRIBUTES_H_
+#define GRANDMA_SRC_TOOLKIT_TOUCH_ATTRIBUTES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/contact.h"
+#include "geom/gesture.h"
+#include "toolkit/semantics.h"
+
+namespace grandma::toolkit {
+
+// What a multi-contact group resolved to. kSingleStroke means "hand the
+// primary contact to the Rubine classifier"; the rest carry their own
+// attribute streams and bypass feature extraction entirely.
+enum class TouchGestureKind {
+  kSingleStroke = 0,  // one contact (or the group degraded to one)
+  kPinch,             // dominant span change
+  kRotate,            // dominant baseline rotation
+  kSwipe,             // dominant parallel translation
+  kTap,               // short dwell, no dominant motion
+  kNone,              // multi-contact but no dominant motion and too long for a tap
+};
+
+const char* TouchGestureKindName(TouchGestureKind kind);
+constexpr std::size_t kNumTouchGestureKinds = 6;
+
+// One sample of the attribute streams, at a timestamp where some contact
+// reported a point.
+struct TouchFrame {
+  double t = 0.0;
+  double cx = 0.0;          // logical center
+  double cy = 0.0;
+  double angle = 0.0;       // relative angle (radians, unwrapped) vs baseline
+  double scale = 1.0;       // absolute scale: current span / initial span
+  std::size_t active = 0;   // contacts touching at t
+
+  friend bool operator==(const TouchFrame&, const TouchFrame&) = default;
+};
+
+// Classification thresholds. A motion must clear its threshold AND be the
+// dominant component (largest normalized magnitude) to claim the group.
+struct TouchAttributeOptions {
+  double pinch_log_scale = 0.22;    // |ln scale| for a pinch/spread
+  double rotate_angle = 0.35;       // |angle| radians for a rotate
+  double swipe_translation = 40.0;  // center displacement px for a swipe
+  double tap_max_duration_ms = 300.0;
+  double tap_max_translation = 20.0;
+};
+
+// The full attribute track for one group, plus the final classification.
+struct TouchTrack {
+  TouchGestureKind kind = TouchGestureKind::kSingleStroke;
+  std::vector<TouchFrame> frames;
+
+  // Final attribute values (last frame's, duplicated for convenience).
+  double total_rotation = 0.0;   // unwrapped, radians; sign = CCW positive
+  double final_scale = 1.0;
+  double translation_px = 0.0;   // |center(end) - center(start)|
+  double duration_ms = 0.0;
+
+  // Index of the primary contact in the group — the stroke that goes down
+  // the single-stroke path for kSingleStroke groups.
+  std::size_t primary_index = 0;
+
+  std::string ToString() const;
+};
+
+// Longest-path-length contact: the one that best represents the user's
+// intent when the group degrades to a single stroke. Index into
+// group.contacts(); 0 for an empty group.
+std::size_t PrimaryContactIndex(const geom::ContactGroup& group);
+
+// Computes the attribute streams and classification for a tracked group.
+// Deterministic: a pure function of the group's points. Groups must be
+// non-empty; contacts must have time-ordered strokes (the tracker's output
+// contract).
+TouchTrack ComputeTouchTrack(const geom::ContactGroup& group,
+                             const TouchAttributeOptions& options = {});
+
+// Runs a touch track through a semantics table: recog once (class name =
+// TouchGestureKindName), manip per frame with the logical center as the
+// current point, done at the end. The primary contact's stroke is the
+// "collected" gesture the context exposes. Returns false when the table has
+// no semantics for the kind (a recognized gesture with no semantics is a
+// no-op, same as the single-stroke dispatcher).
+bool DispatchTouchSemantics(const TouchTrack& track, const geom::ContactGroup& group,
+                            const SemanticsTable& table, View* view);
+
+}  // namespace grandma::toolkit
+
+#endif  // GRANDMA_SRC_TOOLKIT_TOUCH_ATTRIBUTES_H_

@@ -1,0 +1,390 @@
+#include "robust/contact_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geom/contact.h"
+#include "geom/gesture.h"
+#include "geom/point.h"
+#include "robust/fault_stats.h"
+#include "robust/status.h"
+
+namespace grandma::robust {
+namespace {
+
+std::vector<geom::TimedPoint> LinePts(std::size_t n, double x0 = 0.0, double y0 = 0.0,
+                                      double step = 5.0, double dt = 10.0, double t0 = 0.0) {
+  std::vector<geom::TimedPoint> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({x0 + step * static_cast<double>(i), y0,
+                   t0 + dt * static_cast<double>(i)});
+  }
+  return pts;
+}
+
+geom::Contact C(std::int32_t id, std::vector<geom::TimedPoint> pts, double area = 55.0) {
+  geom::Contact c;
+  c.id = id;
+  c.area = area;
+  c.stroke = geom::Gesture(std::move(pts));
+  return c;
+}
+
+geom::ContactGroup Group(std::vector<geom::Contact> contacts) {
+  return geom::ContactGroup(std::move(contacts));
+}
+
+TEST(ContactTrackerTest, CleanGroupPassesUntouched) {
+  ContactTracker tracker;
+  ContactReport report;
+  FaultStats stats;
+  const geom::ContactGroup in =
+      Group({C(1, LinePts(20)), C(2, LinePts(20, 0.0, 40.0, 5.0, 10.0, 30.0))});
+  auto out = tracker.Track(in, &report, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->group.size(), 2u);
+  EXPECT_FALSE(out->degraded);
+  EXPECT_EQ(report.contacts_passed_clean, 2u);
+  EXPECT_EQ(report.contacts_repaired, 0u);
+  EXPECT_EQ(report.contacts_rejected, 0u);
+  EXPECT_TRUE(report.Balanced());
+  EXPECT_EQ(stats.groups_tracked, 1u);
+  EXPECT_EQ(stats.groups_clean, 1u);
+  // Point geometry is untouched.
+  EXPECT_EQ(out->group[0].stroke, in[0].stroke);
+  EXPECT_EQ(out->group[1].stroke, in[1].stroke);
+}
+
+TEST(ContactTrackerTest, EmptyGroupIsInvalidArgument) {
+  ContactTracker tracker;
+  ContactReport report;
+  auto out = tracker.Track(geom::ContactGroup{}, &report);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, TooManyContactsIsOutOfRange) {
+  ContactPolicy policy;
+  policy.max_contacts = 2;
+  ContactTracker tracker(policy);
+  ContactReport report;
+  auto out = tracker.Track(
+      Group({C(1, LinePts(5)), C(2, LinePts(5, 0, 50)), C(3, LinePts(5, 0, 100))}), &report);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(report.contacts_rejected, 3u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, BounceIsStitchedBackIntoOneContact) {
+  ContactTracker tracker;
+  ContactReport report;
+  FaultStats stats;
+  // Contact 1 releases at t=90; contact 7 lands 12 ms later, 3 px away —
+  // classic up/down chatter.
+  auto head = LinePts(10);                                     // t 0..90, x 0..45
+  auto tail = LinePts(8, 48.0, 0.0, 5.0, 10.0, 102.0);          // t 102.., x 48..
+  const geom::ContactGroup in = Group({C(1, head), C(7, tail)});
+  auto out = tracker.Track(in, &report, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].id, 1);
+  EXPECT_EQ(out->group[0].stroke.size(), 18u);
+  EXPECT_EQ(report.bounces_stitched, 1u);
+  EXPECT_EQ(report.contacts_repaired, 2u);  // absorbed slot + surviving slot
+  EXPECT_TRUE(report.Balanced());
+  EXPECT_EQ(stats.contact_bounces_stitched, 1u);
+  EXPECT_EQ(stats.groups_repaired, 1u);
+  // Degradation means losing a contact's data; a stitch keeps everything.
+  EXPECT_FALSE(out->degraded);
+}
+
+TEST(ContactTrackerTest, ChainedChatterStitchesRepeatedly) {
+  ContactTracker tracker;
+  ContactReport report;
+  const geom::ContactGroup in = Group({
+      C(1, LinePts(6)),                                 // t 0..50
+      C(2, LinePts(6, 32.0, 0.0, 5.0, 10.0, 62.0)),     // lands 12 ms after 1 lifts
+      C(3, LinePts(6, 64.0, 0.0, 5.0, 10.0, 124.0)),    // lands 12 ms after 2 lifts
+  });
+  auto out = tracker.Track(in, &report);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].stroke.size(), 18u);
+  EXPECT_EQ(report.bounces_stitched, 2u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, BounceRejectsUnderNoRepairPolicy) {
+  ContactPolicy policy;
+  policy.repair = false;
+  ContactTracker tracker(policy);
+  ContactReport report;
+  auto out = tracker.Track(
+      Group({C(1, LinePts(10)), C(2, LinePts(8, 48.0, 0.0, 5.0, 10.0, 102.0))}), &report);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kContactChatter);
+  EXPECT_EQ(report.contacts_rejected, 2u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, ObviousPalmIsRejectedByArea) {
+  ContactTracker tracker;
+  ContactReport report;
+  FaultStats stats;
+  const geom::ContactGroup in =
+      Group({C(1, LinePts(20)), C(2, LinePts(4, 0.0, 200.0), /*area=*/450.0)});
+  auto out = tracker.Track(in, &report, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].id, 1);
+  EXPECT_TRUE(out->degraded);
+  EXPECT_EQ(report.palms_rejected, 1u);
+  EXPECT_EQ(report.contacts_rejected, 1u);
+  EXPECT_EQ(report.contacts_passed_clean, 1u);
+  EXPECT_TRUE(report.Balanced());
+  EXPECT_EQ(stats.palms_rejected, 1u);
+  EXPECT_EQ(stats.groups_degraded, 1u);
+}
+
+TEST(ContactTrackerTest, SuspectAreaNeedsShortLifeOrOffsetToBeAPalm) {
+  ContactTracker tracker;
+  // Suspect area, long-lived, close to the other contact: kept.
+  {
+    ContactReport report;
+    auto out = tracker.Track(
+        Group({C(1, LinePts(30)), C(2, LinePts(30, 0.0, 30.0), /*area=*/200.0)}), &report);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->group.size(), 2u);
+    EXPECT_EQ(report.palms_rejected, 0u);
+  }
+  // Suspect area and short-lived: rejected.
+  {
+    ContactReport report;
+    auto out = tracker.Track(
+        Group({C(1, LinePts(30)), C(2, LinePts(3, 0.0, 30.0), /*area=*/200.0)}), &report);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->group.size(), 1u);
+    EXPECT_EQ(report.palms_rejected, 1u);
+  }
+  // Suspect area, long-lived, but far offset from the rest: rejected.
+  {
+    ContactReport report;
+    auto out = tracker.Track(
+        Group({C(1, LinePts(30)), C(2, LinePts(30, 0.0, 400.0), /*area=*/200.0)}), &report);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->group.size(), 1u);
+    EXPECT_EQ(report.palms_rejected, 1u);
+  }
+}
+
+TEST(ContactTrackerTest, ZeroAreaContactsAreExemptFromPalmHeuristics) {
+  ContactTracker tracker;
+  ContactReport report;
+  // area 0 == "device reports no area" (mouse path): never palm-rejected.
+  auto out = tracker.Track(Group({C(1, LinePts(3), /*area=*/0.0)}), &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(report.palms_rejected, 0u);
+}
+
+TEST(ContactTrackerTest, AllPalmsRejectsTheGroupWithTypedStatus) {
+  ContactTracker tracker;
+  ContactReport report;
+  auto out = tracker.Track(Group({C(1, LinePts(4), /*area=*/500.0)}), &report);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kPalmRejected);
+  EXPECT_EQ(report.contacts_rejected, 1u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, PalmRejectsUnderNoRepairPolicy) {
+  ContactPolicy policy;
+  policy.repair = false;
+  ContactTracker tracker(policy);
+  auto out = tracker.Track(Group({C(1, LinePts(20)), C(2, LinePts(4), /*area=*/500.0)}));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kPalmRejected);
+}
+
+TEST(ContactTrackerTest, LateJoinerIsDropped) {
+  ContactTracker tracker;
+  ContactReport report;
+  const geom::ContactGroup in = Group({
+      C(1, LinePts(60)),                                  // t 0..590
+      C(2, LinePts(10, 0.0, 40.0, 5.0, 10.0, 300.0)),     // joins 300 ms in
+  });
+  auto out = tracker.Track(in, &report);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].id, 1);
+  EXPECT_TRUE(out->degraded);
+  EXPECT_EQ(report.late_joiners_dropped, 1u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, StaggeredLandingWithinWindowIsNotALateJoin) {
+  ContactTracker tracker;
+  ContactReport report;
+  const geom::ContactGroup in = Group({
+      C(1, LinePts(30)),
+      C(2, LinePts(25, 0.0, 40.0, 5.0, 10.0, 60.0)),  // 60 ms stagger: legitimate
+  });
+  auto out = tracker.Track(in, &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->group.size(), 2u);
+  EXPECT_EQ(report.late_joiners_dropped, 0u);
+  EXPECT_EQ(report.contacts_passed_clean, 2u);
+}
+
+TEST(ContactTrackerTest, CrossedIdTailsAreSwappedBack) {
+  // Two parallel strokes whose tails teleport across each other at t=100:
+  // slot a continues on b's line and vice versa.
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double t = 10.0 * static_cast<double>(i);
+    const double x = 5.0 * static_cast<double>(i);
+    if (t < 100.0) {
+      a.push_back({x, 0.0, t});
+      b.push_back({x, 300.0, t});
+    } else {
+      a.push_back({x, 300.0, t});  // jumped to b's line
+      b.push_back({x, 0.0, t});    // jumped to a's line
+    }
+  }
+  ContactTracker tracker;
+  ContactReport report;
+  FaultStats stats;
+  auto out = tracker.Track(Group({C(1, a), C(2, b)}), &report, &stats);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 2u);
+  EXPECT_EQ(report.id_swaps_repaired, 1u);
+  EXPECT_EQ(report.contacts_repaired, 2u);
+  EXPECT_TRUE(report.Balanced());
+  EXPECT_EQ(stats.contact_id_swaps_repaired, 1u);
+  // After the un-cross every stroke stays on one line.
+  for (const geom::Contact& c : out->group.contacts()) {
+    const double y = c.stroke.front().y;
+    for (const geom::TimedPoint& p : c.stroke) {
+      EXPECT_EQ(p.y, y);
+    }
+  }
+  EXPECT_FALSE(out->degraded);
+}
+
+TEST(ContactTrackerTest, IdSwapRejectsUnderNoRepairPolicy) {
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double t = 10.0 * static_cast<double>(i);
+    const double x = 5.0 * static_cast<double>(i);
+    a.push_back({x, t < 100.0 ? 0.0 : 300.0, t});
+    b.push_back({x, t < 100.0 ? 300.0 : 0.0, t});
+  }
+  ContactPolicy policy;
+  policy.repair = false;
+  ContactTracker tracker(policy);
+  auto out = tracker.Track(Group({C(1, a), C(2, b)}));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ContactTrackerTest, ValidatorRunsPerContactAndDegradesOnReject) {
+  ContactTracker tracker;
+  ContactReport report;
+  // Contact 2's stroke is all-NaN: the validator rejects it and the group
+  // degrades to contact 1.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto out = tracker.Track(
+      Group({C(1, LinePts(20)), C(2, {{nan, nan, 0.0}, {nan, nan, 10.0}})}), &report);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].id, 1);
+  EXPECT_TRUE(out->degraded);
+  EXPECT_EQ(report.validation_rejected, 1u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+TEST(ContactTrackerTest, ValidatorRepairCountsTheContactAsRepaired) {
+  ContactTracker tracker;
+  ContactReport report;
+  auto pts = LinePts(20);
+  pts[5].t = pts[4].t;  // duplicate timestamp: repairable
+  auto out = tracker.Track(Group({C(1, std::move(pts))}), &report);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(report.validation_repaired, 1u);
+  EXPECT_EQ(report.contacts_repaired, 1u);
+  EXPECT_EQ(report.contacts_passed_clean, 0u);
+  EXPECT_TRUE(report.Balanced());
+}
+
+// --- StrokeValidator edge coverage surviving the multi-contact entry path ---
+
+TEST(ContactTrackerTest, SinglePointDotSurvivesEntryPath) {
+  // min_points = 1 (default): a one-point "dot" gesture must come out the
+  // other side of the full tracker pipeline intact.
+  ContactTracker tracker;
+  ContactReport report;
+  auto out = tracker.Track(Group({C(1, {{10.0, 20.0, 5.0}})}), &report);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  ASSERT_EQ(out->group[0].stroke.size(), 1u);
+  EXPECT_EQ(out->group[0].stroke[0], (geom::TimedPoint{10.0, 20.0, 5.0}));
+  EXPECT_EQ(report.contacts_passed_clean, 1u);
+  EXPECT_FALSE(out->degraded);
+}
+
+TEST(ContactTrackerTest, MinPointsTwoRejectsDotThroughEntryPath) {
+  ContactPolicy policy;
+  policy.stroke.min_points = 2;
+  ContactTracker tracker(policy);
+  auto out = tracker.Track(Group({C(1, {{10.0, 20.0, 5.0}})}));
+  ASSERT_FALSE(out.ok());
+  // The sole contact failed validation; nothing survives.
+  EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ContactTrackerTest, MaxPointsOverflowRejectsThroughEntryPath) {
+  ContactPolicy policy;
+  policy.stroke.max_points = 64;
+  ContactTracker tracker(policy);
+  ContactReport report;
+  // The oversized contact is dropped; the sane one survives (degradation).
+  auto out = tracker.Track(
+      Group({C(1, LinePts(100)), C(2, LinePts(20, 0.0, 40.0))}), &report);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->group.size(), 1u);
+  EXPECT_EQ(out->group[0].id, 2);
+  EXPECT_TRUE(out->degraded);
+  EXPECT_EQ(report.validation_rejected, 1u);
+  EXPECT_TRUE(report.Balanced());
+
+  // And when every contact overflows, the group rejects with a typed status.
+  auto all_over = tracker.Track(Group({C(1, LinePts(100))}));
+  ASSERT_FALSE(all_over.ok());
+  EXPECT_EQ(all_over.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ContactTrackerTest, StatsAccumulateAcrossGroups) {
+  ContactTracker tracker;
+  FaultStats stats;
+  (void)tracker.Track(Group({C(1, LinePts(10))}), nullptr, &stats);
+  (void)tracker.Track(Group({C(1, LinePts(10)), C(2, LinePts(4), 500.0)}), nullptr, &stats);
+  (void)tracker.Track(geom::ContactGroup{}, nullptr, &stats);
+  EXPECT_EQ(stats.groups_tracked, 3u);
+  EXPECT_EQ(stats.groups_clean, 1u);
+  EXPECT_EQ(stats.groups_degraded, 1u);
+  EXPECT_EQ(stats.groups_rejected, 1u);
+  EXPECT_EQ(stats.contacts_tracked, 3u);
+  EXPECT_EQ(stats.contacts_tracked,
+            stats.contacts_passed_clean + stats.contacts_repaired + stats.contacts_rejected);
+}
+
+}  // namespace
+}  // namespace grandma::robust

@@ -1,0 +1,123 @@
+// Exhaustiveness guard for the fault taxonomy. The compile-time side lives
+// in fault_injector.cc (static_asserts pinning kNumFaultKinds, the
+// point/contact split boundary, and the options' enabled-array size to the
+// enum); this runtime side pins the per-kind tables — every kind has a
+// distinct name, a repairability verdict consistent with the level split,
+// and an enable switch the injector actually honors — so adding a FaultKind
+// without updating every table is caught here even where a switch default
+// would have silently absorbed it.
+#include "robust/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "geom/contact.h"
+#include "geom/gesture.h"
+#include "synth/contact_synth.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::robust {
+namespace {
+
+std::vector<FaultKind> AllKinds() {
+  std::vector<FaultKind> kinds;
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    kinds.push_back(static_cast<FaultKind>(k));
+  }
+  return kinds;
+}
+
+TEST(FaultKindTablesTest, EveryKindHasADistinctName) {
+  std::set<std::string> names;
+  for (FaultKind kind : AllKinds()) {
+    const std::string name = FaultKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown") << "FaultKindName missing a case for kind "
+                               << static_cast<std::size_t>(kind);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), kNumFaultKinds);
+}
+
+TEST(FaultKindTablesTest, LevelSplitMatchesTheEnumLayout) {
+  // The enum is laid out point-level first, contact-level after; the
+  // boundary constant and the per-kind predicate must agree.
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    const FaultKind kind = static_cast<FaultKind>(k);
+    EXPECT_EQ(FaultKindContactLevel(kind), k >= kNumPointFaultKinds)
+        << FaultKindName(kind);
+  }
+}
+
+TEST(FaultKindTablesTest, ContactLevelKindsAreAllRepairable) {
+  // The tracker stitches, rejects, or un-crosses every contact-level kind
+  // back to usable geometry; only lossy point kinds (drop/truncate) degrade.
+  for (FaultKind kind : AllKinds()) {
+    if (FaultKindContactLevel(kind)) {
+      EXPECT_TRUE(FaultKindRepairable(kind)) << FaultKindName(kind);
+    }
+  }
+  EXPECT_FALSE(FaultKindRepairable(FaultKind::kDropPoints));
+  EXPECT_FALSE(FaultKindRepairable(FaultKind::kTruncate));
+}
+
+TEST(FaultKindTablesTest, EnabledSwitchesAreHonoredPerKind) {
+  // With exactly one kind enabled and fault_rate 1, only that kind may ever
+  // appear in InjectedFaults — over a corpus that gives every kind a chance
+  // to fire (multi-contact groups with enough points and contacts).
+  const auto groups = synth::GenerateContactSet(synth::MakeTouchSpecs(),
+                                                synth::NoiseModel{}, /*per_class=*/3,
+                                                /*seed=*/33);
+  for (std::size_t only = 0; only < kNumFaultKinds; ++only) {
+    FaultInjectorOptions fopts;
+    fopts.fault_rate = 1.0;
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+      fopts.enabled[k] = k == only;
+    }
+    FaultInjector injector(fopts, /*seed=*/1000 + only);
+    bool fired = false;
+    for (const auto& batch : groups) {
+      for (const geom::ContactGroup& group : batch.groups) {
+        InjectedFaults injected;
+        (void)injector.CorruptContacts(group, &injected);
+        for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+          if (k != only) {
+            EXPECT_FALSE(injected.applied[k])
+                << FaultKindName(static_cast<FaultKind>(k)) << " fired while only "
+                << FaultKindName(static_cast<FaultKind>(only)) << " was enabled";
+          }
+        }
+        fired = fired || injected.any();
+      }
+    }
+    EXPECT_TRUE(fired) << FaultKindName(static_cast<FaultKind>(only))
+                       << " never fired on a corpus that should admit it";
+    EXPECT_EQ(injector.record().counts[only], injector.record().total_faults());
+  }
+}
+
+TEST(FaultKindTablesTest, PointLevelEntryPointsNeverApplyContactKinds) {
+  const auto batches = synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                          synth::NoiseModel{}, /*per_class=*/4, /*seed=*/44);
+  FaultInjectorOptions fopts;
+  fopts.fault_rate = 1.0;
+  fopts.max_faults_per_stroke = kNumFaultKinds;  // give every kind the chance
+  FaultInjector injector(fopts, /*seed=*/7);
+  for (const auto& batch : batches) {
+    for (const auto& sample : batch.samples) {
+      InjectedFaults injected;
+      (void)injector.Corrupt(sample.gesture, &injected);
+      for (std::size_t k = kNumPointFaultKinds; k < kNumFaultKinds; ++k) {
+        EXPECT_FALSE(injected.applied[k])
+            << FaultKindName(static_cast<FaultKind>(k)) << " fired on a single stroke";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grandma::robust

@@ -1,0 +1,100 @@
+// Property: repair is idempotent. For every stroke of a seeded fault corpus,
+// a second Validate of Validate's output is a byte-identical no-op — the
+// validator's output already satisfies its own contract, so running it again
+// finds nothing. The same holds one level up for ContactTracker over a
+// seeded contact-fault corpus.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/contact.h"
+#include "geom/gesture.h"
+#include "robust/contact_tracker.h"
+#include "robust/fault_injector.h"
+#include "robust/stroke_validator.h"
+#include "synth/contact_synth.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::robust {
+namespace {
+
+std::vector<geom::Gesture> StrokeCorpus(std::uint64_t seed) {
+  std::vector<geom::Gesture> corpus;
+  const auto batches = synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                          synth::NoiseModel{}, /*per_class=*/6, seed);
+  for (const auto& batch : batches) {
+    for (const auto& sample : batch.samples) {
+      corpus.push_back(sample.gesture);
+    }
+  }
+  return corpus;
+}
+
+TEST(RepairIdempotenceTest, ValidateOfValidateIsByteIdenticalNoOp) {
+  const StrokeValidator validator;
+  std::size_t validated_strokes = 0;
+
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    FaultInjectorOptions fopts;
+    fopts.fault_rate = 1.0;  // every stroke damaged, every kind in rotation
+    fopts.max_faults_per_stroke = 3;
+    FaultInjector injector(fopts, seed);
+
+    for (const geom::Gesture& pristine : StrokeCorpus(seed)) {
+      const geom::Gesture damaged = injector.Corrupt(pristine);
+      auto first = validator.Validate(damaged);
+      if (!first.ok()) {
+        continue;  // rejection is idempotent trivially; nothing to re-feed
+      }
+      ValidationReport second_report;
+      auto second = validator.Validate(*first, &second_report);
+      ASSERT_TRUE(second.ok());
+      // Byte-identical: every point of every repaired stroke survives a
+      // second pass bit for bit.
+      EXPECT_EQ(*second, *first);
+      // And the second pass found nothing to do.
+      EXPECT_FALSE(second_report.repaired());
+      ++validated_strokes;
+    }
+  }
+  // Non-vacuity: the corpus must actually exercise the repair path.
+  EXPECT_GT(validated_strokes, 100u);
+}
+
+TEST(RepairIdempotenceTest, TrackOfTrackIsByteIdenticalNoOp) {
+  const ContactTracker tracker;
+  std::size_t tracked_groups = 0;
+
+  for (std::uint64_t seed : {21u, 22u}) {
+    FaultInjectorOptions fopts;
+    fopts.fault_rate = 1.0;
+    fopts.max_faults_per_stroke = 2;
+    FaultInjector injector(fopts, seed);
+
+    const auto batches = synth::GenerateContactSet(synth::MakeTouchSpecs(),
+                                                   synth::NoiseModel{}, /*per_class=*/4, seed);
+    for (const auto& batch : batches) {
+      for (const geom::ContactGroup& pristine : batch.groups) {
+        const geom::ContactGroup damaged = injector.CorruptContacts(pristine);
+        auto first = tracker.Track(damaged);
+        if (!first.ok()) {
+          continue;
+        }
+        ContactReport second_report;
+        auto second = tracker.Track(first->group, &second_report);
+        ASSERT_TRUE(second.ok());
+        EXPECT_EQ(second->group, first->group);
+        EXPECT_EQ(second_report.contacts_repaired, 0u);
+        EXPECT_EQ(second_report.contacts_rejected, 0u);
+        EXPECT_FALSE(second->degraded);
+        ++tracked_groups;
+      }
+    }
+  }
+  EXPECT_GT(tracked_groups, 30u);
+}
+
+}  // namespace
+}  // namespace grandma::robust

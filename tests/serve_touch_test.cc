@@ -1,0 +1,232 @@
+#include "serve/touch_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "geom/contact.h"
+#include "robust/status.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/server.h"
+#include "synth/contact_synth.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+#include "toolkit/touch_attributes.h"
+
+namespace grandma::serve {
+namespace {
+
+std::shared_ptr<const RecognizerBundle> TrainedBundle() {
+  static std::shared_ptr<const RecognizerBundle> bundle = RecognizerBundle::Train(
+      synth::ToTrainingSet(synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                              synth::NoiseModel{}, /*per_class=*/10,
+                                              /*seed=*/1991)));
+  return bundle;
+}
+
+geom::Contact Palm(std::int32_t id) {
+  geom::Contact c;
+  c.id = id;
+  c.area = 500.0;
+  std::vector<geom::TimedPoint> pts;
+  for (int i = 0; i < 4; ++i) {
+    pts.push_back({300.0, 300.0 + i, 15.0 * i});
+  }
+  c.stroke = geom::Gesture(pts);
+  return c;
+}
+
+class TouchFrontEndTest : public ::testing::Test {
+ protected:
+  TouchFrontEndTest() {
+    ServerOptions opts;
+    opts.num_shards = 2;
+    opts.overload = OverloadPolicy::kBlock;
+    server_ = std::make_unique<RecognitionServer>(
+        TrainedBundle(), opts, [this](const RecognitionResult& r) {
+          if (r.kind != ResultKind::kStrokeEnd) {
+            return;
+          }
+          std::lock_guard<std::mutex> lock(mu_);
+          results_[r.session] = r.class_name;
+        });
+  }
+
+  std::map<SessionId, std::string> Results() {
+    server_->Shutdown();  // drain
+    std::lock_guard<std::mutex> lock(mu_);
+    return results_;
+  }
+
+  std::mutex mu_;
+  std::map<SessionId, std::string> results_;
+  std::unique_ptr<RecognitionServer> server_;
+};
+
+TEST_F(TouchFrontEndTest, SingleStrokeGroupIsServedAndClassified) {
+  TouchFrontEnd frontend(server_.get());
+  const auto batches = synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                          synth::NoiseModel{}, /*per_class=*/2, /*seed=*/5);
+  SessionId session = 0;
+  std::map<SessionId, std::string> want;
+  for (const auto& batch : batches) {
+    for (const auto& sample : batch.samples) {
+      auto out = frontend.Submit(session, /*user=*/0, /*stroke=*/0,
+                                 synth::AsContactGroup(sample.gesture));
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(out->track.kind, toolkit::TouchGestureKind::kSingleStroke);
+      EXPECT_TRUE(out->routed_to_classifier);
+      EXPECT_FALSE(out->degraded);
+      want[session] = batch.class_name;
+      ++session;
+    }
+  }
+  const auto results = Results();
+  ASSERT_EQ(results.size(), want.size());
+  std::size_t correct = 0;
+  for (const auto& [sid, name] : want) {
+    ASSERT_TRUE(results.count(sid));
+    correct += results.at(sid) == name ? 1 : 0;
+  }
+  // The fig9 set classifies essentially perfectly on clean strokes.
+  EXPECT_GE(correct * 10, want.size() * 9);
+
+  const TouchFrontEndStats stats = frontend.Stats();
+  EXPECT_EQ(stats.groups_in, want.size());
+  EXPECT_EQ(stats.routed_single_stroke, want.size());
+  EXPECT_EQ(stats.routed_touch, 0u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(TouchFrontEndTest, MultiContactGroupBypassesTheClassifier) {
+  TouchFrontEnd frontend(server_.get());
+  const auto batches = synth::GenerateContactSet(synth::MakeTouchSpecs(),
+                                                 synth::NoiseModel{}, /*per_class=*/2,
+                                                 /*seed=*/6);
+  std::size_t submitted = 0;
+  for (const auto& batch : batches) {
+    for (const auto& group : batch.groups) {
+      auto out = frontend.Submit(/*session=*/submitted, /*user=*/0, /*stroke=*/0, group);
+      ASSERT_TRUE(out.ok()) << batch.class_name;
+      EXPECT_NE(out->track.kind, toolkit::TouchGestureKind::kSingleStroke);
+      EXPECT_FALSE(out->routed_to_classifier);
+      EXPECT_FALSE(out->track.frames.empty());
+      ++submitted;
+    }
+  }
+  EXPECT_TRUE(Results().empty()) << "touch groups must not reach the classifier";
+  const TouchFrontEndStats stats = frontend.Stats();
+  EXPECT_EQ(stats.groups_in, submitted);
+  EXPECT_EQ(stats.routed_touch, submitted);
+  EXPECT_EQ(stats.routed_single_stroke, 0u);
+  EXPECT_TRUE(stats.Balanced());
+}
+
+TEST_F(TouchFrontEndTest, PalmDegradedGroupStillServesTheSurvivingStroke) {
+  TouchFrontEnd frontend(server_.get());
+  synth::Rng rng(3);
+  const auto sample = synth::Generate(synth::MakeEightDirectionSpecs()[0],
+                                      synth::NoiseModel{}, rng);
+  geom::ContactGroup group = synth::AsContactGroup(sample.gesture);
+  group.AddContact(Palm(9));
+
+  auto out = frontend.Submit(/*session=*/1, /*user=*/0, /*stroke=*/0, group);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->degraded);
+  EXPECT_EQ(out->track.kind, toolkit::TouchGestureKind::kSingleStroke);
+  EXPECT_TRUE(out->routed_to_classifier);
+  EXPECT_EQ(out->report.palms_rejected, 1u);
+  EXPECT_TRUE(out->report.Balanced());
+  EXPECT_EQ(Results().size(), 1u);
+
+  const TouchFrontEndStats stats = frontend.Stats();
+  EXPECT_EQ(stats.groups_degraded, 1u);
+  EXPECT_EQ(stats.faults.palms_rejected, 1u);
+}
+
+TEST_F(TouchFrontEndTest, UnusableGroupRejectsWithTypedStatus) {
+  TouchFrontEnd frontend(server_.get());
+  geom::ContactGroup all_palms({Palm(1)});
+  auto out = frontend.Submit(/*session=*/1, /*user=*/0, /*stroke=*/0, all_palms);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), robust::StatusCode::kPalmRejected);
+
+  auto empty = frontend.Submit(/*session=*/2, /*user=*/0, /*stroke=*/0, geom::ContactGroup{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), robust::StatusCode::kInvalidArgument);
+
+  const TouchFrontEndStats stats = frontend.Stats();
+  EXPECT_EQ(stats.groups_in, 2u);
+  EXPECT_EQ(stats.groups_rejected, 2u);
+  EXPECT_TRUE(stats.Balanced());
+  EXPECT_EQ(Results().size(), 0u);
+}
+
+TEST_F(TouchFrontEndTest, NullServerTracksWithoutSubmitting) {
+  TouchFrontEnd frontend(nullptr);
+  synth::Rng rng(4);
+  const auto sample = synth::Generate(synth::MakeEightDirectionSpecs()[0],
+                                      synth::NoiseModel{}, rng);
+  auto out = frontend.Submit(/*session=*/1, /*user=*/0, /*stroke=*/0,
+                             synth::AsContactGroup(sample.gesture));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->track.kind, toolkit::TouchGestureKind::kSingleStroke);
+  EXPECT_FALSE(out->routed_to_classifier);
+  EXPECT_TRUE(frontend.Stats().Balanced());
+}
+
+TEST_F(TouchFrontEndTest, ConcurrentSubmitsKeepExactAccounting) {
+  // The tsan-watched test: several threads push mixed clean/degraded groups
+  // through one front end; the stats must stay exact under contention.
+  TouchFrontEnd frontend(server_.get());
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 12;
+
+  const auto touch = synth::GenerateContactSet(synth::MakeTouchSpecs(), synth::NoiseModel{},
+                                               /*per_class=*/2, /*seed=*/8);
+  const auto single = synth::GenerateSet(synth::MakeEightDirectionSpecs(),
+                                         synth::NoiseModel{}, /*per_class=*/3, /*seed=*/9);
+
+  std::vector<std::thread> threads;
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const SessionId session = tid * 1000 + i;
+        geom::ContactGroup group;
+        switch (i % 3) {
+          case 0:
+            group = touch[i % touch.size()].groups[i % 2];
+            break;
+          case 1:
+            group = synth::AsContactGroup(
+                single[i % single.size()].samples[i % 3].gesture);
+            break;
+          default:
+            group = synth::AsContactGroup(
+                single[i % single.size()].samples[i % 3].gesture);
+            group.AddContact(Palm(5));
+            break;
+        }
+        (void)frontend.Submit(session, /*user=*/0, /*stroke=*/0, group);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  const TouchFrontEndStats stats = frontend.Stats();
+  EXPECT_EQ(stats.groups_in, kThreads * kPerThread);
+  EXPECT_TRUE(stats.Balanced()) << stats.ToString();
+  const robust::FaultStats& fs = stats.faults;
+  EXPECT_EQ(fs.contacts_tracked,
+            fs.contacts_passed_clean + fs.contacts_repaired + fs.contacts_rejected);
+  (void)Results();  // drain the server before the front end goes away
+}
+
+}  // namespace
+}  // namespace grandma::serve

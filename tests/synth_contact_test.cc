@@ -1,0 +1,102 @@
+#include "synth/contact_synth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "geom/contact.h"
+#include "robust/contact_tracker.h"
+#include "synth/generator.h"
+
+namespace grandma::synth {
+namespace {
+
+TEST(ContactSynthTest, TouchSpecsCoverTheGestureFamilies) {
+  const auto specs = MakeTouchSpecs();
+  std::set<std::string> names;
+  for (const TouchSpec& spec : specs) {
+    EXPECT_GE(spec.fingers.size(), 2u) << spec.class_name;
+    names.insert(spec.class_name);
+  }
+  EXPECT_TRUE(names.count("pinch"));
+  EXPECT_TRUE(names.count("spread"));
+  EXPECT_TRUE(names.count("rotate-cw"));
+  EXPECT_TRUE(names.count("rotate-ccw"));
+  EXPECT_TRUE(names.count("swipe-right"));
+  EXPECT_TRUE(names.count("tap-two"));
+  EXPECT_EQ(names.size(), specs.size()) << "duplicate class names";
+}
+
+TEST(ContactSynthTest, GroupsHaveFullContactLifetimes) {
+  Rng rng(5);
+  const auto specs = MakeTouchSpecs();
+  for (const TouchSpec& spec : specs) {
+    const geom::ContactGroup group = GenerateContactGroup(spec, NoiseModel{}, rng);
+    ASSERT_EQ(group.size(), spec.fingers.size()) << spec.class_name;
+    double first_down = group[0].StartTime();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const geom::Contact& c = group[i];
+      EXPECT_EQ(c.id, static_cast<std::int32_t>(i) + 1);
+      EXPECT_GT(c.area, 0.0);
+      EXPECT_LT(c.area, 150.0) << "a fingertip, not a palm";
+      EXPECT_FALSE(c.stroke.empty());
+      first_down = std::min(first_down, c.StartTime());
+      // Staggered landing stays within the spec's bound.
+      EXPECT_LE(c.StartTime(), spec.max_start_stagger_ms + 1e-9);
+      // Timestamps are ordered within each contact.
+      for (std::size_t p = 1; p < c.stroke.size(); ++p) {
+        EXPECT_GT(c.stroke[p].t, c.stroke[p - 1].t);
+      }
+    }
+    EXPECT_DOUBLE_EQ(first_down, 0.0) << "first finger lands at t=0";
+  }
+}
+
+TEST(ContactSynthTest, GenerationIsDeterministicInTheSeed) {
+  const auto specs = MakeTouchSpecs();
+  const auto a = GenerateContactSet(specs, NoiseModel{}, /*per_class=*/3, /*seed=*/99);
+  const auto b = GenerateContactSet(specs, NoiseModel{}, /*per_class=*/3, /*seed=*/99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].class_name, b[s].class_name);
+    ASSERT_EQ(a[s].groups.size(), b[s].groups.size());
+    for (std::size_t g = 0; g < a[s].groups.size(); ++g) {
+      EXPECT_EQ(a[s].groups[g], b[s].groups[g]);
+    }
+  }
+  const auto c = GenerateContactSet(specs, NoiseModel{}, /*per_class=*/3, /*seed=*/100);
+  EXPECT_NE(a[0].groups[0], c[0].groups[0]) << "different seeds differ";
+}
+
+TEST(ContactSynthTest, CleanGroupsNeedNoRepair) {
+  // The synth's whole point: its traces are device-realistic but *clean* —
+  // the tracker must pass every one untouched, or the soak's taint
+  // accounting would blame the generator for injector damage.
+  robust::ContactTracker tracker;
+  const auto batches = GenerateContactSet(MakeTouchSpecs(), NoiseModel{}, /*per_class=*/5,
+                                          /*seed=*/2024);
+  for (const auto& batch : batches) {
+    for (const geom::ContactGroup& group : batch.groups) {
+      robust::ContactReport report;
+      auto out = tracker.Track(group, &report);
+      ASSERT_TRUE(out.ok()) << batch.class_name << ": " << out.status().message();
+      EXPECT_EQ(report.contacts_repaired, 0u) << batch.class_name;
+      EXPECT_EQ(report.contacts_rejected, 0u) << batch.class_name;
+      EXPECT_EQ(out->group, group) << batch.class_name;
+    }
+  }
+}
+
+TEST(ContactSynthTest, AsContactGroupWrapsASingleStroke) {
+  Rng rng(1);
+  const auto sample = Generate(PathSpec{}, NoiseModel{}, rng);
+  const geom::ContactGroup group = AsContactGroup(sample.gesture, /*id=*/9, /*area=*/42.0);
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0].id, 9);
+  EXPECT_DOUBLE_EQ(group[0].area, 42.0);
+  EXPECT_EQ(group[0].stroke, sample.gesture);
+}
+
+}  // namespace
+}  // namespace grandma::synth

@@ -1,0 +1,263 @@
+#include "toolkit/touch_attributes.h"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "geom/contact.h"
+#include "geom/gesture.h"
+#include "synth/contact_synth.h"
+#include "synth/generator.h"
+#include "toolkit/semantics.h"
+
+namespace grandma::toolkit {
+namespace {
+
+geom::Contact C(std::int32_t id, std::vector<geom::TimedPoint> pts) {
+  geom::Contact c;
+  c.id = id;
+  c.area = 55.0;
+  c.stroke = geom::Gesture(std::move(pts));
+  return c;
+}
+
+// Two fingers converging from x = +-60 to x = +-15 over 300 ms.
+geom::ContactGroup PinchGroup() {
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (int i = 0; i <= 30; ++i) {
+    const double u = i / 30.0;
+    const double t = 300.0 * u;
+    const double x = 60.0 - 45.0 * u;
+    a.push_back({-x, 0.0, t});
+    b.push_back({x, 0.0, t});
+  }
+  return geom::ContactGroup({C(1, a), C(2, b)});
+}
+
+// Two fingers orbiting the origin at radius 50 through 90 degrees CCW.
+geom::ContactGroup RotateGroup() {
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  constexpr double kPi = 3.14159265358979323846;
+  for (int i = 0; i <= 30; ++i) {
+    const double u = i / 30.0;
+    const double t = 300.0 * u;
+    const double angle = kPi / 2.0 * u;
+    a.push_back({50.0 * std::cos(angle), 50.0 * std::sin(angle), t});
+    b.push_back({-50.0 * std::cos(angle), -50.0 * std::sin(angle), t});
+  }
+  return geom::ContactGroup({C(1, a), C(2, b)});
+}
+
+// Two parallel fingers translating 120 px right over 300 ms.
+geom::ContactGroup SwipeGroup() {
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (int i = 0; i <= 30; ++i) {
+    const double u = i / 30.0;
+    const double t = 300.0 * u;
+    a.push_back({120.0 * u, 20.0, t});
+    b.push_back({120.0 * u, -20.0, t});
+  }
+  return geom::ContactGroup({C(1, a), C(2, b)});
+}
+
+geom::ContactGroup TapGroup() {
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (int i = 0; i <= 8; ++i) {
+    const double t = 15.0 * i;  // 120 ms dwell
+    a.push_back({-20.0, 0.0, t});
+    b.push_back({20.0, 0.0, t});
+  }
+  return geom::ContactGroup({C(1, a), C(2, b)});
+}
+
+TEST(TouchAttributesTest, KindNamesAreExhaustiveAndDistinct) {
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < kNumTouchGestureKinds; ++k) {
+    const std::string name = TouchGestureKindName(static_cast<TouchGestureKind>(k));
+    EXPECT_NE(name, "unknown");
+    for (const std::string& seen : names) {
+      EXPECT_NE(name, seen);
+    }
+    names.push_back(name);
+  }
+}
+
+TEST(TouchAttributesTest, PinchShrinksAbsoluteScale) {
+  const TouchTrack track = ComputeTouchTrack(PinchGroup());
+  EXPECT_EQ(track.kind, TouchGestureKind::kPinch);
+  EXPECT_NEAR(track.final_scale, 15.0 / 60.0, 1e-9);
+  EXPECT_NEAR(track.total_rotation, 0.0, 1e-9);
+  EXPECT_NEAR(track.translation_px, 0.0, 1e-9);
+  // The logical center never moves off the midpoint.
+  for (const TouchFrame& f : track.frames) {
+    EXPECT_NEAR(f.cx, 0.0, 1e-9);
+    EXPECT_NEAR(f.cy, 0.0, 1e-9);
+    EXPECT_EQ(f.active, 2u);
+  }
+  // Scale decreases monotonically for a pure pinch.
+  for (std::size_t i = 1; i < track.frames.size(); ++i) {
+    EXPECT_LE(track.frames[i].scale, track.frames[i - 1].scale + 1e-12);
+  }
+}
+
+TEST(TouchAttributesTest, RotateAccumulatesRelativeAngle) {
+  const TouchTrack track = ComputeTouchTrack(RotateGroup());
+  EXPECT_EQ(track.kind, TouchGestureKind::kRotate);
+  EXPECT_NEAR(track.total_rotation, 3.14159265358979323846 / 2.0, 1e-6);
+  EXPECT_NEAR(track.final_scale, 1.0, 1e-9);
+}
+
+TEST(TouchAttributesTest, SwipeTracksTheLogicalCenter) {
+  const TouchTrack track = ComputeTouchTrack(SwipeGroup());
+  EXPECT_EQ(track.kind, TouchGestureKind::kSwipe);
+  EXPECT_NEAR(track.translation_px, 120.0, 1e-9);
+  EXPECT_NEAR(track.final_scale, 1.0, 1e-9);
+  EXPECT_NEAR(track.total_rotation, 0.0, 1e-9);
+  // Center x advances monotonically, y stays on the midline.
+  for (std::size_t i = 1; i < track.frames.size(); ++i) {
+    EXPECT_GT(track.frames[i].cx, track.frames[i - 1].cx);
+    EXPECT_NEAR(track.frames[i].cy, 0.0, 1e-9);
+  }
+}
+
+TEST(TouchAttributesTest, ShortDwellIsATap) {
+  const TouchTrack track = ComputeTouchTrack(TapGroup());
+  EXPECT_EQ(track.kind, TouchGestureKind::kTap);
+}
+
+TEST(TouchAttributesTest, SingleContactRoutesToTheStrokePath) {
+  std::vector<geom::TimedPoint> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({5.0 * i, 0.0, 10.0 * i});
+  }
+  const geom::ContactGroup group({C(1, pts)});
+  const TouchTrack track = ComputeTouchTrack(group);
+  EXPECT_EQ(track.kind, TouchGestureKind::kSingleStroke);
+  EXPECT_EQ(track.primary_index, 0u);
+  // Frames still stream (active = 1) so manip semantics can follow a finger.
+  EXPECT_EQ(track.frames.size(), pts.size());
+}
+
+TEST(TouchAttributesTest, PrimaryContactIsTheLongestPath) {
+  std::vector<geom::TimedPoint> short_pts = {{0, 0, 0}, {5, 0, 10}};
+  std::vector<geom::TimedPoint> long_pts;
+  for (int i = 0; i < 30; ++i) {
+    long_pts.push_back({10.0 * i, 0.0, 10.0 * i});
+  }
+  const geom::ContactGroup group({C(1, short_pts), C(2, long_pts)});
+  EXPECT_EQ(PrimaryContactIndex(group), 1u);
+}
+
+TEST(TouchAttributesTest, StaggeredLifetimesHoldAttributesWhileOneFingerIsDown) {
+  // Finger 2 lands 40 ms late and lifts 40 ms early: frames before/after
+  // carry active = 1 and hold the last two-finger angle/scale.
+  std::vector<geom::TimedPoint> a;
+  std::vector<geom::TimedPoint> b;
+  for (int i = 0; i <= 30; ++i) {
+    const double t = 10.0 * i;
+    a.push_back({-30.0, 0.0, t});
+    if (t >= 40.0 && t <= 260.0) {
+      b.push_back({30.0, 0.0, t});
+    }
+  }
+  const TouchTrack track = ComputeTouchTrack(geom::ContactGroup({C(1, a), C(2, b)}));
+  ASSERT_FALSE(track.frames.empty());
+  EXPECT_EQ(track.frames.front().active, 1u);
+  EXPECT_EQ(track.frames.back().active, 1u);
+  EXPECT_DOUBLE_EQ(track.frames.front().scale, 1.0);
+  EXPECT_DOUBLE_EQ(track.frames.back().scale, 1.0);  // held, nothing moved
+  bool saw_two = false;
+  for (const TouchFrame& f : track.frames) {
+    saw_two = saw_two || f.active == 2;
+  }
+  EXPECT_TRUE(saw_two);
+}
+
+TEST(TouchAttributesTest, SynthSpecsClassifyAsTheirFamilies) {
+  // The generator's canonical specs land in the kinds their names promise.
+  const auto batches = synth::GenerateContactSet(synth::MakeTouchSpecs(),
+                                                 synth::NoiseModel{}, /*per_class=*/4,
+                                                 /*seed=*/77);
+  for (const auto& batch : batches) {
+    TouchGestureKind want;
+    if (batch.class_name == "pinch" || batch.class_name == "spread") {
+      want = TouchGestureKind::kPinch;
+    } else if (batch.class_name.rfind("rotate", 0) == 0) {
+      want = TouchGestureKind::kRotate;
+    } else if (batch.class_name.rfind("swipe", 0) == 0) {
+      want = TouchGestureKind::kSwipe;
+    } else {
+      want = TouchGestureKind::kTap;
+    }
+    for (const geom::ContactGroup& group : batch.groups) {
+      const TouchTrack track = ComputeTouchTrack(group);
+      EXPECT_EQ(track.kind, want) << batch.class_name << ": " << track.ToString();
+    }
+  }
+}
+
+TEST(TouchAttributesTest, RotateDirectionsHaveOppositeSigns) {
+  const auto batches = synth::GenerateContactSet(synth::MakeTouchSpecs(),
+                                                 synth::NoiseModel{}, /*per_class=*/2,
+                                                 /*seed=*/78);
+  for (const auto& batch : batches) {
+    for (const geom::ContactGroup& group : batch.groups) {
+      const TouchTrack track = ComputeTouchTrack(group);
+      if (batch.class_name == "rotate-cw") {
+        EXPECT_LT(track.total_rotation, 0.0);
+      } else if (batch.class_name == "rotate-ccw") {
+        EXPECT_GT(track.total_rotation, 0.0);
+      }
+    }
+  }
+}
+
+TEST(TouchAttributesTest, DispatchFeedsManipPerFrameWithTheLogicalCenter) {
+  const geom::ContactGroup group = SwipeGroup();
+  const TouchTrack track = ComputeTouchTrack(group);
+  ASSERT_EQ(track.kind, TouchGestureKind::kSwipe);
+
+  SemanticsTable table;
+  std::vector<geom::TimedPoint> centers;
+  bool recog_ran = false;
+  bool done_ran = false;
+  GestureSemantics sem;
+  sem.recog = [&](SemanticContext&) -> std::any {
+    recog_ran = true;
+    return std::string("swiping");
+  };
+  sem.manip = [&](SemanticContext& ctx) {
+    centers.push_back({ctx.currentX(), ctx.currentY(), ctx.currentT()});
+  };
+  sem.done = [&](SemanticContext& ctx) {
+    done_ran = true;
+    EXPECT_EQ(ctx.RecogAs<std::string>(), "swiping");
+  };
+  table.Set("swipe", std::move(sem));
+
+  ASSERT_TRUE(DispatchTouchSemantics(track, group, table, /*view=*/nullptr));
+  EXPECT_TRUE(recog_ran);
+  EXPECT_TRUE(done_ran);
+  ASSERT_EQ(centers.size(), track.frames.size());
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(centers[i].x, track.frames[i].cx);
+    EXPECT_DOUBLE_EQ(centers[i].y, track.frames[i].cy);
+  }
+}
+
+TEST(TouchAttributesTest, DispatchWithoutSemanticsIsANoOp) {
+  const geom::ContactGroup group = SwipeGroup();
+  const TouchTrack track = ComputeTouchTrack(group);
+  SemanticsTable table;  // empty: no semantics registered for "swipe"
+  EXPECT_FALSE(DispatchTouchSemantics(track, group, table, nullptr));
+}
+
+}  // namespace
+}  // namespace grandma::toolkit
