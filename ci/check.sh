@@ -15,8 +15,12 @@
 #   2f. touch: multi-contact robustness gates — contact lifecycle repair,
 #      touch-attribute classification, front-end routing, touch-noise soak
 #      smoke (label `touch`)
-#   4. tsan: the threaded serve, tracing, personalization, and touch
-#      layers (labels `serve`, `obs`, `personalize`, `touch`; the serve
+#   2g. lexicon: large-lexicon n-best gates — lexicon generation, n-best
+#      invariants, selection determinism, serve n-best wiring, scaling
+#      bench smoke (label `lexicon`)
+#   4. tsan: the threaded serve, tracing, personalization, touch, and
+#      lexicon layers (labels `serve`, `obs`, `personalize`, `touch`,
+#      `lexicon`; the serve
 #      label includes the admission/deadline/retry and
 #      concurrent-metrics-snapshot tests alongside hot-swap) under
 #      ThreadSanitizer
@@ -80,6 +84,15 @@ run ctest --preset default -L personalize
 #     bit-identical attribute streams) — label `touch`, runs in the tier-1
 #     build tree. The same label rides the tsan preset below.
 run ctest --preset default -L touch
+
+# 2g. Large-lexicon gate: extensive-lexicon generation, n-best ranking
+#     invariants (cross-tier identity at 200 classes), lexicon-selection
+#     determinism/collision handling, the serve n-best wiring, and the
+#     lexicon-scale bench smoke (accuracy/latency rows at 11/50/200 classes,
+#     selection-vs-prefix comparison, n-best zero-allocation gate) — label
+#     `lexicon`, runs in the tier-1 build tree. The same label rides the
+#     tsan preset below.
+run ctest --preset default -L lexicon
 
 # 3. Memory-error and UB gates, full suite.
 for san in asan ubsan; do

@@ -29,6 +29,30 @@ Classification GestureClassifier::ClassifyFeaturesView(linalg::VecView full_feat
   return linear_.ClassifyView(masked, scores, diff);
 }
 
+std::size_t GestureClassifier::EvaluateNBestView(linalg::VecView full_features,
+                                                 linalg::MutVecView masked,
+                                                 linalg::MutVecView scores,
+                                                 linalg::MutVecView diff,
+                                                 std::span<NBestEntry> out,
+                                                 Classification* top) const {
+  mask_.ProjectInto(full_features, masked);
+  const std::size_t n = linear_.EvaluateNBest(masked, scores, out);
+  if (top != nullptr) {
+    if (n > 0) {
+      // out[0] already carries BestClassView's argmax and the same softmax
+      // share ClassifyView would compute; only the Mahalanobis diagnostic
+      // needs a fresh kernel call.
+      top->class_id = out[0].class_id;
+      top->score = out[0].score;
+      top->probability = out[0].probability;
+      top->mahalanobis_squared = linear_.MahalanobisSquaredView(masked, out[0].class_id, diff);
+    } else {
+      *top = linear_.ClassifyView(masked, scores, diff);
+    }
+  }
+  return n;
+}
+
 GestureClassifier GestureClassifier::FromParameters(ClassRegistry registry,
                                                     features::FeatureMask mask,
                                                     LinearClassifier linear) {

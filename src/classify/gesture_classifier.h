@@ -3,6 +3,7 @@
 #ifndef GRANDMA_SRC_CLASSIFY_GESTURE_CLASSIFIER_H_
 #define GRANDMA_SRC_CLASSIFY_GESTURE_CLASSIFIER_H_
 
+#include <span>
 #include <string>
 
 #include "classify/linear_classifier.h"
@@ -45,6 +46,15 @@ class GestureClassifier {
   // to ClassifyFeatures, which is implemented on top of it.
   Classification ClassifyFeaturesView(linalg::VecView full_features, linalg::MutVecView masked,
                                       linalg::MutVecView scores, linalg::MutVecView diff) const;
+
+  // Ranked n-best over a full 13-entry feature view, same scratch contract
+  // as ClassifyFeaturesView. When `top` is non-null it also fills the full
+  // Classification of the winner (argmax + probability + Mahalanobis),
+  // bit-identical to ClassifyFeaturesView on the same features (`diff` is
+  // only touched in that case). Returns the number of entries written.
+  std::size_t EvaluateNBestView(linalg::VecView full_features, linalg::MutVecView masked,
+                                linalg::MutVecView scores, linalg::MutVecView diff,
+                                std::span<NBestEntry> out, Classification* top = nullptr) const;
 
   const std::string& ClassName(ClassId c) const { return registry_.Name(c); }
   const ClassRegistry& registry() const { return registry_; }

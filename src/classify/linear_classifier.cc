@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/simd.h"
 #include "linalg/solve.h"
 #include "linalg/stats.h"
 #include "obs/trace.h"
@@ -181,13 +182,12 @@ void LinearClassifier::EvaluateBatchInto(const double* features, std::size_t bat
   if (feature_stride < dim || scores_stride < num_classes()) {
     throw std::invalid_argument("LinearClassifier::EvaluateBatchInto: bad strides");
   }
-  // One dispatched kernel call per row: batched results are the per-row
-  // results, by construction.
-  for (std::size_t r = 0; r < batch; ++r) {
-    linalg::simd::EvaluateAll(soa_weights_.data(), class_stride_, biases_.data(),
-                              features + r * feature_stride, dim, scores + r * scores_stride,
-                              num_classes());
-  }
+  // One dispatched call for the whole batch: the kernel tiles classes so a
+  // weight-block sweep serves every row (not one row each), and pairs rows
+  // inside a tile. Results are bit-identical to row-at-a-time evaluation,
+  // so batched results are still the per-row results, by construction.
+  linalg::simd::EvaluateBatch(soa_weights_.data(), class_stride_, biases_.data(), features,
+                              batch, feature_stride, scores, scores_stride, dim, num_classes());
 }
 
 void LinearClassifier::EvaluateInto(linalg::VecView f, linalg::MutVecView scores) const {
@@ -202,13 +202,15 @@ std::vector<double> LinearClassifier::Evaluate(const linalg::Vector& f) const {
 
 ClassId LinearClassifier::BestClassView(linalg::VecView f, linalg::MutVecView scores) const {
   EvaluateInto(f, scores);
-  ClassId best = 0;
-  for (ClassId c = 1; c < scores.size(); ++c) {
-    if (scores[c] > scores[best]) {
-      best = c;
-    }
-  }
-  return best;
+  // Dispatched first-max scan: first index wins ties on every tier.
+  return static_cast<ClassId>(linalg::simd::ArgMax(scores.data(), scores.size()));
+}
+
+bool LinearClassifier::EvaluateWinnerInPrefix(linalg::VecView f, std::size_t split) const {
+  assert(trained());
+  assert(f.size() == dimension());
+  return linalg::simd::EvaluateArgMaxInPrefix(soa_weights_.data(), class_stride_, biases_.data(),
+                                              f.data(), dimension(), split, num_classes());
 }
 
 Classification LinearClassifier::ClassifyView(linalg::VecView f, linalg::MutVecView scores,
@@ -221,6 +223,55 @@ Classification LinearClassifier::ClassifyView(linalg::VecView f, linalg::MutVecV
   result.probability = RecognitionProbability(linalg::VecView(scores), best);
   result.mahalanobis_squared = MahalanobisSquaredView(f, best, diff);
   return result;
+}
+
+std::size_t LinearClassifier::EvaluateNBest(linalg::VecView f, linalg::MutVecView scores,
+                                            std::span<NBestEntry> out) const {
+  TRACE_SPAN_FINE("classify.nbest");
+  EvaluateAllInto(f, scores);
+  const std::size_t n = std::min(out.size(), scores.size());
+  if (n == 0) {
+    return 0;
+  }
+  // Repeated first-max scans under the total order (score desc, class id
+  // asc): rank k is the maximum among classes strictly after rank k-1 in
+  // that order. O(n * C) with n small, no allocation, deterministic — and
+  // rank 0 is exactly BestClassView's strict-> argmax.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  double prev_score = 0.0;
+  std::size_t prev_id = kNone;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t best = kNone;
+    for (std::size_t c = 0; c < scores.size(); ++c) {
+      if (prev_id != kNone &&
+          (scores[c] > prev_score || (scores[c] == prev_score && c <= prev_id))) {
+        continue;  // already ranked (or would rank earlier than) rank k-1
+      }
+      if (best == kNone || scores[c] > scores[best]) {
+        best = c;
+      }
+    }
+    if (best == kNone) {
+      return k;  // fewer distinct candidates than requested (NaN scores)
+    }
+    out[k].class_id = best;
+    out[k].score = scores[best];
+    prev_score = scores[best];
+    prev_id = best;
+  }
+  // Calibrate probabilities against ALL classes with the winner as the
+  // softmax anchor — the same summation order as RecognitionProbability, so
+  // rank 0's share (exp(0) / denom == 1 / denom) is bit-identical to
+  // Classification::probability.
+  const double v_top = out[0].score;
+  double denom = 0.0;
+  for (double v_j : scores) {
+    denom += std::exp(v_j - v_top);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k].probability = std::exp(out[k].score - v_top) / denom;
+  }
+  return n;
 }
 
 Classification LinearClassifier::Classify(const linalg::Vector& f) const {

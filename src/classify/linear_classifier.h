@@ -7,6 +7,7 @@
 #define GRANDMA_SRC_CLASSIFY_LINEAR_CLASSIFIER_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "classify/training_set.h"
@@ -30,6 +31,21 @@ struct Classification {
   // values flag outliers that belong to no trained class.
   double mahalanobis_squared = 0.0;
 };
+
+// One rank of an n-best result: a class, its evaluation v_c, and its
+// calibrated probability share exp(v_c - v_top) / sum_j exp(v_j - v_top).
+// The shares over ALL classes sum to 1 (Rubine's P(correct) generalized to
+// every rank), so clients can read rank gaps as confidence margins.
+struct NBestEntry {
+  ClassId class_id = 0;
+  double score = 0.0;
+  double probability = 0.0;
+};
+
+// How many ranked alternatives the fixed-size n-best surfaces carry
+// (FireEvent, serve::RecognitionResult). EvaluateNBest itself accepts any
+// span length.
+inline constexpr std::size_t kMaxNBest = 4;
 
 // Linear discriminator with per-class weights and biases.
 //
@@ -106,10 +122,33 @@ class LinearClassifier {
   // size num_classes().
   ClassId BestClassView(linalg::VecView f, linalg::MutVecView scores) const;
 
+  // True when BestClassView's winner would land in [0, split) — WITHOUT
+  // materializing the scores (no scratch at all). For class layouts that
+  // keep the interesting subset in a prefix (the AUC's complete-first set
+  // order) this replaces the whole evaluate + argmax + membership-test
+  // chain with one fused sweep of the weight block; the answer is identical
+  // to `BestClassView(f, scores) < split` on every dispatch tier, NaN
+  // features included (see simd::EvaluateArgMaxInPrefix).
+  bool EvaluateWinnerInPrefix(linalg::VecView f, std::size_t split) const;
+
   // Full Classification (argmax + probability + Mahalanobis) reusing caller
   // scratch: `scores` sized num_classes(), `diff` sized dimension().
   Classification ClassifyView(linalg::VecView f, linalg::MutVecView scores,
                               linalg::MutVecView diff) const;
+
+  // Top-n classes by evaluation score over one batched EvaluateAllInto pass.
+  // Writes min(out.size(), num_classes()) entries into `out`, sorted by
+  // descending score with ties broken toward the lower class id — the same
+  // strict-> first-max rule as BestClassView, so out[0].class_id and
+  // out[0].score are bit-identical to Classify/ClassifyView on the same
+  // features, and out[0].probability is bit-identical to
+  // Classification::probability (both reduce to 1 / sum_j exp(v_j - v_top)
+  // with the same summation order). Scores come from the dispatched SoA
+  // kernel, so the whole ranking is bit-identical across SIMD tiers.
+  // `scores` is caller scratch sized num_classes(); returns the number of
+  // entries written. Allocation-free.
+  std::size_t EvaluateNBest(linalg::VecView f, linalg::MutVecView scores,
+                            std::span<NBestEntry> out) const;
 
   // Squared Mahalanobis distance with caller scratch (`diff` sized
   // dimension()).

@@ -2,23 +2,51 @@
 
 namespace grandma::classify {
 
+const char* RejectReasonName(RejectReason r) {
+  switch (r) {
+    case RejectReason::kAccepted:
+      return "accepted";
+    case RejectReason::kLowProbability:
+      return "low_probability";
+    case RejectReason::kOutlierDistance:
+      return "outlier_distance";
+    case RejectReason::kNearTie:
+      return "near_tie";
+  }
+  return "unknown";
+}
+
+const char* NBestActionName(NBestAction a) {
+  switch (a) {
+    case NBestAction::kAccept:
+      return "accept";
+    case NBestAction::kDefer:
+      return "defer";
+    case NBestAction::kAskAgain:
+      return "ask_again";
+  }
+  return "unknown";
+}
+
+double EffectiveMahalanobisLimit(const RejectionPolicy& policy, std::size_t dimension) {
+  if (policy.max_mahalanobis_squared > 0.0) {
+    return policy.max_mahalanobis_squared;
+  }
+  // Default bound grows with dimension: half the squared dimension is
+  // comfortably beyond the bulk of a chi-squared(dimension) distribution
+  // for the feature counts used here.
+  const double d = static_cast<double>(dimension);
+  return 0.5 * d * d;
+}
+
 RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classification& result,
                                std::size_t dimension) {
   if (policy.use_probability && result.probability < policy.min_probability) {
     return RejectReason::kLowProbability;
   }
-  if (policy.use_distance) {
-    double limit = policy.max_mahalanobis_squared;
-    if (limit <= 0.0) {
-      // Default bound grows with dimension: half the squared dimension is
-      // comfortably beyond the bulk of a chi-squared(dimension) distribution
-      // for the feature counts used here.
-      const double d = static_cast<double>(dimension);
-      limit = 0.5 * d * d;
-    }
-    if (result.mahalanobis_squared > limit) {
-      return RejectReason::kOutlierDistance;
-    }
+  if (policy.use_distance &&
+      result.mahalanobis_squared > EffectiveMahalanobisLimit(policy, dimension)) {
+    return RejectReason::kOutlierDistance;
   }
   return RejectReason::kAccepted;
 }
@@ -26,6 +54,37 @@ RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classificati
 bool ShouldReject(const RejectionPolicy& policy, const Classification& result,
                   std::size_t dimension) {
   return EvaluateRejection(policy, result, dimension) != RejectReason::kAccepted;
+}
+
+NBestDecision DecideNBest(const RejectionPolicy& policy, std::span<const NBestEntry> nbest,
+                          double top1_mahalanobis_sq, std::size_t dimension) {
+  NBestDecision decision;
+  if (nbest.empty()) {
+    decision.action = NBestAction::kAskAgain;
+    decision.reason = RejectReason::kOutlierDistance;
+    return decision;
+  }
+  decision.margin = nbest.size() > 1 ? nbest[0].probability - nbest[1].probability
+                                     : nbest[0].probability;
+  // Outliers first: when the stroke is far from every trained class, the
+  // ranked alternatives are all noise and showing them would mislead.
+  if (policy.use_distance &&
+      top1_mahalanobis_sq > EffectiveMahalanobisLimit(policy, dimension)) {
+    decision.action = NBestAction::kAskAgain;
+    decision.reason = RejectReason::kOutlierDistance;
+    return decision;
+  }
+  if (policy.use_probability && nbest[0].probability < policy.min_probability) {
+    decision.action = NBestAction::kDefer;
+    decision.reason = RejectReason::kLowProbability;
+    return decision;
+  }
+  if (policy.min_margin > 0.0 && decision.margin < policy.min_margin) {
+    decision.action = NBestAction::kDefer;
+    decision.reason = RejectReason::kNearTie;
+    return decision;
+  }
+  return decision;
 }
 
 }  // namespace grandma::classify

@@ -5,6 +5,8 @@
 #ifndef GRANDMA_SRC_CLASSIFY_REJECTION_H_
 #define GRANDMA_SRC_CLASSIFY_REJECTION_H_
 
+#include <span>
+
 #include "classify/linear_classifier.h"
 
 namespace grandma::classify {
@@ -17,6 +19,11 @@ struct RejectionPolicy {
   // we default to a generous half-F-squared bound computed from dimension at
   // check time when this is <= 0.
   double max_mahalanobis_squared = 0.0;
+  // N-best only: defer when the winner's probability share leads the
+  // runner-up's by less than this (a near-tie the client should resolve).
+  // <= 0 disables the margin test. Ignored by EvaluateRejection, which sees
+  // a single Classification and has no runner-up to measure against.
+  double min_margin = 0.0;
   // Disable either test.
   bool use_probability = true;
   bool use_distance = true;
@@ -26,7 +33,16 @@ enum class RejectReason {
   kAccepted,
   kLowProbability,
   kOutlierDistance,
+  // N-best only: winner and runner-up probability shares within min_margin.
+  kNearTie,
 };
+
+const char* RejectReasonName(RejectReason r);
+
+// The distance bound EvaluateRejection/DecideNBest actually apply: the
+// configured max_mahalanobis_squared when positive, otherwise the
+// dimension-derived default (0.5 * d^2) computed at check time.
+double EffectiveMahalanobisLimit(const RejectionPolicy& policy, std::size_t dimension);
 
 // Applies `policy` to an already-computed classification of `f`.
 RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classification& result,
@@ -35,6 +51,35 @@ RejectReason EvaluateRejection(const RejectionPolicy& policy, const Classificati
 // True when the result should be rejected.
 bool ShouldReject(const RejectionPolicy& policy, const Classification& result,
                   std::size_t dimension);
+
+// What a client should do with an n-best result ("High Five" semantics):
+// accept the winner, show the ranked alternatives and defer to the user, or
+// ask for the gesture again because it resembles nothing that was trained.
+enum class NBestAction {
+  kAccept,
+  kDefer,
+  kAskAgain,
+};
+
+const char* NBestActionName(NBestAction a);
+
+struct NBestDecision {
+  NBestAction action = NBestAction::kAccept;
+  RejectReason reason = RejectReason::kAccepted;
+  // Winner's probability share minus the runner-up's (the winner's share
+  // itself when there is no runner-up). Reported even when accepted.
+  double margin = 0.0;
+};
+
+// Maps an n-best result onto a client-facing action. Precedence: an outlier
+// distance (winner's Mahalanobis beyond EffectiveMahalanobisLimit) is
+// kAskAgain — the stroke looks like nothing trained, so re-drawing beats
+// picking among alternatives; a low winner probability or a sub-min_margin
+// near-tie is kDefer — the ranked alternatives are worth showing. An empty
+// `nbest` (untrained/degenerate caller) is kAskAgain. `top1_mahalanobis_sq`
+// is the winner's Classification::mahalanobis_squared.
+NBestDecision DecideNBest(const RejectionPolicy& policy, std::span<const NBestEntry> nbest,
+                          double top1_mahalanobis_sq, std::size_t dimension);
 
 }  // namespace grandma::classify
 

@@ -2,11 +2,31 @@
 
 #include <stdexcept>
 
+#include "linalg/simd.h"
+
 namespace grandma::eager {
+
+void Auc::IndexSets() {
+  num_complete_ = 0;
+  for (const SetInfo& s : sets_) {
+    if (s.complete) {
+      ++num_complete_;
+    }
+  }
+  complete_prefix_ = true;
+  for (std::size_t k = 0; k < sets_.size(); ++k) {
+    if (sets_[k].complete != (k < num_complete_)) {
+      complete_prefix_ = false;
+      break;
+    }
+  }
+}
 
 AucTrainReport Auc::Train(const SubgesturePartition& partition, const AucOptions& options) {
   AucTrainReport report;
   sets_.clear();
+  num_complete_ = 0;
+  complete_prefix_ = false;
   linear_ = classify::LinearClassifier();
 
   // Gather the non-empty sets into a dense AUC class list; complete sets
@@ -37,6 +57,7 @@ AucTrainReport Auc::Train(const SubgesturePartition& partition, const AucOptions
     }
     ++next_id;
   }
+  IndexSets();  // Complete-first layout: complete_prefix_ comes out true.
 
   if (!any_complete && !any_incomplete) {
     throw std::invalid_argument("Auc::Train: empty partition");
@@ -125,6 +146,15 @@ bool Auc::UnambiguousView(linalg::VecView masked_features, linalg::MutVecView sc
     case Mode::kNormal:
       break;
   }
+  if (complete_prefix_) {
+    // D(s) needs only which SIDE of the complete/incomplete split the
+    // winning set is on, never its index — and Train lays complete sets out
+    // as the id prefix. The fused kernel answers that in one sweep of the
+    // weight block with no score stores and no argmax pass; `scores` stays
+    // untouched scratch. Same answer as the evaluate + argmax path on every
+    // tier (see simd::EvaluateArgMaxInPrefix).
+    return linear_.EvaluateWinnerInPrefix(masked_features, num_complete_);
+  }
   const classify::ClassId winner = linear_.BestClassView(masked_features, scores);
   return sets_[winner].complete;
 }
@@ -144,16 +174,27 @@ std::size_t Auc::FirstUnambiguous(const double* masked_rows, std::size_t batch,
   }
   const std::size_t sets = linear_.num_classes();
   assert(scores_block.size() >= batch * sets);
+  if (complete_prefix_) {
+    // Per-row fused fire check (see UnambiguousView): early-out on the first
+    // complete winner without ever materializing a score block, so the batch
+    // costs one weight-block sweep per row and nothing else. scores_block
+    // stays untouched scratch.
+    const std::size_t dim = linear_.dimension();
+    for (std::size_t r = 0; r < batch; ++r) {
+      if (linear_.EvaluateWinnerInPrefix(linalg::VecView(masked_rows + r * stride, dim),
+                                         num_complete_)) {
+        return r;
+      }
+    }
+    return kNone;
+  }
   linear_.EvaluateBatchInto(masked_rows, batch, stride, scores_block.data(), sets);
   for (std::size_t r = 0; r < batch; ++r) {
     const double* scores = scores_block.data() + r * sets;
-    // Same argmax loop as BestClassView: first index wins ties.
-    classify::ClassId winner = 0;
-    for (classify::ClassId k = 1; k < sets; ++k) {
-      if (scores[k] > scores[winner]) {
-        winner = k;
-      }
-    }
+    // Same argmax semantics as BestClassView: first index wins ties. The
+    // dispatched kernel keeps that contract across tiers, so which set wins
+    // (and therefore where the recognizer fires) is tier-independent.
+    const auto winner = static_cast<classify::ClassId>(linalg::simd::ArgMax(scores, sets));
     if (sets_[winner].complete) {
       return r;
     }
@@ -167,6 +208,7 @@ Auc Auc::FromParameters(Mode mode, classify::LinearClassifier linear,
   out.mode_ = mode;
   out.linear_ = std::move(linear);
   out.sets_ = std::move(sets);
+  out.IndexSets();
   return out;
 }
 

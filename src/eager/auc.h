@@ -103,9 +103,18 @@ class Auc {
                             std::vector<SetInfo> sets);
 
  private:
+  // Recomputes num_complete_ / complete_prefix_ from sets_.
+  void IndexSets();
+
   Mode mode_ = Mode::kUntrained;
   classify::LinearClassifier linear_;
   std::vector<SetInfo> sets_;
+  // Complete-set count, and whether all complete sets occupy the id prefix
+  // [0, num_complete_). Train always lays sets out that way; FromParameters
+  // accepts any order, so the fused winner-in-prefix fire check is gated on
+  // this flag (non-prefix layouts take the evaluate + argmax path).
+  std::size_t num_complete_ = 0;
+  bool complete_prefix_ = false;
 };
 
 }  // namespace grandma::eager

@@ -113,6 +113,16 @@ classify::Classification EagerRecognizer::Classify(linalg::VecView full_features
                                     ws.FullScoresView(), ws.DiffView(masked_dim));
 }
 
+std::size_t EagerRecognizer::ClassifyNBest(linalg::VecView full_features, Workspace& ws,
+                                           std::span<classify::NBestEntry> out,
+                                           classify::Classification* top) const {
+  TRACE_SPAN("eager.classify_nbest");
+  ws.Prepare(num_classes(), auc_.num_sets());
+  const std::size_t masked_dim = full_.mask().count();
+  return full_.EvaluateNBestView(full_features, ws.MaskedView(masked_dim), ws.FullScoresView(),
+                                 ws.DiffView(masked_dim), out, top);
+}
+
 bool EagerStream::AddPoint(const geom::TimedPoint& p) {
   // The one per-point coarse span on the hot path: everything the stream does
   // for this point (extract, snapshot, ambiguity test) nests under it.
@@ -188,7 +198,14 @@ void EagerStream::AddSpan(std::span<const geom::TimedPoint> points, FireEvent* f
           linalg::VecView(workspace_.feature_block.data() + fire_row * features::kNumFeatures,
                           features::kNumFeatures),
           workspace_.FeaturesView());
-      fire->classification = recognizer_->Classify(workspace_.FeaturesView(), workspace_);
+      if (nbest_depth_ > 0) {
+        fire->nbest_count = recognizer_->ClassifyNBest(
+            workspace_.FeaturesView(), workspace_,
+            std::span<classify::NBestEntry>(fire->nbest.data(), nbest_depth_),
+            &fire->classification);
+      } else {
+        fire->classification = recognizer_->Classify(workspace_.FeaturesView(), workspace_);
+      }
     }
   }
 }
@@ -196,6 +213,14 @@ void EagerStream::AddSpan(std::span<const geom::TimedPoint> points, FireEvent* f
 classify::Classification EagerStream::ClassifyNow() const {
   extractor_.FeaturesInto(workspace_.FeaturesView());
   return recognizer_->Classify(workspace_.FeaturesView(), workspace_);
+}
+
+std::size_t EagerStream::ClassifyNowNBest(std::span<classify::NBestEntry> out,
+                                          classify::Classification* top) const {
+  extractor_.FeaturesInto(workspace_.FeaturesView());
+  const std::size_t depth = std::min(out.size(), nbest_depth_);
+  return recognizer_->ClassifyNBest(workspace_.FeaturesView(), workspace_, out.first(depth),
+                                    top);
 }
 
 linalg::VecView EagerStream::FeaturesView() const {

@@ -5,6 +5,8 @@
 #ifndef GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_
 #define GRANDMA_SRC_EAGER_EAGER_RECOGNIZER_H_
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -94,6 +96,15 @@ class EagerRecognizer {
   // C over a full 13-entry feature view.
   classify::Classification Classify(linalg::VecView full_features, Workspace& ws) const;
 
+  // Ranked n-best over a full 13-entry feature view. Fills up to out.size()
+  // entries (sorted by descending score, calibrated probabilities over all
+  // classes) and, when `top` is non-null, the winner's full Classification —
+  // bit-identical to Classify on the same features. Allocation-free through
+  // the same Workspace scratch. Returns the number of entries written.
+  std::size_t ClassifyNBest(linalg::VecView full_features, Workspace& ws,
+                            std::span<classify::NBestEntry> out,
+                            classify::Classification* top = nullptr) const;
+
   const classify::GestureClassifier& full() const { return full_; }
   const Auc& auc() const { return auc_; }
 
@@ -119,6 +130,11 @@ struct FireEvent {
   bool fired = false;
   std::size_t fired_at = 0;
   classify::Classification classification;
+  // Ranked alternatives at the fire point, filled only when the stream's
+  // n-best depth (EagerStream::SetNBest) is nonzero. nbest[0] mirrors
+  // `classification` bit for bit.
+  std::array<classify::NBestEntry, classify::kMaxNBest> nbest{};
+  std::size_t nbest_count = 0;
 };
 
 // Per-gesture streaming session: feed mouse points as they arrive; the
@@ -157,6 +173,18 @@ class EagerStream {
   // (classifies through the stream's Workspace).
   classify::Classification ClassifyNow() const;
 
+  // Sets how many ranked alternatives ClassifyNowNBest and AddSpan's
+  // FireEvent carry (clamped to classify::kMaxNBest; 0 disables, the
+  // default, and keeps the fire path on the plain Classify kernel).
+  void SetNBest(std::size_t n) { nbest_depth_ = std::min(n, classify::kMaxNBest); }
+  std::size_t nbest_depth() const { return nbest_depth_; }
+
+  // N-best flavor of ClassifyNow: fills up to nbest_depth() entries into
+  // `out` and returns the count; `top` (when non-null) receives the winner's
+  // Classification, bit-identical to ClassifyNow. Allocation-free.
+  std::size_t ClassifyNowNBest(std::span<classify::NBestEntry> out,
+                               classify::Classification* top = nullptr) const;
+
   // Current feature snapshot, written into the stream's Workspace; the view
   // is valid until the next AddPoint/ClassifyNow/FeaturesView/Reset call.
   // Allocation-free.
@@ -185,6 +213,7 @@ class EagerStream {
   mutable Workspace workspace_;
   bool fired_ = false;
   std::size_t fired_at_ = 0;
+  std::size_t nbest_depth_ = 0;
 };
 
 }  // namespace grandma::eager

@@ -92,6 +92,52 @@ double QuadraticForm(VecView x, const double* m, VecView y);
 void EvaluateAll(const double* soa, std::size_t stride, const double* biases,
                  const double* f, std::size_t dim, double* scores, std::size_t classes);
 
+// Two feature vectors through ONE sweep of the weight block: s0/s1 get
+// exactly what two EvaluateAll calls would produce, bit for bit (each
+// point's per-class chain is the same operation sequence; pairing only
+// shares the weight loads between the two chains). This is the batch
+// evaluator's memory-bandwidth lever: at 200+ classes the SoA block
+// no longer fits L1, and pairing halves the per-point weight traffic.
+void EvaluateAll2(const double* soa, std::size_t stride, const double* biases,
+                  const double* f0, const double* f1, std::size_t dim, double* s0, double* s1,
+                  std::size_t classes);
+
+// A whole batch of feature rows through class-tiled sweeps of the weight
+// block: row r's scores land at scores + r * scores_stride and are bit-
+// identical to a row-at-a-time EvaluateAll (class tiling and row pairing
+// never reorder a per-(row, class) chain). One weight-block sweep serves
+// the entire batch — at 200+ classes the block outgrows L1 and this is the
+// difference between per-point and per-batch memory traffic.
+void EvaluateBatch(const double* soa, std::size_t stride, const double* biases,
+                   const double* features, std::size_t batch, std::size_t feature_stride,
+                   double* scores, std::size_t scores_stride, std::size_t dim,
+                   std::size_t classes);
+
+// Index of the maximum element under the running strict-> scan semantics
+// every argmax in the classifier uses: the FIRST occurrence of the maximum
+// wins ties, and the result is identical across tiers (it is an index, so
+// "bit-identical" is exact equality). The vector tiers compute the max and
+// then locate its first occurrence — equivalent to the scalar scan whenever
+// no element is NaN; any NaN input falls back to the scalar scan so the
+// NaN-never-displaces-the-winner property is preserved exactly. n == 0
+// returns 0.
+std::size_t ArgMax(const double* v, std::size_t n);
+
+// Fused evaluate + fire-side check for prefix-partitioned class layouts:
+// computes the EvaluateAll scores for `f` WITHOUT storing them and returns
+// whether the first-max winner (ArgMax semantics above) lands in the class
+// prefix [0, split). The AUC keeps complete sets in the prefix, so this is
+// its entire per-point fire decision — one weight-block sweep, no score
+// buffer, no argmax pass. Winner-in-prefix reduces to
+//   !(max over [split, classes) > max over [0, split))
+// for NaN-free scores (first-index-wins resolves exact ties to the prefix);
+// any NaN score defers to the scalar scan, so the result is identical
+// across tiers in all cases. split == 0 returns false; split >= classes
+// returns true.
+bool EvaluateArgMaxInPrefix(const double* soa, std::size_t stride, const double* biases,
+                            const double* f, std::size_t dim, std::size_t split,
+                            std::size_t classes);
+
 // --- Aligned allocation -------------------------------------------------
 
 // Cache-line alignment for the flat kernel blocks: covers 32-byte AVX2

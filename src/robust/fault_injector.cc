@@ -390,6 +390,36 @@ bool FaultInjector::ApplyContactFault(FaultKind kind, geom::ContactGroup& group)
       if (a_head.size() < 2 || b_head.size() < 2 || a_tail.size() < 2 || b_tail.size() < 2) {
         return false;
       }
+      // A real slot swap only confuses the firmware when the fingers are far
+      // enough apart that the crossed tails jump — and the tracker's un-cross
+      // pass only detects seam jumps above ContactPolicy::id_swap_jump_px.
+      // Close fingers (synth pairs run 30-120px apart) would cross with
+      // sub-threshold jumps, so slide ALL of b outward until the seam
+      // separation reaches id_swap_min_separation_px. Translating the whole
+      // contact keeps b a coherent stroke, so after the tracker un-crosses
+      // the tails both repaired streams are individually valid. No RNG draws
+      // here: injection sequences stay byte-identical across runs.
+      if (options_.id_swap_min_separation_px > 0.0) {
+        const double sx = b_tail.front().x - a_tail.front().x;
+        const double sy = b_tail.front().y - a_tail.front().y;
+        const double sep = std::sqrt(sx * sx + sy * sy);
+        if (sep < options_.id_swap_min_separation_px) {
+          const double grow = options_.id_swap_min_separation_px - sep;
+          // Degenerate overlap: push along +x by convention.
+          const double ux = sep > 1e-9 ? sx / sep : 1.0;
+          const double uy = sep > 1e-9 ? sy / sep : 0.0;
+          const double dx = ux * grow;
+          const double dy = uy * grow;
+          for (geom::TimedPoint& p : b_head) {
+            p.x += dx;
+            p.y += dy;
+          }
+          for (geom::TimedPoint& p : b_tail) {
+            p.x += dx;
+            p.y += dy;
+          }
+        }
+      }
       a_head.insert(a_head.end(), b_tail.begin(), b_tail.end());
       b_head.insert(b_head.end(), a_tail.begin(), a_tail.end());
       a.stroke = geom::Gesture(std::move(a_head));

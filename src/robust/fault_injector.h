@@ -80,6 +80,15 @@ struct FaultInjectorOptions {
   // lifetime (fraction, uniform in [this, 0.9]); well past any legitimate
   // start stagger.
   double late_join_fraction = 0.5;
+  // kContactIdSwap: minimum separation between the two contacts at the swap
+  // instant. Two-finger synth gestures run 30-120px apart — under
+  // ContactPolicy::id_swap_jump_px (200), so an injected cross between them
+  // would produce seam jumps too small for the tracker's un-cross pass to
+  // detect and surface as plain degradation instead of exercising the
+  // repair. When the pair is closer than this, the injector translates one
+  // contact's whole stroke outward until the crossed tails jump at least
+  // this far. Keep it above the tracker policy's id_swap_jump_px.
+  double id_swap_min_separation_px = 250.0;
 };
 
 // What one injector instance has done so far.

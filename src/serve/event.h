@@ -7,12 +7,14 @@
 #ifndef GRANDMA_SRC_SERVE_EVENT_H_
 #define GRANDMA_SRC_SERVE_EVENT_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "classify/linear_classifier.h"
+#include "classify/rejection.h"
 #include "geom/point.h"
 
 namespace grandma::serve {
@@ -103,6 +105,19 @@ struct RecognitionResult {
   // their bundle at stroke start, every result of one stroke carries the
   // same version even if the server hot-swapped models mid-stroke.
   std::uint64_t model_version = 0;
+
+  // --- N-best surface (NBestOptions::depth > 0 only; see session.h) -------
+  // Ranked alternatives for this result; the leading nbest_count entries are
+  // live and nbest[0] mirrors `classification` bit for bit. Zero when the
+  // session runs with n-best disabled (the default).
+  std::array<classify::NBestEntry, classify::kMaxNBest> nbest{};
+  std::size_t nbest_count = 0;
+  // What the rejection policy says the client should do with this result,
+  // and why ("High Five" defer/ask-again semantics).
+  classify::NBestAction nbest_action = classify::NBestAction::kAccept;
+  classify::RejectReason reject_reason = classify::RejectReason::kAccepted;
+  // Winner-minus-runner-up probability margin (0 with n-best disabled).
+  double nbest_margin = 0.0;
 };
 
 }  // namespace grandma::serve

@@ -72,6 +72,8 @@ void ShardMetrics::Merge(const ShardMetrics& other) {
   events_shed += other.events_shed;
   events_deadline_expired += other.events_deadline_expired;
   callback_errors += other.callback_errors;
+  nbest_deferred += other.nbest_deferred;
+  nbest_ask_again += other.nbest_ask_again;
   admission_shedding = admission_shedding || other.admission_shedding;
   admission_evaluations += other.admission_evaluations;
   admission_switches_to_shed += other.admission_switches_to_shed;
@@ -92,6 +94,8 @@ std::string ShardMetrics::ToJson() const {
       << ", \"events_shed\": " << events_shed
       << ", \"events_deadline_expired\": " << events_deadline_expired
       << ", \"callback_errors\": " << callback_errors
+      << ", \"nbest_deferred\": " << nbest_deferred
+      << ", \"nbest_ask_again\": " << nbest_ask_again
       << ", \"admission_shedding\": " << (admission_shedding ? "true" : "false")
       << ", \"admission_evaluations\": " << admission_evaluations
       << ", \"admission_switches_to_shed\": " << admission_switches_to_shed

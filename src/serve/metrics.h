@@ -76,6 +76,11 @@ struct ShardMetrics {
   std::uint64_t events_deadline_expired = 0;
   // Exceptions thrown by the result callback, swallowed by the worker.
   std::uint64_t callback_errors = 0;
+  // N-best policy outcomes (zeros when ServerOptions::nbest.depth == 0):
+  // results answered kDefer (low probability / near-tie) or kAskAgain
+  // (Mahalanobis outlier) by classify::DecideNBest.
+  std::uint64_t nbest_deferred = 0;
+  std::uint64_t nbest_ask_again = 0;
   // Adaptive admission (OverloadPolicy::kAdaptive only; zeros otherwise).
   // True when this shard is currently shedding instead of blocking.
   bool admission_shedding = false;

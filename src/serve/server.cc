@@ -44,7 +44,7 @@ RecognitionServer::RecognitionServer(std::shared_ptr<ModelRegistry> registry,
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity, options_.admission);
-    shard->sessions = std::make_unique<SessionManager>(bundle_);
+    shard->sessions = std::make_unique<SessionManager>(bundle_, options_.nbest);
     shards_.push_back(std::move(shard));
   }
   if (options_.start_workers) {
@@ -217,6 +217,10 @@ void RecognitionServer::WorkerLoop(Shard& shard) {
                                           std::memory_order_relaxed);
         shard.eager_fires.fetch_add(after.eager_fires - before.eager_fires,
                                     std::memory_order_relaxed);
+        shard.nbest_deferred.fetch_add(after.nbest_deferred - before.nbest_deferred,
+                                       std::memory_order_relaxed);
+        shard.nbest_ask_again.fetch_add(after.nbest_ask_again - before.nbest_ask_again,
+                                        std::memory_order_relaxed);
       }
       shard.events_processed.fetch_add(1, std::memory_order_relaxed);
       shard.sessions_created.store(sessions.created(), std::memory_order_relaxed);
@@ -242,6 +246,8 @@ ServerMetrics RecognitionServer::Metrics() const {
     m.events_shed = s.events_shed.load(std::memory_order_relaxed);
     m.events_deadline_expired = s.events_deadline_expired.load(std::memory_order_relaxed);
     m.callback_errors = s.callback_errors.load(std::memory_order_relaxed);
+    m.nbest_deferred = s.nbest_deferred.load(std::memory_order_relaxed);
+    m.nbest_ask_again = s.nbest_ask_again.load(std::memory_order_relaxed);
     m.admission_shedding = s.admission.shedding();
     m.admission_evaluations = s.admission.evaluations();
     m.admission_switches_to_shed = s.admission.switches_to_shed();

@@ -76,6 +76,9 @@ struct ServerOptions {
   // shed) deterministically. Tests use this to exercise the backpressure and
   // drain paths without timing races.
   bool start_workers = true;
+  // N-best configuration applied to every session (depth 0 = disabled, the
+  // legacy single-answer surface). See serve::NBestOptions / session.h.
+  NBestOptions nbest;
 };
 
 // Thread-safety: Submit, Metrics, ShardOf, and Shutdown may be called from
@@ -148,6 +151,8 @@ class RecognitionServer {
     std::atomic<std::uint64_t> events_shed{0};  // producer-side writer
     std::atomic<std::uint64_t> events_deadline_expired{0};
     std::atomic<std::uint64_t> callback_errors{0};
+    std::atomic<std::uint64_t> nbest_deferred{0};
+    std::atomic<std::uint64_t> nbest_ask_again{0};
     // Queue wait of events the worker actually processed (accepted-event
     // latency; deadline-expired drops are excluded and counted above).
     LatencyHistogram queue_latency;

@@ -6,22 +6,50 @@
 
 namespace grandma::serve {
 
-Session::Session(SessionId id, const eager::EagerRecognizer& recognizer)
-    : id_(id), recognizer_(&recognizer), stream_(recognizer) {}
+Session::Session(SessionId id, const eager::EagerRecognizer& recognizer, NBestOptions nbest)
+    : id_(id), nbest_(nbest), recognizer_(&recognizer), stream_(recognizer) {
+  stream_.SetNBest(nbest_.depth);
+}
 
-Session::Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle)
+Session::Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle,
+                 NBestOptions nbest)
     : id_(id),
+      nbest_(nbest),
       pinned_(std::move(bundle)),
       recognizer_(&pinned_->recognizer()),
       stream_(pinned_->recognizer()),
-      model_version_(pinned_->version()) {}
+      model_version_(pinned_->version()) {
+  stream_.SetNBest(nbest_.depth);
+}
+
+void Session::ApplyNBestDecision(RecognitionResult& result) {
+  const std::span<const classify::NBestEntry> entries(result.nbest.data(), result.nbest_count);
+  const classify::NBestDecision decision =
+      classify::DecideNBest(nbest_.policy, entries, result.classification.mahalanobis_squared,
+                            recognizer_->full().mask().count());
+  result.nbest_action = decision.action;
+  result.reject_reason = decision.reason;
+  result.nbest_margin = decision.margin;
+  if (decision.action == classify::NBestAction::kDefer) {
+    ++stats_.nbest_deferred;
+  } else if (decision.action == classify::NBestAction::kAskAgain) {
+    ++stats_.nbest_ask_again;
+  }
+}
 
 void Session::EmitResult(ResultKind kind, const ResultSink& sink) {
   RecognitionResult result;
   result.session = id_;
   result.stroke = current_stroke_;
   result.kind = kind;
-  result.classification = stream_.ClassifyNow();
+  if (stream_.nbest_depth() > 0) {
+    result.nbest_count = stream_.ClassifyNowNBest(
+        std::span<classify::NBestEntry>(result.nbest.data(), stream_.nbest_depth()),
+        &result.classification);
+    ApplyNBestDecision(result);
+  } else {
+    result.classification = stream_.ClassifyNow();
+  }
   result.class_name = recognizer_->ClassName(result.classification.class_id);
   result.points_seen = stream_.points_seen();
   result.eager_fired = stream_.fired();
@@ -83,6 +111,11 @@ void Session::AddPoints(StrokeId stroke, std::span<const geom::TimedPoint> point
     result.eager_fired = true;
     result.fired_at = fire.fired_at;
     result.model_version = model_version_;
+    if (stream_.nbest_depth() > 0) {
+      result.nbest = fire.nbest;
+      result.nbest_count = fire.nbest_count;
+      ApplyNBestDecision(result);
+    }
     if (sink) {
       sink(result);
     }

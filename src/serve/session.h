@@ -26,6 +26,16 @@ namespace grandma::serve {
 // the session produces.
 using ResultSink = std::function<void(const RecognitionResult&)>;
 
+// Per-session n-best configuration. depth = 0 (the default) keeps the
+// legacy single-answer surface and the plain Classify kernel; depth > 0
+// (clamped to classify::kMaxNBest) fills RecognitionResult::nbest and runs
+// every result through classify::DecideNBest with `policy`, so clients see
+// a typed accept / defer / ask-again action instead of a silent near-tie.
+struct NBestOptions {
+  std::size_t depth = 0;
+  classify::RejectionPolicy policy;
+};
+
 // Lifetime counters for one session; all monotonically increasing.
 struct SessionStats {
   std::size_t strokes_begun = 0;
@@ -39,6 +49,10 @@ struct SessionStats {
   std::size_t implicit_ends = 0;
   // kStrokeEnd with no open stroke and no buffered points: dropped.
   std::size_t empty_stroke_ends = 0;
+  // N-best decisions (zeros when n-best is disabled): results whose policy
+  // action was kDefer (low probability / near-tie) or kAskAgain (outlier).
+  std::size_t nbest_deferred = 0;
+  std::size_t nbest_ask_again = 0;
 };
 
 // Thread-safety: none — each instance belongs to a single shard worker.
@@ -52,10 +66,10 @@ class Session {
  public:
   // Binds to a bare recognizer the caller keeps alive (no pin; results carry
   // model_version 0). Used by single-model embedders and the hot-path tests.
-  Session(SessionId id, const eager::EagerRecognizer& recognizer);
+  Session(SessionId id, const eager::EagerRecognizer& recognizer, NBestOptions nbest = {});
 
   // Binds to (and pins) a bundle; results carry its version.
-  Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle);
+  Session(SessionId id, std::shared_ptr<const RecognizerBundle> bundle, NBestOptions nbest = {});
 
   SessionId id() const { return id_; }
   bool in_stroke() const { return in_stroke_; }
@@ -85,8 +99,13 @@ class Session {
 
  private:
   void EmitResult(ResultKind kind, const ResultSink& sink);
+  // Runs the policy decision over result.nbest[0..nbest_count) (already
+  // ranked by the stream), fills the action/reason/margin fields, and bumps
+  // the defer/ask-again counters.
+  void ApplyNBestDecision(RecognitionResult& result);
 
   SessionId id_;
+  NBestOptions nbest_;
   // Keeps the pinned model alive while any stroke may still reference it;
   // null when the session was built over a bare recognizer. Declared before
   // stream_ so the recognizer outlives the stream during construction.

@@ -11,7 +11,8 @@ Session& SessionManager::GetOrCreate(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     it = sessions_
-             .emplace(id, bundle_ != nullptr ? Session(id, bundle_) : Session(id, *recognizer_))
+             .emplace(id, bundle_ != nullptr ? Session(id, bundle_, nbest_)
+                                             : Session(id, *recognizer_, nbest_))
              .first;
     ++created_;
   }

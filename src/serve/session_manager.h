@@ -20,14 +20,15 @@ namespace grandma::serve {
 class SessionManager {
  public:
   // New sessions bind to this bare recognizer (no pin; model_version 0).
-  explicit SessionManager(const eager::EagerRecognizer& recognizer)
-      : recognizer_(&recognizer) {}
+  // `nbest` configures every session this manager creates (see session.h).
+  explicit SessionManager(const eager::EagerRecognizer& recognizer, NBestOptions nbest = {})
+      : recognizer_(&recognizer), nbest_(nbest) {}
 
   // New sessions pin this bundle at creation. Under a hot-swapping server
   // the pin is refreshed per stroke anyway (Session::BeginStroke), so this
   // only decides which model a session is born with.
-  explicit SessionManager(std::shared_ptr<const RecognizerBundle> bundle)
-      : bundle_(std::move(bundle)), recognizer_(&bundle_->recognizer()) {}
+  explicit SessionManager(std::shared_ptr<const RecognizerBundle> bundle, NBestOptions nbest = {})
+      : bundle_(std::move(bundle)), recognizer_(&bundle_->recognizer()), nbest_(nbest) {}
 
   // The session's state, created on first contact.
   Session& GetOrCreate(SessionId id);
@@ -45,6 +46,7 @@ class SessionManager {
  private:
   std::shared_ptr<const RecognizerBundle> bundle_;  // null in bare mode
   const eager::EagerRecognizer* recognizer_;
+  NBestOptions nbest_;
   std::unordered_map<SessionId, Session> sessions_;
   std::size_t created_ = 0;
 };

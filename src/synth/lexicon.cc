@@ -1,0 +1,189 @@
+#include "synth/lexicon.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "synth/rng.h"
+
+namespace grandma::synth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Direction d is d * 45 degrees in the y-up frame: 0=E, 2=N, 4=W, 6=S.
+// Valid polyline sequences never repeat a direction (a zero-length corner)
+// or exactly backtrack (a retrace that collapses onto the previous segment).
+std::vector<std::vector<int>> PolylineTemplates() {
+  std::vector<std::vector<int>> out;
+  for (std::size_t len = 2; len <= 4; ++len) {
+    std::uint64_t total = 1;
+    for (std::size_t i = 0; i < len; ++i) {
+      total *= 8;
+    }
+    std::vector<int> seq(len, 0);
+    for (std::uint64_t code = 0; code < total; ++code) {
+      std::uint64_t c = code;
+      for (std::size_t i = len; i-- > 0;) {
+        seq[i] = static_cast<int>(c % 8);
+        c /= 8;
+      }
+      bool ok = true;
+      for (std::size_t i = 1; i < len; ++i) {
+        if (seq[i] == seq[i - 1] || seq[i] == (seq[i - 1] + 4) % 8) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out.push_back(seq);
+      }
+    }
+  }
+  return out;
+}
+
+struct ArcTemplate {
+  int sweep_quarters = 1;  // 1..4 (quarter turn .. full circle)
+  int winding = 1;         // +1 ccw, -1 cw
+  double radius = 30.0;
+  int start_quarter = 0;  // center direction from the start point, * 90 deg
+};
+
+std::vector<ArcTemplate> ArcTemplates() {
+  std::vector<ArcTemplate> out;
+  for (int sweep = 1; sweep <= 4; ++sweep) {
+    for (int winding : {+1, -1}) {
+      for (double radius : {30.0, 55.0, 80.0}) {
+        for (int start = 0; start < 4; ++start) {
+          out.push_back({sweep, winding, radius, start});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct HybridTemplate {
+  int dir = 0;             // leading line direction (45-degree steps)
+  int sweep_quarters = 1;  // 1 (hook) or 2 (U-turn)
+  int winding = 1;         // turn side
+};
+
+std::vector<HybridTemplate> HybridTemplates() {
+  std::vector<HybridTemplate> out;
+  for (int dir = 0; dir < 8; ++dir) {
+    for (int sweep : {1, 2}) {
+      for (int winding : {+1, -1}) {
+        out.push_back({dir, sweep, winding});
+      }
+    }
+  }
+  return out;
+}
+
+PathSpec BuildPolyline(const std::vector<int>& dirs, double seg, double rot,
+                       std::size_t index) {
+  std::string digits;
+  for (int d : dirs) {
+    digits.push_back(static_cast<char>('0' + d));
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "lex_%03zu_poly_%s", index, digits.c_str());
+  PathSpec spec;
+  spec.class_name = name;
+  double x = 0.0;
+  double y = 0.0;
+  for (int d : dirs) {
+    const double a = rot + static_cast<double>(d) * (kPi / 4.0);
+    x += seg * std::cos(a);
+    y += seg * std::sin(a);
+    spec.LineTo(x, y);
+  }
+  return spec;
+}
+
+PathSpec BuildArc(const ArcTemplate& t, double scale, double rot, std::size_t index) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "lex_%03zu_arc_q%d_%s_r%d_a%d", index, t.sweep_quarters,
+                t.winding > 0 ? "ccw" : "cw", static_cast<int>(t.radius), t.start_quarter);
+  PathSpec spec;
+  spec.class_name = name;
+  const double center_angle = rot + static_cast<double>(t.start_quarter) * (kPi / 2.0);
+  spec.ArcFromCurrent(center_angle, t.radius * scale,
+                      static_cast<double>(t.winding) * static_cast<double>(t.sweep_quarters) *
+                          (kPi / 2.0));
+  return spec;
+}
+
+PathSpec BuildHybrid(const HybridTemplate& t, double seg, double rot, std::size_t index) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "lex_%03zu_hyb_d%d_q%d_%s", index, t.dir,
+                t.sweep_quarters, t.winding > 0 ? "ccw" : "cw");
+  PathSpec spec;
+  spec.class_name = name;
+  const double a = rot + static_cast<double>(t.dir) * (kPi / 4.0);
+  spec.LineTo(seg * std::cos(a), seg * std::sin(a));
+  // Center perpendicular to the heading, sweep signed the same way: the arc
+  // leaves the corner tangent to the line, so the hybrid reads as one smooth
+  // stroke rather than a polyline with a kink.
+  spec.ArcFromCurrent(a + static_cast<double>(t.winding) * (kPi / 2.0), 0.6 * seg,
+                      static_cast<double>(t.winding) * static_cast<double>(t.sweep_quarters) *
+                          (kPi / 2.0));
+  return spec;
+}
+
+}  // namespace
+
+std::size_t ExtensiveLexiconCapacity() {
+  return PolylineTemplates().size() + ArcTemplates().size() + HybridTemplates().size();
+}
+
+std::vector<PathSpec> MakeExtensiveLexicon(const LexiconOptions& options) {
+  if (options.segment_px <= 0.0 || options.pose_rotation_jitter < 0.0 ||
+      options.scale_lo <= 0.0 || options.scale_lo > options.scale_hi) {
+    throw std::invalid_argument("MakeExtensiveLexicon: bad options");
+  }
+  const std::vector<std::vector<int>> polys = PolylineTemplates();
+  const std::vector<ArcTemplate> arcs = ArcTemplates();
+  const std::vector<HybridTemplate> hybrids = HybridTemplates();
+  const std::size_t capacity = polys.size() + arcs.size() + hybrids.size();
+  if (options.num_classes > capacity) {
+    throw std::invalid_argument("MakeExtensiveLexicon: num_classes exceeds alphabet capacity " +
+                                std::to_string(capacity));
+  }
+
+  Rng rng(options.seed);
+  std::vector<PathSpec> out;
+  out.reserve(options.num_classes);
+  std::size_t pi = 0;
+  std::size_t ai = 0;
+  std::size_t hi = 0;
+  for (std::size_t k = 0; k < options.num_classes; ++k) {
+    // Exactly two pose draws per emitted class, in emission order: a shorter
+    // lexicon is a strict prefix of a longer one under the same seed.
+    const double rot =
+        rng.Uniform(-options.pose_rotation_jitter, options.pose_rotation_jitter);
+    const double scale = rng.Uniform(options.scale_lo, options.scale_hi);
+    const double seg = options.segment_px * scale;
+    const std::size_t slot = k % 4;
+    // 2:1:1 interleave (poly, poly, arc, hybrid); exhausted families fall
+    // back to whichever alphabet still has templates.
+    if (slot == 2 && ai < arcs.size()) {
+      out.push_back(BuildArc(arcs[ai++], scale, rot, k));
+    } else if (slot == 3 && hi < hybrids.size()) {
+      out.push_back(BuildHybrid(hybrids[hi++], seg, rot, k));
+    } else if (pi < polys.size()) {
+      out.push_back(BuildPolyline(polys[pi++], seg, rot, k));
+    } else if (ai < arcs.size()) {
+      out.push_back(BuildArc(arcs[ai++], scale, rot, k));
+    } else {
+      out.push_back(BuildHybrid(hybrids[hi++], seg, rot, k));
+    }
+  }
+  return out;
+}
+
+}  // namespace grandma::synth

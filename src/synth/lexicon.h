@@ -1,0 +1,51 @@
+// Extensive-lexicon generation (ROADMAP item 3): composes the path-spec
+// alphabets — 8-direction polylines, arcs of varying radius/sweep/winding,
+// and line+arc hybrids — into hundreds of distinct canonical gesture
+// classes with deterministic per-class pose variation. This is the "large
+// generated lexicon" of Grosek & Kutz, from which classify::SelectLexicon
+// prunes the most separable k-subset.
+#ifndef GRANDMA_SRC_SYNTH_LEXICON_H_
+#define GRANDMA_SRC_SYNTH_LEXICON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "synth/path_spec.h"
+
+namespace grandma::synth {
+
+struct LexiconOptions {
+  // How many classes to emit. The shape alphabets compose into well over
+  // 400 distinct templates; asking for more than the alphabet holds throws
+  // std::invalid_argument rather than silently duplicating shapes.
+  std::size_t num_classes = 200;
+  // Seeds the per-class pose draws (rotation / scale). Same seed + same
+  // options => byte-identical specs, and a smaller num_classes is always a
+  // strict prefix of a larger one (pose draws happen per emitted class, in
+  // emission order).
+  std::uint64_t seed = 0x1e81c09u;
+  // Nominal polyline segment length before the per-class scale draw.
+  double segment_px = 60.0;
+  // Per-class canonical pose: whole-shape rotation ~ U(-jitter, +jitter)
+  // radians and scale ~ U(scale_lo, scale_hi). Zero jitter and a degenerate
+  // [1,1] scale range give the bare axis-aligned templates.
+  double pose_rotation_jitter = 0.12;
+  double scale_lo = 0.85;
+  double scale_hi = 1.3;
+};
+
+// Deterministically enumerates the lexicon: polyline direction sequences of
+// length 2-4 (consecutive repeats and exact backtracks skipped), circular
+// arcs (4 sweeps x 2 windings x 3 radii x 4 start angles), and line+arc
+// hybrids, interleaved 2:1:1 so every prefix of the lexicon mixes all three
+// families. Class names are unique and stable: "lex_<index>_<shape>".
+std::vector<PathSpec> MakeExtensiveLexicon(const LexiconOptions& options = {});
+
+// Number of distinct shape templates the alphabets can compose — the upper
+// bound on LexiconOptions::num_classes.
+std::size_t ExtensiveLexiconCapacity();
+
+}  // namespace grandma::synth
+
+#endif  // GRANDMA_SRC_SYNTH_LEXICON_H_

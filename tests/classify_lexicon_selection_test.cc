@@ -1,0 +1,217 @@
+// The confusion-driven lexicon selection (classify::SelectLexicon):
+// determinism of the report, structural invariants of the greedy
+// elimination, collision handling for duplicate/degenerate classes, the
+// FilterClasses subset builder, and precondition validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "classify/evaluation.h"
+#include "classify/gesture_classifier.h"
+#include "classify/lexicon_selection.h"
+#include "classify/training_set.h"
+#include "synth/generator.h"
+#include "synth/lexicon.h"
+#include "synth/sets.h"
+
+namespace grandma::classify {
+namespace {
+
+GestureTrainingSet LexiconTrainingSet(std::size_t num_classes, std::size_t per_class,
+                                      std::uint64_t seed) {
+  synth::LexiconOptions lex;
+  lex.num_classes = num_classes;
+  synth::NoiseModel noise;
+  return synth::ToTrainingSet(
+      synth::GenerateSet(synth::MakeExtensiveLexicon(lex), noise, per_class, seed));
+}
+
+TEST(LexiconSelectionTest, SelectsExactlyTargetAndPartitionsClasses) {
+  const GestureTrainingSet train = LexiconTrainingSet(40, 4, 1991);
+  GestureClassifier classifier;
+  classifier.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = 12;
+  const LexiconSelectionReport report = SelectLexicon(classifier, train, options);
+
+  EXPECT_EQ(report.selected.size(), 12u);
+  EXPECT_EQ(report.dropped.size(), 40u - 12u);
+  EXPECT_TRUE(std::is_sorted(report.selected.begin(), report.selected.end()));
+  ASSERT_EQ(report.selected_names.size(), report.selected.size());
+
+  // selected + dropped partition 0..39 exactly.
+  std::set<ClassId> seen(report.selected.begin(), report.selected.end());
+  for (const DroppedClass& drop : report.dropped) {
+    EXPECT_TRUE(seen.insert(drop.class_id).second) << "class dropped twice";
+    // The nearest partner recorded with a drop must not itself have been
+    // dropped earlier (it was alive when the pair was ranked worst).
+    EXPECT_NE(drop.class_id, drop.nearest);
+  }
+  EXPECT_EQ(seen.size(), 40u);
+  for (std::size_t d = 0; d < report.dropped.size(); ++d) {
+    EXPECT_EQ(report.dropped[d].drop_order, d);
+  }
+  EXPECT_GT(report.full_train_accuracy, 0.0);
+  EXPECT_GT(report.min_surviving_separation, 0.0);
+}
+
+// Same classifier + training set => byte-identical report, down to the
+// rendered string and JSON forms. This is the property that makes the
+// selection reproducible across machines and SIMD tiers.
+TEST(LexiconSelectionTest, DeterministicByteIdenticalReports) {
+  const GestureTrainingSet train = LexiconTrainingSet(32, 4, 7);
+  GestureClassifier classifier;
+  classifier.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = 10;
+  const LexiconSelectionReport a = SelectLexicon(classifier, train, options);
+  const LexiconSelectionReport b = SelectLexicon(classifier, train, options);
+
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.selected_names, b.selected_names);
+  ASSERT_EQ(a.dropped.size(), b.dropped.size());
+  for (std::size_t d = 0; d < a.dropped.size(); ++d) {
+    EXPECT_EQ(a.dropped[d].class_id, b.dropped[d].class_id);
+    EXPECT_EQ(a.dropped[d].nearest, b.dropped[d].nearest);
+    EXPECT_EQ(a.dropped[d].separation, b.dropped[d].separation);
+    EXPECT_EQ(a.dropped[d].effective_separation, b.dropped[d].effective_separation);
+  }
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+
+  // Retraining from the same examples is also deterministic end to end.
+  GestureClassifier retrained;
+  retrained.Train(train);
+  const LexiconSelectionReport c = SelectLexicon(retrained, train, options);
+  EXPECT_EQ(a.ToJson(), c.ToJson());
+}
+
+// Two classes fed identical examples are a collision: selection must not
+// crash, must flag the pair, and must drop one of the duplicates first.
+TEST(LexiconSelectionTest, DuplicateClassesReportCollisionNeverCrash) {
+  synth::NoiseModel noise;
+  const auto batches =
+      synth::GenerateSet(synth::MakeGdpSpecs(), noise, /*per_class=*/5, /*seed=*/1991);
+
+  GestureTrainingSet train;
+  for (const synth::LabeledSamples& batch : batches) {
+    for (const synth::GestureSample& sample : batch.samples) {
+      train.Add(batch.class_name, sample.gesture);
+    }
+  }
+  // The duplicate: the first class's exact examples under a second name.
+  for (const synth::GestureSample& sample : batches.front().samples) {
+    train.Add("duplicate_of_first", sample.gesture);
+  }
+
+  GestureClassifier classifier;
+  classifier.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = train.num_classes() - 2;
+  const LexiconSelectionReport report = SelectLexicon(classifier, train, options);
+
+  EXPECT_GE(report.collisions, 1u);
+  ASSERT_FALSE(report.dropped.empty());
+  // The very first drop must be one member of the colliding pair.
+  const ClassId first_id = train.registry().Require(batches.front().class_name);
+  const ClassId dup_id = train.registry().Require("duplicate_of_first");
+  const DroppedClass& first_drop = report.dropped.front();
+  EXPECT_TRUE(first_drop.collision);
+  EXPECT_TRUE(first_drop.class_id == first_id || first_drop.class_id == dup_id);
+  EXPECT_TRUE(first_drop.nearest == first_id || first_drop.nearest == dup_id);
+  // At most one of the duplicates survives.
+  const bool first_selected = std::find(report.selected.begin(), report.selected.end(),
+                                        first_id) != report.selected.end();
+  const bool dup_selected = std::find(report.selected.begin(), report.selected.end(), dup_id) !=
+                            report.selected.end();
+  EXPECT_FALSE(first_selected && dup_selected);
+}
+
+TEST(LexiconSelectionTest, TargetAtOrAboveClassCountDropsNothing) {
+  const GestureTrainingSet train = LexiconTrainingSet(12, 4, 3);
+  GestureClassifier classifier;
+  classifier.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = 12;
+  const LexiconSelectionReport exact = SelectLexicon(classifier, train, options);
+  EXPECT_EQ(exact.selected.size(), 12u);
+  EXPECT_TRUE(exact.dropped.empty());
+
+  options.target_classes = 500;  // clamped down to the class count
+  const LexiconSelectionReport over = SelectLexicon(classifier, train, options);
+  EXPECT_EQ(over.selected.size(), 12u);
+}
+
+TEST(LexiconSelectionTest, TargetBelowTwoClampsToTwo) {
+  const GestureTrainingSet train = LexiconTrainingSet(8, 4, 3);
+  GestureClassifier classifier;
+  classifier.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = 0;
+  const LexiconSelectionReport report = SelectLexicon(classifier, train, options);
+  EXPECT_EQ(report.selected.size(), 2u);
+  EXPECT_EQ(report.dropped.size(), 6u);
+}
+
+TEST(LexiconSelectionTest, ValidatesPreconditions) {
+  const GestureTrainingSet train = LexiconTrainingSet(8, 4, 3);
+  GestureClassifier untrained;
+  EXPECT_THROW(SelectLexicon(untrained, train), std::invalid_argument);
+
+  GestureClassifier classifier;
+  classifier.Train(train);
+  const GestureTrainingSet other = LexiconTrainingSet(12, 4, 3);
+  EXPECT_THROW(SelectLexicon(classifier, other), std::invalid_argument);
+}
+
+TEST(FilterClassesTest, BuildsDenseSubsetPreservingNamesAndExamples) {
+  const GestureTrainingSet full = LexiconTrainingSet(10, 3, 5);
+  const std::vector<ClassId> keep = {7, 2, 9};
+  const GestureTrainingSet subset = FilterClasses(full, keep);
+
+  ASSERT_EQ(subset.num_classes(), 3u);
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    EXPECT_EQ(subset.ClassName(k), full.ClassName(keep[k]));
+    const auto& kept = subset.ExamplesOf(k);
+    const auto& orig = full.ExamplesOf(keep[k]);
+    ASSERT_EQ(kept.size(), orig.size());
+    for (std::size_t e = 0; e < kept.size(); ++e) {
+      ASSERT_EQ(kept[e].size(), orig[e].size());
+      for (std::size_t p = 0; p < kept[e].size(); ++p) {
+        EXPECT_EQ(kept[e][p].x, orig[e][p].x);
+        EXPECT_EQ(kept[e][p].y, orig[e][p].y);
+      }
+    }
+  }
+}
+
+// The end-to-end claim behind the selection: training on the selected
+// subset classifies its own lexicon at least as well as the same k chosen
+// naively (first-k prefix), on held-out examples.
+TEST(LexiconSelectionTest, SelectedSubsetTrainsAndClassifies) {
+  const GestureTrainingSet train = LexiconTrainingSet(30, 5, 1991);
+  const GestureTrainingSet test = LexiconTrainingSet(30, 3, 2026);
+  GestureClassifier full;
+  full.Train(train);
+
+  LexiconSelectionOptions options;
+  options.target_classes = 10;
+  const LexiconSelectionReport report = SelectLexicon(full, train, options);
+
+  GestureClassifier pruned;
+  pruned.Train(FilterClasses(train, report.selected));
+  const double accuracy =
+      EvaluateClassifier(pruned, FilterClasses(test, report.selected)).Accuracy();
+  EXPECT_GT(accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace grandma::classify

@@ -1,0 +1,199 @@
+// Property tests for the n-best recognition surface: ranking order,
+// probability calibration bounds, bit-identity of the top-1 entry with the
+// single-answer Classify path, and cross-tier identity of the full ranking
+// at a 200-class lexicon (EvaluateNBest rides the dispatched SoA evaluator,
+// whose scores are bit-identical across tiers by design).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "classify/linear_classifier.h"
+#include "features/extractor.h"
+#include "linalg/simd.h"
+#include "synth/generator.h"
+#include "synth/lexicon.h"
+#include "synth/sets.h"
+
+namespace grandma::classify {
+namespace {
+
+namespace simd = linalg::simd;
+
+bool BitEqual(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+linalg::Vector ExtractFeatures(const geom::Gesture& g) {
+  features::FeatureExtractor fx;
+  for (const geom::TimedPoint& p : g) {
+    fx.AddPoint(p);
+  }
+  return fx.Features();
+}
+
+// A trained 200-class lexicon classifier plus held-out probe strokes,
+// shared across the tests (training 200 classes once keeps the suite fast).
+struct LexiconFixture {
+  GestureClassifier classifier;
+  std::vector<geom::Gesture> probes;
+
+  LexiconFixture() {
+    synth::LexiconOptions lex;
+    lex.num_classes = 200;
+    const std::vector<synth::PathSpec> specs = synth::MakeExtensiveLexicon(lex);
+    synth::NoiseModel noise;
+    classifier.Train(synth::ToTrainingSet(synth::GenerateSet(specs, noise, 4, 1991)));
+    synth::Rng rng(17);
+    for (std::size_t c = 0; c < specs.size(); c += 7) {
+      probes.push_back(synth::Generate(specs[c], noise, rng).gesture);
+    }
+  }
+};
+
+const LexiconFixture& Fixture() {
+  static const LexiconFixture* fixture = new LexiconFixture;
+  return *fixture;
+}
+
+struct NBestRun {
+  std::array<NBestEntry, kMaxNBest> entries{};
+  std::size_t count = 0;
+  Classification top;
+};
+
+NBestRun RunNBest(const GestureClassifier& c, const geom::Gesture& g, std::size_t depth) {
+  const linalg::Vector f = ExtractFeatures(g);
+  linalg::Vector masked(c.mask().count());
+  linalg::Vector scores(c.num_classes());
+  linalg::Vector diff(c.mask().count());
+  NBestRun run;
+  run.count = c.EvaluateNBestView(f.view(), masked.view(), scores.view(), diff.view(),
+                                  std::span<NBestEntry>(run.entries.data(), depth), &run.top);
+  return run;
+}
+
+TEST(NBestTest, SortedByScoreWithLowestIdTies) {
+  const LexiconFixture& fx = Fixture();
+  for (const geom::Gesture& g : fx.probes) {
+    const NBestRun run = RunNBest(fx.classifier, g, kMaxNBest);
+    ASSERT_EQ(run.count, kMaxNBest);
+    for (std::size_t k = 1; k < run.count; ++k) {
+      // Strictly descending by score; equal scores must come in id order.
+      if (run.entries[k].score == run.entries[k - 1].score) {
+        EXPECT_GT(run.entries[k].class_id, run.entries[k - 1].class_id);
+      } else {
+        EXPECT_LT(run.entries[k].score, run.entries[k - 1].score);
+      }
+    }
+  }
+}
+
+TEST(NBestTest, ProbabilitiesCalibratedAndBounded) {
+  const LexiconFixture& fx = Fixture();
+  for (const geom::Gesture& g : fx.probes) {
+    const NBestRun run = RunNBest(fx.classifier, g, kMaxNBest);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < run.count; ++k) {
+      EXPECT_GE(run.entries[k].probability, 0.0);
+      EXPECT_LE(run.entries[k].probability, 1.0);
+      if (k > 0) {
+        EXPECT_LE(run.entries[k].probability, run.entries[k - 1].probability);
+      }
+      sum += run.entries[k].probability;
+    }
+    // The n entries are a subset of the full softmax, so their mass can reach
+    // 1.0 but never exceed it beyond summation rounding (a few ULP).
+    EXPECT_LE(sum, 1.0 + 16.0 * std::numeric_limits<double>::epsilon());
+  }
+}
+
+TEST(NBestTest, Top1BitIdenticalToClassify) {
+  const LexiconFixture& fx = Fixture();
+  for (const geom::Gesture& g : fx.probes) {
+    const NBestRun run = RunNBest(fx.classifier, g, kMaxNBest);
+    const Classification direct = fx.classifier.Classify(g);
+    ASSERT_GT(run.count, 0u);
+    EXPECT_EQ(run.entries[0].class_id, direct.class_id);
+    EXPECT_TRUE(BitEqual(run.entries[0].score, direct.score));
+    EXPECT_TRUE(BitEqual(run.entries[0].probability, direct.probability));
+    // The `top` out-param carries the full Classification, also bit-equal.
+    EXPECT_EQ(run.top.class_id, direct.class_id);
+    EXPECT_TRUE(BitEqual(run.top.score, direct.score));
+    EXPECT_TRUE(BitEqual(run.top.probability, direct.probability));
+    EXPECT_TRUE(BitEqual(run.top.mahalanobis_squared, direct.mahalanobis_squared));
+  }
+}
+
+TEST(NBestTest, ZeroDepthStillFillsTopFromClassify) {
+  const LexiconFixture& fx = Fixture();
+  const NBestRun run = RunNBest(fx.classifier, fx.probes.front(), 0);
+  EXPECT_EQ(run.count, 0u);
+  const Classification direct = fx.classifier.Classify(fx.probes.front());
+  EXPECT_EQ(run.top.class_id, direct.class_id);
+  EXPECT_TRUE(BitEqual(run.top.score, direct.score));
+}
+
+TEST(NBestTest, DepthClampedToClassCount) {
+  // A 2-class classifier asked for kMaxNBest entries returns exactly 2.
+  GestureClassifier two;
+  synth::NoiseModel noise;
+  two.Train(synth::ToTrainingSet(synth::GenerateSet(synth::MakeUpDownSpecs(), noise, 6, 1991)));
+  synth::Rng rng(3);
+  const geom::Gesture g =
+      synth::Generate(synth::MakeUpDownSpecs().front(), noise, rng).gesture;
+  const NBestRun run = RunNBest(two, g, kMaxNBest);
+  EXPECT_EQ(run.count, std::min<std::size_t>(two.num_classes(), kMaxNBest));
+}
+
+TEST(NBestTest, EntriesNameDistinctClasses) {
+  const LexiconFixture& fx = Fixture();
+  for (const geom::Gesture& g : fx.probes) {
+    const NBestRun run = RunNBest(fx.classifier, g, kMaxNBest);
+    for (std::size_t i = 0; i < run.count; ++i) {
+      for (std::size_t j = i + 1; j < run.count; ++j) {
+        EXPECT_NE(run.entries[i].class_id, run.entries[j].class_id);
+      }
+    }
+  }
+}
+
+// The ranking (ids, scores, probabilities) must be bitwise identical under
+// every tier ForceTier accepts on this hardware — the SoA evaluator's
+// cross-tier bit-identity contract extends through EvaluateNBest.
+TEST(NBestTest, RankingIdenticalAcrossSimdTiers) {
+  const LexiconFixture& fx = Fixture();
+  const simd::Tier tiers[] = {simd::Tier::kScalar, simd::Tier::kSse2, simd::Tier::kAvx2};
+  std::vector<std::vector<NBestRun>> per_tier;
+  for (const simd::Tier t : tiers) {
+    if (!simd::ForceTier(t)) {
+      continue;
+    }
+    std::vector<NBestRun> runs;
+    for (const geom::Gesture& g : fx.probes) {
+      runs.push_back(RunNBest(fx.classifier, g, kMaxNBest));
+    }
+    per_tier.push_back(std::move(runs));
+  }
+  simd::ResetTier();
+  ASSERT_GE(per_tier.size(), 1u);
+  for (std::size_t t = 1; t < per_tier.size(); ++t) {
+    ASSERT_EQ(per_tier[t].size(), per_tier[0].size());
+    for (std::size_t s = 0; s < per_tier[t].size(); ++s) {
+      const NBestRun& a = per_tier[0][s];
+      const NBestRun& b = per_tier[t][s];
+      ASSERT_EQ(a.count, b.count);
+      for (std::size_t k = 0; k < a.count; ++k) {
+        EXPECT_EQ(a.entries[k].class_id, b.entries[k].class_id);
+        EXPECT_TRUE(BitEqual(a.entries[k].score, b.entries[k].score));
+        EXPECT_TRUE(BitEqual(a.entries[k].probability, b.entries[k].probability));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grandma::classify

@@ -2,6 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/gesture_classifier.h"
+#include "features/extractor.h"
+#include "synth/generator.h"
+#include "synth/lexicon.h"
+
 namespace grandma::classify {
 namespace {
 
@@ -12,6 +23,21 @@ Classification MakeResult(double probability, double mahalanobis) {
   r.probability = probability;
   r.mahalanobis_squared = mahalanobis;
   return r;
+}
+
+std::vector<NBestEntry> MakeNBest(std::initializer_list<double> probabilities) {
+  std::vector<NBestEntry> entries;
+  ClassId id = 0;
+  double score = 10.0;
+  for (double p : probabilities) {
+    NBestEntry e;
+    e.class_id = id++;
+    e.score = score;
+    score -= 1.0;
+    e.probability = p;
+    entries.push_back(e);
+  }
+  return entries;
 }
 
 TEST(RejectionTest, AcceptsConfidentNearbyResult) {
@@ -52,6 +78,153 @@ TEST(RejectionTest, ProbabilityCheckedBeforeDistance) {
   RejectionPolicy policy;
   EXPECT_EQ(EvaluateRejection(policy, MakeResult(0.5, 1e9), 13),
             RejectReason::kLowProbability);
+}
+
+TEST(RejectionTest, ReasonAndActionNames) {
+  EXPECT_STREQ(RejectReasonName(RejectReason::kAccepted), "accepted");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kLowProbability), "low_probability");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kOutlierDistance), "outlier_distance");
+  EXPECT_STREQ(RejectReasonName(RejectReason::kNearTie), "near_tie");
+  EXPECT_STREQ(NBestActionName(NBestAction::kAccept), "accept");
+  EXPECT_STREQ(NBestActionName(NBestAction::kDefer), "defer");
+  EXPECT_STREQ(NBestActionName(NBestAction::kAskAgain), "ask_again");
+}
+
+// The computed-at-check-time default: max_mahalanobis_squared <= 0 means the
+// limit is derived from the masked dimension at the moment of the check, so
+// one policy object serves classifiers of different dimension.
+TEST(RejectionTest, EffectiveLimitDerivedFromDimensionWhenUnset) {
+  RejectionPolicy policy;  // max_mahalanobis_squared = 0
+  EXPECT_DOUBLE_EQ(EffectiveMahalanobisLimit(policy, 13), 0.5 * 13.0 * 13.0);
+  EXPECT_DOUBLE_EQ(EffectiveMahalanobisLimit(policy, 11), 0.5 * 11.0 * 11.0);
+  EXPECT_DOUBLE_EQ(EffectiveMahalanobisLimit(policy, 2), 2.0);
+
+  policy.max_mahalanobis_squared = -5.0;  // negative also means "derive"
+  EXPECT_DOUBLE_EQ(EffectiveMahalanobisLimit(policy, 13), 0.5 * 13.0 * 13.0);
+
+  policy.max_mahalanobis_squared = 42.0;  // positive wins over the default
+  EXPECT_DOUBLE_EQ(EffectiveMahalanobisLimit(policy, 13), 42.0);
+}
+
+TEST(DecideNBestTest, EmptyRankingAsksAgain) {
+  RejectionPolicy policy;
+  const NBestDecision d = DecideNBest(policy, {}, 0.0, 13);
+  EXPECT_EQ(d.action, NBestAction::kAskAgain);
+  EXPECT_EQ(d.reason, RejectReason::kOutlierDistance);
+}
+
+TEST(DecideNBestTest, AcceptsConfidentWinner) {
+  RejectionPolicy policy;
+  policy.min_margin = 0.3;
+  const std::vector<NBestEntry> nbest = MakeNBest({0.97, 0.02, 0.01});
+  const NBestDecision d = DecideNBest(policy, nbest, 5.0, 13);
+  EXPECT_EQ(d.action, NBestAction::kAccept);
+  EXPECT_EQ(d.reason, RejectReason::kAccepted);
+  EXPECT_DOUBLE_EQ(d.margin, 0.95);
+}
+
+TEST(DecideNBestTest, OutlierDistanceTakesPrecedenceAndAsksAgain) {
+  RejectionPolicy policy;  // derived limit: 84.5 at dimension 13
+  const std::vector<NBestEntry> nbest = MakeNBest({0.5, 0.3});
+  const NBestDecision d = DecideNBest(policy, nbest, 85.0, 13);
+  EXPECT_EQ(d.action, NBestAction::kAskAgain);
+  EXPECT_EQ(d.reason, RejectReason::kOutlierDistance);
+}
+
+TEST(DecideNBestTest, OutlierUsesCheckTimeDimensionDefault) {
+  RejectionPolicy policy;
+  policy.min_probability = 0.0;
+  const std::vector<NBestEntry> nbest = MakeNBest({0.9, 0.1});
+  // 60.0 is inside the dimension-13 limit (84.5) but outside dimension-10's
+  // (50.0): same policy object, different check-time decision.
+  EXPECT_EQ(DecideNBest(policy, nbest, 60.0, 13).action, NBestAction::kAccept);
+  EXPECT_EQ(DecideNBest(policy, nbest, 60.0, 10).action, NBestAction::kAskAgain);
+}
+
+TEST(DecideNBestTest, LowProbabilityDefers) {
+  RejectionPolicy policy;  // min_probability = 0.95
+  const std::vector<NBestEntry> nbest = MakeNBest({0.6, 0.4});
+  const NBestDecision d = DecideNBest(policy, nbest, 1.0, 13);
+  EXPECT_EQ(d.action, NBestAction::kDefer);
+  EXPECT_EQ(d.reason, RejectReason::kLowProbability);
+}
+
+TEST(DecideNBestTest, NearTieDefersOnlyWhenMarginEnabled) {
+  RejectionPolicy policy;
+  policy.min_probability = 0.0;
+  const std::vector<NBestEntry> nbest = MakeNBest({0.51, 0.49});
+
+  const NBestDecision off = DecideNBest(policy, nbest, 1.0, 13);
+  EXPECT_EQ(off.action, NBestAction::kAccept) << "min_margin <= 0 disables the test";
+
+  policy.min_margin = 0.1;
+  const NBestDecision on = DecideNBest(policy, nbest, 1.0, 13);
+  EXPECT_EQ(on.action, NBestAction::kDefer);
+  EXPECT_EQ(on.reason, RejectReason::kNearTie);
+  EXPECT_NEAR(on.margin, 0.02, 1e-12);
+}
+
+TEST(DecideNBestTest, SingleEntryMarginIsItsProbability) {
+  RejectionPolicy policy;
+  policy.min_probability = 0.0;
+  const std::vector<NBestEntry> nbest = MakeNBest({0.7});
+  const NBestDecision d = DecideNBest(policy, nbest, 1.0, 13);
+  EXPECT_DOUBLE_EQ(d.margin, 0.7);
+}
+
+TEST(DecideNBestTest, DisabledChecksAcceptAnything) {
+  RejectionPolicy policy;
+  policy.use_probability = false;
+  policy.use_distance = false;
+  const std::vector<NBestEntry> nbest = MakeNBest({0.01, 0.005});
+  const NBestDecision d = DecideNBest(policy, nbest, 1e12, 13);
+  EXPECT_EQ(d.action, NBestAction::kAccept);
+}
+
+// The default policy against a really trained large lexicon: with 200
+// classes the softmax mass spreads thin, so the Rubine 0.95 probability bar
+// defers a visible fraction while on-manifold strokes never trip the
+// distance bar (the derived limit is the check-time one), and every
+// decision agrees with the single-answer EvaluateRejection on the same
+// classification except for the n-best-only near-tie refinement.
+TEST(DecideNBestTest, LargeClassCountDecisionsMatchSingleAnswerRejection) {
+  synth::LexiconOptions lex;
+  lex.num_classes = 200;
+  const std::vector<synth::PathSpec> specs = synth::MakeExtensiveLexicon(lex);
+  synth::NoiseModel noise;
+  GestureClassifier classifier;
+  classifier.Train(synth::ToTrainingSet(synth::GenerateSet(specs, noise, 3, 1991)));
+  const std::size_t dimension = classifier.mask().count();
+
+  RejectionPolicy policy;  // defaults: derived distance limit, 0.95 bar
+  synth::Rng rng(23);
+  std::size_t accepted = 0;
+  for (std::size_t c = 0; c < specs.size(); c += 9) {
+    const geom::Gesture g = synth::Generate(specs[c], noise, rng).gesture;
+    const Classification top = classifier.Classify(g);
+
+    linalg::Vector f(13);
+    {
+      features::FeatureExtractor fx;
+      for (const geom::TimedPoint& p : g) fx.AddPoint(p);
+      f = fx.Features();
+    }
+    linalg::Vector masked(dimension), scores(classifier.num_classes()), diff(dimension);
+    std::array<NBestEntry, kMaxNBest> entries{};
+    const std::size_t n = classifier.EvaluateNBestView(
+        f.view(), masked.view(), scores.view(), diff.view(), std::span<NBestEntry>(entries));
+    ASSERT_EQ(n, kMaxNBest);
+
+    const NBestDecision d = DecideNBest(policy, std::span<const NBestEntry>(entries.data(), n),
+                                        top.mahalanobis_squared, dimension);
+    const RejectReason single = EvaluateRejection(policy, top, dimension);
+    EXPECT_EQ(d.reason, single) << "near-tie disabled, so reasons must align";
+    if (d.action == NBestAction::kAccept) {
+      ++accepted;
+      EXPECT_GE(entries[0].probability, policy.min_probability);
+    }
+  }
+  EXPECT_GT(accepted, 0u) << "clean strokes should clear the default policy";
 }
 
 }  // namespace

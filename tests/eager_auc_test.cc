@@ -139,5 +139,47 @@ TEST(AucTest, UntrainedThrows) {
   EXPECT_THROW(auc.Unambiguous(linalg::Vector(13)), std::logic_error);
 }
 
+// Train lays complete sets out as the id prefix, which lets D(s) use the
+// fused winner-in-prefix kernel. FromParameters accepts ANY set order, so an
+// interleaved layout must fall back to the evaluate + argmax path — and the
+// two layouts must agree on every D(s) answer when they describe the same
+// classifier up to class permutation.
+TEST(AucTest, FromParametersNonPrefixLayoutAgreesWithPrefixLayout) {
+  // Four axis-aligned discriminators in 2-D: class k wins in "its" quadrant
+  // direction. Interleaved AUC: ids {C, I, C, I}; prefix AUC: the same four
+  // sets permuted to {C, C, I, I} (weights permuted identically, so each
+  // set keeps its own discriminator).
+  const linalg::Vector up{0.0, 1.0};
+  const linalg::Vector down{0.0, -1.0};
+  const linalg::Vector right{1.0, 0.0};
+  const linalg::Vector left{-1.0, 0.0};
+  const linalg::Matrix eye = linalg::Matrix::Identity(2);
+  const std::vector<double> zeros4(4, 0.0);
+  const std::vector<linalg::Vector> means4(4, linalg::Vector(2));
+
+  Auc interleaved = Auc::FromParameters(
+      Auc::Mode::kNormal,
+      classify::LinearClassifier::FromParameters({right, up, left, down}, zeros4, means4, eye),
+      {Auc::SetInfo{true, 0}, Auc::SetInfo{false, 1}, Auc::SetInfo{true, 2},
+       Auc::SetInfo{false, 3}});
+  Auc prefix = Auc::FromParameters(
+      Auc::Mode::kNormal,
+      classify::LinearClassifier::FromParameters({right, left, up, down}, zeros4, means4, eye),
+      {Auc::SetInfo{true, 0}, Auc::SetInfo{true, 2}, Auc::SetInfo{false, 1},
+       Auc::SetInfo{false, 3}});
+
+  const std::vector<linalg::Vector> probes = {
+      {5.0, 1.0},  {-5.0, 1.0}, {1.0, 5.0},   {1.0, -5.0}, {3.0, -2.0},
+      {-3.0, 2.0}, {0.5, 0.25}, {-0.5, -0.25}, {2.0, 1.0},  {-1.0, -2.0}};
+  for (const linalg::Vector& f : probes) {
+    EXPECT_EQ(interleaved.Unambiguous(f), prefix.Unambiguous(f))
+        << "f=(" << f[0] << "," << f[1] << ")";
+  }
+  // All-tie probe: every score is 0, the first set wins on both layouts,
+  // and both first sets are complete.
+  EXPECT_TRUE(interleaved.Unambiguous(linalg::Vector{0.0, 0.0}));
+  EXPECT_TRUE(prefix.Unambiguous(linalg::Vector{0.0, 0.0}));
+}
+
 }  // namespace
 }  // namespace grandma::eager

@@ -292,6 +292,208 @@ TEST(SimdKernelTest, EvaluateAllIsBitIdenticalAcrossTiersAndToRowForm) {
   }
 }
 
+// The paired evaluator must be bit-identical to two single-point calls on
+// every tier — it shares weight loads between the points, never reorders a
+// chain. Class counts cover every block-width tail (16/8/4/2/1 lanes).
+TEST(SimdKernelTest, EvaluateAll2MatchesTwoSingleCallsBitwise) {
+  TierGuard guard;
+  const std::size_t dim = 13;
+  for (std::size_t classes : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{8}, std::size_t{11}, std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{26}, std::size_t{33}}) {
+    Rng rng(7000 + classes);
+    const std::size_t stride = (classes + 7) / 8 * 8;
+    AlignedBuffer soa(dim * stride);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t c = 0; c < classes; ++c) {
+        soa[i * stride + c] = rng.Next();
+      }
+    }
+    const std::vector<double> biases = rng.Fill(classes);
+    const std::vector<double> f0 = rng.Fill(dim);
+    const std::vector<double> f1 = rng.Fill(dim);
+    for (Tier t : SupportedTiers()) {
+      ASSERT_TRUE(ForceTier(t));
+      std::vector<double> single0(classes, kNaN);
+      std::vector<double> single1(classes, kNaN);
+      simd::EvaluateAll(soa.data(), stride, biases.data(), f0.data(), dim, single0.data(),
+                        classes);
+      simd::EvaluateAll(soa.data(), stride, biases.data(), f1.data(), dim, single1.data(),
+                        classes);
+      std::vector<double> paired0(classes, kNaN);
+      std::vector<double> paired1(classes, kNaN);
+      simd::EvaluateAll2(soa.data(), stride, biases.data(), f0.data(), f1.data(), dim,
+                         paired0.data(), paired1.data(), classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        EXPECT_EQ(paired0[c], single0[c]) << TierName(t) << " classes=" << classes << " c=" << c;
+        EXPECT_EQ(paired1[c], single1[c]) << TierName(t) << " classes=" << classes << " c=" << c;
+      }
+    }
+  }
+}
+
+// ArgMax: every tier must return the exact index the running strict->
+// scan keeps — first occurrence of the maximum, NaN never displacing an
+// earlier winner. Lengths straddle every lane boundary; adversarial
+// placements put the max at the head, the tail, inside duplicated ties,
+// next to ±0.0, and after NaNs.
+TEST(SimdKernelTest, ArgMaxMatchesScalarScanExactly) {
+  TierGuard guard;
+  for (std::size_t n = 1; n <= 35; ++n) {
+    Rng rng(9000 + n);
+    std::vector<std::vector<double>> cases;
+    cases.push_back(rng.Fill(n));
+    {
+      std::vector<double> v(n, 1.5);  // all-tie: index 0 must win
+      cases.push_back(v);
+    }
+    {
+      std::vector<double> v = rng.Fill(n);
+      v[0] = 100.0;  // max at head
+      cases.push_back(v);
+      v[0] = rng.Next();
+      v[n - 1] = 100.0;  // max at tail
+      cases.push_back(v);
+    }
+    {
+      std::vector<double> v = rng.Fill(n);
+      const std::size_t a = n / 3;
+      const std::size_t b = 2 * n / 3;
+      v[a] = 7.25;
+      v[b] = 7.25;  // duplicated max: first occurrence wins
+      cases.push_back(v);
+    }
+    {
+      std::vector<double> v(n, -1.0);
+      if (n >= 2) {
+        v[n / 2 - (n / 2 == 0 ? 0 : 1)] = -0.0;
+        v[n / 2] = 0.0;  // -0.0 then +0.0: neither displaces the other
+      } else {
+        v[0] = -0.0;
+      }
+      cases.push_back(v);
+    }
+    for (std::size_t nan_at = 0; nan_at < n; nan_at += (n < 6 ? 1 : n / 3)) {
+      std::vector<double> v = rng.Fill(n);
+      v[nan_at] = kNaN;
+      cases.push_back(v);
+      if (n >= 2) {
+        std::vector<double> all_nan(n, kNaN);
+        all_nan[n - 1] = 1.0;
+        cases.push_back(all_nan);
+      }
+    }
+    {
+      std::vector<double> v = rng.Fill(n);
+      v[0] = kInf;
+      cases.push_back(v);
+      v[0] = -kInf;
+      cases.push_back(v);
+    }
+    for (const std::vector<double>& v : cases) {
+      // Reference: the scalar scan written out, independent of dispatch.
+      std::size_t expect = 0;
+      for (std::size_t i = 1; i < n; ++i) {
+        if (v[i] > v[expect]) {
+          expect = i;
+        }
+      }
+      for (Tier t : SupportedTiers()) {
+        ASSERT_TRUE(ForceTier(t));
+        EXPECT_EQ(ArgMax(v.data(), n), expect) << TierName(t) << " n=" << n;
+      }
+    }
+  }
+  EXPECT_EQ(ArgMax(nullptr, 0), 0u);
+}
+
+// The fused fire-check must agree with "evaluate, then scalar first-max
+// scan, then winner < split" on every tier, for every split position —
+// including split 0 / past-the-end, exact ties straddling the split (the
+// prefix must win those: first index wins), and NaN scores (scalar-scan
+// semantics: NaN never displaces the running winner).
+TEST(SimdKernelTest, EvaluateArgMaxInPrefixMatchesScalarArgMax) {
+  TierGuard guard;
+  const std::size_t dim = 13;
+  for (std::size_t classes : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{8}, std::size_t{11}, std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{26}, std::size_t{33},
+                              std::size_t{40}}) {
+    Rng rng(11000 + classes);
+    const std::size_t stride = (classes + 7) / 8 * 8;
+    AlignedBuffer soa(dim * stride);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t c = 0; c < classes; ++c) {
+        soa[i * stride + c] = rng.Next();
+      }
+    }
+    const std::vector<double> biases = rng.Fill(classes);
+
+    std::vector<std::vector<double>> features;
+    features.push_back(rng.Fill(dim));
+    features.push_back(rng.Fill(dim));
+    {
+      std::vector<double> f = rng.Fill(dim);
+      f[dim / 2] = kNaN;  // every score NaN: scalar fallback, winner stays 0
+      features.push_back(f);
+    }
+
+    std::vector<std::size_t> splits = {0, 1, classes / 2, classes - 1, classes, classes + 3};
+    for (const std::vector<double>& f : features) {
+      // Reference: scores via the dispatched evaluator (bit-identical on
+      // all tiers by the EvaluateAll contract), then the scalar first-max
+      // scan written out.
+      std::vector<double> scores(classes, kNaN);
+      ASSERT_TRUE(ForceTier(Tier::kScalar));
+      simd::EvaluateAll(soa.data(), stride, biases.data(), f.data(), dim, scores.data(),
+                        classes);
+      std::size_t winner = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (scores[c] > scores[winner]) {
+          winner = c;
+        }
+      }
+      for (std::size_t split : splits) {
+        const bool expect = winner < split;
+        for (Tier t : SupportedTiers()) {
+          ASSERT_TRUE(ForceTier(t));
+          EXPECT_EQ(simd::EvaluateArgMaxInPrefix(soa.data(), stride, biases.data(), f.data(),
+                                                 dim, split, classes),
+                    expect)
+              << TierName(t) << " classes=" << classes << " split=" << split;
+        }
+      }
+    }
+  }
+
+  // Exact tie straddling the split: zero weights make scores == biases, the
+  // duplicated maximum sits at split-1 and split, and the prefix must win.
+  for (std::size_t classes : {std::size_t{6}, std::size_t{16}, std::size_t{33}}) {
+    const std::size_t stride = (classes + 7) / 8 * 8;
+    AlignedBuffer soa(dim * stride);  // all zeros
+    const std::size_t split = classes / 2;
+    std::vector<double> biases(classes, -2.0);
+    biases[split - 1] = 4.5;
+    biases[split] = 4.5;
+    const std::vector<double> f(dim, 1.0);
+    for (Tier t : SupportedTiers()) {
+      ASSERT_TRUE(ForceTier(t));
+      EXPECT_TRUE(simd::EvaluateArgMaxInPrefix(soa.data(), stride, biases.data(), f.data(), dim,
+                                               split, classes))
+          << TierName(t) << " classes=" << classes;
+      // Move both tie copies into the suffix: now the prefix must lose.
+      std::vector<double> suffix_biases(classes, -2.0);
+      suffix_biases[split] = 4.5;
+      if (split + 1 < classes) {
+        suffix_biases[split + 1] = 4.5;
+      }
+      EXPECT_FALSE(simd::EvaluateArgMaxInPrefix(soa.data(), stride, suffix_biases.data(),
+                                                f.data(), dim, split, classes))
+          << TierName(t) << " classes=" << classes;
+    }
+  }
+}
+
 TEST(SimdAlignedBufferTest, AllocationsAreBlockAligned) {
   for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{13}, std::size_t{64},
                         std::size_t{1000}}) {

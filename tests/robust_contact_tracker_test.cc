@@ -10,8 +10,10 @@
 #include "geom/contact.h"
 #include "geom/gesture.h"
 #include "geom/point.h"
+#include "robust/fault_injector.h"
 #include "robust/fault_stats.h"
 #include "robust/status.h"
+#include "synth/contact_synth.h"
 
 namespace grandma::robust {
 namespace {
@@ -384,6 +386,60 @@ TEST(ContactTrackerTest, StatsAccumulateAcrossGroups) {
   EXPECT_EQ(stats.contacts_tracked, 3u);
   EXPECT_EQ(stats.contacts_tracked,
             stats.contacts_passed_clean + stats.contacts_repaired + stats.contacts_rejected);
+}
+
+// Regression for the injector/tracker threshold gap: synthetic two-finger
+// gestures run 30-120px apart, under the tracker's id_swap_jump_px (200), so
+// an id swap injected between them verbatim produced seam jumps too small
+// for the un-cross pass to detect — the swap surfaced as silent degradation
+// and the repair path was never actually exercised by the soak. The injector
+// now guarantees id_swap_min_separation_px (> the tracker threshold) by
+// translating one contact before crossing, so at soak fault rates the
+// tracker must observe and repair real swaps.
+TEST(ContactTrackerTest, InjectedIdSwapsAreRepairedAtSoakFaultRates) {
+  FaultInjectorOptions options;
+  options.fault_rate = 1.0;  // soak-style: every group faulted
+  options.max_faults_per_stroke = 1;
+  options.enabled.fill(false);
+  options.enabled[static_cast<std::size_t>(FaultKind::kContactIdSwap)] = true;
+  FaultInjector injector(options, /*seed=*/0x51a);
+
+  // The injector's floor must clear the tracker's detection threshold —
+  // the misconfiguration this regression is about.
+  ContactTracker tracker;
+  ASSERT_GT(options.id_swap_min_separation_px, tracker.policy().id_swap_jump_px);
+
+  synth::NoiseModel noise;
+  FaultStats stats;
+  std::size_t swaps_injected = 0;
+  std::size_t groups_rejected = 0;
+  for (const synth::LabeledContactGroups& batch :
+       synth::GenerateContactSet(synth::MakeTouchSpecs(), noise, /*per_class=*/6,
+                                 /*seed=*/1991)) {
+    for (const geom::ContactGroup& clean : batch.groups) {
+      if (clean.contacts().size() < 2) {
+        continue;  // an id swap needs two concurrent contacts
+      }
+      InjectedFaults injected;
+      const geom::ContactGroup corrupt = injector.CorruptContacts(clean, &injected);
+      if (!injected.applied[static_cast<std::size_t>(FaultKind::kContactIdSwap)]) {
+        continue;
+      }
+      ++swaps_injected;
+      ContactReport report;
+      auto tracked = tracker.Track(corrupt, &report, &stats);
+      if (!tracked.ok()) {
+        ++groups_rejected;
+        continue;
+      }
+      EXPECT_TRUE(report.Balanced());
+    }
+  }
+  ASSERT_GT(swaps_injected, 0u) << "fault load never produced an id swap";
+  // The whole point: the un-cross pass must actually fire, not just pass
+  // groups through in their silently-crossed form.
+  EXPECT_GT(stats.contact_id_swaps_repaired, 0u)
+      << swaps_injected << " swaps injected, " << groups_rejected << " groups rejected";
 }
 
 }  // namespace

@@ -1,0 +1,260 @@
+// The n-best surface through the serve layer: NBestOptions propagation from
+// ServerOptions through SessionManager into every session, the ranked
+// alternatives and defer/ask-again decision on RecognitionResult, bit-parity
+// of nbest[0] with the single-answer classification, the defer counters in
+// SessionStats and ServerMetrics, and the disabled-by-default contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "classify/rejection.h"
+#include "eager/eager_recognizer.h"
+#include "serve/event.h"
+#include "serve/recognizer_bundle.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/session_manager.h"
+#include "synth/generator.h"
+#include "synth/sets.h"
+
+namespace grandma::serve {
+namespace {
+
+bool BitEqual(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+std::shared_ptr<const RecognizerBundle> GdpBundle() {
+  static const std::shared_ptr<const RecognizerBundle> bundle = RecognizerBundle::Train(
+      synth::ToTrainingSet(synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{},
+                                              /*per_class=*/10, /*seed=*/1991)));
+  return bundle;
+}
+
+std::vector<geom::Gesture> GdpStrokes(std::size_t per_class, std::uint64_t seed) {
+  std::vector<geom::Gesture> strokes;
+  for (auto& batch :
+       synth::GenerateSet(synth::MakeGdpSpecs(), synth::NoiseModel{}, per_class, seed)) {
+    for (auto& sample : batch.samples) {
+      strokes.push_back(std::move(sample.gesture));
+    }
+  }
+  return strokes;
+}
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<RecognitionResult> results;
+
+  ResultSink Sink() {
+    return [this](const RecognitionResult& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      results.push_back(r);
+    };
+  }
+};
+
+NBestOptions PermissiveNBest(std::size_t depth) {
+  NBestOptions nbest;
+  nbest.depth = depth;
+  // A policy that accepts everything: the tests below that count deferrals
+  // tighten individual knobs on top of this.
+  nbest.policy.min_probability = 0.0;
+  nbest.policy.max_mahalanobis_squared = 1e18;
+  nbest.policy.min_margin = 0.0;
+  return nbest;
+}
+
+TEST(SessionNBestTest, DisabledByDefaultLeavesResultUnpopulated) {
+  Session session(1, GdpBundle());
+  Collector collector;
+  const std::vector<geom::Gesture> strokes = GdpStrokes(1, 42);
+  session.AddPoints(0, std::span<const geom::TimedPoint>(strokes.front().points()),
+                    collector.Sink());
+  session.EndStroke(collector.Sink());
+
+  ASSERT_FALSE(collector.results.empty());
+  for (const RecognitionResult& r : collector.results) {
+    EXPECT_EQ(r.nbest_count, 0u);
+    EXPECT_EQ(r.nbest_action, classify::NBestAction::kAccept);
+    EXPECT_EQ(r.reject_reason, classify::RejectReason::kAccepted);
+    EXPECT_EQ(r.nbest_margin, 0.0);
+  }
+  EXPECT_EQ(session.stats().nbest_deferred, 0u);
+  EXPECT_EQ(session.stats().nbest_ask_again, 0u);
+}
+
+TEST(SessionNBestTest, RankedAlternativesMirrorClassification) {
+  Session session(1, GdpBundle(), PermissiveNBest(classify::kMaxNBest));
+  Collector collector;
+  for (const geom::Gesture& g : GdpStrokes(2, 42)) {
+    session.AddPoints(0, std::span<const geom::TimedPoint>(g.points()), collector.Sink());
+    session.EndStroke(collector.Sink());
+  }
+
+  ASSERT_FALSE(collector.results.empty());
+  std::size_t stroke_ends = 0;
+  for (const RecognitionResult& r : collector.results) {
+    ASSERT_GT(r.nbest_count, 0u) << "n-best enabled but entries missing";
+    ASSERT_LE(r.nbest_count, classify::kMaxNBest);
+    // nbest[0] mirrors the single-answer classification bit for bit.
+    EXPECT_EQ(r.nbest[0].class_id, r.classification.class_id);
+    EXPECT_TRUE(BitEqual(r.nbest[0].score, r.classification.score));
+    EXPECT_TRUE(BitEqual(r.nbest[0].probability, r.classification.probability));
+    for (std::size_t k = 1; k < r.nbest_count; ++k) {
+      EXPECT_LE(r.nbest[k].score, r.nbest[k - 1].score);
+    }
+    // Margin is winner minus runner-up probability share.
+    if (r.nbest_count >= 2) {
+      EXPECT_TRUE(BitEqual(r.nbest_margin, r.nbest[0].probability - r.nbest[1].probability));
+    }
+    EXPECT_EQ(r.nbest_action, classify::NBestAction::kAccept);
+    if (r.kind == ResultKind::kStrokeEnd) {
+      ++stroke_ends;
+    }
+  }
+  EXPECT_GT(stroke_ends, 0u);
+}
+
+TEST(SessionNBestTest, EagerFireCarriesNBest) {
+  Session session(1, GdpBundle(), PermissiveNBest(2));
+  Collector collector;
+  for (const geom::Gesture& g : GdpStrokes(2, 7)) {
+    session.AddPoints(0, std::span<const geom::TimedPoint>(g.points()), collector.Sink());
+    session.EndStroke(collector.Sink());
+  }
+  bool saw_fire = false;
+  for (const RecognitionResult& r : collector.results) {
+    if (r.kind != ResultKind::kEagerFire) {
+      continue;
+    }
+    saw_fire = true;
+    ASSERT_GT(r.nbest_count, 0u);
+    EXPECT_LE(r.nbest_count, 2u) << "depth 2 requested";
+    EXPECT_EQ(r.nbest[0].class_id, r.classification.class_id);
+    EXPECT_TRUE(BitEqual(r.nbest[0].score, r.classification.score));
+  }
+  EXPECT_TRUE(saw_fire) << "GDP strokes should trigger eager fires";
+}
+
+TEST(SessionNBestTest, ImpossibleProbabilityThresholdDefersEverything) {
+  NBestOptions nbest = PermissiveNBest(classify::kMaxNBest);
+  nbest.policy.min_probability = 1.1;  // nothing reaches this
+  Session session(1, GdpBundle(), nbest);
+  Collector collector;
+  for (const geom::Gesture& g : GdpStrokes(1, 42)) {
+    session.AddPoints(0, std::span<const geom::TimedPoint>(g.points()), collector.Sink());
+    session.EndStroke(collector.Sink());
+  }
+  ASSERT_FALSE(collector.results.empty());
+  for (const RecognitionResult& r : collector.results) {
+    EXPECT_EQ(r.nbest_action, classify::NBestAction::kDefer);
+    EXPECT_EQ(r.reject_reason, classify::RejectReason::kLowProbability);
+  }
+  EXPECT_EQ(session.stats().nbest_deferred, collector.results.size());
+  EXPECT_EQ(session.stats().nbest_ask_again, 0u);
+}
+
+TEST(SessionNBestTest, TinyDistanceLimitAsksAgain) {
+  NBestOptions nbest = PermissiveNBest(classify::kMaxNBest);
+  nbest.policy.max_mahalanobis_squared = 1e-12;  // everything is an outlier
+  Session session(1, GdpBundle(), nbest);
+  Collector collector;
+  const std::vector<geom::Gesture> strokes = GdpStrokes(1, 42);
+  session.AddPoints(0, std::span<const geom::TimedPoint>(strokes.front().points()),
+                    collector.Sink());
+  session.EndStroke(collector.Sink());
+  ASSERT_FALSE(collector.results.empty());
+  for (const RecognitionResult& r : collector.results) {
+    EXPECT_EQ(r.nbest_action, classify::NBestAction::kAskAgain);
+    EXPECT_EQ(r.reject_reason, classify::RejectReason::kOutlierDistance);
+  }
+  EXPECT_EQ(session.stats().nbest_ask_again, collector.results.size());
+  EXPECT_EQ(session.stats().nbest_deferred, 0u);
+}
+
+TEST(SessionManagerTest, PropagatesNBestToCreatedSessions) {
+  SessionManager manager(GdpBundle(), PermissiveNBest(3));
+  Session& session = manager.GetOrCreate(9);
+  Collector collector;
+  const std::vector<geom::Gesture> strokes = GdpStrokes(1, 42);
+  session.AddPoints(0, std::span<const geom::TimedPoint>(strokes.front().points()),
+                    collector.Sink());
+  session.EndStroke(collector.Sink());
+  ASSERT_FALSE(collector.results.empty());
+  EXPECT_GT(collector.results.back().nbest_count, 0u);
+  EXPECT_LE(collector.results.back().nbest_count, 3u);
+}
+
+TEST(ServerNBestTest, EndToEndResultsCarryNBestAndMetricsCount) {
+  ServerOptions options;
+  options.num_shards = 2;
+  options.nbest = PermissiveNBest(classify::kMaxNBest);
+  options.nbest.policy.min_probability = 1.1;  // force kDefer on every result
+  Collector collector;
+  RecognitionServer server(GdpBundle(), options, collector.Sink());
+
+  const std::vector<geom::Gesture> strokes = GdpStrokes(1, 42);
+  std::size_t expected_results = 0;
+  for (std::size_t s = 0; s < strokes.size(); ++s) {
+    const SessionId session = 100 + s;
+    ServeEvent begin;
+    begin.session = session;
+    begin.type = EventType::kStrokeBegin;
+    ASSERT_TRUE(server.Submit(std::move(begin)).ok());
+    ServeEvent points;
+    points.session = session;
+    points.type = EventType::kPoints;
+    points.points = strokes[s].points();
+    ASSERT_TRUE(server.Submit(std::move(points)).ok());
+    ServeEvent end;
+    end.session = session;
+    end.type = EventType::kStrokeEnd;
+    ASSERT_TRUE(server.Submit(std::move(end)).ok());
+  }
+  server.Shutdown();
+
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  ASSERT_FALSE(collector.results.empty());
+  for (const RecognitionResult& r : collector.results) {
+    EXPECT_GT(r.nbest_count, 0u);
+    EXPECT_EQ(r.nbest[0].class_id, r.classification.class_id);
+    EXPECT_EQ(r.nbest_action, classify::NBestAction::kDefer);
+    ++expected_results;
+  }
+  const ServerMetrics metrics = server.Metrics();
+  EXPECT_EQ(metrics.Totals().nbest_deferred, expected_results);
+  EXPECT_EQ(metrics.Totals().nbest_ask_again, 0u);
+  // The JSON surface names the counters.
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("nbest_deferred"), std::string::npos);
+  EXPECT_NE(json.find("nbest_ask_again"), std::string::npos);
+}
+
+TEST(ServerNBestTest, DefaultServerKeepsNBestOff) {
+  Collector collector;
+  RecognitionServer server(GdpBundle(), ServerOptions{}, collector.Sink());
+  const std::vector<geom::Gesture> strokes = GdpStrokes(1, 42);
+  ServeEvent points;
+  points.session = 5;
+  points.type = EventType::kPoints;
+  points.points = strokes.front().points();
+  ASSERT_TRUE(server.Submit(std::move(points)).ok());
+  ServeEvent end;
+  end.session = 5;
+  end.type = EventType::kStrokeEnd;
+  ASSERT_TRUE(server.Submit(std::move(end)).ok());
+  server.Shutdown();
+
+  std::lock_guard<std::mutex> lock(collector.mutex);
+  ASSERT_FALSE(collector.results.empty());
+  for (const RecognitionResult& r : collector.results) {
+    EXPECT_EQ(r.nbest_count, 0u);
+  }
+  EXPECT_EQ(server.Metrics().Totals().nbest_deferred, 0u);
+}
+
+}  // namespace
+}  // namespace grandma::serve

@@ -347,6 +347,7 @@ TEST(ServerPersonalizationTest, ConcurrentAdaptAndServeIsRaceFree) {
 
   const auto batches = Samples(4, 9);
   std::atomic<bool> stop{false};
+  std::atomic<std::size_t> adapts_done{0};
   std::thread adapter([&] {
     std::size_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
@@ -356,6 +357,7 @@ TEST(ServerPersonalizationTest, ConcurrentAdaptAndServeIsRaceFree) {
           user, static_cast<classify::ClassId>(i % batches.size()), sample.gesture);
       ASSERT_TRUE(status.ok()) << status.message();
       ++i;
+      adapts_done.fetch_add(1, std::memory_order_relaxed);
     }
   });
 
@@ -375,6 +377,11 @@ TEST(ServerPersonalizationTest, ConcurrentAdaptAndServeIsRaceFree) {
         server.Submit({session, EventType::kStrokeEnd, stroke, {}, 0, {}, user}).ok());
   }
   while (ends_seen.load(std::memory_order_relaxed) < kStrokes) {
+    std::this_thread::yield();
+  }
+  // On a 1-core box the 60 strokes can drain before the adapter thread is
+  // ever scheduled; the user_adapts > 0 check below needs one real overlap.
+  while (adapts_done.load(std::memory_order_relaxed) == 0) {
     std::this_thread::yield();
   }
   stop.store(true, std::memory_order_relaxed);

@@ -1,0 +1,153 @@
+// The extensive-lexicon generator: capacity, name uniqueness, prefix
+// determinism (the property the 50-vs-200 bench rows rely on), option
+// validation, and that every emitted spec samples into a classifiable
+// stroke.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+#include "synth/lexicon.h"
+#include "synth/path_spec.h"
+
+namespace grandma::synth {
+namespace {
+
+TEST(LexiconTest, CapacityCoversHundredsOfClasses) {
+  // The composed alphabets must hold well more than the 200-class default —
+  // polylines of length 2-4 alone contribute over a thousand shapes.
+  EXPECT_GE(ExtensiveLexiconCapacity(), 400u);
+}
+
+TEST(LexiconTest, EmitsRequestedClassCountWithUniqueNames) {
+  LexiconOptions options;
+  options.num_classes = 200;
+  const std::vector<PathSpec> specs = MakeExtensiveLexicon(options);
+  ASSERT_EQ(specs.size(), 200u);
+
+  std::set<std::string> names;
+  for (const PathSpec& spec : specs) {
+    EXPECT_FALSE(spec.class_name.empty());
+    EXPECT_TRUE(names.insert(spec.class_name).second)
+        << "duplicate class name " << spec.class_name;
+    EXPECT_FALSE(spec.segments.empty()) << spec.class_name;
+  }
+}
+
+TEST(LexiconTest, EveryPrefixMixesShapeFamilies) {
+  LexiconOptions options;
+  options.num_classes = 24;
+  const std::vector<PathSpec> specs = MakeExtensiveLexicon(options);
+  std::size_t polys = 0, arcs = 0, hybrids = 0;
+  for (const PathSpec& spec : specs) {
+    if (spec.class_name.find("_poly_") != std::string::npos) ++polys;
+    if (spec.class_name.find("_arc_") != std::string::npos) ++arcs;
+    if (spec.class_name.find("_hyb_") != std::string::npos) ++hybrids;
+  }
+  EXPECT_GT(polys, 0u);
+  EXPECT_GT(arcs, 0u);
+  EXPECT_GT(hybrids, 0u);
+  EXPECT_EQ(polys + arcs + hybrids, specs.size());
+}
+
+// Same seed, smaller count => strict prefix of the larger lexicon, down to
+// the per-class pose draws. The 50-class bench row is the 200-class row's
+// prefix because of exactly this property.
+TEST(LexiconTest, SmallerLexiconIsStrictPrefixOfLarger) {
+  LexiconOptions small_options;
+  small_options.num_classes = 50;
+  LexiconOptions large_options;
+  large_options.num_classes = 200;
+  const std::vector<PathSpec> small = MakeExtensiveLexicon(small_options);
+  const std::vector<PathSpec> large = MakeExtensiveLexicon(large_options);
+  ASSERT_EQ(small.size(), 50u);
+  ASSERT_EQ(large.size(), 200u);
+
+  for (std::size_t c = 0; c < small.size(); ++c) {
+    ASSERT_EQ(small[c].class_name, large[c].class_name) << c;
+    ASSERT_EQ(small[c].segments.size(), large[c].segments.size()) << c;
+    // The pose draws (rotation/scale) bake into segment geometry; compare it
+    // exactly — identical draws mean identical doubles, not just close ones.
+    for (std::size_t s = 0; s < small[c].segments.size(); ++s) {
+      const PathSegment& a = small[c].segments[s];
+      const PathSegment& b = large[c].segments[s];
+      ASSERT_EQ(a.kind, b.kind);
+      ASSERT_EQ(a.x, b.x);
+      ASSERT_EQ(a.y, b.y);
+      ASSERT_EQ(a.cx, b.cx);
+      ASSERT_EQ(a.cy, b.cy);
+      ASSERT_EQ(a.radius, b.radius);
+      ASSERT_EQ(a.start_angle, b.start_angle);
+      ASSERT_EQ(a.sweep, b.sweep);
+    }
+  }
+}
+
+TEST(LexiconTest, SameOptionsAreByteIdentical) {
+  LexiconOptions options;
+  options.num_classes = 64;
+  const std::vector<PathSpec> a = MakeExtensiveLexicon(options);
+  const std::vector<PathSpec> b = MakeExtensiveLexicon(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].class_name, b[c].class_name);
+    EXPECT_EQ(a[c].start_x, b[c].start_x);
+    EXPECT_EQ(a[c].start_y, b[c].start_y);
+  }
+}
+
+TEST(LexiconTest, DifferentSeedsChangePoseNotNames) {
+  LexiconOptions a_options;
+  a_options.num_classes = 16;
+  LexiconOptions b_options = a_options;
+  b_options.seed = a_options.seed + 1;
+  const std::vector<PathSpec> a = MakeExtensiveLexicon(a_options);
+  const std::vector<PathSpec> b = MakeExtensiveLexicon(b_options);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_pose_differs = false;
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].class_name, b[c].class_name) << "names are shape identity, not pose";
+    for (std::size_t s = 0; s < std::min(a[c].segments.size(), b[c].segments.size()); ++s) {
+      if (a[c].segments[s].x != b[c].segments[s].x ||
+          a[c].segments[s].radius != b[c].segments[s].radius) {
+        any_pose_differs = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_pose_differs);
+}
+
+TEST(LexiconTest, RejectsBadOptions) {
+  LexiconOptions over;
+  over.num_classes = ExtensiveLexiconCapacity() + 1;
+  EXPECT_THROW(MakeExtensiveLexicon(over), std::invalid_argument);
+
+  LexiconOptions bad_scale;
+  bad_scale.scale_lo = 2.0;
+  bad_scale.scale_hi = 1.0;
+  EXPECT_THROW(MakeExtensiveLexicon(bad_scale), std::invalid_argument);
+
+  LexiconOptions bad_segment;
+  bad_segment.segment_px = 0.0;
+  EXPECT_THROW(MakeExtensiveLexicon(bad_segment), std::invalid_argument);
+}
+
+// Every spec must survive the generator: enough points to extract features
+// from, no degenerate zero-length paths.
+TEST(LexiconTest, EverySpecGeneratesAClassifiableStroke) {
+  LexiconOptions options;
+  options.num_classes = 200;
+  const std::vector<PathSpec> specs = MakeExtensiveLexicon(options);
+  NoiseModel noise;
+  Rng rng(7);
+  for (const PathSpec& spec : specs) {
+    const GestureSample sample = Generate(spec, noise, rng);
+    EXPECT_GE(sample.gesture.size(), 3u) << spec.class_name;
+  }
+}
+
+}  // namespace
+}  // namespace grandma::synth
